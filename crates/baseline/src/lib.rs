@@ -1,0 +1,33 @@
+//! # parpat-baseline
+//!
+//! Static reduction-detection baselines for the Table VI comparison of
+//! *"Automatic Parallel Pattern Detection in the Algorithm Structure Design
+//! Space"*: an icc-like detector (scalar, lexically-local reductions only,
+//! conservative about calls and arrays) and a Sambamba-like detector
+//! (array-element accumulators too, but no cross-module view, and
+//! unsupported on recursion / `while`-loop programs — the paper's `NA`
+//! entries). See `detect` for the exact emulated behavior and its
+//! justification.
+//!
+//! ```
+//! use parpat_baseline::{IccLike, SambambaLike, StaticReductionDetector};
+//! let prog = parpat_minilang::parse_fragment(
+//!     "global a[8];
+//!      fn f() {
+//!          let s = 0;
+//!          for i in 0..8 { s += a[i]; }
+//!          return s;
+//!      }",
+//! )
+//! .unwrap();
+//! assert!(IccLike.detect(&prog).detected());
+//! assert!(SambambaLike.detect(&prog).detected());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod detect;
+
+pub use detect::{
+    IccLike, SambambaLike, StaticOutcome, StaticReduction, StaticReductionDetector,
+};

@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each group compares a design decision against its alternative on the
+//! simulator (which is deterministic, so Criterion measures the scheduling
+//! computation while the printed speedups expose the modeled effect):
+//!
+//! - **fusion_vs_unfused** — the fused do-all vs two barrier-separated
+//!   do-alls (Section III-A's motivation for suggesting fusion);
+//! - **tasks_vs_tasks_doall** — 3mm's task-only graph vs the combined
+//!   task + do-all expansion the paper implemented;
+//! - **pipeline_chunking** — the consumer-block granularity of the
+//!   multi-loop pipeline executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use parpat_sim::{pipeline, simulate, Overheads, PipelineShape};
+use parpat_suite::speedup::{default_overheads, graph_for, unfused_graph};
+use parpat_suite::{app_named, ExpectedPattern};
+
+fn bench_fusion_vs_unfused(c: &mut Criterion) {
+    let app = app_named("rot-cc").expect("known app");
+    let analysis = app.analyze().expect("analysis succeeds");
+    let ov = default_overheads();
+    let workers = 8;
+
+    // Print the modeled effect once so the ablation result is visible.
+    let fused = simulate(&graph_for(&app, &analysis, workers), workers, ov.per_task);
+    let unfused = simulate(&unfused_graph(&analysis, workers), workers, ov.per_task);
+    println!(
+        "ablation fusion_vs_unfused (rot-cc, {workers} workers): fused {:.2}x vs unfused {:.2}x",
+        fused.speedup, unfused.speedup
+    );
+    assert!(fused.speedup > unfused.speedup, "fusion must win");
+
+    let mut group = c.benchmark_group("fusion_vs_unfused");
+    group.bench_function("fused", |b| {
+        b.iter(|| {
+            let g = graph_for(&app, &analysis, workers);
+            black_box(simulate(&g, workers, ov.per_task).speedup)
+        })
+    });
+    group.bench_function("unfused", |b| {
+        b.iter(|| {
+            let g = unfused_graph(&analysis, workers);
+            black_box(simulate(&g, workers, ov.per_task).speedup)
+        })
+    });
+    group.finish();
+}
+
+fn bench_tasks_vs_tasks_doall(c: &mut Criterion) {
+    let mut app = app_named("3mm").expect("known app");
+    let analysis = app.analyze().expect("analysis succeeds");
+    let ov = default_overheads();
+    let workers = 16;
+
+    let combined = simulate(&graph_for(&app, &analysis, workers), workers, ov.per_task);
+    app.expected = ExpectedPattern::Tasks; // task-only ablation
+    let task_only = simulate(&graph_for(&app, &analysis, workers), workers, ov.per_task);
+    println!(
+        "ablation tasks_vs_tasks_doall (3mm, {workers} workers): combined {:.2}x vs task-only {:.2}x",
+        combined.speedup, task_only.speedup
+    );
+    assert!(combined.speedup > task_only.speedup * 1.5, "do-all expansion must win big");
+
+    let mut group = c.benchmark_group("tasks_vs_tasks_doall");
+    group.bench_function("combined", |b| {
+        let mut a = app_named("3mm").expect("known app");
+        a.expected = ExpectedPattern::TasksDoall;
+        b.iter(|| black_box(simulate(&graph_for(&a, &analysis, workers), workers, ov.per_task).speedup))
+    });
+    group.bench_function("task_only", |b| {
+        let mut a = app_named("3mm").expect("known app");
+        a.expected = ExpectedPattern::Tasks;
+        b.iter(|| black_box(simulate(&graph_for(&a, &analysis, workers), workers, ov.per_task).speedup))
+    });
+    group.finish();
+}
+
+fn bench_pipeline_chunking(c: &mut Criterion) {
+    let shape = PipelineShape {
+        a: 1.0,
+        b: 0.0,
+        nx: 4096,
+        ny: 4096,
+        cost_x: 20.0,
+        cost_y: 20.0,
+        x_doall: true,
+        y_doall: false,
+    };
+    let ov = Overheads { per_task: 8.0, sync: 20.0 };
+    let workers = 8;
+    for blocks in [workers, workers * 4, workers * 32] {
+        let r = simulate(&pipeline(shape, ov, blocks), workers, ov.per_task);
+        println!("ablation pipeline_chunking: {blocks} blocks -> speedup {:.2}x", r.speedup);
+    }
+
+    let mut group = c.benchmark_group("pipeline_chunking");
+    for blocks in [workers, workers * 4, workers * 32] {
+        group.bench_function(format!("blocks_{blocks}"), |b| {
+            b.iter(|| {
+                let g = pipeline(black_box(shape), ov, blocks);
+                black_box(simulate(&g, workers, ov.per_task).speedup)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fusion_vs_unfused,
+    bench_tasks_vs_tasks_doall,
+    bench_pipeline_chunking
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Prints the regenerated Figure 1 (see `parpat_bench::figures`).
+fn main() {
+    println!("{}", parpat_bench::figures::render_fig1());
+}

@@ -1,0 +1,27 @@
+//! Regenerates every table and figure in one run — the single-command
+//! reproduction of the paper's whole evaluation section.
+//!
+//! ```sh
+//! cargo run -p parpat-bench --bin report > evaluation.md
+//! ```
+
+use parpat_bench::{figures, tables};
+
+fn main() {
+    println!("# parpat — regenerated evaluation artifacts\n");
+    println!("## Table I — pattern → supporting structure\n");
+    println!("{}", tables::render_table1());
+    println!("## Table II — coefficient semantics\n");
+    println!("{}", tables::render_table2());
+    println!("## Table III — overall detection results\n");
+    println!("{}", tables::render_table3());
+    println!("## Table IV — multi-loop pipeline coefficients\n");
+    println!("{}", tables::render_table4());
+    println!("## Table V — task parallelism\n");
+    println!("{}", tables::render_table5());
+    println!("## Table VI — reduction detection comparison\n");
+    println!("{}", tables::render_table6());
+    println!("## Figure 1\n\n```\n{}```\n", figures::render_fig1());
+    println!("## Figure 2\n\n```\n{}```\n", figures::render_fig2());
+    println!("## Figure 3\n\n```\n{}```", figures::render_fig3());
+}

@@ -1,0 +1,22 @@
+//! Prints the simulated thread sweep of one application (the per-app view
+//! behind Table III's best-speedup column).
+//!
+//! ```sh
+//! cargo run -p parpat-bench --bin sweep -- ludcmp
+//! ```
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ludcmp".to_owned());
+    let Some(app) = parpat_suite::app_named(&name) else {
+        eprintln!("unknown app `{name}`");
+        std::process::exit(1);
+    };
+    let analysis = app.analyze().expect("analysis succeeds");
+    let row = parpat_suite::speedup::sweep_app(&app, &analysis);
+    println!(
+        "{} ({}) — {} — paper: {:.2}x @ {}",
+        app.name, app.suite, app.expected, app.paper_speedup, app.paper_threads
+    );
+    print!("{}", row.sweep.render());
+    println!("best: {:.2}x @ {} threads", row.speedup, row.threads);
+}

@@ -1,0 +1,4 @@
+//! Prints the regenerated Table 4 (see `parpat_bench::tables`).
+fn main() {
+    println!("{}", parpat_bench::tables::render_table4());
+}

@@ -1,0 +1,4 @@
+//! Prints the regenerated Table 6 (see `parpat_bench::tables`).
+fn main() {
+    println!("{}", parpat_bench::tables::render_table6());
+}

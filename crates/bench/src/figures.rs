@@ -1,0 +1,122 @@
+//! Regenerators for Figures 1–3 of the paper.
+//!
+//! - **Figure 1** — CU construction on the paper's example snippet: two
+//!   CUs, one per written state variable, with temporaries folded in.
+//! - **Figure 2** — a program execution tree with control regions and the
+//!   CU counts mapped onto them.
+//! - **Figure 3** — the CU graph of `cilksort()` with fork/worker/barrier
+//!   classification (delegates to [`crate::tables::render_task_region`]).
+
+use std::fmt::Write;
+
+use parpat_core::{analyze_source, AnalysisConfig};
+use parpat_cu::RegionId;
+
+/// The paper's Figure 1 snippet, as MiniLang: `x` and `y` are program
+/// state; `a` and `b` are temporaries folded into `CU_x`.
+pub const FIG1_SRC: &str = "global xs[1];
+global ys[1];
+fn main() {
+    let x = xs[0];
+    let y = ys[0];
+    let a = x * x;
+    let b = a + a;
+    xs[0] = b - x;
+    let c = y * y;
+    ys[0] = c + y;
+}";
+
+/// Render Figure 1: the example's CUs with their source lines.
+pub fn render_fig1() -> String {
+    let analysis = analyze_source(FIG1_SRC, &AnalysisConfig::default()).expect("fig1 analyzes");
+    let region = RegionId::FuncBody(analysis.ir.entry.expect("main"));
+    let mut out = String::from("Figure 1 — CU construction (read-compute-write):\n");
+    out.push_str("source:\n");
+    for (i, line) in FIG1_SRC.lines().enumerate() {
+        writeln!(out, "  {:>2} | {line}", i + 1).unwrap();
+    }
+    writeln!(out, "computational units of main():").unwrap();
+    for (i, &cu) in analysis.cus.region_cus(region).iter().enumerate() {
+        let c = &analysis.cus.cus[cu];
+        let lines: Vec<String> = c.lines.iter().map(|l| l.to_string()).collect();
+        writeln!(out, "  CU_{i}: {} (lines {})", c.label, lines.join(", ")).unwrap();
+    }
+    out
+}
+
+/// A small nested program for Figure 2.
+pub const FIG2_SRC: &str = "global a[32];
+global b[32];
+fn compute(n) {
+    for i in 0..n {
+        a[i] = a[i] * 2 + 1;
+    }
+    for i in 0..n {
+        b[i] = a[i] + b[i];
+    }
+    return 0;
+}
+fn main() {
+    for t in 0..4 {
+        compute(32);
+    }
+}";
+
+/// Render Figure 2: the execution tree with region instruction shares and
+/// per-region CU counts.
+pub fn render_fig2() -> String {
+    let analysis = analyze_source(FIG2_SRC, &AnalysisConfig::default()).expect("fig2 analyzes");
+    let mut out = String::from("Figure 2 — program execution tree with CUs per region:\n");
+    out.push_str(&analysis.pet.render(&analysis.ir));
+    writeln!(out, "CUs per region:").unwrap();
+    for region in analysis.cus.regions() {
+        let n = analysis.cus.region_cus(region).len();
+        if n == 0 {
+            continue;
+        }
+        let label = match region {
+            RegionId::FuncBody(f) => format!("function {}()", analysis.ir.functions[f].name),
+            RegionId::Loop(l) => format!("loop L{l} @ line {}", analysis.ir.loops[l as usize].line),
+        };
+        writeln!(out, "  {label}: {n} CU(s)").unwrap();
+    }
+    out
+}
+
+/// Render Figure 3: cilksort's classified CU graph.
+pub fn render_fig3() -> String {
+    let mut out = String::from("Figure 3 — CU graph of cilksort() with Algorithm 1 marks:\n");
+    out.push_str(&crate::tables::render_task_region("sort", "cilksort"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_has_two_cus_with_folded_temporaries() {
+        let s = render_fig1();
+        assert!(s.contains("CU_0: xs"), "{s}");
+        assert!(s.contains("CU_1: ys"), "{s}");
+        assert!(!s.contains("CU_2"), "exactly two CUs expected:\n{s}");
+        // CU_0 spans the temporary lines 6 and 7 too.
+        assert!(s.lines().any(|l| l.contains("CU_0") && l.contains('6') && l.contains('7')), "{s}");
+    }
+
+    #[test]
+    fn fig2_merges_loop_iterations_and_calls() {
+        let s = render_fig2();
+        assert!(s.contains("compute()"), "{s}");
+        assert!(s.contains("128 iters"), "4 calls x 32 iterations merged:\n{s}");
+        assert!(s.contains("CUs per region"), "{s}");
+    }
+
+    #[test]
+    fn fig3_reproduces_the_classification() {
+        let s = render_fig3();
+        assert!(s.contains("cilksort"));
+        assert!(s.contains("[worker]"));
+        assert!(s.contains("[barrier]"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # parpat-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of the
+//! paper's evaluation:
+//!
+//! | Artifact | Regenerator |
+//! |---|---|
+//! | Table I (pattern → support structure) | `tables::render_table1`, `table1` binary |
+//! | Table II (coefficient semantics) | `tables::render_table2`, `table2` binary |
+//! | Table III (17-app detection + speedups) | `tables::render_table3`, `table3` binary |
+//! | Table IV (pipeline coefficients) | `tables::render_table4`, `table4` binary |
+//! | Table V (task parallelism) | `tables::render_table5`, `table5` binary |
+//! | Table VI (reduction comparison) | `tables::render_table6`, `table6` binary |
+//! | Figure 1 (CU construction) | `figures::render_fig1`, `fig1` binary |
+//! | Figure 2 (PET + CUs) | `figures::render_fig2`, `fig2` binary |
+//! | Figure 3 (cilksort CU graph) | `figures::render_fig3`, `fig3` binary |
+//!
+//! Criterion benches (`benches/`) measure analysis throughput and run the
+//! ablations DESIGN.md calls out (fusion vs separate do-alls, task-only vs
+//! task+do-all, pipeline chunk granularity, executor overheads).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod tables;

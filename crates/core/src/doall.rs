@@ -1,0 +1,124 @@
+//! Do-all classification and the combined loop classification used by the
+//! other detectors.
+//!
+//! A loop is *do-all* when its iterations carry no true (RAW) dependence —
+//! the DiscoPoP criterion the paper builds on. WAR/WAW loop-carried
+//! dependences are privatizable and do not disqualify a loop. A loop that is
+//! not do-all may still be a *reduction loop* (every inter-iteration RAW is
+//! a reduction candidate, see [`crate::reduction`]); anything else is
+//! sequential.
+
+use std::collections::HashMap;
+
+use parpat_ir::{IrProgram, LoopId};
+use parpat_profile::ProfileData;
+
+use crate::reduction::{detect_reductions, reduction_addrs_cover_carried};
+
+/// How a loop can be parallelized, if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopClass {
+    /// No loop-carried RAW dependence: parallelize directly.
+    DoAll,
+    /// All loop-carried RAW dependences are reduction candidates.
+    Reduction,
+    /// Carries non-reduction dependences.
+    Sequential,
+}
+
+/// True when the loop has no loop-carried RAW dependence.
+pub fn is_doall(profile: &ProfileData, l: LoopId) -> bool {
+    !profile.has_carried_raw(l)
+}
+
+/// Classify every executed loop of the program.
+pub fn classify_loops(prog: &IrProgram, profile: &ProfileData) -> HashMap<LoopId, LoopClass> {
+    let reductions = detect_reductions(prog, profile);
+    let mut out = HashMap::new();
+    for (&l, _) in &profile.loop_stats {
+        let class = if is_doall(profile, l) {
+            LoopClass::DoAll
+        } else if reduction_addrs_cover_carried(profile, l)
+            && reductions.iter().any(|r| r.l == l)
+        {
+            LoopClass::Reduction
+        } else {
+            LoopClass::Sequential
+        };
+        out.insert(l, class);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_ir::compile;
+    use parpat_profile::profile;
+
+    fn classes(src: &str) -> HashMap<LoopId, LoopClass> {
+        let ir = compile(src).unwrap();
+        let data = profile(&ir).unwrap();
+        classify_loops(&ir, &data)
+    }
+
+    #[test]
+    fn independent_loop_is_doall() {
+        let c = classes("global a[8]; fn main() { for i in 0..8 { a[i] = i * i; } }");
+        assert_eq!(c[&0], LoopClass::DoAll);
+    }
+
+    #[test]
+    fn sum_loop_is_reduction() {
+        let c = classes(
+            "global a[8];
+fn main() {
+    let s = 0;
+    for i in 0..8 {
+        s += a[i];
+    }
+    return s;
+}",
+        );
+        assert_eq!(c[&0], LoopClass::Reduction);
+    }
+
+    #[test]
+    fn stencil_loop_is_sequential() {
+        let c = classes("global a[8]; fn main() { for i in 1..8 { a[i] = a[i - 1] + 1; } }");
+        assert_eq!(c[&0], LoopClass::Sequential);
+    }
+
+    #[test]
+    fn war_only_loop_is_still_doall() {
+        // Each iteration reads a[i] then writes a[i] — same iteration, no
+        // carried RAW. Also writes t (private) every iteration: carried
+        // WAR/WAW but privatizable.
+        let c = classes(
+            "global a[8];
+fn main() {
+    for i in 0..8 {
+        let t = a[i] * 2;
+        a[i] = t;
+    }
+}",
+        );
+        assert_eq!(c[&0], LoopClass::DoAll);
+    }
+
+    #[test]
+    fn mixed_reduction_and_stencil_is_sequential() {
+        let c = classes(
+            "global a[8];
+fn main() {
+    let s = 0;
+    for i in 1..8 {
+        s += a[i];
+        a[i] = a[i - 1] + s;
+    }
+    return s;
+}",
+        );
+        assert_eq!(c[&0], LoopClass::Sequential);
+    }
+}

@@ -1,0 +1,177 @@
+//! Loop fusion detection (Section III-A, "Loop Fusion").
+//!
+//! A detected multi-loop pipeline specializes to *fusion* when
+//!
+//! 1. both loops are do-all, and
+//! 2. the regression coefficients are exactly `a = 1`, `b = 0` (hence
+//!    `e = 1`): iteration `i` of the second loop depends only on iteration
+//!    `i` of the first.
+//!
+//! Both conditions together guarantee that the fused loop carries no
+//! dependence and can be parallelized with do-all — coarser-grained, with a
+//! single synchronization instead of one per loop. Unlike compiler fusion,
+//! which is static and limited to adjacent loops, this analysis is dynamic
+//! and fuses loops that may be lexically far apart (the paper's rot-cc case).
+
+use parpat_ir::LoopId;
+use parpat_profile::ProfileData;
+
+use crate::pipeline::PipelineReport;
+
+/// A fusion recommendation for two do-all loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionReport {
+    /// First loop.
+    pub x: LoopId,
+    /// Second loop (fuses into the first).
+    pub y: LoopId,
+    /// Source lines of the two loops.
+    pub lines: (u32, u32),
+    /// The efficiency factor of the underlying pipeline (1 by construction,
+    /// up to tolerance).
+    pub e: f64,
+}
+
+/// Tolerance configuration for the exact-coefficient checks.
+#[derive(Debug, Clone, Copy)]
+pub struct FusionConfig {
+    /// Allowed deviation of `a` from 1 and `b` from 0.
+    pub eps: f64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig { eps: 1e-6 }
+    }
+}
+
+/// Filter pipeline reports down to fusion candidates.
+///
+/// Besides the coefficient conditions, a candidate `(x, y)` is rejected
+/// when some *other* loop `z` that first executed after `x` also feeds `y`:
+/// fusing would move `y`'s iterations before `z` has produced its data (the
+/// 3mm trap — its third nest reads both earlier nests, so it can be fused
+/// with neither alone).
+pub fn detect_fusion(
+    pipelines: &[PipelineReport],
+    profile: &ProfileData,
+    cfg: &FusionConfig,
+) -> Vec<FusionReport> {
+    pipelines
+        .iter()
+        .filter(|p| {
+            p.x_doall
+                && p.y_doall
+                && (p.a - 1.0).abs() <= cfg.eps
+                && p.b.abs() <= cfg.eps
+                && (p.e - 1.0).abs() <= 0.01
+                && !has_interposed_producer(profile, p.x, p.y)
+        })
+        .map(|p| FusionReport { x: p.x, y: p.y, lines: (p.x_line, p.y_line), e: p.e })
+        .collect()
+}
+
+/// True when a loop other than `x`, first entered after `x`, also produces
+/// data read by `y`.
+fn has_interposed_producer(profile: &ProfileData, x: LoopId, y: LoopId) -> bool {
+    let entry = |l: LoopId| {
+        profile.loop_stats.get(&l).map(|s| s.first_entry).unwrap_or(u64::MAX)
+    };
+    let x_entry = entry(x);
+    profile
+        .cross_loop_pairs
+        .keys()
+        .any(|&(z, sink)| sink == y && z != x && entry(z) > x_entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{detect_pipelines, PipelineConfig};
+    use parpat_ir::compile;
+    use parpat_pet::build_pet;
+    use parpat_profile::profile;
+
+    fn fusions(src: &str) -> Vec<FusionReport> {
+        let ir = compile(src).unwrap();
+        let data = profile(&ir).unwrap();
+        let pet = build_pet(&ir).unwrap();
+        let pipes = detect_pipelines(
+            &ir,
+            &data,
+            &pet,
+            &PipelineConfig { hotspot_threshold: 0.05, min_pairs: 3, same_function_only: true },
+        );
+        detect_fusion(&pipes, &data, &FusionConfig::default())
+    }
+
+    #[test]
+    fn elementwise_chain_is_fusable() {
+        let src = "global a[64];
+global b[64];
+fn main() {
+    for i in 0..64 { a[i] = i * 2; }
+    for j in 0..64 { b[j] = a[j] + 1; }
+}";
+        let f = fusions(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].x, f[0].y), (0, 1));
+    }
+
+    #[test]
+    fn consumer_with_carried_dep_is_not_fusable() {
+        let src = "global a[64];
+global b[64];
+fn main() {
+    for i in 0..64 { a[i] = i * 2; }
+    for j in 1..64 { b[j] = a[j] + b[j - 1]; }
+}";
+        assert!(fusions(src).is_empty());
+    }
+
+    #[test]
+    fn shifted_dependence_is_not_fusable() {
+        // b[j] reads a[j-1]: a = 1 but b = -1 → fusing would break.
+        let src = "global a[64];
+global b[64];
+fn main() {
+    for i in 0..64 { a[i] = i * 2; }
+    for j in 1..64 { b[j] = a[j - 1] + 1; }
+}";
+        assert!(fusions(src).is_empty());
+    }
+
+    #[test]
+    fn interposed_producer_blocks_fusion() {
+        // y reads both x and z, and z runs between them (the 3mm shape):
+        // fusing x with y would hoist y's reads of c above z.
+        let src = "global a[64];
+global c[64];
+global b[64];
+fn main() {
+    for i in 0..64 { a[i] = i * 2; }
+    for k in 0..64 { c[k] = k + 1; }
+    for j in 0..64 { b[j] = a[j] + c[j]; }
+}";
+        let f = fusions(src);
+        assert!(f.iter().all(|r| !(r.x == 0 && r.y == 2)), "{f:?}");
+        // Fusing z (the middle loop) with y IS still legal.
+        assert!(f.iter().any(|r| r.x == 1 && r.y == 2), "{f:?}");
+    }
+
+    #[test]
+    fn block_dependence_is_not_fusable() {
+        // One iteration of y needs 8 iterations of x (a = 1/8).
+        let src = "global a[64];
+global b[8];
+fn main() {
+    for i in 0..64 { a[i] = i; }
+    for j in 0..8 {
+        let s = 0;
+        for k in 0..8 { s += a[j * 8 + k]; }
+        b[j] = s;
+    }
+}";
+        assert!(fusions(src).is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Geometric-decomposition detection (Section III-C, Algorithm 2).
+//!
+//! A hotspot function is a geometric-decomposition candidate when every loop
+//! among its immediate children — and every loop inside functions it calls
+//! directly — is do-all or reduction. Such a function can be invoked on
+//! independent chunks of its data from separate threads (SPMD), which
+//! coarsens granularity compared to parallelizing each loop individually
+//! (the paper's streamcluster `localSearch()` and kmeans `cluster()` cases).
+//!
+//! As in the paper, *how* the data divides into chunks is left to the
+//! programmer; the detector reports the candidate functions.
+
+use std::collections::HashMap;
+
+use parpat_ir::{FuncId, IrProgram, LoopId};
+use parpat_pet::{NodeId, Pet, RegionKind};
+
+use crate::doall::LoopClass;
+
+/// A geometric-decomposition candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GdReport {
+    /// The candidate function.
+    pub func: FuncId,
+    /// Its name.
+    pub name: String,
+    /// The loops examined (all do-all or reduction).
+    pub loops: Vec<LoopId>,
+}
+
+/// Configuration for geometric-decomposition detection.
+#[derive(Debug, Clone, Copy)]
+pub struct GdConfig {
+    /// Minimum instruction share for a function to be considered.
+    pub hotspot_threshold: f64,
+}
+
+impl Default for GdConfig {
+    fn default() -> Self {
+        GdConfig { hotspot_threshold: 0.1 }
+    }
+}
+
+/// Run Algorithm 2 over every hotspot function of the PET.
+pub fn detect_geometric_decomposition(
+    prog: &IrProgram,
+    pet: &Pet,
+    classes: &HashMap<LoopId, LoopClass>,
+    cfg: &GdConfig,
+) -> Vec<GdReport> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for node in pet.hotspot_functions(cfg.hotspot_threshold) {
+        let RegionKind::Function(f) = pet.nodes[node].kind else {
+            continue;
+        };
+        // The entry function is trivially "the whole program"; skip it,
+        // matching the paper's focus on called hotspot functions.
+        if Some(f) == prog.entry {
+            continue;
+        }
+        if !seen.insert(f) {
+            continue;
+        }
+        if let Some(loops) = qualifies(pet, node, classes) {
+            if loops.is_empty() {
+                continue; // no loops at all — nothing to decompose over
+            }
+            out.push(GdReport { func: f, name: prog.functions[f].name.clone(), loops });
+        }
+    }
+    out
+}
+
+/// Algorithm 2's recursive check on one function node: immediate child loops
+/// must be do-all or reduction; immediate child functions must have *all*
+/// loops in their subtree do-all or reduction. Returns the examined loops
+/// when the function qualifies.
+fn qualifies(
+    pet: &Pet,
+    node: NodeId,
+    classes: &HashMap<LoopId, LoopClass>,
+) -> Option<Vec<LoopId>> {
+    let mut loops = Vec::new();
+    for &child in pet.children(node) {
+        match pet.nodes[child].kind {
+            RegionKind::Loop(l) => {
+                if !parallel_class(classes, l) {
+                    return None;
+                }
+                loops.push(l);
+                // Inner loops of a qualifying child loop are not further
+                // constrained by Algorithm 2 (the loop itself is already
+                // parallelizable at its level), but we record them for the
+                // report.
+            }
+            RegionKind::Function(_) => {
+                for l in pet.loops_in_subtree(child) {
+                    if !parallel_class(classes, l) {
+                        return None;
+                    }
+                    loops.push(l);
+                }
+            }
+        }
+    }
+    loops.sort_unstable();
+    loops.dedup();
+    Some(loops)
+}
+
+fn parallel_class(classes: &HashMap<LoopId, LoopClass>, l: LoopId) -> bool {
+    matches!(classes.get(&l), Some(LoopClass::DoAll) | Some(LoopClass::Reduction))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doall::classify_loops;
+    use parpat_ir::compile;
+    use parpat_pet::build_pet;
+    use parpat_profile::profile;
+
+    fn detect(src: &str) -> Vec<GdReport> {
+        let ir = compile(src).unwrap();
+        let data = profile(&ir).unwrap();
+        let pet = build_pet(&ir).unwrap();
+        let classes = classify_loops(&ir, &data);
+        detect_geometric_decomposition(&ir, &pet, &classes, &GdConfig { hotspot_threshold: 0.2 })
+    }
+
+    #[test]
+    fn streamcluster_shape_local_search_is_candidate() {
+        // Listing 6: an outer while loop that cannot be parallelized calls
+        // localSearch(), whose loops are all do-all/reduction.
+        let src = "global points[64];
+global centers[64];
+fn localSearch() {
+    let cost = 0;
+    for i in 0..64 { centers[i] = points[i] * 2; }
+    for i in 0..64 { cost += centers[i]; }
+    return cost;
+}
+fn main() {
+    let round = 0;
+    while round < 4 {
+        localSearch();
+        round += 1;
+    }
+}";
+        let r = detect(src);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert_eq!(r[0].name, "localSearch");
+        assert_eq!(r[0].loops.len(), 2);
+    }
+
+    #[test]
+    fn function_with_sequential_loop_is_rejected() {
+        let src = "global a[64];
+fn work() {
+    for i in 1..64 { a[i] = a[i - 1] + 1; }
+    return 0;
+}
+fn main() {
+    work();
+}";
+        assert!(detect(src).is_empty());
+    }
+
+    #[test]
+    fn callee_loops_are_checked_transitively() {
+        // The candidate's own loops are fine, but a directly-called helper
+        // hides a sequential loop → rejected.
+        let src = "global a[64];
+global b[64];
+fn helper() {
+    for i in 1..64 { b[i] = b[i - 1] + 1; }
+    return 0;
+}
+fn work() {
+    for i in 0..64 { a[i] = i; }
+    helper();
+    return 0;
+}
+fn main() { work(); }";
+        assert!(detect(src).is_empty());
+    }
+
+    #[test]
+    fn callee_with_doall_loops_passes() {
+        let src = "global a[64];
+global b[64];
+fn helper() {
+    for i in 0..64 { b[i] = a[i] * 3; }
+    return 0;
+}
+fn work() {
+    for i in 0..64 { a[i] = i; }
+    helper();
+    return 0;
+}
+fn main() { work(); }";
+        let r = detect(src);
+        // `work` qualifies; `helper` may independently qualify as its own
+        // hotspot, which the paper would also report.
+        let work = r.iter().find(|g| g.name == "work").expect("work is a candidate");
+        assert_eq!(work.loops.len(), 2);
+    }
+
+    #[test]
+    fn loopless_function_is_not_a_candidate() {
+        let src = "fn leaf(x) { return x * 2; }
+fn main() {
+    let s = 0;
+    let i = 0;
+    while i < 100 {
+        s += leaf(i);
+        i += 1;
+    }
+    return s;
+}";
+        assert!(detect(src).is_empty());
+    }
+
+    #[test]
+    fn kmeans_shape_cluster_with_reduction_is_candidate() {
+        // cluster() contains a do-all assignment loop and a reduction loop.
+        let src = "global pts[64];
+global assign[64];
+fn cluster() {
+    let total = 0;
+    for i in 0..64 { assign[i] = pts[i] * 2; }
+    for i in 0..64 { total += assign[i]; }
+    return total;
+}
+fn main() {
+    let r = 0;
+    while r < 3 {
+        cluster();
+        r += 1;
+    }
+}";
+        let r = detect(src);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "cluster");
+    }
+}

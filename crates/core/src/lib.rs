@@ -1,0 +1,72 @@
+//! # parpat-core
+//!
+//! The pattern detectors of *"Automatic Parallel Pattern Detection in the
+//! Algorithm Structure Design Space"* (Huda, Atre, Jannesari, Wolf —
+//! IPPS 2016), implemented over the `parpat` substrate stack
+//! (MiniLang → IR → dependence profiler → PET → CUs/CU graphs):
+//!
+//! - [`pipeline`] — multi-loop pipelines via linear regression over
+//!   cross-loop iteration pairs, with the `(a, b, e)` coefficients of
+//!   Equations 1–2 and the Table II interpretation;
+//! - [`fusion`] — the do-all + `a=1, b=0, e=1` fusion special case;
+//! - [`tasks`] — Algorithm 1: fork/worker/barrier classification of CU
+//!   graphs, barrier-parallelism checks, and the estimated-speedup metric;
+//! - [`geodecomp`] — Algorithm 2: function-level geometric decomposition;
+//! - [`reduction`] — Algorithm 3: dynamic single-line read-modify-write
+//!   reduction detection (cross-function reductions included);
+//! - [`doall`] — do-all/reduction/sequential loop classification;
+//! - [`support`] — Table I's pattern → supporting-structure mapping;
+//! - [`mod@analyze`] — the one-call driver running everything.
+//!
+//! Beyond the paper, three of its named future-work items are implemented:
+//! [`operator`] (reduction-operator inference), [`transform`] (peeling and
+//! fission suggestions), and [`ranking`] (choosing among multiple detected
+//! patterns with speedup/effort metrics).
+//!
+//! ```
+//! use parpat_core::{analyze_source, AnalysisConfig};
+//!
+//! let analysis = analyze_source(
+//!     "global a[64];
+//!      global b[64];
+//!      fn main() {
+//!          for i in 0..64 { a[i] = i * 2; }
+//!          for j in 0..64 { b[j] = a[j] + 1; }
+//!      }",
+//!     &AnalysisConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(analysis.pipelines.len(), 1);   // a perfect multi-loop pipeline
+//! assert_eq!(analysis.fusions.len(), 1);     // … which is also fusable
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod doall;
+pub mod fusion;
+pub mod geodecomp;
+pub mod operator;
+pub mod pipeline;
+pub mod ranking;
+pub mod reduction;
+pub mod regress;
+pub mod support;
+pub mod tasks;
+pub mod transform;
+
+pub use analyze::{analyze, analyze_source, Analysis, AnalysisConfig, AnalyzeError};
+pub use doall::{classify_loops, is_doall, LoopClass};
+pub use fusion::{detect_fusion, FusionConfig, FusionReport};
+pub use geodecomp::{detect_geometric_decomposition, GdConfig, GdReport};
+pub use pipeline::{
+    detect_pipelines, efficiency_factor, interpret_coefficients, pipeline_chains, PipelineConfig,
+    PipelineReport,
+};
+pub use reduction::{detect_reductions, ReductionReport};
+pub use regress::{linear_regression, regression_of_pairs, Regression};
+pub use support::{organization, render_table1, support_structure, AlgorithmPattern, SupportStructure};
+pub use operator::{infer_all, infer_operator, ReductionOp};
+pub use ranking::{rank_patterns, render_ranking, Effort, RankConfig, RankedPattern};
+pub use tasks::{detect_task_parallelism, CuMark, TaskReport};
+pub use transform::{suggest_fission, suggest_peeling, FissionReport, PeelReport, PeelSite};

@@ -1,0 +1,312 @@
+//! Reduction-operator inference — one of the paper's named future-work
+//! items (Section VI: "we want to improve our reduction detection so we can
+//! automatically infer the type of reduction operator").
+//!
+//! Given a reduction candidate (loop, variable, source line), this walks
+//! the IR statements at that line and classifies the update expression:
+//! `x = x + e` → sum, `x = x * e` → product, `x = min(x, e)` → min, etc.
+//! The paper leaves this to the programmer; here the programmer only has to
+//! confirm the (already-identified) operator is acceptable.
+
+use parpat_minilang::ast::BinOp;
+use parpat_ir::ir::{Builtin, IrExpr, IrStmt};
+use parpat_ir::IrProgram;
+
+use crate::reduction::ReductionReport;
+
+/// The inferred reduction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionOp {
+    /// `x += e` / `x = x + e` (also `x -= e`, a sum of negated terms).
+    Sum,
+    /// `x *= e` / `x = x * e`.
+    Product,
+    /// `x = min(x, e)`.
+    Min,
+    /// `x = max(x, e)`.
+    Max,
+}
+
+impl ReductionOp {
+    /// Whether the operation is associative and commutative over the reals
+    /// (floating-point reassociation caveats apply, as they do to every
+    /// parallel reduction).
+    pub fn is_parallelizable(self) -> bool {
+        // All four inferred operators are; non-associative updates return
+        // `None` from inference instead.
+        true
+    }
+
+    /// The identity element for the operator.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReductionOp::Sum => 0.0,
+            ReductionOp::Product => 1.0,
+            ReductionOp::Min => f64::INFINITY,
+            ReductionOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Apply the operator.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReductionOp::Sum => a + b,
+            ReductionOp::Product => a * b,
+            ReductionOp::Min => a.min(b),
+            ReductionOp::Max => a.max(b),
+        }
+    }
+}
+
+impl std::fmt::Display for ReductionOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ReductionOp::Sum => "sum",
+            ReductionOp::Product => "product",
+            ReductionOp::Min => "min",
+            ReductionOp::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Infer the operator of a reduction candidate. Returns `None` when the
+/// update at the reported line is not a recognizable self-accumulation
+/// (e.g. `x = e - x` or an opaque call) — exactly the cases the paper
+/// leaves to the programmer.
+pub fn infer_operator(prog: &IrProgram, report: &ReductionReport) -> Option<ReductionOp> {
+    for f in &prog.functions {
+        if let Some(op) = scan_stmts(prog, &f.body, report) {
+            return Some(op);
+        }
+    }
+    None
+}
+
+fn scan_stmts(prog: &IrProgram, stmts: &[IrStmt], report: &ReductionReport) -> Option<ReductionOp> {
+    for s in stmts {
+        match s {
+            IrStmt::StoreLocal { value, inst, .. } | IrStmt::StoreIndex { value, inst, .. } => {
+                let meta = &prog.insts[*inst as usize];
+                if meta.line == report.line
+                    && meta.kind.touched_name() == Some(report.var.as_str())
+                {
+                    if let Some(op) = classify_update(prog, value, &report.var) {
+                        return Some(op);
+                    }
+                }
+            }
+            IrStmt::Loop { body, .. } => {
+                if let Some(op) = scan_stmts(prog, body, report) {
+                    return Some(op);
+                }
+            }
+            IrStmt::If { then_body, else_body, .. } => {
+                if let Some(op) = scan_stmts(prog, then_body, report) {
+                    return Some(op);
+                }
+                if let Some(op) = scan_stmts(prog, else_body, report) {
+                    return Some(op);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Is `e` a load of the variable `var`?
+fn is_self_load(prog: &IrProgram, e: &IrExpr, var: &str) -> bool {
+    match e {
+        IrExpr::LoadLocal { inst, .. } | IrExpr::LoadIndex { inst, .. } => {
+            prog.insts[*inst as usize].kind.touched_name() == Some(var)
+        }
+        _ => false,
+    }
+}
+
+/// Does `e` mention the variable anywhere?
+fn mentions(prog: &IrProgram, e: &IrExpr, var: &str) -> bool {
+    if is_self_load(prog, e, var) {
+        return true;
+    }
+    match e {
+        IrExpr::LoadIndex { indices, .. } => indices.iter().any(|ix| mentions(prog, ix, var)),
+        IrExpr::CallFn { args, .. } | IrExpr::CallBuiltin { args, .. } => {
+            args.iter().any(|a| mentions(prog, a, var))
+        }
+        IrExpr::Unary { operand, .. } => mentions(prog, operand, var),
+        IrExpr::Binary { lhs, rhs, .. } => {
+            mentions(prog, lhs, var) || mentions(prog, rhs, var)
+        }
+        _ => false,
+    }
+}
+
+fn classify_update(prog: &IrProgram, value: &IrExpr, var: &str) -> Option<ReductionOp> {
+    match value {
+        IrExpr::Binary { op, lhs, rhs, .. } => {
+            let self_left = is_self_load(prog, lhs, var) && !mentions(prog, rhs, var);
+            let self_right = is_self_load(prog, rhs, var) && !mentions(prog, lhs, var);
+            match op {
+                // x + e and e + x are both sums.
+                BinOp::Add if self_left || self_right => Some(ReductionOp::Sum),
+                // x - e is a sum of negated terms; e - x is NOT associative.
+                BinOp::Sub if self_left => Some(ReductionOp::Sum),
+                BinOp::Mul if self_left || self_right => Some(ReductionOp::Product),
+                _ => None,
+            }
+        }
+        IrExpr::CallBuiltin { builtin, args, .. } => {
+            let one_is_self = args.len() == 2
+                && (is_self_load(prog, &args[0], var) && !mentions(prog, &args[1], var)
+                    || is_self_load(prog, &args[1], var) && !mentions(prog, &args[0], var));
+            match builtin {
+                Builtin::Min if one_is_self => Some(ReductionOp::Min),
+                Builtin::Max if one_is_self => Some(ReductionOp::Max),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Convenience: infer operators for every reduction of an analysis,
+/// returning `(report index, operator)` pairs for those that resolved.
+pub fn infer_all(
+    prog: &IrProgram,
+    reductions: &[ReductionReport],
+) -> Vec<(usize, ReductionOp)> {
+    reductions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| infer_operator(prog, r).map(|op| (i, op)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze_source, AnalysisConfig};
+
+    fn infer_for(src: &str, var: &str) -> Option<ReductionOp> {
+        let a = analyze_source(src, &AnalysisConfig::default()).unwrap();
+        let r = a
+            .reductions
+            .iter()
+            .find(|r| r.var == var)
+            .unwrap_or_else(|| panic!("no reduction for {var}: {:?}", a.reductions));
+        infer_operator(&a.ir, r)
+    }
+
+    #[test]
+    fn sum_via_compound_assign() {
+        let src = "global a[16];
+fn main() {
+    let s = 0;
+    for i in 0..16 { s += a[i]; }
+    return s;
+}";
+        assert_eq!(infer_for(src, "s"), Some(ReductionOp::Sum));
+    }
+
+    #[test]
+    fn sum_via_explicit_form() {
+        let src = "global a[16];
+fn main() {
+    let s = 0;
+    for i in 0..16 { s = a[i] + s; }
+    return s;
+}";
+        assert_eq!(infer_for(src, "s"), Some(ReductionOp::Sum));
+    }
+
+    #[test]
+    fn subtraction_is_a_sum() {
+        let src = "global a[16];
+fn main() {
+    let s = 100;
+    for i in 0..16 { s -= a[i]; }
+    return s;
+}";
+        assert_eq!(infer_for(src, "s"), Some(ReductionOp::Sum));
+    }
+
+    #[test]
+    fn product() {
+        let src = "global a[16];
+fn main() {
+    let p = 1;
+    for i in 0..16 { p *= a[i] + 1; }
+    return p;
+}";
+        assert_eq!(infer_for(src, "p"), Some(ReductionOp::Product));
+    }
+
+    #[test]
+    fn min_and_max() {
+        let src = "global a[16];
+fn main() {
+    let lo = 9999;
+    let hi = 0 - 9999;
+    for i in 0..16 {
+        lo = min(lo, a[i]);
+        hi = max(hi, a[i]);
+    }
+    return hi - lo;
+}";
+        assert_eq!(infer_for(src, "lo"), Some(ReductionOp::Min));
+        assert_eq!(infer_for(src, "hi"), Some(ReductionOp::Max));
+    }
+
+    #[test]
+    fn array_element_sum() {
+        let src = "global h[1];
+global a[16];
+fn main() {
+    for i in 0..16 { h[0] += a[i]; }
+}";
+        assert_eq!(infer_for(src, "h"), Some(ReductionOp::Sum));
+    }
+
+    #[test]
+    fn non_associative_update_returns_none() {
+        // s = e / s: detected as a same-line read-modify-write, but not an
+        // inferable associative operator.
+        let src = "global a[16];
+fn main() {
+    let s = 1;
+    for i in 0..16 { s = (a[i] + 1) / s; }
+    return s;
+}";
+        let a = analyze_source(src, &AnalysisConfig::default()).unwrap();
+        if let Some(r) = a.reductions.iter().find(|r| r.var == "s") {
+            assert_eq!(infer_operator(&a.ir, r), None);
+        }
+    }
+
+    #[test]
+    fn cross_function_sum_inferred() {
+        // The sum_module shape: the update lives in a callee.
+        let src = "global arr[16];
+global acc[1];
+fn update(v) {
+    acc[0] += v * 2;
+    return 0;
+}
+fn main() {
+    for i in 0..16 { update(arr[i]); }
+}";
+        assert_eq!(infer_for(src, "acc"), Some(ReductionOp::Sum));
+    }
+
+    #[test]
+    fn operator_properties() {
+        assert_eq!(ReductionOp::Sum.identity(), 0.0);
+        assert_eq!(ReductionOp::Product.identity(), 1.0);
+        assert_eq!(ReductionOp::Min.apply(3.0, 1.0), 1.0);
+        assert_eq!(ReductionOp::Max.apply(3.0, 1.0), 3.0);
+        assert!(ReductionOp::Sum.is_parallelizable());
+        assert_eq!(ReductionOp::Sum.to_string(), "sum");
+    }
+}

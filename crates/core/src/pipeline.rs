@@ -1,0 +1,430 @@
+//! Multi-loop pipeline detection (Section III-A) — the paper's headline
+//! contribution.
+//!
+//! A multi-loop pipeline is a pipeline hidden across two (or more) loops:
+//! iterations of a later loop depend on iterations of an earlier one. The
+//! detector:
+//!
+//! 1. gathers dependent hotspot loop pairs `(x, y)` from the PET and the
+//!    profiler's cross-loop dependences;
+//! 2. fits the filtered iteration pairs `(i_x, i_y)` — last write iteration
+//!    in `x`, first read iteration in `y`, per memory address — with linear
+//!    regression `i_y = a·i_x + b` (Equation 1);
+//! 3. computes the *efficiency factor* `e` (Equation 2) as the ratio of the
+//!    area under the regression line to the area under the perfect-pipeline
+//!    line. Axes are normalized by the trip counts of the two loops
+//!    (`t = i_x / N_x`, `u = i_y / N_y`) and the line is clamped to the unit
+//!    square; the paper's own Table IV values (e.g. fluidanimate's
+//!    `a = 0.05, e = 0.97`) are only consistent with this normalized form.
+//!
+//! The coefficient semantics of Table II are provided by
+//! [`interpret_coefficients`].
+
+use parpat_ir::{IrProgram, LoopId};
+use parpat_pet::Pet;
+use parpat_profile::ProfileData;
+
+use crate::doall::is_doall;
+use crate::regress::regression_of_pairs;
+
+/// A detected multi-loop pipeline between two loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// The earlier (producer) loop.
+    pub x: LoopId,
+    /// The later (consumer) loop.
+    pub y: LoopId,
+    /// Regression slope (Equation 1).
+    pub a: f64,
+    /// Regression intercept (Equation 1).
+    pub b: f64,
+    /// Efficiency factor (Equation 2), normalized as described above.
+    pub e: f64,
+    /// Fit quality of the regression.
+    pub r2: f64,
+    /// Number of filtered iteration pairs the fit used.
+    pub n_pairs: usize,
+    /// Trip count of loop `x` (largest single execution).
+    pub nx: u64,
+    /// Trip count of loop `y`.
+    pub ny: u64,
+    /// Whether loop `x` is itself do-all (parallelizable stage).
+    pub x_doall: bool,
+    /// Whether loop `y` is do-all.
+    pub y_doall: bool,
+    /// Source line of loop `x`.
+    pub x_line: u32,
+    /// Source line of loop `y`.
+    pub y_line: u32,
+}
+
+impl PipelineReport {
+    /// Human-readable reading of `a` and `b` per Table II of the paper.
+    pub fn interpretation(&self) -> String {
+        interpret_coefficients(self.a, self.b)
+    }
+}
+
+/// Configuration for pipeline detection.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Minimum share of total executed instructions for a loop to count as
+    /// a hotspot (pairs where either loop is colder are skipped).
+    pub hotspot_threshold: f64,
+    /// Minimum number of iteration pairs needed for a meaningful fit.
+    pub min_pairs: usize,
+    /// Only pair loops defined in the same function. Every multi-loop
+    /// pipeline in the paper relates loops of one kernel function;
+    /// cross-function pairs (e.g. an init loop feeding a kernel loop) are
+    /// rarely actionable as pipelines.
+    pub same_function_only: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { hotspot_threshold: 0.1, min_pairs: 3, same_function_only: true }
+    }
+}
+
+/// Detect multi-loop pipelines between dependent hotspot loop pairs.
+pub fn detect_pipelines(
+    prog: &IrProgram,
+    profile: &ProfileData,
+    pet: &Pet,
+    cfg: &PipelineConfig,
+) -> Vec<PipelineReport> {
+    let mut out = Vec::new();
+    for (x, y) in profile.dependent_loop_pairs() {
+        if cfg.same_function_only
+            && prog.loops[x as usize].func != prog.loops[y as usize].func
+        {
+            continue;
+        }
+        if !is_hotspot_loop(pet, x, cfg.hotspot_threshold)
+            || !is_hotspot_loop(pet, y, cfg.hotspot_threshold)
+        {
+            continue;
+        }
+        let pairs = profile.iteration_pairs(x, y);
+        if pairs.len() < cfg.min_pairs {
+            continue;
+        }
+        let Some(reg) = regression_of_pairs(&pairs) else {
+            continue;
+        };
+        let nx = profile.loop_stats.get(&x).map(|s| s.max_iterations).unwrap_or(0);
+        let ny = profile.loop_stats.get(&y).map(|s| s.max_iterations).unwrap_or(0);
+        let e = efficiency_factor(reg.a, reg.b, nx, ny);
+        out.push(PipelineReport {
+            x,
+            y,
+            a: reg.a,
+            b: reg.b,
+            e,
+            r2: reg.r2,
+            n_pairs: reg.n,
+            nx,
+            ny,
+            x_doall: is_doall(profile, x),
+            y_doall: is_doall(profile, y),
+            x_line: prog.loops[x as usize].line,
+            y_line: prog.loops[y as usize].line,
+        });
+    }
+    out
+}
+
+fn is_hotspot_loop(pet: &Pet, l: LoopId, threshold: f64) -> bool {
+    pet.loop_node(l).map(|n| pet.inst_share(n) >= threshold).unwrap_or(false)
+}
+
+/// The efficiency factor `e` (Equation 2): area under the (normalized,
+/// clamped) regression line over the area under the perfect-pipeline line
+/// `u = t`, whose area is 1/2.
+///
+/// With `t = i_x / N_x` and `u = i_y / N_y`, the regression line becomes
+/// `u(t) = â·t + b̂` with `â = a·N_x/N_y`, `b̂ = b/N_y`; `u` is clamped to
+/// `[0, 1]` before integration (iteration numbers cannot leave the loops'
+/// ranges).
+pub fn efficiency_factor(a: f64, b: f64, nx: u64, ny: u64) -> f64 {
+    if nx == 0 || ny == 0 {
+        return 0.0;
+    }
+    let a_hat = a * nx as f64 / ny as f64;
+    let b_hat = b / ny as f64;
+    // Integrate max(0, min(1, â t + b̂)) over t ∈ [0, 1]; the integrand is
+    // piecewise linear, and 4096 midpoint samples keep the error < 1e-4
+    // while staying robust for any sign of â.
+    const STEPS: usize = 4096;
+    let mut area = 0.0;
+    for i in 0..STEPS {
+        let t = (i as f64 + 0.5) / STEPS as f64;
+        area += (a_hat * t + b_hat).clamp(0.0, 1.0);
+    }
+    area /= STEPS as f64;
+    area / 0.5
+}
+
+/// Table II of the paper: what the values of `a` and `b` mean for the
+/// implementation of a multi-loop pipeline.
+pub fn interpret_coefficients(a: f64, b: f64) -> String {
+    const EPS: f64 = 1e-6;
+    let a_part = if (a - 1.0).abs() < EPS {
+        "one iteration of loop y depends exactly on one iteration of loop x".to_owned()
+    } else if a < 1.0 && a > 0.0 {
+        format!(
+            "1 iteration of loop y depends on {:.1} iterations of loop x",
+            1.0 / a
+        )
+    } else if a > 1.0 {
+        format!(
+            "{a:.1} iterations of loop y depend on 1 iteration of loop x, so {a:.1} iterations of loop y can run after 1 iteration of loop x"
+        )
+    } else {
+        "the loops' iterations are not positively related (no pipeline order)".to_owned()
+    };
+    let b_part = if b.abs() < EPS {
+        "all iterations align from the start".to_owned()
+    } else if b < 0.0 {
+        format!(
+            "no iteration of loop y depends on the first {:.0} iteration(s) of loop x",
+            -b
+        )
+    } else {
+        format!(
+            "the first {b:.0} iteration(s) of loop y do not depend on any iteration of loop x"
+        )
+    };
+    format!("{a_part}; {b_part}")
+}
+
+/// Assemble pairwise pipeline reports into loop chains: if `x→y` and `y→z`
+/// were both reported, the chain `[x, y, z]` is a candidate n-stage
+/// pipeline (Section III-A: "If there is a chain dependence of n loops, it
+/// gives n pairs of relationships").
+pub fn pipeline_chains(reports: &[PipelineReport]) -> Vec<Vec<LoopId>> {
+    use std::collections::{HashMap, HashSet};
+    let mut next: HashMap<LoopId, Vec<LoopId>> = HashMap::new();
+    let mut has_pred: HashSet<LoopId> = HashSet::new();
+    for r in reports {
+        next.entry(r.x).or_default().push(r.y);
+        has_pred.insert(r.y);
+    }
+    let mut chains = Vec::new();
+    let mut starts: Vec<LoopId> = reports
+        .iter()
+        .map(|r| r.x)
+        .filter(|x| !has_pred.contains(x))
+        .collect();
+    starts.sort_unstable();
+    starts.dedup();
+    for s in starts {
+        // Follow the (first) successor chain greedily.
+        let mut chain = vec![s];
+        let mut cur = s;
+        let mut guard = 0;
+        while let Some(nexts) = next.get(&cur) {
+            let Some(&n) = nexts.first() else { break };
+            if chain.contains(&n) || guard > 64 {
+                break;
+            }
+            chain.push(n);
+            cur = n;
+            guard += 1;
+        }
+        if chain.len() >= 2 {
+            chains.push(chain);
+        }
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_ir::compile;
+    use parpat_pet::build_pet;
+    use parpat_profile::profile;
+
+    fn detect(src: &str, threshold: f64) -> Vec<PipelineReport> {
+        let ir = compile(src).unwrap();
+        let data = profile(&ir).unwrap();
+        let pet = build_pet(&ir).unwrap();
+        detect_pipelines(
+            &ir,
+            &data,
+            &pet,
+            &PipelineConfig { hotspot_threshold: threshold, min_pairs: 3, same_function_only: true },
+        )
+    }
+
+    #[test]
+    fn perfect_pipeline_listing_1() {
+        // The paper's Listing 1.
+        let src = "global a[64];
+global b[64];
+fn main() {
+    for i in 0..64 { a[i] = i * 2; }
+    for j in 0..64 { b[j] = a[j] + 1; }
+}";
+        let reports = detect(src, 0.05);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert!((r.a - 1.0).abs() < 1e-9);
+        assert!(r.b.abs() < 1e-9);
+        assert!((r.e - 1.0).abs() < 0.01, "e = {}", r.e);
+        assert!(r.x_doall && r.y_doall);
+    }
+
+    #[test]
+    fn reg_detect_shape_has_negative_b() {
+        // Listing 2's shape: the second loop starts at 1 and reads what
+        // iteration i-1 of the first loop wrote → i_y = i_x + ... with the
+        // first producer iteration unused (b = -1 when x indexes from 0).
+        let src = "global mean[64];
+global path[64];
+fn main() {
+    for i in 0..63 { mean[i] = i; }
+    for i in 1..63 { path[i] = path[i - 1] + mean[i]; }
+}";
+        let reports = detect(src, 0.05);
+        let r = reports.iter().find(|r| r.x == 0 && r.y == 1).expect("pipeline 0→1");
+        assert!((r.a - 1.0).abs() < 1e-9, "a = {}", r.a);
+        assert!((r.b - (-1.0)).abs() < 1e-9, "b = {}", r.b);
+        assert!(r.e > 0.9 && r.e < 1.0, "e = {}", r.e);
+        // The consumer carries a dependence (path[i-1]) → not do-all.
+        assert!(!r.y_doall);
+        assert!(r.x_doall);
+    }
+
+    #[test]
+    fn coarse_pipeline_small_a() {
+        // One iteration of y consumes a block of 8 iterations of x
+        // (fluidanimate-like behaviour: a << 1, e ≈ 1 after normalization).
+        let src = "global a[64];
+global b[8];
+fn main() {
+    for i in 0..64 { a[i] = i; }
+    for j in 0..8 {
+        let s = 0;
+        for k in 0..8 { s += a[j * 8 + k]; }
+        b[j] = s;
+    }
+}";
+        let reports = detect(src, 0.05);
+        let r = reports.iter().find(|r| r.y != r.x && r.nx == 64).expect("outer pair");
+        // last write of block j is iteration 8j+7 → i_y ≈ i_x / 8; OLS over
+        // the staircase gives a slope slightly below 1/8.
+        assert!((r.a - 0.125).abs() < 0.01, "a = {}", r.a);
+        assert!(r.e > 0.85, "e = {}", r.e);
+    }
+
+    #[test]
+    fn cold_loops_are_skipped() {
+        let src = "global a[4];
+global b[4];
+global big[512];
+fn main() {
+    for i in 0..4 { a[i] = i; }
+    for j in 0..4 { b[j] = a[j]; }
+    for k in 0..512 { big[k] = big[k % 7] + 1; }
+}";
+        // With a 30% hotspot bar, the tiny a→b pair is not reported.
+        let reports = detect(src, 0.3);
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn efficiency_factor_perfect_is_one() {
+        assert!((efficiency_factor(1.0, 0.0, 100, 100) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn efficiency_factor_zero_slope_without_offset_is_zero() {
+        // y never starts until everything is done: degenerate pipeline.
+        assert!(efficiency_factor(0.0, 0.0, 100, 100) < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_factor_above_one_means_loops_nearly_parallel() {
+        // b > 0: y can run ahead of x.
+        let e = efficiency_factor(1.0, 50.0, 100, 100);
+        assert!(e > 1.0);
+        assert!(e <= 2.0);
+    }
+
+    #[test]
+    fn efficiency_factor_normalizes_trip_counts() {
+        // a = 0.05 with Nx = 20·Ny is a *perfect* pipeline after
+        // normalization (the fluidanimate case).
+        let e = efficiency_factor(0.05, 0.0, 2000, 100);
+        assert!((e - 1.0).abs() < 1e-3, "e = {e}");
+    }
+
+    #[test]
+    fn efficiency_factor_handles_empty_loops() {
+        assert_eq!(efficiency_factor(1.0, 0.0, 0, 10), 0.0);
+    }
+
+    #[test]
+    fn interpretation_matches_table_2() {
+        assert!(interpret_coefficients(1.0, 0.0).contains("exactly on one iteration"));
+        assert!(interpret_coefficients(0.05, 0.0).contains("20.0 iterations of loop x"));
+        assert!(interpret_coefficients(4.0, 0.0).contains("4.0 iterations of loop y"));
+        assert!(interpret_coefficients(1.0, -3.0).contains("first 3 iteration(s) of loop x"));
+        assert!(interpret_coefficients(1.0, 5.0).contains("first 5 iteration(s) of loop y"));
+    }
+
+    #[test]
+    fn cross_function_pairs_are_skipped_by_default() {
+        let src = "global a[64];
+global b[64];
+fn produce() {
+    for i in 0..64 { a[i] = i; }
+    return 0;
+}
+fn main() {
+    produce();
+    for j in 0..64 { b[j] = a[j]; }
+}";
+        assert!(detect(src, 0.05).is_empty());
+    }
+
+    #[test]
+    fn chains_assemble_from_pairs() {
+        let mk = |x, y| PipelineReport {
+            x,
+            y,
+            a: 1.0,
+            b: 0.0,
+            e: 1.0,
+            r2: 1.0,
+            n_pairs: 10,
+            nx: 10,
+            ny: 10,
+            x_doall: true,
+            y_doall: true,
+            x_line: 1,
+            y_line: 2,
+        };
+        let chains = pipeline_chains(&[mk(0, 1), mk(1, 2)]);
+        assert_eq!(chains, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn three_loop_chain_detected_pairwise() {
+        let src = "global a[32];
+global b[32];
+global c[32];
+fn main() {
+    for i in 0..32 { a[i] = i; }
+    for j in 0..32 { b[j] = a[j] * 2; }
+    for k in 0..32 { c[k] = b[k] + 1; }
+}";
+        let reports = detect(src, 0.05);
+        assert!(reports.iter().any(|r| r.x == 0 && r.y == 1));
+        assert!(reports.iter().any(|r| r.x == 1 && r.y == 2));
+        let chains = pipeline_chains(&reports);
+        assert!(chains.iter().any(|c| c == &vec![0, 1, 2]), "{chains:?}");
+    }
+}

@@ -1,0 +1,328 @@
+//! Pattern ranking — the paper's future-work metric (Section VI: "We aim to
+//! define metrics that help choose the best pattern among multiple detected
+//! parallel patterns. Such metrics may also quantify the human effort
+//! needed for code transformation").
+//!
+//! Each detected pattern instance gets:
+//!
+//! - an **expected speedup** from an Amdahl-style model: the pattern's
+//!   dynamic coverage (share of all executed instructions) combined with
+//!   its intrinsic parallel bound at a reference worker count — trip count
+//!   for do-all shapes, the efficiency-capped two-stage bound for
+//!   pipelines, the critical-path bound for task graphs;
+//! - a **transformation effort** grade reflecting how much code the
+//!   programmer has to touch (privatization and operator checks for
+//!   reductions, chunking decisions for geometric decomposition,
+//!   synchronization for pipelines and task graphs);
+//! - a **score** = expected speedup discounted by effort, used to order the
+//!   recommendations.
+
+use crate::analyze::Analysis;
+use crate::support::AlgorithmPattern;
+
+/// How much code the programmer must touch to apply a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Effort {
+    /// Annotate one loop (do-all-like: fusion, reduction).
+    Low,
+    /// Restructure data flow or chunking (geometric decomposition,
+    /// straightforward pipelines).
+    Medium,
+    /// Introduce explicit synchronization (task graphs, pipelines with
+    /// non-trivial release rules).
+    High,
+}
+
+impl Effort {
+    /// Discount factor applied to the expected speedup.
+    pub fn discount(self) -> f64 {
+        match self {
+            Effort::Low => 1.0,
+            Effort::Medium => 0.85,
+            Effort::High => 0.7,
+        }
+    }
+}
+
+/// One ranked recommendation.
+#[derive(Debug, Clone)]
+pub struct RankedPattern {
+    /// Which pattern family.
+    pub pattern: AlgorithmPattern,
+    /// Human-readable target ("loops at lines 4 and 7", "function f()").
+    pub target: String,
+    /// Share of all executed instructions the pattern covers (0..=1).
+    pub coverage: f64,
+    /// Expected whole-program speedup at the reference worker count.
+    pub expected_speedup: f64,
+    /// Transformation effort grade.
+    pub effort: Effort,
+    /// Ranking score (expected speedup × effort discount).
+    pub score: f64,
+}
+
+/// Configuration for ranking.
+#[derive(Debug, Clone, Copy)]
+pub struct RankConfig {
+    /// Reference worker count for the Amdahl model.
+    pub workers: f64,
+}
+
+impl Default for RankConfig {
+    fn default() -> Self {
+        RankConfig { workers: 8.0 }
+    }
+}
+
+/// Amdahl: whole-program speedup when a fraction `coverage` of the work
+/// runs `local` times faster.
+fn amdahl(coverage: f64, local: f64) -> f64 {
+    let local = local.max(1.0);
+    1.0 / ((1.0 - coverage) + coverage / local)
+}
+
+/// Rank every detected pattern instance of an analysis, best first.
+pub fn rank_patterns(analysis: &Analysis, cfg: &RankConfig) -> Vec<RankedPattern> {
+    let mut out = Vec::new();
+    let total = analysis.profile.total_insts as f64;
+    let loop_share = |l: parpat_ir::LoopId| -> f64 {
+        analysis
+            .pet
+            .loop_node(l)
+            .map(|n| analysis.pet.inst_share(n))
+            .unwrap_or(0.0)
+    };
+
+    // Fusions (rank these instead of their underlying pipelines).
+    for f in &analysis.fusions {
+        let coverage = loop_share(f.x) + loop_share(f.y);
+        let n = analysis
+            .profile
+            .loop_stats
+            .get(&f.x)
+            .map(|s| s.max_iterations as f64)
+            .unwrap_or(1.0);
+        let local = cfg.workers.min(n);
+        out.push(RankedPattern {
+            pattern: AlgorithmPattern::Fusion,
+            target: format!("loops at lines {} and {}", f.lines.0, f.lines.1),
+            coverage,
+            expected_speedup: amdahl(coverage, local),
+            effort: Effort::Low,
+            score: 0.0,
+        });
+    }
+
+    // Pipelines not already covered by a fusion.
+    for p in &analysis.pipelines {
+        if analysis.fusions.iter().any(|f| f.x == p.x && f.y == p.y) {
+            continue;
+        }
+        let coverage = loop_share(p.x) + loop_share(p.y);
+        // Two-stage bound: total work over the heavier stage, discounted by
+        // the efficiency factor; a do-all producer adds worker scaling.
+        let cx = loop_share(p.x).max(1e-12);
+        let cy = loop_share(p.y).max(1e-12);
+        let stage_bound = (cx + cy) / cx.max(cy);
+        let producer_boost = if p.x_doall { cfg.workers.min(p.nx as f64) } else { 1.0 };
+        let local = (stage_bound * p.e.min(1.0)).max(1.0)
+            * if p.y_doall { cfg.workers } else { 1.0 }.max(1.0)
+            * (producer_boost / producer_boost.max(1.0)).max(1.0); // keep ≥ 1
+        let effort = if (p.a - 1.0).abs() < 1e-6 && p.b.abs() < 1e-6 {
+            Effort::Medium
+        } else {
+            Effort::High
+        };
+        out.push(RankedPattern {
+            pattern: AlgorithmPattern::MultiLoopPipeline,
+            target: format!("loops at lines {} and {}", p.x_line, p.y_line),
+            coverage,
+            expected_speedup: amdahl(coverage, local),
+            effort,
+            score: 0.0,
+        });
+    }
+
+    // Geometric decomposition.
+    for g in &analysis.geodecomp {
+        let coverage = analysis
+            .pet
+            .nodes
+            .iter()
+            .filter(|n| n.kind == parpat_pet::RegionKind::Function(g.func))
+            .map(|n| n.inclusive_insts as f64)
+            .sum::<f64>()
+            / total.max(1.0);
+        out.push(RankedPattern {
+            pattern: AlgorithmPattern::GeometricDecomposition,
+            target: format!("function {}()", g.name),
+            coverage: coverage.min(1.0),
+            expected_speedup: amdahl(coverage.min(1.0), cfg.workers),
+            effort: Effort::Medium,
+            score: 0.0,
+        });
+    }
+
+    // Reductions (one entry per loop).
+    let mut reduction_loops: Vec<parpat_ir::LoopId> =
+        analysis.reductions.iter().map(|r| r.l).collect();
+    reduction_loops.sort_unstable();
+    reduction_loops.dedup();
+    for l in reduction_loops {
+        let coverage = loop_share(l);
+        let n = analysis
+            .profile
+            .loop_stats
+            .get(&l)
+            .map(|s| s.max_iterations as f64)
+            .unwrap_or(1.0);
+        out.push(RankedPattern {
+            pattern: AlgorithmPattern::Reduction,
+            target: format!("loop at line {}", analysis.ir.loops[l as usize].line),
+            coverage,
+            expected_speedup: amdahl(coverage, cfg.workers.min(n)),
+            effort: Effort::Low,
+            score: 0.0,
+        });
+    }
+
+    // Task parallelism per analyzed region.
+    for (t, g) in analysis.tasks.iter().zip(&analysis.graphs) {
+        if t.estimated_speedup <= 1.05 {
+            continue;
+        }
+        let coverage = (t.total_insts / total.max(1.0)).min(1.0);
+        let target = match g.region {
+            parpat_cu::RegionId::FuncBody(f) => {
+                format!("function {}()", analysis.ir.functions[f].name)
+            }
+            parpat_cu::RegionId::Loop(l) => {
+                format!("loop at line {}", analysis.ir.loops[l as usize].line)
+            }
+        };
+        out.push(RankedPattern {
+            pattern: AlgorithmPattern::TaskParallelism,
+            target,
+            coverage,
+            expected_speedup: amdahl(coverage, t.estimated_speedup),
+            effort: Effort::High,
+            score: 0.0,
+        });
+    }
+
+    for r in &mut out {
+        r.score = r.expected_speedup * r.effort.discount();
+    }
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    out
+}
+
+/// Render a ranking as a numbered list.
+pub fn render_ranking(ranked: &[RankedPattern]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (i, r) in ranked.iter().enumerate() {
+        writeln!(
+            out,
+            "{}. {} on {} — coverage {:.0}%, expected {:.2}x, effort {:?}, score {:.2}",
+            i + 1,
+            r.pattern,
+            r.target,
+            100.0 * r.coverage,
+            r.expected_speedup,
+            r.effort,
+            r.score
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze_source, AnalysisConfig};
+
+    fn rank(src: &str) -> Vec<RankedPattern> {
+        let a = analyze_source(src, &AnalysisConfig::default()).unwrap();
+        rank_patterns(&a, &RankConfig::default())
+    }
+
+    #[test]
+    fn fusion_outranks_its_own_pipeline() {
+        let ranked = rank(
+            "global a[128];
+global b[128];
+fn main() {
+    for i in 0..128 { a[i] = i * 2; }
+    for j in 0..128 { b[j] = a[j] + 1; }
+}",
+        );
+        assert!(!ranked.is_empty());
+        assert_eq!(ranked[0].pattern, AlgorithmPattern::Fusion);
+        // The underlying pipeline is not listed separately.
+        assert!(ranked.iter().all(|r| r.pattern != AlgorithmPattern::MultiLoopPipeline));
+    }
+
+    #[test]
+    fn high_coverage_reduction_beats_low_coverage_tasks() {
+        // A dominant reduction loop plus a tiny independent task pair.
+        let ranked = rank(
+            "global a[512];
+global p[1];
+global q[1];
+fn main() {
+    let s = 0;
+    for i in 0..512 { s += a[i] * a[i % 7]; }
+    p[0] = 1;
+    q[0] = 2;
+    return s;
+}",
+        );
+        assert_eq!(ranked[0].pattern, AlgorithmPattern::Reduction);
+        assert!(ranked[0].coverage > 0.5);
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let ranked = rank(
+            "global pts[128];
+global centers[4];
+fn cluster() {
+    for p in 0..128 { centers[p % 4] += pts[p]; }
+    return 0;
+}
+fn main() {
+    let r = 0;
+    while r < 3 { cluster(); r += 1; }
+}",
+        );
+        assert!(!ranked.is_empty());
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn amdahl_caps_low_coverage() {
+        // 50% coverage at infinite local speedup caps at 2x.
+        assert!((amdahl(0.5, 1e9) - 2.0).abs() < 1e-3);
+        assert!((amdahl(1.0, 8.0) - 8.0).abs() < 1e-9);
+        assert_eq!(amdahl(0.0, 8.0), 1.0);
+    }
+
+    #[test]
+    fn render_is_numbered() {
+        let ranked = rank(
+            "global a[128];
+fn main() {
+    let s = 0;
+    for i in 0..128 { s += a[i]; }
+    return s;
+}",
+        );
+        let text = render_ranking(&ranked);
+        assert!(text.starts_with("1. "));
+        assert!(text.contains("reduction"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Ordinary least-squares linear regression.
+//!
+//! Section III-A of the paper estimates the relationship between dependent
+//! iteration numbers of two loops with linear regression (`Y = aX + b`,
+//! Equation 1). This module implements plain OLS with an R² quality measure.
+
+/// Result of fitting `y = a·x + b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regression {
+    /// Slope.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+    /// Coefficient of determination in `[0, 1]` (1 for an exact fit).
+    pub r2: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+/// Fit `y = a·x + b` over the given points.
+///
+/// Returns `None` when fewer than two points are given or all `x` values
+/// coincide (the slope is undefined).
+pub fn linear_regression(points: &[(f64, f64)]) -> Option<Regression> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let a = sxy / sxx;
+    let b = mean_y - a * mean_x;
+    let r2 = if syy == 0.0 {
+        // All y identical: a horizontal line fits exactly.
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(Regression { a, b, r2, n })
+}
+
+/// Fit integer iteration pairs (the profiler's native format).
+pub fn regression_of_pairs(pairs: &[(u64, u64)]) -> Option<Regression> {
+    let pts: Vec<(f64, f64)> = pairs.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+    linear_regression(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn perfect_identity_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64)).collect();
+        let r = linear_regression(&pts).unwrap();
+        assert!(close(r.a, 1.0));
+        assert!(close(r.b, 0.0));
+        assert!(close(r.r2, 1.0));
+    }
+
+    #[test]
+    fn shifted_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64 - 1.0)).collect();
+        let r = linear_regression(&pts).unwrap();
+        assert!(close(r.a, 1.0));
+        assert!(close(r.b, -1.0));
+    }
+
+    #[test]
+    fn scaled_line() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 0.05 * i as f64 - 3.5)).collect();
+        let r = linear_regression(&pts).unwrap();
+        assert!(close(r.a, 0.05));
+        assert!(close(r.b, -3.5));
+        assert!(close(r.r2, 1.0));
+    }
+
+    #[test]
+    fn noisy_data_reduces_r2() {
+        let pts = vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 4.0), (4.0, 3.0)];
+        let r = linear_regression(&pts).unwrap();
+        assert!(r.r2 < 1.0);
+        assert!(r.r2 > 0.0);
+        assert!(r.a > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(linear_regression(&[]).is_none());
+        assert!(linear_regression(&[(1.0, 1.0)]).is_none());
+        assert!(linear_regression(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn horizontal_line_has_r2_one() {
+        let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 7.0)).collect();
+        let r = linear_regression(&pts).unwrap();
+        assert!(close(r.a, 0.0));
+        assert!(close(r.b, 7.0));
+        assert!(close(r.r2, 1.0));
+    }
+
+    #[test]
+    fn integer_pair_helper_matches() {
+        let pairs: Vec<(u64, u64)> = (0..8).map(|i| (i, i)).collect();
+        let r = regression_of_pairs(&pairs).unwrap();
+        assert!(close(r.a, 1.0));
+        assert_eq!(r.n, 8);
+    }
+}

@@ -1,0 +1,149 @@
+//! Table I of the paper: the mapping from algorithm-structure patterns to
+//! their organizing principle and best supporting structure.
+
+use std::fmt;
+
+/// The algorithm-structure design-space patterns this tool detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmPattern {
+    /// A collection of concurrent independent tasks.
+    TaskParallelism,
+    /// SPMD over independently-processed data chunks.
+    GeometricDecomposition,
+    /// Associative combination of elements into a scalar.
+    Reduction,
+    /// A pipeline hidden across multiple loops.
+    MultiLoopPipeline,
+    /// The fusion special case of the multi-loop pipeline.
+    Fusion,
+}
+
+/// How a pattern organizes concurrency (Table I's "Type" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Organization {
+    /// Organized by task.
+    ByTask,
+    /// Organized by data decomposition.
+    ByData,
+    /// Organized by flow of data.
+    ByFlowOfData,
+}
+
+/// The supporting structure recommended for a pattern (Table I's bottom row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupportStructure {
+    /// Master/worker task pool.
+    MasterWorker,
+    /// Single program, multiple data.
+    Spmd,
+}
+
+impl fmt::Display for AlgorithmPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AlgorithmPattern::TaskParallelism => "task parallelism",
+            AlgorithmPattern::GeometricDecomposition => "geometric decomposition",
+            AlgorithmPattern::Reduction => "reduction",
+            AlgorithmPattern::MultiLoopPipeline => "multi-loop pipeline",
+            AlgorithmPattern::Fusion => "fusion",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for SupportStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupportStructure::MasterWorker => f.write_str("master/worker"),
+            SupportStructure::Spmd => f.write_str("SPMD"),
+        }
+    }
+}
+
+/// The organizing principle of each pattern (Table I, "Type").
+pub fn organization(p: AlgorithmPattern) -> Organization {
+    match p {
+        AlgorithmPattern::TaskParallelism => Organization::ByTask,
+        AlgorithmPattern::GeometricDecomposition
+        | AlgorithmPattern::Reduction
+        | AlgorithmPattern::Fusion => Organization::ByData,
+        AlgorithmPattern::MultiLoopPipeline => Organization::ByFlowOfData,
+    }
+}
+
+/// The best supporting structure for each pattern (Table I, bottom row).
+pub fn support_structure(p: AlgorithmPattern) -> SupportStructure {
+    match p {
+        AlgorithmPattern::TaskParallelism => SupportStructure::MasterWorker,
+        AlgorithmPattern::GeometricDecomposition
+        | AlgorithmPattern::Reduction
+        | AlgorithmPattern::MultiLoopPipeline
+        | AlgorithmPattern::Fusion => SupportStructure::Spmd,
+    }
+}
+
+/// Render Table I as text (used by the `table1` regenerator).
+pub fn render_table1() -> String {
+    let rows = [
+        AlgorithmPattern::TaskParallelism,
+        AlgorithmPattern::GeometricDecomposition,
+        AlgorithmPattern::Reduction,
+        AlgorithmPattern::MultiLoopPipeline,
+    ];
+    let mut out = String::from(
+        "| Pattern | Organization | Supporting structure |\n|---|---|---|\n",
+    );
+    for p in rows {
+        let org = match organization(p) {
+            Organization::ByTask => "task",
+            Organization::ByData => "data",
+            Organization::ByFlowOfData => "flow of data",
+        };
+        out.push_str(&format!("| {p} | {org} | {} |\n", support_structure(p)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_mapping() {
+        assert_eq!(
+            support_structure(AlgorithmPattern::TaskParallelism),
+            SupportStructure::MasterWorker
+        );
+        assert_eq!(
+            support_structure(AlgorithmPattern::GeometricDecomposition),
+            SupportStructure::Spmd
+        );
+        assert_eq!(support_structure(AlgorithmPattern::Reduction), SupportStructure::Spmd);
+        assert_eq!(
+            support_structure(AlgorithmPattern::MultiLoopPipeline),
+            SupportStructure::Spmd
+        );
+    }
+
+    #[test]
+    fn organizations_match_table_1_types() {
+        assert_eq!(organization(AlgorithmPattern::TaskParallelism), Organization::ByTask);
+        assert_eq!(organization(AlgorithmPattern::Reduction), Organization::ByData);
+        assert_eq!(
+            organization(AlgorithmPattern::GeometricDecomposition),
+            Organization::ByData
+        );
+        assert_eq!(
+            organization(AlgorithmPattern::MultiLoopPipeline),
+            Organization::ByFlowOfData
+        );
+    }
+
+    #[test]
+    fn render_lists_four_patterns() {
+        let t = render_table1();
+        assert_eq!(t.lines().count(), 6);
+        assert!(t.contains("master/worker"));
+        assert!(t.contains("SPMD"));
+    }
+}

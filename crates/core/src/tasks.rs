@@ -1,0 +1,415 @@
+//! Task-parallelism detection (Section III-B, Algorithm 1).
+//!
+//! BFS over a region's CU graph classifies every CU:
+//!
+//! - the first unmarked CU in serial order becomes a **fork**;
+//! - unmarked dependents become **workers**;
+//! - a dependent that was already marked is promoted to a **barrier** (it
+//!   waits on more than one CU);
+//! - when the BFS exhausts, the next unmarked CU starts a new fork.
+//!
+//! Two barriers can run in parallel iff neither reaches the other in the CU
+//! graph. The *estimated speedup* is the region's total dynamic instructions
+//! divided by the instructions on the critical path of the CU DAG — the
+//! metric behind Table V of the paper. The fork/worker/barrier labels map
+//! directly onto master/worker and fork/join support structures.
+
+use std::collections::{HashMap, VecDeque};
+
+use parpat_cu::{CuGraph, CuId, CuSet, RegionId};
+
+/// Classification of a CU by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CuMark {
+    /// Spawns workers (or runs alone).
+    Fork,
+    /// Runs as an independent task under a fork.
+    Worker,
+    /// Depends on more than one CU; synchronization point.
+    Barrier,
+}
+
+/// The task-parallelism report for one region.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// The region analyzed.
+    pub region: RegionId,
+    /// Every CU's mark, keyed by CU id.
+    pub marks: HashMap<CuId, CuMark>,
+    /// For each fork CU (in serial order), its directly-forked dependents.
+    pub forks: Vec<(CuId, Vec<CuId>)>,
+    /// For each barrier CU, the CUs it waits on (its predecessors).
+    pub barriers: Vec<(CuId, Vec<CuId>)>,
+    /// Barrier pairs with no directed path between them (can run in
+    /// parallel).
+    pub parallel_barriers: Vec<(CuId, CuId)>,
+    /// Total dynamic instructions of the region (sum of CU weights).
+    pub total_insts: f64,
+    /// Dynamic instructions on the critical path.
+    pub critical_path_insts: f64,
+    /// `total_insts / critical_path_insts`.
+    pub estimated_speedup: f64,
+}
+
+impl TaskReport {
+    /// The worker CUs in serial order.
+    pub fn workers(&self) -> Vec<CuId> {
+        let mut w: Vec<CuId> = self
+            .marks
+            .iter()
+            .filter(|(_, m)| **m == CuMark::Worker)
+            .map(|(c, _)| *c)
+            .collect();
+        w.sort_unstable();
+        w
+    }
+
+    /// True when the region exposes any task parallelism worth reporting:
+    /// at least two mutually-independent units.
+    pub fn has_parallelism(&self) -> bool {
+        self.estimated_speedup > 1.0 + 1e-9
+    }
+
+    /// Render the classification like the paper's Figure 3 caption:
+    /// `CU_i` indices follow serial order within the region.
+    pub fn render(&self, graph: &CuGraph, cus: &CuSet) -> String {
+        use std::fmt::Write;
+        let index_of: HashMap<CuId, usize> =
+            graph.nodes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut out = String::new();
+        for (i, &c) in graph.nodes.iter().enumerate() {
+            let mark = match self.marks.get(&c) {
+                Some(CuMark::Fork) => "fork",
+                Some(CuMark::Worker) => "worker",
+                Some(CuMark::Barrier) => "barrier",
+                None => "-",
+            };
+            writeln!(out, "CU_{i} [{mark}] {}", cus.cus[c].label).unwrap();
+        }
+        for (f, ws) in &self.forks {
+            let ws: Vec<String> = ws.iter().map(|w| format!("CU_{}", index_of[w])).collect();
+            writeln!(out, "CU_{} forks: {}", index_of[f], ws.join(", ")).unwrap();
+        }
+        for (b, preds) in &self.barriers {
+            let ps: Vec<String> = preds.iter().map(|p| format!("CU_{}", index_of[p])).collect();
+            writeln!(out, "CU_{} is a barrier for: {}", index_of[b], ps.join(", ")).unwrap();
+        }
+        for (x, y) in &self.parallel_barriers {
+            writeln!(out, "barriers CU_{} and CU_{} can run in parallel", index_of[x], index_of[y])
+                .unwrap();
+        }
+        writeln!(
+            out,
+            "estimated speedup: {:.2} ({} / {} insts)",
+            self.estimated_speedup, self.total_insts, self.critical_path_insts
+        )
+        .unwrap();
+        out
+    }
+}
+
+/// Run Algorithm 1 on a region's CU graph.
+pub fn detect_task_parallelism(graph: &CuGraph, cus: &CuSet) -> TaskReport {
+    let mut marks: HashMap<CuId, CuMark> = HashMap::new();
+    let mut forks: Vec<(CuId, Vec<CuId>)> = Vec::new();
+
+    // Successor sets respecting serial order only (dynamic RAW dependences
+    // in a once-executed region always point forward; apparent back edges
+    // come from enclosing re-execution and would make the BFS meaningless).
+    let order: HashMap<CuId, usize> = graph.nodes.iter().map(|&c| (c, cus.cus[c].order)).collect();
+    let succs = |c: CuId| -> Vec<CuId> {
+        let mut s: Vec<CuId> = graph
+            .successors(c)
+            .into_iter()
+            .filter(|&t| order.get(&t) > order.get(&c))
+            .collect();
+        s.sort_by_key(|&t| order[&t]);
+        s
+    };
+
+    // Algorithm 1: repeatedly pick the first unmarked CU in serial order.
+    for &start in &graph.nodes {
+        if marks.contains_key(&start) {
+            continue;
+        }
+        marks.insert(start, CuMark::Fork);
+        let direct: Vec<CuId> = succs(start);
+        forks.push((start, direct));
+        let mut queue = VecDeque::from([start]);
+        while let Some(n) = queue.pop_front() {
+            for d in succs(n) {
+                match marks.get(&d) {
+                    None => {
+                        marks.insert(d, CuMark::Worker);
+                        queue.push_back(d);
+                    }
+                    Some(CuMark::Barrier) => {
+                        // Already a barrier: nothing changes.
+                    }
+                    Some(_) => {
+                        // Reached through a second predecessor: promote.
+                        // No requeue — its dependents were enqueued when it
+                        // was first marked, and re-visiting them would
+                        // fabricate barriers with a single predecessor.
+                        marks.insert(d, CuMark::Barrier);
+                    }
+                }
+            }
+        }
+    }
+
+    // Barrier bookkeeping.
+    let mut barrier_ids: Vec<CuId> = graph
+        .nodes
+        .iter()
+        .copied()
+        .filter(|c| marks.get(c) == Some(&CuMark::Barrier))
+        .collect();
+    barrier_ids.sort_by_key(|c| order[c]);
+    let barriers: Vec<(CuId, Vec<CuId>)> = barrier_ids
+        .iter()
+        .map(|&b| {
+            let mut preds = graph.predecessors(b);
+            preds.sort_by_key(|p| order.get(p).copied().unwrap_or(usize::MAX));
+            (b, preds)
+        })
+        .collect();
+
+    // checkParallelBarriers: two barriers run in parallel iff no directed
+    // path connects them in either direction.
+    let mut parallel_barriers = Vec::new();
+    for i in 0..barrier_ids.len() {
+        for j in (i + 1)..barrier_ids.len() {
+            let (x, y) = (barrier_ids[i], barrier_ids[j]);
+            if !graph.reachable(x, y) && !graph.reachable(y, x) {
+                parallel_barriers.push((x, y));
+            }
+        }
+    }
+
+    let total_insts = graph.total_weight();
+    let (critical_path_insts, _) = graph.critical_path(cus);
+    let estimated_speedup = if critical_path_insts > 0.0 {
+        total_insts / critical_path_insts
+    } else {
+        1.0
+    };
+
+    TaskReport {
+        region: graph.region,
+        marks,
+        forks,
+        barriers,
+        parallel_barriers,
+        total_insts,
+        critical_path_insts,
+        estimated_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_cu::{build_cus, build_graph};
+    use parpat_ir::compile;
+    use parpat_pet::build_pet;
+    use parpat_profile::profile;
+
+    fn report_for(src: &str, func: &str) -> (TaskReport, CuGraph, CuSet) {
+        let ir = compile(src).unwrap();
+        let cus = build_cus(&ir);
+        let data = profile(&ir).unwrap();
+        let pet = build_pet(&ir).unwrap();
+        let f = ir.function_named(func).unwrap().id;
+        let g = build_graph(&ir, &cus, RegionId::FuncBody(f), &data, &pet);
+        let r = detect_task_parallelism(&g, &cus);
+        (r, g, cus)
+    }
+
+    /// A cilksort-shaped program: one CU computing sizes, four recursive
+    /// sort calls, two merge calls combining pairs, one final merge —
+    /// the paper's Figure 3.
+    const CILKSORT_LIKE: &str = "global data[64];
+global tmp[64];
+fn seqsort(lo, n) {
+    for i in 0..n {
+        data[lo + i] = data[lo + i] * 1;
+    }
+    return 0;
+}
+fn merge(lo, n) {
+    for i in 0..n {
+        tmp[lo + i] = data[lo + i] + 1;
+    }
+    return 0;
+}
+fn mergeback(lo, n) {
+    for i in 0..n {
+        data[lo + i] = tmp[lo + i];
+    }
+    return 0;
+}
+fn cilksort(lo, n) {
+    if n < 4 {
+        seqsort(lo, n);
+        return 0;
+    }
+    let q = n / 4;
+    cilksort(lo, q);
+    cilksort(lo + q, q);
+    cilksort(lo + 2 * q, q);
+    cilksort(lo + 3 * q, q);
+    merge(lo, 2 * q);
+    merge(lo + 2 * q, 2 * q);
+    mergeback(lo, n);
+    return 0;
+}
+fn main() { cilksort(0, 64); }";
+
+    #[test]
+    fn figure_3_classification() {
+        let (r, g, cus) = report_for(CILKSORT_LIKE, "cilksort");
+        // Identify the CU ids of the four recursive calls and three merges.
+        let call_cus: Vec<CuId> = g
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&c| matches!(&cus.cus[c].kind, parpat_cu::CuKind::CallStmt { callee } if callee == "cilksort"))
+            .collect();
+        let merge_cus: Vec<CuId> = g
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&c| matches!(&cus.cus[c].kind, parpat_cu::CuKind::CallStmt { callee } if callee == "merge" || callee == "mergeback"))
+            .collect();
+        assert_eq!(call_cus.len(), 4);
+        assert_eq!(merge_cus.len(), 3);
+        // The four recursive calls are workers (forked by the q definition).
+        for &c in &call_cus {
+            assert_eq!(r.marks[&c], CuMark::Worker, "cilksort call should be a worker");
+        }
+        // The three merges are barriers.
+        for &m in &merge_cus {
+            assert_eq!(r.marks[&m], CuMark::Barrier, "merge should be a barrier");
+        }
+        // The two pair-merges can run in parallel; the final merge cannot
+        // run in parallel with either.
+        assert!(r
+            .parallel_barriers
+            .iter()
+            .any(|&(a, b)| (a == merge_cus[0] && b == merge_cus[1])
+                || (a == merge_cus[1] && b == merge_cus[0])));
+        for &(a, b) in &r.parallel_barriers {
+            assert!(a != merge_cus[2] && b != merge_cus[2], "final merge must not be parallel");
+        }
+        assert!(r.has_parallelism());
+    }
+
+    #[test]
+    fn fib_two_forks_one_barrier() {
+        let src = "fn fib(n) {
+    if n < 2 { return n; }
+    let x = fib(n - 1);
+    let y = fib(n - 2);
+    return x + y;
+}
+fn main() { fib(12); }";
+        let (r, g, cus) = report_for(src, "fib");
+        // The two recursive-call CUs are independent; the final return is a
+        // barrier waiting on both.
+        let x = g.nodes[2];
+        let y = g.nodes[3];
+        let ret = g.nodes[4];
+        assert_eq!(r.marks[&ret], CuMark::Barrier);
+        // x is a fork (first in serial order among connected), y starts its
+        // own fork round.
+        assert_eq!(r.marks[&x], CuMark::Fork);
+        assert_eq!(r.marks[&y], CuMark::Fork);
+        assert!(r.estimated_speedup > 1.2, "got {}", r.estimated_speedup);
+        let _ = cus;
+    }
+
+    #[test]
+    fn three_mm_shape_workers_and_barrier() {
+        // The paper's 3mm: two independent loop nests, a third consuming
+        // both (Listing 5). The first two should be fork/independent, the
+        // third a barrier, estimated speedup ≈ 1.5.
+        let src = "global e[8][8];
+global f[8][8];
+global g[8][8];
+fn main() {
+    for i in 0..8 {
+        for j in 0..8 { e[i][j] = i + j; }
+    }
+    for i in 0..8 {
+        for j in 0..8 { f[i][j] = i * j; }
+    }
+    for i in 0..8 {
+        for j in 0..8 { g[i][j] = e[i][j] + f[i][j]; }
+    }
+}";
+        let (r, g, _cus) = report_for(src, "main");
+        assert_eq!(g.nodes.len(), 3);
+        let (l1, l2, l3) = (g.nodes[0], g.nodes[1], g.nodes[2]);
+        assert_eq!(r.marks[&l1], CuMark::Fork);
+        assert_eq!(r.marks[&l2], CuMark::Fork);
+        assert_eq!(r.marks[&l3], CuMark::Barrier);
+        assert!((r.estimated_speedup - 1.5).abs() < 0.2, "got {}", r.estimated_speedup);
+    }
+
+    #[test]
+    fn fdtd_shape_three_workers_one_barrier() {
+        // One loop region with 3 independent CUs and one dependent on all
+        // three (the paper's fdtd-2d hotspot structure).
+        let src = "global a[32];
+global b[32];
+global c[32];
+global d[32];
+fn main() {
+    for t in 0..4 {
+        for i in 0..32 { a[i] = a[i] + 1; }
+        for i in 0..32 { b[i] = b[i] + 2; }
+        for i in 0..32 { c[i] = c[i] + 3; }
+        for i in 0..32 { d[i] = a[i] + b[i] + c[i]; }
+    }
+}";
+        let ir = compile(src).unwrap();
+        let cus = build_cus(&ir);
+        let data = profile(&ir).unwrap();
+        let pet = build_pet(&ir).unwrap();
+        // The region of the outer t loop: loops are lowered innermost-first,
+        // so the outer loop has the highest id.
+        let outer = (ir.loop_count() - 1) as parpat_ir::LoopId;
+        let g = build_graph(&ir, &cus, RegionId::Loop(outer), &data, &pet);
+        let r = detect_task_parallelism(&g, &cus);
+        assert_eq!(g.nodes.len(), 4);
+        let last = g.nodes[3];
+        assert_eq!(r.marks[&last], CuMark::Barrier);
+        let workers = (0..3).filter(|&i| r.marks[&g.nodes[i]] != CuMark::Barrier).count();
+        assert_eq!(workers, 3);
+        assert!(r.estimated_speedup > 1.5, "got {}", r.estimated_speedup);
+    }
+
+    #[test]
+    fn sequential_chain_has_no_task_parallelism() {
+        let src = "global a[1];
+fn main() {
+    a[0] = 1;
+    let t = a[0] * 2;
+    a[0] = t + 1;
+    let u = a[0] * 3;
+    a[0] = u + 1;
+}";
+        let (r, _g, _cus) = report_for(src, "main");
+        assert!(!r.has_parallelism(), "estimated {}", r.estimated_speedup);
+    }
+
+    #[test]
+    fn render_mentions_marks_and_speedup() {
+        let (r, g, cus) = report_for(CILKSORT_LIKE, "cilksort");
+        let s = r.render(&g, &cus);
+        assert!(s.contains("[worker]"));
+        assert!(s.contains("[barrier]"));
+        assert!(s.contains("estimated speedup"));
+    }
+}

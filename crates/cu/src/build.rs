@@ -1,0 +1,852 @@
+//! Static construction of Computational Units (CUs).
+//!
+//! Section II / Figure 1 of the paper: CUs follow the *read-compute-write*
+//! pattern — program state is read, a new state is computed, and written
+//! back. One CU forms around each written program-state variable of a
+//! region; purely-temporary local definitions are folded into the CUs that
+//! consume them (Figure 1's `a` and `b`). Statements that synchronize or
+//! branch (returns, `if` conditions, call statements) anchor their own CUs,
+//! and nested loops appear as single CU vertices of the enclosing region
+//! (their bodies form their own region).
+//!
+//! Folding rules:
+//!
+//! - a scalar-local definition whose right-hand side contains a user call
+//!   (e.g. `x = fib(n - 1)`) always anchors its own CU — that is what makes
+//!   the two recursive calls of `fib` separate units (Listing 4 of the
+//!   paper);
+//! - a *pure* scalar definition is a folding candidate. It folds into its
+//!   consumer when every consumer resolves to the same final CU (Figure 1's
+//!   temporary chain `a`, `b` folding into `CU_x`); when its value feeds
+//!   several distinct CUs — e.g. cilksort's quarter size `q` read by all
+//!   four recursive calls — it materializes as its own CU, which is exactly
+//!   the `CU_0` fork vertex of the paper's Figure 3.
+
+use std::collections::{BTreeSet, HashMap};
+
+use parpat_ir::ir::{IrExpr, IrFunction, IrStmt};
+use parpat_ir::{FuncId, InstId, IrProgram, LoopId};
+
+/// Index of a CU within [`CuSet::cus`].
+pub type CuId = usize;
+
+/// A lexical region that owns CUs: a function body or a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegionId {
+    /// The directly-contained statements of a function.
+    FuncBody(FuncId),
+    /// The directly-contained statements of a loop.
+    Loop(LoopId),
+}
+
+/// What anchors a CU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CuKind {
+    /// A definition of the named variable or array (read-compute-write).
+    VarDef {
+        /// The written variable/array name.
+        name: String,
+    },
+    /// A call statement (`f(...);`).
+    CallStmt {
+        /// Callee name.
+        callee: String,
+    },
+    /// A `return` statement.
+    Return,
+    /// An `if` condition.
+    Branch,
+    /// A nested loop, represented as a single vertex of this region.
+    LoopStmt {
+        /// The nested loop.
+        l: LoopId,
+    },
+    /// A `break` statement.
+    Other,
+}
+
+/// A computational unit.
+#[derive(Debug, Clone)]
+pub struct Cu {
+    /// This CU's id.
+    pub id: CuId,
+    /// The region it belongs to.
+    pub region: RegionId,
+    /// What anchors it.
+    pub kind: CuKind,
+    /// The representative statement instruction (store, call, loop header…).
+    pub anchor: InstId,
+    /// All instructions belonging to the CU. For [`CuKind::LoopStmt`] this
+    /// is the loop header plus every instruction lexically inside the loop,
+    /// so dynamic weights cover the whole nest.
+    pub insts: BTreeSet<InstId>,
+    /// Serial position within the region (0-based, gaps allowed).
+    pub order: usize,
+    /// Source lines spanned by the CU's instructions.
+    pub lines: BTreeSet<u32>,
+    /// Human-readable label, e.g. `x =`, `call cilkmerge`, `for-loop L2`.
+    pub label: String,
+}
+
+/// All CUs of a program, indexed by region and by instruction.
+#[derive(Debug, Clone, Default)]
+pub struct CuSet {
+    /// Every CU; indices are [`CuId`]s.
+    pub cus: Vec<Cu>,
+    /// CUs per region, in serial order.
+    pub by_region: HashMap<RegionId, Vec<CuId>>,
+    /// For each instruction, the CUs (possibly several, due to folding and
+    /// loop-nest inclusion) that contain it.
+    inst_to_cus: HashMap<InstId, Vec<CuId>>,
+}
+
+impl CuSet {
+    /// The CUs of a region in serial order (empty if the region has none).
+    pub fn region_cus(&self, region: RegionId) -> &[CuId] {
+        self.by_region.get(&region).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The CU of `region` containing instruction `inst`, if any.
+    pub fn cu_of_inst(&self, region: RegionId, inst: InstId) -> Option<CuId> {
+        self.inst_to_cus
+            .get(&inst)?
+            .iter()
+            .copied()
+            .find(|&c| self.cus[c].region == region)
+    }
+
+    /// All regions that have CUs, in deterministic order.
+    pub fn regions(&self) -> Vec<RegionId> {
+        let mut r: Vec<RegionId> = self.by_region.keys().copied().collect();
+        r.sort_unstable();
+        r
+    }
+}
+
+/// Build the CUs of every region of the program.
+pub fn build_cus(prog: &IrProgram) -> CuSet {
+    let mut set = CuSet::default();
+    for f in &prog.functions {
+        let mut builder = RegionBuilder::new(prog, RegionId::FuncBody(f.id), &mut set);
+        builder.stmts(&f.body);
+        builder.finish();
+        build_loop_regions(prog, f, &f.body, &mut set);
+    }
+    // Populate the reverse index.
+    let mut index: HashMap<InstId, Vec<CuId>> = HashMap::new();
+    for cu in &set.cus {
+        for &i in &cu.insts {
+            index.entry(i).or_default().push(cu.id);
+        }
+    }
+    set.inst_to_cus = index;
+    set
+}
+
+/// Recursively build CU regions for every loop in a statement list.
+fn build_loop_regions(prog: &IrProgram, f: &IrFunction, stmts: &[IrStmt], set: &mut CuSet) {
+    for s in stmts {
+        match s {
+            IrStmt::Loop { id, body, .. } => {
+                let mut builder = RegionBuilder::new(prog, RegionId::Loop(*id), set);
+                builder.stmts(body);
+                builder.finish();
+                build_loop_regions(prog, f, body, set);
+            }
+            IrStmt::If { then_body, else_body, .. } => {
+                build_loop_regions(prog, f, then_body, set);
+                build_loop_regions(prog, f, else_body, set);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Something that consumed a pure definition's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Entity {
+    Cu(CuId),
+    Proto(usize),
+}
+
+/// A pure scalar definition whose fate (fold vs own CU) is decided at
+/// region end.
+#[derive(Debug)]
+struct Proto {
+    insts: BTreeSet<InstId>,
+    anchor: InstId,
+    name: String,
+    order: usize,
+    consumers: BTreeSet<Entity>,
+}
+
+struct RegionBuilder<'a, 'p> {
+    prog: &'p IrProgram,
+    region: RegionId,
+    set: &'a mut CuSet,
+    /// Materialized CU ids of this region, in creation order.
+    created: Vec<CuId>,
+    /// VarDef CUs by target name (merged within the region).
+    var_cus: HashMap<String, CuId>,
+    /// Pure pending definitions awaiting fold/materialize resolution.
+    protos: Vec<Proto>,
+    /// Latest proto per slot.
+    latest_proto: HashMap<usize, usize>,
+    next_order: usize,
+}
+
+impl<'a, 'p> RegionBuilder<'a, 'p> {
+    fn new(prog: &'p IrProgram, region: RegionId, set: &'a mut CuSet) -> Self {
+        RegionBuilder {
+            prog,
+            region,
+            set,
+            created: Vec::new(),
+            var_cus: HashMap::new(),
+            protos: Vec::new(),
+            latest_proto: HashMap::new(),
+            next_order: 0,
+        }
+    }
+
+    fn line_of(&self, inst: InstId) -> u32 {
+        self.prog.insts[inst as usize].line
+    }
+
+    fn take_order(&mut self) -> usize {
+        let o = self.next_order;
+        self.next_order += 1;
+        o
+    }
+
+    fn new_cu(
+        &mut self,
+        kind: CuKind,
+        anchor: InstId,
+        insts: BTreeSet<InstId>,
+        label: String,
+        order: usize,
+    ) -> CuId {
+        let id = self.set.cus.len();
+        let lines = insts.iter().map(|&i| self.line_of(i)).collect();
+        self.set.cus.push(Cu { id, region: self.region, kind, anchor, insts, order, lines, label });
+        self.created.push(id);
+        id
+    }
+
+    /// Record that `entity` consumed the current values of `reads`.
+    fn record_consumption(&mut self, reads: &[usize], entity: Entity) {
+        for slot in reads {
+            if let Some(&p) = self.latest_proto.get(slot) {
+                // A proto cannot consume itself (s = s + 1 reads the
+                // *previous* proto, which was replaced before this call).
+                self.protos[p].consumers.insert(entity);
+            }
+        }
+    }
+
+    /// Collect the instructions and the scalar slots read by an expression,
+    /// and whether it contains a user-function call.
+    fn scan_expr(
+        &self,
+        e: &IrExpr,
+        insts: &mut BTreeSet<InstId>,
+        reads: &mut Vec<usize>,
+        has_call: &mut bool,
+    ) {
+        insts.insert(e.inst());
+        match e {
+            IrExpr::LoadLocal { slot, .. } => reads.push(*slot),
+            IrExpr::LoadIndex { indices, .. } => {
+                for ix in indices {
+                    self.scan_expr(ix, insts, reads, has_call);
+                }
+            }
+            IrExpr::CallFn { args, .. } => {
+                *has_call = true;
+                for a in args {
+                    self.scan_expr(a, insts, reads, has_call);
+                }
+            }
+            IrExpr::CallBuiltin { args, .. } => {
+                for a in args {
+                    self.scan_expr(a, insts, reads, has_call);
+                }
+            }
+            IrExpr::Unary { operand, .. } => self.scan_expr(operand, insts, reads, has_call),
+            IrExpr::Binary { lhs, rhs, .. } => {
+                self.scan_expr(lhs, insts, reads, has_call);
+                self.scan_expr(rhs, insts, reads, has_call);
+            }
+            IrExpr::Const { .. } | IrExpr::Bool { .. } => {}
+        }
+    }
+
+    fn stmts(&mut self, body: &[IrStmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &IrStmt) {
+        match s {
+            IrStmt::StoreLocal { slot, value, inst } => {
+                let mut insts = BTreeSet::from([*inst]);
+                let mut reads = Vec::new();
+                let mut has_call = false;
+                self.scan_expr(value, &mut insts, &mut reads, &mut has_call);
+                let name = self.slot_name(*inst, *slot);
+                if has_call {
+                    let id = self.def_cu(name, *inst, insts);
+                    self.record_consumption(&reads, Entity::Cu(id));
+                    self.latest_proto.remove(slot);
+                } else {
+                    let order = self.take_order();
+                    let idx = self.protos.len();
+                    self.protos.push(Proto {
+                        insts,
+                        anchor: *inst,
+                        name,
+                        order,
+                        consumers: BTreeSet::new(),
+                    });
+                    // The initializer reads the *previous* values.
+                    self.record_consumption(&reads, Entity::Proto(idx));
+                    self.latest_proto.insert(*slot, idx);
+                }
+            }
+            IrStmt::StoreIndex { array, indices, value, inst } => {
+                let mut insts = BTreeSet::from([*inst]);
+                let mut reads = Vec::new();
+                let mut has_call = false;
+                for ix in indices {
+                    self.scan_expr(ix, &mut insts, &mut reads, &mut has_call);
+                }
+                self.scan_expr(value, &mut insts, &mut reads, &mut has_call);
+                let name = self.prog.globals[*array].name.clone();
+                let id = self.def_cu(name, *inst, insts);
+                self.record_consumption(&reads, Entity::Cu(id));
+            }
+            IrStmt::Loop { id, inst, body, kind } => {
+                let mut insts = BTreeSet::from([*inst]);
+                collect_all_insts(body, &mut insts);
+                let mut reads = Vec::new();
+                let mut has_call = false;
+                match kind {
+                    parpat_ir::ir::LoopKind::For { start, end, .. } => {
+                        self.scan_expr(start, &mut insts, &mut reads, &mut has_call);
+                        self.scan_expr(end, &mut insts, &mut reads, &mut has_call);
+                    }
+                    parpat_ir::ir::LoopKind::While { cond } => {
+                        self.scan_expr(cond, &mut insts, &mut reads, &mut has_call);
+                    }
+                }
+                // Reads *inside* the loop body also consume protos of this
+                // region (e.g. a bound computed before the loop).
+                collect_body_reads(body, &mut reads);
+                let kw = if self.prog.loops[*id as usize].is_for { "for" } else { "while" };
+                let order = self.take_order();
+                let cu = self.new_cu(
+                    CuKind::LoopStmt { l: *id },
+                    *inst,
+                    insts,
+                    format!("{kw}-loop L{id} @ line {}", self.line_of(*inst)),
+                    order,
+                );
+                self.record_consumption(&reads, Entity::Cu(cu));
+            }
+            IrStmt::If { cond, then_body, else_body, inst } => {
+                let mut insts = BTreeSet::from([*inst]);
+                let mut reads = Vec::new();
+                let mut has_call = false;
+                self.scan_expr(cond, &mut insts, &mut reads, &mut has_call);
+                let order = self.take_order();
+                let cu = self.new_cu(
+                    CuKind::Branch,
+                    *inst,
+                    insts,
+                    format!("if @ line {}", self.line_of(*inst)),
+                    order,
+                );
+                self.record_consumption(&reads, Entity::Cu(cu));
+                // Branch bodies belong to the same region.
+                self.stmts(then_body);
+                self.stmts(else_body);
+            }
+            IrStmt::Return { value, inst } => {
+                let mut insts = BTreeSet::from([*inst]);
+                let mut reads = Vec::new();
+                let mut has_call = false;
+                if let Some(v) = value {
+                    self.scan_expr(v, &mut insts, &mut reads, &mut has_call);
+                }
+                let order = self.take_order();
+                let cu = self.new_cu(
+                    CuKind::Return,
+                    *inst,
+                    insts,
+                    format!("return @ line {}", self.line_of(*inst)),
+                    order,
+                );
+                self.record_consumption(&reads, Entity::Cu(cu));
+            }
+            IrStmt::Break { inst } => {
+                let order = self.take_order();
+                self.new_cu(
+                    CuKind::Other,
+                    *inst,
+                    BTreeSet::from([*inst]),
+                    format!("break @ line {}", self.line_of(*inst)),
+                    order,
+                );
+            }
+            IrStmt::ExprStmt { expr, inst } => {
+                let mut insts = BTreeSet::from([*inst]);
+                let mut reads = Vec::new();
+                let mut has_call = false;
+                self.scan_expr(expr, &mut insts, &mut reads, &mut has_call);
+                let callee = match expr {
+                    IrExpr::CallFn { func, .. } => self.prog.functions[*func].name.clone(),
+                    IrExpr::CallBuiltin { builtin, .. } => format!("{builtin:?}").to_lowercase(),
+                    _ => "expr".to_owned(),
+                };
+                let order = self.take_order();
+                let cu = self.new_cu(
+                    CuKind::CallStmt { callee: callee.clone() },
+                    *inst,
+                    insts,
+                    format!("call {callee} @ line {}", self.line_of(*inst)),
+                    order,
+                );
+                self.record_consumption(&reads, Entity::Cu(cu));
+            }
+        }
+    }
+
+    /// Create or extend the VarDef CU for `name`.
+    fn def_cu(&mut self, name: String, anchor: InstId, insts: BTreeSet<InstId>) -> CuId {
+        if let Some(&existing) = self.var_cus.get(&name) {
+            let lines: Vec<u32> = insts.iter().map(|&i| self.line_of(i)).collect();
+            let cu = &mut self.set.cus[existing];
+            cu.insts.extend(insts);
+            cu.lines.extend(lines);
+            existing
+        } else {
+            let label = format!("{name} = … @ line {}", self.line_of(anchor));
+            let order = self.take_order();
+            let id = self.new_cu(CuKind::VarDef { name: name.clone() }, anchor, insts, label, order);
+            self.var_cus.insert(name, id);
+            id
+        }
+    }
+
+    fn slot_name(&self, inst: InstId, slot: usize) -> String {
+        let func = self.prog.insts[inst as usize].func;
+        self.prog.functions[func]
+            .slot_names
+            .get(slot)
+            .cloned()
+            .unwrap_or_else(|| format!("slot{slot}"))
+    }
+
+    /// Resolve every proto: fold when all consumers land in one final CU,
+    /// otherwise materialize as an own CU. Consumers always have a higher
+    /// proto index than their producer, so a descending sweep sees each
+    /// consumer already resolved.
+    fn finish(mut self) {
+        let mut resolution: Vec<Option<CuId>> = vec![None; self.protos.len()];
+        for idx in (0..self.protos.len()).rev() {
+            let resolved: BTreeSet<CuId> = self.protos[idx]
+                .consumers
+                .iter()
+                .filter_map(|e| match e {
+                    Entity::Cu(c) => Some(*c),
+                    Entity::Proto(p) => resolution[*p],
+                })
+                .collect();
+            if resolved.len() == 1 {
+                let dst = *resolved.iter().next().expect("len checked");
+                let insts: Vec<InstId> = self.protos[idx].insts.iter().copied().collect();
+                let lines: Vec<u32> = insts.iter().map(|&i| self.line_of(i)).collect();
+                let cu = &mut self.set.cus[dst];
+                cu.insts.extend(insts);
+                cu.lines.extend(lines);
+                resolution[idx] = Some(dst);
+            } else {
+                // 0 consumers (dead def) or several distinct final CUs
+                // (shared state): own CU.
+                let proto = &self.protos[idx];
+                let label = format!("{} = … @ line {}", proto.name, self.line_of(proto.anchor));
+                let (kind, anchor, insts, order) = (
+                    CuKind::VarDef { name: proto.name.clone() },
+                    proto.anchor,
+                    proto.insts.clone(),
+                    proto.order,
+                );
+                let id = self.new_cu(kind, anchor, insts, label, order);
+                resolution[idx] = Some(id);
+            }
+        }
+        // Register the region's CUs in serial order.
+        let mut created = std::mem::take(&mut self.created);
+        created.sort_by_key(|&c| self.set.cus[c].order);
+        self.set.by_region.insert(self.region, created);
+    }
+}
+
+/// Collect every instruction lexically inside a statement list, including
+/// nested loops and branches.
+fn collect_all_insts(stmts: &[IrStmt], out: &mut BTreeSet<InstId>) {
+    for s in stmts {
+        out.insert(s.inst());
+        match s {
+            IrStmt::StoreLocal { value, .. } => collect_expr_insts(value, out),
+            IrStmt::StoreIndex { indices, value, .. } => {
+                for ix in indices {
+                    collect_expr_insts(ix, out);
+                }
+                collect_expr_insts(value, out);
+            }
+            IrStmt::Loop { kind, body, .. } => {
+                match kind {
+                    parpat_ir::ir::LoopKind::For { start, end, .. } => {
+                        collect_expr_insts(start, out);
+                        collect_expr_insts(end, out);
+                    }
+                    parpat_ir::ir::LoopKind::While { cond } => collect_expr_insts(cond, out),
+                }
+                collect_all_insts(body, out);
+            }
+            IrStmt::If { cond, then_body, else_body, .. } => {
+                collect_expr_insts(cond, out);
+                collect_all_insts(then_body, out);
+                collect_all_insts(else_body, out);
+            }
+            IrStmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    collect_expr_insts(v, out);
+                }
+            }
+            IrStmt::Break { .. } => {}
+            IrStmt::ExprStmt { expr, .. } => collect_expr_insts(expr, out),
+        }
+    }
+}
+
+fn collect_expr_insts(e: &IrExpr, out: &mut BTreeSet<InstId>) {
+    out.insert(e.inst());
+    match e {
+        IrExpr::LoadIndex { indices, .. } => {
+            for ix in indices {
+                collect_expr_insts(ix, out);
+            }
+        }
+        IrExpr::CallFn { args, .. } | IrExpr::CallBuiltin { args, .. } => {
+            for a in args {
+                collect_expr_insts(a, out);
+            }
+        }
+        IrExpr::Unary { operand, .. } => collect_expr_insts(operand, out),
+        IrExpr::Binary { lhs, rhs, .. } => {
+            collect_expr_insts(lhs, out);
+            collect_expr_insts(rhs, out);
+        }
+        IrExpr::Const { .. } | IrExpr::Bool { .. } | IrExpr::LoadLocal { .. } => {}
+    }
+}
+
+/// Collect the scalar slots read anywhere inside a statement list (used to
+/// credit loop vertices with consuming this region's pure definitions).
+fn collect_body_reads(stmts: &[IrStmt], reads: &mut Vec<usize>) {
+    fn expr_reads(e: &IrExpr, reads: &mut Vec<usize>) {
+        match e {
+            IrExpr::LoadLocal { slot, .. } => reads.push(*slot),
+            IrExpr::LoadIndex { indices, .. } => {
+                for ix in indices {
+                    expr_reads(ix, reads);
+                }
+            }
+            IrExpr::CallFn { args, .. } | IrExpr::CallBuiltin { args, .. } => {
+                for a in args {
+                    expr_reads(a, reads);
+                }
+            }
+            IrExpr::Unary { operand, .. } => expr_reads(operand, reads),
+            IrExpr::Binary { lhs, rhs, .. } => {
+                expr_reads(lhs, reads);
+                expr_reads(rhs, reads);
+            }
+            IrExpr::Const { .. } | IrExpr::Bool { .. } => {}
+        }
+    }
+    for s in stmts {
+        match s {
+            IrStmt::StoreLocal { value, .. } => expr_reads(value, reads),
+            IrStmt::StoreIndex { indices, value, .. } => {
+                for ix in indices {
+                    expr_reads(ix, reads);
+                }
+                expr_reads(value, reads);
+            }
+            IrStmt::Loop { kind, body, .. } => {
+                match kind {
+                    parpat_ir::ir::LoopKind::For { start, end, .. } => {
+                        expr_reads(start, reads);
+                        expr_reads(end, reads);
+                    }
+                    parpat_ir::ir::LoopKind::While { cond } => expr_reads(cond, reads),
+                }
+                collect_body_reads(body, reads);
+            }
+            IrStmt::If { cond, then_body, else_body, .. } => {
+                expr_reads(cond, reads);
+                collect_body_reads(then_body, reads);
+                collect_body_reads(else_body, reads);
+            }
+            IrStmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    expr_reads(v, reads);
+                }
+            }
+            IrStmt::Break { .. } => {}
+            IrStmt::ExprStmt { expr, .. } => expr_reads(expr, reads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_ir::compile;
+
+    fn cus_of(src: &str) -> (CuSet, parpat_ir::IrProgram) {
+        let ir = compile(src).unwrap();
+        let set = build_cus(&ir);
+        (set, ir)
+    }
+
+    fn region_kinds(set: &CuSet, region: RegionId) -> Vec<&CuKind> {
+        set.region_cus(region).iter().map(|&c| &set.cus[c].kind).collect()
+    }
+
+    #[test]
+    fn figure_1_folds_temporaries_into_two_cus() {
+        // The paper's Figure 1, adapted: x and y are program state (stored
+        // via globals so their defs anchor CUs), a and b are temporaries.
+        // Even though x feeds both `a` and the final store, everything
+        // resolves into CU_xs, so x still folds.
+        let src = "global xs[1];
+global ys[1];
+fn main() {
+    let x = xs[0];
+    let y = ys[0];
+    let a = x * x;
+    let b = a + a;
+    xs[0] = b - x;
+    let c = y * y;
+    ys[0] = c + y;
+}";
+        let (set, ir) = cus_of(src);
+        let region = RegionId::FuncBody(ir.entry.unwrap());
+        let cus = set.region_cus(region);
+        assert_eq!(cus.len(), 2, "{:?}", region_kinds(&set, region));
+        let names: Vec<&str> = cus
+            .iter()
+            .map(|&c| match &set.cus[c].kind {
+                CuKind::VarDef { name } => name.as_str(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["xs", "ys"]);
+    }
+
+    #[test]
+    fn fib_region_has_expected_cu_shapes() {
+        let src = "fn fib(n) {
+    if n < 2 { return n; }
+    let x = fib(n - 1);
+    let y = fib(n - 2);
+    return x + y;
+}
+fn main() { fib(5); }";
+        let (set, ir) = cus_of(src);
+        let f = ir.function_named("fib").unwrap().id;
+        let kinds = region_kinds(&set, RegionId::FuncBody(f));
+        // if, return n, x = fib(..), y = fib(..), return x + y.
+        assert_eq!(kinds.len(), 5);
+        assert!(matches!(kinds[0], CuKind::Branch));
+        assert!(matches!(kinds[1], CuKind::Return));
+        assert!(matches!(kinds[2], CuKind::VarDef { name } if name == "x"));
+        assert!(matches!(kinds[3], CuKind::VarDef { name } if name == "y"));
+        assert!(matches!(kinds[4], CuKind::Return));
+    }
+
+    #[test]
+    fn call_with_call_in_rhs_is_not_folded() {
+        let src = "fn work(v) { return v * 2; }
+fn main() {
+    let x = work(3);
+    let y = x + 1;
+    return y;
+}";
+        let (set, ir) = cus_of(src);
+        let region = RegionId::FuncBody(ir.entry.unwrap());
+        let cus = set.region_cus(region);
+        // x anchors its own CU (call on rhs); y folds into return.
+        assert!(cus
+            .iter()
+            .any(|&c| matches!(&set.cus[c].kind, CuKind::VarDef { name } if name == "x")));
+        assert!(!cus
+            .iter()
+            .any(|&c| matches!(&set.cus[c].kind, CuKind::VarDef { name } if name == "y")));
+    }
+
+    #[test]
+    fn nested_loop_is_single_vertex_of_function_region() {
+        let src = "global a[8];
+fn main() {
+    for i in 0..8 { a[i] = i; }
+    let s = a[0];
+    return s;
+}";
+        let (set, ir) = cus_of(src);
+        let region = RegionId::FuncBody(ir.entry.unwrap());
+        let kinds = region_kinds(&set, region);
+        assert!(matches!(kinds[0], CuKind::LoopStmt { l: 0 }));
+        // The loop body forms its own region with one CU (store to a).
+        let loop_cus = set.region_cus(RegionId::Loop(0));
+        assert_eq!(loop_cus.len(), 1);
+        assert!(matches!(&set.cus[loop_cus[0]].kind, CuKind::VarDef { name } if name == "a"));
+    }
+
+    #[test]
+    fn loop_stmt_cu_contains_lexical_body_insts() {
+        let src = "global a[8];
+fn main() {
+    for i in 0..8 { a[i] = i * 2; }
+}";
+        let (set, ir) = cus_of(src);
+        let region = RegionId::FuncBody(ir.entry.unwrap());
+        let cu = &set.cus[set.region_cus(region)[0]];
+        let store = (0..ir.inst_count() as u32)
+            .find(|&i| matches!(&ir.insts[i as usize].kind, parpat_ir::InstKind::StoreArray(n) if n == "a"))
+            .unwrap();
+        assert!(cu.insts.contains(&store));
+    }
+
+    #[test]
+    fn multiple_stores_to_same_array_merge() {
+        let src = "global a[4];
+fn main() {
+    a[0] = 1;
+    a[1] = 2;
+}";
+        let (set, ir) = cus_of(src);
+        let region = RegionId::FuncBody(ir.entry.unwrap());
+        assert_eq!(set.region_cus(region).len(), 1);
+    }
+
+    #[test]
+    fn cu_of_inst_is_region_scoped() {
+        let src = "global a[4];
+fn main() {
+    for i in 0..4 { a[i] = i; }
+}";
+        let (set, ir) = cus_of(src);
+        let store = (0..ir.inst_count() as u32)
+            .find(|&i| matches!(&ir.insts[i as usize].kind, parpat_ir::InstKind::StoreArray(_)))
+            .unwrap();
+        let func_region = RegionId::FuncBody(ir.entry.unwrap());
+        let loop_region = RegionId::Loop(0);
+        let in_func = set.cu_of_inst(func_region, store).unwrap();
+        let in_loop = set.cu_of_inst(loop_region, store).unwrap();
+        assert_ne!(in_func, in_loop);
+        assert!(matches!(set.cus[in_func].kind, CuKind::LoopStmt { .. }));
+        assert!(matches!(&set.cus[in_loop].kind, CuKind::VarDef { .. }));
+    }
+
+    #[test]
+    fn serial_order_follows_source() {
+        let src = "global a[2];
+fn first() { return 1; }
+fn main() {
+    first();
+    a[0] = 5;
+    first();
+}";
+        let (set, ir) = cus_of(src);
+        let region = RegionId::FuncBody(ir.entry.unwrap());
+        let kinds = region_kinds(&set, region);
+        assert!(matches!(kinds[0], CuKind::CallStmt { .. }));
+        assert!(matches!(kinds[1], CuKind::VarDef { .. }));
+        assert!(matches!(kinds[2], CuKind::CallStmt { .. }));
+        let orders: Vec<usize> =
+            set.region_cus(region).iter().map(|&c| set.cus[c].order).collect();
+        assert!(orders.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dead_pure_def_materializes_as_own_cu() {
+        let src = "global out[1];
+fn main() {
+    let unused = 5 * 3;
+    out[0] = 1;
+}";
+        let (set, ir) = cus_of(src);
+        let region = RegionId::FuncBody(ir.entry.unwrap());
+        let cus = set.region_cus(region);
+        assert_eq!(cus.len(), 2);
+        assert!(cus
+            .iter()
+            .any(|&c| matches!(&set.cus[c].kind, CuKind::VarDef { name } if name == "unused")));
+    }
+
+    #[test]
+    fn pure_def_feeding_two_distinct_cus_is_own_cu() {
+        // Like cilksort's quarter size `q`: shared by two different
+        // consumer CUs → it becomes its own (fork) CU.
+        let src = "global p[1];
+global q[1];
+fn main() {
+    let t = 2 + 3;
+    p[0] = t * 10;
+    q[0] = t * 20;
+}";
+        let (set, ir) = cus_of(src);
+        let region = RegionId::FuncBody(ir.entry.unwrap());
+        let cus = set.region_cus(region);
+        assert_eq!(cus.len(), 3, "{:?}", region_kinds(&set, region));
+        // Serial order: t first.
+        assert!(matches!(&set.cus[cus[0]].kind, CuKind::VarDef { name } if name == "t"));
+    }
+
+    #[test]
+    fn pure_chain_with_single_final_consumer_folds() {
+        let src = "global out[1];
+fn main() {
+    let a = 1 + 2;
+    let b = a * 3;
+    let c = b - 1;
+    out[0] = c;
+}";
+        let (set, ir) = cus_of(src);
+        let region = RegionId::FuncBody(ir.entry.unwrap());
+        assert_eq!(set.region_cus(region).len(), 1);
+    }
+
+    #[test]
+    fn loop_bound_def_consumed_by_loop_vertex() {
+        // `n` is only used as a loop bound / inside the loop: it folds into
+        // the loop vertex.
+        let src = "global a[16];
+fn main() {
+    let n = 8 + 8;
+    for i in 0..n { a[i] = i; }
+}";
+        let (set, ir) = cus_of(src);
+        let region = RegionId::FuncBody(ir.entry.unwrap());
+        let cus = set.region_cus(region);
+        assert_eq!(cus.len(), 1, "{:?}", region_kinds(&set, region));
+        assert!(matches!(set.cus[cus[0]].kind, CuKind::LoopStmt { .. }));
+    }
+}

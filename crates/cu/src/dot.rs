@@ -1,0 +1,114 @@
+//! Graphviz DOT export of CU graphs — the tool-facing form of the paper's
+//! Figure 3 drawings.
+
+use crate::build::{CuKind, CuSet};
+use crate::graph::CuGraph;
+
+/// Escape a DOT label.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render a CU graph as a DOT digraph. `marks` optionally colors vertices
+/// (e.g. fork/worker/barrier classifications): a map from CU id to a
+/// `(label-suffix, fill-color)` pair.
+pub fn cu_graph_to_dot(
+    graph: &CuGraph,
+    cus: &CuSet,
+    title: &str,
+    marks: &dyn Fn(usize) -> Option<(&'static str, &'static str)>,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", esc(title)).unwrap();
+    writeln!(out, "  rankdir=TB;").unwrap();
+    writeln!(out, "  node [shape=box, fontname=\"monospace\"];").unwrap();
+    for (i, &cu) in graph.nodes.iter().enumerate() {
+        let c = &cus.cus[cu];
+        let shape = match c.kind {
+            CuKind::LoopStmt { .. } => ", shape=ellipse",
+            CuKind::Branch => ", shape=diamond",
+            _ => "",
+        };
+        let (suffix, color) = marks(cu)
+            .map(|(s, col)| (format!(" [{s}]"), format!(", style=filled, fillcolor=\"{col}\"")))
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "  cu{i} [label=\"CU_{i}: {}{}\"{}{}];",
+            esc(&c.label),
+            suffix,
+            shape,
+            color
+        )
+        .unwrap();
+    }
+    let index_of = |cu: usize| graph.nodes.iter().position(|&x| x == cu);
+    for &(s, t) in &graph.edges {
+        if let (Some(a), Some(b)) = (index_of(s), index_of(t)) {
+            writeln!(out, "  cu{a} -> cu{b};").unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cus;
+    use crate::build::RegionId;
+    use crate::graph::build_graph;
+    use parpat_ir::compile;
+    use parpat_pet::build_pet;
+    use parpat_profile::profile;
+
+    #[test]
+    fn dot_output_is_structurally_valid() {
+        let ir = compile(
+            "global a[8];
+global b[8];
+fn main() {
+    for i in 0..8 { a[i] = i; }
+    for j in 0..8 { b[j] = a[j]; }
+}",
+        )
+        .unwrap();
+        let cus = build_cus(&ir);
+        let data = profile(&ir).unwrap();
+        let pet = build_pet(&ir).unwrap();
+        let g = build_graph(&ir, &cus, RegionId::FuncBody(ir.entry.unwrap()), &data, &pet);
+        let dot = cu_graph_to_dot(&g, &cus, "main", &|_| None);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cu0 ["));
+        assert!(dot.contains("cu0 -> cu1;"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Loop vertices render as ellipses.
+        assert!(dot.contains("shape=ellipse"));
+    }
+
+    #[test]
+    fn marks_color_vertices() {
+        let ir = compile(
+            "global a[4];
+fn main() {
+    a[0] = 1;
+    a[1] = 2;
+}",
+        )
+        .unwrap();
+        let cus = build_cus(&ir);
+        let data = profile(&ir).unwrap();
+        let pet = build_pet(&ir).unwrap();
+        let g = build_graph(&ir, &cus, RegionId::FuncBody(ir.entry.unwrap()), &data, &pet);
+        let dot = cu_graph_to_dot(&g, &cus, "t", &|_| Some(("fork", "lightblue")));
+        assert!(dot.contains("fillcolor=\"lightblue\""));
+        assert!(dot.contains("[fork]"));
+    }
+
+    #[test]
+    fn labels_with_quotes_are_escaped() {
+        assert_eq!(esc("a\"b"), "a\\\"b");
+        assert_eq!(esc("a\\b"), "a\\\\b");
+    }
+}

@@ -1,0 +1,34 @@
+//! # parpat-cu
+//!
+//! Computational Units (CUs) and CU graphs — Section II of *"Automatic
+//! Parallel Pattern Detection in the Algorithm Structure Design Space"*.
+//!
+//! CUs follow the read-compute-write pattern: one unit per written
+//! program-state variable of a region, with purely-temporary definitions
+//! folded into their consumers (the paper's Figure 1). Call statements,
+//! returns and branch conditions anchor their own units, and nested loops
+//! appear as single vertices of the enclosing region. Dynamic data
+//! dependences (lifted to statement level by `parpat-profile`) become the
+//! edges of the region's CU graph, whose vertex weights are dynamic
+//! instruction costs — the input to the task-parallelism detector.
+//!
+//! ```
+//! use parpat_cu::{build_cus, RegionId};
+//! let ir = parpat_ir::compile(
+//!     "global a[4];
+//!      fn main() { a[0] = 1; let t = a[0] * 2; a[1] = t; }",
+//! )
+//! .unwrap();
+//! let cus = build_cus(&ir);
+//! assert_eq!(cus.region_cus(RegionId::FuncBody(ir.entry.unwrap())).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod dot;
+pub mod graph;
+
+pub use build::{build_cus, Cu, CuId, CuKind, CuSet, RegionId};
+pub use dot::cu_graph_to_dot;
+pub use graph::{avg_activation_costs, build_graph, CuGraph};

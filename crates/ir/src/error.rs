@@ -1,0 +1,38 @@
+//! Runtime errors produced by the interpreter.
+
+use std::fmt;
+
+/// An execution failure (bounds violation, instruction-limit hit, bad entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// 1-based source line the failure is anchored to (0 when unknown).
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl RuntimeError {
+    /// Construct an error at `line`.
+    pub fn new(line: u32, message: String) -> Self {
+        RuntimeError { line, message }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line() {
+        let e = RuntimeError::new(12, "index 9 out of bounds".into());
+        assert!(e.to_string().contains("line 12"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Execution events and the observer interface.
+//!
+//! The interpreter is the instrumentation layer of this reproduction: where
+//! the paper's LLVM pass inserts calls around load/store instructions and
+//! loop headers, our interpreter emits the equivalent events to an
+//! [`Observer`] while it executes. Every analysis in the workspace — the
+//! dependence profiler, the program-execution-tree builder, the iteration
+//! pair collector behind the multi-loop-pipeline detector — is an observer.
+
+use crate::ir::{FuncId, InstId, LoopId};
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// A single dynamic memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Virtual address touched. Globals live in `0..`, stack frames above
+    /// [`crate::lower::FRAME_REGION_BASE`]; frame ranges are never reused.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The load/store instruction.
+    pub inst: InstId,
+    /// Source line of the access.
+    pub line: u32,
+}
+
+/// Receiver for dynamic execution events.
+///
+/// All methods default to no-ops so observers implement only what they need.
+/// Event ordering contract, guaranteed by the interpreter:
+///
+/// - `enter_function` / `exit_function` bracket every activation, including
+///   the entry function;
+/// - `enter_loop` precedes the loop's first `loop_iteration`; `exit_loop`
+///   follows the last; iterations are numbered from 0;
+/// - `loop_iteration(l, i)` fires before any event from iteration `i`'s body;
+/// - `instruction` fires once per executed IR node, after the node's operand
+///   events;
+/// - `memory` fires for every scalar-local and array-element access (never
+///   for `for`-loop induction variables, which the paper's analyses
+///   exclude); parameter-initialization stores fire in the *caller's*
+///   context, just before the callee's `enter_function`.
+pub trait Observer {
+    /// A function activation begins. `call_inst` is the calling instruction
+    /// (`None` for the entry call) and `is_recursive` is true when `func` is
+    /// already somewhere on the call stack.
+    fn enter_function(&mut self, func: FuncId, call_inst: Option<InstId>, is_recursive: bool) {
+        let _ = (func, call_inst, is_recursive);
+    }
+
+    /// The current activation of `func` ends.
+    fn exit_function(&mut self, func: FuncId) {
+        let _ = func;
+    }
+
+    /// Control enters loop `l` (before any iteration).
+    fn enter_loop(&mut self, l: LoopId) {
+        let _ = l;
+    }
+
+    /// Iteration `iter` (0-based) of loop `l` is about to execute.
+    fn loop_iteration(&mut self, l: LoopId, iter: u64) {
+        let _ = (l, iter);
+    }
+
+    /// Control leaves loop `l` after `iterations` executed iterations.
+    fn exit_loop(&mut self, l: LoopId, iterations: u64) {
+        let _ = (l, iterations);
+    }
+
+    /// One IR node finished executing.
+    fn instruction(&mut self, inst: InstId) {
+        let _ = inst;
+    }
+
+    /// A memory access happened.
+    fn memory(&mut self, access: MemAccess) {
+        let _ = access;
+    }
+}
+
+/// An observer that ignores every event. Useful for plain execution.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Fan events out to a pair of observers. Nest pairs for more than two.
+pub struct Tee<'a, A: Observer + ?Sized, B: Observer + ?Sized> {
+    /// First receiver.
+    pub a: &'a mut A,
+    /// Second receiver; sees each event after `a`.
+    pub b: &'a mut B,
+}
+
+impl<'a, A: Observer + ?Sized, B: Observer + ?Sized> Tee<'a, A, B> {
+    /// Create a tee over two observers.
+    pub fn new(a: &'a mut A, b: &'a mut B) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl<A: Observer + ?Sized, B: Observer + ?Sized> Observer for Tee<'_, A, B> {
+    fn enter_function(&mut self, func: FuncId, call_inst: Option<InstId>, is_recursive: bool) {
+        self.a.enter_function(func, call_inst, is_recursive);
+        self.b.enter_function(func, call_inst, is_recursive);
+    }
+
+    fn exit_function(&mut self, func: FuncId) {
+        self.a.exit_function(func);
+        self.b.exit_function(func);
+    }
+
+    fn enter_loop(&mut self, l: LoopId) {
+        self.a.enter_loop(l);
+        self.b.enter_loop(l);
+    }
+
+    fn loop_iteration(&mut self, l: LoopId, iter: u64) {
+        self.a.loop_iteration(l, iter);
+        self.b.loop_iteration(l, iter);
+    }
+
+    fn exit_loop(&mut self, l: LoopId, iterations: u64) {
+        self.a.exit_loop(l, iterations);
+        self.b.exit_loop(l, iterations);
+    }
+
+    fn instruction(&mut self, inst: InstId) {
+        self.a.instruction(inst);
+        self.b.instruction(inst);
+    }
+
+    fn memory(&mut self, access: MemAccess) {
+        self.a.memory(access);
+        self.b.memory(access);
+    }
+}
+
+/// A recording observer that keeps a flat log of events — handy in tests.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct EventLog {
+    /// The recorded events, in order.
+    pub events: Vec<Event>,
+}
+
+/// A recorded event (see [`EventLog`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// `enter_function`
+    EnterFunction {
+        /// Callee.
+        func: FuncId,
+        /// Call site (None for the entry).
+        call_inst: Option<InstId>,
+        /// Whether the callee was already on the stack.
+        is_recursive: bool,
+    },
+    /// `exit_function`
+    ExitFunction {
+        /// The function that returned.
+        func: FuncId,
+    },
+    /// `enter_loop`
+    EnterLoop {
+        /// The loop.
+        l: LoopId,
+    },
+    /// `loop_iteration`
+    LoopIteration {
+        /// The loop.
+        l: LoopId,
+        /// 0-based iteration number.
+        iter: u64,
+    },
+    /// `exit_loop`
+    ExitLoop {
+        /// The loop.
+        l: LoopId,
+        /// Number of iterations executed.
+        iterations: u64,
+    },
+    /// `instruction`
+    Instruction {
+        /// The instruction.
+        inst: InstId,
+    },
+    /// `memory`
+    Memory {
+        /// The access.
+        access: MemAccess,
+    },
+}
+
+impl Observer for EventLog {
+    fn enter_function(&mut self, func: FuncId, call_inst: Option<InstId>, is_recursive: bool) {
+        self.events.push(Event::EnterFunction { func, call_inst, is_recursive });
+    }
+
+    fn exit_function(&mut self, func: FuncId) {
+        self.events.push(Event::ExitFunction { func });
+    }
+
+    fn enter_loop(&mut self, l: LoopId) {
+        self.events.push(Event::EnterLoop { l });
+    }
+
+    fn loop_iteration(&mut self, l: LoopId, iter: u64) {
+        self.events.push(Event::LoopIteration { l, iter });
+    }
+
+    fn exit_loop(&mut self, l: LoopId, iterations: u64) {
+        self.events.push(Event::ExitLoop { l, iterations });
+    }
+
+    fn instruction(&mut self, inst: InstId) {
+        self.events.push(Event::Instruction { inst });
+    }
+
+    fn memory(&mut self, access: MemAccess) {
+        self.events.push(Event::Memory { access });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let mut a = EventLog::default();
+        let mut b = EventLog::default();
+        {
+            let mut tee = Tee::new(&mut a, &mut b);
+            tee.enter_loop(3);
+            tee.loop_iteration(3, 0);
+            tee.exit_loop(3, 1);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 3);
+    }
+
+    #[test]
+    fn null_observer_accepts_everything() {
+        let mut n = NullObserver;
+        n.instruction(0);
+        n.memory(MemAccess { addr: 0, kind: AccessKind::Read, inst: 0, line: 1 });
+        n.enter_function(0, None, false);
+        n.exit_function(0);
+    }
+}

@@ -1,0 +1,737 @@
+//! The instrumenting interpreter.
+//!
+//! Executes a lowered [`IrProgram`], emitting every event described in
+//! [`crate::event::Observer`]. Semantics:
+//!
+//! - all numbers are `f64`; array indices are truncated toward zero and
+//!   bounds-checked;
+//! - `for` bounds are evaluated once on loop entry; the induction variable
+//!   is written by the loop machinery without memory events;
+//! - `&&` / `||` short-circuit;
+//! - every function *activation* receives a fresh virtual address range for
+//!   its locals (never reused), so independent sibling calls can never
+//!   appear dependent through recycled stack slots;
+//! - execution is bounded by [`ExecLimits::max_insts`] to keep runaway
+//!   models from hanging analyses.
+
+use crate::error::RuntimeError;
+use crate::event::{AccessKind, MemAccess, Observer};
+use crate::ir::*;
+use crate::lower::FRAME_REGION_BASE;
+use parpat_minilang::ast::{BinOp, UnOp};
+
+/// Execution bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecLimits {
+    /// Maximum number of executed IR instructions before aborting.
+    pub max_insts: u64,
+    /// Maximum call depth. The interpreter recurses with the program, so
+    /// unbounded MiniLang recursion would overflow the host stack; this
+    /// turns it into a clean [`RuntimeError`] instead.
+    pub max_call_depth: usize,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        // Generous enough for every suite model at its default input size,
+        // small enough that an accidental infinite `while` fails fast — and
+        // a call-depth bound that stays inside a 2 MiB thread stack even in
+        // unoptimized builds.
+        ExecLimits { max_insts: 500_000_000, max_call_depth: 128 }
+    }
+}
+
+/// Result of a completed execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOutcome {
+    /// Total IR instructions executed.
+    pub insts: u64,
+    /// The entry function's return value.
+    pub return_value: f64,
+}
+
+/// Run the program's `main` with the default limits.
+pub fn run(prog: &IrProgram, obs: &mut dyn Observer) -> Result<ExecOutcome, RuntimeError> {
+    run_with_limits(prog, obs, ExecLimits::default())
+}
+
+/// Run the program's `main` with explicit limits.
+pub fn run_with_limits(
+    prog: &IrProgram,
+    obs: &mut dyn Observer,
+    limits: ExecLimits,
+) -> Result<ExecOutcome, RuntimeError> {
+    let entry = prog
+        .entry
+        .ok_or_else(|| RuntimeError::new(0, "program has no `main` function".to_owned()))?;
+    run_function(prog, entry, &[], obs, limits)
+}
+
+/// Run a specific function with the given scalar arguments.
+pub fn run_function(
+    prog: &IrProgram,
+    func: FuncId,
+    args: &[f64],
+    obs: &mut dyn Observer,
+    limits: ExecLimits,
+) -> Result<ExecOutcome, RuntimeError> {
+    let f = &prog.functions[func];
+    if args.len() != f.n_params {
+        return Err(RuntimeError::new(
+            f.line,
+            format!("`{}` expects {} argument(s), got {}", f.name, f.n_params, args.len()),
+        ));
+    }
+    let mut interp = Interp {
+        prog,
+        globals: vec![0.0; prog.global_elems()],
+        next_frame_base: FRAME_REGION_BASE,
+        insts: 0,
+        limits,
+        stack: Vec::new(),
+        obs,
+    };
+    let ret = interp.call(func, None, args)?;
+    Ok(ExecOutcome { insts: interp.insts, return_value: ret })
+}
+
+/// A runtime value. Sema guarantees well-typed programs; mismatches are
+/// reported as runtime errors for defense in depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Value {
+    Num(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn num(self, line: u32) -> Result<f64, RuntimeError> {
+        match self {
+            Value::Num(n) => Ok(n),
+            Value::Bool(_) => Err(RuntimeError::new(line, "expected a number".into())),
+        }
+    }
+
+    fn boolean(self, line: u32) -> Result<bool, RuntimeError> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            Value::Num(_) => Err(RuntimeError::new(line, "expected a boolean".into())),
+        }
+    }
+}
+
+/// Result of executing a statement.
+enum Flow {
+    Normal,
+    Break,
+    Return(f64),
+}
+
+struct Frame {
+    base: u64,
+    locals: Vec<f64>,
+}
+
+struct Interp<'p, 'o> {
+    prog: &'p IrProgram,
+    globals: Vec<f64>,
+    /// Next unused frame base address; monotonically increasing.
+    next_frame_base: u64,
+    insts: u64,
+    limits: ExecLimits,
+    /// Call stack of function ids (for recursion detection).
+    stack: Vec<FuncId>,
+    obs: &'o mut dyn Observer,
+}
+
+impl Interp<'_, '_> {
+    fn line(&self, inst: InstId) -> u32 {
+        self.prog.insts[inst as usize].line
+    }
+
+    fn tick(&mut self, inst: InstId) -> Result<(), RuntimeError> {
+        self.insts += 1;
+        if self.insts > self.limits.max_insts {
+            return Err(RuntimeError::new(
+                self.line(inst),
+                format!("instruction limit of {} exceeded", self.limits.max_insts),
+            ));
+        }
+        self.obs.instruction(inst);
+        Ok(())
+    }
+
+    fn call(
+        &mut self,
+        func: FuncId,
+        call_inst: Option<InstId>,
+        args: &[f64],
+    ) -> Result<f64, RuntimeError> {
+        let f = &self.prog.functions[func];
+        if self.stack.len() >= self.limits.max_call_depth {
+            return Err(RuntimeError::new(
+                f.line,
+                format!(
+                    "call depth limit of {} exceeded entering `{}`",
+                    self.limits.max_call_depth, f.name
+                ),
+            ));
+        }
+        let is_recursive = self.stack.contains(&func);
+
+        let base = self.next_frame_base;
+        self.next_frame_base += (f.n_slots as u64).max(1);
+        let mut frame = Frame { base, locals: vec![0.0; f.n_slots] };
+
+        // Parameter initialization counts as stores attributed to the call
+        // site, so caller→callee dependences flow through arguments. The
+        // events fire *before* `enter_function`, i.e. in the caller's
+        // context: from the callee region's perspective parameters are
+        // inputs from outside, not intra-region definitions.
+        if let Some(ci) = call_inst {
+            let line = self.line(ci);
+            for (slot, &v) in args.iter().enumerate() {
+                frame.locals[slot] = v;
+                self.obs.memory(MemAccess {
+                    addr: base + slot as u64,
+                    kind: AccessKind::Write,
+                    inst: ci,
+                    line,
+                });
+            }
+        } else {
+            frame.locals[..args.len()].copy_from_slice(args);
+        }
+
+        self.obs.enter_function(func, call_inst, is_recursive);
+        self.stack.push(func);
+
+        let mut ret = 0.0;
+        for stmt in &f.body {
+            match self.stmt(stmt, &mut frame)? {
+                Flow::Normal => {}
+                Flow::Break => {
+                    // Sema rejects `break` outside loops; reaching here means
+                    // a lowering bug.
+                    unreachable!("break escaped function body");
+                }
+                Flow::Return(v) => {
+                    ret = v;
+                    break;
+                }
+            }
+        }
+
+        self.stack.pop();
+        self.obs.exit_function(func);
+        Ok(ret)
+    }
+
+    fn stmt(&mut self, s: &IrStmt, frame: &mut Frame) -> Result<Flow, RuntimeError> {
+        match s {
+            IrStmt::StoreLocal { slot, value, inst } => {
+                let v = self.expr(value, frame)?.num(self.line(*inst))?;
+                frame.locals[*slot] = v;
+                self.obs.memory(MemAccess {
+                    addr: frame.base + *slot as u64,
+                    kind: AccessKind::Write,
+                    inst: *inst,
+                    line: self.line(*inst),
+                });
+                self.tick(*inst)?;
+                Ok(Flow::Normal)
+            }
+            IrStmt::StoreIndex { array, indices, value, inst } => {
+                let addr = self.element_addr(*array, indices, frame, *inst)?;
+                let v = self.expr(value, frame)?.num(self.line(*inst))?;
+                self.globals[addr as usize] = v;
+                self.obs.memory(MemAccess {
+                    addr,
+                    kind: AccessKind::Write,
+                    inst: *inst,
+                    line: self.line(*inst),
+                });
+                self.tick(*inst)?;
+                Ok(Flow::Normal)
+            }
+            IrStmt::Loop { id, kind, body, inst } => self.run_loop(*id, kind, body, *inst, frame),
+            IrStmt::If { cond, then_body, else_body, inst } => {
+                let c = self.expr(cond, frame)?.boolean(self.line(*inst))?;
+                self.tick(*inst)?;
+                let body = if c { then_body } else { else_body };
+                for s in body {
+                    match self.stmt(s, frame)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            IrStmt::Return { value, inst } => {
+                let v = match value {
+                    Some(e) => self.expr(e, frame)?.num(self.line(*inst))?,
+                    None => 0.0,
+                };
+                self.tick(*inst)?;
+                Ok(Flow::Return(v))
+            }
+            IrStmt::Break { inst } => {
+                self.tick(*inst)?;
+                Ok(Flow::Break)
+            }
+            IrStmt::ExprStmt { expr, inst } => {
+                self.expr(expr, frame)?;
+                self.tick(*inst)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn run_loop(
+        &mut self,
+        id: LoopId,
+        kind: &LoopKind,
+        body: &[IrStmt],
+        inst: InstId,
+        frame: &mut Frame,
+    ) -> Result<Flow, RuntimeError> {
+        let mut iterations = 0u64;
+        let mut result = Flow::Normal;
+
+        match kind {
+            LoopKind::For { slot, start, end } => {
+                let line = self.line(inst);
+                // Bounds are evaluated once, *outside* the loop region, so
+                // their memory accesses are not attributed to the loop.
+                let start = self.expr(start, frame)?.num(line)?;
+                let end = self.expr(end, frame)?.num(line)?;
+                self.obs.enter_loop(id);
+                let mut i = start;
+                'outer: while i < end {
+                    self.tick(inst)?;
+                    self.obs.loop_iteration(id, iterations);
+                    // Induction variable is written silently: the paper's
+                    // analyses exclude induction variables from dependences.
+                    frame.locals[*slot] = i;
+                    for s in body {
+                        match self.stmt(s, frame)? {
+                            Flow::Normal => {}
+                            Flow::Break => {
+                                iterations += 1;
+                                break 'outer;
+                            }
+                            Flow::Return(v) => {
+                                result = Flow::Return(v);
+                                iterations += 1;
+                                break 'outer;
+                            }
+                        }
+                    }
+                    iterations += 1;
+                    i += 1.0;
+                }
+            }
+            LoopKind::While { cond } => {
+                let line = self.line(inst);
+                self.obs.enter_loop(id);
+                'outer_w: loop {
+                    let c = self.expr(cond, frame)?.boolean(line)?;
+                    self.tick(inst)?;
+                    if !c {
+                        break;
+                    }
+                    self.obs.loop_iteration(id, iterations);
+                    for s in body {
+                        match self.stmt(s, frame)? {
+                            Flow::Normal => {}
+                            Flow::Break => {
+                                iterations += 1;
+                                break 'outer_w;
+                            }
+                            Flow::Return(v) => {
+                                result = Flow::Return(v);
+                                iterations += 1;
+                                break 'outer_w;
+                            }
+                        }
+                    }
+                    iterations += 1;
+                }
+            }
+        }
+
+        self.obs.exit_loop(id, iterations);
+        Ok(result)
+    }
+
+    fn element_addr(
+        &mut self,
+        array: ArrayId,
+        indices: &[IrExpr],
+        frame: &mut Frame,
+        inst: InstId,
+    ) -> Result<u64, RuntimeError> {
+        let line = self.line(inst);
+        let mut resolved = [0usize; 2];
+        for (k, ix) in indices.iter().enumerate() {
+            let v = self.expr(ix, frame)?.num(line)?;
+            let idx = v.trunc();
+            let g = &self.prog.globals[array];
+            let dim = g.dims[k];
+            if idx < 0.0 || idx as usize >= dim || idx.is_nan() {
+                return Err(RuntimeError::new(
+                    line,
+                    format!(
+                        "index {idx} out of bounds for dimension {k} of `{}` (size {dim})",
+                        g.name
+                    ),
+                ));
+            }
+            resolved[k] = idx as usize;
+        }
+        let g = &self.prog.globals[array];
+        Ok(g.base_addr + (resolved[0] * g.row_stride() + if indices.len() == 2 { resolved[1] } else { 0 }) as u64)
+    }
+
+    fn expr(&mut self, e: &IrExpr, frame: &mut Frame) -> Result<Value, RuntimeError> {
+        match e {
+            IrExpr::Const { value, inst } => {
+                self.tick(*inst)?;
+                Ok(Value::Num(*value))
+            }
+            IrExpr::Bool { value, inst } => {
+                self.tick(*inst)?;
+                Ok(Value::Bool(*value))
+            }
+            IrExpr::LoadLocal { slot, inst } => {
+                let v = frame.locals[*slot];
+                self.obs.memory(MemAccess {
+                    addr: frame.base + *slot as u64,
+                    kind: AccessKind::Read,
+                    inst: *inst,
+                    line: self.line(*inst),
+                });
+                self.tick(*inst)?;
+                Ok(Value::Num(v))
+            }
+            IrExpr::LoadIndex { array, indices, inst } => {
+                let addr = self.element_addr(*array, indices, frame, *inst)?;
+                let v = self.globals[addr as usize];
+                self.obs.memory(MemAccess {
+                    addr,
+                    kind: AccessKind::Read,
+                    inst: *inst,
+                    line: self.line(*inst),
+                });
+                self.tick(*inst)?;
+                Ok(Value::Num(v))
+            }
+            IrExpr::CallFn { func, args, inst } => {
+                let line = self.line(*inst);
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, frame)?.num(line)?);
+                }
+                self.tick(*inst)?;
+                let ret = self.call(*func, Some(*inst), &vals)?;
+                Ok(Value::Num(ret))
+            }
+            IrExpr::CallBuiltin { builtin, args, inst } => {
+                let line = self.line(*inst);
+                let mut vals = [0.0f64; 2];
+                for (k, a) in args.iter().enumerate() {
+                    vals[k] = self.expr(a, frame)?.num(line)?;
+                }
+                self.tick(*inst)?;
+                Ok(Value::Num(builtin.eval(&vals[..args.len()])))
+            }
+            IrExpr::Unary { op, operand, inst } => {
+                let line = self.line(*inst);
+                let v = self.expr(operand, frame)?;
+                self.tick(*inst)?;
+                match op {
+                    UnOp::Neg => Ok(Value::Num(-v.num(line)?)),
+                    UnOp::Not => Ok(Value::Bool(!v.boolean(line)?)),
+                }
+            }
+            IrExpr::Binary { op, lhs, rhs, inst } => {
+                let line = self.line(*inst);
+                // Short-circuit logic first.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let l = self.expr(lhs, frame)?.boolean(line)?;
+                    let take_rhs = match op {
+                        BinOp::And => l,
+                        BinOp::Or => !l,
+                        _ => unreachable!(),
+                    };
+                    let out = if take_rhs {
+                        self.expr(rhs, frame)?.boolean(line)?
+                    } else {
+                        l
+                    };
+                    self.tick(*inst)?;
+                    return Ok(Value::Bool(out));
+                }
+                let l = self.expr(lhs, frame)?.num(line)?;
+                let r = self.expr(rhs, frame)?.num(line)?;
+                self.tick(*inst)?;
+                let v = match op {
+                    BinOp::Add => Value::Num(l + r),
+                    BinOp::Sub => Value::Num(l - r),
+                    BinOp::Mul => Value::Num(l * r),
+                    BinOp::Div => Value::Num(l / r),
+                    BinOp::Rem => Value::Num(l.rem_euclid(r)),
+                    BinOp::Eq => Value::Bool(l == r),
+                    BinOp::Ne => Value::Bool(l != r),
+                    BinOp::Lt => Value::Bool(l < r),
+                    BinOp::Le => Value::Bool(l <= r),
+                    BinOp::Gt => Value::Bool(l > r),
+                    BinOp::Ge => Value::Bool(l >= r),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                Ok(v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventLog, NullObserver};
+    use crate::lower::lower;
+    use parpat_minilang::parse_checked;
+
+    fn run_src(src: &str) -> ExecOutcome {
+        let ir = lower(&parse_checked(src).unwrap());
+        run(&ir, &mut NullObserver).unwrap()
+    }
+
+    fn run_fn(src: &str, name: &str, args: &[f64]) -> f64 {
+        let ir = lower(&parse_checked(src).unwrap());
+        let f = ir.function_named(name).unwrap().id;
+        run_function(&ir, f, args, &mut NullObserver, ExecLimits::default())
+            .unwrap()
+            .return_value
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let src = "fn main() { return (1 + 2) * 3 - 4 / 2; }";
+        assert_eq!(run_src(src).return_value, 7.0);
+    }
+
+    #[test]
+    fn for_loop_sums_range() {
+        let src = "fn main() { let s = 0; for i in 0..10 { s += i; } return s; }";
+        assert_eq!(run_src(src).return_value, 45.0);
+    }
+
+    #[test]
+    fn while_loop_with_break() {
+        let src = "fn main() { let i = 0; while true { i += 1; if i >= 5 { break; } } return i; }";
+        assert_eq!(run_src(src).return_value, 5.0);
+    }
+
+    #[test]
+    fn arrays_one_and_two_dim() {
+        let src = "
+            global a[4];
+            global m[2][3];
+            fn main() {
+                for i in 0..4 { a[i] = i * i; }
+                m[1][2] = a[3];
+                return m[1][2] + a[2];
+            }";
+        assert_eq!(run_src(src).return_value, 13.0);
+    }
+
+    #[test]
+    fn recursion_fib() {
+        let src = "
+            fn fib(n) {
+                if n < 2 { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main() { return fib(10); }";
+        assert_eq!(run_src(src).return_value, 55.0);
+    }
+
+    #[test]
+    fn run_function_with_args() {
+        let src = "fn add(a, b) { return a + b; } fn main() {}";
+        assert_eq!(run_fn(src, "add", &[2.0, 3.0]), 5.0);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let ir = lower(&parse_checked("global a[2]; fn main() { a[5] = 1; }").unwrap());
+        let err = run(&ir, &mut NullObserver).unwrap_err();
+        assert!(err.message.contains("out of bounds"));
+    }
+
+    #[test]
+    fn negative_index_is_an_error() {
+        let ir = lower(&parse_checked("global a[2]; fn main() { let x = a[0 - 1]; }").unwrap());
+        assert!(run(&ir, &mut NullObserver).is_err());
+    }
+
+    #[test]
+    fn instruction_limit_stops_infinite_loop() {
+        let ir = lower(&parse_checked("fn main() { while true { let x = 1; } }").unwrap());
+        let err = run_with_limits(
+            &ir,
+            &mut NullObserver,
+            ExecLimits { max_insts: 10_000, ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("instruction limit"));
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs() {
+        // If `&&` did not short-circuit, the out-of-bounds read would fail.
+        let src = "
+            global a[1];
+            fn main() {
+                let i = 5;
+                if i < 1 && a[i] > 0 { return 1; }
+                return 0;
+            }";
+        assert_eq!(run_src(src).return_value, 0.0);
+    }
+
+    #[test]
+    fn loop_events_are_bracketed_and_numbered() {
+        let src = "global a[3]; fn main() { for i in 0..3 { a[i] = i; } }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let mut log = EventLog::default();
+        run(&ir, &mut log).unwrap();
+        let iters: Vec<u64> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::LoopIteration { iter, .. } => Some(*iter),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(iters, vec![0, 1, 2]);
+        assert!(log
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::ExitLoop { iterations: 3, .. })));
+    }
+
+    #[test]
+    fn recursion_flag_is_reported() {
+        let src = "
+            fn r(n) { if n > 0 { r(n - 1); } return 0; }
+            fn main() { r(2); }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let mut log = EventLog::default();
+        run(&ir, &mut log).unwrap();
+        let flags: Vec<bool> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::EnterFunction { is_recursive, .. } => Some(*is_recursive),
+                _ => None,
+            })
+            .collect();
+        // main (false), r (false), r (true), r (true)
+        assert_eq!(flags, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn sibling_calls_use_disjoint_frame_addresses() {
+        let src = "
+            fn leaf(x) { let t = x * 2; return t; }
+            fn main() { let a = leaf(1); let b = leaf(2); }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let mut log = EventLog::default();
+        run(&ir, &mut log).unwrap();
+        // Collect write addresses of `t` per activation of leaf — they must
+        // differ so the profiler cannot fabricate a dependence between the
+        // two calls.
+        let t_writes: Vec<u64> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Memory { access } if access.kind == AccessKind::Write => {
+                    match &ir.insts[access.inst as usize].kind {
+                        InstKind::StoreScalar(n) if n == "t" => Some(access.addr),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(t_writes.len(), 2);
+        assert_ne!(t_writes[0], t_writes[1]);
+    }
+
+    #[test]
+    fn induction_variable_emits_no_memory_events() {
+        let src = "fn main() { for i in 0..4 { let x = i; } }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let mut log = EventLog::default();
+        run(&ir, &mut log).unwrap();
+        let i_writes = log
+            .events
+            .iter()
+            .filter(|e| match e {
+                Event::Memory { access } if access.kind == AccessKind::Write => {
+                    matches!(&ir.insts[access.inst as usize].kind,
+                             InstKind::StoreScalar(n) if n == "i")
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(i_writes, 0, "induction variable must be silent");
+        // But reads of `i` in the body are visible.
+        let i_reads = log
+            .events
+            .iter()
+            .filter(|e| match e {
+                Event::Memory { access } if access.kind == AccessKind::Read => {
+                    matches!(&ir.insts[access.inst as usize].kind,
+                             InstKind::LoadScalar(n) if n == "i")
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(i_reads, 4);
+    }
+
+    #[test]
+    fn param_stores_attributed_to_call_site() {
+        let src = "fn f(x) { return x; }\nfn main() { f(7); }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let mut log = EventLog::default();
+        run(&ir, &mut log).unwrap();
+        let param_store = log.events.iter().find_map(|e| match e {
+            Event::Memory { access } if access.kind == AccessKind::Write => Some(*access),
+            _ => None,
+        });
+        let access = param_store.expect("param store event");
+        assert!(matches!(&ir.insts[access.inst as usize].kind, InstKind::Call(n) if n == "f"));
+        assert_eq!(access.line, 2);
+    }
+
+    #[test]
+    fn rem_follows_euclid() {
+        assert_eq!(run_src("fn main() { return 7 % 3; }").return_value, 1.0);
+        assert_eq!(run_src("fn main() { return (0 - 7) % 3; }").return_value, 2.0);
+    }
+
+    #[test]
+    fn exec_outcome_counts_instructions() {
+        let out = run_src("fn main() { return 1 + 2; }");
+        // const, const, add, return — exactly four instructions.
+        assert_eq!(out.insts, 4);
+    }
+
+    #[test]
+    fn builtins_evaluate() {
+        assert_eq!(run_src("fn main() { return sqrt(16) + min(2, 1) + max(2, 1) + floor(1.9) + abs(0 - 3); }").return_value, 11.0);
+    }
+}

@@ -1,0 +1,480 @@
+//! The structured intermediate representation.
+//!
+//! MiniLang ASTs are lowered into this IR before any analysis runs. The IR
+//! plays the role LLVM IR plays in the paper:
+//!
+//! - every operation (load, store, arithmetic, call, branch, loop header)
+//!   is a numbered *instruction* with a source line — instruction counts
+//!   drive hotspot detection and the estimated-speedup metric;
+//! - loads and stores are explicit, including loads/stores of scalar locals,
+//!   so the dynamic profiler sees every dependence-carrying access;
+//! - control flow stays *structured* (loops and ifs as trees rather than a
+//!   CFG), which makes control-region tracking — the basis of the program
+//!   execution tree — trivial and exact.
+//!
+//! Compound assignments are desugared during lowering into an explicit
+//! load → compute → store sequence *on the same source line*; Algorithm 3 of
+//! the paper (reduction detection) keys on exactly that same-line read/write
+//! pattern.
+
+use parpat_minilang::ast::{BinOp, UnOp};
+
+/// Index of a function within [`IrProgram::functions`].
+pub type FuncId = usize;
+/// Globally unique loop identifier (dense, starting at 0).
+pub type LoopId = u32;
+/// Globally unique instruction identifier (dense, starting at 0).
+pub type InstId = u32;
+/// Index of a global array within [`IrProgram::globals`].
+pub type ArrayId = usize;
+
+/// A lowered program.
+#[derive(Debug, Clone)]
+pub struct IrProgram {
+    /// All functions; indices are [`FuncId`]s.
+    pub functions: Vec<IrFunction>,
+    /// All global arrays; indices are [`ArrayId`]s.
+    pub globals: Vec<IrGlobal>,
+    /// The entry function (`main`), if the program has one.
+    pub entry: Option<FuncId>,
+    /// Metadata for every instruction, indexed by [`InstId`].
+    pub insts: Vec<InstMeta>,
+    /// Metadata for every loop, indexed by [`LoopId`].
+    pub loops: Vec<LoopMeta>,
+}
+
+impl IrProgram {
+    /// Number of instructions in the program.
+    pub fn inst_count(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of loops in the program.
+    pub fn loop_count(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Look up a function by name.
+    pub fn function_named(&self, name: &str) -> Option<&IrFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Total number of `f64` elements across all global arrays.
+    pub fn global_elems(&self) -> usize {
+        self.globals.iter().map(|g| g.len()).sum()
+    }
+
+    /// The source line of an instruction.
+    pub fn line_of(&self, inst: InstId) -> u32 {
+        self.insts[inst as usize].line
+    }
+}
+
+/// A lowered function.
+#[derive(Debug, Clone)]
+pub struct IrFunction {
+    /// This function's id (its index in [`IrProgram::functions`]).
+    pub id: FuncId,
+    /// Source-level name.
+    pub name: String,
+    /// Number of parameters. Parameters occupy local slots `0..n_params`.
+    pub n_params: usize,
+    /// Total number of local scalar slots (including parameters).
+    pub n_slots: usize,
+    /// Human-readable name of each slot (for reports and CU labels).
+    pub slot_names: Vec<String>,
+    /// Function body.
+    pub body: Vec<IrStmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A global dense `f64` array.
+#[derive(Debug, Clone)]
+pub struct IrGlobal {
+    /// This array's id.
+    pub id: ArrayId,
+    /// Source-level name.
+    pub name: String,
+    /// Dimensions (length 1 or 2).
+    pub dims: Vec<usize>,
+    /// First virtual address of the array's storage.
+    pub base_addr: u64,
+}
+
+impl IrGlobal {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the array has zero elements (cannot happen for parsed
+    /// programs; dimensions are validated to be positive).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row length for 2-D arrays, 1 for 1-D arrays (so that
+    /// `base + i * row + j` is the linear address in both cases).
+    pub fn row_stride(&self) -> usize {
+        if self.dims.len() == 2 {
+            self.dims[1]
+        } else {
+            1
+        }
+    }
+}
+
+/// Statements of the structured IR.
+#[derive(Debug, Clone)]
+pub enum IrStmt {
+    /// Store into a scalar local slot.
+    StoreLocal {
+        /// Destination slot.
+        slot: usize,
+        /// Value to store.
+        value: IrExpr,
+        /// The store instruction.
+        inst: InstId,
+    },
+    /// Store into a global array element.
+    StoreIndex {
+        /// Destination array.
+        array: ArrayId,
+        /// One index expression per dimension.
+        indices: Vec<IrExpr>,
+        /// Value to store.
+        value: IrExpr,
+        /// The store instruction.
+        inst: InstId,
+    },
+    /// A structured loop.
+    Loop {
+        /// The loop's id.
+        id: LoopId,
+        /// Counted `for` or conditional `while`.
+        kind: LoopKind,
+        /// Loop body.
+        body: Vec<IrStmt>,
+        /// The loop-header instruction (evaluated once per iteration).
+        inst: InstId,
+    },
+    /// Two-way branch.
+    If {
+        /// Condition.
+        cond: IrExpr,
+        /// Statements executed when true.
+        then_body: Vec<IrStmt>,
+        /// Statements executed when false.
+        else_body: Vec<IrStmt>,
+        /// The branch instruction.
+        inst: InstId,
+    },
+    /// Return from the current function.
+    Return {
+        /// Returned value; `None` returns `0.0`.
+        value: Option<IrExpr>,
+        /// The return instruction.
+        inst: InstId,
+    },
+    /// Exit the innermost loop.
+    Break {
+        /// The break instruction.
+        inst: InstId,
+    },
+    /// An expression evaluated for side effects (a call statement).
+    ExprStmt {
+        /// The expression.
+        expr: IrExpr,
+        /// The statement instruction.
+        inst: InstId,
+    },
+}
+
+impl IrStmt {
+    /// The instruction id of the statement's own operation.
+    pub fn inst(&self) -> InstId {
+        match self {
+            IrStmt::StoreLocal { inst, .. }
+            | IrStmt::StoreIndex { inst, .. }
+            | IrStmt::Loop { inst, .. }
+            | IrStmt::If { inst, .. }
+            | IrStmt::Return { inst, .. }
+            | IrStmt::Break { inst }
+            | IrStmt::ExprStmt { inst, .. } => *inst,
+        }
+    }
+}
+
+/// The two loop forms.
+#[derive(Debug, Clone)]
+pub enum LoopKind {
+    /// `for slot in start..end` — the induction variable is written directly
+    /// by the loop machinery and intentionally does *not* emit memory events
+    /// (the paper's analyses exclude induction variables from dependences).
+    For {
+        /// Slot holding the induction variable.
+        slot: usize,
+        /// Lower bound, evaluated once on entry.
+        start: IrExpr,
+        /// Upper bound (exclusive), evaluated once on entry.
+        end: IrExpr,
+    },
+    /// `while cond` — the condition is evaluated before every iteration.
+    While {
+        /// The condition.
+        cond: IrExpr,
+    },
+}
+
+/// Expressions of the structured IR. Every node owns an instruction id.
+#[derive(Debug, Clone)]
+pub enum IrExpr {
+    /// Numeric constant.
+    Const {
+        /// The value.
+        value: f64,
+        /// This instruction.
+        inst: InstId,
+    },
+    /// Boolean constant.
+    Bool {
+        /// The value.
+        value: bool,
+        /// This instruction.
+        inst: InstId,
+    },
+    /// Load a scalar local slot (emits a read event on the frame address).
+    LoadLocal {
+        /// Source slot.
+        slot: usize,
+        /// This instruction.
+        inst: InstId,
+    },
+    /// Load a global array element (emits a read event).
+    LoadIndex {
+        /// Source array.
+        array: ArrayId,
+        /// One index expression per dimension.
+        indices: Vec<IrExpr>,
+        /// This instruction.
+        inst: InstId,
+    },
+    /// Call a user function.
+    CallFn {
+        /// Callee.
+        func: FuncId,
+        /// Arguments.
+        args: Vec<IrExpr>,
+        /// This instruction.
+        inst: InstId,
+    },
+    /// Call a builtin math function.
+    CallBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Arguments (arity fixed per builtin).
+        args: Vec<IrExpr>,
+        /// This instruction.
+        inst: InstId,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<IrExpr>,
+        /// This instruction.
+        inst: InstId,
+    },
+    /// Binary operation. `&&` and `||` short-circuit.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<IrExpr>,
+        /// Right operand.
+        rhs: Box<IrExpr>,
+        /// This instruction.
+        inst: InstId,
+    },
+}
+
+impl IrExpr {
+    /// The instruction id of the expression's own operation.
+    pub fn inst(&self) -> InstId {
+        match self {
+            IrExpr::Const { inst, .. }
+            | IrExpr::Bool { inst, .. }
+            | IrExpr::LoadLocal { inst, .. }
+            | IrExpr::LoadIndex { inst, .. }
+            | IrExpr::CallFn { inst, .. }
+            | IrExpr::CallBuiltin { inst, .. }
+            | IrExpr::Unary { inst, .. }
+            | IrExpr::Binary { inst, .. } => *inst,
+        }
+    }
+}
+
+/// Builtin math functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `sqrt(x)`
+    Sqrt,
+    /// `abs(x)`
+    Abs,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `floor(x)`
+    Floor,
+}
+
+impl Builtin {
+    /// Evaluate the builtin on its arguments.
+    pub fn eval(self, args: &[f64]) -> f64 {
+        match self {
+            Builtin::Sqrt => args[0].sqrt(),
+            Builtin::Abs => args[0].abs(),
+            Builtin::Min => args[0].min(args[1]),
+            Builtin::Max => args[0].max(args[1]),
+            Builtin::Floor => args[0].floor(),
+        }
+    }
+
+    /// Resolve a builtin from its source name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "sqrt" => Builtin::Sqrt,
+            "abs" => Builtin::Abs,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "floor" => Builtin::Floor,
+            _ => return None,
+        })
+    }
+}
+
+/// What kind of operation an instruction performs. The analyses use this to
+/// classify instructions (e.g. CU construction groups loads/stores by the
+/// variable they touch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstKind {
+    /// A literal.
+    Const,
+    /// Read of a scalar local; payload is the variable name.
+    LoadScalar(String),
+    /// Write of a scalar local; payload is the variable name.
+    StoreScalar(String),
+    /// Read of a global array element; payload is the array name.
+    LoadArray(String),
+    /// Write of a global array element; payload is the array name.
+    StoreArray(String),
+    /// Arithmetic/comparison/logic operation.
+    Compute,
+    /// A call to the named user function.
+    Call(String),
+    /// A call to a builtin.
+    BuiltinCall,
+    /// Loop header (one evaluation per iteration).
+    LoopHeader,
+    /// Conditional branch.
+    Branch,
+    /// Function return.
+    Return,
+    /// Loop break.
+    Break,
+    /// Expression statement wrapper.
+    Stmt,
+}
+
+impl InstKind {
+    /// The variable or array name this instruction reads/writes, if any.
+    pub fn touched_name(&self) -> Option<&str> {
+        match self {
+            InstKind::LoadScalar(n)
+            | InstKind::StoreScalar(n)
+            | InstKind::LoadArray(n)
+            | InstKind::StoreArray(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// True for loads of scalars or array elements.
+    pub fn is_load(&self) -> bool {
+        matches!(self, InstKind::LoadScalar(_) | InstKind::LoadArray(_))
+    }
+
+    /// True for stores of scalars or array elements.
+    pub fn is_store(&self) -> bool {
+        matches!(self, InstKind::StoreScalar(_) | InstKind::StoreArray(_))
+    }
+}
+
+/// Per-instruction metadata.
+#[derive(Debug, Clone)]
+pub struct InstMeta {
+    /// 1-based source line the instruction came from.
+    pub line: u32,
+    /// The function containing the instruction.
+    pub func: FuncId,
+    /// Operation classification.
+    pub kind: InstKind,
+}
+
+/// Per-loop metadata.
+#[derive(Debug, Clone)]
+pub struct LoopMeta {
+    /// 1-based source line of the loop keyword.
+    pub line: u32,
+    /// The function containing the loop.
+    pub func: FuncId,
+    /// `true` for counted `for` loops.
+    pub is_for: bool,
+    /// The loop-header instruction (the loop's identity as a *statement* of
+    /// its enclosing region — used when dependences from inside the loop are
+    /// lifted to statement level for CU graphs).
+    pub head_inst: InstId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_eval_matches_std() {
+        assert_eq!(Builtin::Sqrt.eval(&[9.0]), 3.0);
+        assert_eq!(Builtin::Abs.eval(&[-2.0]), 2.0);
+        assert_eq!(Builtin::Min.eval(&[1.0, 2.0]), 1.0);
+        assert_eq!(Builtin::Max.eval(&[1.0, 2.0]), 2.0);
+        assert_eq!(Builtin::Floor.eval(&[2.9]), 2.0);
+    }
+
+    #[test]
+    fn builtin_from_name_roundtrip() {
+        for name in ["sqrt", "abs", "min", "max", "floor"] {
+            assert!(Builtin::from_name(name).is_some());
+        }
+        assert!(Builtin::from_name("cos").is_none());
+    }
+
+    #[test]
+    fn row_stride_linearizes_2d() {
+        let g = IrGlobal { id: 0, name: "m".into(), dims: vec![3, 7], base_addr: 100 };
+        assert_eq!(g.row_stride(), 7);
+        assert_eq!(g.len(), 21);
+        let g1 = IrGlobal { id: 1, name: "v".into(), dims: vec![5], base_addr: 0 };
+        assert_eq!(g1.row_stride(), 1);
+    }
+
+    #[test]
+    fn inst_kind_touched_names() {
+        assert_eq!(InstKind::LoadScalar("x".into()).touched_name(), Some("x"));
+        assert_eq!(InstKind::StoreArray("a".into()).touched_name(), Some("a"));
+        assert_eq!(InstKind::Compute.touched_name(), None);
+        assert!(InstKind::LoadArray("a".into()).is_load());
+        assert!(InstKind::StoreScalar("x".into()).is_store());
+        assert!(!InstKind::Call("f".into()).is_load());
+    }
+}

@@ -1,0 +1,420 @@
+//! Lowering from MiniLang ASTs to the structured IR.
+//!
+//! Lowering requires a program that already passed
+//! [`parpat_minilang::sema::check`]; violations of that contract are internal
+//! invariant failures and panic. The interesting work here is:
+//!
+//! - **slot allocation** — scalar locals (parameters, `let` bindings, `for`
+//!   induction variables) are assigned dense frame slots, with lexical
+//!   scoping honored (a `let` in a nested block gets its own slot);
+//! - **compound-assignment desugaring** — `x += e` becomes an explicit
+//!   load/compute/store chain whose instructions all carry the assignment's
+//!   source line, which is what makes the paper's reduction detector
+//!   (single write line == single read line) work;
+//! - **instruction numbering** — every IR node receives a dense [`InstId`]
+//!   and an [`InstMeta`] record (line, function, kind).
+
+use std::collections::HashMap;
+
+use parpat_minilang::ast;
+use parpat_minilang::ast::{AssignOp, BinOp};
+
+use crate::ir::*;
+
+/// Virtual address where stack-frame storage begins. Globals occupy
+/// `0..total_global_elems`; every function activation gets a fresh,
+/// never-reused range above this base so that sibling calls can never alias
+/// (frame reuse would fabricate dependences between independent calls —
+/// e.g. `fib(n-1)` / `fib(n-2)` — and mask task parallelism).
+pub const FRAME_REGION_BASE: u64 = 1 << 32;
+
+/// Lower a semantically-checked program into IR.
+pub fn lower(program: &ast::Program) -> IrProgram {
+    let mut globals = Vec::with_capacity(program.globals.len());
+    let mut global_ids = HashMap::new();
+    let mut next_addr = 0u64;
+    for (id, g) in program.globals.iter().enumerate() {
+        global_ids.insert(g.name.clone(), id);
+        globals.push(IrGlobal {
+            id,
+            name: g.name.clone(),
+            dims: g.dims.clone(),
+            base_addr: next_addr,
+        });
+        next_addr += g.len() as u64;
+    }
+    assert!(next_addr < FRAME_REGION_BASE, "global arrays exceed the global address region");
+
+    let mut func_ids = HashMap::new();
+    for (id, f) in program.functions.iter().enumerate() {
+        func_ids.insert(f.name.clone(), id);
+    }
+
+    let mut ctx = LowerCtx {
+        global_ids,
+        func_ids,
+        insts: Vec::new(),
+        loops: Vec::new(),
+    };
+
+    let mut functions = Vec::with_capacity(program.functions.len());
+    for (id, f) in program.functions.iter().enumerate() {
+        functions.push(ctx.function(id, f));
+    }
+
+    let entry = ctx.func_ids.get("main").copied();
+    IrProgram { functions, globals, entry, insts: ctx.insts, loops: ctx.loops }
+}
+
+struct LowerCtx {
+    global_ids: HashMap<String, ArrayId>,
+    func_ids: HashMap<String, FuncId>,
+    insts: Vec<InstMeta>,
+    loops: Vec<LoopMeta>,
+}
+
+/// Per-function lowering state.
+struct FnCtx {
+    func: FuncId,
+    scopes: Vec<HashMap<String, usize>>,
+    slot_names: Vec<String>,
+}
+
+impl FnCtx {
+    fn resolve(&self, name: &str) -> Option<usize> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str) -> usize {
+        let slot = self.slot_names.len();
+        self.slot_names.push(name.to_owned());
+        self.scopes.last_mut().expect("scope stack never empty").insert(name.to_owned(), slot);
+        slot
+    }
+}
+
+impl LowerCtx {
+    fn inst(&mut self, line: u32, func: FuncId, kind: InstKind) -> InstId {
+        let id = self.insts.len() as InstId;
+        self.insts.push(InstMeta { line, func, kind });
+        id
+    }
+
+    fn function(&mut self, id: FuncId, f: &ast::Function) -> IrFunction {
+        let mut fcx = FnCtx { func: id, scopes: vec![HashMap::new()], slot_names: Vec::new() };
+        for p in &f.params {
+            fcx.declare(p);
+        }
+        let n_params = f.params.len();
+        let body = self.block(&mut fcx, &f.body);
+        IrFunction {
+            id,
+            name: f.name.clone(),
+            n_params,
+            n_slots: fcx.slot_names.len(),
+            slot_names: fcx.slot_names,
+            body,
+            line: f.line,
+        }
+    }
+
+    fn block(&mut self, fcx: &mut FnCtx, b: &ast::Block) -> Vec<IrStmt> {
+        fcx.scopes.push(HashMap::new());
+        let out = b.stmts.iter().map(|s| self.stmt(fcx, s)).collect();
+        fcx.scopes.pop();
+        out
+    }
+
+    fn stmt(&mut self, fcx: &mut FnCtx, s: &ast::Stmt) -> IrStmt {
+        match s {
+            ast::Stmt::Let { name, init, line } => {
+                let value = self.expr(fcx, init);
+                // Declare *after* lowering the initializer so `let x = x;`
+                // would refer to an outer `x` (sema already rejects the
+                // undeclared case).
+                let slot = fcx.declare(name);
+                let inst = self.inst(*line, fcx.func, InstKind::StoreScalar(name.clone()));
+                IrStmt::StoreLocal { slot, value, inst }
+            }
+            ast::Stmt::Assign { target, op, value, line } => {
+                self.assign(fcx, target, *op, value, *line)
+            }
+            ast::Stmt::For { var, start, end, body, line } => {
+                let start = self.expr(fcx, start);
+                let end = self.expr(fcx, end);
+                fcx.scopes.push(HashMap::new());
+                let slot = fcx.declare(var);
+                let body = body.stmts.iter().map(|s| self.stmt(fcx, s)).collect();
+                fcx.scopes.pop();
+                let loop_id = self.loops.len() as LoopId;
+                let inst = self.inst(*line, fcx.func, InstKind::LoopHeader);
+                self.loops.push(LoopMeta { line: *line, func: fcx.func, is_for: true, head_inst: inst });
+                IrStmt::Loop { id: loop_id, kind: LoopKind::For { slot, start, end }, body, inst }
+            }
+            ast::Stmt::While { cond, body, line } => {
+                let cond = self.expr(fcx, cond);
+                let body = self.block(fcx, body);
+                let loop_id = self.loops.len() as LoopId;
+                let inst = self.inst(*line, fcx.func, InstKind::LoopHeader);
+                self.loops.push(LoopMeta { line: *line, func: fcx.func, is_for: false, head_inst: inst });
+                IrStmt::Loop { id: loop_id, kind: LoopKind::While { cond }, body, inst }
+            }
+            ast::Stmt::If { cond, then_block, else_block, line } => {
+                let cond = self.expr(fcx, cond);
+                let then_body = self.block(fcx, then_block);
+                let else_body = match else_block {
+                    Some(b) => self.block(fcx, b),
+                    None => Vec::new(),
+                };
+                let inst = self.inst(*line, fcx.func, InstKind::Branch);
+                IrStmt::If { cond, then_body, else_body, inst }
+            }
+            ast::Stmt::Expr { expr, line } => {
+                let expr = self.expr(fcx, expr);
+                let inst = self.inst(*line, fcx.func, InstKind::Stmt);
+                IrStmt::ExprStmt { expr, inst }
+            }
+            ast::Stmt::Return { value, line } => {
+                let value = value.as_ref().map(|v| self.expr(fcx, v));
+                let inst = self.inst(*line, fcx.func, InstKind::Return);
+                IrStmt::Return { value, inst }
+            }
+            ast::Stmt::Break { line } => {
+                let inst = self.inst(*line, fcx.func, InstKind::Break);
+                IrStmt::Break { inst }
+            }
+        }
+    }
+
+    fn assign(
+        &mut self,
+        fcx: &mut FnCtx,
+        target: &ast::LValue,
+        op: AssignOp,
+        value: &ast::Expr,
+        line: u32,
+    ) -> IrStmt {
+        let rhs = self.expr(fcx, value);
+        match target {
+            ast::LValue::Var(name) => {
+                let slot = fcx
+                    .resolve(name)
+                    .unwrap_or_else(|| panic!("lowering invariant: unresolved variable `{name}`"));
+                let value = self.desugar_compound(
+                    op,
+                    rhs,
+                    line,
+                    fcx.func,
+                    // Lazily build the load of the old value only for
+                    // compound operators.
+                    |ctx| {
+                        let inst = ctx.inst(line, fcx.func, InstKind::LoadScalar(name.clone()));
+                        IrExpr::LoadLocal { slot, inst }
+                    },
+                );
+                let inst = self.inst(line, fcx.func, InstKind::StoreScalar(name.clone()));
+                IrStmt::StoreLocal { slot, value, inst }
+            }
+            ast::LValue::Index { array, indices } => {
+                let array_id = *self
+                    .global_ids
+                    .get(array)
+                    .unwrap_or_else(|| panic!("lowering invariant: unresolved array `{array}`"));
+                let lowered_indices: Vec<IrExpr> =
+                    indices.iter().map(|ix| self.expr(fcx, ix)).collect();
+                let reload_indices: Vec<IrExpr> =
+                    indices.iter().map(|ix| self.expr(fcx, ix)).collect();
+                let array_name = array.clone();
+                let value = self.desugar_compound(op, rhs, line, fcx.func, |ctx| {
+                    let inst = ctx.inst(line, fcx.func, InstKind::LoadArray(array_name.clone()));
+                    IrExpr::LoadIndex { array: array_id, indices: reload_indices, inst }
+                });
+                let inst = self.inst(line, fcx.func, InstKind::StoreArray(array.clone()));
+                IrStmt::StoreIndex { array: array_id, indices: lowered_indices, value, inst }
+            }
+        }
+    }
+
+    /// For `=` return `rhs` unchanged; for `op=` build `old op rhs` where
+    /// `old` is produced by `make_load`.
+    fn desugar_compound(
+        &mut self,
+        op: AssignOp,
+        rhs: IrExpr,
+        line: u32,
+        func: FuncId,
+        make_load: impl FnOnce(&mut Self) -> IrExpr,
+    ) -> IrExpr {
+        let bin_op = match op {
+            AssignOp::Set => return rhs,
+            AssignOp::Add => BinOp::Add,
+            AssignOp::Sub => BinOp::Sub,
+            AssignOp::Mul => BinOp::Mul,
+            AssignOp::Div => BinOp::Div,
+        };
+        let old = make_load(self);
+        let inst = self.inst(line, func, InstKind::Compute);
+        IrExpr::Binary { op: bin_op, lhs: Box::new(old), rhs: Box::new(rhs), inst }
+    }
+
+    fn expr(&mut self, fcx: &mut FnCtx, e: &ast::Expr) -> IrExpr {
+        match e {
+            ast::Expr::Number { value, line } => {
+                let inst = self.inst(*line, fcx.func, InstKind::Const);
+                IrExpr::Const { value: *value, inst }
+            }
+            ast::Expr::Bool { value, line } => {
+                let inst = self.inst(*line, fcx.func, InstKind::Const);
+                IrExpr::Bool { value: *value, inst }
+            }
+            ast::Expr::Var { name, line } => {
+                let slot = fcx
+                    .resolve(name)
+                    .unwrap_or_else(|| panic!("lowering invariant: unresolved variable `{name}`"));
+                let inst = self.inst(*line, fcx.func, InstKind::LoadScalar(name.clone()));
+                IrExpr::LoadLocal { slot, inst }
+            }
+            ast::Expr::Index { array, indices, line } => {
+                let array_id = *self
+                    .global_ids
+                    .get(array)
+                    .unwrap_or_else(|| panic!("lowering invariant: unresolved array `{array}`"));
+                let indices = indices.iter().map(|ix| self.expr(fcx, ix)).collect();
+                let inst = self.inst(*line, fcx.func, InstKind::LoadArray(array.clone()));
+                IrExpr::LoadIndex { array: array_id, indices, inst }
+            }
+            ast::Expr::Call { callee, args, line } => {
+                let args: Vec<IrExpr> = args.iter().map(|a| self.expr(fcx, a)).collect();
+                if let Some(builtin) = Builtin::from_name(callee) {
+                    let inst = self.inst(*line, fcx.func, InstKind::BuiltinCall);
+                    IrExpr::CallBuiltin { builtin, args, inst }
+                } else {
+                    let func = *self
+                        .func_ids
+                        .get(callee)
+                        .unwrap_or_else(|| panic!("lowering invariant: unresolved call `{callee}`"));
+                    let inst = self.inst(*line, fcx.func, InstKind::Call(callee.clone()));
+                    IrExpr::CallFn { func, args, inst }
+                }
+            }
+            ast::Expr::Unary { op, operand, line } => {
+                let operand = Box::new(self.expr(fcx, operand));
+                let inst = self.inst(*line, fcx.func, InstKind::Compute);
+                IrExpr::Unary { op: *op, operand, inst }
+            }
+            ast::Expr::Binary { op, lhs, rhs, line } => {
+                let lhs = Box::new(self.expr(fcx, lhs));
+                let rhs = Box::new(self.expr(fcx, rhs));
+                let inst = self.inst(*line, fcx.func, InstKind::Compute);
+                IrExpr::Binary { op: *op, lhs, rhs, inst }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_minilang::parse_checked;
+
+    fn lower_src(src: &str) -> IrProgram {
+        lower(&parse_checked(src).unwrap())
+    }
+
+    #[test]
+    fn lowers_globals_with_sequential_addresses() {
+        let ir = lower_src("global a[4]; global m[2][3]; fn main() {}");
+        assert_eq!(ir.globals[0].base_addr, 0);
+        assert_eq!(ir.globals[1].base_addr, 4);
+        assert_eq!(ir.global_elems(), 10);
+    }
+
+    #[test]
+    fn entry_is_main() {
+        let ir = lower_src("fn helper() {} fn main() { helper(); }");
+        let entry = ir.entry.unwrap();
+        assert_eq!(ir.functions[entry].name, "main");
+    }
+
+    #[test]
+    fn params_occupy_first_slots() {
+        let ir = lower_src("fn f(a, b) { let c = a + b; return c; } fn main() { f(1, 2); }");
+        let f = ir.function_named("f").unwrap();
+        assert_eq!(f.n_params, 2);
+        assert_eq!(f.slot_names[0], "a");
+        assert_eq!(f.slot_names[1], "b");
+        assert_eq!(f.slot_names[2], "c");
+        assert_eq!(f.n_slots, 3);
+    }
+
+    #[test]
+    fn nested_let_gets_fresh_slot() {
+        let ir = lower_src("fn main() { let x = 1; if x > 0 { let y = 2; } let z = 3; }");
+        let m = ir.function_named("main").unwrap();
+        assert_eq!(m.slot_names, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn compound_assign_desugars_to_load_compute_store_same_line() {
+        let ir = lower_src("fn main() {\n let s = 0;\n s += 1;\n}");
+        let m = ir.function_named("main").unwrap();
+        let IrStmt::StoreLocal { value, inst, .. } = &m.body[1] else {
+            panic!("expected store");
+        };
+        let store_line = ir.line_of(*inst);
+        let IrExpr::Binary { op: BinOp::Add, lhs, .. } = value else {
+            panic!("expected desugared add, got {value:?}");
+        };
+        let IrExpr::LoadLocal { inst: load_inst, .. } = **lhs else {
+            panic!("expected load of old value");
+        };
+        assert_eq!(ir.line_of(load_inst), store_line, "read and write share the line");
+        assert_eq!(store_line, 3);
+    }
+
+    #[test]
+    fn for_loop_records_loop_meta() {
+        let ir = lower_src("global a[4]; fn main() { for i in 0..4 { a[i] = i; } }");
+        assert_eq!(ir.loop_count(), 1);
+        assert!(ir.loops[0].is_for);
+    }
+
+    #[test]
+    fn while_loop_is_not_for() {
+        let ir = lower_src("fn main() { while true { break; } }");
+        assert!(!ir.loops[0].is_for);
+    }
+
+    #[test]
+    fn builtin_calls_resolve() {
+        let ir = lower_src("fn main() { let x = sqrt(4); }");
+        let m = ir.function_named("main").unwrap();
+        let IrStmt::StoreLocal { value: IrExpr::CallBuiltin { builtin, .. }, .. } = &m.body[0]
+        else {
+            panic!("expected builtin call");
+        };
+        assert_eq!(*builtin, Builtin::Sqrt);
+    }
+
+    #[test]
+    fn inst_meta_lines_match_source() {
+        let ir = lower_src("global a[2];\nfn main() {\n    a[0] = 1;\n}");
+        let m = ir.function_named("main").unwrap();
+        let IrStmt::StoreIndex { inst, .. } = &m.body[0] else { panic!() };
+        assert_eq!(ir.line_of(*inst), 3);
+        assert!(matches!(&ir.insts[*inst as usize].kind, InstKind::StoreArray(n) if n == "a"));
+    }
+
+    #[test]
+    fn every_inst_id_is_dense_and_in_range() {
+        let ir = lower_src(
+            "global a[4]; fn f(x) { return x * 2; } fn main() { for i in 0..4 { a[i] = f(i); } }",
+        );
+        // All statement/expression inst ids must index into `insts`.
+        for f in &ir.functions {
+            for s in &f.body {
+                assert!((s.inst() as usize) < ir.inst_count());
+            }
+        }
+    }
+}

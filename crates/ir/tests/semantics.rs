@@ -1,0 +1,237 @@
+//! Interpreter semantics edge cases: control flow, numeric behavior, event
+//! ordering, and limits — beyond the unit tests inside the crate.
+
+use parpat_ir::event::{AccessKind, Event, EventLog, NullObserver};
+use parpat_ir::{compile, run, run_function, ExecLimits, InstKind};
+
+fn run_src(src: &str) -> f64 {
+    let ir = compile(src).unwrap();
+    run(&ir, &mut NullObserver).unwrap().return_value
+}
+
+#[test]
+fn break_exits_only_the_innermost_loop() {
+    let src = "global hits[16];
+fn main() {
+    let count = 0;
+    for i in 0..4 {
+        for j in 0..4 {
+            if j == 2 { break; }
+            count += 1;
+        }
+    }
+    return count;
+}";
+    // Inner loop does 2 iterations per outer iteration.
+    assert_eq!(run_src(src), 8.0);
+}
+
+#[test]
+fn return_unwinds_through_nested_loops() {
+    let src = "fn find(limit) {
+    for i in 0..10 {
+        for j in 0..10 {
+            if i * 10 + j == limit { return i * 100 + j; }
+        }
+    }
+    return 0 - 1;
+}
+fn main() { return find(23); }";
+    assert_eq!(run_src(src), 203.0);
+}
+
+#[test]
+fn while_false_never_iterates() {
+    let src = "fn main() {
+    let x = 5;
+    while x < 0 { x += 1; }
+    return x;
+}";
+    assert_eq!(run_src(src), 5.0);
+}
+
+#[test]
+fn for_with_reversed_bounds_never_iterates() {
+    assert_eq!(
+        run_src("fn main() { let s = 0; for i in 5..2 { s += 1; } return s; }"),
+        0.0
+    );
+}
+
+#[test]
+fn fractional_for_bounds_truncate_via_comparison() {
+    // for i in 0..2.5 runs i = 0, 1, 2 (i < 2.5).
+    assert_eq!(
+        run_src("fn main() { let s = 0; for i in 0..(5 / 2) { s += 1; } return s; }"),
+        3.0
+    );
+}
+
+#[test]
+fn division_by_zero_yields_infinity_not_error() {
+    let src = "fn main() { let x = 1 / 0; if x > 1000000 { return 1; } return 0; }";
+    assert_eq!(run_src(src), 1.0);
+}
+
+#[test]
+fn deep_recursion_within_limits() {
+    let src = "fn down(n) {
+    if n == 0 { return 0; }
+    return down(n - 1) + 1;
+}
+fn main() { return down(100); }";
+    assert_eq!(run_src(src), 100.0);
+}
+
+#[test]
+fn excessive_recursion_is_a_clean_error() {
+    let ir = compile(
+        "fn down(n) {
+    if n == 0 { return 0; }
+    return down(n - 1) + 1;
+}
+fn main() { return down(100000); }",
+    )
+    .unwrap();
+    let err = run(&ir, &mut NullObserver).unwrap_err();
+    assert!(err.message.contains("call depth"), "{err}");
+}
+
+#[test]
+fn exec_limit_is_exact_boundary() {
+    let ir = compile("fn main() { return 1 + 2; }").unwrap();
+    // Exactly 4 instructions: const, const, add, return.
+    assert!(run_function(
+        &ir,
+        ir.entry.unwrap(),
+        &[],
+        &mut NullObserver,
+        ExecLimits { max_insts: 4, ..Default::default() }
+    )
+    .is_ok());
+    assert!(run_function(
+        &ir,
+        ir.entry.unwrap(),
+        &[],
+        &mut NullObserver,
+        ExecLimits { max_insts: 3, ..Default::default() }
+    )
+    .is_err());
+}
+
+#[test]
+fn event_order_reads_precede_their_store() {
+    let ir = compile(
+        "global a[2];
+fn main() {
+    a[0] = 3;
+    a[1] = a[0] + 1;
+}",
+    )
+    .unwrap();
+    let mut log = EventLog::default();
+    run(&ir, &mut log).unwrap();
+    let mem: Vec<(AccessKind, u64)> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Memory { access } => Some((access.kind, access.addr)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        mem,
+        vec![
+            (AccessKind::Write, 0),
+            (AccessKind::Read, 0),
+            (AccessKind::Write, 1),
+        ]
+    );
+}
+
+#[test]
+fn compound_array_assign_reads_then_writes_same_addr() {
+    let ir = compile(
+        "global a[1];
+fn main() {
+    a[0] = 5;
+    a[0] += 2;
+}",
+    )
+    .unwrap();
+    let mut log = EventLog::default();
+    run(&ir, &mut log).unwrap();
+    let mem: Vec<(AccessKind, u64)> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Memory { access } => Some((access.kind, access.addr)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        mem,
+        vec![
+            (AccessKind::Write, 0),
+            (AccessKind::Read, 0),
+            (AccessKind::Write, 0),
+        ]
+    );
+    assert_eq!(run(&ir, &mut NullObserver).unwrap().return_value, 0.0);
+}
+
+#[test]
+fn modulo_on_negatives_is_euclidean() {
+    assert_eq!(run_src("fn main() { return (0 - 13) % 5; }"), 2.0);
+    assert_eq!(run_src("fn main() { return 13 % 5; }"), 3.0);
+}
+
+#[test]
+fn two_dimensional_addressing_is_row_major() {
+    let ir = compile(
+        "global m[3][4];
+fn main() {
+    m[1][2] = 7;
+}",
+    )
+    .unwrap();
+    let mut log = EventLog::default();
+    run(&ir, &mut log).unwrap();
+    let write_addr = log
+        .events
+        .iter()
+        .find_map(|e| match e {
+            Event::Memory { access } if access.kind == AccessKind::Write => Some(access.addr),
+            _ => None,
+        })
+        .unwrap();
+    // Row-major: 1 * 4 + 2 = 6.
+    assert_eq!(write_addr, 6);
+}
+
+#[test]
+fn instruction_kinds_cover_whole_program() {
+    let ir = compile(
+        "global a[4];
+fn f(x) { return x + 1; }
+fn main() {
+    let t = f(2);
+    for i in 0..4 { a[i] = t; }
+    while t > 100 { t = 0; }
+    if t > 0 { a[0] = 0; } else { a[1] = 1; }
+}",
+    )
+    .unwrap();
+    let kinds: std::collections::HashSet<std::mem::Discriminant<InstKind>> =
+        ir.insts.iter().map(|m| std::mem::discriminant(&m.kind)).collect();
+    // Const, LoadScalar, StoreScalar, LoadArray?, StoreArray, Compute,
+    // Call, LoopHeader, Branch, Return — at least nine distinct kinds.
+    assert!(kinds.len() >= 9, "got {} kinds", kinds.len());
+}
+
+#[test]
+fn run_function_rejects_wrong_arity() {
+    let ir = compile("fn f(a, b) { return a + b; } fn main() {}").unwrap();
+    let f = ir.function_named("f").unwrap().id;
+    assert!(run_function(&ir, f, &[1.0], &mut NullObserver, ExecLimits::default()).is_err());
+}

@@ -1,0 +1,450 @@
+//! Abstract syntax tree for MiniLang.
+//!
+//! MiniLang is intentionally small: a single numeric type (`f64`), global
+//! dense arrays of one or two dimensions, structured control flow
+//! (`for`/`while`/`if`), function calls, and recursion. That is enough to
+//! express every kernel evaluated in the paper — the Polybench linear-algebra
+//! kernels, the BOTS recursive divide-and-conquer programs, and the hotspot
+//! structure of the Starbench/Parsec applications — while keeping the memory
+//! model simple enough for precise dynamic dependence profiling.
+//!
+//! Every node records the 1-based source line it came from. The line numbers
+//! flow through lowering into the IR and from there into profiling events and
+//! pattern reports.
+
+/// A whole MiniLang program: global array declarations plus functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global array declarations, in source order.
+    pub globals: Vec<GlobalArray>,
+    /// Function definitions, in source order. Execution starts at `main`.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Look up a global array by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalArray> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Number of non-blank source lines spanned by the program, computed from
+    /// the highest line number mentioned in the AST. Used for the "LOC"
+    /// column of Table III.
+    pub fn source_lines(&self) -> u32 {
+        let mut max = 0;
+        for g in &self.globals {
+            max = max.max(g.line);
+        }
+        for f in &self.functions {
+            max = max.max(f.line);
+            max = max.max(block_max_line(&f.body));
+        }
+        max
+    }
+}
+
+fn block_max_line(b: &Block) -> u32 {
+    let mut max = 0;
+    for s in &b.stmts {
+        max = max.max(stmt_max_line(s));
+    }
+    max
+}
+
+fn stmt_max_line(s: &Stmt) -> u32 {
+    match s {
+        Stmt::Let { line, .. }
+        | Stmt::Assign { line, .. }
+        | Stmt::Expr { line, .. }
+        | Stmt::Return { line, .. }
+        | Stmt::Break { line } => *line,
+        Stmt::For { line, body, .. } | Stmt::While { line, body, .. } => {
+            (*line).max(block_max_line(body))
+        }
+        Stmt::If { line, then_block, else_block, .. } => {
+            let mut m = (*line).max(block_max_line(then_block));
+            if let Some(e) = else_block {
+                m = m.max(block_max_line(e));
+            }
+            m
+        }
+    }
+}
+
+/// A global dense `f64` array of one or two dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalArray {
+    /// Array name.
+    pub name: String,
+    /// Extent of each dimension; `dims.len()` is 1 or 2.
+    pub dims: Vec<usize>,
+    /// Declaration line.
+    pub line: u32,
+}
+
+impl GlobalArray {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A function definition. Parameters are scalars passed by value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name; `main` is the entry point.
+    pub name: String,
+    /// Scalar parameter names.
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Block,
+    /// Definition line.
+    pub line: u32,
+}
+
+/// A brace-delimited sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = init;` — declares a local scalar.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `target op= value;` — scalar or array element assignment.
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Plain `=` or a compound operator.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `for var in start..end { body }` — half-open range, step 1.
+    For {
+        /// Induction variable (scoped to the body).
+        var: String,
+        /// Inclusive lower bound.
+        start: Expr,
+        /// Exclusive upper bound.
+        end: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source line of the `for`.
+        line: u32,
+    },
+    /// `while cond { body }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source line of the `while`.
+        line: u32,
+    },
+    /// `if cond { then } else { else }`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when the condition is true.
+        then_block: Block,
+        /// Taken when the condition is false, if present.
+        else_block: Option<Block>,
+        /// Source line of the `if`.
+        line: u32,
+    },
+    /// An expression evaluated for its side effects (a call statement).
+    Expr {
+        /// The expression; in practice always a [`Expr::Call`].
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `return;` or `return expr;`.
+    Return {
+        /// Returned value, if any (missing means `0.0`).
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break;` — exits the innermost loop.
+    Break {
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Stmt {
+    /// The source line the statement starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Let { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::Expr { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Break { line } => *line,
+        }
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable (local, parameter — parameters are mutable locals).
+    Var(String),
+    /// A global array element: `name[i]` or `name[i][j]`.
+    Index {
+        /// Array name.
+        array: String,
+        /// One index expression per dimension.
+        indices: Vec<Expr>,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number {
+        /// The value.
+        value: f64,
+        /// Source line.
+        line: u32,
+    },
+    /// Boolean literal (valid only in boolean positions).
+    Bool {
+        /// The value.
+        value: bool,
+        /// Source line.
+        line: u32,
+    },
+    /// Scalar variable reference.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// Global array element read: `name[i]` or `name[i][j]`.
+    Index {
+        /// Array name.
+        array: String,
+        /// One index expression per dimension.
+        indices: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Function or builtin call. Builtins: `sqrt`, `abs`, `min`, `max`,
+    /// `floor`.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// The source line the expression starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Number { line, .. }
+            | Expr::Bool { line, .. }
+            | Expr::Var { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. } => *line,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (computed as `f64::rem_euclid` at runtime)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl BinOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// True for `&&` and `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// True for the five arithmetic operators.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem)
+    }
+}
+
+/// Names treated as builtin math functions rather than user calls.
+pub const BUILTINS: &[&str] = &["sqrt", "abs", "min", "max", "floor"];
+
+/// True when `name` refers to a builtin math function.
+pub fn is_builtin(name: &str) -> bool {
+    BUILTINS.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification_is_total_and_disjoint() {
+        let all = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::And,
+            BinOp::Or,
+        ];
+        for op in all {
+            let classes =
+                [op.is_arithmetic(), op.is_comparison(), op.is_logical()].iter().filter(|b| **b).count();
+            assert_eq!(classes, 1, "{op:?} must be in exactly one class");
+        }
+    }
+
+    #[test]
+    fn global_array_len_is_product_of_dims() {
+        let g = GlobalArray { name: "m".into(), dims: vec![4, 8], line: 1 };
+        assert_eq!(g.len(), 32);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn source_lines_finds_deepest_line() {
+        let prog = Program {
+            globals: vec![],
+            functions: vec![Function {
+                name: "main".into(),
+                params: vec![],
+                body: Block {
+                    stmts: vec![Stmt::While {
+                        cond: Expr::Bool { value: true, line: 2 },
+                        body: Block { stmts: vec![Stmt::Break { line: 9 }] },
+                        line: 2,
+                    }],
+                },
+                line: 1,
+            }],
+        };
+        assert_eq!(prog.source_lines(), 9);
+    }
+
+    #[test]
+    fn builtins_are_recognized() {
+        assert!(is_builtin("sqrt"));
+        assert!(is_builtin("max"));
+        assert!(!is_builtin("kernel_2mm"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Programmatic AST construction helpers.
+//!
+//! The benchmark-suite models are written as MiniLang source text (so they
+//! read like the paper's listings), but tests and property generators often
+//! need to assemble ASTs directly. These helpers keep that terse: every
+//! constructor takes a line number last, and expression helpers are free
+//! functions designed to be imported with `use parpat_minilang::builder::*`.
+
+use crate::ast::*;
+
+/// Numeric literal.
+pub fn num(value: f64, line: u32) -> Expr {
+    Expr::Number { value, line }
+}
+
+/// Scalar variable reference.
+pub fn var(name: &str, line: u32) -> Expr {
+    Expr::Var { name: name.into(), line }
+}
+
+/// 1-D array element read.
+pub fn idx1(array: &str, i: Expr, line: u32) -> Expr {
+    Expr::Index { array: array.into(), indices: vec![i], line }
+}
+
+/// 2-D array element read.
+pub fn idx2(array: &str, i: Expr, j: Expr, line: u32) -> Expr {
+    Expr::Index { array: array.into(), indices: vec![i, j], line }
+}
+
+/// Function call expression.
+pub fn call(callee: &str, args: Vec<Expr>, line: u32) -> Expr {
+    Expr::Call { callee: callee.into(), args, line }
+}
+
+/// Binary expression.
+pub fn bin(op: BinOp, lhs: Expr, rhs: Expr, line: u32) -> Expr {
+    Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line }
+}
+
+/// `lhs + rhs`.
+pub fn add(lhs: Expr, rhs: Expr, line: u32) -> Expr {
+    bin(BinOp::Add, lhs, rhs, line)
+}
+
+/// `lhs * rhs`.
+pub fn mul(lhs: Expr, rhs: Expr, line: u32) -> Expr {
+    bin(BinOp::Mul, lhs, rhs, line)
+}
+
+/// `lhs < rhs`.
+pub fn lt(lhs: Expr, rhs: Expr, line: u32) -> Expr {
+    bin(BinOp::Lt, lhs, rhs, line)
+}
+
+/// `let name = init;`
+pub fn let_(name: &str, init: Expr, line: u32) -> Stmt {
+    Stmt::Let { name: name.into(), init, line }
+}
+
+/// `name = value;`
+pub fn assign_var(name: &str, value: Expr, line: u32) -> Stmt {
+    Stmt::Assign { target: LValue::Var(name.into()), op: AssignOp::Set, value, line }
+}
+
+/// `array[i] = value;`
+pub fn assign_idx1(array: &str, i: Expr, value: Expr, line: u32) -> Stmt {
+    Stmt::Assign {
+        target: LValue::Index { array: array.into(), indices: vec![i] },
+        op: AssignOp::Set,
+        value,
+        line,
+    }
+}
+
+/// `array[i][j] = value;`
+pub fn assign_idx2(array: &str, i: Expr, j: Expr, value: Expr, line: u32) -> Stmt {
+    Stmt::Assign {
+        target: LValue::Index { array: array.into(), indices: vec![i, j] },
+        op: AssignOp::Set,
+        value,
+        line,
+    }
+}
+
+/// `name += value;`
+pub fn add_assign_var(name: &str, value: Expr, line: u32) -> Stmt {
+    Stmt::Assign { target: LValue::Var(name.into()), op: AssignOp::Add, value, line }
+}
+
+/// `for var in start..end { body }`
+pub fn for_(var: &str, start: Expr, end: Expr, body: Vec<Stmt>, line: u32) -> Stmt {
+    Stmt::For { var: var.into(), start, end, body: Block { stmts: body }, line }
+}
+
+/// `return value;`
+pub fn ret(value: Expr, line: u32) -> Stmt {
+    Stmt::Return { value: Some(value), line }
+}
+
+/// A call statement: `callee(args);`
+pub fn call_stmt(callee: &str, args: Vec<Expr>, line: u32) -> Stmt {
+    Stmt::Expr { expr: call(callee, args, line), line }
+}
+
+/// Function definition.
+pub fn func(name: &str, params: &[&str], body: Vec<Stmt>, line: u32) -> Function {
+    Function {
+        name: name.into(),
+        params: params.iter().map(|p| (*p).into()).collect(),
+        body: Block { stmts: body },
+        line,
+    }
+}
+
+/// 1-D global array declaration.
+pub fn global1(name: &str, len: usize, line: u32) -> GlobalArray {
+    GlobalArray { name: name.into(), dims: vec![len], line }
+}
+
+/// 2-D global array declaration.
+pub fn global2(name: &str, rows: usize, cols: usize, line: u32) -> GlobalArray {
+    GlobalArray { name: name.into(), dims: vec![rows, cols], line }
+}
+
+/// Program from globals and functions.
+pub fn program(globals: Vec<GlobalArray>, functions: Vec<Function>) -> Program {
+    Program { globals, functions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::print_program;
+    use crate::sema::check;
+
+    #[test]
+    fn builds_a_valid_sum_program() {
+        let p = program(
+            vec![global1("a", 8, 1)],
+            vec![func(
+                "main",
+                &[],
+                vec![
+                    let_("s", num(0.0, 2), 2),
+                    for_(
+                        "i",
+                        num(0.0, 3),
+                        num(8.0, 3),
+                        vec![add_assign_var("s", idx1("a", var("i", 4), 4), 4)],
+                        3,
+                    ),
+                ],
+                2,
+            )],
+        );
+        check(&p, true).unwrap();
+        let text = print_program(&p);
+        assert!(text.contains("s += a[i];"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type shared by the MiniLang front end.
+
+use std::fmt;
+
+/// A front-end error: lexing, parsing, or semantic analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Which phase produced the error.
+    pub phase: Phase,
+    /// 1-based source line the error is anchored to (0 when unknown).
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Front-end phases that can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization failed.
+    Lex,
+    /// Parsing failed.
+    Parse,
+    /// Semantic analysis failed.
+    Sema,
+}
+
+impl LangError {
+    /// Construct a lexer error at `line`.
+    pub fn lex(line: u32, message: String) -> Self {
+        LangError { phase: Phase::Lex, line, message }
+    }
+
+    /// Construct a parser error at `line`.
+    pub fn parse(line: u32, message: String) -> Self {
+        LangError { phase: Phase::Parse, line, message }
+    }
+
+    /// Construct a semantic error at `line`.
+    pub fn sema(line: u32, message: String) -> Self {
+        LangError { phase: Phase::Sema, line, message }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "semantic",
+        };
+        write!(f, "{phase} error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_line() {
+        let e = LangError::parse(7, "expected `;`".into());
+        assert_eq!(e.to_string(), "parse error at line 7: expected `;`");
+    }
+
+    #[test]
+    fn constructors_set_phase() {
+        assert_eq!(LangError::lex(1, String::new()).phase, Phase::Lex);
+        assert_eq!(LangError::sema(1, String::new()).phase, Phase::Sema);
+    }
+}

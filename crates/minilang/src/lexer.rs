@@ -1,0 +1,305 @@
+//! Hand-written lexer for MiniLang.
+//!
+//! The lexer is a single forward pass over the input bytes. It tracks line
+//! and column numbers so that every downstream artifact — IR instructions,
+//! memory accesses, detected patterns — can be reported against source lines,
+//! exactly as the paper's LLVM-based toolchain reports against C source
+//! lines.
+
+use crate::error::LangError;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize `src` into a vector of tokens terminated by [`TokenKind::Eof`].
+///
+/// Comments run from `//` to end of line. Whitespace separates tokens but is
+/// otherwise insignificant.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { bytes: src.as_bytes(), pos: 0, line: 1, col: 1, out: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32, col: u32) {
+        self.out.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        while let Some(b) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'0'..=b'9' => self.number(line, col)?,
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(line, col),
+                _ => self.symbol(line, col)?,
+            }
+        }
+        let (line, col) = (self.line, self.col);
+        self.push(TokenKind::Eof, line, col);
+        Ok(self.out)
+    }
+
+    fn number(&mut self, line: u32, col: u32) -> Result<(), LangError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        // A fractional part only when the dot is not the `..` range operator.
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let value: f64 = text
+            .parse()
+            .map_err(|_| LangError::lex(line, format!("invalid numeric literal `{text}`")))?;
+        self.push(TokenKind::Number(value), line, col);
+        Ok(())
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii ident");
+        let kind = match text {
+            "fn" => TokenKind::Fn,
+            "global" => TokenKind::Global,
+            "let" => TokenKind::Let,
+            "for" => TokenKind::For,
+            "in" => TokenKind::In,
+            "while" => TokenKind::While,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            _ => TokenKind::Ident(text.to_owned()),
+        };
+        self.push(kind, line, col);
+    }
+
+    fn symbol(&mut self, line: u32, col: u32) -> Result<(), LangError> {
+        let b = self.bump().expect("caller checked peek()");
+        let two = |lexer: &mut Lexer<'a>, next: u8, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'.' => {
+                if self.peek() == Some(b'.') {
+                    self.bump();
+                    TokenKind::DotDot
+                } else {
+                    return Err(LangError::lex(line, "expected `..`".to_owned()));
+                }
+            }
+            b'=' => two(self, b'=', TokenKind::Eq, TokenKind::Assign),
+            b'+' => two(self, b'=', TokenKind::PlusAssign, TokenKind::Plus),
+            b'-' => two(self, b'=', TokenKind::MinusAssign, TokenKind::Minus),
+            b'*' => two(self, b'=', TokenKind::StarAssign, TokenKind::Star),
+            b'/' => two(self, b'=', TokenKind::SlashAssign, TokenKind::Slash),
+            b'%' => TokenKind::Percent,
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'!' => two(self, b'=', TokenKind::Ne, TokenKind::Not),
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(LangError::lex(line, "expected `&&`".to_owned()));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(LangError::lex(line, "expected `||`".to_owned()));
+                }
+            }
+            other => {
+                return Err(LangError::lex(
+                    line,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        self.push(kind, line, col);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_empty_input() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo let while"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("foo".into()),
+                TokenKind::Let,
+                TokenKind::While,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_integer_and_decimal() {
+        assert_eq!(
+            kinds("42 3.5 0.125"),
+            vec![
+                TokenKind::Number(42.0),
+                TokenKind::Number(3.5),
+                TokenKind::Number(0.125),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn range_dots_are_not_decimal_points() {
+        assert_eq!(
+            kinds("0..10"),
+            vec![
+                TokenKind::Number(0.0),
+                TokenKind::DotDot,
+                TokenKind::Number(10.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_assignment_operators() {
+        assert_eq!(
+            kinds("+= -= *= /="),
+            vec![
+                TokenKind::PlusAssign,
+                TokenKind::MinusAssign,
+                TokenKind::StarAssign,
+                TokenKind::SlashAssign,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= == !="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_to_end_of_line() {
+        assert_eq!(
+            kinds("a // comment with fn let\nb"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[2].col, 3);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a . b").is_err());
+    }
+
+    #[test]
+    fn logical_operators() {
+        assert_eq!(
+            kinds("&& || !"),
+            vec![TokenKind::AndAnd, TokenKind::OrOr, TokenKind::Not, TokenKind::Eof]
+        );
+    }
+}

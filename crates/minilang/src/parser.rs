@@ -1,0 +1,610 @@
+//! Recursive-descent parser for MiniLang.
+//!
+//! Grammar (EBNF, `{}` = repetition, `[]` = option):
+//!
+//! ```text
+//! program   := { global | function }
+//! global    := "global" IDENT "[" NUMBER "]" [ "[" NUMBER "]" ] ";"
+//! function  := "fn" IDENT "(" [ IDENT { "," IDENT } ] ")" block
+//! block     := "{" { stmt } "}"
+//! stmt      := "let" IDENT "=" expr ";"
+//!            | "for" IDENT "in" expr ".." expr block
+//!            | "while" expr block
+//!            | "if" expr block [ "else" (block | ifstmt) ]
+//!            | "return" [ expr ] ";"
+//!            | "break" ";"
+//!            | lvalue ("=" | "+=" | "-=" | "*=" | "/=") expr ";"
+//!            | expr ";"
+//! lvalue    := IDENT [ "[" expr "]" [ "[" expr "]" ] ]
+//! expr      := or
+//! or        := and { "||" and }
+//! and       := cmp { "&&" cmp }
+//! cmp       := add [ ("=="|"!="|"<"|"<="|">"|">=") add ]
+//! add       := mul { ("+"|"-") mul }
+//! mul       := unary { ("*"|"/"|"%") unary }
+//! unary     := ("-"|"!") unary | atom
+//! atom      := NUMBER | "true" | "false" | "(" expr ")"
+//!            | IDENT [ "(" args ")" | "[" expr "]" [ "[" expr "]" ] ]
+//! ```
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parse MiniLang source text into a [`Program`].
+///
+/// This performs lexing and parsing only; run [`crate::sema::check`] on the
+/// result before lowering it.
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, LangError> {
+        if self.peek_kind() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(LangError::parse(
+                self.line(),
+                format!("expected {}, found {}", kind.describe(), self.peek_kind().describe()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, u32), LangError> {
+        let line = self.line();
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, line))
+            }
+            other => Err(LangError::parse(
+                line,
+                format!("expected identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, LangError> {
+        let line = self.line();
+        match *self.peek_kind() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(n)
+            }
+            ref other => Err(LangError::parse(
+                line,
+                format!("expected number, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut globals = Vec::new();
+        let mut functions = Vec::new();
+        loop {
+            match self.peek_kind() {
+                TokenKind::Eof => break,
+                TokenKind::Global => globals.push(self.global()?),
+                TokenKind::Fn => functions.push(self.function()?),
+                other => {
+                    return Err(LangError::parse(
+                        self.line(),
+                        format!("expected `global` or `fn` at top level, found {}", other.describe()),
+                    ))
+                }
+            }
+        }
+        Ok(Program { globals, functions })
+    }
+
+    fn global(&mut self) -> Result<GlobalArray, LangError> {
+        let line = self.line();
+        self.expect(TokenKind::Global)?;
+        let (name, _) = self.expect_ident()?;
+        let mut dims = Vec::new();
+        self.expect(TokenKind::LBracket)?;
+        dims.push(self.dim()?);
+        self.expect(TokenKind::RBracket)?;
+        if self.eat(&TokenKind::LBracket) {
+            dims.push(self.dim()?);
+            self.expect(TokenKind::RBracket)?;
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(GlobalArray { name, dims, line })
+    }
+
+    fn dim(&mut self) -> Result<usize, LangError> {
+        let line = self.line();
+        let n = self.expect_number()?;
+        if n < 1.0 || n.fract() != 0.0 || n > (u32::MAX as f64) {
+            return Err(LangError::parse(
+                line,
+                format!("array dimension must be a positive integer, got {n}"),
+            ));
+        }
+        Ok(n as usize)
+    }
+
+    fn function(&mut self) -> Result<Function, LangError> {
+        let line = self.line();
+        self.expect(TokenKind::Fn)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek_kind() != &TokenKind::RParen {
+            loop {
+                let (p, _) = self.expect_ident()?;
+                params.push(p);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Function { name, params, body, line })
+    }
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek_kind() != &TokenKind::RBrace {
+            if self.peek_kind() == &TokenKind::Eof {
+                return Err(LangError::parse(self.line(), "unterminated block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let line = self.line();
+        match self.peek_kind() {
+            TokenKind::Let => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                self.expect(TokenKind::Assign)?;
+                let init = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Let { name, init, line })
+            }
+            TokenKind::For => {
+                self.bump();
+                let (var, _) = self.expect_ident()?;
+                self.expect(TokenKind::In)?;
+                let start = self.expr()?;
+                self.expect(TokenKind::DotDot)?;
+                let end = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::For { var, start, end, body, line })
+            }
+            TokenKind::While => {
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.peek_kind() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return { value, line })
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Break { line })
+            }
+            _ => self.assign_or_expr_stmt(),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        let line = self.line();
+        self.expect(TokenKind::If)?;
+        let cond = self.expr()?;
+        let then_block = self.block()?;
+        let else_block = if self.eat(&TokenKind::Else) {
+            if self.peek_kind() == &TokenKind::If {
+                // `else if` chains desugar into a single-statement else block.
+                let nested = self.if_stmt()?;
+                Some(Block { stmts: vec![nested] })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_block, else_block, line })
+    }
+
+    /// Statements that start with an identifier: assignment or call.
+    fn assign_or_expr_stmt(&mut self) -> Result<Stmt, LangError> {
+        let line = self.line();
+        let expr = self.expr()?;
+        let assign_op = match self.peek_kind() {
+            TokenKind::Assign => Some(AssignOp::Set),
+            TokenKind::PlusAssign => Some(AssignOp::Add),
+            TokenKind::MinusAssign => Some(AssignOp::Sub),
+            TokenKind::StarAssign => Some(AssignOp::Mul),
+            TokenKind::SlashAssign => Some(AssignOp::Div),
+            _ => None,
+        };
+        if let Some(op) = assign_op {
+            self.bump();
+            let target = match expr {
+                Expr::Var { name, .. } => LValue::Var(name),
+                Expr::Index { array, indices, .. } => LValue::Index { array, indices },
+                other => {
+                    return Err(LangError::parse(
+                        other.line(),
+                        "assignment target must be a variable or array element".into(),
+                    ))
+                }
+            };
+            let value = self.expr()?;
+            self.expect(TokenKind::Semi)?;
+            Ok(Stmt::Assign { target, op, value, line })
+        } else {
+            self.expect(TokenKind::Semi)?;
+            Ok(Stmt::Expr { expr, line })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek_kind() == &TokenKind::OrOr {
+            let line = self.line();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek_kind() == &TokenKind::AndAnd {
+            let line = self.line();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let line = self.line();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        match self.peek_kind() {
+            TokenKind::Minus => {
+                let line = self.line();
+                self.bump();
+                let operand = self.unary_expr()?;
+                Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(operand), line })
+            }
+            TokenKind::Not => {
+                let line = self.line();
+                self.bump();
+                let operand = self.unary_expr()?;
+                Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand), line })
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        let line = self.line();
+        match self.peek_kind().clone() {
+            TokenKind::Number(value) => {
+                self.bump();
+                Ok(Expr::Number { value, line })
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool { value: true, line })
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool { value: false, line })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if self.peek_kind() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Expr::Call { callee: name, args, line })
+                } else if self.peek_kind() == &TokenKind::LBracket {
+                    let mut indices = Vec::new();
+                    while self.eat(&TokenKind::LBracket) {
+                        indices.push(self.expr()?);
+                        self.expect(TokenKind::RBracket)?;
+                    }
+                    if indices.len() > 2 {
+                        return Err(LangError::parse(
+                            line,
+                            "arrays have at most two dimensions".into(),
+                        ));
+                    }
+                    Ok(Expr::Index { array: name, indices, line })
+                } else {
+                    Ok(Expr::Var { name, line })
+                }
+            }
+            other => Err(LangError::parse(
+                line,
+                format!("expected expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_empty_program() {
+        let p = parse("").unwrap();
+        assert!(p.globals.is_empty());
+        assert!(p.functions.is_empty());
+    }
+
+    #[test]
+    fn parses_globals_one_and_two_dims() {
+        let p = parse("global a[10];\nglobal m[4][8];").unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].dims, vec![10]);
+        assert_eq!(p.globals[1].dims, vec![4, 8]);
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse("fn f(a, b) { return a + b; }").unwrap();
+        let f = p.function("f").unwrap();
+        assert_eq!(f.params, vec!["a", "b"]);
+        assert_eq!(f.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p = parse("global a[8]; fn main() { for i in 0..8 { a[i] = i; } }").unwrap();
+        let f = p.function("main").unwrap();
+        match &f.body.stmts[0] {
+            Stmt::For { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert_eq!(body.stmts.len(), 1);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_while_with_break() {
+        let p = parse("fn main() { while true { break; } }").unwrap();
+        match &p.function("main").unwrap().body.stmts[0] {
+            Stmt::While { body, .. } => assert!(matches!(body.stmts[0], Stmt::Break { .. })),
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse("fn f(x) { if x < 0 { return 0; } else if x < 10 { return 1; } else { return 2; } }")
+            .unwrap();
+        match &p.function("f").unwrap().body.stmts[0] {
+            Stmt::If { else_block: Some(e), .. } => {
+                assert!(matches!(e.stmts[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if/else, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_compound_assignment() {
+        let p = parse("fn f() { let s = 0; s += 3; s *= 2; }").unwrap();
+        let stmts = &p.function("f").unwrap().body.stmts;
+        assert!(matches!(stmts[1], Stmt::Assign { op: AssignOp::Add, .. }));
+        assert!(matches!(stmts[2], Stmt::Assign { op: AssignOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_two_dim_index_assignment() {
+        let p = parse("global m[4][4]; fn f() { m[1][2] = m[2][1] + 1; }").unwrap();
+        match &p.function("f").unwrap().body.stmts[0] {
+            Stmt::Assign { target: LValue::Index { array, indices }, .. } => {
+                assert_eq!(array, "m");
+                assert_eq!(indices.len(), 2);
+            }
+            other => panic!("expected index assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("fn f() { let x = 1 + 2 * 3; }").unwrap();
+        match &p.function("f").unwrap().body.stmts[0] {
+            Stmt::Let { init: Expr::Binary { op: BinOp::Add, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_cmp_over_and() {
+        let p = parse("fn f(a, b) { if a < 1 && b > 2 { return 1; } }").unwrap();
+        match &p.function("f").unwrap().body.stmts[0] {
+            Stmt::If { cond: Expr::Binary { op: BinOp::And, lhs, rhs, .. }, .. } => {
+                assert!(matches!(**lhs, Expr::Binary { op: BinOp::Lt, .. }));
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Gt, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_statement_and_call_expression() {
+        let p = parse("fn g(x) { return x; } fn main() { g(1); let y = g(2) + g(3); }").unwrap();
+        let stmts = &p.function("main").unwrap().body.stmts;
+        assert!(matches!(&stmts[0], Stmt::Expr { expr: Expr::Call { .. }, .. }));
+    }
+
+    #[test]
+    fn rejects_three_dimensional_index() {
+        assert!(parse("global a[2]; fn f() { let x = a[0][0][0]; }").is_err());
+    }
+
+    #[test]
+    fn rejects_assignment_to_call() {
+        assert!(parse("fn f() { f() = 3; }").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse("fn f() { let x = 1;").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_dimension() {
+        assert!(parse("global a[0];").is_err());
+        assert!(parse("global a[2.5];").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse("fn f() {\n let x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unary_minus_binds_tighter_than_mul_operand() {
+        let p = parse("fn f() { let x = -1 * 2; }").unwrap();
+        match &p.function("f").unwrap().body.stmts[0] {
+            Stmt::Let { init: Expr::Binary { op: BinOp::Mul, lhs, .. }, .. } => {
+                assert!(matches!(**lhs, Expr::Unary { op: UnOp::Neg, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_expression_overrides_precedence() {
+        let p = parse("fn f() { let x = (1 + 2) * 3; }").unwrap();
+        match &p.function("f").unwrap().body.stmts[0] {
+            Stmt::Let { init: Expr::Binary { op: BinOp::Mul, lhs, .. }, .. } => {
+                assert!(matches!(**lhs, Expr::Binary { op: BinOp::Add, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

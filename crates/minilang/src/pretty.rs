@@ -1,0 +1,202 @@
+//! Pretty-printer for MiniLang ASTs.
+//!
+//! The printer emits one statement per line, so re-parsing its output yields
+//! line numbers that match the printed layout. Printing is deterministic and
+//! idempotent: `print(parse(print(ast))) == print(ast)`, which the property
+//! tests rely on.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole program as parseable MiniLang source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        match g.dims.len() {
+            1 => writeln!(out, "global {}[{}];", g.name, g.dims[0]).unwrap(),
+            _ => writeln!(out, "global {}[{}][{}];", g.name, g.dims[0], g.dims[1]).unwrap(),
+        }
+    }
+    for (i, f) in p.functions.iter().enumerate() {
+        if i > 0 || !p.globals.is_empty() {
+            out.push('\n');
+        }
+        print_function(&mut out, f);
+    }
+    out
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    write!(out, "fn {}(", f.name).unwrap();
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(p);
+    }
+    out.push_str(") {\n");
+    print_block(out, &f.body, 1);
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, b: &Block, depth: usize) {
+    for s in &b.stmts {
+        print_stmt(out, s, depth);
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Let { name, init, .. } => {
+            writeln!(out, "let {name} = {};", print_expr(init)).unwrap();
+        }
+        Stmt::Assign { target, op, value, .. } => {
+            let t = match target {
+                LValue::Var(v) => v.clone(),
+                LValue::Index { array, indices } => print_indexed(array, indices),
+            };
+            let op = match op {
+                AssignOp::Set => "=",
+                AssignOp::Add => "+=",
+                AssignOp::Sub => "-=",
+                AssignOp::Mul => "*=",
+                AssignOp::Div => "/=",
+            };
+            writeln!(out, "{t} {op} {};", print_expr(value)).unwrap();
+        }
+        Stmt::For { var, start, end, body, .. } => {
+            writeln!(out, "for {var} in {}..{} {{", print_expr(start), print_expr(end)).unwrap();
+            print_block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body, .. } => {
+            writeln!(out, "while {} {{", print_expr(cond)).unwrap();
+            print_block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::If { cond, then_block, else_block, .. } => {
+            writeln!(out, "if {} {{", print_expr(cond)).unwrap();
+            print_block(out, then_block, depth + 1);
+            indent(out, depth);
+            match else_block {
+                None => out.push_str("}\n"),
+                Some(e) => {
+                    out.push_str("} else {\n");
+                    print_block(out, e, depth + 1);
+                    indent(out, depth);
+                    out.push_str("}\n");
+                }
+            }
+        }
+        Stmt::Expr { expr, .. } => {
+            writeln!(out, "{};", print_expr(expr)).unwrap();
+        }
+        Stmt::Return { value, .. } => match value {
+            None => out.push_str("return;\n"),
+            Some(v) => writeln!(out, "return {};", print_expr(v)).unwrap(),
+        },
+        Stmt::Break { .. } => out.push_str("break;\n"),
+    }
+}
+
+fn print_indexed(array: &str, indices: &[Expr]) -> String {
+    let mut s = array.to_owned();
+    for ix in indices {
+        write!(s, "[{}]", print_expr(ix)).unwrap();
+    }
+    s
+}
+
+/// Render a single expression. Parentheses are inserted around every binary
+/// and unary subexpression, which keeps the printer trivially correct with
+/// respect to precedence at the cost of some noise.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Number { value, .. } => {
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                format!("{}", *value as i64)
+            } else {
+                format!("{value}")
+            }
+        }
+        Expr::Bool { value, .. } => format!("{value}"),
+        Expr::Var { name, .. } => name.clone(),
+        Expr::Index { array, indices, .. } => print_indexed(array, indices),
+        Expr::Call { callee, args, .. } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{callee}({})", args.join(", "))
+        }
+        Expr::Unary { op, operand, .. } => {
+            let op = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("({op}{})", print_expr(operand))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let op = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {op} {})", print_expr(lhs), print_expr(rhs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn prints_parseable_source() {
+        let src = "global a[4];\n\nfn main() {\n    let s = 0;\n    for i in 0..4 {\n        s += a[i];\n    }\n}\n";
+        let p = parse(src).unwrap();
+        let printed = print_program(&p);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(print_program(&reparsed), printed, "printing must be idempotent");
+    }
+
+    #[test]
+    fn prints_integer_literals_without_decimal_point() {
+        let p = parse("fn f() { let x = 2 + 0.5; }").unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("(2 + 0.5)"), "got: {printed}");
+    }
+
+    #[test]
+    fn prints_else_branch() {
+        let src = "fn f(x) { if x < 1 { return 0; } else { return 1; } }";
+        let printed = print_program(&parse(src).unwrap());
+        assert!(printed.contains("} else {"));
+        assert!(parse(&printed).is_ok());
+    }
+
+    #[test]
+    fn prints_two_dimensional_arrays() {
+        let src = "global m[3][5]; fn f() { m[1][2] = m[0][0]; }";
+        let printed = print_program(&parse(src).unwrap());
+        assert!(printed.contains("global m[3][5];"));
+        assert!(printed.contains("m[1][2] = m[0][0];"));
+    }
+}

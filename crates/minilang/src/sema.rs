@@ -1,0 +1,463 @@
+//! Semantic analysis for MiniLang.
+//!
+//! Checks performed:
+//!
+//! - global arrays: unique names, 1 or 2 dimensions;
+//! - functions: unique names, unique parameter names, no name collisions
+//!   with globals or builtins;
+//! - scalar variables are declared (`let`, parameter, or `for` induction
+//!   variable) before use, and never shadow an array;
+//! - array references name a declared global with the right number of
+//!   indices;
+//! - calls target a defined function or builtin with matching arity;
+//! - `break` appears only inside a loop;
+//! - a simple two-type discipline: arithmetic operates on numbers,
+//!   `&&`/`||`/`!` on booleans, conditions are booleans, and statements
+//!   cannot store booleans into memory.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::error::LangError;
+
+/// The two value types of MiniLang expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Num,
+    Bool,
+}
+
+/// Check a parsed program, returning an error for the first violation found.
+///
+/// When `require_main` is set, a zero-parameter `main` function must exist —
+/// the interpreter's entry-point contract.
+pub fn check(program: &Program, require_main: bool) -> Result<(), LangError> {
+    let mut globals: HashMap<&str, &GlobalArray> = HashMap::new();
+    for g in &program.globals {
+        if g.dims.is_empty() || g.dims.len() > 2 {
+            return Err(LangError::sema(
+                g.line,
+                format!("array `{}` must have 1 or 2 dimensions", g.name),
+            ));
+        }
+        if is_builtin(&g.name) {
+            return Err(LangError::sema(
+                g.line,
+                format!("array `{}` collides with a builtin function", g.name),
+            ));
+        }
+        if globals.insert(&g.name, g).is_some() {
+            return Err(LangError::sema(g.line, format!("duplicate global `{}`", g.name)));
+        }
+    }
+
+    let mut functions: HashMap<&str, &Function> = HashMap::new();
+    for f in &program.functions {
+        if is_builtin(&f.name) {
+            return Err(LangError::sema(
+                f.line,
+                format!("function `{}` collides with a builtin", f.name),
+            ));
+        }
+        if globals.contains_key(f.name.as_str()) {
+            return Err(LangError::sema(
+                f.line,
+                format!("function `{}` collides with a global array", f.name),
+            ));
+        }
+        if functions.insert(&f.name, f).is_some() {
+            return Err(LangError::sema(f.line, format!("duplicate function `{}`", f.name)));
+        }
+    }
+
+    if require_main {
+        match functions.get("main") {
+            None => {
+                return Err(LangError::sema(0, "program has no `main` function".into()));
+            }
+            Some(m) if !m.params.is_empty() => {
+                return Err(LangError::sema(m.line, "`main` must take no parameters".into()));
+            }
+            _ => {}
+        }
+    }
+
+    for f in &program.functions {
+        let mut seen = HashSet::new();
+        for p in &f.params {
+            if globals.contains_key(p.as_str()) {
+                return Err(LangError::sema(
+                    f.line,
+                    format!("parameter `{p}` of `{}` shadows a global array", f.name),
+                ));
+            }
+            if !seen.insert(p.as_str()) {
+                return Err(LangError::sema(
+                    f.line,
+                    format!("duplicate parameter `{p}` in `{}`", f.name),
+                ));
+            }
+        }
+        let mut checker = Checker {
+            globals: &globals,
+            functions: &functions,
+            scopes: vec![f.params.iter().map(|p| p.clone()).collect()],
+            loop_depth: 0,
+        };
+        checker.block(&f.body)?;
+    }
+    Ok(())
+}
+
+struct Checker<'a> {
+    globals: &'a HashMap<&'a str, &'a GlobalArray>,
+    functions: &'a HashMap<&'a str, &'a Function>,
+    scopes: Vec<HashSet<String>>,
+    loop_depth: u32,
+}
+
+impl Checker<'_> {
+    fn declared(&self, name: &str) -> bool {
+        self.scopes.iter().any(|s| s.contains(name))
+    }
+
+    fn declare(&mut self, name: &str) {
+        self.scopes.last_mut().expect("scope stack never empty").insert(name.to_owned());
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), LangError> {
+        self.scopes.push(HashSet::new());
+        for s in &b.stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        match s {
+            Stmt::Let { name, init, line } => {
+                if self.globals.contains_key(name.as_str()) {
+                    return Err(LangError::sema(
+                        *line,
+                        format!("local `{name}` shadows a global array"),
+                    ));
+                }
+                self.expect_ty(init, Ty::Num)?;
+                self.declare(name);
+                Ok(())
+            }
+            Stmt::Assign { target, value, line, .. } => {
+                self.expect_ty(value, Ty::Num)?;
+                match target {
+                    LValue::Var(name) => {
+                        if !self.declared(name) {
+                            return Err(LangError::sema(
+                                *line,
+                                format!("assignment to undeclared variable `{name}`"),
+                            ));
+                        }
+                        Ok(())
+                    }
+                    LValue::Index { array, indices } => self.check_index(array, indices, *line),
+                }
+            }
+            Stmt::For { var, start, end, body, line } => {
+                self.expect_ty(start, Ty::Num)?;
+                self.expect_ty(end, Ty::Num)?;
+                if self.globals.contains_key(var.as_str()) {
+                    return Err(LangError::sema(
+                        *line,
+                        format!("loop variable `{var}` shadows a global array"),
+                    ));
+                }
+                self.scopes.push(HashSet::new());
+                self.declare(var);
+                self.loop_depth += 1;
+                for st in &body.stmts {
+                    self.stmt(st)?;
+                }
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expect_ty(cond, Ty::Bool)?;
+                self.loop_depth += 1;
+                self.block(body)?;
+                self.loop_depth -= 1;
+                Ok(())
+            }
+            Stmt::If { cond, then_block, else_block, .. } => {
+                self.expect_ty(cond, Ty::Bool)?;
+                self.block(then_block)?;
+                if let Some(e) = else_block {
+                    self.block(e)?;
+                }
+                Ok(())
+            }
+            Stmt::Expr { expr, line } => {
+                if !matches!(expr, Expr::Call { .. }) {
+                    return Err(LangError::sema(
+                        *line,
+                        "expression statements must be calls".into(),
+                    ));
+                }
+                self.ty(expr)?;
+                Ok(())
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.expect_ty(v, Ty::Num)?;
+                }
+                Ok(())
+            }
+            Stmt::Break { line } => {
+                if self.loop_depth == 0 {
+                    return Err(LangError::sema(*line, "`break` outside of a loop".into()));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_index(&self, array: &str, indices: &[Expr], line: u32) -> Result<(), LangError> {
+        let Some(g) = self.globals.get(array) else {
+            return Err(LangError::sema(line, format!("unknown array `{array}`")));
+        };
+        if indices.len() != g.dims.len() {
+            return Err(LangError::sema(
+                line,
+                format!(
+                    "array `{array}` has {} dimension(s) but {} index(es) were given",
+                    g.dims.len(),
+                    indices.len()
+                ),
+            ));
+        }
+        for ix in indices {
+            self.expect_ty(ix, Ty::Num)?;
+        }
+        Ok(())
+    }
+
+    fn expect_ty(&self, e: &Expr, want: Ty) -> Result<(), LangError> {
+        let got = self.ty(e)?;
+        if got != want {
+            let name = |t| match t {
+                Ty::Num => "number",
+                Ty::Bool => "boolean",
+            };
+            return Err(LangError::sema(
+                e.line(),
+                format!("expected a {}, found a {}", name(want), name(got)),
+            ));
+        }
+        Ok(())
+    }
+
+    fn ty(&self, e: &Expr) -> Result<Ty, LangError> {
+        match e {
+            Expr::Number { .. } => Ok(Ty::Num),
+            Expr::Bool { .. } => Ok(Ty::Bool),
+            Expr::Var { name, line } => {
+                if self.declared(name) {
+                    Ok(Ty::Num)
+                } else if self.globals.contains_key(name.as_str()) {
+                    Err(LangError::sema(
+                        *line,
+                        format!("array `{name}` used without an index"),
+                    ))
+                } else {
+                    Err(LangError::sema(*line, format!("undeclared variable `{name}`")))
+                }
+            }
+            Expr::Index { array, indices, line } => {
+                self.check_index(array, indices, *line)?;
+                Ok(Ty::Num)
+            }
+            Expr::Call { callee, args, line } => {
+                let arity = if is_builtin(callee) {
+                    match callee.as_str() {
+                        "min" | "max" => 2,
+                        _ => 1,
+                    }
+                } else if let Some(f) = self.functions.get(callee.as_str()) {
+                    f.params.len()
+                } else {
+                    return Err(LangError::sema(*line, format!("unknown function `{callee}`")));
+                };
+                if args.len() != arity {
+                    return Err(LangError::sema(
+                        *line,
+                        format!("`{callee}` expects {arity} argument(s), got {}", args.len()),
+                    ));
+                }
+                for a in args {
+                    self.expect_ty(a, Ty::Num)?;
+                }
+                Ok(Ty::Num)
+            }
+            Expr::Unary { op, operand, .. } => match op {
+                UnOp::Neg => {
+                    self.expect_ty(operand, Ty::Num)?;
+                    Ok(Ty::Num)
+                }
+                UnOp::Not => {
+                    self.expect_ty(operand, Ty::Bool)?;
+                    Ok(Ty::Bool)
+                }
+            },
+            Expr::Binary { op, lhs, rhs, .. } => {
+                if op.is_arithmetic() {
+                    self.expect_ty(lhs, Ty::Num)?;
+                    self.expect_ty(rhs, Ty::Num)?;
+                    Ok(Ty::Num)
+                } else if op.is_comparison() {
+                    self.expect_ty(lhs, Ty::Num)?;
+                    self.expect_ty(rhs, Ty::Num)?;
+                    Ok(Ty::Bool)
+                } else {
+                    self.expect_ty(lhs, Ty::Bool)?;
+                    self.expect_ty(rhs, Ty::Bool)?;
+                    Ok(Ty::Bool)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ok(src: &str) {
+        let p = parse(src).unwrap();
+        check(&p, false).unwrap();
+    }
+
+    fn err(src: &str) -> LangError {
+        let p = parse(src).unwrap();
+        check(&p, false).unwrap_err()
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        ok("global a[8]; fn main() { let s = 0; for i in 0..8 { s += a[i]; } }");
+    }
+
+    #[test]
+    fn rejects_duplicate_global() {
+        assert!(err("global a[1]; global a[2];").message.contains("duplicate global"));
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        assert!(err("fn f() {} fn f() {}").message.contains("duplicate function"));
+    }
+
+    #[test]
+    fn rejects_undeclared_variable_use() {
+        assert!(err("fn f() { let x = y; }").message.contains("undeclared variable `y`"));
+    }
+
+    #[test]
+    fn rejects_assignment_to_undeclared() {
+        assert!(err("fn f() { x = 1; }").message.contains("undeclared variable `x`"));
+    }
+
+    #[test]
+    fn rejects_unknown_array() {
+        assert!(err("fn f() { a[0] = 1; }").message.contains("unknown array"));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        assert!(err("global m[2][2]; fn f() { m[0] = 1; }").message.contains("dimension"));
+        assert!(err("global a[2]; fn f() { a[0][1] = 1; }").message.contains("dimension"));
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        assert!(err("fn f() { g(); }").message.contains("unknown function"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        assert!(err("fn g(a) { return a; } fn f() { g(); }").message.contains("argument"));
+        assert!(err("fn f() { let x = sqrt(1, 2); }").message.contains("argument"));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        assert!(err("fn f() { break; }").message.contains("outside"));
+    }
+
+    #[test]
+    fn accepts_break_inside_while() {
+        ok("fn f() { while true { break; } }");
+    }
+
+    #[test]
+    fn rejects_boolean_stored_to_memory() {
+        assert!(err("fn f() { let x = true; }").message.contains("expected a number"));
+    }
+
+    #[test]
+    fn rejects_number_condition() {
+        assert!(err("fn f() { if 1 { } }").message.contains("expected a boolean"));
+    }
+
+    #[test]
+    fn rejects_array_used_as_scalar() {
+        assert!(err("global a[4]; fn f() { let x = a; }").message.contains("without an index"));
+    }
+
+    #[test]
+    fn requires_main_when_asked() {
+        let p = parse("fn f() {}").unwrap();
+        assert!(check(&p, true).is_err());
+        let p = parse("fn main(x) {}").unwrap();
+        assert!(check(&p, true).is_err());
+        let p = parse("fn main() {}").unwrap();
+        assert!(check(&p, true).is_ok());
+    }
+
+    #[test]
+    fn loop_variable_scoped_to_body() {
+        assert!(err("fn f() { for i in 0..4 { } let x = i; }").message.contains("undeclared"));
+    }
+
+    #[test]
+    fn let_scoped_to_block() {
+        assert!(
+            err("fn f(c) { if c > 0 { let x = 1; } let y = x; }").message.contains("undeclared")
+        );
+    }
+
+    #[test]
+    fn recursion_is_allowed() {
+        ok("fn fib(n) { if n < 2 { return n; } return fib(n - 1) + fib(n - 2); }");
+    }
+
+    #[test]
+    fn rejects_param_shadowing_global() {
+        assert!(err("global a[2]; fn f(a) {}").message.contains("shadows"));
+    }
+
+    #[test]
+    fn rejects_local_shadowing_global() {
+        assert!(err("global a[2]; fn f() { let a = 1; }").message.contains("shadows"));
+    }
+
+    #[test]
+    fn rejects_non_call_expression_statement() {
+        assert!(err("fn f() { 1 + 2; }").message.contains("must be calls"));
+    }
+
+    #[test]
+    fn builtin_calls_typecheck() {
+        ok("fn f(x) { let y = sqrt(abs(x)) + min(x, 1) + max(x, 2) + floor(x); }");
+    }
+}

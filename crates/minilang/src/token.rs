@@ -1,0 +1,175 @@
+//! Lexical tokens for MiniLang.
+//!
+//! Every token carries the 1-based source line on which it starts. Source
+//! lines are the currency of the whole analysis stack: the paper's reduction
+//! detector (Algorithm 3) reasons about *source line numbers* of reads and
+//! writes, so the front end must preserve them faithfully.
+
+use std::fmt;
+
+/// A lexical token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number on which the token starts.
+    pub line: u32,
+    /// 1-based column number on which the token starts.
+    pub col: u32,
+}
+
+/// The kinds of tokens MiniLang understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    /// A numeric literal (integers and decimals are both `f64`).
+    Number(f64),
+    /// An identifier: `[A-Za-z_][A-Za-z0-9_]*`.
+    Ident(String),
+
+    // Keywords
+    /// `fn`
+    Fn,
+    /// `global`
+    Global,
+    /// `let`
+    Let,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `while`
+    While,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `true`
+    True,
+    /// `false`
+    False,
+
+    // Punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `..`
+    DotDot,
+
+    // Operators
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable name used in parser error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Fn => "`fn`".into(),
+            TokenKind::Global => "`global`".into(),
+            TokenKind::Let => "`let`".into(),
+            TokenKind::For => "`for`".into(),
+            TokenKind::In => "`in`".into(),
+            TokenKind::While => "`while`".into(),
+            TokenKind::If => "`if`".into(),
+            TokenKind::Else => "`else`".into(),
+            TokenKind::Return => "`return`".into(),
+            TokenKind::Break => "`break`".into(),
+            TokenKind::True => "`true`".into(),
+            TokenKind::False => "`false`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::DotDot => "`..`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::PlusAssign => "`+=`".into(),
+            TokenKind::MinusAssign => "`-=`".into(),
+            TokenKind::StarAssign => "`*=`".into(),
+            TokenKind::SlashAssign => "`/=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::Eq => "`==`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::AndAnd => "`&&`".into(),
+            TokenKind::OrOr => "`||`".into(),
+            TokenKind::Not => "`!`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}

@@ -1,0 +1,208 @@
+//! Property tests for the MiniLang front end: pretty-print/parse round
+//! trips over generated ASTs, lexer totality, and sema stability.
+
+use proptest::prelude::*;
+
+use parpat_minilang::ast::*;
+use parpat_minilang::lexer::lex;
+use parpat_minilang::parser::parse;
+use parpat_minilang::pretty::print_program;
+use parpat_minilang::sema::check;
+
+/// Strip line/column info by printing (lines are layout-derived on reparse).
+fn normalize(p: &Program) -> String {
+    print_program(p)
+}
+
+/// Generated identifiers that cannot collide with keywords or builtins.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| format!("v_{s}"))
+}
+
+fn arb_expr(vars: Vec<String>, depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = {
+        let vars = vars.clone();
+        prop_oneof![
+            (0u32..1000).prop_map(|n| Expr::Number { value: n as f64, line: 1 }),
+            proptest::sample::select(vars.clone())
+                .prop_map(|name| Expr::Var { name, line: 1 }),
+            (0usize..8).prop_map(|i| Expr::Index {
+                array: "g".to_owned(),
+                indices: vec![Expr::Number { value: i as f64, line: 1 }],
+                line: 1,
+            }),
+        ]
+    };
+    leaf.prop_recursive(depth, 16, 3, move |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), proptest::sample::select(vec![
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+            ]))
+            .prop_map(|(l, r, op)| Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+                line: 1,
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(e),
+                line: 1,
+            }),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Call {
+                callee: "min".to_owned(),
+                args: vec![a, b],
+                line: 1,
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_stmts(vars: Vec<String>, depth: u32) -> BoxedStrategy<Vec<Stmt>> {
+    let stmt = {
+        let vars = vars.clone();
+        let expr = arb_expr(vars.clone(), 2);
+        let cond_expr = arb_expr(vars.clone(), 1);
+        prop_oneof![
+            // Assignment to an existing scalar.
+            (proptest::sample::select(vars.clone()), expr.clone(), proptest::sample::select(vec![
+                AssignOp::Set,
+                AssignOp::Add,
+                AssignOp::Mul,
+            ]))
+            .prop_map(|(name, value, op)| Stmt::Assign {
+                target: LValue::Var(name),
+                op,
+                value,
+                line: 1,
+            }),
+            // Array store.
+            ((0usize..8), expr.clone()).prop_map(|(i, value)| Stmt::Assign {
+                target: LValue::Index {
+                    array: "g".to_owned(),
+                    indices: vec![Expr::Number { value: i as f64, line: 1 }],
+                },
+                op: AssignOp::Set,
+                value,
+                line: 1,
+            }),
+            // If with a comparison condition.
+            (cond_expr.clone(), cond_expr, expr.clone()).prop_map(|(l, r, value)| Stmt::If {
+                cond: Expr::Binary {
+                    op: BinOp::Lt,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                    line: 1,
+                },
+                then_block: Block {
+                    stmts: vec![Stmt::Assign {
+                        target: LValue::Index {
+                            array: "g".to_owned(),
+                            indices: vec![Expr::Number { value: 0.0, line: 1 }],
+                        },
+                        op: AssignOp::Set,
+                        value,
+                        line: 1,
+                    }],
+                },
+                else_block: None,
+                line: 1,
+            }),
+        ]
+    };
+    let vars2 = vars;
+    proptest::collection::vec(stmt, 0..5)
+        .prop_flat_map(move |base| {
+            // Optionally wrap some statements in a for loop.
+            let vars3 = vars2.clone();
+            (Just(base), 0u32..3, arb_expr(vars3, 1)).prop_map(|(mut base, wrap, bound)| {
+                if wrap > 0 && !base.is_empty() {
+                    let body = base.split_off(base.len() / 2);
+                    if !body.is_empty() {
+                        base.push(Stmt::For {
+                            var: "idx".to_owned(),
+                            start: Expr::Number { value: 0.0, line: 1 },
+                            end: Expr::Binary {
+                                op: BinOp::Add,
+                                lhs: Box::new(Expr::Unary {
+                                    op: UnOp::Neg,
+                                    operand: Box::new(bound),
+                                    line: 1,
+                                }),
+                                rhs: Box::new(Expr::Number { value: 4.0, line: 1 }),
+                                line: 1,
+                            },
+                            body: Block { stmts: body },
+                            line: 1,
+                        });
+                    }
+                }
+                base
+            })
+        })
+        .prop_filter("depth bound", move |_| depth > 0)
+        .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (proptest::collection::vec(ident(), 1..4)).prop_flat_map(|mut names| {
+        names.sort();
+        names.dedup();
+        let decls: Vec<Stmt> = names
+            .iter()
+            .map(|n| Stmt::Let {
+                name: n.clone(),
+                init: Expr::Number { value: 1.0, line: 1 },
+                line: 1,
+            })
+            .collect();
+        arb_stmts(names, 3).prop_map(move |stmts| {
+            let mut body = decls.clone();
+            body.extend(stmts);
+            Program {
+                globals: vec![GlobalArray { name: "g".to_owned(), dims: vec![8], line: 1 }],
+                functions: vec![Function {
+                    name: "main".to_owned(),
+                    params: vec![],
+                    body: Block { stmts: body },
+                    line: 1,
+                }],
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// print → parse → print is a fixpoint over generated ASTs.
+    #[test]
+    fn print_parse_fixpoint(p in arb_program()) {
+        let text1 = normalize(&p);
+        let reparsed = parse(&text1).expect("printed program parses");
+        let text2 = normalize(&reparsed);
+        prop_assert_eq!(text1, text2);
+    }
+
+    /// Generated programs pass semantic checking (the generator only emits
+    /// well-scoped programs).
+    #[test]
+    fn generated_programs_check(p in arb_program()) {
+        check(&p, true).expect("well-formed by construction");
+    }
+
+    /// The lexer never panics on arbitrary input (it may error).
+    #[test]
+    fn lexer_is_total(s in "\\PC*") {
+        let _ = lex(&s);
+    }
+
+    /// The parser never panics on arbitrary token-ish input.
+    #[test]
+    fn parser_is_total(s in "[a-z0-9+\\-*/%(){}\\[\\];=<>!&|., \n]*") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,296 @@
+//! Building PETs from execution events.
+//!
+//! [`PetBuilder`] is an [`Observer`]: attach it to an interpreter run (alone
+//! or teed with the dependence profiler) and call
+//! [`PetBuilder::into_pet`] afterwards. Merging rules follow Section II of
+//! the paper:
+//!
+//! - all activations of a function under the same parent node share one
+//!   node;
+//! - recursive activations are folded into the nearest ancestor node of the
+//!   same function, which is marked recursive;
+//! - all instances of a loop under the same parent share one node, which
+//!   accumulates the total iteration count.
+
+use parpat_ir::event::Observer;
+use parpat_ir::interp::{run_function, ExecLimits};
+use parpat_ir::{FuncId, InstId, IrProgram, LoopId, RuntimeError};
+
+use crate::tree::{NodeId, Pet, PetNode, RegionKind};
+
+/// Observer that incrementally builds a [`Pet`].
+#[derive(Debug, Default)]
+pub struct PetBuilder {
+    nodes: Vec<PetNode>,
+    /// Stack of active nodes; the top receives instruction attribution.
+    stack: Vec<NodeId>,
+    root: Option<NodeId>,
+    total_insts: u64,
+}
+
+impl PetBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and return the tree. Panics if no events were observed.
+    pub fn into_pet(mut self) -> Pet {
+        let root = self.root.expect("no execution was observed");
+        // Children were created after parents, so a reverse sweep accumulates
+        // inclusive counts bottom-up.
+        for n in &mut self.nodes {
+            n.inclusive_insts = n.self_insts;
+        }
+        for i in (0..self.nodes.len()).rev() {
+            if let Some(p) = self.nodes[i].parent {
+                let incl = self.nodes[i].inclusive_insts;
+                self.nodes[p].inclusive_insts += incl;
+            }
+        }
+        Pet { nodes: self.nodes, root, total_insts: self.total_insts }
+    }
+
+    fn new_node(&mut self, kind: RegionKind, parent: Option<NodeId>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(PetNode {
+            id,
+            kind,
+            parent,
+            children: Vec::new(),
+            self_insts: 0,
+            inclusive_insts: 0,
+            occurrences: 0,
+            iterations: 0,
+            is_recursive: false,
+        });
+        if let Some(p) = parent {
+            self.nodes[p].children.push(id);
+        }
+        id
+    }
+
+    /// Find or create the child of the current top for `kind`.
+    fn enter_child(&mut self, kind: RegionKind) -> NodeId {
+        match self.stack.last().copied() {
+            None => {
+                let id = self.root.unwrap_or_else(|| {
+                    let id = self.new_node(kind, None);
+                    self.root = Some(id);
+                    id
+                });
+                id
+            }
+            Some(top) => {
+                let existing = self.nodes[top]
+                    .children
+                    .iter()
+                    .copied()
+                    .find(|&c| self.nodes[c].kind == kind);
+                existing.unwrap_or_else(|| self.new_node(kind, Some(top)))
+            }
+        }
+    }
+
+    /// For a recursive activation: the nearest node on the stack for `func`.
+    fn recursive_ancestor(&self, func: FuncId) -> Option<NodeId> {
+        self.stack
+            .iter()
+            .rev()
+            .copied()
+            .find(|&n| self.nodes[n].kind == RegionKind::Function(func))
+    }
+}
+
+impl Observer for PetBuilder {
+    fn enter_function(&mut self, func: FuncId, _call_inst: Option<InstId>, is_recursive: bool) {
+        let node = if is_recursive {
+            match self.recursive_ancestor(func) {
+                Some(n) => {
+                    self.nodes[n].is_recursive = true;
+                    n
+                }
+                // `is_recursive` means the function is on the *call* stack,
+                // but intervening loop nodes never hide it, so this cannot
+                // fail; be defensive anyway.
+                None => self.enter_child(RegionKind::Function(func)),
+            }
+        } else {
+            self.enter_child(RegionKind::Function(func))
+        };
+        self.nodes[node].occurrences += 1;
+        self.stack.push(node);
+    }
+
+    fn exit_function(&mut self, _func: FuncId) {
+        self.stack.pop().expect("exit_function without enter");
+    }
+
+    fn enter_loop(&mut self, l: LoopId) {
+        let node = self.enter_child(RegionKind::Loop(l));
+        self.nodes[node].occurrences += 1;
+        self.stack.push(node);
+    }
+
+    fn exit_loop(&mut self, l: LoopId, iterations: u64) {
+        let top = self.stack.pop().expect("exit_loop without enter");
+        debug_assert_eq!(self.nodes[top].kind, RegionKind::Loop(l));
+        self.nodes[top].iterations += iterations;
+    }
+
+    fn instruction(&mut self, _inst: InstId) {
+        self.total_insts += 1;
+        if let Some(&top) = self.stack.last() {
+            self.nodes[top].self_insts += 1;
+        }
+    }
+}
+
+/// Build the PET of a program's `main`.
+pub fn build_pet(prog: &IrProgram) -> Result<Pet, RuntimeError> {
+    let entry = prog
+        .entry
+        .ok_or_else(|| RuntimeError::new(0, "program has no `main` function".to_owned()))?;
+    build_pet_for(prog, entry, &[])
+}
+
+/// Build the PET of a specific function call.
+pub fn build_pet_for(prog: &IrProgram, func: FuncId, args: &[f64]) -> Result<Pet, RuntimeError> {
+    let mut b = PetBuilder::new();
+    run_function(prog, func, args, &mut b, ExecLimits::default())?;
+    Ok(b.into_pet())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_ir::compile;
+
+    fn pet_of(src: &str) -> (Pet, parpat_ir::IrProgram) {
+        let ir = compile(src).unwrap();
+        let pet = build_pet(&ir).unwrap();
+        (pet, ir)
+    }
+
+    #[test]
+    fn root_is_main() {
+        let (pet, ir) = pet_of("fn main() { let x = 1; }");
+        assert_eq!(pet.nodes[pet.root].kind, RegionKind::Function(ir.entry.unwrap()));
+        assert_eq!(pet.nodes[pet.root].occurrences, 1);
+    }
+
+    #[test]
+    fn loop_iterations_are_merged_into_one_node() {
+        let (pet, _) = pet_of("global a[8]; fn main() { for i in 0..8 { a[i] = i; } }");
+        let lp = pet.loop_node(0).unwrap();
+        assert_eq!(pet.nodes[lp].iterations, 8);
+        assert_eq!(pet.nodes[lp].occurrences, 1);
+    }
+
+    #[test]
+    fn repeated_calls_merge_into_one_child() {
+        let (pet, ir) = pet_of(
+            "fn work(x) { return x * 2; }
+             fn main() { work(1); work(2); work(3); }",
+        );
+        let f = ir.function_named("work").unwrap().id;
+        let n = pet.function_node(f).unwrap();
+        assert_eq!(pet.nodes[n].occurrences, 3);
+        assert_eq!(pet.children(pet.root), &[n]);
+    }
+
+    #[test]
+    fn recursive_calls_merge_and_mark() {
+        let (pet, ir) = pet_of(
+            "fn fib(n) { if n < 2 { return n; } return fib(n - 1) + fib(n - 2); }
+             fn main() { fib(6); }",
+        );
+        let f = ir.function_named("fib").unwrap().id;
+        let n = pet.function_node(f).unwrap();
+        assert!(pet.nodes[n].is_recursive);
+        // fib(6) makes 25 calls in total.
+        assert_eq!(pet.nodes[n].occurrences, 25);
+        // Exactly one fib node exists.
+        let fib_nodes = pet
+            .nodes
+            .iter()
+            .filter(|nd| nd.kind == RegionKind::Function(f))
+            .count();
+        assert_eq!(fib_nodes, 1);
+    }
+
+    #[test]
+    fn nested_loop_instances_merge_with_total_iterations() {
+        let (pet, _) = pet_of(
+            "global a[12];
+             fn main() {
+                 for i in 0..3 { for j in 0..4 { a[i * 4 + j] = 1; } }
+             }",
+        );
+        // inner loop: id 0, 3 instances x 4 iterations.
+        let inner = pet.loop_node(0).unwrap();
+        assert_eq!(pet.nodes[inner].occurrences, 3);
+        assert_eq!(pet.nodes[inner].iterations, 12);
+        let outer = pet.loop_node(1).unwrap();
+        assert_eq!(pet.nodes[outer].iterations, 3);
+        assert_eq!(pet.nodes[outer].parent, Some(pet.root));
+        assert_eq!(pet.nodes[inner].parent, Some(outer));
+    }
+
+    #[test]
+    fn inclusive_counts_cover_total() {
+        let (pet, _) = pet_of(
+            "global a[8];
+             fn fill() { for i in 0..8 { a[i] = i; } return 0; }
+             fn main() { fill(); }",
+        );
+        assert_eq!(pet.nodes[pet.root].inclusive_insts, pet.total_insts);
+        // Children hold less than the root.
+        for c in pet.children(pet.root) {
+            assert!(pet.nodes[*c].inclusive_insts <= pet.total_insts);
+        }
+    }
+
+    #[test]
+    fn hotspot_loop_dominates() {
+        let (pet, _) = pet_of(
+            "global a[64];
+             fn main() {
+                 let x = 1;
+                 for i in 0..64 { a[i] = a[i % 8] * 2 + i; }
+             }",
+        );
+        let hs = pet.hotspot_loops(0.5);
+        assert_eq!(hs.len(), 1);
+    }
+
+    #[test]
+    fn children_preserve_sequential_order() {
+        let (pet, ir) = pet_of(
+            "global a[4];
+             fn first() { return 1; }
+             fn second() { return 2; }
+             fn main() {
+                 first();
+                 for i in 0..4 { a[i] = i; }
+                 second();
+             }",
+        );
+        let kids = pet.children(pet.root);
+        assert_eq!(kids.len(), 3);
+        let f_first = ir.function_named("first").unwrap().id;
+        let f_second = ir.function_named("second").unwrap().id;
+        assert_eq!(pet.nodes[kids[0]].kind, RegionKind::Function(f_first));
+        assert!(matches!(pet.nodes[kids[1]].kind, RegionKind::Loop(_)));
+        assert_eq!(pet.nodes[kids[2]].kind, RegionKind::Function(f_second));
+    }
+
+    #[test]
+    fn render_mentions_function_and_loop() {
+        let (pet, ir) = pet_of("global a[4]; fn main() { for i in 0..4 { a[i] = i; } }");
+        let s = pet.render(&ir);
+        assert!(s.contains("main()"));
+        assert!(s.contains("for-loop L0"));
+        assert!(s.contains("4 iters"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Graphviz DOT export of program execution trees — the tool-facing form
+//! of the paper's Figure 2 drawing.
+
+use parpat_ir::IrProgram;
+
+use crate::tree::Pet;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the PET as a DOT digraph: one node per control region, labeled
+/// with its description and instruction share; hotspots (≥ `hotspot`)
+/// filled.
+pub fn pet_to_dot(pet: &Pet, prog: &IrProgram, hotspot: f64) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("digraph pet {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for n in &pet.nodes {
+        let share = pet.inst_share(n.id);
+        let fill = if share >= hotspot {
+            ", style=filled, fillcolor=\"gold\""
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "  n{} [label=\"{}\\n{:.1}%\"{}];",
+            n.id,
+            esc(&pet.describe(n.id, prog)),
+            100.0 * share,
+            fill
+        )
+        .unwrap();
+    }
+    for n in &pet.nodes {
+        for &c in &n.children {
+            writeln!(out, "  n{} -> n{};", n.id, c).unwrap();
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_pet;
+    use parpat_ir::compile;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let ir = compile(
+            "global a[32];
+fn work() {
+    for i in 0..32 { a[i] = a[i % 3] + 1; }
+    return 0;
+}
+fn main() { work(); work(); }",
+        )
+        .unwrap();
+        let pet = build_pet(&ir).unwrap();
+        let dot = pet_to_dot(&pet, &ir, 0.5);
+        assert!(dot.starts_with("digraph pet"));
+        // main → work → loop chain: 3 nodes, 2 edges.
+        assert_eq!(dot.matches("label=").count(), 3, "{dot}");
+        assert_eq!(dot.matches("->").count(), 2, "{dot}");
+        // The loop is a hotspot at 50%.
+        assert!(dot.contains("fillcolor=\"gold\""), "{dot}");
+        assert!(dot.contains("work()"), "{dot}");
+    }
+
+    #[test]
+    fn cold_threshold_marks_nothing() {
+        let ir = compile("fn main() { let x = 1; }").unwrap();
+        let pet = build_pet(&ir).unwrap();
+        let dot = pet_to_dot(&pet, &ir, 2.0);
+        assert!(!dot.contains("fillcolor"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # parpat-pet
+//!
+//! Program Execution Trees (PETs) — Section II of *"Automatic Parallel
+//! Pattern Detection in the Algorithm Structure Design Space"*.
+//!
+//! A PET's nodes are the control regions (functions and loops) a program
+//! executed, with loop iterations merged per node, recursive calls folded
+//! into a single node marked recursive, per-region instruction counts, and
+//! hotspot identification. The pattern detectors in `parpat-core` walk this
+//! tree to find candidate regions.
+//!
+//! ```
+//! use parpat_pet::build_pet;
+//! let ir = parpat_ir::compile(
+//!     "global a[32];
+//!      fn main() { for i in 0..32 { a[i] = i * i; } }",
+//! )
+//! .unwrap();
+//! let pet = build_pet(&ir).unwrap();
+//! assert_eq!(pet.hotspot_loops(0.5).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod dot;
+pub mod tree;
+
+pub use builder::{build_pet, build_pet_for, PetBuilder};
+pub use dot::pet_to_dot;
+pub use tree::{NodeId, Pet, PetNode, RegionKind};

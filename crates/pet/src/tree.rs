@@ -1,0 +1,224 @@
+//! The Program Execution Tree (PET).
+//!
+//! Section II of the paper: nodes are control regions — functions and loops.
+//! Iterations of a loop are merged into a single node (recording the total
+//! iteration count); recursive calls of a function are merged into a single
+//! node explicitly marked recursive. Every node records the number of
+//! executed IR instructions attributed to it, and regions with a high share
+//! of the program's instructions are *hotspots*. Child order preserves the
+//! sequential execution order of first encounter.
+
+use parpat_ir::{FuncId, IrProgram, LoopId};
+
+/// Index of a node within [`Pet::nodes`].
+pub type NodeId = usize;
+
+/// What control region a PET node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// A function (all non-recursive activations under one parent merged;
+    /// recursive activations merged into the ancestor node).
+    Function(FuncId),
+    /// A loop (all instances under one parent merged).
+    Loop(LoopId),
+}
+
+/// One node of the execution tree.
+#[derive(Debug, Clone)]
+pub struct PetNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// Which region it represents.
+    pub kind: RegionKind,
+    /// Parent node (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Children in first-encounter (sequential) order.
+    pub children: Vec<NodeId>,
+    /// Instructions attributed directly to this region (not to children).
+    pub self_insts: u64,
+    /// Instructions in this region's whole subtree (filled by `finish`).
+    pub inclusive_insts: u64,
+    /// Times the region was entered (activations / loop entries merged in).
+    pub occurrences: u64,
+    /// Total loop iterations (0 for function nodes).
+    pub iterations: u64,
+    /// True for a function node that absorbed recursive activations.
+    pub is_recursive: bool,
+}
+
+/// A completed program execution tree.
+#[derive(Debug, Clone)]
+pub struct Pet {
+    /// All nodes; index is [`NodeId`]. Parents precede children.
+    pub nodes: Vec<PetNode>,
+    /// The root node (the entry function).
+    pub root: NodeId,
+    /// Total executed instructions in the run.
+    pub total_insts: u64,
+}
+
+impl Pet {
+    /// The fraction of all executed instructions inside `n`'s subtree.
+    pub fn inst_share(&self, n: NodeId) -> f64 {
+        if self.total_insts == 0 {
+            0.0
+        } else {
+            self.nodes[n].inclusive_insts as f64 / self.total_insts as f64
+        }
+    }
+
+    /// Nodes whose subtree holds at least `threshold` (0..=1) of all
+    /// executed instructions, in preorder.
+    pub fn hotspots(&self, threshold: f64) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| self.inst_share(n.id) >= threshold)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Hotspot *loop* nodes at the given threshold.
+    pub fn hotspot_loops(&self, threshold: f64) -> Vec<NodeId> {
+        self.hotspots(threshold)
+            .into_iter()
+            .filter(|&n| matches!(self.nodes[n].kind, RegionKind::Loop(_)))
+            .collect()
+    }
+
+    /// Hotspot *function* nodes at the given threshold.
+    pub fn hotspot_functions(&self, threshold: f64) -> Vec<NodeId> {
+        self.hotspots(threshold)
+            .into_iter()
+            .filter(|&n| matches!(self.nodes[n].kind, RegionKind::Function(_)))
+            .collect()
+    }
+
+    /// The node for a loop, if the loop executed.
+    pub fn loop_node(&self, l: LoopId) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.kind == RegionKind::Loop(l)).map(|n| n.id)
+    }
+
+    /// The first node for a function, if it executed.
+    pub fn function_node(&self, f: FuncId) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.kind == RegionKind::Function(f)).map(|n| n.id)
+    }
+
+    /// Immediate children of a node.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n].children
+    }
+
+    /// All loop ids in the subtree of `n` (preorder).
+    pub fn loops_in_subtree(&self, n: NodeId) -> Vec<LoopId> {
+        let mut out = Vec::new();
+        let mut stack = vec![n];
+        while let Some(cur) = stack.pop() {
+            if let RegionKind::Loop(l) = self.nodes[cur].kind {
+                out.push(l);
+            }
+            // Push in reverse to visit children in order.
+            for &c in self.nodes[cur].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Human-readable name of a node's region.
+    pub fn describe(&self, n: NodeId, prog: &IrProgram) -> String {
+        match self.nodes[n].kind {
+            RegionKind::Function(f) => {
+                let name = &prog.functions[f].name;
+                if self.nodes[n].is_recursive {
+                    format!("{name}() [recursive x{}]", self.nodes[n].occurrences)
+                } else {
+                    format!("{name}()")
+                }
+            }
+            RegionKind::Loop(l) => {
+                let meta = &prog.loops[l as usize];
+                let kw = if meta.is_for { "for" } else { "while" };
+                format!("{kw}-loop L{l} @ line {} [{} iters]", meta.line, self.nodes[n].iterations)
+            }
+        }
+    }
+
+    /// Render the tree as indented ASCII, with instruction shares — the
+    /// layout used by the Figure 2 regenerator.
+    pub fn render(&self, prog: &IrProgram) -> String {
+        let mut out = String::new();
+        self.render_node(self.root, prog, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, n: NodeId, prog: &IrProgram, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        writeln!(
+            out,
+            "{} ({} inst, {:.1}%)",
+            self.describe(n, prog),
+            self.nodes[n].inclusive_insts,
+            100.0 * self.inst_share(n)
+        )
+        .unwrap();
+        for &c in &self.nodes[n].children {
+            self.render_node(c, prog, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(id: NodeId, parent: Option<NodeId>, kind: RegionKind, incl: u64) -> PetNode {
+        PetNode {
+            id,
+            kind,
+            parent,
+            children: vec![],
+            self_insts: incl,
+            inclusive_insts: incl,
+            occurrences: 1,
+            iterations: 0,
+            is_recursive: false,
+        }
+    }
+
+    fn sample() -> Pet {
+        // root(fn0): 100 total; child loop0: 80 inclusive.
+        let mut root = leaf(0, None, RegionKind::Function(0), 20);
+        root.children = vec![1];
+        root.inclusive_insts = 100;
+        let lp = leaf(1, Some(0), RegionKind::Loop(0), 80);
+        Pet { nodes: vec![root, lp], root: 0, total_insts: 100 }
+    }
+
+    #[test]
+    fn inst_share_and_hotspots() {
+        let pet = sample();
+        assert_eq!(pet.inst_share(1), 0.8);
+        assert_eq!(pet.hotspots(0.5), vec![0, 1]);
+        assert_eq!(pet.hotspot_loops(0.5), vec![1]);
+        assert_eq!(pet.hotspot_functions(0.5), vec![0]);
+        assert!(pet.hotspots(0.9).contains(&0));
+        assert!(!pet.hotspots(0.9).contains(&1));
+    }
+
+    #[test]
+    fn loops_in_subtree_preorder() {
+        let pet = sample();
+        assert_eq!(pet.loops_in_subtree(0), vec![0]);
+        assert_eq!(pet.loops_in_subtree(1), vec![0]);
+    }
+
+    #[test]
+    fn zero_total_insts_gives_zero_share() {
+        let mut pet = sample();
+        pet.total_insts = 0;
+        assert_eq!(pet.inst_share(0), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Focused PET tests around recursion merging and deep structures —
+//! the Section II behaviors that are easy to get subtly wrong.
+
+use parpat_ir::compile;
+use parpat_pet::{build_pet, RegionKind};
+
+#[test]
+fn mutual_recursion_merges_into_the_ancestor() {
+    // even() ↔ odd(): each is recursive through the other. The PET folds
+    // re-activations into the nearest ancestor node of the same function,
+    // so exactly one node per function exists under the first entry chain.
+    let ir = compile(
+        "fn even(n) {
+    if n == 0 { return 1; }
+    return odd(n - 1);
+}
+fn odd(n) {
+    if n == 0 { return 0; }
+    return even(n - 1);
+}
+fn main() { even(10); }",
+    )
+    .unwrap();
+    let pet = build_pet(&ir).unwrap();
+    let even = ir.function_named("even").unwrap().id;
+    let odd = ir.function_named("odd").unwrap().id;
+    let even_nodes =
+        pet.nodes.iter().filter(|n| n.kind == RegionKind::Function(even)).count();
+    let odd_nodes = pet.nodes.iter().filter(|n| n.kind == RegionKind::Function(odd)).count();
+    assert_eq!(even_nodes, 1, "all even() activations merged");
+    assert_eq!(odd_nodes, 1, "all odd() activations merged");
+    // even entered 6 times (n = 10, 8, 6, 4, 2, 0), odd 5 times.
+    let even_node = pet.function_node(even).unwrap();
+    let odd_node = pet.function_node(odd).unwrap();
+    assert_eq!(pet.nodes[even_node].occurrences, 6);
+    assert_eq!(pet.nodes[odd_node].occurrences, 5);
+    assert!(pet.nodes[even_node].is_recursive);
+    assert!(pet.nodes[odd_node].is_recursive);
+}
+
+#[test]
+fn same_function_under_different_parents_gets_distinct_nodes() {
+    // leaf() called from two different functions: one node per parent
+    // (merging is per parent, not global).
+    let ir = compile(
+        "fn leaf(x) { return x * 2; }
+fn a() { return leaf(1); }
+fn b() { return leaf(2); }
+fn main() { a(); b(); }",
+    )
+    .unwrap();
+    let pet = build_pet(&ir).unwrap();
+    let leaf = ir.function_named("leaf").unwrap().id;
+    let leaf_nodes: Vec<_> =
+        pet.nodes.iter().filter(|n| n.kind == RegionKind::Function(leaf)).collect();
+    assert_eq!(leaf_nodes.len(), 2, "one leaf node under a(), one under b()");
+    let parents: std::collections::HashSet<_> =
+        leaf_nodes.iter().map(|n| n.parent).collect();
+    assert_eq!(parents.len(), 2);
+}
+
+#[test]
+fn deep_loop_nest_preserves_depth() {
+    let ir = compile(
+        "global a[16];
+fn main() {
+    for i in 0..2 {
+        for j in 0..2 {
+            for k in 0..2 {
+                for l in 0..2 {
+                    a[i * 8 + j * 4 + k * 2 + l] = 1;
+                }
+            }
+        }
+    }
+}",
+    )
+    .unwrap();
+    let pet = build_pet(&ir).unwrap();
+    // Chain: main → i → j → k → l.
+    let mut depth = 0;
+    let mut cur = pet.root;
+    while let Some(&child) = pet.children(cur).first() {
+        depth += 1;
+        cur = child;
+    }
+    assert_eq!(depth, 4);
+    // Innermost loop ran 16 iterations total over 8 instances.
+    assert!(matches!(pet.nodes[cur].kind, RegionKind::Loop(_)));
+    assert_eq!(pet.nodes[cur].iterations, 16);
+    assert_eq!(pet.nodes[cur].occurrences, 8);
+}
+
+#[test]
+fn hotspot_threshold_is_inclusive() {
+    let ir = compile(
+        "global a[64];
+fn main() {
+    for i in 0..64 { a[i] = a[i % 4] + i; }
+}",
+    )
+    .unwrap();
+    let pet = build_pet(&ir).unwrap();
+    // At threshold exactly equal to the loop's share, the loop qualifies.
+    let lp = pet.loop_node(0).unwrap();
+    let share = pet.inst_share(lp);
+    assert!(pet.hotspots(share).contains(&lp));
+    assert!(!pet.hotspots(share + 1e-9).contains(&lp));
+}
+
+#[test]
+fn loop_that_never_runs_is_absent() {
+    let ir = compile(
+        "global a[4];
+fn main() {
+    for i in 0..0 { a[i] = 1; }
+    a[0] = 2;
+}",
+    )
+    .unwrap();
+    let pet = build_pet(&ir).unwrap();
+    // The zero-trip loop was still entered (bounds evaluated) but executed
+    // zero iterations.
+    let lp = pet.loop_node(0).expect("entered with zero iterations");
+    assert_eq!(pet.nodes[lp].iterations, 0);
+    assert_eq!(pet.nodes[lp].occurrences, 1);
+}

@@ -1,0 +1,131 @@
+//! `parallel_for` — the do-all / geometric-decomposition executor.
+//!
+//! Splits an index range into contiguous chunks and processes them on scoped
+//! threads. This is the supporting structure (SPMD) the paper maps do-all
+//! loops, fused loops and geometric decomposition onto.
+
+/// Execute `body(i)` for every `i` in `0..n`, on up to `threads` threads.
+///
+/// `body` must be safe to call concurrently for distinct indices — exactly
+/// the do-all property detected by `parpat-core`.
+pub fn parallel_for(threads: usize, n: usize, body: impl Fn(usize) + Sync) {
+    parallel_for_chunks(threads, n, |start, end| {
+        for i in start..end {
+            body(i);
+        }
+    });
+}
+
+/// Execute `body(start, end)` over a chunked partition of `0..n`, one chunk
+/// per thread (the geometric-decomposition shape: each thread owns one
+/// contiguous block of the data).
+pub fn parallel_for_chunks(threads: usize, n: usize, body: impl Fn(usize, usize) + Sync) {
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n == 0 {
+        body(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let body = &body;
+            s.spawn(move || body(start, end));
+        }
+    });
+}
+
+/// Split a mutable slice into `threads` contiguous chunks and run `body` on
+/// each chunk concurrently. `body` receives the chunk's starting index and
+/// the chunk itself — the safe-Rust form of "each thread writes its own
+/// block".
+pub fn parallel_for_slices<T: Send>(
+    threads: usize,
+    data: &mut [T],
+    body: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let n = data.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n == 0 {
+        body(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let body = &body;
+        for (t, piece) in data.chunks_mut(chunk).enumerate() {
+            s.spawn(move || body(t * chunk, piece));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(4, 1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_length_range_is_fine() {
+        parallel_for(4, 0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let mut seen = Vec::new();
+        // Capture by mutable reference only works because threads == 1 runs
+        // inline — so use the chunks variant for the check.
+        parallel_for_chunks(1, 5, |s, e| {
+            assert_eq!((s, e), (0, 5));
+        });
+        for i in 0..5 {
+            seen.push(i);
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn chunks_partition_the_range() {
+        use std::sync::Mutex;
+        let ranges = Mutex::new(Vec::new());
+        parallel_for_chunks(3, 10, |s, e| {
+            ranges.lock().unwrap().push((s, e));
+        });
+        let mut r = ranges.into_inner().unwrap();
+        r.sort_unstable();
+        assert_eq!(r, vec![(0, 4), (4, 8), (8, 10)]);
+    }
+
+    #[test]
+    fn slice_chunks_write_disjoint_blocks() {
+        let mut data = vec![0usize; 100];
+        parallel_for_slices(4, &mut data, |base, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = base + k;
+            }
+        });
+        let expect: Vec<usize> = (0..100).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_clamped() {
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(64, 3, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,281 @@
+//! The multi-loop pipeline executor.
+//!
+//! Runs two dependent loops concurrently under the release rule derived
+//! from the detector's regression coefficients: with `i_y = a·i_x + b`
+//! (Equation 1 / Table II), iteration `j` of the consumer loop may start
+//! once the producer has *completed* iteration `ceil((j - b) / a)`. A
+//! completed-prefix tracker handles out-of-order completion when the
+//! producer stage itself runs do-all in parallel.
+
+use parking_lot::{Condvar, Mutex};
+
+/// The dependence specification of a two-stage multi-loop pipeline,
+/// typically taken from a `parpat_core::PipelineReport`.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineSpec {
+    /// Regression slope (`i_y = a·i_x + b`).
+    pub a: f64,
+    /// Regression intercept.
+    pub b: f64,
+    /// Producer trip count.
+    pub nx: u64,
+    /// Consumer trip count.
+    pub ny: u64,
+}
+
+impl PipelineSpec {
+    /// The last producer iteration that consumer iteration `j` depends on,
+    /// or `None` when `j` depends on no producer iteration (Table II's
+    /// `b > 0` rows).
+    pub fn required_producer_iteration(&self, j: u64) -> Option<u64> {
+        if self.a <= 0.0 {
+            // No positive relation: conservatively require the whole
+            // producer.
+            return Some(self.nx.saturating_sub(1));
+        }
+        let needed = (j as f64 - self.b) / self.a;
+        if needed < 0.0 {
+            return None;
+        }
+        let k = needed.ceil() as u64;
+        Some(k.min(self.nx.saturating_sub(1)))
+    }
+}
+
+/// Tracks the contiguous completed prefix of producer iterations so that
+/// out-of-order parallel completion still exposes a safe watermark.
+pub struct PrefixTracker {
+    inner: Mutex<PrefixState>,
+    cv: Condvar,
+}
+
+struct PrefixState {
+    done: Vec<bool>,
+    /// Number of contiguously completed iterations (watermark).
+    prefix: u64,
+}
+
+impl PrefixTracker {
+    /// Track `n` iterations, none completed.
+    pub fn new(n: u64) -> Self {
+        PrefixTracker {
+            inner: Mutex::new(PrefixState { done: vec![false; n as usize], prefix: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark iteration `i` complete and advance the watermark.
+    pub fn complete(&self, i: u64) {
+        let mut st = self.inner.lock();
+        st.done[i as usize] = true;
+        let mut advanced = false;
+        while (st.prefix as usize) < st.done.len() && st.done[st.prefix as usize] {
+            st.prefix += 1;
+            advanced = true;
+        }
+        if advanced {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Current watermark (completed-prefix length).
+    pub fn watermark(&self) -> u64 {
+        self.inner.lock().prefix
+    }
+
+    /// Block until at least `k + 1` iterations are complete (i.e. iteration
+    /// `k` is covered by the watermark).
+    pub fn wait_for(&self, k: u64) {
+        let mut st = self.inner.lock();
+        while st.prefix <= k {
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+/// Run a two-stage multi-loop pipeline.
+///
+/// - `stage_x(i)` runs producer iteration `i`; iterations are distributed
+///   over `threads_x` threads when `x_parallel` (the stage must be do-all),
+///   else a single thread runs them in order.
+/// - `stage_y(j)` runs consumer iteration `j` after its dependence (per
+///   `spec`) is satisfied; `y_parallel` likewise.
+///
+/// The two stages always overlap — that is the point of the pattern.
+pub fn run_two_stage<X, Y>(
+    spec: PipelineSpec,
+    threads_x: usize,
+    threads_y: usize,
+    x_parallel: bool,
+    y_parallel: bool,
+    stage_x: X,
+    stage_y: Y,
+) where
+    X: Fn(u64) + Sync,
+    Y: Fn(u64) + Sync,
+{
+    let tracker = PrefixTracker::new(spec.nx);
+    let next_x = std::sync::atomic::AtomicU64::new(0);
+    let next_y = std::sync::atomic::AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let tracker = &tracker;
+        let stage_x = &stage_x;
+        let stage_y = &stage_y;
+        let next_x = &next_x;
+        let next_y = &next_y;
+
+        let nx_threads = if x_parallel { threads_x.max(1) } else { 1 };
+        for _ in 0..nx_threads {
+            s.spawn(move || loop {
+                let i = next_x.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= spec.nx {
+                    break;
+                }
+                stage_x(i);
+                tracker.complete(i);
+            });
+        }
+
+        let ny_threads = if y_parallel { threads_y.max(1) } else { 1 };
+        for _ in 0..ny_threads {
+            s.spawn(move || loop {
+                let j = next_y.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if j >= spec.ny {
+                    break;
+                }
+                if let Some(k) = spec.required_producer_iteration(j) {
+                    tracker.wait_for(k);
+                }
+                stage_y(j);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn perfect_pipeline_consumer_never_overtakes() {
+        // a = 1, b = 0: consumer j needs producer j.
+        let spec = PipelineSpec { a: 1.0, b: 0.0, nx: 200, ny: 200 };
+        let produced = AtomicU64::new(0);
+        let violations = AtomicU64::new(0);
+        run_two_stage(
+            spec,
+            2,
+            1,
+            true,
+            false,
+            |_i| {
+                produced.fetch_add(1, Ordering::SeqCst);
+            },
+            |j| {
+                if produced.load(Ordering::SeqCst) < j + 1 {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+        );
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn results_match_sequential_for_elementwise_chain() {
+        // b[j] = a[j] + 1 where a[i] = i * 2 — Listing 1 executed as a real
+        // pipeline with shared buffers.
+        let n = 500usize;
+        let a: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let b: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let spec = PipelineSpec { a: 1.0, b: 0.0, nx: n as u64, ny: n as u64 };
+        run_two_stage(
+            spec,
+            2,
+            2,
+            true,
+            true,
+            |i| a[i as usize].store(i * 2, Ordering::SeqCst),
+            |j| {
+                let v = a[j as usize].load(Ordering::SeqCst);
+                b[j as usize].store(v + 1, Ordering::SeqCst);
+            },
+        );
+        for j in 0..n {
+            assert_eq!(b[j].load(Ordering::SeqCst), (j as u64) * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn negative_b_peels_first_iteration() {
+        // a = 1, b = -1 (the reg_detect shape): consumer j needs producer
+        // j + 1.
+        let spec = PipelineSpec { a: 1.0, b: -1.0, nx: 10, ny: 9 };
+        assert_eq!(spec.required_producer_iteration(0), Some(1));
+        assert_eq!(spec.required_producer_iteration(8), Some(9));
+    }
+
+    #[test]
+    fn positive_b_frees_early_consumers() {
+        // b = 3: consumer iterations 0..3 need nothing.
+        let spec = PipelineSpec { a: 1.0, b: 3.0, nx: 10, ny: 13 };
+        assert_eq!(spec.required_producer_iteration(0), None);
+        assert_eq!(spec.required_producer_iteration(2), None);
+        assert_eq!(spec.required_producer_iteration(3), Some(0));
+        assert_eq!(spec.required_producer_iteration(12), Some(9));
+    }
+
+    #[test]
+    fn block_dependence_releases_in_blocks() {
+        // a = 1/8: consumer j needs producer 8j.
+        let spec = PipelineSpec { a: 0.125, b: 0.0, nx: 64, ny: 8 };
+        assert_eq!(spec.required_producer_iteration(0), Some(0));
+        assert_eq!(spec.required_producer_iteration(1), Some(8));
+        assert_eq!(spec.required_producer_iteration(7), Some(56));
+    }
+
+    #[test]
+    fn requirement_clamps_to_producer_range() {
+        let spec = PipelineSpec { a: 1.0, b: -5.0, nx: 10, ny: 10 };
+        // j = 9 would need producer 14, clamped to the last (9).
+        assert_eq!(spec.required_producer_iteration(9), Some(9));
+    }
+
+    #[test]
+    fn prefix_tracker_handles_out_of_order_completion() {
+        let t = PrefixTracker::new(5);
+        t.complete(2);
+        t.complete(1);
+        assert_eq!(t.watermark(), 0);
+        t.complete(0);
+        assert_eq!(t.watermark(), 3);
+        t.complete(4);
+        assert_eq!(t.watermark(), 3);
+        t.complete(3);
+        assert_eq!(t.watermark(), 5);
+    }
+
+    #[test]
+    fn sequential_consumer_sees_monotonic_js() {
+        // y_parallel = false must process consumer iterations in order.
+        let spec = PipelineSpec { a: 1.0, b: 0.0, nx: 50, ny: 50 };
+        let last = AtomicU64::new(0);
+        let ok = AtomicU64::new(1);
+        run_two_stage(
+            spec,
+            1,
+            1,
+            false,
+            false,
+            |_| {},
+            |j| {
+                let prev = last.swap(j + 1, Ordering::SeqCst);
+                if prev > j {
+                    ok.store(0, Ordering::SeqCst);
+                }
+            },
+        );
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+}

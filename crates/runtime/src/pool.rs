@@ -1,0 +1,151 @@
+//! A work-stealing thread pool.
+//!
+//! Classic deque-per-worker design on `crossbeam-deque`: submitted tasks go
+//! to a global injector; each worker drains its local deque first (filled in
+//! batches from the injector), then steals from siblings. A pending-task
+//! counter with a condvar supports `wait_idle`, which also covers tasks
+//! spawned transitively from inside other tasks.
+//!
+//! The pool runs `'static` tasks; the pattern executors in this crate use
+//! `std::thread::scope` when they need to borrow caller data.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    /// Wakes parked workers when new work arrives.
+    work_lock: Mutex<()>,
+    work_cv: Condvar,
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            work_lock: Mutex::new(()),
+            work_cv: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for (i, local) in workers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("parpat-worker-{i}"))
+                    .spawn(move || worker_loop(shared, local))
+                    .expect("spawn pool worker"),
+            );
+        }
+        ThreadPool { shared, handles, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submit a task (safe to call from inside another pool task).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.injector.push(Box::new(f));
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Block until every submitted task (including transitively spawned
+    /// ones) has finished.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+    }
+
+    /// Run `f`, then wait until the pool is idle (a crude scope).
+    pub fn run_and_wait(&self, f: impl FnOnce(&ThreadPool)) {
+        f(self);
+        self.wait_idle();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, local: Worker<Task>) {
+    loop {
+        if let Some(task) = find_task(&shared, &local) {
+            task();
+            if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _g = shared.idle_lock.lock();
+                shared.idle_cv.notify_all();
+            }
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Park until new work or shutdown (with a timeout so a lost wakeup
+        // can never hang the pool).
+        let mut guard = shared.work_lock.lock();
+        if shared.pending.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
+            shared
+                .work_cv
+                .wait_for(&mut guard, std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+fn find_task(shared: &Shared, local: &Worker<Task>) -> Option<Task> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam::deque::Steal::Success(t) => return Some(t),
+            crossbeam::deque::Steal::Empty => break,
+            crossbeam::deque::Steal::Retry => continue,
+        }
+    }
+    for stealer in &shared.stealers {
+        loop {
+            match stealer.steal() {
+                crossbeam::deque::Steal::Success(t) => return Some(t),
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}

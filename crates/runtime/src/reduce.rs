@@ -1,0 +1,125 @@
+//! Parallel reduction — the executor for the paper's reduction pattern.
+//!
+//! Each thread folds a contiguous chunk of the iteration space into a
+//! private accumulator; the partial results are combined at the end. The
+//! operation must be associative (the paper leaves verifying that to the
+//! programmer; this API encodes it in the contract of `combine`).
+
+use parking_lot::Mutex;
+
+/// Reduce `0..n`: each index is mapped by `map`, results are folded with
+/// `fold` into per-thread accumulators starting from `identity`, and the
+/// accumulators are merged with `combine`.
+pub fn parallel_reduce<T, M, F, C>(
+    threads: usize,
+    n: usize,
+    identity: T,
+    map: M,
+    fold: F,
+    combine: C,
+) -> T
+where
+    T: Clone + Send,
+    M: Fn(usize) -> T + Sync,
+    F: Fn(T, T) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n == 0 {
+        let mut acc = identity;
+        for i in 0..n {
+            acc = fold(acc, map(i));
+        }
+        return acc;
+    }
+    let chunk = n.div_ceil(threads);
+    let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let map = &map;
+            let fold = &fold;
+            let partials = &partials;
+            let local_identity = identity.clone();
+            s.spawn(move || {
+                let mut acc = local_identity;
+                for i in start..end {
+                    acc = fold(acc, map(i));
+                }
+                partials.lock().push(acc);
+            });
+        }
+    });
+    let mut parts = partials.into_inner();
+    let mut acc = identity;
+    // Combine in deterministic (arbitrary but fixed) order.
+    while let Some(p) = parts.pop() {
+        acc = combine(acc, p);
+    }
+    acc
+}
+
+/// Convenience: parallel sum of `map(i)` over `0..n`.
+pub fn parallel_sum(threads: usize, n: usize, map: impl Fn(usize) -> f64 + Sync) -> f64 {
+    parallel_reduce(threads, n, 0.0, map, |a, b| a + b, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_match_sequential() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i % 97) as f64).collect();
+        let seq: f64 = data.iter().sum();
+        for threads in [1, 2, 4, 7] {
+            let par = parallel_sum(threads, data.len(), |i| data[i]);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_range_returns_identity() {
+        assert_eq!(parallel_sum(4, 0, |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn product_reduction() {
+        let p = parallel_reduce(3, 10, 1.0f64, |i| (i + 1) as f64, |a, b| a * b, |a, b| a * b);
+        assert_eq!(p, 3628800.0); // 10!
+    }
+
+    #[test]
+    fn max_reduction() {
+        let data: Vec<f64> = vec![3.0, 9.0, 1.0, 7.5, 9.5, 0.1, 4.0];
+        let m = parallel_reduce(
+            4,
+            data.len(),
+            f64::NEG_INFINITY,
+            |i| data[i],
+            |a, b| a.max(b),
+            |a, b| a.max(b),
+        );
+        assert_eq!(m, 9.5);
+    }
+
+    #[test]
+    fn two_accumulator_reduction_gesummv_style() {
+        // Reduce into a pair at once, the gesummv two-variable shape.
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let (s, q) = parallel_reduce(
+            4,
+            data.len(),
+            (0.0, 0.0),
+            |i| (data[i], data[i] * 2.0),
+            |a, b| (a.0 + b.0, a.1 + b.1),
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
+        assert_eq!(s, 499500.0);
+        assert_eq!(q, 999000.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Deterministic list-scheduling simulation of task DAGs on P workers.
+//!
+//! This is the measurement substrate for every speedup number in this
+//! repository: the host exposes a single CPU core, so wall-clock parallel
+//! speedups cannot be observed directly (see DESIGN.md). Instead, the
+//! dynamically-measured instruction costs of the detected pattern's units
+//! are scheduled onto P virtual workers under the pattern's dependence
+//! constraints, and `speedup = sequential cost / simulated makespan`.
+//!
+//! The scheduler is greedy list scheduling: ready tasks (all dependencies
+//! finished) are started as early as possible on the earliest-free worker;
+//! ties break by task index, making results fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One simulated task.
+#[derive(Debug, Clone)]
+pub struct SimTask {
+    /// Execution cost (abstract time units; we use executed instructions).
+    pub cost: f64,
+    /// Indices of tasks that must finish before this one starts.
+    pub deps: Vec<usize>,
+}
+
+/// A task DAG.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    /// The tasks; indices are task ids.
+    pub tasks: Vec<SimTask>,
+}
+
+impl TaskGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task, returning its id.
+    pub fn add(&mut self, cost: f64, deps: Vec<usize>) -> usize {
+        let id = self.tasks.len();
+        for &d in &deps {
+            assert!(d < id, "dependency {d} must precede task {id}");
+        }
+        self.tasks.push(SimTask { cost, deps });
+        id
+    }
+
+    /// Total cost of all tasks (the sequential execution time).
+    pub fn sequential_cost(&self) -> f64 {
+        self.tasks.iter().map(|t| t.cost).sum()
+    }
+
+    /// Length of the longest dependence chain (the critical path) — a lower
+    /// bound on any makespan.
+    pub fn critical_path(&self) -> f64 {
+        let mut finish = vec![0.0f64; self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let ready = t.deps.iter().map(|&d| finish[d]).fold(0.0, f64::max);
+            finish[i] = ready + t.cost;
+        }
+        finish.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+}
+
+/// Result of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Simulated parallel completion time (includes overheads).
+    pub makespan: f64,
+    /// Sequential execution time (no overheads).
+    pub sequential: f64,
+    /// `sequential / makespan`.
+    pub speedup: f64,
+    /// Busy time per worker (utilization diagnostics).
+    pub worker_busy: Vec<f64>,
+}
+
+/// Simulate the graph on `workers` workers. `per_task_overhead` models the
+/// cost of dispatching one task (fork/sync overhead); it is charged to the
+/// executing worker but not to the sequential baseline, which is what makes
+/// fine-grained parallelization saturate and coarse-grained win — the
+/// paper's motivation for fusion and geometric decomposition.
+///
+/// Scheduling is event-driven: at any instant, idle workers take the ready
+/// task with the largest *upward rank* (its cost plus the longest chain of
+/// work below it) — the classic critical-path-first list scheduler. This
+/// keeps long serial chains (a pipeline's sequential stage, a barrier's
+/// chain) flowing instead of burying them behind bulk-parallel work.
+pub fn simulate(graph: &TaskGraph, workers: usize, per_task_overhead: f64) -> SimResult {
+    let workers = workers.max(1);
+    let n = graph.tasks.len();
+    let sequential = graph.sequential_cost();
+    if n == 0 {
+        return SimResult { makespan: 0.0, sequential, speedup: 1.0, worker_busy: vec![0.0; workers] };
+    }
+
+    // Dependents and in-degrees.
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (i, t) in graph.tasks.iter().enumerate() {
+        indeg[i] = t.deps.len();
+        for &d in &t.deps {
+            dependents[d].push(i);
+        }
+    }
+
+    // Upward ranks. Dependencies always precede their dependents by
+    // construction (`TaskGraph::add` asserts it), so a reverse index sweep
+    // is a reverse-topological sweep.
+    let mut rank = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let below = dependents[i].iter().map(|&d| rank[d]).fold(0.0, f64::max);
+        rank[i] = graph.tasks[i].cost + below;
+    }
+
+    /// Orderable f64 pair (finite by construction).
+    #[derive(PartialEq, PartialOrd)]
+    struct Key(f64, usize);
+    impl Eq for Key {}
+    #[allow(clippy::derive_ord_xor_partial_ord)]
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.partial_cmp(other).expect("finite keys")
+        }
+    }
+
+    // Tasks whose dependencies are all satisfied, keyed by descending rank
+    // (break ties by ascending index for determinism).
+    let mut available: BinaryHeap<(Key, Reverse<usize>)> = BinaryHeap::new();
+    for (i, &d) in indeg.iter().enumerate() {
+        if d == 0 {
+            available.push((Key(rank[i], 0), Reverse(i)));
+        }
+    }
+    // In-flight completions, keyed by finish time.
+    let mut completions: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
+
+    let mut free_workers: Vec<usize> = (0..workers).rev().collect();
+    let mut busy = vec![0.0f64; workers];
+    let mut task_worker = vec![usize::MAX; n];
+    let mut finish = vec![0.0f64; n];
+    let mut now = 0.0f64;
+    let mut makespan = 0.0f64;
+    let mut done = 0usize;
+
+    loop {
+        // Start as many ready tasks as there are idle workers.
+        while !free_workers.is_empty() {
+            let Some((Key(_, _), Reverse(task))) = available.pop() else { break };
+            let w = free_workers.pop().expect("checked non-empty");
+            let start = now + per_task_overhead;
+            let end = start + graph.tasks[task].cost;
+            busy[w] += per_task_overhead + graph.tasks[task].cost;
+            task_worker[task] = w;
+            finish[task] = end;
+            completions.push(Reverse(Key(end, task)));
+            makespan = makespan.max(end);
+        }
+        // Advance to the next completion.
+        let Some(Reverse(Key(t, _))) = completions.peek() else {
+            break;
+        };
+        now = *t;
+        while let Some(&Reverse(Key(ft, task))) = completions.peek() {
+            if ft > now {
+                break;
+            }
+            completions.pop();
+            free_workers.push(task_worker[task]);
+            done += 1;
+            for &dep in &dependents[task] {
+                indeg[dep] -= 1;
+                if indeg[dep] == 0 {
+                    available.push((Key(rank[dep], 0), Reverse(dep)));
+                }
+            }
+        }
+    }
+    assert_eq!(done, n, "cycle in task graph");
+
+    let speedup = if makespan > 0.0 { sequential / makespan } else { 1.0 };
+    SimResult { makespan, sequential, speedup, worker_busy: busy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize, cost: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            let deps = if i == 0 { vec![] } else { vec![i - 1] };
+            g.add(cost, deps);
+        }
+        g
+    }
+
+    fn independent(n: usize, cost: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for _ in 0..n {
+            g.add(cost, vec![]);
+        }
+        g
+    }
+
+    #[test]
+    fn chain_gains_nothing_from_workers() {
+        let g = chain(10, 5.0);
+        let r1 = simulate(&g, 1, 0.0);
+        let r8 = simulate(&g, 8, 0.0);
+        assert_eq!(r1.makespan, 50.0);
+        assert_eq!(r8.makespan, 50.0);
+        assert_eq!(r8.speedup, 1.0);
+    }
+
+    #[test]
+    fn independent_tasks_scale_linearly() {
+        let g = independent(16, 10.0);
+        assert_eq!(simulate(&g, 1, 0.0).makespan, 160.0);
+        assert_eq!(simulate(&g, 4, 0.0).makespan, 40.0);
+        assert_eq!(simulate(&g, 16, 0.0).makespan, 10.0);
+        assert_eq!(simulate(&g, 16, 0.0).speedup, 16.0);
+    }
+
+    #[test]
+    fn extra_workers_beyond_width_do_not_help() {
+        let g = independent(4, 10.0);
+        assert_eq!(simulate(&g, 4, 0.0).makespan, simulate(&g, 32, 0.0).makespan);
+    }
+
+    #[test]
+    fn overhead_caps_fine_grained_speedup() {
+        // 1000 tiny tasks with overhead comparable to their cost.
+        let g = independent(1000, 1.0);
+        let r = simulate(&g, 8, 1.0);
+        // Each dispatch pays 1.0 overhead, so perfect 8x over the
+        // 1000-unit sequential cost is impossible.
+        assert!(r.speedup < 4.1, "speedup {}", r.speedup);
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        let mut g = TaskGraph::new();
+        let a = g.add(10.0, vec![]);
+        let b = g.add(20.0, vec![a]);
+        let c = g.add(30.0, vec![a]);
+        let _d = g.add(5.0, vec![b, c]);
+        let r = simulate(&g, 4, 0.0);
+        // a(10) → c(30) → d(5) is the critical path: 45.
+        assert_eq!(r.makespan, 45.0);
+        assert_eq!(g.critical_path(), 45.0);
+        assert_eq!(r.sequential, 65.0);
+    }
+
+    #[test]
+    fn makespan_never_beats_critical_path() {
+        let mut g = TaskGraph::new();
+        let mut prev = Vec::new();
+        for layer in 0..5 {
+            let mut this = Vec::new();
+            for k in 0..4 {
+                let cost = (layer * 4 + k + 1) as f64;
+                this.push(g.add(cost, prev.clone()));
+            }
+            prev = this;
+        }
+        for w in [1, 2, 4, 8] {
+            let r = simulate(&g, w, 0.0);
+            assert!(r.makespan >= g.critical_path() - 1e-9);
+            assert!(r.makespan <= g.sequential_cost() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let g = independent(64, 3.0);
+        let a = simulate(&g, 5, 0.25);
+        let b = simulate(&g, 5, 0.25);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.worker_busy, b.worker_busy);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = simulate(&TaskGraph::new(), 4, 1.0);
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.speedup, 1.0);
+    }
+
+    #[test]
+    fn busy_time_sums_to_work_plus_overheads() {
+        let g = independent(10, 7.0);
+        let r = simulate(&g, 3, 0.5);
+        let total_busy: f64 = r.worker_busy.iter().sum();
+        assert!((total_busy - (70.0 + 5.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,348 @@
+//! Pattern-shaped task-graph builders.
+//!
+//! Each builder converts one of the paper's patterns — with the quantities
+//! the analysis measured (trip counts, per-iteration instruction costs,
+//! regression coefficients) — into a [`TaskGraph`] for the list-scheduling
+//! simulator. Overheads are explicit so the experiments can reproduce the
+//! paper's qualitative shapes: fine-grained parallelism saturating early,
+//! fusion beating two separate do-alls, pipelines limited by their serial
+//! stage.
+
+use crate::graph::TaskGraph;
+
+/// Cost/overhead knobs shared by the builders.
+#[derive(Debug, Clone, Copy)]
+pub struct Overheads {
+    /// Cost charged per dispatched task (thread fork / task pop).
+    pub per_task: f64,
+    /// Cost of one synchronization (barrier arrival, combine step).
+    pub sync: f64,
+}
+
+impl Default for Overheads {
+    fn default() -> Self {
+        // Chosen to correspond to "a few hundred instructions" per dispatch,
+        // the right order of magnitude for pthread/OpenMP task overheads
+        // relative to our instruction-count cost unit.
+        Overheads { per_task: 200.0, sync: 400.0 }
+    }
+}
+
+/// A do-all loop of `iterations` iterations, each costing `iter_cost`,
+/// chunked for `workers` workers. Returns the graph plus one final barrier
+/// task charging the join synchronization.
+pub fn doall(iterations: u64, iter_cost: f64, workers: usize, ov: Overheads) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    if iterations == 0 {
+        return g;
+    }
+    let workers = workers.max(1) as u64;
+    let chunks = workers.min(iterations);
+    let base = iterations / chunks;
+    let rem = iterations % chunks;
+    let mut chunk_ids = Vec::new();
+    for c in 0..chunks {
+        let iters = base + if c < rem { 1 } else { 0 };
+        chunk_ids.push(g.add(iters as f64 * iter_cost, vec![]));
+    }
+    g.add(ov.sync, chunk_ids);
+    g
+}
+
+/// A reduction over `iterations` elements (`iter_cost` each) with a binary
+/// combine tree over the per-worker partials (`combine_cost` per merge).
+pub fn reduction(
+    iterations: u64,
+    iter_cost: f64,
+    combine_cost: f64,
+    workers: usize,
+    ov: Overheads,
+) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    if iterations == 0 {
+        return g;
+    }
+    let workers = (workers.max(1) as u64).min(iterations);
+    let base = iterations / workers;
+    let rem = iterations % workers;
+    let mut level: Vec<usize> = (0..workers)
+        .map(|c| {
+            let iters = base + if c < rem { 1 } else { 0 };
+            g.add(iters as f64 * iter_cost, vec![])
+        })
+        .collect();
+    // Binary combine tree.
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [a, b] => next.push(g.add(combine_cost + ov.sync, vec![*a, *b])),
+                [a] => next.push(*a),
+                _ => unreachable!(),
+            }
+        }
+        level = next;
+    }
+    g
+}
+
+/// A two-stage multi-loop pipeline: `nx` producer iterations (`cost_x`
+/// each), `ny` consumer iterations (`cost_y` each), consumer iteration `j`
+/// depending on producer iteration `ceil((j − b)/a)` (the detector's
+/// Equation 1). Stages with loop-carried dependences (`*_doall == false`)
+/// are chained.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineShape {
+    /// Regression slope.
+    pub a: f64,
+    /// Regression intercept.
+    pub b: f64,
+    /// Producer trip count.
+    pub nx: u64,
+    /// Consumer trip count.
+    pub ny: u64,
+    /// Producer per-iteration cost.
+    pub cost_x: f64,
+    /// Consumer per-iteration cost.
+    pub cost_y: f64,
+    /// Producer is do-all (iterations independent).
+    pub x_doall: bool,
+    /// Consumer is do-all.
+    pub y_doall: bool,
+}
+
+/// Build the pipeline's task graph at block granularity: each stage is
+/// coalesced into at most `blocks` tasks (a real pipeline implementation
+/// dispatches blocks, not single iterations). A consumer block depends on
+/// the producer block containing the producer iteration its *last*
+/// iteration needs (per the release rule); stages that are not do-all chain
+/// their blocks.
+pub fn pipeline(shape: PipelineShape, ov: Overheads, blocks: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let blocks = blocks.max(1) as u64;
+    let bx = shape.nx.div_ceil(blocks.min(shape.nx.max(1)));
+    let by = shape.ny.div_ceil(blocks.min(shape.ny.max(1)));
+
+    // Producer blocks.
+    let mut x_blocks: Vec<usize> = Vec::new();
+    let mut x_starts: Vec<u64> = Vec::new();
+    let mut i = 0;
+    while i < shape.nx {
+        let len = bx.min(shape.nx - i);
+        let deps = if shape.x_doall || x_blocks.is_empty() {
+            vec![]
+        } else {
+            vec![*x_blocks.last().expect("non-empty")]
+        };
+        x_starts.push(i);
+        x_blocks.push(g.add(len as f64 * shape.cost_x, deps));
+        i += len;
+    }
+    let x_block_of = |iter: u64| -> Option<usize> {
+        if x_blocks.is_empty() {
+            return None;
+        }
+        let idx = x_starts.partition_point(|&s| s <= iter) - 1;
+        Some(x_blocks[idx])
+    };
+
+    // Consumer blocks.
+    let mut y_prev: Option<usize> = None;
+    let mut j = 0;
+    while j < shape.ny {
+        let len = by.min(shape.ny - j);
+        let last = j + len - 1;
+        let mut deps = Vec::new();
+        if let (false, Some(p)) = (shape.y_doall, y_prev) {
+            deps.push(p);
+        }
+        if let Some(k) = required_producer(shape.a, shape.b, shape.nx, last) {
+            if let Some(b) = x_block_of(k) {
+                deps.push(b);
+            }
+        }
+        let id = g.add(len as f64 * shape.cost_y + ov.sync, deps);
+        y_prev = Some(id);
+        j += len;
+    }
+    g
+}
+
+/// The producer iteration consumer `j` waits for (mirrors
+/// `parpat_runtime::PipelineSpec::required_producer_iteration`).
+pub fn required_producer(a: f64, b: f64, nx: u64, j: u64) -> Option<u64> {
+    if nx == 0 {
+        return None;
+    }
+    if a <= 0.0 {
+        return Some(nx - 1);
+    }
+    let needed = (j as f64 - b) / a;
+    if needed < 0.0 {
+        return None;
+    }
+    Some((needed.ceil() as u64).min(nx - 1))
+}
+
+/// Two do-all loops executed one after the other (barrier between) — the
+/// *unfused* baseline for the fusion experiments.
+pub fn two_doalls(
+    n1: u64,
+    cost1: f64,
+    n2: u64,
+    cost2: f64,
+    workers: usize,
+    ov: Overheads,
+) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let workers = workers.max(1) as u64;
+    let mut first = Vec::new();
+    let chunks1 = workers.min(n1.max(1));
+    for c in 0..chunks1 {
+        let iters = n1 / chunks1 + if c < n1 % chunks1 { 1 } else { 0 };
+        first.push(g.add(iters as f64 * cost1, vec![]));
+    }
+    let barrier = g.add(ov.sync, first);
+    let chunks2 = workers.min(n2.max(1));
+    let mut second = Vec::new();
+    for c in 0..chunks2 {
+        let iters = n2 / chunks2 + if c < n2 % chunks2 { 1 } else { 0 };
+        second.push(g.add(iters as f64 * cost2, vec![barrier]));
+    }
+    g.add(ov.sync, second);
+    g
+}
+
+/// The fused equivalent: one do-all whose per-iteration cost is the sum —
+/// one barrier instead of two (Section III-A's fusion motivation).
+pub fn fused_doall(n: u64, cost1: f64, cost2: f64, workers: usize, ov: Overheads) -> TaskGraph {
+    doall(n, cost1 + cost2, workers, ov)
+}
+
+/// Geometric decomposition: `chunks` independent invocations of the
+/// decomposed function, each costing `chunk_cost`, plus the join barrier.
+pub fn geometric(chunks: u64, chunk_cost: f64, ov: Overheads) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let ids: Vec<usize> = (0..chunks).map(|_| g.add(chunk_cost, vec![])).collect();
+    if !ids.is_empty() {
+        g.add(ov.sync, ids);
+    }
+    g
+}
+
+/// Build a task graph directly from CU weights and forward edges (the
+/// task-parallelism shape): `weights[i]` is the cost of unit `i`; `edges`
+/// are `(src, sink)` pairs with `src < sink`.
+pub fn from_units(weights: &[f64], edges: &[(usize, usize)], ov: Overheads) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); weights.len()];
+    for &(s, t) in edges {
+        assert!(s < t, "edges must point forward");
+        deps[t].push(s);
+    }
+    for (i, &w) in weights.iter().enumerate() {
+        let d = deps[i].clone();
+        let cost = w + if d.len() > 1 { ov.sync } else { 0.0 };
+        g.add(cost, d);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::simulate;
+
+    const OV: Overheads = Overheads { per_task: 10.0, sync: 20.0 };
+
+    #[test]
+    fn doall_scales_with_workers() {
+        let s1 = simulate(&doall(1024, 10.0, 1, OV), 1, OV.per_task).makespan;
+        let s8 = simulate(&doall(1024, 10.0, 8, OV), 8, OV.per_task).makespan;
+        assert!(s1 / s8 > 6.0, "ratio {}", s1 / s8);
+    }
+
+    #[test]
+    fn reduction_tree_costs_log_combines() {
+        let g = reduction(1000, 1.0, 5.0, 8, OV);
+        // 8 leaves + 7 combines.
+        assert_eq!(g.tasks.len(), 15);
+        let r = simulate(&g, 8, OV.per_task);
+        assert!(r.speedup > 3.0, "speedup {}", r.speedup);
+    }
+
+    #[test]
+    fn perfect_pipeline_overlaps_stages() {
+        let shape = PipelineShape {
+            a: 1.0,
+            b: 0.0,
+            nx: 256,
+            ny: 256,
+            cost_x: 10.0,
+            cost_y: 10.0,
+            x_doall: true,
+            y_doall: false,
+        };
+        let g = pipeline(shape, OV, 32);
+        let seq = g.sequential_cost();
+        let r = simulate(&g, 4, 0.0);
+        // The consumer chain is half the work; overlap must give ~2x.
+        assert!(r.speedup > 1.6, "speedup {}", r.speedup);
+        assert!(r.makespan < seq);
+    }
+
+    #[test]
+    fn degenerate_pipeline_every_consumer_needs_all_producers() {
+        // a = 0 ⇒ consumer waits for the full producer: no overlap.
+        let shape = PipelineShape {
+            a: 0.0,
+            b: 0.0,
+            nx: 64,
+            ny: 64,
+            cost_x: 10.0,
+            cost_y: 10.0,
+            x_doall: false,
+            y_doall: false,
+        };
+        let r = simulate(&pipeline(shape, OV, 16), 4, 0.0);
+        assert!(r.speedup < 1.1, "speedup {}", r.speedup);
+    }
+
+    #[test]
+    fn fusion_beats_two_separate_doalls_for_fine_grains() {
+        // Small iteration cost: the second barrier + dispatch overhead of
+        // the unfused version hurts.
+        let workers = 8;
+        let unfused = simulate(&two_doalls(64, 3.0, 64, 3.0, workers, OV), workers, OV.per_task);
+        let fused = simulate(&fused_doall(64, 3.0, 3.0, workers, OV), workers, OV.per_task);
+        assert!(
+            fused.makespan < unfused.makespan,
+            "fused {} vs unfused {}",
+            fused.makespan,
+            unfused.makespan
+        );
+    }
+
+    #[test]
+    fn geometric_uses_all_chunks() {
+        let g = geometric(8, 100.0, OV);
+        let r = simulate(&g, 8, OV.per_task);
+        assert!(r.speedup > 5.0, "speedup {}", r.speedup);
+    }
+
+    #[test]
+    fn from_units_triangle() {
+        // Two workers + barrier (the 3mm shape): estimated 1.5x.
+        let g = from_units(&[100.0, 100.0, 100.0], &[(0, 2), (1, 2)], OV);
+        let r = simulate(&g, 2, 0.0);
+        assert!((r.speedup - 1.5).abs() < 0.2, "speedup {}", r.speedup);
+    }
+
+    #[test]
+    fn required_producer_matches_runtime_rule() {
+        assert_eq!(required_producer(1.0, 0.0, 10, 3), Some(3));
+        assert_eq!(required_producer(1.0, 3.0, 10, 2), None);
+        assert_eq!(required_producer(0.125, 0.0, 64, 1), Some(8));
+        assert_eq!(required_producer(1.0, -5.0, 10, 9), Some(9));
+    }
+}

@@ -1,0 +1,99 @@
+//! Thread-count sweeps, mirroring the paper's methodology: run each
+//! configuration at 1..32 threads and report the best speedup with the
+//! thread count that achieved it (Table III's "Speedup" / "Threads"
+//! columns).
+
+use crate::graph::SimResult;
+
+/// The thread counts the paper sweeps (they tested with a maximum of 32
+/// threads on a 2×8-core hyper-threaded machine).
+pub const PAPER_THREADS: &[usize] = &[1, 2, 3, 4, 8, 16, 32];
+
+/// One point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Worker count.
+    pub threads: usize,
+    /// Simulation result at that count.
+    pub result: SimResult,
+}
+
+/// A full sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// All points, in increasing thread order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Run `f` for every thread count.
+    pub fn run(threads: &[usize], mut f: impl FnMut(usize) -> SimResult) -> Self {
+        Sweep {
+            points: threads
+                .iter()
+                .map(|&t| SweepPoint { threads: t, result: f(t) })
+                .collect(),
+        }
+    }
+
+    /// The best point (highest speedup; earliest thread count on ties, as a
+    /// smaller configuration achieving the same speedup is the honest
+    /// answer).
+    pub fn best(&self) -> &SweepPoint {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                (a.result.speedup, std::cmp::Reverse(a.threads))
+                    .partial_cmp(&(b.result.speedup, std::cmp::Reverse(b.threads)))
+                    .expect("finite speedups")
+            })
+            .expect("sweep is never empty")
+    }
+
+    /// Render as a `threads → speedup` table row set.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for p in &self.points {
+            writeln!(out, "  {:>3} threads: speedup {:.2}", p.threads, p.result.speedup).unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{simulate, TaskGraph};
+    use crate::patterns::{doall, Overheads};
+
+    #[test]
+    fn best_picks_highest_speedup() {
+        let sweep = Sweep::run(PAPER_THREADS, |t| {
+            simulate(&doall(4096, 50.0, t, Overheads::default()), t, 200.0)
+        });
+        let best = sweep.best();
+        assert!(best.threads >= 8, "best at {} threads", best.threads);
+        assert!(best.result.speedup > 4.0);
+    }
+
+    #[test]
+    fn ties_prefer_fewer_threads() {
+        // A pure chain: speedup 1.0 at every count → best must be 1 thread.
+        let mut g = TaskGraph::new();
+        for i in 0..10 {
+            let deps = if i == 0 { vec![] } else { vec![i - 1] };
+            g.add(10.0, deps);
+        }
+        let sweep = Sweep::run(PAPER_THREADS, |t| simulate(&g, t, 0.0));
+        assert_eq!(sweep.best().threads, 1);
+    }
+
+    #[test]
+    fn render_lists_every_point() {
+        let sweep = Sweep::run(&[1, 2], |t| {
+            simulate(&doall(64, 10.0, t, Overheads::default()), t, 0.0)
+        });
+        assert_eq!(sweep.render().lines().count(), 2);
+    }
+}

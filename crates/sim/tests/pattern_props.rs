@@ -1,0 +1,101 @@
+//! Property tests for the pattern-shaped graph builders: work conservation,
+//! dependence sanity, and monotonicity in workers.
+
+use proptest::prelude::*;
+
+use parpat_sim::{
+    doall, fused_doall, geometric, pipeline, reduction, simulate, two_doalls, Overheads,
+    PipelineShape,
+};
+
+const OV: Overheads = Overheads { per_task: 5.0, sync: 10.0 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A do-all graph's chunk tasks carry exactly the total work.
+    #[test]
+    fn doall_conserves_work(n in 1u64..5000, cost in 1u32..50, workers in 1usize..33) {
+        let cost = cost as f64;
+        let g = doall(n, cost, workers, OV);
+        // Total = chunks' work + one barrier task of OV.sync.
+        let seq = g.sequential_cost();
+        prop_assert!((seq - (n as f64 * cost + OV.sync)).abs() < 1e-6);
+        // Chunk count never exceeds workers (or iterations).
+        prop_assert!(g.tasks.len() as u64 <= (workers as u64).min(n) + 1);
+    }
+
+    /// Reduction graphs have exactly leaves + (leaves − 1) combine tasks.
+    #[test]
+    fn reduction_tree_shape(n in 1u64..2000, workers in 1usize..17) {
+        let g = reduction(n, 2.0, 3.0, workers, OV);
+        let leaves = (workers as u64).min(n) as usize;
+        prop_assert_eq!(g.tasks.len(), leaves + (leaves - 1));
+    }
+
+    /// Pipeline block graphs cover all iterations of both stages.
+    #[test]
+    fn pipeline_blocks_cover_iterations(
+        nx in 1u64..2000,
+        ny in 1u64..2000,
+        blocks in 1usize..65,
+        x_doall in any::<bool>(),
+        y_doall in any::<bool>(),
+    ) {
+        let shape = PipelineShape {
+            a: 1.0,
+            b: 0.0,
+            nx,
+            ny,
+            cost_x: 1.0,
+            cost_y: 1.0,
+            x_doall,
+            y_doall,
+        };
+        let g = pipeline(shape, OV, blocks);
+        // Producer work = nx, consumer work = ny (+ sync per consumer block).
+        let total_cost = g.sequential_cost();
+        prop_assert!(total_cost >= (nx + ny) as f64);
+        // No consumer block may depend on a task that does not exist.
+        for t in &g.tasks {
+            for &d in &t.deps {
+                prop_assert!(d < g.tasks.len());
+            }
+        }
+    }
+
+    /// The fused graph never loses to the unfused one at equal workers
+    /// (fusion removes a barrier and a dispatch round).
+    #[test]
+    fn fusion_dominates_unfused(n in 8u64..2000, c1 in 1u32..20, c2 in 1u32..20, workers in 1usize..17) {
+        let (c1, c2) = (c1 as f64, c2 as f64);
+        let fused = simulate(&fused_doall(n, c1, c2, workers, OV), workers, OV.per_task);
+        let unfused = simulate(&two_doalls(n, c1, n, c2, workers, OV), workers, OV.per_task);
+        prop_assert!(fused.makespan <= unfused.makespan + 1e-6,
+            "fused {} vs unfused {}", fused.makespan, unfused.makespan);
+    }
+
+    /// Geometric decomposition speedup is bounded by the chunk count and by
+    /// the worker count.
+    #[test]
+    fn geometric_speedup_bounds(chunks in 1u64..64, cost in 10u32..1000, workers in 1usize..64) {
+        let g = geometric(chunks, cost as f64, OV);
+        let r = simulate(&g, workers, OV.per_task);
+        prop_assert!(r.speedup <= chunks as f64 + 1.0);
+        prop_assert!(r.speedup <= workers as f64 + 1.0);
+    }
+
+    /// More workers never hurt any pattern graph.
+    #[test]
+    fn workers_are_monotone(n in 8u64..1000, workers in 1usize..16) {
+        for g in [
+            doall(n, 5.0, workers, OV),
+            reduction(n, 5.0, 2.0, workers, OV),
+            fused_doall(n, 3.0, 4.0, workers, OV),
+        ] {
+            let base = simulate(&g, workers, OV.per_task);
+            let more = simulate(&g, workers * 2, OV.per_task);
+            prop_assert!(more.makespan <= base.makespan + 1e-6);
+        }
+    }
+}

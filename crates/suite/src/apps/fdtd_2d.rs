@@ -1,0 +1,163 @@
+//! `fdtd-2d` (Polybench) — task parallelism inside the time loop.
+//!
+//! The hotspot is the time-stepping loop of the 2-D finite-difference
+//! time-domain kernel: per time step, three independent field-update loops
+//! (workers) and a fourth that consumes all three (their barrier). The
+//! paper measured 5.19× at 8 threads; Table V's estimated speedup is 2.17.
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::parallel_for_slices;
+
+/// Grid size of the model.
+pub const N: usize = 24;
+/// Time steps of the model.
+pub const TSTEPS: usize = 4;
+
+/// MiniLang model: a time loop over three independent updates + a combine.
+pub const MODEL: &str = "global ey[24];
+global ex[24];
+global hz[24];
+global out[24];
+fn kernel_fdtd(n, tmax) {
+    for t in 0..tmax {
+        for i in 0..n {
+            ey[i] = ey[i] + i % 3;
+        }
+        for i in 0..n {
+            ex[i] = ex[i] + i % 5;
+        }
+        for i in 0..n {
+            hz[i] = hz[i] + i % 7;
+        }
+        for i in 0..n {
+            out[i] = ey[i] + ex[i] + hz[i];
+        }
+    }
+    return 0;
+}
+fn main() {
+    kernel_fdtd(24, 4);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "fdtd-2d",
+        suite: Suite::Polybench,
+        model: MODEL,
+        expected: ExpectedPattern::Tasks,
+        paper_speedup: 5.19,
+        paper_threads: 8,
+    }
+}
+
+/// Field state for the native kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fields {
+    /// E-field (y).
+    pub ey: Vec<f64>,
+    /// E-field (x).
+    pub ex: Vec<f64>,
+    /// H-field (z).
+    pub hz: Vec<f64>,
+    /// Combined output.
+    pub out: Vec<f64>,
+}
+
+impl Fields {
+    /// Zero-initialized fields of size `n`.
+    pub fn new(n: usize) -> Self {
+        Fields { ey: vec![0.0; n], ex: vec![0.0; n], hz: vec![0.0; n], out: vec![0.0; n] }
+    }
+}
+
+fn update(field: &mut [f64], m: usize) {
+    for (i, v) in field.iter_mut().enumerate() {
+        *v += (i % m) as f64;
+    }
+}
+
+/// Sequential kernel.
+pub fn seq(n: usize, tmax: usize) -> Fields {
+    let mut f = Fields::new(n);
+    for _t in 0..tmax {
+        update(&mut f.ey, 3);
+        update(&mut f.ex, 5);
+        update(&mut f.hz, 7);
+        for i in 0..n {
+            f.out[i] = f.ey[i] + f.ex[i] + f.hz[i];
+        }
+    }
+    f
+}
+
+/// Parallel kernel: per time step, the three field updates run as
+/// independent tasks (scoped threads); the combine is their barrier and is
+/// itself do-all.
+pub fn par(threads: usize, n: usize, tmax: usize) -> Fields {
+    let mut f = Fields::new(n);
+    for _t in 0..tmax {
+        std::thread::scope(|s| {
+            let ey = &mut f.ey;
+            let ex = &mut f.ex;
+            let hz = &mut f.hz;
+            s.spawn(|| update(ey, 3));
+            s.spawn(|| update(ex, 5));
+            s.spawn(|| update(hz, 7));
+        });
+        let (ey, ex, hz) = (&f.ey, &f.ex, &f.hz);
+        parallel_for_slices(threads, &mut f.out, |base, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                let i = base + k;
+                *v = ey[i] + ex[i] + hz[i];
+            }
+        });
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_core::CuMark;
+
+    #[test]
+    fn model_classifies_three_workers_one_barrier_in_time_loop() {
+        let analysis = app().analyze().unwrap();
+        // The time loop region is the outermost loop (highest id).
+        let outer = (analysis.ir.loop_count() - 1) as parpat_ir::LoopId;
+        let (report, graph) = analysis
+            .tasks
+            .iter()
+            .zip(&analysis.graphs)
+            .find(|(_, g)| g.region == parpat_cu::RegionId::Loop(outer))
+            .expect("task report for the time loop");
+        assert_eq!(graph.nodes.len(), 4);
+        let barrier = graph.nodes[3];
+        assert_eq!(report.marks[&barrier], CuMark::Barrier);
+        let workers = graph.nodes[..3]
+            .iter()
+            .filter(|c| report.marks[c] != CuMark::Barrier)
+            .count();
+        assert_eq!(workers, 3);
+        // Table V: estimated speedup 2.17.
+        assert!(report.estimated_speedup > 1.7, "got {}", report.estimated_speedup);
+        assert!(report.estimated_speedup < 2.7, "got {}", report.estimated_speedup);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let expect = seq(64, 5);
+        for threads in [1, 2, 4] {
+            assert_eq!(par(threads, 64, 5), expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn out_is_sum_of_fields() {
+        let f = seq(8, 3);
+        for i in 0..8 {
+            assert_eq!(f.out[i], f.ey[i] + f.ex[i] + f.hz[i]);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! `fib` (BOTS) — task parallelism from two independent recursive calls.
+//!
+//! Listing 4 of the paper: `fib(n-1)` and `fib(n-2)` are detected as
+//! independent tasks; the final `return x + y` is their synchronization
+//! point. The paper's estimated speedup (total / critical-path
+//! instructions) was 3.25, while the BOTS parallel version reached 13.25× —
+//! the gap being the recursion depth DiscoPoP does not model (Section
+//! IV-B). We reproduce both the classification and the underestimation.
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::join;
+
+/// MiniLang model of `fib` (Listing 4).
+pub const MODEL: &str = "fn fib(n) {
+    if n < 2 { return n; }
+    let x = fib(n - 1);
+    let y = fib(n - 2);
+    return x + y;
+}
+fn main() {
+    fib(14);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "fib",
+        suite: Suite::Bots,
+        model: MODEL,
+        expected: ExpectedPattern::Tasks,
+        paper_speedup: 13.25,
+        paper_threads: 32,
+    }
+}
+
+/// Sequential Fibonacci.
+pub fn seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        seq(n - 1) + seq(n - 2)
+    }
+}
+
+/// Parallel Fibonacci via fork/join with a sequential cutoff (the BOTS
+/// implementation's structure).
+pub fn par(n: u64, cutoff: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n <= cutoff {
+        return seq(n);
+    }
+    let (a, b) = join(|| par(n - 1, cutoff), || par(n - 2, cutoff));
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_core::CuMark;
+
+    #[test]
+    fn model_detects_two_independent_call_tasks() {
+        let analysis = app().analyze().unwrap();
+        let report = analysis
+            .tasks
+            .iter()
+            .zip(&analysis.graphs)
+            .find(|(_, g)| {
+                matches!(g.region, parpat_cu::RegionId::FuncBody(f)
+                    if analysis.ir.functions[f].name == "fib")
+            });
+        let (report, graph) = report.expect("task report for fib region");
+        // The final return is a barrier; the two recursive-call CUs are not
+        // connected to each other.
+        let ret = *graph.nodes.last().unwrap();
+        assert_eq!(report.marks[&ret], CuMark::Barrier);
+        let x = graph.nodes[2];
+        let y = graph.nodes[3];
+        assert!(!graph.reachable(x, y));
+        assert!(!graph.reachable(y, x));
+    }
+
+    #[test]
+    fn estimated_speedup_underestimates_actual_parallelism() {
+        // The paper: estimated 3.25 vs actual 13.25. Our estimate must be
+        // modest (> 1, < 4) for the same structural reason.
+        let analysis = app().analyze().unwrap();
+        let best = analysis.best_task_report().unwrap();
+        assert!(best.estimated_speedup > 1.2, "got {}", best.estimated_speedup);
+        assert!(best.estimated_speedup < 4.0, "got {}", best.estimated_speedup);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        assert_eq!(par(18, 10), seq(18));
+        assert_eq!(par(10, 2), 55);
+        assert_eq!(par(1, 0), 1);
+    }
+
+    #[test]
+    fn model_executes_to_fib_14() {
+        let ir = parpat_ir::compile(MODEL).unwrap();
+        let out = parpat_ir::run(&ir, &mut parpat_ir::event::NullObserver).unwrap();
+        // main returns nothing (0.0), but fib(14) = 377 executed fully —
+        // check through a direct function call.
+        let fib = ir.function_named("fib").unwrap().id;
+        let r = parpat_ir::run_function(
+            &ir,
+            fib,
+            &[14.0],
+            &mut parpat_ir::event::NullObserver,
+            parpat_ir::ExecLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.return_value, 377.0);
+        assert!(out.insts > 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! `fluidanimate` (PARSEC) — the coarse multi-loop pipeline (`a ≈ 0.05`).
+//!
+//! The paper found a pipeline between two loops in `ComputeForces()` with
+//! `a = 0.05, b = −3.50, e = 0.97`: one iteration of the second loop
+//! depends on a *block* of ~20 iterations of the first (particles per
+//! cell). Neither loop is do-all, so only modest speedup was achievable
+//! (1.5× at 3 threads).
+//!
+//! The model accumulates per-cell densities from `PARTICLES_PER_CELL`
+//! particles in the first loop and relaxes densities against the previous
+//! cell in the second — same block-granularity dependence, same
+//! non-do-all stages.
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::{run_two_stage, PipelineSpec};
+
+/// Cells in the model grid.
+pub const CELLS: usize = 40;
+/// Particles per cell.
+pub const PARTICLES_PER_CELL: usize = 20;
+
+/// MiniLang model of the `ComputeForces` loop pair.
+pub const MODEL: &str = "global density[40];
+fn compute_forces() {
+    for p in 0..800 {
+        density[floor(p / 20)] += p % 3 + 1;
+    }
+    for c in 1..40 {
+        let acc = 0;
+        for k in 0..40 {
+            acc += density[c - 1] + k;
+        }
+        density[c] = density[c] + acc / 80;
+    }
+    return 0;
+}
+fn main() {
+    compute_forces();
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "fluidanimate",
+        suite: Suite::Parsec,
+        model: MODEL,
+        expected: ExpectedPattern::Pipeline,
+        paper_speedup: 1.5,
+        paper_threads: 3,
+    }
+}
+
+/// Sequential kernel.
+pub fn seq(cells: usize, per_cell: usize) -> Vec<f64> {
+    let n = cells * per_cell;
+    let mut density = vec![0.0; cells];
+    for p in 0..n {
+        density[p / per_cell] += (p % 3 + 1) as f64;
+    }
+    for c in 1..cells {
+        let mut acc = 0.0;
+        for k in 0..40 {
+            acc += density[c - 1] + k as f64;
+        }
+        density[c] += acc / 80.0;
+    }
+    density
+}
+
+/// Parallel kernel: pipeline with block release (`a = 1/per_cell`). The
+/// producer parallelizes over cells' particle blocks; the relaxation stage
+/// is serial (carried dependence), mirroring the paper's modest speedup.
+pub fn par(threads: usize, cells: usize, per_cell: usize) -> Vec<f64> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let n = cells * per_cell;
+    let density: Vec<AtomicU64> = (0..cells).map(|_| AtomicU64::new(0)).collect();
+    let add = |cell: usize, v: f64| {
+        // Atomic f64 add via CAS (each cell's block is handled by one
+        // producer iteration group, but keep it robust anyway).
+        let slot = &density[cell];
+        let mut cur = slot.load(Ordering::SeqCst);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match slot.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+    };
+    // Producer iterations are whole cells (one block each) so the stage is
+    // do-all; the release rule is then a = 1, b = -1 in cell units.
+    let spec = PipelineSpec { a: 1.0, b: -1.0, nx: cells as u64, ny: (cells - 1) as u64 };
+    run_two_stage(
+        spec,
+        threads,
+        1,
+        true,
+        false,
+        |cell| {
+            let cell = cell as usize;
+            for k in 0..per_cell {
+                let p = cell * per_cell + k;
+                if p < n {
+                    add(cell, (p % 3 + 1) as f64);
+                }
+            }
+        },
+        |j| {
+            let c = j as usize + 1;
+            let prev = f64::from_bits(density[c - 1].load(Ordering::SeqCst));
+            let mut acc = 0.0;
+            for k in 0..40 {
+                acc += prev + k as f64;
+            }
+            let cur = f64::from_bits(density[c].load(Ordering::SeqCst));
+            density[c].store((cur + acc / 80.0).to_bits(), Ordering::SeqCst);
+        },
+    );
+    density.into_iter().map(|v| f64::from_bits(v.into_inner())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_detects_block_pipeline() {
+        let analysis = app().analyze().unwrap();
+        let p = analysis
+            .pipelines
+            .iter()
+            .find(|p| p.a < 0.2)
+            .unwrap_or_else(|| panic!("{:?}", analysis.pipelines));
+        // a ≈ 1/20 (paper: 0.05), b < 0 (paper: −3.50), e near 1
+        // (paper: 0.97).
+        assert!((p.a - 0.05).abs() < 0.01, "a = {}", p.a);
+        assert!(p.b < 0.0, "b = {}", p.b);
+        assert!(p.e > 0.85 && p.e <= 1.05, "e = {}", p.e);
+        assert!(!p.x_doall, "density accumulation is not do-all");
+        assert!(!p.y_doall, "relaxation is not do-all");
+    }
+
+    #[test]
+    fn interpretation_mentions_twenty_iterations() {
+        let analysis = app().analyze().unwrap();
+        let p = analysis.pipelines.iter().find(|p| p.a < 0.2).unwrap();
+        // Table II row a < 1: "1 iteration of loop y depends on 1/a
+        // iterations of loop x" — 1/a ≈ 20 here.
+        let text = p.interpretation();
+        assert!(text.contains("iterations of loop x"), "{text}");
+        assert!((1.0 / p.a - 20.0).abs() < 2.0, "1/a = {}", 1.0 / p.a);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let expect = seq(CELLS, PARTICLES_PER_CELL);
+        for threads in [1, 2, 3] {
+            assert_eq!(par(threads, CELLS, PARTICLES_PER_CELL), expect, "threads = {threads}");
+        }
+    }
+}

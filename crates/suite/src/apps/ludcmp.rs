@@ -1,0 +1,169 @@
+//! `ludcmp` (Polybench) — the paper's flagship multi-loop pipeline.
+//!
+//! The paper found a *perfect* multi-loop pipeline (`a = 1, b = 0, e = 1`)
+//! between the two loops of `kernel_ludcmp()`: the first loop is do-all,
+//! the second (a forward substitution) has inter-iteration dependences, and
+//! iteration `i` of the second depends exactly on iteration `i` of the
+//! first. Their hand-parallelized pipeline (with the first stage
+//! additionally run do-all) reached 14.06× on 32 threads.
+//!
+//! The model mirrors that two-loop structure; the native kernel computes a
+//! scaled right-hand side followed by forward substitution against a unit
+//! lower-triangular matrix.
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::{run_two_stage, PipelineSpec};
+
+/// Matrix dimension used by the MiniLang model.
+pub const N: usize = 48;
+
+/// MiniLang model of `kernel_ludcmp`'s hotspot pair.
+pub const MODEL: &str = "global A[48][48];
+global bvec[48];
+global yvec[48];
+global xvec[48];
+fn kernel_ludcmp(n) {
+    for i in 0..n {
+        let w = 0;
+        for j in 0..n {
+            w += A[i][j];
+        }
+        yvec[i] = bvec[i] * 2 + w;
+    }
+    for i in 0..n {
+        let s = 0;
+        for j in 0..i {
+            s += A[i][j] * xvec[j];
+        }
+        xvec[i] = yvec[i] - s;
+    }
+    return 0;
+}
+fn main() {
+    for i in 0..48 {
+        bvec[i] = i % 7 + 1;
+        for j in 0..48 {
+            A[i][j] = (i + j) % 5;
+        }
+    }
+    kernel_ludcmp(48);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "ludcmp",
+        suite: Suite::Polybench,
+        model: MODEL,
+        expected: ExpectedPattern::Pipeline,
+        paper_speedup: 14.06,
+        paper_threads: 32,
+    }
+}
+
+/// Sequential kernel: `y[i] = 2 b[i] + Σ_j A[i][j]` (the heavy row pass),
+/// then forward substitution `x[i] = y[i] − Σ_{j<i} A[i][j] x[j]`.
+pub fn seq(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let w: f64 = a[i].iter().sum();
+        y[i] = 2.0 * b[i] + w;
+    }
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..i {
+            s += a[i][j] * x[j];
+        }
+        x[i] = y[i] - s;
+    }
+    x
+}
+
+/// Parallel kernel implementing the *detected* pattern: a two-stage
+/// multi-loop pipeline with the producer stage run do-all, the consumer
+/// sequential (it carries the substitution dependence).
+pub fn par(threads: usize, a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let n = b.len();
+    let y: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let x: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let spec = PipelineSpec { a: 1.0, b: 0.0, nx: n as u64, ny: n as u64 };
+    run_two_stage(
+        spec,
+        threads,
+        1,
+        true,
+        false,
+        |i| {
+            let w: f64 = a[i as usize].iter().sum();
+            let v = 2.0 * b[i as usize] + w;
+            y[i as usize].store(v.to_bits(), Ordering::SeqCst);
+        },
+        |i| {
+            let i = i as usize;
+            let mut s = 0.0;
+            for j in 0..i {
+                s += a[i][j] * f64::from_bits(x[j].load(Ordering::SeqCst));
+            }
+            let v = f64::from_bits(y[i].load(Ordering::SeqCst)) - s;
+            x[i].store(v.to_bits(), Ordering::SeqCst);
+        },
+    );
+    x.into_iter().map(|v| f64::from_bits(v.into_inner())).collect()
+}
+
+/// Deterministic test input.
+pub fn input(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let a: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| ((i + j) % 5) as f64 * 0.125).collect()).collect();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 7) + 1) as f64).collect();
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_detects_perfect_pipeline() {
+        let analysis = app().analyze().unwrap();
+        let p = analysis
+            .pipelines
+            .iter()
+            .find(|p| (p.a - 1.0).abs() < 1e-9 && p.b.abs() < 1e-9)
+            .unwrap_or_else(|| panic!("no perfect pipeline in {:?}", analysis.pipelines));
+        assert!((p.e - 1.0).abs() < 0.02, "e = {}", p.e);
+        assert!(p.x_doall);
+        assert!(!p.y_doall, "substitution loop must carry a dependence");
+    }
+
+    #[test]
+    fn model_pipeline_is_not_fusion() {
+        // The consumer is not do-all, so this must not be suggested as
+        // fusion (unlike rot-cc/2mm/correlation).
+        let analysis = app().analyze().unwrap();
+        assert!(analysis.fusions.is_empty(), "{:?}", analysis.fusions);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (a, b) = input(96);
+        let expect = seq(&a, &b);
+        for threads in [1, 2, 4] {
+            let got = par(threads, &a, &b);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn substitution_actually_depends_on_prior_iterations() {
+        let (a, b) = input(16);
+        let x = seq(&a, &b);
+        // x[1] = y[1] - A[1][0] * x[0]; check non-trivial coupling.
+        let y1 = 2.0 * b[1] + a[1].iter().sum::<f64>();
+        assert_eq!(x[1], y1 - a[1][0] * x[0]);
+        assert_ne!(a[1][0], 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! One module per evaluation application. Each module provides:
+//!
+//! - `MODEL` — the MiniLang model of the benchmark's hotspot structure;
+//! - `app()` — its registry entry with the paper's Table III data;
+//! - native Rust kernels (`seq_*` and `par_*`), the parallel one built on
+//!   the `parpat-runtime` executor for the *detected* pattern, with tests
+//!   pinning parallel results to the sequential ones.
+
+pub mod bicg;
+pub mod correlation;
+pub mod fdtd_2d;
+pub mod fib;
+pub mod fluidanimate;
+pub mod gesummv;
+pub mod kmeans;
+pub mod ludcmp;
+pub mod mvt;
+pub mod nqueens;
+pub mod reg_detect;
+pub mod rot_cc;
+pub mod sort;
+pub mod strassen;
+pub mod streamcluster;
+pub mod sum_local;
+pub mod sum_module;
+pub mod three_mm;
+pub mod two_mm;

@@ -1,0 +1,187 @@
+//! `mvt` (Polybench) — two independent matrix-vector products (task
+//! parallelism + do-all).
+//!
+//! `x1 = x1 + A·y1` and `x2 = x2 + Aᵀ·y2` touch disjoint outputs, so the
+//! two loop nests are independent worker tasks, each do-all over rows. The
+//! paper measured 11.39× at 32 threads; Table V's estimated speedup is 1.96
+//! (two equal units, critical path one of them).
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::{join, parallel_for_slices};
+
+/// Vector length of the model.
+pub const N: usize = 20;
+
+/// MiniLang model: two independent MV products.
+pub const MODEL: &str = "global A[20][20];
+global x1[20];
+global x2[20];
+global y1[20];
+global y2[20];
+fn kernel_mvt(n) {
+    for i in 0..n {
+        let s = 0;
+        for j in 0..n {
+            s += A[i][j] * y1[j];
+        }
+        x1[i] = x1[i] + s;
+    }
+    for i in 0..n {
+        let s = 0;
+        for j in 0..n {
+            s += A[j][i] * y2[j];
+        }
+        x2[i] = x2[i] + s;
+    }
+    return 0;
+}
+fn main() {
+    for i in 0..20 {
+        y1[i] = i % 5;
+        y2[i] = i % 7;
+        for j in 0..20 {
+            A[i][j] = (i * 3 + j) % 6;
+        }
+    }
+    kernel_mvt(20);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "mvt",
+        suite: Suite::Polybench,
+        model: MODEL,
+        expected: ExpectedPattern::TasksDoall,
+        paper_speedup: 11.39,
+        paper_threads: 32,
+    }
+}
+
+/// Sequential kernel. Returns the updated `(x1, x2)`.
+pub fn seq(a: &[Vec<f64>], x1: &[f64], x2: &[f64], y1: &[f64], y2: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = a.len();
+    let mut o1 = x1.to_vec();
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n {
+            s += a[i][j] * y1[j];
+        }
+        o1[i] += s;
+    }
+    let mut o2 = x2.to_vec();
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n {
+            s += a[j][i] * y2[j];
+        }
+        o2[i] += s;
+    }
+    (o1, o2)
+}
+
+/// Parallel kernel: the two products as fork/join tasks, each row-parallel.
+pub fn par(
+    threads: usize,
+    a: &[Vec<f64>],
+    x1: &[f64],
+    x2: &[f64],
+    y1: &[f64],
+    y2: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let half = (threads / 2).max(1);
+    join(
+        || {
+            let mut o1 = x1.to_vec();
+            parallel_for_slices(half, &mut o1, |base, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    let i = base + k;
+                    let mut s = 0.0;
+                    for j in 0..a.len() {
+                        s += a[i][j] * y1[j];
+                    }
+                    *v += s;
+                }
+            });
+            o1
+        },
+        || {
+            let mut o2 = x2.to_vec();
+            parallel_for_slices(half, &mut o2, |base, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    let i = base + k;
+                    let mut s = 0.0;
+                    for (j, row) in a.iter().enumerate() {
+                        s += row[i] * y2[j];
+                    }
+                    *v += s;
+                }
+            });
+            o2
+        },
+    )
+}
+
+/// Deterministic inputs.
+#[allow(clippy::type_complexity)]
+pub fn input(n: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let a = (0..n).map(|i| (0..n).map(|j| ((i * 3 + j) % 6) as f64).collect()).collect();
+    let x1 = (0..n).map(|i| (i % 3) as f64).collect();
+    let x2 = (0..n).map(|i| (i % 4) as f64).collect();
+    let y1 = (0..n).map(|i| (i % 5) as f64).collect();
+    let y2 = (0..n).map(|i| (i % 7) as f64).collect();
+    (a, x1, x2, y1, y2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_core::CuMark;
+
+    #[test]
+    fn model_detects_two_independent_worker_loops() {
+        let analysis = app().analyze().unwrap();
+        let (report, graph) = analysis
+            .tasks
+            .iter()
+            .zip(&analysis.graphs)
+            .find(|(_, g)| {
+                matches!(g.region, parpat_cu::RegionId::FuncBody(f)
+                    if analysis.ir.functions[f].name == "kernel_mvt")
+            })
+            .expect("task report for kernel_mvt");
+        // Two loop vertices + the trailing `return 0;` unit.
+        let loops: Vec<_> = graph
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&c| matches!(analysis.cus.cus[c].kind, parpat_cu::CuKind::LoopStmt { .. }))
+            .collect();
+        assert_eq!(loops.len(), 2);
+        // Independent: no edge between the loops, both are forks.
+        for &(s, t) in &graph.edges {
+            assert!(!(loops.contains(&s) && loops.contains(&t)), "{:?}", graph.edges);
+        }
+        assert_eq!(report.marks[&loops[0]], CuMark::Fork);
+        assert_eq!(report.marks[&loops[1]], CuMark::Fork);
+        // Table V: estimated speedup ≈ 1.96 (two roughly equal halves).
+        assert!(report.estimated_speedup > 1.7, "got {}", report.estimated_speedup);
+        assert!(report.estimated_speedup < 2.3, "got {}", report.estimated_speedup);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (a, x1, x2, y1, y2) = input(32);
+        let expect = seq(&a, &x1, &x2, &y1, &y2);
+        for threads in [1, 2, 4] {
+            assert_eq!(par(threads, &a, &x1, &x2, &y1, &y2), expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn transpose_product_differs_from_direct() {
+        let (a, x1, x2, y1, _) = input(8);
+        let (o1, o2) = seq(&a, &x1, &x2, &y1, &y1);
+        assert_ne!(o1, o2, "A and Aᵀ products should differ for this input");
+    }
+}

@@ -1,0 +1,175 @@
+//! `nqueens` (BOTS) — reduction over recursive solution counts.
+//!
+//! The main loop of `nqueens()` accumulates `total += nqueens(...)` across
+//! column placements — a reduction whose update involves a recursive call,
+//! which is exactly why static detectors fail on it (Table VI marks icc ✗
+//! and Sambamba NA) while the dynamic analysis reports the candidate. The
+//! BOTS parallel version is implemented with a reduction and reaches 8.38×
+//! at 32 threads.
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::parallel_reduce;
+
+/// Board size of the model.
+pub const N: usize = 6;
+
+/// MiniLang model of the recursive solver with the counting reduction.
+pub const MODEL: &str = "global board[8];
+fn safe(row, col) {
+    let ok = 1;
+    for r in 0..row {
+        let c = board[r];
+        if c == col {
+            ok = 0;
+        }
+        if c - r == col - row {
+            ok = 0;
+        }
+        if c + r == col + row {
+            ok = 0;
+        }
+    }
+    return ok;
+}
+fn nqueens(row, n) {
+    if row == n {
+        return 1;
+    }
+    let total = 0;
+    for col in 0..n {
+        if safe(row, col) > 0 {
+            board[row] = col;
+            total += nqueens(row + 1, n);
+        }
+    }
+    return total;
+}
+fn main() {
+    nqueens(0, 6);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "nqueens",
+        suite: Suite::Bots,
+        model: MODEL,
+        expected: ExpectedPattern::Reduction,
+        paper_speedup: 8.38,
+        paper_threads: 32,
+    }
+}
+
+fn safe(board: &[usize], row: usize, col: usize) -> bool {
+    for r in 0..row {
+        let c = board[r];
+        if c == col {
+            return false;
+        }
+        if c as i64 - r as i64 == col as i64 - row as i64 {
+            return false;
+        }
+        if c + r == col + row {
+            return false;
+        }
+    }
+    true
+}
+
+/// Sequential solver: number of n-queens solutions.
+pub fn seq(n: usize) -> u64 {
+    fn rec(board: &mut Vec<usize>, row: usize, n: usize) -> u64 {
+        if row == n {
+            return 1;
+        }
+        let mut total = 0;
+        for col in 0..n {
+            if safe(board, row, col) {
+                board[row] = col;
+                total += rec(board, row + 1, n);
+            }
+        }
+        total
+    }
+    rec(&mut vec![0; n], 0, n)
+}
+
+/// Parallel solver: the top-level column loop runs as a parallel reduction
+/// (each first placement explored independently, counts summed) — the
+/// detected pattern.
+pub fn par(threads: usize, n: usize) -> u64 {
+    parallel_reduce(
+        threads,
+        n,
+        0u64,
+        |col0| {
+            let mut board = vec![0usize; n];
+            board[0] = col0;
+            fn rec(board: &mut Vec<usize>, row: usize, n: usize) -> u64 {
+                if row == n {
+                    return 1;
+                }
+                let mut total = 0;
+                for col in 0..n {
+                    if safe(board, row, col) {
+                        board[row] = col;
+                        total += rec(board, row + 1, n);
+                    }
+                }
+                total
+            }
+            rec(&mut board, 1, n)
+        },
+        |a, b| a + b,
+        |a, b| a + b,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_reports_the_counting_reduction() {
+        let analysis = app().analyze().unwrap();
+        let r = analysis
+            .reductions
+            .iter()
+            .find(|r| r.var == "total")
+            .unwrap_or_else(|| panic!("{:?}", analysis.reductions));
+        // The update line in MODEL is `total += nqueens(row + 1, n);`.
+        assert_eq!(r.line, 26);
+    }
+
+    #[test]
+    fn known_solution_counts() {
+        assert_eq!(seq(4), 2);
+        assert_eq!(seq(5), 10);
+        assert_eq!(seq(6), 4);
+        assert_eq!(seq(7), 40);
+        assert_eq!(seq(8), 92);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for threads in [1, 2, 4] {
+            assert_eq!(par(threads, 7), 40, "threads = {threads}");
+            assert_eq!(par(threads, 8), 92, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn model_execution_counts_solutions() {
+        let ir = parpat_ir::compile(MODEL).unwrap();
+        let f = ir.function_named("nqueens").unwrap().id;
+        let r = parpat_ir::run_function(
+            &ir,
+            f,
+            &[0.0, 6.0],
+            &mut parpat_ir::event::NullObserver,
+            parpat_ir::ExecLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.return_value, 4.0);
+    }
+}

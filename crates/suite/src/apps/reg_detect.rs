@@ -1,0 +1,122 @@
+//! `reg_detect` (Polybench) — multi-loop pipeline with `b = −1`.
+//!
+//! Listing 2 of the paper: the first loop fills `mean`, the second
+//! (starting at index 1) computes `path[i] = path[i-1] + mean[i]`. In
+//! iteration-number space the consumer's iteration `j` corresponds to index
+//! `j + 1`, so it reads what producer iteration `j + 1` wrote:
+//! `i_y = i_x − 1`, i.e. `a = 1, b = −1` — no consumer iteration depends on
+//! the producer's first iteration, which the paper exploited by peeling.
+//! Their implementation reached 2.26× on 16 threads (the consumer chain is
+//! serial, so the pipeline overlap is the only win).
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::{run_two_stage, PipelineSpec};
+
+/// Grid size of the model.
+pub const MAXGRID: usize = 64;
+
+/// MiniLang model of `kernel_reg_detect`'s dependent loop pair.
+pub const MODEL: &str = "global mean[64];
+global path[64];
+fn kernel_reg_detect(n) {
+    for i in 0..63 {
+        mean[i] = (i * 3) % 11 + 1;
+    }
+    for i in 1..63 {
+        path[i] = path[i - 1] + mean[i];
+    }
+    return 0;
+}
+fn main() {
+    kernel_reg_detect(64);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "reg_detect",
+        suite: Suite::Polybench,
+        model: MODEL,
+        expected: ExpectedPattern::Pipeline,
+        paper_speedup: 2.26,
+        paper_threads: 16,
+    }
+}
+
+/// Sequential kernel.
+pub fn seq(n: usize) -> Vec<f64> {
+    let mut mean = vec![0.0; n];
+    for (i, m) in mean.iter_mut().enumerate().take(n - 1) {
+        *m = ((i * 3) % 11 + 1) as f64;
+    }
+    let mut path = vec![0.0; n];
+    for i in 1..n - 1 {
+        path[i] = path[i - 1] + mean[i];
+    }
+    path
+}
+
+/// Parallel kernel: pipeline with the first-iteration peel encoded as
+/// `b = −1`; producer do-all, consumer serial.
+pub fn par(threads: usize, n: usize) -> Vec<f64> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let mean: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let path: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let spec =
+        PipelineSpec { a: 1.0, b: -1.0, nx: (n - 1) as u64, ny: (n - 2) as u64 };
+    run_two_stage(
+        spec,
+        threads,
+        1,
+        true,
+        false,
+        |i| {
+            let v = ((i as usize * 3) % 11 + 1) as f64;
+            mean[i as usize].store(v.to_bits(), Ordering::SeqCst);
+        },
+        |j| {
+            // Consumer iteration j handles index i = j + 1.
+            let i = j as usize + 1;
+            let prev = f64::from_bits(path[i - 1].load(Ordering::SeqCst));
+            let m = f64::from_bits(mean[i].load(Ordering::SeqCst));
+            path[i].store((prev + m).to_bits(), Ordering::SeqCst);
+        },
+    );
+    path.into_iter().map(|v| f64::from_bits(v.into_inner())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_detects_pipeline_with_b_minus_one() {
+        let analysis = app().analyze().unwrap();
+        let p = analysis
+            .pipelines
+            .iter()
+            .find(|p| (p.a - 1.0).abs() < 1e-9)
+            .unwrap_or_else(|| panic!("{:?}", analysis.pipelines));
+        assert!((p.b - (-1.0)).abs() < 1e-9, "b = {}", p.b);
+        assert!(p.e > 0.9 && p.e < 1.0, "e = {} (paper: 0.99)", p.e);
+        assert!(p.x_doall);
+        assert!(!p.y_doall);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let expect = seq(MAXGRID);
+        for threads in [1, 2, 4] {
+            assert_eq!(par(threads, MAXGRID), expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn path_is_prefix_sum_of_mean() {
+        let path = seq(16);
+        // path[k] = Σ_{i=1..k} mean[i]; verify one middle element.
+        let mean_at = |i: usize| ((i * 3) % 11 + 1) as f64;
+        let expect: f64 = (1..=5).map(mean_at).sum();
+        assert_eq!(path[5], expect);
+    }
+}

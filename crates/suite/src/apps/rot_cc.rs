@@ -1,0 +1,111 @@
+//! `rot-cc` (Starbench) — fusion of image rotation and color conversion.
+//!
+//! Two do-all hotspot loops over all pixels: the first rotates the image
+//! (a pure permutation), the second color-converts each rotated pixel.
+//! Pixel `p` of the second loop reads exactly what iteration `p` of the
+//! first wrote (`a = 1, b = 0, e = 1`), so the detector suggests fusing
+//! them into one do-all — which is precisely how Starbench's own parallel
+//! version is written. The paper reports 16.18× on 32 threads.
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::parallel_for_slices;
+
+/// Pixels in the model image.
+pub const PIXELS: usize = 256;
+
+/// MiniLang model: rotate 180° then color-convert.
+pub const MODEL: &str = "global img[256];
+global rot[256];
+global out[256];
+fn rotate_cc() {
+    for p in 0..256 {
+        rot[p] = img[255 - p];
+    }
+    for p in 0..256 {
+        out[p] = rot[p] * 3 + 16;
+    }
+    return 0;
+}
+fn main() {
+    for p in 0..256 {
+        img[p] = p % 91;
+    }
+    rotate_cc();
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "rot-cc",
+        suite: Suite::Starbench,
+        model: MODEL,
+        expected: ExpectedPattern::Fusion,
+        paper_speedup: 16.18,
+        paper_threads: 32,
+    }
+}
+
+/// Sequential kernel: the two separate passes.
+pub fn seq(img: &[f64]) -> Vec<f64> {
+    let n = img.len();
+    let mut rot = vec![0.0; n];
+    for p in 0..n {
+        rot[p] = img[n - 1 - p];
+    }
+    let mut out = vec![0.0; n];
+    for p in 0..n {
+        out[p] = rot[p] * 3.0 + 16.0;
+    }
+    out
+}
+
+/// Parallel kernel implementing the detected *fusion*: one do-all pass
+/// computing `out[p] = img[n−1−p] · 3 + 16` directly.
+pub fn par_fused(threads: usize, img: &[f64]) -> Vec<f64> {
+    let n = img.len();
+    let mut out = vec![0.0; n];
+    parallel_for_slices(threads, &mut out, |base, chunk| {
+        for (k, o) in chunk.iter_mut().enumerate() {
+            let p = base + k;
+            *o = img[n - 1 - p] * 3.0 + 16.0;
+        }
+    });
+    out
+}
+
+/// Deterministic input image.
+pub fn input(n: usize) -> Vec<f64> {
+    (0..n).map(|p| (p % 91) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_detects_fusion() {
+        let analysis = app().analyze().unwrap();
+        assert_eq!(analysis.fusions.len(), 1, "{:?}", analysis.fusions);
+        let p = &analysis.pipelines[0];
+        assert!(p.x_doall && p.y_doall);
+        assert!((p.a - 1.0).abs() < 1e-9 && p.b.abs() < 1e-9);
+        assert!((p.e - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fused_parallel_matches_two_pass_sequential() {
+        let img = input(1024);
+        let expect = seq(&img);
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(par_fused(threads, &img), expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn rotation_actually_reverses() {
+        let img = input(8);
+        let out = seq(&img);
+        assert_eq!(out[0], img[7] * 3.0 + 16.0);
+        assert_eq!(out[7], img[0] * 3.0 + 16.0);
+    }
+}

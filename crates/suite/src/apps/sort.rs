@@ -1,0 +1,211 @@
+//! `sort` (BOTS cilksort) — the paper's Figure 3.
+//!
+//! `cilksort()` splits the array in four, sorts the quarters recursively
+//! (four independent worker tasks forked by the quarter-size computation),
+//! merges the two halves (two barriers that can run in parallel), and
+//! merges the result (a final barrier). The BOTS parallel version achieves
+//! 3.67× at 32 threads by exploiting exactly this structure.
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::{join, join4};
+
+/// Elements sorted by the model.
+pub const N: usize = 64;
+
+/// MiniLang model of `cilksort` (Figure 3's CU graph).
+pub const MODEL: &str = "global data[64];
+global tmp[64];
+fn seqsort(lo, n) {
+    for pass in 0..n {
+        for i in 0..n - 1 {
+            if data[lo + i] > data[lo + i + 1] {
+                let t = data[lo + i];
+                data[lo + i] = data[lo + i + 1];
+                data[lo + i + 1] = t;
+            }
+        }
+    }
+    return 0;
+}
+fn merge(lo, n) {
+    for i in 0..n {
+        tmp[lo + i] = data[lo + i];
+    }
+    return 0;
+}
+fn mergeback(lo, n) {
+    for i in 0..n {
+        data[lo + i] = tmp[lo + i];
+    }
+    return 0;
+}
+fn cilksort(lo, n) {
+    if n < 16 {
+        seqsort(lo, n);
+        return 0;
+    }
+    let q = n / 4;
+    cilksort(lo, q);
+    cilksort(lo + q, q);
+    cilksort(lo + 2 * q, q);
+    cilksort(lo + 3 * q, q);
+    merge(lo, 2 * q);
+    merge(lo + 2 * q, 2 * q);
+    mergeback(lo, n);
+    return 0;
+}
+fn main() {
+    for i in 0..64 {
+        data[i] = (i * 37) % 64;
+    }
+    cilksort(0, 64);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "sort",
+        suite: Suite::Bots,
+        model: MODEL,
+        expected: ExpectedPattern::Tasks,
+        paper_speedup: 3.67,
+        paper_threads: 32,
+    }
+}
+
+/// Sequential cilksort over a slice: 4-way divide, sequential merge.
+pub fn seq(data: &mut [f64]) {
+    let n = data.len();
+    if n < 16 {
+        data.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        return;
+    }
+    let q = n / 4;
+    let (left, right) = data.split_at_mut(2 * q);
+    let (a, b) = left.split_at_mut(q);
+    let (c, d) = right.split_at_mut(q);
+    seq(a);
+    seq(b);
+    seq(c);
+    seq(d);
+    merge_halves(left);
+    merge_halves(right);
+    merge_halves(data);
+}
+
+/// Parallel cilksort: fork/join over the four quarters, merge the two
+/// halves in parallel, final merge joins.
+pub fn par(data: &mut [f64]) {
+    let n = data.len();
+    if n < 64 {
+        seq(data);
+        return;
+    }
+    let q = n / 4;
+    {
+        let (left, right) = data.split_at_mut(2 * q);
+        let (a, b) = left.split_at_mut(q);
+        let (c, d) = right.split_at_mut(q);
+        join4(|| par(a), || par(b), || par(c), || par(d));
+        // The two half-merges are the parallel barriers of Figure 3.
+        join(|| merge_halves(left), || merge_halves(right));
+    }
+    merge_halves(data);
+}
+
+/// Merge a slice whose two halves are each sorted.
+fn merge_halves(data: &mut [f64]) {
+    let mid = data.len() / 2;
+    let mut out = Vec::with_capacity(data.len());
+    let (mut i, mut j) = (0, mid);
+    while i < mid && j < data.len() {
+        if data[i] <= data[j] {
+            out.push(data[i]);
+            i += 1;
+        } else {
+            out.push(data[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&data[i..mid]);
+    out.extend_from_slice(&data[j..]);
+    data.copy_from_slice(&out);
+}
+
+/// Deterministic shuffled input.
+pub fn input(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 37) % n) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_core::CuMark;
+    use parpat_cu::CuKind;
+
+    #[test]
+    fn figure_3_shape_four_workers_three_barriers() {
+        let analysis = app().analyze().unwrap();
+        let (report, graph) = analysis
+            .tasks
+            .iter()
+            .zip(&analysis.graphs)
+            .find(|(_, g)| {
+                matches!(g.region, parpat_cu::RegionId::FuncBody(f)
+                    if analysis.ir.functions[f].name == "cilksort")
+            })
+            .expect("task report for cilksort region");
+        let sorts: Vec<_> = graph
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&c| matches!(&analysis.cus.cus[c].kind, CuKind::CallStmt { callee } if callee == "cilksort"))
+            .collect();
+        let merges: Vec<_> = graph
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&c| matches!(&analysis.cus.cus[c].kind, CuKind::CallStmt { callee } if callee == "merge" || callee == "mergeback"))
+            .collect();
+        assert_eq!(sorts.len(), 4);
+        assert_eq!(merges.len(), 3);
+        for &s in &sorts {
+            assert_eq!(report.marks[&s], CuMark::Worker, "recursive sorts are workers");
+        }
+        for &m in &merges {
+            assert_eq!(report.marks[&m], CuMark::Barrier, "merges are barriers");
+        }
+        // The two half-merges can run in parallel; the final cannot.
+        assert!(report
+            .parallel_barriers
+            .iter()
+            .any(|&(a, b)| (a, b) == (merges[0], merges[1]) || (a, b) == (merges[1], merges[0])));
+        assert!(!report
+            .parallel_barriers
+            .iter()
+            .any(|&(a, b)| a == merges[2] || b == merges[2]));
+    }
+
+    #[test]
+    fn sequential_sorts() {
+        let mut d = input(256);
+        seq(&mut d);
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut a = input(512);
+        let mut b = a.clone();
+        seq(&mut a);
+        par(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_halves_merges() {
+        let mut d = vec![1.0, 3.0, 5.0, 2.0, 4.0, 6.0];
+        merge_halves(&mut d);
+        assert_eq!(d, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+}

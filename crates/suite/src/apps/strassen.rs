@@ -1,0 +1,228 @@
+//! `strassen` (BOTS) — seven independent recursive multiplications.
+//!
+//! `OptimizedStrassenMultiply()` makes seven independent recursive calls
+//! (the seven Strassen products M1…M7), classified as worker tasks; the
+//! combining loop after them is their barrier. The BOTS parallel version
+//! parallelizes exactly those seven calls and reaches 8.93× at 32 threads.
+//!
+//! The model keeps the 7-children recursion and the combine loop on
+//! disjoint work regions; the native kernel implements real Strassen
+//! multiplication with fork/join over the seven products.
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::join;
+
+/// MiniLang model: 7-way recursion + combining loop.
+pub const MODEL: &str = "global wk[512];
+global res[512];
+fn strassen(lo, n) {
+    if n < 8 {
+        for i in 0..n {
+            wk[lo + i] = wk[lo + i] * 2 + 1;
+        }
+        return 0;
+    }
+    let h = n / 8;
+    strassen(lo, h);
+    strassen(lo + h, h);
+    strassen(lo + 2 * h, h);
+    strassen(lo + 3 * h, h);
+    strassen(lo + 4 * h, h);
+    strassen(lo + 5 * h, h);
+    strassen(lo + 6 * h, h);
+    for i in 0..n {
+        res[lo + i] = wk[lo + i] + 1;
+    }
+    return 0;
+}
+fn main() {
+    for i in 0..512 {
+        wk[i] = i % 9;
+    }
+    strassen(0, 512);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "strassen",
+        suite: Suite::Bots,
+        model: MODEL,
+        expected: ExpectedPattern::Tasks,
+        paper_speedup: 8.93,
+        paper_threads: 32,
+    }
+}
+
+/// A square matrix stored row-major.
+pub type Matrix = Vec<Vec<f64>>;
+
+fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    a.iter()
+        .zip(b)
+        .map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| x + y).collect())
+        .collect()
+}
+
+fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    a.iter()
+        .zip(b)
+        .map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| x - y).collect())
+        .collect()
+}
+
+/// Naive O(n³) product (the base case and the correctness oracle).
+pub fn naive_mul(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.len();
+    let mut c = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i][k];
+            for j in 0..n {
+                c[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    c
+}
+
+fn quadrants(m: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+    let n = m.len();
+    let h = n / 2;
+    let q = |r0: usize, c0: usize| -> Matrix {
+        (0..h).map(|i| (0..h).map(|j| m[r0 + i][c0 + j]).collect()).collect()
+    };
+    (q(0, 0), q(0, h), q(h, 0), q(h, h))
+}
+
+fn assemble(c11: Matrix, c12: Matrix, c21: Matrix, c22: Matrix) -> Matrix {
+    let h = c11.len();
+    let n = 2 * h;
+    let mut c = vec![vec![0.0; n]; n];
+    for i in 0..h {
+        for j in 0..h {
+            c[i][j] = c11[i][j];
+            c[i][j + h] = c12[i][j];
+            c[i + h][j] = c21[i][j];
+            c[i + h][j + h] = c22[i][j];
+        }
+    }
+    c
+}
+
+/// Sequential Strassen multiplication (power-of-two sizes).
+pub fn seq(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    strassen_impl(a, b, cutoff, false)
+}
+
+/// Parallel Strassen: the seven products M1…M7 run as fork/join tasks (the
+/// detected worker set); the combine is the barrier.
+pub fn par(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    strassen_impl(a, b, cutoff, true)
+}
+
+fn strassen_impl(a: &Matrix, b: &Matrix, cutoff: usize, parallel: bool) -> Matrix {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "power-of-two sizes only");
+    if n <= cutoff {
+        return naive_mul(a, b);
+    }
+    let (a11, a12, a21, a22) = quadrants(a);
+    let (b11, b12, b21, b22) = quadrants(b);
+
+    let m1 = || strassen_impl(&add(&a11, &a22), &add(&b11, &b22), cutoff, false);
+    let m2 = || strassen_impl(&add(&a21, &a22), &b11, cutoff, false);
+    let m3 = || strassen_impl(&a11, &sub(&b12, &b22), cutoff, false);
+    let m4 = || strassen_impl(&a22, &sub(&b21, &b11), cutoff, false);
+    let m5 = || strassen_impl(&add(&a11, &a12), &b22, cutoff, false);
+    let m6 = || strassen_impl(&sub(&a21, &a11), &add(&b11, &b12), cutoff, false);
+    let m7 = || strassen_impl(&sub(&a12, &a22), &add(&b21, &b22), cutoff, false);
+
+    let (m1, m2, m3, m4, m5, m6, m7) = if parallel {
+        // Seven independent tasks, joined pairwise (the barrier).
+        let ((r1, r2), ((r3, r4), ((r5, r6), r7))) =
+            join(|| join(m1, m2), || join(|| join(m3, m4), || join(|| join(m5, m6), m7)));
+        (r1, r2, r3, r4, r5, r6, r7)
+    } else {
+        (m1(), m2(), m3(), m4(), m5(), m6(), m7())
+    };
+
+    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
+    let c12 = add(&m3, &m5);
+    let c21 = add(&m2, &m4);
+    let c22 = add(&sub(&add(&m1, &m3), &m2), &m6);
+    assemble(c11, c12, c21, c22)
+}
+
+/// Deterministic input matrix.
+pub fn input(n: usize, seed: usize) -> Matrix {
+    (0..n)
+        .map(|i| (0..n).map(|j| ((i * 5 + j * 3 + seed) % 7) as f64 - 3.0).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_core::CuMark;
+    use parpat_cu::CuKind;
+
+    #[test]
+    fn model_detects_seven_workers_and_barrier_loop() {
+        let analysis = app().analyze().unwrap();
+        let (report, graph) = analysis
+            .tasks
+            .iter()
+            .zip(&analysis.graphs)
+            .find(|(_, g)| {
+                matches!(g.region, parpat_cu::RegionId::FuncBody(f)
+                    if analysis.ir.functions[f].name == "strassen")
+            })
+            .expect("task report for strassen region");
+        let calls: Vec<_> = graph
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&c| matches!(&analysis.cus.cus[c].kind, CuKind::CallStmt { callee } if callee == "strassen"))
+            .collect();
+        assert_eq!(calls.len(), 7);
+        for &c in &calls {
+            assert_eq!(report.marks[&c], CuMark::Worker, "the 7 products are workers");
+        }
+        // The combining loop (the *last* loop vertex; the first is the
+        // base-case loop) is their barrier.
+        let combine = graph
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&c| matches!(&analysis.cus.cus[c].kind, CuKind::LoopStmt { .. }))
+            .last()
+            .expect("combine loop CU");
+        assert_eq!(report.marks[&combine], CuMark::Barrier);
+        // Estimated speedup is in the paper's ballpark (3.5).
+        assert!(report.estimated_speedup > 2.0, "got {}", report.estimated_speedup);
+        assert!(report.estimated_speedup < 7.0, "got {}", report.estimated_speedup);
+    }
+
+    #[test]
+    fn strassen_matches_naive() {
+        let a = input(16, 1);
+        let b = input(16, 2);
+        let expect = naive_mul(&a, &b);
+        assert_eq!(seq(&a, &b, 4), expect);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = input(32, 3);
+        let b = input(32, 4);
+        assert_eq!(par(&a, &b, 8), seq(&a, &b, 8));
+    }
+
+    #[test]
+    fn base_case_passthrough() {
+        let a = input(4, 0);
+        let b = input(4, 5);
+        assert_eq!(seq(&a, &b, 8), naive_mul(&a, &b));
+    }
+}

@@ -1,0 +1,131 @@
+//! `streamcluster` (Starbench) — geometric decomposition of
+//! `localSearch()`.
+//!
+//! Listings 6–7 of the paper: the outer `while` stream loop cannot be
+//! parallelized (each round consumes the clusters formed by the previous
+//! one), but every loop inside `localSearch()` — and inside the functions
+//! it calls — is do-all or reduction, so the function itself is the
+//! geometric-decomposition candidate. Starbench's parallel version
+//! partitions the points across threads calling `localSearch` per chunk
+//! (6.38× at 32 threads).
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::parallel_for_chunks;
+use parking_lot::Mutex;
+
+/// Points per round in the model.
+pub const POINTS: usize = 64;
+
+/// MiniLang model: stream loop + localSearch with a called helper.
+pub const MODEL: &str = "global points[64];
+global weight[64];
+global cost[64];
+fn dist_cost(p) {
+    let d = points[p] * points[p];
+    return d;
+}
+fn localSearch() {
+    let total = 0;
+    for p in 0..64 {
+        cost[p] = dist_cost(p) * weight[p];
+    }
+    for p in 0..64 {
+        total += cost[p];
+    }
+    return total;
+}
+fn main() {
+    for p in 0..64 {
+        points[p] = p % 23;
+        weight[p] = p % 3 + 1;
+    }
+    let rounds = 0;
+    while rounds < 4 {
+        localSearch();
+        rounds += 1;
+    }
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "streamcluster",
+        suite: Suite::Starbench,
+        model: MODEL,
+        expected: ExpectedPattern::Geometric,
+        paper_speedup: 6.38,
+        paper_threads: 32,
+    }
+}
+
+/// Sequential local search: assignment cost of all points.
+pub fn seq_local_search(points: &[f64], weight: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for (p, w) in points.iter().zip(weight) {
+        total += p * p * w;
+    }
+    total
+}
+
+/// Parallel local search via geometric decomposition: each thread runs the
+/// same search over its own chunk of points (Listing 7's
+/// `localSearch(points[i*chunk_size], chunk_size)` shape).
+pub fn par_local_search(threads: usize, points: &[f64], weight: &[f64]) -> f64 {
+    let partials = Mutex::new(Vec::new());
+    parallel_for_chunks(threads, points.len(), |start, end| {
+        let local = seq_local_search(&points[start..end], &weight[start..end]);
+        partials.lock().push(local);
+    });
+    partials.into_inner().into_iter().sum()
+}
+
+/// Deterministic inputs.
+pub fn input(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let points = (0..n).map(|p| (p % 23) as f64).collect();
+    let weight = (0..n).map(|p| (p % 3 + 1) as f64).collect();
+    (points, weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_reports_local_search_as_gd_candidate() {
+        let analysis = app().analyze().unwrap();
+        let gd = analysis
+            .geodecomp
+            .iter()
+            .find(|g| g.name == "localSearch")
+            .unwrap_or_else(|| panic!("{:?}", analysis.geodecomp));
+        assert_eq!(gd.loops.len(), 2, "both point loops examined: {gd:?}");
+    }
+
+    #[test]
+    fn stream_loop_itself_is_not_parallel() {
+        let analysis = app().analyze().unwrap();
+        // The while loop in main carries the rounds counter dependence.
+        let while_loop = analysis
+            .ir
+            .loops
+            .iter()
+            .enumerate()
+            .find(|(_, m)| !m.is_for)
+            .map(|(i, _)| i as parpat_ir::LoopId)
+            .expect("stream while loop");
+        assert_eq!(
+            analysis.loop_classes[&while_loop],
+            parpat_core::LoopClass::Sequential
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (points, weight) = input(256);
+        let expect = seq_local_search(&points, &weight);
+        for threads in [1, 2, 4, 8] {
+            let got = par_local_search(threads, &points, &weight);
+            assert!((got - expect).abs() < 1e-9, "threads = {threads}");
+        }
+    }
+}

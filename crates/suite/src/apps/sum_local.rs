@@ -1,0 +1,77 @@
+//! `sum_local` (synthetic, Listing 8) — the reduction every tool detects.
+//!
+//! The accumulation is in the lexical extent of the loop, so static
+//! detectors (icc, Sambamba) and the dynamic analysis all find it. The
+//! Table VI row for this benchmark is ✓/✓/✓.
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::parallel_sum;
+
+/// Elements summed by the model.
+pub const SIZE: usize = 128;
+
+/// MiniLang model (Listing 8).
+pub const MODEL: &str = "global arr[128];
+fn sum_local(size) {
+    let sum = 0;
+    for i in 0..size {
+        sum += arr[i];
+    }
+    return sum;
+}
+fn main() {
+    for i in 0..128 {
+        arr[i] = i % 10;
+    }
+    sum_local(128);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "sum_local",
+        suite: Suite::Synthetic,
+        model: MODEL,
+        expected: ExpectedPattern::Reduction,
+        paper_speedup: 1.0,
+        paper_threads: 1,
+    }
+}
+
+/// Sequential sum.
+pub fn seq(arr: &[f64]) -> f64 {
+    arr.iter().sum()
+}
+
+/// Parallel sum via the reduction executor.
+pub fn par(threads: usize, arr: &[f64]) -> f64 {
+    parallel_sum(threads, arr.len(), |i| arr[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_detector_finds_it() {
+        let analysis = app().analyze().unwrap();
+        assert!(analysis.reductions.iter().any(|r| r.var == "sum"));
+    }
+
+    #[test]
+    fn static_detectors_find_it_too() {
+        use parpat_baseline::{IccLike, SambambaLike, StaticReductionDetector};
+        let prog = parpat_minilang::parse_fragment(MODEL).unwrap();
+        assert!(IccLike.detect(&prog).detected());
+        assert!(SambambaLike.detect(&prog).detected());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let arr: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let expect = seq(&arr);
+        for threads in [1, 2, 4] {
+            assert_eq!(par(threads, &arr), expect);
+        }
+    }
+}

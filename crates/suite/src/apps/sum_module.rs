@@ -1,0 +1,103 @@
+//! `sum_module` (synthetic, Listing 9) — the reduction only dynamic
+//! analysis finds.
+//!
+//! The accumulation happens in a function called from the loop, so static
+//! tools (icc's conservative aliasing, Sambamba's missing cross-module
+//! view) miss it while the dynamic detector follows the address and reports
+//! it — the paper's Table VI headline (✗/✗/✓).
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::parallel_reduce;
+
+/// Elements processed by the model.
+pub const SIZE: usize = 128;
+
+/// MiniLang model (Listing 9): the update lives in `update()`.
+pub const MODEL: &str = "global arr[128];
+global acc[1];
+fn update(val) {
+    let x = val * 2 + 1;
+    acc[0] += x;
+    return x;
+}
+fn consume(v) {
+    return v;
+}
+fn sum_module(size) {
+    for i in 0..size {
+        let x = update(arr[i]);
+        consume(x);
+    }
+    return acc[0];
+}
+fn main() {
+    for i in 0..128 {
+        arr[i] = i % 10;
+    }
+    sum_module(128);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "sum_module",
+        suite: Suite::Synthetic,
+        model: MODEL,
+        expected: ExpectedPattern::Reduction,
+        paper_speedup: 1.0,
+        paper_threads: 1,
+    }
+}
+
+/// The per-element "heavy work" of Listing 9.
+pub fn update(val: f64) -> f64 {
+    val * 2.0 + 1.0
+}
+
+/// Sequential kernel: module-style accumulation.
+pub fn seq(arr: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &v in arr {
+        acc += update(v);
+    }
+    acc
+}
+
+/// Parallel kernel: the detected reduction, privatized per thread.
+pub fn par(threads: usize, arr: &[f64]) -> f64 {
+    parallel_reduce(threads, arr.len(), 0.0, |i| update(arr[i]), |a, b| a + b, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_detector_finds_the_cross_module_reduction() {
+        let analysis = app().analyze().unwrap();
+        let r = analysis
+            .reductions
+            .iter()
+            .find(|r| r.var == "acc")
+            .unwrap_or_else(|| panic!("{:?}", analysis.reductions));
+        // `acc[0] += x;` is line 5 of the model.
+        assert_eq!(r.line, 5);
+    }
+
+    #[test]
+    fn static_detectors_miss_it() {
+        use parpat_baseline::{IccLike, SambambaLike, StaticReductionDetector};
+        let prog = parpat_minilang::parse_fragment(MODEL).unwrap();
+        assert!(!IccLike.detect(&prog).detected());
+        assert!(!SambambaLike.detect(&prog).detected());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let arr: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let expect = seq(&arr);
+        for threads in [1, 2, 4] {
+            assert_eq!(par(threads, &arr), expect);
+        }
+    }
+}

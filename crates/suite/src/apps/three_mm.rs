@@ -1,0 +1,169 @@
+//! `3mm` (Polybench) — task parallelism + do-all (Listing 5).
+//!
+//! `kernel_3mm` computes `E = A·B`, `F = C·D`, `G = E·F`: the first two
+//! loop nests are independent worker tasks, the third is their barrier, and
+//! every nest is itself do-all. The paper implemented combined task+do-all
+//! parallelism for 12.93× at 16 threads; the estimated speedup from the CU
+//! graph alone is 1.5 (two of three equal units on the critical path).
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::{join, parallel_for_slices};
+
+/// Matrix dimension of the model.
+pub const N: usize = 10;
+
+/// MiniLang model (Listing 5's three loop nests).
+pub const MODEL: &str = "global A[10][10];
+global B[10][10];
+global C[10][10];
+global D[10][10];
+global E[10][10];
+global F[10][10];
+global G[10][10];
+fn kernel_3mm(n) {
+    for i in 0..n {
+        for j in 0..n {
+            let s = 0;
+            for k in 0..n {
+                s += A[i][k] * B[k][j];
+            }
+            E[i][j] = s;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let s = 0;
+            for k in 0..n {
+                s += C[i][k] * D[k][j];
+            }
+            F[i][j] = s;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let s = 0;
+            for k in 0..n {
+                s += E[i][k] * F[k][j];
+            }
+            G[i][j] = s;
+        }
+    }
+    return 0;
+}
+fn main() {
+    for i in 0..10 {
+        for j in 0..10 {
+            A[i][j] = (i + j) % 3;
+            B[i][j] = (i * j) % 4;
+            C[i][j] = (2 * i + j) % 5;
+            D[i][j] = (i + 3 * j) % 3;
+        }
+    }
+    kernel_3mm(10);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "3mm",
+        suite: Suite::Polybench,
+        model: MODEL,
+        expected: ExpectedPattern::TasksDoall,
+        paper_speedup: 12.93,
+        paper_threads: 16,
+    }
+}
+
+use super::two_mm::{matmul, Matrix};
+
+/// Sequential kernel: three chained products.
+pub fn seq(a: &Matrix, b: &Matrix, c: &Matrix, d: &Matrix) -> Matrix {
+    let e = matmul(a, b);
+    let f = matmul(c, d);
+    matmul(&e, &f)
+}
+
+/// Parallel kernel implementing the detected pattern: the two products run
+/// as independent tasks (fork/join), each internally do-all over rows; the
+/// third (the barrier) runs after, also do-all.
+pub fn par(threads: usize, a: &Matrix, b: &Matrix, c: &Matrix, d: &Matrix) -> Matrix {
+    let half = (threads / 2).max(1);
+    let (e, f) = join(|| par_matmul(half, a, b), || par_matmul(half, c, d));
+    par_matmul(threads, &e, &f)
+}
+
+/// Row-parallel matrix product.
+pub fn par_matmul(threads: usize, a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.len();
+    let m = b[0].len();
+    let mut out = vec![vec![0.0; m]; n];
+    parallel_for_slices(threads, &mut out, |base, rows| {
+        for (k, row) in rows.iter_mut().enumerate() {
+            let i = base + k;
+            for (j, v) in row.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for (kk, brow) in b.iter().enumerate() {
+                    s += a[i][kk] * brow[j];
+                }
+                *v = s;
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parpat_core::CuMark;
+
+    #[test]
+    fn model_classifies_two_workers_one_barrier() {
+        let analysis = app().analyze().unwrap();
+        let (report, graph) = analysis
+            .tasks
+            .iter()
+            .zip(&analysis.graphs)
+            .find(|(_, g)| {
+                matches!(g.region, parpat_cu::RegionId::FuncBody(f)
+                    if analysis.ir.functions[f].name == "kernel_3mm")
+            })
+            .expect("task report for kernel_3mm");
+        let loops: Vec<_> = graph
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&c| matches!(analysis.cus.cus[c].kind, parpat_cu::CuKind::LoopStmt { .. }))
+            .collect();
+        assert_eq!(loops.len(), 3);
+        assert_eq!(report.marks[&loops[0]], CuMark::Fork);
+        assert_eq!(report.marks[&loops[1]], CuMark::Fork);
+        assert_eq!(report.marks[&loops[2]], CuMark::Barrier);
+        // Table V: estimated speedup 1.5.
+        assert!((report.estimated_speedup - 1.5).abs() < 0.15, "got {}", report.estimated_speedup);
+    }
+
+    #[test]
+    fn all_three_nests_are_doall() {
+        let analysis = app().analyze().unwrap();
+        // The three outermost nest loops: every loop in the kernel should be
+        // do-all or reduction (the k loops are reductions into s).
+        for (l, class) in &analysis.loop_classes {
+            assert_ne!(
+                *class,
+                parpat_core::LoopClass::Sequential,
+                "loop {l} is sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (a, b, c) = super::super::two_mm::input(16);
+        let d = c.clone();
+        let expect = seq(&a, &b, &c, &d);
+        for threads in [1, 2, 4] {
+            assert_eq!(par(threads, &a, &b, &c, &d), expect, "threads = {threads}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! `2mm` (Polybench) — fusion of two chained matrix products.
+//!
+//! `D = (A·B)·C` as two loop nests: the first computes `tmp = A·B`, the
+//! second `D = tmp·C`. Row `i` of the second nest reads only row `i` of
+//! `tmp`, written by iteration `i` of the first nest's outer loop —
+//! `a = 1, b = 0, e = 1` with both outer loops do-all → fusion. The paper
+//! measured 13.50× at 32 threads for the fused implementation.
+
+use crate::{App, ExpectedPattern, Suite};
+use parpat_runtime::parallel_for_slices;
+
+/// Matrix dimension of the model.
+pub const N: usize = 10;
+
+/// MiniLang model: two chained matmuls, outer loops fusable.
+pub const MODEL: &str = "global A[10][10];
+global B[10][10];
+global C[10][10];
+global tmp[10][10];
+global D[10][10];
+fn kernel_2mm(n) {
+    for i in 0..n {
+        for j in 0..n {
+            let s = 0;
+            for k in 0..n {
+                s += A[i][k] * B[k][j];
+            }
+            tmp[i][j] = s;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let s = 0;
+            for k in 0..n {
+                s += tmp[i][k] * C[k][j];
+            }
+            D[i][j] = s;
+        }
+    }
+    return 0;
+}
+fn main() {
+    for i in 0..10 {
+        for j in 0..10 {
+            A[i][j] = (i + j) % 4;
+            B[i][j] = (i * j) % 5;
+            C[i][j] = (i + 2 * j) % 3;
+        }
+    }
+    kernel_2mm(10);
+}";
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        name: "2mm",
+        suite: Suite::Polybench,
+        model: MODEL,
+        expected: ExpectedPattern::Fusion,
+        paper_speedup: 13.50,
+        paper_threads: 32,
+    }
+}
+
+/// A square matrix stored row-major.
+pub type Matrix = Vec<Vec<f64>>;
+
+/// Plain matrix product.
+pub fn matmul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let m = b[0].len();
+    let kk = b.len();
+    let mut out = vec![vec![0.0; m]; n];
+    for i in 0..n {
+        for j in 0..m {
+            let mut s = 0.0;
+            for (k, bk) in b.iter().enumerate().take(kk) {
+                s += a[i][k] * bk[j];
+            }
+            out[i][j] = s;
+        }
+    }
+    out
+}
+
+/// Sequential kernel: `D = (A·B)·C` via an explicit temporary.
+pub fn seq(a: &[Vec<f64>], b: &[Vec<f64>], c: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let tmp = matmul(a, b);
+    matmul(&tmp, c)
+}
+
+/// Parallel kernel implementing the detected fusion: one do-all over rows;
+/// each row computes its `tmp` row and immediately its `D` row.
+pub fn par_fused(
+    threads: usize,
+    a: &[Vec<f64>],
+    b: &[Vec<f64>],
+    c: &[Vec<f64>],
+) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let m = c[0].len();
+    let inner = b[0].len();
+    let mut d = vec![vec![0.0; m]; n];
+    parallel_for_slices(threads, &mut d, |base, rows| {
+        for (k, drow) in rows.iter_mut().enumerate() {
+            let i = base + k;
+            // tmp row i.
+            let mut trow = vec![0.0; inner];
+            for (j, t) in trow.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for (kk, brow) in b.iter().enumerate() {
+                    s += a[i][kk] * brow[j];
+                }
+                *t = s;
+            }
+            // D row i.
+            for (j, dv) in drow.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for (kk, crow) in c.iter().enumerate() {
+                    s += trow[kk] * crow[j];
+                }
+                *dv = s;
+            }
+        }
+    });
+    d
+}
+
+/// Deterministic inputs.
+pub fn input(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let a = (0..n).map(|i| (0..n).map(|j| ((i + j) % 4) as f64).collect()).collect();
+    let b = (0..n).map(|i| (0..n).map(|j| ((i * j) % 5) as f64).collect()).collect();
+    let c = (0..n).map(|i| (0..n).map(|j| ((i + 2 * j) % 3) as f64).collect()).collect();
+    (a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_detects_fusion_between_outer_loops() {
+        let analysis = app().analyze().unwrap();
+        assert!(!analysis.fusions.is_empty(), "pipelines: {:?}", analysis.pipelines);
+    }
+
+    #[test]
+    fn fused_parallel_matches_sequential() {
+        let (a, b, c) = input(24);
+        let expect = seq(&a, &b, &c);
+        for threads in [1, 2, 4] {
+            assert_eq!(par_fused(threads, &a, &b, &c), expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn identity_times_identity_is_identity() {
+        let n = 4;
+        let eye: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect()).collect();
+        assert_eq!(seq(&eye, &eye, &eye), eye);
+    }
+}

@@ -1,0 +1,45 @@
+//! Table VI live: the dynamic reduction detector against the icc-like and
+//! Sambamba-like static baselines on `sum_local` (everyone finds it) and
+//! `sum_module` (only the dynamic analysis does).
+//!
+//! ```sh
+//! cargo run --example reduction_vs_static
+//! ```
+
+use parpat::baseline::{IccLike, SambambaLike, StaticOutcome, StaticReductionDetector};
+use parpat::suite::app_named;
+
+fn verdict(outcome: StaticOutcome) -> &'static str {
+    match outcome {
+        StaticOutcome::Unsupported(_) => "NA",
+        StaticOutcome::Analyzed(v) if !v.is_empty() => "detected",
+        StaticOutcome::Analyzed(_) => "missed",
+    }
+}
+
+fn main() {
+    println!("=== reduction detection: dynamic vs static (paper Table VI) ===\n");
+    for name in ["sum_local", "sum_module", "nqueens", "bicg"] {
+        let app = app_named(name).expect("registered app");
+        let ast = parpat::minilang::parse_fragment(app.model).expect("model parses");
+
+        let icc = verdict(IccLike.detect(&ast));
+        let sambamba = verdict(SambambaLike.detect(&ast));
+
+        let analysis = app.analyze().expect("analysis succeeds");
+        let dynamic = if analysis.reductions.is_empty() { "missed" } else { "detected" };
+
+        println!("{name}:");
+        println!("  icc-like (static):      {icc}");
+        println!("  Sambamba-like (static): {sambamba}");
+        println!("  parpat (dynamic):       {dynamic}");
+        for r in &analysis.reductions {
+            println!("    -> `{}` at line {} (loop @ line {})", r.var, r.line, r.loop_line);
+        }
+        println!();
+    }
+
+    println!("sum_module is the paper's headline: the update `acc[0] += x` lives in a");
+    println!("callee, so both static tools miss it; the dynamic analysis follows the");
+    println!("address and reports it regardless of where the access happens.");
+}

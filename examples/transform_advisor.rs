@@ -1,0 +1,115 @@
+//! The "advisor" workflow built from the paper's future-work features:
+//! rank every detected pattern by expected benefit and effort, infer
+//! reduction operators, and suggest peeling/fission — then execute a
+//! three-stage pipeline chain merged from the pairwise reports.
+//!
+//! ```sh
+//! cargo run --example transform_advisor
+//! ```
+
+use parpat::core::{
+    analyze_source, infer_operator, pipeline_chains, rank_patterns, render_ranking,
+    suggest_fission, suggest_peeling, AnalysisConfig, RankConfig,
+};
+use parpat::runtime::{run_chain, ChainStage};
+
+const PROGRAM: &str = "
+global src[128];
+global mid[128];
+global dst[128];
+global acc[128];
+global trace[128];
+
+fn main() {
+    // A three-loop pipeline chain (src -> mid -> dst)…
+    for i in 0..128 {
+        src[i] = i % 29 + 1;
+    }
+    for i in 0..128 {
+        mid[i] = src[i] * 3;
+    }
+    for i in 0..128 {
+        dst[i] = mid[i] + 7;
+    }
+    // …and a mixed loop: a sequential prefix chain plus an independent
+    // element-wise update (a fission candidate).
+    for i in 1..128 {
+        acc[i] = acc[i - 1] + dst[i];
+        trace[i] = dst[i] * 2 + 1;
+    }
+}";
+
+fn main() {
+    let analysis =
+        analyze_source(PROGRAM, &AnalysisConfig::default()).expect("program analyzes");
+
+    println!("=== ranked patterns ===");
+    let ranked = rank_patterns(&analysis, &RankConfig::default());
+    print!("{}", render_ranking(&ranked));
+
+    println!("\n=== pipeline chains (Section III-A) ===");
+    for chain in pipeline_chains(&analysis.pipelines) {
+        let lines: Vec<String> = chain
+            .iter()
+            .map(|&l| format!("line {}", analysis.ir.loops[l as usize].line))
+            .collect();
+        println!("{}-stage chain: {}", chain.len(), lines.join(" -> "));
+    }
+
+    println!("\n=== peeling suggestions ===");
+    for p in suggest_peeling(&analysis.pipelines, 16) {
+        println!("- {}", p.rationale);
+    }
+
+    println!("\n=== fission suggestions ===");
+    for f in suggest_fission(
+        &analysis.ir,
+        &analysis.profile,
+        &analysis.pet,
+        &analysis.cus,
+        &analysis.loop_classes,
+        0.05,
+    ) {
+        println!(
+            "- loop at line {}: split {} do-all unit(s) out of {} total",
+            f.line,
+            f.parallel_cus.len(),
+            f.parallel_cus.len() + f.sequential_cus.len()
+        );
+    }
+
+    println!("\n=== reduction operators ===");
+    for r in &analysis.reductions {
+        match infer_operator(&analysis.ir, r) {
+            Some(op) => println!("- `{}` at line {}: {op}", r.var, r.line),
+            None => println!("- `{}` at line {}: not inferable", r.var, r.line),
+        }
+    }
+
+    // Execute the detected three-stage chain for real.
+    let n = 128usize;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let src: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mid: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let dst: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    run_chain(
+        2,
+        vec![
+            ChainStage::source(n as u64, true, |i| {
+                src[i as usize].store(i % 29 + 1, Ordering::SeqCst);
+            }),
+            ChainStage::linked(n as u64, 1.0, 0.0, true, |i| {
+                let v = src[i as usize].load(Ordering::SeqCst);
+                mid[i as usize].store(v * 3, Ordering::SeqCst);
+            }),
+            ChainStage::linked(n as u64, 1.0, 0.0, true, |i| {
+                let v = mid[i as usize].load(Ordering::SeqCst);
+                dst[i as usize].store(v + 7, Ordering::SeqCst);
+            }),
+        ],
+    );
+    for i in 0..n {
+        assert_eq!(dst[i].load(Ordering::SeqCst), (i as u64 % 29 + 1) * 3 + 7);
+    }
+    println!("\n3-stage pipeline chain executed and verified ✓");
+}

@@ -1,0 +1,468 @@
+//! Command-line interface logic for the `parpat` binary.
+//!
+//! Kept as a library module so the argument handling and output formatting
+//! are unit-testable; `main.rs` is a thin shell around [`run`].
+
+use std::fmt::Write as _;
+
+use parpat_core::{
+    analyze_source, infer_operator, rank_patterns, render_ranking, suggest_fission,
+    suggest_peeling, AnalysisConfig, RankConfig,
+};
+
+/// Usage text printed on demand and on argument errors.
+pub const USAGE: &str = "parpat — parallel pattern detection in sequential programs (IPPS'16 reproduction)
+
+USAGE:
+    parpat analyze <file.ml> [--hotspot <percent>]   full findings summary
+    parpat suggest <file.ml> [--workers <n>] [--json]  ranked patterns + transformations
+    parpat run <file.ml>                             execute the program, print stats
+    parpat demo <app> [--json]                       analyze a bundled benchmark (e.g. sort, ludcmp)
+    parpat apps                                      list the bundled benchmarks
+    parpat dot <file.ml> [--region <function>]       Graphviz DOT of a region's classified CU graph
+    parpat help                                      this text
+
+The input is a MiniLang program (see README / crates/minilang). The bundled
+benchmarks are the paper's 17 evaluation applications plus the two
+synthetic reduction programs.";
+
+/// Run the CLI on the given arguments (without the program name).
+/// Returns the text to print, or an error message (exit status 1).
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("help") | None => Ok(USAGE.to_owned()),
+        Some("analyze") => {
+            let (path, opts) = split_opts(&args[1..])?;
+            let threshold = opt_value(&opts, "--hotspot")?
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map(|p| p / 100.0)
+                        .map_err(|_| format!("invalid --hotspot value `{v}`"))
+                })
+                .transpose()?
+                .unwrap_or(0.1);
+            let src = read(&path)?;
+            let cfg = AnalysisConfig { hotspot_threshold: threshold, ..Default::default() };
+            let analysis = analyze_source(&src, &cfg).map_err(|e| e.to_string())?;
+            Ok(analysis.summary())
+        }
+        Some("suggest") => {
+            let (path, opts) = split_opts(&args[1..])?;
+            let workers = opt_value(&opts, "--workers")?
+                .map(|v| v.parse::<f64>().map_err(|_| format!("invalid --workers value `{v}`")))
+                .transpose()?
+                .unwrap_or(8.0);
+            let src = read(&path)?;
+            let analysis =
+                analyze_source(&src, &AnalysisConfig::default()).map_err(|e| e.to_string())?;
+            if opts.iter().any(|o| o == "--json") {
+                return Ok(json_report(&analysis));
+            }
+
+            let mut out = String::new();
+            let ranked = rank_patterns(&analysis, &RankConfig { workers });
+            if ranked.is_empty() {
+                out.push_str("no parallel patterns detected\n");
+            } else {
+                writeln!(out, "=== ranked patterns (workers = {workers}) ===").unwrap();
+                out.push_str(&render_ranking(&ranked));
+            }
+
+            let peels = suggest_peeling(&analysis.pipelines, 16);
+            if !peels.is_empty() {
+                writeln!(out, "=== peeling suggestions ===").unwrap();
+                for p in &peels {
+                    writeln!(out, "- {}", p.rationale).unwrap();
+                }
+            }
+            let fissions = suggest_fission(
+                &analysis.ir,
+                &analysis.profile,
+                &analysis.pet,
+                &analysis.cus,
+                &analysis.loop_classes,
+                0.1,
+            );
+            if !fissions.is_empty() {
+                writeln!(out, "=== fission suggestions ===").unwrap();
+                for f in &fissions {
+                    writeln!(
+                        out,
+                        "- distribute loop at line {}: {} unit(s) stay sequential, {} unit(s) become do-all ({} loop first)",
+                        f.line,
+                        f.sequential_cus.len(),
+                        f.parallel_cus.len(),
+                        if f.parallel_first { "do-all" } else { "sequential" }
+                    )
+                    .unwrap();
+                }
+            }
+            if !analysis.reductions.is_empty() {
+                writeln!(out, "=== reduction operators ===").unwrap();
+                for r in &analysis.reductions {
+                    match infer_operator(&analysis.ir, r) {
+                        Some(op) => writeln!(
+                            out,
+                            "- `{}` at line {}: {op} reduction (identity {})",
+                            r.var,
+                            r.line,
+                            op.identity()
+                        )
+                        .unwrap(),
+                        None => writeln!(
+                            out,
+                            "- `{}` at line {}: operator not inferable, review manually",
+                            r.var, r.line
+                        )
+                        .unwrap(),
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Some("apps") => {
+            let mut out = String::new();
+            for app in parpat_suite::all_apps().iter().chain(parpat_suite::synthetic_apps().iter()) {
+                writeln!(out, "{:<14} {:<10} {}", app.name, app.suite.to_string(), app.expected)
+                    .unwrap();
+            }
+            Ok(out)
+        }
+        Some("demo") => {
+            let (name, opts) = split_opts(&args[1..])?;
+            let app = parpat_suite::app_named(&name)
+                .ok_or_else(|| format!("unknown app `{name}` — try `parpat apps`"))?;
+            let analysis = app.analyze().map_err(|e| e.to_string())?;
+            if opts.iter().any(|o| o == "--json") {
+                Ok(json_report(&analysis))
+            } else {
+                let mut out = format!(
+                    "=== {} ({}) — paper pattern: {} ===\n",
+                    app.name, app.suite, app.expected
+                );
+                out.push_str(&analysis.summary());
+                Ok(out)
+            }
+        }
+        Some("dot") => {
+            let (path, opts) = split_opts(&args[1..])?;
+            let src = read(&path)?;
+            let analysis =
+                analyze_source(&src, &AnalysisConfig::default()).map_err(|e| e.to_string())?;
+            let wanted = opt_value(&opts, "--region")?;
+            let pick = analysis
+                .tasks
+                .iter()
+                .zip(&analysis.graphs)
+                .find(|(_, g)| match (&wanted, g.region) {
+                    (Some(name), parpat_cu::RegionId::FuncBody(f)) => {
+                        &analysis.ir.functions[f].name == name
+                    }
+                    (None, _) => true,
+                    _ => false,
+                })
+                .ok_or_else(|| "no matching analyzed region (try without --region)".to_owned())?;
+            let (report, graph) = pick;
+            let marks = |cu: usize| {
+                report.marks.get(&cu).map(|m| match m {
+                    parpat_core::CuMark::Fork => ("fork", "lightblue"),
+                    parpat_core::CuMark::Worker => ("worker", "palegreen"),
+                    parpat_core::CuMark::Barrier => ("barrier", "lightsalmon"),
+                })
+            };
+            Ok(parpat_cu::cu_graph_to_dot(graph, &analysis.cus, &path, &marks))
+        }
+        Some("run") => {
+            let (path, _) = split_opts(&args[1..])?;
+            let src = read(&path)?;
+            let ir = parpat_ir::compile(&src).map_err(|e| e.to_string())?;
+            let out = parpat_ir::run(&ir, &mut parpat_ir::event::NullObserver)
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "executed {} instructions; main returned {}",
+                out.insts, out.return_value
+            ))
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn split_opts(args: &[String]) -> Result<(String, Vec<String>), String> {
+    let mut it = args.iter();
+    let path = it.next().ok_or_else(|| format!("missing <file.ml>\n\n{USAGE}"))?;
+    Ok((path.clone(), it.cloned().collect()))
+}
+
+fn opt_value(opts: &[String], flag: &str) -> Result<Option<String>, String> {
+    for (i, o) in opts.iter().enumerate() {
+        if o == flag {
+            return opts
+                .get(i + 1)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("{flag} needs a value"));
+        }
+    }
+    Ok(None)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Machine-readable report of an analysis: the detected patterns, ranked,
+/// with the transformation suggestions. Hand-rolled JSON (keeps the
+/// dependency set to the pre-approved crates).
+fn json_report(analysis: &parpat_core::Analysis) -> String {
+    let mut out = String::from("{\n");
+
+    // Pipelines.
+    out.push_str("  \"pipelines\": [");
+    let items: Vec<String> = analysis
+        .pipelines
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"x_line\": {}, \"y_line\": {}, \"a\": {:.6}, \"b\": {:.6}, \"e\": {:.6}, \"x_doall\": {}, \"y_doall\": {}}}",
+                p.x_line, p.y_line, p.a, p.b, p.e, p.x_doall, p.y_doall
+            )
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str("],\n");
+
+    // Fusions.
+    out.push_str("  \"fusions\": [");
+    let items: Vec<String> = analysis
+        .fusions
+        .iter()
+        .map(|f| format!("{{\"x_line\": {}, \"y_line\": {}}}", f.lines.0, f.lines.1))
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str("],\n");
+
+    // Reductions with inferred operators.
+    out.push_str("  \"reductions\": [");
+    let items: Vec<String> = analysis
+        .reductions
+        .iter()
+        .map(|r| {
+            let op = infer_operator(&analysis.ir, r)
+                .map(|o| json_str(&o.to_string()))
+                .unwrap_or_else(|| "null".to_owned());
+            format!(
+                "{{\"var\": {}, \"line\": {}, \"loop_line\": {}, \"operator\": {}}}",
+                json_str(&r.var),
+                r.line,
+                r.loop_line,
+                op
+            )
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str("],\n");
+
+    // Geometric decomposition.
+    out.push_str("  \"geometric_decomposition\": [");
+    let items: Vec<String> =
+        analysis.geodecomp.iter().map(|g| json_str(&g.name)).collect();
+    out.push_str(&items.join(", "));
+    out.push_str("],\n");
+
+    // Task parallelism (regions with real parallelism).
+    out.push_str("  \"task_parallelism\": [");
+    let items: Vec<String> = analysis
+        .tasks
+        .iter()
+        .zip(&analysis.graphs)
+        .filter(|(t, _)| t.estimated_speedup > 1.05)
+        .map(|(t, g)| {
+            let region = match g.region {
+                parpat_cu::RegionId::FuncBody(f) => {
+                    format!("function {}", analysis.ir.functions[f].name)
+                }
+                parpat_cu::RegionId::Loop(l) => {
+                    format!("loop@{}", analysis.ir.loops[l as usize].line)
+                }
+            };
+            format!(
+                "{{\"region\": {}, \"estimated_speedup\": {:.4}, \"units\": {}}}",
+                json_str(&region),
+                t.estimated_speedup,
+                g.nodes.len()
+            )
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str("],\n");
+
+    // Ranking.
+    out.push_str("  \"ranking\": [");
+    let ranked = rank_patterns(analysis, &RankConfig::default());
+    let items: Vec<String> = ranked
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"pattern\": {}, \"target\": {}, \"coverage\": {:.4}, \"expected_speedup\": {:.4}, \"effort\": {}, \"score\": {:.4}}}",
+                json_str(&r.pattern.to_string()),
+                json_str(&r.target),
+                r.coverage,
+                r.expected_speedup,
+                json_str(&format!("{:?}", r.effort)),
+                r.score
+            )
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let dir = std::env::temp_dir().join("parpat-cli-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(name);
+        std::fs::write(&path, contents).expect("write");
+        path.to_string_lossy().into_owned()
+    }
+
+    const REDUCTION_SRC: &str = "global a[64];
+fn main() {
+    let s = 0;
+    for i in 0..64 {
+        s += a[i];
+    }
+    return s;
+}";
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn analyze_summarizes() {
+        let path = write_temp("red.ml", REDUCTION_SRC);
+        let out = run(&args(&["analyze", &path])).unwrap();
+        assert!(out.contains("hotspots"), "{out}");
+        assert!(out.contains("reductions"), "{out}");
+    }
+
+    #[test]
+    fn analyze_respects_hotspot_flag() {
+        let path = write_temp("red2.ml", REDUCTION_SRC);
+        let out = run(&args(&["analyze", &path, "--hotspot", "1"])).unwrap();
+        assert!(out.contains("hotspots"), "{out}");
+        assert!(run(&args(&["analyze", &path, "--hotspot", "zap"])).is_err());
+    }
+
+    #[test]
+    fn suggest_ranks_and_infers_operator() {
+        let path = write_temp("red3.ml", REDUCTION_SRC);
+        let out = run(&args(&["suggest", &path])).unwrap();
+        assert!(out.contains("ranked patterns"), "{out}");
+        assert!(out.contains("sum reduction"), "{out}");
+    }
+
+    #[test]
+    fn run_executes() {
+        let path = write_temp("run.ml", "fn main() { return 6 * 7; }");
+        let out = run(&args(&["run", &path])).unwrap();
+        assert!(out.contains("main returned 42"), "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = run(&args(&["analyze", "/definitely/not/here.ml"])).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn apps_lists_the_suite() {
+        let out = run(&args(&["apps"])).unwrap();
+        assert!(out.contains("ludcmp"));
+        assert!(out.contains("sum_module"));
+        assert_eq!(out.lines().count(), 19);
+    }
+
+    #[test]
+    fn demo_analyzes_registered_app() {
+        let out = run(&args(&["demo", "fib"])).unwrap();
+        assert!(out.contains("task parallelism"), "{out}");
+        assert!(run(&args(&["demo", "nope"])).is_err());
+    }
+
+    #[test]
+    fn json_output_is_emitted_and_balanced() {
+        let path = write_temp("json.ml", REDUCTION_SRC);
+        let out = run(&args(&["suggest", &path, "--json"])).unwrap();
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.contains("\"reductions\""), "{out}");
+        assert!(out.contains("\"operator\": \"sum\""), "{out}");
+        // Braces and brackets balance.
+        let bal = |open: char, close: char| {
+            out.chars().filter(|&c| c == open).count()
+                == out.chars().filter(|&c| c == close).count()
+        };
+        assert!(bal('{', '}'));
+        assert!(bal('[', ']'));
+    }
+
+    #[test]
+    fn dot_renders_classified_graph() {
+        let path = write_temp(
+            "dot.ml",
+            "global e[8];
+global f[8];
+global g[8];
+fn main() {
+    for i in 0..8 { e[i] = i; }
+    for i in 0..8 { f[i] = i * 2; }
+    for i in 0..8 { g[i] = e[i] + f[i]; }
+}",
+        );
+        let out = run(&args(&["dot", &path])).unwrap();
+        assert!(out.starts_with("digraph"), "{out}");
+        assert!(out.contains("barrier"), "{out}");
+        assert!(out.contains("->"), "{out}");
+    }
+
+    #[test]
+    fn parse_errors_are_surfaced() {
+        let path = write_temp("broken.ml", "fn main() { let = ; }");
+        let err = run(&args(&["analyze", &path])).unwrap_err();
+        assert!(err.contains("parse error"), "{err}");
+    }
+}

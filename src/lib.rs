@@ -1,0 +1,65 @@
+//! # parpat
+//!
+//! Facade crate for the **parpat** workspace — a from-scratch Rust
+//! reproduction of *"Automatic Parallel Pattern Detection in the Algorithm
+//! Structure Design Space"* (Huda, Atre, Jannesari, Wolf — IPPS 2016).
+//!
+//! The workspace detects four parallel patterns in sequential programs
+//! (multi-loop pipeline, task parallelism, geometric decomposition,
+//! reduction — plus the fusion special case) and classifies code into the
+//! support structures needed to implement them. See the README for the
+//! architecture tour, DESIGN.md for the substitution ledger, and
+//! EXPERIMENTS.md for the paper-vs-measured record.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use parpat::core::{analyze_source, AnalysisConfig};
+//!
+//! let analysis = analyze_source(
+//!     "global a[64];
+//!      global b[64];
+//!      fn main() {
+//!          for i in 0..64 { a[i] = i * 2; }
+//!          for j in 0..64 { b[j] = a[j] + 1; }
+//!      }",
+//!     &AnalysisConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(analysis.fusions.len(), 1);
+//! println!("{}", analysis.summary());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+/// MiniLang front end (lexer, parser, semantic checks).
+pub use parpat_minilang as minilang;
+
+/// Structured IR, lowering, and the instrumenting interpreter.
+pub use parpat_ir as ir;
+
+/// Dynamic data-dependence profiler.
+pub use parpat_profile as profile;
+
+/// Program execution trees and hotspots.
+pub use parpat_pet as pet;
+
+/// Computational units and CU graphs.
+pub use parpat_cu as cu;
+
+/// The pattern detectors (the paper's contribution).
+pub use parpat_core as core;
+
+/// Static reduction-detection baselines (icc-like, Sambamba-like).
+pub use parpat_baseline as baseline;
+
+/// Threaded executors for the supporting structures.
+pub use parpat_runtime as runtime;
+
+/// Deterministic parallel-execution simulator.
+pub use parpat_sim as sim;
+
+/// The 17-application evaluation suite + synthetics.
+pub use parpat_suite as suite;

@@ -1,0 +1,13 @@
+//! The `parpat` command-line tool: analyze MiniLang programs for parallel
+//! patterns, rank the findings, and suggest transformations.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parpat::cli::run(&args) {
+        Ok(out) => println!("{out}"),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(1);
+        }
+    }
+}

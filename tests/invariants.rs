@@ -1,0 +1,159 @@
+//! Structural invariants checked across every suite model — the kind of
+//! whole-pipeline consistency conditions no single crate can verify alone.
+
+use parpat::cu::RegionId;
+use parpat::suite::{all_apps, synthetic_apps};
+
+fn for_every_app(f: impl Fn(&str, &parpat::core::Analysis)) {
+    for app in all_apps().into_iter().chain(synthetic_apps()) {
+        let analysis = app.analyze().unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        f(app.name, &analysis);
+    }
+}
+
+/// PET: inclusive counts equal self + children, parents are consistent,
+/// every node was entered at least once, and the root covers everything.
+#[test]
+fn pet_structure_is_consistent() {
+    for_every_app(|name, a| {
+        let pet = &a.pet;
+        for n in &pet.nodes {
+            let child_sum: u64 =
+                n.children.iter().map(|&c| pet.nodes[c].inclusive_insts).sum();
+            assert_eq!(
+                n.inclusive_insts,
+                n.self_insts + child_sum,
+                "{name}: node {} inclusive mismatch",
+                n.id
+            );
+            assert!(n.occurrences >= 1, "{name}: node {} never entered", n.id);
+            for &c in &n.children {
+                assert_eq!(pet.nodes[c].parent, Some(n.id), "{name}: bad parent link");
+            }
+        }
+        assert_eq!(pet.nodes[pet.root].inclusive_insts, pet.total_insts, "{name}");
+        assert_eq!(pet.total_insts, a.profile.total_insts, "{name}");
+    });
+}
+
+/// CUs: serial order is strictly increasing per region, anchors resolve to
+/// their own CU, and every anchor's instruction belongs to its CU's inst
+/// set.
+#[test]
+fn cu_structure_is_consistent() {
+    for_every_app(|name, a| {
+        for region in a.cus.regions() {
+            let ids = a.cus.region_cus(region);
+            let orders: Vec<usize> = ids.iter().map(|&c| a.cus.cus[c].order).collect();
+            assert!(
+                orders.windows(2).all(|w| w[0] < w[1]),
+                "{name}: {region:?} CU order not strictly increasing: {orders:?}"
+            );
+            for &c in ids {
+                let cu = &a.cus.cus[c];
+                assert_eq!(cu.region, region, "{name}");
+                assert!(cu.insts.contains(&cu.anchor), "{name}: anchor outside CU");
+                assert_eq!(
+                    a.cus.cu_of_inst(region, cu.anchor),
+                    Some(c),
+                    "{name}: anchor of CU {c} resolves elsewhere"
+                );
+                assert!(!cu.lines.is_empty(), "{name}: CU without lines");
+            }
+        }
+    });
+}
+
+/// CU graphs: edges connect vertices of the same region; critical path is
+/// bounded by the total weight; weights are non-negative.
+#[test]
+fn cu_graphs_are_well_formed() {
+    for_every_app(|name, a| {
+        for g in &a.graphs {
+            for &(s, t) in &g.edges {
+                assert!(g.nodes.contains(&s), "{name}: edge src outside graph");
+                assert!(g.nodes.contains(&t), "{name}: edge sink outside graph");
+                assert_ne!(s, t, "{name}: self edge");
+            }
+            for &n in &g.nodes {
+                assert!(g.weights[&n] >= 0.0, "{name}: negative weight");
+            }
+            let (cp, path) = g.critical_path(&a.cus);
+            assert!(cp <= g.total_weight() + 1e-6, "{name}: critical path exceeds total");
+            assert!(!path.is_empty() || g.nodes.is_empty(), "{name}");
+        }
+    });
+}
+
+/// Task reports: every CU of the region is marked; workers/barriers have
+/// at least one predecessor; estimated speedup ≥ 1.
+#[test]
+fn task_reports_are_complete() {
+    for_every_app(|name, a| {
+        for (t, g) in a.tasks.iter().zip(&a.graphs) {
+            for &n in &g.nodes {
+                assert!(t.marks.contains_key(&n), "{name}: unmarked CU {n}");
+            }
+            for (&cu, mark) in &t.marks {
+                if *mark == parpat::core::CuMark::Barrier {
+                    assert!(
+                        g.predecessors(cu).len() > 1,
+                        "{name}: barrier {cu} with ≤1 predecessor"
+                    );
+                }
+            }
+            assert!(t.estimated_speedup >= 1.0 - 1e-9, "{name}");
+            // Parallel barriers really are unordered.
+            for &(x, y) in &t.parallel_barriers {
+                assert!(!g.reachable(x, y) && !g.reachable(y, x), "{name}");
+            }
+        }
+    });
+}
+
+/// Pipelines: coefficients are finite, trip counts positive, iteration-pair
+/// counts within the address space, and do-all flags agree with the profile.
+#[test]
+fn pipeline_reports_are_sane() {
+    for_every_app(|name, a| {
+        for p in &a.pipelines {
+            assert!(p.a.is_finite() && p.b.is_finite() && p.e.is_finite(), "{name}");
+            assert!(p.e >= 0.0 && p.e <= 2.0, "{name}: e = {}", p.e);
+            assert!(p.nx > 0 && p.ny > 0, "{name}");
+            assert!(p.n_pairs >= 3, "{name}");
+            assert_eq!(p.x_doall, !a.profile.has_carried_raw(p.x), "{name}");
+            assert_eq!(p.y_doall, !a.profile.has_carried_raw(p.y), "{name}");
+        }
+    });
+}
+
+/// Reductions always sit on loops that actually carry a dependence, and the
+/// reported loop/line pair exists in the program.
+#[test]
+fn reduction_reports_are_anchored() {
+    for_every_app(|name, a| {
+        for r in &a.reductions {
+            assert!(
+                (r.l as usize) < a.ir.loop_count(),
+                "{name}: loop id out of range"
+            );
+            assert_eq!(a.ir.loops[r.l as usize].line, r.loop_line, "{name}");
+            assert!(a.profile.has_carried_raw(r.l), "{name}: reduction on carried-free loop");
+            assert!(!r.var.is_empty(), "{name}");
+        }
+    });
+}
+
+/// Every executed loop got classified, and every hotspot loop's region is
+/// represented in the CU set.
+#[test]
+fn loop_classification_is_total() {
+    for_every_app(|name, a| {
+        for (&l, _) in &a.profile.loop_stats {
+            assert!(a.loop_classes.contains_key(&l), "{name}: loop {l} unclassified");
+            // Executed loops lexically exist.
+            assert!((l as usize) < a.ir.loop_count(), "{name}");
+            let _ = a.cus.region_cus(RegionId::Loop(l));
+        }
+    });
+}

@@ -1,0 +1,171 @@
+//! Property-based tests over the core data structures and invariants:
+//! front-end round trips, profiler conservation laws, simulator bounds, and
+//! runtime-executor equivalence with sequential execution.
+
+use proptest::prelude::*;
+
+use parpat::core::{analyze_source, AnalysisConfig};
+use parpat::minilang::{parser::parse, pretty::print_program};
+use parpat::runtime::{parallel_reduce, parallel_sum};
+use parpat::sim::{simulate, TaskGraph};
+
+// ---------------------------------------------------------------------------
+// MiniLang front end
+// ---------------------------------------------------------------------------
+
+/// Generate a small well-formed MiniLang program as source text.
+fn arb_program() -> impl Strategy<Value = String> {
+    // A constrained template family: one global array, one function with a
+    // loop whose body is drawn from a set of statement shapes.
+    let stmt = prop_oneof![
+        Just("a[i] = i * 2;".to_owned()),
+        Just("a[i] = a[i] + 1;".to_owned()),
+        Just("s += a[i];".to_owned()),
+        Just("if i > 4 { a[i] = 0; }".to_owned()),
+        Just("let t = a[i] * 3; a[i] = t;".to_owned()),
+    ];
+    (proptest::collection::vec(stmt, 1..5), 2u32..40).prop_map(|(stmts, n)| {
+        let body: String =
+            stmts.iter().map(|s| format!("        {s}\n")).collect();
+        format!(
+            "global a[64];\nfn main() {{\n    let s = 0;\n    for i in 0..{n} {{\n{body}    }}\n    return s;\n}}\n"
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pretty-printing a parsed program and re-parsing it is a fixpoint.
+    #[test]
+    fn pretty_print_roundtrip(src in arb_program()) {
+        let p1 = parse(&src).expect("template parses");
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).expect("printed source parses");
+        prop_assert_eq!(print_program(&p2), printed);
+    }
+
+    /// Analysis never panics on the template family, and its profile
+    /// satisfies the conservation law: per-instruction counts sum to the
+    /// total.
+    #[test]
+    fn analysis_conservation(src in arb_program()) {
+        let a = analyze_source(&src, &AnalysisConfig::default()).expect("analyzes");
+        prop_assert_eq!(a.profile.inst_counts.iter().sum::<u64>(), a.profile.total_insts);
+        // PET root holds every executed instruction.
+        prop_assert_eq!(a.pet.nodes[a.pet.root].inclusive_insts, a.pet.total_insts);
+        prop_assert_eq!(a.pet.total_insts, a.profile.total_insts);
+    }
+
+    /// Loop classification is sound on the template: a loop classified
+    /// do-all has no carried RAW; a reduction loop has candidates.
+    #[test]
+    fn loop_classes_are_consistent(src in arb_program()) {
+        let a = analyze_source(&src, &AnalysisConfig::default()).expect("analyzes");
+        for (&l, &class) in &a.loop_classes {
+            match class {
+                parpat::core::LoopClass::DoAll => {
+                    prop_assert!(!a.profile.has_carried_raw(l));
+                }
+                parpat::core::LoopClass::Reduction => {
+                    prop_assert!(a.reductions.iter().any(|r| r.l == l));
+                }
+                parpat::core::LoopClass::Sequential => {
+                    prop_assert!(a.profile.has_carried_raw(l));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+/// Random layered DAGs.
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    proptest::collection::vec((1u32..100, proptest::collection::vec(any::<u16>(), 0..3)), 1..40)
+        .prop_map(|specs| {
+            let mut g = TaskGraph::new();
+            for (i, (cost, deps)) in specs.iter().enumerate() {
+                let deps: Vec<usize> = if i == 0 {
+                    vec![]
+                } else {
+                    let mut d: Vec<usize> =
+                        deps.iter().map(|&x| (x as usize) % i).collect();
+                    d.sort_unstable();
+                    d.dedup();
+                    d
+                };
+                g.add(*cost as f64, deps);
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Makespan is bracketed by the critical path and the sequential cost,
+    /// and never increases with more workers.
+    #[test]
+    fn simulator_bounds(g in arb_graph(), workers in 1usize..16) {
+        let r = simulate(&g, workers, 0.0);
+        prop_assert!(r.makespan + 1e-9 >= g.critical_path());
+        prop_assert!(r.makespan <= g.sequential_cost() + 1e-9);
+        let r_more = simulate(&g, workers + 4, 0.0);
+        prop_assert!(r_more.makespan <= r.makespan + 1e-9);
+        // Work conservation: busy time equals total cost.
+        let busy: f64 = r.worker_busy.iter().sum();
+        prop_assert!((busy - g.sequential_cost()).abs() < 1e-6);
+    }
+
+    /// One worker means the makespan is exactly the sequential cost (plus
+    /// overheads).
+    #[test]
+    fn single_worker_is_sequential(g in arb_graph(), ov in 0.0f64..5.0) {
+        let r = simulate(&g, 1, ov);
+        let expect = g.sequential_cost() + ov * g.tasks.len() as f64;
+        prop_assert!((r.makespan - expect).abs() < 1e-6);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime executors
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel sum equals sequential sum for exact-integer-valued floats
+    /// at any thread count.
+    #[test]
+    fn parallel_sum_matches_sequential(
+        data in proptest::collection::vec(0u16..1000, 0..500),
+        threads in 1usize..6,
+    ) {
+        let data: Vec<f64> = data.into_iter().map(f64::from).collect();
+        let seq: f64 = data.iter().sum();
+        let par = parallel_sum(threads, data.len(), |i| data[i]);
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Parallel max equals sequential max.
+    #[test]
+    fn parallel_max_matches_sequential(
+        data in proptest::collection::vec(any::<i32>(), 1..300),
+        threads in 1usize..6,
+    ) {
+        let data: Vec<f64> = data.into_iter().map(f64::from).collect();
+        let seq = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let par = parallel_reduce(
+            threads,
+            data.len(),
+            f64::NEG_INFINITY,
+            |i| data[i],
+            f64::max,
+            f64::max,
+        );
+        prop_assert_eq!(par, seq);
+    }
+}
