@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 verification gate (see ROADMAP.md). Fully offline: the workspace
+# has no third-party dependencies.
+set -eux
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

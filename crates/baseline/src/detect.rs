@@ -74,7 +74,11 @@ impl StaticReductionDetector for IccLike {
     fn detect(&self, prog: &Program) -> StaticOutcome {
         let mut found = Vec::new();
         for f in &prog.functions {
-            find_in_block(&f.body, &Config { allow_array_targets: false, allow_calls: false }, &mut found);
+            find_in_block(
+                &f.body,
+                &Config { allow_array_targets: false, allow_calls: false },
+                &mut found,
+            );
         }
         StaticOutcome::Analyzed(found)
     }
@@ -94,7 +98,11 @@ impl StaticReductionDetector for SambambaLike {
         }
         let mut found = Vec::new();
         for f in &prog.functions {
-            find_in_block(&f.body, &Config { allow_array_targets: true, allow_calls: true }, &mut found);
+            find_in_block(
+                &f.body,
+                &Config { allow_array_targets: true, allow_calls: true },
+                &mut found,
+            );
         }
         StaticOutcome::Analyzed(found)
     }
@@ -207,9 +215,7 @@ fn expr_references(e: &Expr, name: &str) -> bool {
         }
         Expr::Call { args, .. } => args.iter().any(|a| expr_references(a, name)),
         Expr::Unary { operand, .. } => expr_references(operand, name),
-        Expr::Binary { lhs, rhs, .. } => {
-            expr_references(lhs, name) || expr_references(rhs, name)
-        }
+        Expr::Binary { lhs, rhs, .. } => expr_references(lhs, name) || expr_references(rhs, name),
         Expr::Number { .. } | Expr::Bool { .. } => false,
     }
 }

@@ -28,6 +28,4 @@
 
 pub mod detect;
 
-pub use detect::{
-    IccLike, SambambaLike, StaticOutcome, StaticReduction, StaticReductionDetector,
-};
+pub use detect::{IccLike, SambambaLike, StaticOutcome, StaticReduction, StaticReductionDetector};

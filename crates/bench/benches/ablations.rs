@@ -1,8 +1,9 @@
 //! Ablation benches for the design choices DESIGN.md calls out.
 //!
 //! Each group compares a design decision against its alternative on the
-//! simulator (which is deterministic, so Criterion measures the scheduling
-//! computation while the printed speedups expose the modeled effect):
+//! simulator (which is deterministic, so the harness measures the
+//! scheduling computation while the printed speedups expose the modeled
+//! effect):
 //!
 //! - **fusion_vs_unfused** — the fused do-all vs two barrier-separated
 //!   do-alls (Section III-A's motivation for suggesting fusion);
@@ -11,14 +12,14 @@
 //! - **pipeline_chunking** — the consumer-block granularity of the
 //!   multi-loop pipeline executor.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use parpat_bench::micro::group;
 use parpat_sim::{pipeline, simulate, Overheads, PipelineShape};
 use parpat_suite::speedup::{default_overheads, graph_for, unfused_graph};
 use parpat_suite::{app_named, ExpectedPattern};
 
-fn bench_fusion_vs_unfused(c: &mut Criterion) {
+fn bench_fusion_vs_unfused() {
     let app = app_named("rot-cc").expect("known app");
     let analysis = app.analyze().expect("analysis succeeds");
     let ov = default_overheads();
@@ -33,23 +34,18 @@ fn bench_fusion_vs_unfused(c: &mut Criterion) {
     );
     assert!(fused.speedup > unfused.speedup, "fusion must win");
 
-    let mut group = c.benchmark_group("fusion_vs_unfused");
-    group.bench_function("fused", |b| {
-        b.iter(|| {
-            let g = graph_for(&app, &analysis, workers);
-            black_box(simulate(&g, workers, ov.per_task).speedup)
-        })
+    let g = group("fusion_vs_unfused");
+    g.bench("fused", || {
+        let g = graph_for(&app, &analysis, workers);
+        black_box(simulate(&g, workers, ov.per_task).speedup);
     });
-    group.bench_function("unfused", |b| {
-        b.iter(|| {
-            let g = unfused_graph(&analysis, workers);
-            black_box(simulate(&g, workers, ov.per_task).speedup)
-        })
+    g.bench("unfused", || {
+        let g = unfused_graph(&analysis, workers);
+        black_box(simulate(&g, workers, ov.per_task).speedup);
     });
-    group.finish();
 }
 
-fn bench_tasks_vs_tasks_doall(c: &mut Criterion) {
+fn bench_tasks_vs_tasks_doall() {
     let mut app = app_named("3mm").expect("known app");
     let analysis = app.analyze().expect("analysis succeeds");
     let ov = default_overheads();
@@ -64,21 +60,24 @@ fn bench_tasks_vs_tasks_doall(c: &mut Criterion) {
     );
     assert!(combined.speedup > task_only.speedup * 1.5, "do-all expansion must win big");
 
-    let mut group = c.benchmark_group("tasks_vs_tasks_doall");
-    group.bench_function("combined", |b| {
+    let g = group("tasks_vs_tasks_doall");
+    {
         let mut a = app_named("3mm").expect("known app");
         a.expected = ExpectedPattern::TasksDoall;
-        b.iter(|| black_box(simulate(&graph_for(&a, &analysis, workers), workers, ov.per_task).speedup))
-    });
-    group.bench_function("task_only", |b| {
+        g.bench("combined", || {
+            black_box(simulate(&graph_for(&a, &analysis, workers), workers, ov.per_task).speedup);
+        });
+    }
+    {
         let mut a = app_named("3mm").expect("known app");
         a.expected = ExpectedPattern::Tasks;
-        b.iter(|| black_box(simulate(&graph_for(&a, &analysis, workers), workers, ov.per_task).speedup))
-    });
-    group.finish();
+        g.bench("task_only", || {
+            black_box(simulate(&graph_for(&a, &analysis, workers), workers, ov.per_task).speedup);
+        });
+    }
 }
 
-fn bench_pipeline_chunking(c: &mut Criterion) {
+fn bench_pipeline_chunking() {
     let shape = PipelineShape {
         a: 1.0,
         b: 0.0,
@@ -96,22 +95,17 @@ fn bench_pipeline_chunking(c: &mut Criterion) {
         println!("ablation pipeline_chunking: {blocks} blocks -> speedup {:.2}x", r.speedup);
     }
 
-    let mut group = c.benchmark_group("pipeline_chunking");
+    let g = group("pipeline_chunking");
     for blocks in [workers, workers * 4, workers * 32] {
-        group.bench_function(format!("blocks_{blocks}"), |b| {
-            b.iter(|| {
-                let g = pipeline(black_box(shape), ov, blocks);
-                black_box(simulate(&g, workers, ov.per_task).speedup)
-            })
+        g.bench(&format!("blocks_{blocks}"), || {
+            let graph = pipeline(black_box(shape), ov, blocks);
+            black_box(simulate(&graph, workers, ov.per_task).speedup);
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fusion_vs_unfused,
-    bench_tasks_vs_tasks_doall,
-    bench_pipeline_chunking
-);
-criterion_main!(benches);
+fn main() {
+    bench_fusion_vs_unfused();
+    bench_tasks_vs_tasks_doall();
+    bench_pipeline_chunking();
+}

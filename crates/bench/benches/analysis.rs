@@ -1,57 +1,53 @@
-//! Criterion benches: end-to-end analysis throughput per suite application,
+//! Micro-benches: end-to-end analysis throughput per suite application,
 //! plus the Table III speedup simulation sweep.
 //!
 //! These measure *this tool's* cost (the profiler + detectors), the one
 //! axis where wall-clock measurement is meaningful on a single-core host.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use parpat_bench::micro::group;
 use parpat_core::{analyze_source, AnalysisConfig};
 use parpat_suite::{all_apps, app_named, speedup::sweep_app};
 
 /// Full analysis (compile → profile → PET → CUs → all detectors) for a
 /// representative subset spanning every pattern.
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analyze");
-    group.sample_size(10);
+fn bench_analysis() {
+    let g = group("analyze");
     for name in ["ludcmp", "fib", "sort", "kmeans", "bicg"] {
         let app = app_named(name).expect("known app");
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let a = analyze_source(black_box(app.model), &AnalysisConfig::default())
-                    .expect("analysis succeeds");
-                black_box(a.pipelines.len() + a.reductions.len() + a.tasks.len())
-            })
+        g.bench(name, || {
+            let a = analyze_source(black_box(app.model), &AnalysisConfig::default())
+                .expect("analysis succeeds");
+            black_box(a.pipelines.len() + a.reductions.len() + a.tasks.len());
         });
     }
-    group.finish();
 }
 
 /// The Table III speedup sweep (simulation only, analysis done once).
-fn bench_table3_sweeps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_sweep");
-    group.sample_size(10);
+fn bench_table3_sweeps() {
+    let g = group("table3_sweep");
     for app in all_apps() {
         let analysis = app.analyze().expect("analysis succeeds");
-        group.bench_function(app.name, |b| {
-            b.iter(|| black_box(sweep_app(&app, &analysis).speedup))
+        g.bench(app.name, || {
+            black_box(sweep_app(&app, &analysis).speedup);
         });
     }
-    group.finish();
 }
 
 /// Front-end cost alone: parse + check + lower.
-fn bench_frontend(c: &mut Criterion) {
-    let mut group = c.benchmark_group("frontend");
+fn bench_frontend() {
+    let g = group("frontend");
     for name in ["sort", "kmeans"] {
         let app = app_named(name).expect("known app");
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(parpat_ir::compile(black_box(app.model)).expect("compiles")))
+        g.bench(name, || {
+            black_box(parpat_ir::compile(black_box(app.model)).expect("compiles"));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_analysis, bench_table3_sweeps, bench_frontend);
-criterion_main!(benches);
+fn main() {
+    bench_analysis();
+    bench_table3_sweeps();
+    bench_frontend();
+}

@@ -1,117 +1,108 @@
-//! Criterion benches of the threaded runtime executors on native kernels —
+//! Micro-benches of the threaded runtime executors on native kernels —
 //! overhead characterization (this host has one core, so these measure the
 //! executors' dispatch/synchronization cost rather than scaling).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use parpat_bench::micro::group;
 use parpat_runtime::{parallel_for_slices, parallel_sum, run_task_graph, GraphTask, ThreadPool};
 use parpat_suite::apps::{ludcmp, rot_cc, sort};
 
-fn bench_parallel_for(c: &mut Criterion) {
+fn bench_parallel_for() {
     let img = rot_cc::input(4096);
-    let mut group = c.benchmark_group("parallel_for_rot_cc");
-    group.bench_function("seq", |b| b.iter(|| black_box(rot_cc::seq(black_box(&img)))));
+    let g = group("parallel_for_rot_cc");
+    g.bench("seq", || {
+        black_box(rot_cc::seq(black_box(&img)));
+    });
     for threads in [1, 2] {
-        group.bench_function(format!("fused_par_{threads}"), |b| {
-            b.iter(|| black_box(rot_cc::par_fused(threads, black_box(&img))))
+        g.bench(&format!("fused_par_{threads}"), || {
+            black_box(rot_cc::par_fused(threads, black_box(&img)));
         });
     }
-    group.finish();
 }
 
-fn bench_pipeline_executor(c: &mut Criterion) {
+fn bench_pipeline_executor() {
     let (a, bb) = ludcmp::input(128);
-    let mut group = c.benchmark_group("pipeline_ludcmp");
-    group.sample_size(20);
-    group.bench_function("seq", |b| b.iter(|| black_box(ludcmp::seq(&a, &bb))));
-    group.bench_function("pipeline_2", |b| b.iter(|| black_box(ludcmp::par(2, &a, &bb))));
-    group.finish();
+    let g = group("pipeline_ludcmp");
+    g.bench("seq", || {
+        black_box(ludcmp::seq(&a, &bb));
+    });
+    g.bench("pipeline_2", || {
+        black_box(ludcmp::par(2, &a, &bb));
+    });
 }
 
-fn bench_forkjoin_sort(c: &mut Criterion) {
+fn bench_forkjoin_sort() {
     let input = sort::input(2048);
-    let mut group = c.benchmark_group("cilksort");
-    group.sample_size(20);
-    group.bench_function("seq", |b| {
-        b.iter(|| {
-            let mut d = input.clone();
-            sort::seq(&mut d);
-            black_box(d[0])
-        })
+    let g = group("cilksort");
+    g.bench("seq", || {
+        let mut d = input.clone();
+        sort::seq(&mut d);
+        black_box(d[0]);
     });
-    group.bench_function("forkjoin", |b| {
-        b.iter(|| {
-            let mut d = input.clone();
-            sort::par(&mut d);
-            black_box(d[0])
-        })
+    g.bench("forkjoin", || {
+        let mut d = input.clone();
+        sort::par(&mut d);
+        black_box(d[0]);
     });
-    group.finish();
 }
 
-fn bench_reduce(c: &mut Criterion) {
+fn bench_reduce() {
     let data: Vec<f64> = (0..100_000).map(|i| (i % 97) as f64).collect();
-    let mut group = c.benchmark_group("reduce");
-    group.bench_function("seq_sum", |b| b.iter(|| black_box(data.iter().sum::<f64>())));
-    group.bench_function("parallel_sum_2", |b| {
-        b.iter(|| black_box(parallel_sum(2, data.len(), |i| data[i])))
+    let g = group("reduce");
+    g.bench("seq_sum", || {
+        black_box(data.iter().sum::<f64>());
     });
-    group.finish();
+    g.bench("parallel_sum_2", || {
+        black_box(parallel_sum(2, data.len(), |i| data[i]));
+    });
 }
 
-fn bench_pool_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pool");
-    group.sample_size(10);
-    group.bench_function("spawn_wait_100", |b| {
+fn bench_pool_dispatch() {
+    let g = group("pool");
+    {
         let pool = ThreadPool::new(2);
-        b.iter(|| {
+        g.bench("spawn_wait_100", || {
             for _ in 0..100 {
                 pool.spawn(|| {
                     black_box(1 + 1);
                 });
             }
             pool.wait_idle();
-        })
+        });
+    }
+    g.bench("task_graph_diamond_x25", || {
+        let mut tasks = Vec::new();
+        for k in 0..25 {
+            let base = k * 4;
+            let head_deps = if k == 0 { vec![] } else { vec![base - 1] };
+            tasks.push(GraphTask { deps: head_deps, run: Box::new(|| {}) });
+            tasks.push(GraphTask { deps: vec![base], run: Box::new(|| {}) });
+            tasks.push(GraphTask { deps: vec![base], run: Box::new(|| {}) });
+            tasks.push(GraphTask { deps: vec![base + 1, base + 2], run: Box::new(|| {}) });
+        }
+        run_task_graph(2, tasks);
     });
-    group.bench_function("task_graph_diamond_x25", |b| {
-        b.iter(|| {
-            let mut tasks = Vec::new();
-            for k in 0..25 {
-                let base = k * 4;
-                let dep = |d: usize| if k == 0 { vec![] } else { vec![d] };
-                tasks.push(GraphTask { deps: dep(base - 1), run: Box::new(|| {}) });
-                tasks.push(GraphTask { deps: vec![base], run: Box::new(|| {}) });
-                tasks.push(GraphTask { deps: vec![base], run: Box::new(|| {}) });
-                tasks.push(GraphTask { deps: vec![base + 1, base + 2], run: Box::new(|| {}) });
-            }
-            run_task_graph(2, tasks);
-        })
-    });
-    group.finish();
 }
 
-fn bench_chunked_vs_fine(c: &mut Criterion) {
+fn bench_chunked_vs_fine() {
     // Ablation: one dispatch per chunk (parallel_for_slices) vs per-element
     // pool dispatch — the granularity motivation behind fusion/geometric
     // decomposition.
     let n = 10_000usize;
-    let mut group = c.benchmark_group("granularity");
-    group.sample_size(10);
-    group.bench_function("chunked", |b| {
-        b.iter(|| {
-            let mut out = vec![0.0f64; n];
-            parallel_for_slices(2, &mut out, |base, chunk| {
-                for (k, v) in chunk.iter_mut().enumerate() {
-                    *v = ((base + k) as f64).sqrt();
-                }
-            });
-            black_box(out[n - 1])
-        })
+    let g = group("granularity");
+    g.bench("chunked", || {
+        let mut out = vec![0.0f64; n];
+        parallel_for_slices(2, &mut out, |base, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = ((base + k) as f64).sqrt();
+            }
+        });
+        black_box(out[n - 1]);
     });
-    group.bench_function("per_item_pool", |b| {
+    {
         let pool = std::sync::Arc::new(ThreadPool::new(2));
-        b.iter(|| {
+        g.bench("per_item_pool", || {
             use std::sync::atomic::{AtomicU64, Ordering};
             let acc = std::sync::Arc::new(AtomicU64::new(0));
             // Batch into 100 tasks of 100 items — still 50x finer than
@@ -127,19 +118,16 @@ fn bench_chunked_vs_fine(c: &mut Criterion) {
                 });
             }
             pool.wait_idle();
-            black_box(acc.load(std::sync::atomic::Ordering::Relaxed))
-        })
-    });
-    group.finish();
+            black_box(acc.load(std::sync::atomic::Ordering::Relaxed));
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_parallel_for,
-    bench_pipeline_executor,
-    bench_forkjoin_sort,
-    bench_reduce,
-    bench_pool_dispatch,
-    bench_chunked_vs_fine
-);
-criterion_main!(benches);
+fn main() {
+    bench_parallel_for();
+    bench_pipeline_executor();
+    bench_forkjoin_sort();
+    bench_reduce();
+    bench_pool_dispatch();
+    bench_chunked_vs_fine();
+}

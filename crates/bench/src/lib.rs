@@ -15,11 +15,13 @@
 //! | Figure 2 (PET + CUs) | `figures::render_fig2`, `fig2` binary |
 //! | Figure 3 (cilksort CU graph) | `figures::render_fig3`, `fig3` binary |
 //!
-//! Criterion benches (`benches/`) measure analysis throughput and run the
-//! ablations DESIGN.md calls out (fusion vs separate do-alls, task-only vs
-//! task+do-all, pipeline chunk granularity, executor overheads).
+//! Micro-benches (`benches/`, on the std-only [`micro`] harness) measure
+//! analysis throughput and run the ablations DESIGN.md calls out (fusion vs
+//! separate do-alls, task-only vs task+do-all, pipeline chunk granularity,
+//! executor overheads).
 
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod micro;
 pub mod tables;

@@ -1,0 +1,105 @@
+//! A minimal wall-clock micro-benchmark harness (std-only).
+//!
+//! Stands in for Criterion in this offline workspace: each measurement
+//! warms the closure up, picks an iteration count that fills a target
+//! window, runs a fixed number of samples, and prints the per-iteration
+//! median alongside min/max. No statistics beyond that — the benches here
+//! compare orders of magnitude and ablation directions, not nanoseconds.
+
+use std::time::{Duration, Instant};
+
+/// How long one sample aims to run.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+/// Samples per measurement.
+const SAMPLES: usize = 11;
+
+/// A named group of measurements, printed as `group/name  median ...`.
+pub struct Group {
+    name: String,
+}
+
+/// Start a measurement group.
+pub fn group(name: &str) -> Group {
+    Group { name: name.to_owned() }
+}
+
+impl Group {
+    /// Measure `f`, printing per-iteration timing under `group/name`.
+    pub fn bench(&self, name: &str, mut f: impl FnMut()) {
+        // Warm-up and calibration: find how many iterations fill the target
+        // window.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+                break;
+            }
+            // Grow geometrically toward the target.
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64();
+                ((iters as f64 * scale.clamp(1.1, 16.0)) as u64).max(iters + 1)
+            };
+        }
+
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{:<40} median {:>12}  min {:>12}  max {:>12}  ({} iters/sample)",
+            format!("{}/{}", self.name, name),
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            iters
+        );
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        // Smoke: the harness terminates on a trivial closure.
+        group("smoke").bench("noop", || {
+            std::hint::black_box(1 + 1);
+        });
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(5e-9).contains("ns"));
+        assert!(fmt_duration(5e-6).contains("µs"));
+        assert!(fmt_duration(5e-3).contains("ms"));
+        assert!(fmt_duration(5.0).contains(" s"));
+    }
+}

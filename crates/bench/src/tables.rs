@@ -20,8 +20,7 @@ pub fn render_table1() -> String {
 /// Table II: the coefficient-semantics rows, rendered via
 /// [`parpat_core::interpret_coefficients`] on the paper's example values.
 pub fn render_table2() -> String {
-    let rows: [(f64, f64); 5] =
-        [(1.0, 0.0), (0.5, 0.0), (2.0, 0.0), (1.0, -3.0), (1.0, 3.0)];
+    let rows: [(f64, f64); 5] = [(1.0, 0.0), (0.5, 0.0), (2.0, 0.0), (1.0, -3.0), (1.0, 3.0)];
     let mut out = String::from("| a | b | interpretation |\n|---|---|---|\n");
     for (a, b) in rows {
         writeln!(out, "| {a} | {b} | {} |", parpat_core::interpret_coefficients(a, b)).unwrap();
@@ -43,16 +42,13 @@ pub fn detected_patterns(analysis: &Analysis) -> Vec<ExpectedPattern> {
         out.push(ExpectedPattern::Tasks);
         // "+ Do-all": the parallel units of the best region are themselves
         // do-all/reduction loops.
-        if let Some((report, graph)) = analysis
-            .tasks
-            .iter()
-            .zip(&analysis.graphs)
-            .max_by(|a, b| a.0.estimated_speedup.partial_cmp(&b.0.estimated_speedup).expect("finite"))
-        {
+        if let Some((report, graph)) = analysis.tasks.iter().zip(&analysis.graphs).max_by(|a, b| {
+            a.0.estimated_speedup.partial_cmp(&b.0.estimated_speedup).expect("finite")
+        }) {
             let doall_units = graph.nodes.iter().any(|&c| {
                 matches!(analysis.cus.cus[c].kind, parpat_cu::CuKind::LoopStmt { l }
                     if !matches!(analysis.loop_classes.get(&l), Some(parpat_core::LoopClass::Sequential) | None))
-                    && report.marks.get(&c).is_some()
+                    && report.marks.contains_key(&c)
             });
             if doall_units {
                 out.push(ExpectedPattern::TasksDoall);
@@ -295,7 +291,11 @@ impl std::fmt::Display for Verdict {
 
 /// Compute Table VI: per benchmark, the verdicts of Sambamba-like,
 /// icc-like, and our dynamic detector.
-pub fn table6_rows() -> Vec<(&'static str, Verdict, Verdict, Verdict)> {
+/// One Table VI row: app name plus the three tools' verdicts.
+pub type Table6Row = (&'static str, Verdict, Verdict, Verdict);
+
+/// The raw verdicts behind Table VI, one row per evaluated app.
+pub fn table6_rows() -> Vec<Table6Row> {
     let names = ["nqueens", "kmeans", "bicg", "gesummv", "sum_local", "sum_module"];
     names
         .iter()
@@ -310,11 +310,8 @@ pub fn table6_rows() -> Vec<(&'static str, Verdict, Verdict, Verdict)> {
             let sambamba = to_verdict(SambambaLike.detect(&ast));
             let icc = to_verdict(IccLike.detect(&ast));
             let analysis = app.analyze().expect("analysis succeeds");
-            let dynamic = if analysis.reductions.is_empty() {
-                Verdict::Missed
-            } else {
-                Verdict::Detected
-            };
+            let dynamic =
+                if analysis.reductions.is_empty() { Verdict::Missed } else { Verdict::Detected };
             (name, sambamba, icc, dynamic)
         })
         .collect()
@@ -326,7 +323,7 @@ pub fn render_table6() -> String {
         "| Tool | nqueens | kmeans | bicg | gesummv | sum_local | sum_module |\n|---|---|---|---|---|---|---|\n",
     );
     let rows = table6_rows();
-    let line = |label: &str, pick: &dyn Fn(&(&str, Verdict, Verdict, Verdict)) -> Verdict| {
+    let line = |label: &str, pick: &dyn Fn(&Table6Row) -> Verdict| {
         let cells: Vec<String> = rows.iter().map(|r| pick(r).to_string()).collect();
         format!("| {label} | {} |\n", cells.join(" | "))
     };

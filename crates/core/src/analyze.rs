@@ -113,40 +113,82 @@ pub fn analyze_source(src: &str, cfg: &AnalysisConfig) -> Result<Analysis, Analy
     analyze(ir, cfg)
 }
 
-/// Analyze an already-lowered program.
-pub fn analyze(ir: IrProgram, cfg: &AnalysisConfig) -> Result<Analysis, AnalyzeError> {
+/// Output of the profiling stage: one instrumented run of the program.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// Profiler output.
+    pub profile: ProfileData,
+    /// The program execution tree.
+    pub pet: Pet,
+    /// Total dynamic IR instructions the run executed.
+    pub insts: u64,
+}
+
+/// Stage entry point: execute the program once, feeding both the dependence
+/// profiler and the PET builder from the same instrumented run.
+pub fn profile_ir(ir: &IrProgram, limits: ExecLimits) -> Result<ProfiledRun, AnalyzeError> {
     let entry = ir
         .entry
         .ok_or_else(|| RuntimeError::new(0, "program has no `main` function".to_owned()))?;
-
-    // One profiled run feeds both the dependence profiler and the PET.
-    let mut profiler = DependenceProfiler::new(&ir);
+    let mut profiler = DependenceProfiler::new(ir);
     let mut pet_builder = PetBuilder::new();
-    {
+    let outcome = {
         let mut tee = Tee::new(&mut profiler, &mut pet_builder);
-        run_function(&ir, entry, &[], &mut tee, cfg.limits)?;
-    }
-    let profile = profiler.into_data();
-    let pet = pet_builder.into_pet();
+        run_function(ir, entry, &[], &mut tee, limits)?
+    };
+    Ok(ProfiledRun {
+        profile: profiler.into_data(),
+        pet: pet_builder.into_pet(),
+        insts: outcome.insts,
+    })
+}
 
-    let cus = build_cus(&ir);
-    let loop_classes = classify_loops(&ir, &profile);
+/// Every detector's output — [`Analysis`] without the input artifacts, so
+/// stage-oriented callers (the batch engine) can cache it separately from
+/// the IR/profile/PET/CU artifacts it was derived from.
+#[derive(Debug, Clone)]
+pub struct Detections {
+    /// Detected multi-loop pipelines.
+    pub pipelines: Vec<PipelineReport>,
+    /// Fusion candidates among the pipelines.
+    pub fusions: Vec<FusionReport>,
+    /// CU graphs of the hotspot regions that were analyzed for tasks.
+    pub graphs: Vec<CuGraph>,
+    /// Task-parallelism reports per hotspot region (same order as `graphs`).
+    pub tasks: Vec<TaskReport>,
+    /// Geometric-decomposition candidates.
+    pub geodecomp: Vec<GdReport>,
+    /// Reduction candidates.
+    pub reductions: Vec<ReductionReport>,
+    /// Do-all / reduction / sequential class per executed loop.
+    pub loop_classes: HashMap<LoopId, LoopClass>,
+}
+
+/// Stage entry point: run all five detectors over already-built artifacts.
+pub fn detect_patterns(
+    ir: &IrProgram,
+    profile: &ProfileData,
+    pet: &Pet,
+    cus: &CuSet,
+    cfg: &AnalysisConfig,
+) -> Detections {
+    let loop_classes = classify_loops(ir, profile);
 
     let pipelines = detect_pipelines(
-        &ir,
-        &profile,
-        &pet,
+        ir,
+        profile,
+        pet,
         &PipelineConfig {
             hotspot_threshold: cfg.hotspot_threshold,
             min_pairs: cfg.min_pipeline_pairs,
             same_function_only: true,
         },
     );
-    let fusions = detect_fusion(&pipelines, &profile, &FusionConfig { eps: cfg.fusion_eps });
-    let reductions = detect_reductions(&ir, &profile);
+    let fusions = detect_fusion(&pipelines, profile, &FusionConfig { eps: cfg.fusion_eps });
+    let reductions = detect_reductions(ir, profile);
     let geodecomp = detect_geometric_decomposition(
-        &ir,
-        &pet,
+        ir,
+        pet,
         &loop_classes,
         &GdConfig { hotspot_threshold: cfg.hotspot_threshold },
     );
@@ -166,13 +208,27 @@ pub fn analyze(ir: IrProgram, cfg: &AnalysisConfig) -> Result<Analysis, AnalyzeE
         if cus.region_cus(region).len() < 2 {
             continue; // a single unit cannot expose task parallelism
         }
-        let graph = build_graph(&ir, &cus, region, &profile, &pet);
-        let report = detect_task_parallelism(&graph, &cus);
+        let graph = build_graph(ir, cus, region, profile, pet);
+        let report = detect_task_parallelism(&graph, cus);
         graphs.push(graph);
         tasks.push(report);
     }
 
-    Ok(Analysis {
+    Detections { pipelines, fusions, graphs, tasks, geodecomp, reductions, loop_classes }
+}
+
+/// Stage entry point: assemble a full [`Analysis`] from its artifacts and
+/// the detector outputs.
+pub fn assemble_analysis(
+    ir: IrProgram,
+    profile: ProfileData,
+    pet: Pet,
+    cus: CuSet,
+    detections: Detections,
+) -> Analysis {
+    let Detections { pipelines, fusions, graphs, tasks, geodecomp, reductions, loop_classes } =
+        detections;
+    Analysis {
         ir,
         profile,
         pet,
@@ -184,7 +240,15 @@ pub fn analyze(ir: IrProgram, cfg: &AnalysisConfig) -> Result<Analysis, AnalyzeE
         geodecomp,
         reductions,
         loop_classes,
-    })
+    }
+}
+
+/// Analyze an already-lowered program.
+pub fn analyze(ir: IrProgram, cfg: &AnalysisConfig) -> Result<Analysis, AnalyzeError> {
+    let run = profile_ir(&ir, cfg.limits)?;
+    let cus = build_cus(&ir);
+    let detections = detect_patterns(&ir, &run.profile, &run.pet, &cus, cfg);
+    Ok(assemble_analysis(ir, run.profile, run.pet, cus, detections))
 }
 
 impl Analysis {
@@ -206,12 +270,7 @@ impl Analysis {
         let mut loops: Vec<_> = self.loop_classes.iter().collect();
         loops.sort_by_key(|(l, _)| **l);
         for (l, class) in loops {
-            writeln!(
-                out,
-                "L{l} @ line {}: {:?}",
-                self.ir.loops[*l as usize].line, class
-            )
-            .unwrap();
+            writeln!(out, "L{l} @ line {}: {:?}", self.ir.loops[*l as usize].line, class).unwrap();
         }
 
         if !self.pipelines.is_empty() {
@@ -220,7 +279,13 @@ impl Analysis {
                 writeln!(
                     out,
                     "L{} (line {}) -> L{} (line {}): a={:.3} b={:.3} e={:.3}  [{}]",
-                    p.x, p.x_line, p.y, p.y_line, p.a, p.b, p.e,
+                    p.x,
+                    p.x_line,
+                    p.y,
+                    p.y_line,
+                    p.a,
+                    p.b,
+                    p.e,
                     p.interpretation()
                 )
                 .unwrap();
@@ -229,15 +294,23 @@ impl Analysis {
         if !self.fusions.is_empty() {
             writeln!(out, "=== fusion candidates ===").unwrap();
             for f in &self.fusions {
-                writeln!(out, "fuse L{} (line {}) with L{} (line {})", f.x, f.lines.0, f.y, f.lines.1)
-                    .unwrap();
+                writeln!(
+                    out,
+                    "fuse L{} (line {}) with L{} (line {})",
+                    f.x, f.lines.0, f.y, f.lines.1
+                )
+                .unwrap();
             }
         }
         if !self.reductions.is_empty() {
             writeln!(out, "=== reductions ===").unwrap();
             for r in &self.reductions {
-                writeln!(out, "loop L{} @ line {}: variable `{}` at line {}", r.l, r.loop_line, r.var, r.line)
-                    .unwrap();
+                writeln!(
+                    out,
+                    "loop L{} @ line {}: variable `{}` at line {}",
+                    r.l, r.loop_line, r.var, r.line
+                )
+                .unwrap();
             }
         }
         if !self.geodecomp.is_empty() {
@@ -300,11 +373,9 @@ fn main() { fib(12); }",
 
     #[test]
     fn analyze_reports_runtime_errors() {
-        let err = analyze_source(
-            "global a[2]; fn main() { a[9] = 1; }",
-            &AnalysisConfig::default(),
-        )
-        .unwrap_err();
+        let err =
+            analyze_source("global a[2]; fn main() { a[9] = 1; }", &AnalysisConfig::default())
+                .unwrap_err();
         assert!(matches!(err, AnalyzeError::Runtime(_)));
     }
 

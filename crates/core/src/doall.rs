@@ -35,12 +35,10 @@ pub fn is_doall(profile: &ProfileData, l: LoopId) -> bool {
 pub fn classify_loops(prog: &IrProgram, profile: &ProfileData) -> HashMap<LoopId, LoopClass> {
     let reductions = detect_reductions(prog, profile);
     let mut out = HashMap::new();
-    for (&l, _) in &profile.loop_stats {
+    for &l in profile.loop_stats.keys() {
         let class = if is_doall(profile, l) {
             LoopClass::DoAll
-        } else if reduction_addrs_cover_carried(profile, l)
-            && reductions.iter().any(|r| r.l == l)
-        {
+        } else if reduction_addrs_cover_carried(profile, l) && reductions.iter().any(|r| r.l == l) {
             LoopClass::Reduction
         } else {
             LoopClass::Sequential

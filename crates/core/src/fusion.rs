@@ -74,14 +74,9 @@ pub fn detect_fusion(
 /// True when a loop other than `x`, first entered after `x`, also produces
 /// data read by `y`.
 fn has_interposed_producer(profile: &ProfileData, x: LoopId, y: LoopId) -> bool {
-    let entry = |l: LoopId| {
-        profile.loop_stats.get(&l).map(|s| s.first_entry).unwrap_or(u64::MAX)
-    };
+    let entry = |l: LoopId| profile.loop_stats.get(&l).map(|s| s.first_entry).unwrap_or(u64::MAX);
     let x_entry = entry(x);
-    profile
-        .cross_loop_pairs
-        .keys()
-        .any(|&(z, sink)| sink == y && z != x && entry(z) > x_entry)
+    profile.cross_loop_pairs.keys().any(|&(z, sink)| sink == y && z != x && entry(z) > x_entry)
 }
 
 #[cfg(test)]

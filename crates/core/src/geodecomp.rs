@@ -76,11 +76,7 @@ pub fn detect_geometric_decomposition(
 /// must be do-all or reduction; immediate child functions must have *all*
 /// loops in their subtree do-all or reduction. Returns the examined loops
 /// when the function qualifies.
-fn qualifies(
-    pet: &Pet,
-    node: NodeId,
-    classes: &HashMap<LoopId, LoopClass>,
-) -> Option<Vec<LoopId>> {
+fn qualifies(pet: &Pet, node: NodeId, classes: &HashMap<LoopId, LoopClass>) -> Option<Vec<LoopId>> {
     let mut loops = Vec::new();
     for &child in pet.children(node) {
         match pet.nodes[child].kind {

@@ -55,18 +55,23 @@ pub mod support;
 pub mod tasks;
 pub mod transform;
 
-pub use analyze::{analyze, analyze_source, Analysis, AnalysisConfig, AnalyzeError};
+pub use analyze::{
+    analyze, analyze_source, assemble_analysis, detect_patterns, profile_ir, Analysis,
+    AnalysisConfig, AnalyzeError, Detections, ProfiledRun,
+};
 pub use doall::{classify_loops, is_doall, LoopClass};
 pub use fusion::{detect_fusion, FusionConfig, FusionReport};
 pub use geodecomp::{detect_geometric_decomposition, GdConfig, GdReport};
+pub use operator::{infer_all, infer_operator, ReductionOp};
 pub use pipeline::{
     detect_pipelines, efficiency_factor, interpret_coefficients, pipeline_chains, PipelineConfig,
     PipelineReport,
 };
+pub use ranking::{rank_patterns, render_ranking, Effort, RankConfig, RankedPattern};
 pub use reduction::{detect_reductions, ReductionReport};
 pub use regress::{linear_regression, regression_of_pairs, Regression};
-pub use support::{organization, render_table1, support_structure, AlgorithmPattern, SupportStructure};
-pub use operator::{infer_all, infer_operator, ReductionOp};
-pub use ranking::{rank_patterns, render_ranking, Effort, RankConfig, RankedPattern};
+pub use support::{
+    organization, render_table1, support_structure, AlgorithmPattern, SupportStructure,
+};
 pub use tasks::{detect_task_parallelism, CuMark, TaskReport};
 pub use transform::{suggest_fission, suggest_peeling, FissionReport, PeelReport, PeelSite};

@@ -8,9 +8,9 @@
 //! The paper leaves this to the programmer; here the programmer only has to
 //! confirm the (already-identified) operator is acceptable.
 
-use parpat_minilang::ast::BinOp;
 use parpat_ir::ir::{Builtin, IrExpr, IrStmt};
 use parpat_ir::IrProgram;
+use parpat_minilang::ast::BinOp;
 
 use crate::reduction::ReductionReport;
 
@@ -88,8 +88,7 @@ fn scan_stmts(prog: &IrProgram, stmts: &[IrStmt], report: &ReductionReport) -> O
         match s {
             IrStmt::StoreLocal { value, inst, .. } | IrStmt::StoreIndex { value, inst, .. } => {
                 let meta = &prog.insts[*inst as usize];
-                if meta.line == report.line
-                    && meta.kind.touched_name() == Some(report.var.as_str())
+                if meta.line == report.line && meta.kind.touched_name() == Some(report.var.as_str())
                 {
                     if let Some(op) = classify_update(prog, value, &report.var) {
                         return Some(op);
@@ -136,9 +135,7 @@ fn mentions(prog: &IrProgram, e: &IrExpr, var: &str) -> bool {
             args.iter().any(|a| mentions(prog, a, var))
         }
         IrExpr::Unary { operand, .. } => mentions(prog, operand, var),
-        IrExpr::Binary { lhs, rhs, .. } => {
-            mentions(prog, lhs, var) || mentions(prog, rhs, var)
-        }
+        IrExpr::Binary { lhs, rhs, .. } => mentions(prog, lhs, var) || mentions(prog, rhs, var),
         _ => false,
     }
 }
@@ -173,10 +170,7 @@ fn classify_update(prog: &IrProgram, value: &IrExpr, var: &str) -> Option<Reduct
 
 /// Convenience: infer operators for every reduction of an analysis,
 /// returning `(report index, operator)` pairs for those that resolved.
-pub fn infer_all(
-    prog: &IrProgram,
-    reductions: &[ReductionReport],
-) -> Vec<(usize, ReductionOp)> {
+pub fn infer_all(prog: &IrProgram, reductions: &[ReductionReport]) -> Vec<(usize, ReductionOp)> {
     reductions
         .iter()
         .enumerate()

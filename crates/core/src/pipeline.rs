@@ -95,9 +95,7 @@ pub fn detect_pipelines(
 ) -> Vec<PipelineReport> {
     let mut out = Vec::new();
     for (x, y) in profile.dependent_loop_pairs() {
-        if cfg.same_function_only
-            && prog.loops[x as usize].func != prog.loops[y as usize].func
-        {
+        if cfg.same_function_only && prog.loops[x as usize].func != prog.loops[y as usize].func {
             continue;
         }
         if !is_hotspot_loop(pet, x, cfg.hotspot_threshold)
@@ -172,10 +170,7 @@ pub fn interpret_coefficients(a: f64, b: f64) -> String {
     let a_part = if (a - 1.0).abs() < EPS {
         "one iteration of loop y depends exactly on one iteration of loop x".to_owned()
     } else if a < 1.0 && a > 0.0 {
-        format!(
-            "1 iteration of loop y depends on {:.1} iterations of loop x",
-            1.0 / a
-        )
+        format!("1 iteration of loop y depends on {:.1} iterations of loop x", 1.0 / a)
     } else if a > 1.0 {
         format!(
             "{a:.1} iterations of loop y depend on 1 iteration of loop x, so {a:.1} iterations of loop y can run after 1 iteration of loop x"
@@ -186,14 +181,9 @@ pub fn interpret_coefficients(a: f64, b: f64) -> String {
     let b_part = if b.abs() < EPS {
         "all iterations align from the start".to_owned()
     } else if b < 0.0 {
-        format!(
-            "no iteration of loop y depends on the first {:.0} iteration(s) of loop x",
-            -b
-        )
+        format!("no iteration of loop y depends on the first {:.0} iteration(s) of loop x", -b)
     } else {
-        format!(
-            "the first {b:.0} iteration(s) of loop y do not depend on any iteration of loop x"
-        )
+        format!("the first {b:.0} iteration(s) of loop y do not depend on any iteration of loop x")
     };
     format!("{a_part}; {b_part}")
 }
@@ -211,11 +201,8 @@ pub fn pipeline_chains(reports: &[PipelineReport]) -> Vec<Vec<LoopId>> {
         has_pred.insert(r.y);
     }
     let mut chains = Vec::new();
-    let mut starts: Vec<LoopId> = reports
-        .iter()
-        .map(|r| r.x)
-        .filter(|x| !has_pred.contains(x))
-        .collect();
+    let mut starts: Vec<LoopId> =
+        reports.iter().map(|r| r.x).filter(|x| !has_pred.contains(x)).collect();
     starts.sort_unstable();
     starts.dedup();
     for s in starts {
@@ -254,7 +241,11 @@ mod tests {
             &ir,
             &data,
             &pet,
-            &PipelineConfig { hotspot_threshold: threshold, min_pairs: 3, same_function_only: true },
+            &PipelineConfig {
+                hotspot_threshold: threshold,
+                min_pairs: 3,
+                same_function_only: true,
+            },
         )
     }
 

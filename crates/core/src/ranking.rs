@@ -86,22 +86,14 @@ pub fn rank_patterns(analysis: &Analysis, cfg: &RankConfig) -> Vec<RankedPattern
     let mut out = Vec::new();
     let total = analysis.profile.total_insts as f64;
     let loop_share = |l: parpat_ir::LoopId| -> f64 {
-        analysis
-            .pet
-            .loop_node(l)
-            .map(|n| analysis.pet.inst_share(n))
-            .unwrap_or(0.0)
+        analysis.pet.loop_node(l).map(|n| analysis.pet.inst_share(n)).unwrap_or(0.0)
     };
 
     // Fusions (rank these instead of their underlying pipelines).
     for f in &analysis.fusions {
         let coverage = loop_share(f.x) + loop_share(f.y);
-        let n = analysis
-            .profile
-            .loop_stats
-            .get(&f.x)
-            .map(|s| s.max_iterations as f64)
-            .unwrap_or(1.0);
+        let n =
+            analysis.profile.loop_stats.get(&f.x).map(|s| s.max_iterations as f64).unwrap_or(1.0);
         let local = cfg.workers.min(n);
         out.push(RankedPattern {
             pattern: AlgorithmPattern::Fusion,
@@ -170,12 +162,7 @@ pub fn rank_patterns(analysis: &Analysis, cfg: &RankConfig) -> Vec<RankedPattern
     reduction_loops.dedup();
     for l in reduction_loops {
         let coverage = loop_share(l);
-        let n = analysis
-            .profile
-            .loop_stats
-            .get(&l)
-            .map(|s| s.max_iterations as f64)
-            .unwrap_or(1.0);
+        let n = analysis.profile.loop_stats.get(&l).map(|s| s.max_iterations as f64).unwrap_or(1.0);
         out.push(RankedPattern {
             pattern: AlgorithmPattern::Reduction,
             target: format!("loop at line {}", analysis.ir.loops[l as usize].line),

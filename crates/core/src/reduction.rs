@@ -87,9 +87,7 @@ pub fn reduction_addrs_cover_carried(profile: &ProfileData, l: LoopId) -> bool {
             continue;
         }
         any = true;
-        if !lines.rewritten
-            || lines.write_lines.len() != 1
-            || lines.read_lines != lines.write_lines
+        if !lines.rewritten || lines.write_lines.len() != 1 || lines.read_lines != lines.write_lines
         {
             return false;
         }

@@ -90,9 +90,8 @@ pub fn render_table1() -> String {
         AlgorithmPattern::Reduction,
         AlgorithmPattern::MultiLoopPipeline,
     ];
-    let mut out = String::from(
-        "| Pattern | Organization | Supporting structure |\n|---|---|---|\n",
-    );
+    let mut out =
+        String::from("| Pattern | Organization | Supporting structure |\n|---|---|---|\n");
     for p in rows {
         let org = match organization(p) {
             Organization::ByTask => "task",
@@ -119,24 +118,15 @@ mod tests {
             SupportStructure::Spmd
         );
         assert_eq!(support_structure(AlgorithmPattern::Reduction), SupportStructure::Spmd);
-        assert_eq!(
-            support_structure(AlgorithmPattern::MultiLoopPipeline),
-            SupportStructure::Spmd
-        );
+        assert_eq!(support_structure(AlgorithmPattern::MultiLoopPipeline), SupportStructure::Spmd);
     }
 
     #[test]
     fn organizations_match_table_1_types() {
         assert_eq!(organization(AlgorithmPattern::TaskParallelism), Organization::ByTask);
         assert_eq!(organization(AlgorithmPattern::Reduction), Organization::ByData);
-        assert_eq!(
-            organization(AlgorithmPattern::GeometricDecomposition),
-            Organization::ByData
-        );
-        assert_eq!(
-            organization(AlgorithmPattern::MultiLoopPipeline),
-            Organization::ByFlowOfData
-        );
+        assert_eq!(organization(AlgorithmPattern::GeometricDecomposition), Organization::ByData);
+        assert_eq!(organization(AlgorithmPattern::MultiLoopPipeline), Organization::ByFlowOfData);
     }
 
     #[test]

@@ -54,12 +54,8 @@ pub struct TaskReport {
 impl TaskReport {
     /// The worker CUs in serial order.
     pub fn workers(&self) -> Vec<CuId> {
-        let mut w: Vec<CuId> = self
-            .marks
-            .iter()
-            .filter(|(_, m)| **m == CuMark::Worker)
-            .map(|(c, _)| *c)
-            .collect();
+        let mut w: Vec<CuId> =
+            self.marks.iter().filter(|(_, m)| **m == CuMark::Worker).map(|(c, _)| *c).collect();
         w.sort_unstable();
         w
     }
@@ -118,11 +114,8 @@ pub fn detect_task_parallelism(graph: &CuGraph, cus: &CuSet) -> TaskReport {
     // come from enclosing re-execution and would make the BFS meaningless).
     let order: HashMap<CuId, usize> = graph.nodes.iter().map(|&c| (c, cus.cus[c].order)).collect();
     let succs = |c: CuId| -> Vec<CuId> {
-        let mut s: Vec<CuId> = graph
-            .successors(c)
-            .into_iter()
-            .filter(|&t| order.get(&t) > order.get(&c))
-            .collect();
+        let mut s: Vec<CuId> =
+            graph.successors(c).into_iter().filter(|&t| order.get(&t) > order.get(&c)).collect();
         s.sort_by_key(|&t| order[&t]);
         s
     };
@@ -159,12 +152,8 @@ pub fn detect_task_parallelism(graph: &CuGraph, cus: &CuSet) -> TaskReport {
     }
 
     // Barrier bookkeeping.
-    let mut barrier_ids: Vec<CuId> = graph
-        .nodes
-        .iter()
-        .copied()
-        .filter(|c| marks.get(c) == Some(&CuMark::Barrier))
-        .collect();
+    let mut barrier_ids: Vec<CuId> =
+        graph.nodes.iter().copied().filter(|c| marks.get(c) == Some(&CuMark::Barrier)).collect();
     barrier_ids.sort_by_key(|c| order[c]);
     let barriers: Vec<(CuId, Vec<CuId>)> = barrier_ids
         .iter()
@@ -189,11 +178,8 @@ pub fn detect_task_parallelism(graph: &CuGraph, cus: &CuSet) -> TaskReport {
 
     let total_insts = graph.total_weight();
     let (critical_path_insts, _) = graph.critical_path(cus);
-    let estimated_speedup = if critical_path_insts > 0.0 {
-        total_insts / critical_path_insts
-    } else {
-        1.0
-    };
+    let estimated_speedup =
+        if critical_path_insts > 0.0 { total_insts / critical_path_insts } else { 1.0 };
 
     TaskReport {
         region: graph.region,
@@ -294,11 +280,8 @@ fn main() { cilksort(0, 64); }";
         }
         // The two pair-merges can run in parallel; the final merge cannot
         // run in parallel with either.
-        assert!(r
-            .parallel_barriers
-            .iter()
-            .any(|&(a, b)| (a == merge_cus[0] && b == merge_cus[1])
-                || (a == merge_cus[1] && b == merge_cus[0])));
+        assert!(r.parallel_barriers.iter().any(|&(a, b)| (a == merge_cus[0] && b == merge_cus[1])
+            || (a == merge_cus[1] && b == merge_cus[0])));
         for &(a, b) in &r.parallel_barriers {
             assert!(a != merge_cus[2] && b != merge_cus[2], "final merge must not be parallel");
         }

@@ -119,19 +119,13 @@ pub fn suggest_fission(
     hotspot_threshold: f64,
 ) -> Vec<FissionReport> {
     let mut out = Vec::new();
-    let mut loops: Vec<LoopId> = classes
-        .iter()
-        .filter(|(_, c)| **c == LoopClass::Sequential)
-        .map(|(l, _)| *l)
-        .collect();
+    let mut loops: Vec<LoopId> =
+        classes.iter().filter(|(_, c)| **c == LoopClass::Sequential).map(|(l, _)| *l).collect();
     loops.sort_unstable();
 
     for l in loops {
         // Hotspots only, like every other detector.
-        let hot = pet
-            .loop_node(l)
-            .map(|n| pet.inst_share(n) >= hotspot_threshold)
-            .unwrap_or(false);
+        let hot = pet.loop_node(l).map(|n| pet.inst_share(n) >= hotspot_threshold).unwrap_or(false);
         if !hot {
             continue;
         }
@@ -152,8 +146,7 @@ pub fn suggest_fission(
         if tainted.is_empty() || tainted.len() == body.len() {
             continue; // nothing carried maps here, or everything does
         }
-        let parallel: Vec<CuId> =
-            body.iter().copied().filter(|c| !tainted.contains(c)).collect();
+        let parallel: Vec<CuId> = body.iter().copied().filter(|c| !tainted.contains(c)).collect();
         let sequential: Vec<CuId> = body.iter().copied().filter(|c| tainted.contains(c)).collect();
 
         // Direction of intra-region dependences between the groups.

@@ -24,7 +24,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use parpat_ir::ir::{IrExpr, IrFunction, IrStmt};
+use parpat_ir::ir::{IrExpr, IrStmt};
 use parpat_ir::{FuncId, InstId, IrProgram, LoopId};
 
 /// Index of a CU within [`CuSet::cus`].
@@ -108,11 +108,7 @@ impl CuSet {
 
     /// The CU of `region` containing instruction `inst`, if any.
     pub fn cu_of_inst(&self, region: RegionId, inst: InstId) -> Option<CuId> {
-        self.inst_to_cus
-            .get(&inst)?
-            .iter()
-            .copied()
-            .find(|&c| self.cus[c].region == region)
+        self.inst_to_cus.get(&inst)?.iter().copied().find(|&c| self.cus[c].region == region)
     }
 
     /// All regions that have CUs, in deterministic order.
@@ -130,7 +126,7 @@ pub fn build_cus(prog: &IrProgram) -> CuSet {
         let mut builder = RegionBuilder::new(prog, RegionId::FuncBody(f.id), &mut set);
         builder.stmts(&f.body);
         builder.finish();
-        build_loop_regions(prog, f, &f.body, &mut set);
+        build_loop_regions(prog, &f.body, &mut set);
     }
     // Populate the reverse index.
     let mut index: HashMap<InstId, Vec<CuId>> = HashMap::new();
@@ -144,18 +140,18 @@ pub fn build_cus(prog: &IrProgram) -> CuSet {
 }
 
 /// Recursively build CU regions for every loop in a statement list.
-fn build_loop_regions(prog: &IrProgram, f: &IrFunction, stmts: &[IrStmt], set: &mut CuSet) {
+fn build_loop_regions(prog: &IrProgram, stmts: &[IrStmt], set: &mut CuSet) {
     for s in stmts {
         match s {
             IrStmt::Loop { id, body, .. } => {
                 let mut builder = RegionBuilder::new(prog, RegionId::Loop(*id), set);
                 builder.stmts(body);
                 builder.finish();
-                build_loop_regions(prog, f, body, set);
+                build_loop_regions(prog, body, set);
             }
             IrStmt::If { then_body, else_body, .. } => {
-                build_loop_regions(prog, f, then_body, set);
-                build_loop_regions(prog, f, else_body, set);
+                build_loop_regions(prog, then_body, set);
+                build_loop_regions(prog, else_body, set);
             }
             _ => {}
         }
@@ -434,7 +430,8 @@ impl<'a, 'p> RegionBuilder<'a, 'p> {
         } else {
             let label = format!("{name} = … @ line {}", self.line_of(anchor));
             let order = self.take_order();
-            let id = self.new_cu(CuKind::VarDef { name: name.clone() }, anchor, insts, label, order);
+            let id =
+                self.new_cu(CuKind::VarDef { name: name.clone() }, anchor, insts, label, order);
             self.var_cus.insert(name, id);
             id
         }
@@ -780,8 +777,7 @@ fn main() {
         assert!(matches!(kinds[0], CuKind::CallStmt { .. }));
         assert!(matches!(kinds[1], CuKind::VarDef { .. }));
         assert!(matches!(kinds[2], CuKind::CallStmt { .. }));
-        let orders: Vec<usize> =
-            set.region_cus(region).iter().map(|&c| set.cus[c].order).collect();
+        let orders: Vec<usize> = set.region_cus(region).iter().map(|&c| set.cus[c].order).collect();
         assert!(orders.windows(2).all(|w| w[0] < w[1]));
     }
 

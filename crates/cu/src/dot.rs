@@ -33,15 +33,8 @@ pub fn cu_graph_to_dot(
         let (suffix, color) = marks(cu)
             .map(|(s, col)| (format!(" [{s}]"), format!(", style=filled, fillcolor=\"{col}\"")))
             .unwrap_or_default();
-        writeln!(
-            out,
-            "  cu{i} [label=\"CU_{i}: {}{}\"{}{}];",
-            esc(&c.label),
-            suffix,
-            shape,
-            color
-        )
-        .unwrap();
+        writeln!(out, "  cu{i} [label=\"CU_{i}: {}{}\"{}{}];", esc(&c.label), suffix, shape, color)
+            .unwrap();
     }
     let index_of = |cu: usize| graph.nodes.iter().position(|&x| x == cu);
     for &(s, t) in &graph.edges {

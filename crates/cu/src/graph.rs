@@ -147,10 +147,7 @@ pub fn avg_activation_costs(prog: &IrProgram, pet: &Pet) -> Vec<f64> {
             occ[f] += n.occurrences;
         }
     }
-    incl.iter()
-        .zip(&occ)
-        .map(|(&i, &o)| if o == 0 { 0.0 } else { i as f64 / o as f64 })
-        .collect()
+    incl.iter().zip(&occ).map(|(&i, &o)| if o == 0 { 0.0 } else { i as f64 / o as f64 }).collect()
 }
 
 /// Build the weighted CU graph of a region.
@@ -174,8 +171,7 @@ pub fn build_graph(
         if kind != DepKind::Raw {
             continue;
         }
-        let (Some(a), Some(b)) = (cus.cu_of_inst(region, src), cus.cu_of_inst(region, sink))
-        else {
+        let (Some(a), Some(b)) = (cus.cu_of_inst(region, src), cus.cu_of_inst(region, sink)) else {
             continue;
         };
         if a != b {

@@ -1,0 +1,381 @@
+//! The two-tier content-addressed artifact cache.
+//!
+//! **Memory tier** — `key → (digest, Arc<Artifact>)` with LRU eviction at a
+//! fixed entry capacity. Holds live artifacts so repeated analyses inside
+//! one process skip recomputation entirely.
+//!
+//! **Disk tier** (optional, under a cache directory) — one small record
+//! file per key holding the stage's *output digest*, the profiled
+//! instruction count (profile stage), and for the terminal rank stage the
+//! full [`ProgramReport`] payload. Records chain digests across stages, so
+//! a fresh process can prove an entire pipeline unchanged — and emit the
+//! persisted report — without materializing a single intermediate
+//! artifact. Only when a mid-chain stage misses (changed source or config)
+//! do upstream artifacts get recomputed.
+//!
+//! Records are written via temp-file + rename so concurrent batch jobs
+//! never observe a torn file.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use parpat_core::{Analysis, ProfiledRun};
+use parpat_cu::CuSet;
+use parpat_ir::IrProgram;
+use parpat_minilang::Program;
+
+use crate::report::ProgramReport;
+
+/// A cache key: the FNV-1a digest of a stage id + its input digests +
+/// the stage-relevant configuration.
+pub type Key = u64;
+
+/// A cached stage output, kept behind `Arc` so hits are free to share.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// Checked MiniLang AST.
+    Ast(Arc<Program>),
+    /// Lowered IR.
+    Ir(Arc<IrProgram>),
+    /// Computational units.
+    Cus(Arc<CuSet>),
+    /// Dependence profile + PET from the instrumented run.
+    Profile(Arc<ProfiledRun>),
+    /// Assembled analysis with every detector's findings.
+    Analysis(Arc<Analysis>),
+    /// Terminal report.
+    Report(Arc<ProgramReport>),
+}
+
+/// A parsed disk record.
+#[derive(Debug, Clone)]
+pub struct DiskRecord {
+    /// The stage's output digest (chains into downstream keys).
+    pub digest: u64,
+    /// Dynamic instruction count (profile stage only).
+    pub insts: Option<u64>,
+    /// Terminal report payload (rank stage only).
+    pub report: Option<ProgramReport>,
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// Live artifact in memory.
+    Memory(Artifact, u64),
+    /// Digest (and possibly payload) proven on disk; artifact not in memory.
+    Disk(DiskRecord),
+    /// Unknown key.
+    Miss,
+}
+
+struct MemEntry {
+    digest: u64,
+    artifact: Artifact,
+    /// Recency tick for LRU eviction.
+    tick: u64,
+}
+
+struct MemCache {
+    entries: HashMap<Key, MemEntry>,
+    clock: u64,
+}
+
+/// The shared cache. All methods take `&self`; internal locking makes it
+/// safe to share across the engine's worker pool.
+pub struct Cache {
+    mem: Mutex<MemCache>,
+    capacity: usize,
+    dir: Option<PathBuf>,
+    evictions: AtomicU64,
+    disk_reads: AtomicU64,
+    disk_writes: AtomicU64,
+}
+
+impl Cache {
+    /// Create a cache holding at most `capacity` in-memory artifacts,
+    /// persisting records under `dir` when given (the directory is created
+    /// if missing).
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> std::io::Result<Self> {
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d)?;
+        }
+        Ok(Cache {
+            mem: Mutex::new(MemCache { entries: HashMap::new(), clock: 0 }),
+            capacity: capacity.max(1),
+            dir,
+            evictions: AtomicU64::new(0),
+            disk_reads: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+        })
+    }
+
+    /// Probe the memory tier, then the disk tier.
+    pub fn lookup(&self, key: Key) -> Lookup {
+        {
+            let mut mem = self.mem.lock().unwrap();
+            mem.clock += 1;
+            let tick = mem.clock;
+            if let Some(e) = mem.entries.get_mut(&key) {
+                e.tick = tick;
+                return Lookup::Memory(e.artifact.clone(), e.digest);
+            }
+        }
+        match self.read_record(key) {
+            Some(rec) => Lookup::Disk(rec),
+            None => Lookup::Miss,
+        }
+    }
+
+    /// Store a freshly computed stage output in both tiers.
+    pub fn insert(&self, key: Key, digest: u64, artifact: Artifact, insts: Option<u64>) {
+        let report = match &artifact {
+            Artifact::Report(r) => Some(r.as_ref().clone()),
+            _ => None,
+        };
+        self.insert_memory(key, digest, artifact);
+        if self.dir.is_some() {
+            self.write_record(key, &DiskRecord { digest, insts, report });
+        }
+    }
+
+    /// Store into the memory tier only (used to promote disk hits).
+    pub fn insert_memory(&self, key: Key, digest: u64, artifact: Artifact) {
+        let mut mem = self.mem.lock().unwrap();
+        mem.clock += 1;
+        let tick = mem.clock;
+        mem.entries.insert(key, MemEntry { digest, artifact, tick });
+        while mem.entries.len() > self.capacity {
+            // Evict the least-recently-used entry.
+            let Some((&victim, _)) = mem.entries.iter().min_by_key(|(_, e)| e.tick) else {
+                break;
+            };
+            mem.entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of live in-memory entries.
+    pub fn mem_entries(&self) -> usize {
+        self.mem.lock().unwrap().entries.len()
+    }
+
+    /// Total LRU evictions since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Successful disk record reads since creation.
+    pub fn disk_reads(&self) -> u64 {
+        self.disk_reads.load(Ordering::Relaxed)
+    }
+
+    /// Disk record writes since creation.
+    pub fn disk_writes(&self) -> u64 {
+        self.disk_writes.load(Ordering::Relaxed)
+    }
+
+    /// The persistence directory, if any.
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.dir.as_deref()
+    }
+
+    fn record_path(&self, key: Key) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key:016x}.rec")))
+    }
+
+    fn read_record(&self, key: Key) -> Option<DiskRecord> {
+        let path = self.record_path(key)?;
+        let bytes = std::fs::read(path).ok()?;
+        let rec = parse_record(&bytes)?;
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        Some(rec)
+    }
+
+    fn write_record(&self, key: Key, rec: &DiskRecord) {
+        let Some(path) = self.record_path(key) else { return };
+        let tmp = path.with_extension(format!("tmp.{:x}", std::process::id()));
+        let bytes = render_record(rec);
+        let ok = std::fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(&bytes))
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if ok.is_ok() {
+            self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Serialize a record. Header lines are ASCII; string payloads are
+/// length-prefixed raw bytes, so no escaping is needed.
+fn render_record(rec: &DiskRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"parpat-rec-v1\n");
+    out.extend_from_slice(format!("digest {:016x}\n", rec.digest).as_bytes());
+    if let Some(insts) = rec.insts {
+        out.extend_from_slice(format!("insts {insts}\n").as_bytes());
+    }
+    if let Some(r) = &rec.report {
+        out.extend_from_slice(
+            format!(
+                "report {} {} {} {} {} {} {} {}\n",
+                r.summary.len(),
+                r.ranking.len(),
+                r.insts,
+                r.pipelines,
+                r.fusions,
+                r.reductions,
+                r.geodecomp,
+                r.task_regions,
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(r.summary.as_bytes());
+        out.extend_from_slice(r.ranking.as_bytes());
+    }
+    out
+}
+
+/// Parse a record; `None` on any malformed input (treated as a miss).
+fn parse_record(bytes: &[u8]) -> Option<DiskRecord> {
+    let mut rest = bytes;
+    let mut line = || -> Option<&[u8]> {
+        let nl = rest.iter().position(|&b| b == b'\n')?;
+        let (l, r) = rest.split_at(nl);
+        rest = &r[1..];
+        Some(l)
+    };
+    if line()? != b"parpat-rec-v1" {
+        return None;
+    }
+    let digest_line = std::str::from_utf8(line()?).ok()?;
+    let digest = u64::from_str_radix(digest_line.strip_prefix("digest ")?, 16).ok()?;
+    let mut rec = DiskRecord { digest, insts: None, report: None };
+    while let Some(l) = line() {
+        let l = std::str::from_utf8(l).ok()?;
+        if let Some(v) = l.strip_prefix("insts ") {
+            rec.insts = Some(v.parse().ok()?);
+        } else if let Some(v) = l.strip_prefix("report ") {
+            let nums: Vec<u64> = v.split(' ').map(str::parse).collect::<Result<_, _>>().ok()?;
+            let [s_len, r_len, insts, p, f, r, g, t] = nums[..] else { return None };
+            let (s_len, r_len) = (s_len as usize, r_len as usize);
+            if rest.len() < s_len + r_len {
+                return None;
+            }
+            let summary = String::from_utf8(rest[..s_len].to_vec()).ok()?;
+            let ranking = String::from_utf8(rest[s_len..s_len + r_len].to_vec()).ok()?;
+            rec.report = Some(ProgramReport {
+                summary,
+                ranking,
+                insts,
+                pipelines: p as usize,
+                fusions: f as usize,
+                reductions: r as usize,
+                geodecomp: g as usize,
+                task_regions: t as usize,
+            });
+            break;
+        } else {
+            return None;
+        }
+    }
+    Some(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ProgramReport {
+        ProgramReport {
+            summary: "=== hotspots ===\nline \"quoted\" ✓\n".to_owned(),
+            ranking: "1. reduction\n".to_owned(),
+            insts: 12345,
+            pipelines: 1,
+            fusions: 2,
+            reductions: 3,
+            geodecomp: 4,
+            task_regions: 5,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_with_report() {
+        let rec = DiskRecord { digest: 0xDEADBEEF, insts: Some(77), report: Some(report()) };
+        let parsed = parse_record(&render_record(&rec)).expect("parses");
+        assert_eq!(parsed.digest, 0xDEADBEEF);
+        assert_eq!(parsed.insts, Some(77));
+        assert_eq!(parsed.report, Some(report()));
+    }
+
+    #[test]
+    fn record_roundtrip_digest_only() {
+        let rec = DiskRecord { digest: 42, insts: None, report: None };
+        let parsed = parse_record(&render_record(&rec)).expect("parses");
+        assert_eq!(parsed.digest, 42);
+        assert!(parsed.insts.is_none() && parsed.report.is_none());
+    }
+
+    #[test]
+    fn malformed_records_are_misses() {
+        assert!(parse_record(b"").is_none());
+        assert!(parse_record(b"parpat-rec-v1\n").is_none());
+        assert!(parse_record(b"parpat-rec-v1\ndigest zzz\n").is_none());
+        assert!(parse_record(b"parpat-rec-v2\ndigest 0000000000000001\n").is_none());
+        // Truncated payload.
+        assert!(parse_record(b"parpat-rec-v1\ndigest 01\nreport 99 0 0 0 0 0 0 0\nshort").is_none());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_counts() {
+        let cache = Cache::new(2, None).unwrap();
+        let art = |n: u64| {
+            Artifact::Report(Arc::new(ProgramReport {
+                summary: n.to_string(),
+                ranking: String::new(),
+                insts: n,
+                pipelines: 0,
+                fusions: 0,
+                reductions: 0,
+                geodecomp: 0,
+                task_regions: 0,
+            }))
+        };
+        cache.insert(1, 10, art(1), None);
+        cache.insert(2, 20, art(2), None);
+        // Touch 1 so 2 becomes LRU.
+        assert!(matches!(cache.lookup(1), Lookup::Memory(..)));
+        cache.insert(3, 30, art(3), None);
+        assert_eq!(cache.evictions(), 1);
+        assert!(matches!(cache.lookup(2), Lookup::Miss));
+        assert!(matches!(cache.lookup(1), Lookup::Memory(..)));
+        assert!(matches!(cache.lookup(3), Lookup::Memory(..)));
+        assert_eq!(cache.mem_entries(), 2);
+    }
+
+    #[test]
+    fn disk_tier_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("parpat-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = Cache::new(4, Some(dir.clone())).unwrap();
+            cache.insert(7, 70, Artifact::Report(Arc::new(report())), Some(9));
+            assert_eq!(cache.disk_writes(), 1);
+        }
+        // Fresh cache, same dir: memory is cold, disk must answer.
+        let cache = Cache::new(4, Some(dir.clone())).unwrap();
+        match cache.lookup(7) {
+            Lookup::Disk(rec) => {
+                assert_eq!(rec.digest, 70);
+                assert_eq!(rec.insts, Some(9));
+                assert_eq!(rec.report, Some(report()));
+            }
+            other => panic!("expected disk hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

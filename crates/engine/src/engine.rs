@@ -1,0 +1,633 @@
+//! The batch-analysis engine: stage-graph execution with digest-chained
+//! caching and deterministic parallel fan-out.
+//!
+//! # Digest chaining
+//!
+//! Every stage is a deterministic function of its inputs, so each stage's
+//! *output* digest can be derived from its *input* digests without
+//! formatting (or even materializing) the output artifact. The only
+//! content digest taken is the parse stage's AST digest, computed from the
+//! token stream (kinds plus line numbers — exactly what the parser sees,
+//! since AST nodes record lines) — which makes the whole downstream chain
+//! insensitive to cosmetic edits such as extra spaces or comments that do
+//! not shift lines. Full derivation is documented in DESIGN.md, "Engine".
+//!
+//! # Hit accounting
+//!
+//! A stage resolution is a **hit** iff the stage function did not execute.
+//! A disk record can answer a digest query (hit) but not an artifact
+//! query; if a downstream miss later forces the artifact to materialize,
+//! the stage re-executes and the earlier hit is demoted to a miss, so
+//! counters always reflect work actually performed.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use parpat_core::{
+    assemble_analysis, detect_patterns, profile_ir, rank_patterns, render_ranking, Analysis,
+    AnalysisConfig, AnalyzeError, RankConfig,
+};
+use parpat_cu::{build_cus, CuSet};
+use parpat_ir::IrProgram;
+use parpat_minilang::Program;
+use parpat_runtime::ThreadPool;
+
+use crate::cache::{Artifact, Cache, Lookup};
+use crate::digest::{hash_bytes, Fnv64};
+use crate::report::ProgramReport;
+use crate::stage::Stage;
+use crate::stats::{CacheStats, EngineStats, StageCounters, StageStats};
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Detector configuration (part of downstream cache keys).
+    pub analysis: AnalysisConfig,
+    /// Reference worker count for pattern ranking (part of the rank key).
+    pub rank_workers: f64,
+    /// In-memory artifact capacity before LRU eviction.
+    pub cache_capacity: usize,
+    /// Directory for persistent records and stats; `None` disables the
+    /// disk tier.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            analysis: AnalysisConfig::default(),
+            rank_workers: RankConfig::default().workers,
+            cache_capacity: 512,
+            cache_dir: None,
+        }
+    }
+}
+
+/// One program to analyze.
+#[derive(Debug, Clone)]
+pub struct BatchInput {
+    /// Display name (app name or file path).
+    pub name: String,
+    /// MiniLang source text.
+    pub source: String,
+}
+
+/// Result of analyzing one program of a batch.
+#[derive(Debug, Clone)]
+pub struct ProgramOutcome {
+    /// The input's display name.
+    pub name: String,
+    /// The report, or a rendered parse/runtime error.
+    pub result: Result<Arc<ProgramReport>, String>,
+    /// Wall time this program took inside the worker.
+    pub wall: Duration,
+    /// `true` when every stage resolved from the cache (nothing executed).
+    pub fully_cached: bool,
+}
+
+/// A completed batch: outcomes in input order plus the stats snapshot.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One outcome per input, in input order regardless of `jobs`.
+    pub outcomes: Vec<ProgramOutcome>,
+    /// Per-stage and cache-wide observability for this batch.
+    pub stats: EngineStats,
+}
+
+#[derive(Default)]
+struct BatchCounters {
+    stages: [StageCounters; 6],
+    errors: AtomicU64,
+}
+
+/// The cached, parallel batch-analysis engine.
+pub struct Engine {
+    cfg: AnalysisConfig,
+    rank_workers: f64,
+    cache: Cache,
+    /// Reused across batches while the requested thread count matches.
+    pool: Mutex<Option<Arc<ThreadPool>>>,
+    /// Batches are serialized: `wait_idle` on the shared pool must only
+    /// observe this batch's tasks.
+    batch_lock: Mutex<()>,
+}
+
+impl Engine {
+    /// Build an engine. Fails only when the cache directory cannot be
+    /// created.
+    pub fn new(cfg: EngineConfig) -> std::io::Result<Engine> {
+        Ok(Engine {
+            cfg: cfg.analysis,
+            rank_workers: cfg.rank_workers,
+            cache: Cache::new(cfg.cache_capacity, cfg.cache_dir)?,
+            pool: Mutex::new(None),
+            batch_lock: Mutex::new(()),
+        })
+    }
+
+    /// The shared artifact cache (exposed for tests and diagnostics).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Analyze one program through the cached stage graph.
+    pub fn analyze_one(&self, input: &BatchInput) -> ProgramOutcome {
+        let counters = BatchCounters::default();
+        self.run_one(input, &counters)
+    }
+
+    /// Analyze a batch on `jobs` worker threads. Results come back in
+    /// input order regardless of scheduling; stats cover this batch only
+    /// (evictions and live entries are engine-lifetime). When a cache
+    /// directory is configured, the stats snapshot is persisted there for
+    /// `parpat stats`.
+    pub fn batch(self: &Arc<Self>, inputs: Vec<BatchInput>, jobs: usize) -> BatchReport {
+        let _serial = self.batch_lock.lock().unwrap();
+        let jobs = jobs.max(1);
+        let start = Instant::now();
+        let counters = Arc::new(BatchCounters::default());
+        let n = inputs.len();
+
+        let outcomes: Vec<ProgramOutcome> = if jobs == 1 || n <= 1 {
+            inputs.iter().map(|input| self.run_one(input, &counters)).collect()
+        } else {
+            let slots: Arc<Mutex<Vec<Option<ProgramOutcome>>>> =
+                Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+            let pool = self.pool_for(jobs.min(n));
+            for (i, input) in inputs.into_iter().enumerate() {
+                let eng = Arc::clone(self);
+                let counters = Arc::clone(&counters);
+                let slots = Arc::clone(&slots);
+                pool.spawn(move || {
+                    let outcome = eng.run_one(&input, &counters);
+                    slots.lock().unwrap()[i] = Some(outcome);
+                });
+            }
+            pool.wait_idle();
+            let mut slots = slots.lock().unwrap();
+            slots.iter_mut().map(|s| s.take().expect("every slot filled")).collect()
+        };
+
+        let stats = self.snapshot(&counters, jobs as u64, n as u64, start.elapsed());
+        if let Some(dir) = self.cache.dir() {
+            // Best effort; a read-only cache dir must not fail the batch.
+            let _ = stats.persist(dir);
+        }
+        BatchReport { outcomes, stats }
+    }
+
+    fn pool_for(&self, jobs: usize) -> Arc<ThreadPool> {
+        let mut slot = self.pool.lock().unwrap();
+        match slot.as_ref() {
+            Some(p) if p.threads() == jobs => Arc::clone(p),
+            _ => {
+                let p = Arc::new(ThreadPool::new(jobs));
+                *slot = Some(Arc::clone(&p));
+                p
+            }
+        }
+    }
+
+    fn run_one(&self, input: &BatchInput, counters: &BatchCounters) -> ProgramOutcome {
+        let start = Instant::now();
+        let mut run = ProgRun::new(self, &input.source);
+        let result = run.report();
+        let fully_cached = result.is_ok() && run.states.iter().all(|s| *s == St::Hit);
+        run.flush(counters);
+        if result.is_err() {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        ProgramOutcome {
+            name: input.name.clone(),
+            result: result.map_err(|e| e.to_string()),
+            wall: start.elapsed(),
+            fully_cached,
+        }
+    }
+
+    fn snapshot(
+        &self,
+        counters: &BatchCounters,
+        jobs: u64,
+        programs: u64,
+        wall: Duration,
+    ) -> EngineStats {
+        let stages: [StageStats; 6] = std::array::from_fn(|i| counters.stages[i].snapshot());
+        let (hits, misses) = stages.iter().fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
+        EngineStats {
+            stages,
+            programs,
+            errors: counters.errors.load(Ordering::Relaxed),
+            jobs,
+            wall,
+            cache: CacheStats {
+                hits,
+                misses,
+                evictions: self.cache.evictions(),
+                mem_entries: self.cache.mem_entries() as u64,
+            },
+        }
+    }
+}
+
+/// Per-stage resolution state of one program run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
+    Unresolved,
+    Hit,
+    Miss,
+}
+
+/// One program's walk through the stage graph. Digests and artifacts are
+/// memoized; stage states start as digest-level answers and are demoted to
+/// misses when an artifact must materialize after all.
+struct ProgRun<'e> {
+    eng: &'e Engine,
+    src: &'e str,
+    states: [St; 6],
+    wall: [Duration; 6],
+    insts_executed: u64,
+
+    ast_d: Option<u64>,
+    ir_d: Option<u64>,
+    cu_d: Option<u64>,
+    prof_d: Option<u64>,
+    det_d: Option<u64>,
+
+    ast: Option<Arc<Program>>,
+    ir: Option<Arc<IrProgram>>,
+    cus: Option<Arc<CuSet>>,
+    prof: Option<Arc<parpat_core::ProfiledRun>>,
+    analysis: Option<Arc<Analysis>>,
+}
+
+fn key(tag: &str, inputs: &[u64]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(tag.as_bytes());
+    for &d in inputs {
+        h.write_u64(d);
+    }
+    h.finish()
+}
+
+impl<'e> ProgRun<'e> {
+    fn new(eng: &'e Engine, src: &'e str) -> Self {
+        ProgRun {
+            eng,
+            src,
+            states: [St::Unresolved; 6],
+            wall: [Duration::ZERO; 6],
+            insts_executed: 0,
+            ast_d: None,
+            ir_d: None,
+            cu_d: None,
+            prof_d: None,
+            det_d: None,
+            ast: None,
+            ir: None,
+            cus: None,
+            prof: None,
+            analysis: None,
+        }
+    }
+
+    fn flush(&self, counters: &BatchCounters) {
+        for s in Stage::ALL {
+            let c = &counters.stages[s.index()];
+            match self.states[s.index()] {
+                St::Unresolved => {}
+                St::Hit => {
+                    c.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                St::Miss => {
+                    c.misses.fetch_add(1, Ordering::Relaxed);
+                    c.executed.fetch_add(1, Ordering::Relaxed);
+                    c.add_wall(self.wall[s.index()]);
+                }
+            }
+        }
+        counters.stages[Stage::Profile.index()]
+            .insts
+            .fetch_add(self.insts_executed, Ordering::Relaxed);
+    }
+
+    /// Execute stage `s`'s function under the wall-time clock and mark it
+    /// a miss (possibly demoting an earlier digest-level hit).
+    fn execute<T>(&mut self, s: Stage, f: impl FnOnce(&mut Self) -> T) -> T {
+        let t = Instant::now();
+        let out = f(self);
+        self.wall[s.index()] += t.elapsed();
+        self.states[s.index()] = St::Miss;
+        out
+    }
+
+    // ---- parse ----------------------------------------------------------
+
+    fn key_parse(&self) -> u64 {
+        key("parse", &[hash_bytes(self.src.as_bytes())])
+    }
+
+    fn run_parse(&mut self) -> Result<(), AnalyzeError> {
+        let ast = self.execute(Stage::Parse, |r| parpat_minilang::parse_checked(r.src))?;
+        // The AST is a deterministic function of the token stream (kinds +
+        // lines; columns are not recorded in the AST), so digesting tokens
+        // gives early cutoff for whitespace/comment edits while staying
+        // sensitive to line shifts that change reported locations.
+        let toks = parpat_minilang::lexer::lex(self.src)?;
+        let mut h = Fnv64::new();
+        h.write(b"ast");
+        for t in &toks {
+            h.write(format!("{:?}@{};", t.kind, t.line).as_bytes());
+        }
+        let d = h.finish();
+        let ast = Arc::new(ast);
+        self.eng.cache.insert(self.key_parse(), d, Artifact::Ast(Arc::clone(&ast)), None);
+        self.ast = Some(ast);
+        self.ast_d = Some(d);
+        Ok(())
+    }
+
+    fn ast_digest(&mut self) -> Result<u64, AnalyzeError> {
+        if let Some(d) = self.ast_d {
+            return Ok(d);
+        }
+        match self.eng.cache.lookup(self.key_parse()) {
+            Lookup::Memory(Artifact::Ast(a), d) => {
+                self.states[Stage::Parse.index()] = St::Hit;
+                self.ast = Some(a);
+                self.ast_d = Some(d);
+            }
+            Lookup::Disk(rec) => {
+                self.states[Stage::Parse.index()] = St::Hit;
+                self.ast_d = Some(rec.digest);
+            }
+            _ => self.run_parse()?,
+        }
+        Ok(self.ast_d.expect("set above"))
+    }
+
+    fn ast(&mut self) -> Result<Arc<Program>, AnalyzeError> {
+        self.ast_digest()?;
+        if self.ast.is_none() {
+            // Disk record answered the digest, but the artifact is needed
+            // after all: recompute and demote the hit.
+            self.run_parse()?;
+        }
+        Ok(Arc::clone(self.ast.as_ref().expect("set above")))
+    }
+
+    // ---- lower ----------------------------------------------------------
+
+    fn run_lower(&mut self) -> Result<(), AnalyzeError> {
+        let ast = self.ast()?;
+        let k = key("lower", &[self.ast_d.expect("ast resolved")]);
+        let d = key("ir", &[self.ast_d.expect("ast resolved")]);
+        let ir = Arc::new(self.execute(Stage::Lower, |_| parpat_ir::lower(&ast)));
+        self.eng.cache.insert(k, d, Artifact::Ir(Arc::clone(&ir)), None);
+        self.ir = Some(ir);
+        self.ir_d = Some(d);
+        Ok(())
+    }
+
+    fn ir_digest(&mut self) -> Result<u64, AnalyzeError> {
+        if let Some(d) = self.ir_d {
+            return Ok(d);
+        }
+        let ast_d = self.ast_digest()?;
+        match self.eng.cache.lookup(key("lower", &[ast_d])) {
+            Lookup::Memory(Artifact::Ir(ir), d) => {
+                self.states[Stage::Lower.index()] = St::Hit;
+                self.ir = Some(ir);
+                self.ir_d = Some(d);
+            }
+            Lookup::Disk(rec) => {
+                self.states[Stage::Lower.index()] = St::Hit;
+                self.ir_d = Some(rec.digest);
+            }
+            _ => self.run_lower()?,
+        }
+        Ok(self.ir_d.expect("set above"))
+    }
+
+    fn ir(&mut self) -> Result<Arc<IrProgram>, AnalyzeError> {
+        self.ir_digest()?;
+        if self.ir.is_none() {
+            self.run_lower()?;
+        }
+        Ok(Arc::clone(self.ir.as_ref().expect("set above")))
+    }
+
+    // ---- cu build -------------------------------------------------------
+
+    fn run_cus(&mut self) -> Result<(), AnalyzeError> {
+        let ir = self.ir()?;
+        let k = key("cu", &[self.ir_d.expect("ir resolved")]);
+        let d = key("cu.out", &[self.ir_d.expect("ir resolved")]);
+        let cus = Arc::new(self.execute(Stage::CuBuild, |_| build_cus(&ir)));
+        self.eng.cache.insert(k, d, Artifact::Cus(Arc::clone(&cus)), None);
+        self.cus = Some(cus);
+        self.cu_d = Some(d);
+        Ok(())
+    }
+
+    fn cu_digest(&mut self) -> Result<u64, AnalyzeError> {
+        if let Some(d) = self.cu_d {
+            return Ok(d);
+        }
+        let ir_d = self.ir_digest()?;
+        match self.eng.cache.lookup(key("cu", &[ir_d])) {
+            Lookup::Memory(Artifact::Cus(c), d) => {
+                self.states[Stage::CuBuild.index()] = St::Hit;
+                self.cus = Some(c);
+                self.cu_d = Some(d);
+            }
+            Lookup::Disk(rec) => {
+                self.states[Stage::CuBuild.index()] = St::Hit;
+                self.cu_d = Some(rec.digest);
+            }
+            _ => self.run_cus()?,
+        }
+        Ok(self.cu_d.expect("set above"))
+    }
+
+    fn cus(&mut self) -> Result<Arc<CuSet>, AnalyzeError> {
+        self.cu_digest()?;
+        if self.cus.is_none() {
+            self.run_cus()?;
+        }
+        Ok(Arc::clone(self.cus.as_ref().expect("set above")))
+    }
+
+    // ---- profile --------------------------------------------------------
+
+    fn key_profile(&self, ir_d: u64) -> u64 {
+        let limits = self.eng.cfg.limits;
+        key("profile", &[ir_d, limits.max_insts, limits.max_call_depth as u64])
+    }
+
+    fn run_profile(&mut self) -> Result<(), AnalyzeError> {
+        let ir = self.ir()?;
+        let k = self.key_profile(self.ir_d.expect("ir resolved"));
+        let d = key("profile.out", &[k]);
+        let run = self.execute(Stage::Profile, |r| profile_ir(&ir, r.eng.cfg.limits))?;
+        self.insts_executed += run.insts;
+        let insts = run.insts;
+        let run = Arc::new(run);
+        self.eng.cache.insert(k, d, Artifact::Profile(Arc::clone(&run)), Some(insts));
+        self.prof = Some(run);
+        self.prof_d = Some(d);
+        Ok(())
+    }
+
+    fn prof_digest(&mut self) -> Result<u64, AnalyzeError> {
+        if let Some(d) = self.prof_d {
+            return Ok(d);
+        }
+        let ir_d = self.ir_digest()?;
+        match self.eng.cache.lookup(self.key_profile(ir_d)) {
+            Lookup::Memory(Artifact::Profile(p), d) => {
+                self.states[Stage::Profile.index()] = St::Hit;
+                self.prof = Some(p);
+                self.prof_d = Some(d);
+            }
+            Lookup::Disk(rec) => {
+                self.states[Stage::Profile.index()] = St::Hit;
+                self.prof_d = Some(rec.digest);
+            }
+            _ => self.run_profile()?,
+        }
+        Ok(self.prof_d.expect("set above"))
+    }
+
+    fn prof(&mut self) -> Result<Arc<parpat_core::ProfiledRun>, AnalyzeError> {
+        self.prof_digest()?;
+        if self.prof.is_none() {
+            self.run_profile()?;
+        }
+        Ok(Arc::clone(self.prof.as_ref().expect("set above")))
+    }
+
+    // ---- detect ---------------------------------------------------------
+
+    fn key_detect(&mut self) -> Result<u64, AnalyzeError> {
+        let ir_d = self.ir_digest()?;
+        let cu_d = self.cu_digest()?;
+        let prof_d = self.prof_digest()?;
+        let cfg = &self.eng.cfg;
+        let mut h = Fnv64::new();
+        h.write(b"detect");
+        h.write_u64(ir_d).write_u64(cu_d).write_u64(prof_d);
+        h.write_f64(cfg.hotspot_threshold);
+        h.write_u64(cfg.min_pipeline_pairs as u64);
+        h.write_f64(cfg.fusion_eps);
+        Ok(h.finish())
+    }
+
+    fn run_detect(&mut self) -> Result<(), AnalyzeError> {
+        let k = self.key_detect()?;
+        let d = key("detect.out", &[k]);
+        let ir = self.ir()?;
+        let cus = self.cus()?;
+        let prof = self.prof()?;
+        let cfg = self.eng.cfg;
+        let analysis = self.execute(Stage::Detect, |_| {
+            let detections = detect_patterns(&ir, &prof.profile, &prof.pet, &cus, &cfg);
+            assemble_analysis(
+                (*ir).clone(),
+                prof.profile.clone(),
+                prof.pet.clone(),
+                (*cus).clone(),
+                detections,
+            )
+        });
+        let analysis = Arc::new(analysis);
+        self.eng.cache.insert(k, d, Artifact::Analysis(Arc::clone(&analysis)), None);
+        self.analysis = Some(analysis);
+        self.det_d = Some(d);
+        Ok(())
+    }
+
+    fn det_digest(&mut self) -> Result<u64, AnalyzeError> {
+        if let Some(d) = self.det_d {
+            return Ok(d);
+        }
+        let k = self.key_detect()?;
+        match self.eng.cache.lookup(k) {
+            Lookup::Memory(Artifact::Analysis(a), d) => {
+                self.states[Stage::Detect.index()] = St::Hit;
+                self.analysis = Some(a);
+                self.det_d = Some(d);
+            }
+            Lookup::Disk(rec) => {
+                self.states[Stage::Detect.index()] = St::Hit;
+                self.det_d = Some(rec.digest);
+            }
+            _ => self.run_detect()?,
+        }
+        Ok(self.det_d.expect("set above"))
+    }
+
+    fn analysis(&mut self) -> Result<Arc<Analysis>, AnalyzeError> {
+        self.det_digest()?;
+        if self.analysis.is_none() {
+            self.run_detect()?;
+        }
+        Ok(Arc::clone(self.analysis.as_ref().expect("set above")))
+    }
+
+    // ---- rank -----------------------------------------------------------
+
+    fn run_rank(&mut self, k: u64) -> Result<Arc<ProgramReport>, AnalyzeError> {
+        let analysis = self.analysis()?;
+        let workers = self.eng.rank_workers;
+        let report = self.execute(Stage::Rank, |_| {
+            let ranked = rank_patterns(&analysis, &RankConfig { workers });
+            ProgramReport {
+                summary: analysis.summary(),
+                ranking: if ranked.is_empty() { String::new() } else { render_ranking(&ranked) },
+                insts: analysis.profile.total_insts,
+                pipelines: analysis.pipelines.len(),
+                fusions: analysis.fusions.len(),
+                reductions: analysis.reductions.len(),
+                geodecomp: analysis.geodecomp.len(),
+                task_regions: analysis.graphs.len(),
+            }
+        });
+        let report = Arc::new(report);
+        let d = key("report", &[k]);
+        self.eng.cache.insert(k, d, Artifact::Report(Arc::clone(&report)), None);
+        Ok(report)
+    }
+
+    fn report(&mut self) -> Result<Arc<ProgramReport>, AnalyzeError> {
+        let det_d = self.det_digest()?;
+        let mut h = Fnv64::new();
+        h.write(b"rank");
+        h.write_u64(det_d);
+        h.write_f64(self.eng.rank_workers);
+        let k = h.finish();
+        match self.eng.cache.lookup(k) {
+            Lookup::Memory(Artifact::Report(r), _) => {
+                self.states[Stage::Rank.index()] = St::Hit;
+                Ok(r)
+            }
+            Lookup::Disk(rec) => match rec.report {
+                Some(report) => {
+                    // Promote the persisted report into the memory tier.
+                    self.states[Stage::Rank.index()] = St::Hit;
+                    let report = Arc::new(report);
+                    self.eng.cache.insert_memory(
+                        k,
+                        rec.digest,
+                        Artifact::Report(Arc::clone(&report)),
+                    );
+                    Ok(report)
+                }
+                None => self.run_rank(k),
+            },
+            _ => self.run_rank(k),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # parpat-engine — cached, parallel batch analysis
+//!
+//! Turns the one-shot `parpat_core::analyze_source` flow into a six-stage
+//! graph (parse → lower → {cu, profile} → detect → rank) with:
+//!
+//! - a **content-addressed artifact cache** — in memory with LRU eviction,
+//!   plus an optional disk tier — keyed by digests chained from the source
+//!   bytes and the analysis configuration, so editing one program reruns
+//!   only the stages whose inputs changed ([`cache`], [`digest`]);
+//! - **parallel fan-out** over a batch of programs on the repo's own
+//!   work-stealing [`parpat_runtime::ThreadPool`], with results returned
+//!   in input order regardless of scheduling ([`Engine::batch`]);
+//! - **per-stage observability** — executed/hit/miss counters, wall time,
+//!   and dynamic instruction counts — rendered as text or JSON and
+//!   persisted next to the cache ([`EngineStats`]).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use parpat_engine::{BatchInput, Engine, EngineConfig};
+//!
+//! let engine = Arc::new(Engine::new(EngineConfig::default()).unwrap());
+//! let inputs = vec![BatchInput {
+//!     name: "listing1".into(),
+//!     source: "global a[8];\nfn main() { for i in 0..8 { a[i] = i; } }".into(),
+//! }];
+//! let batch = engine.batch(inputs, 2);
+//! assert!(batch.outcomes[0].result.is_ok());
+//! // Second run: every stage answers from the cache.
+//! let batch = engine.batch(vec![], 1);
+//! assert_eq!(batch.stats.programs, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod digest;
+pub mod engine;
+pub mod report;
+pub mod stage;
+pub mod stats;
+
+pub use cache::{Artifact, Cache, DiskRecord, Lookup};
+pub use engine::{BatchInput, BatchReport, Engine, EngineConfig, ProgramOutcome};
+pub use report::ProgramReport;
+pub use stage::Stage;
+pub use stats::{CacheStats, EngineStats, StageStats};

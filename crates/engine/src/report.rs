@@ -1,0 +1,41 @@
+//! The terminal artifact of one analyzed program.
+
+/// Everything the engine keeps (and persists) from one program's analysis:
+/// the rendered findings plus the headline numbers. Deliberately flat and
+/// string-based so it round-trips through the disk cache without a
+/// serializer for every intermediate type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramReport {
+    /// `Analysis::summary()` — byte-identical to `parpat analyze` output.
+    pub summary: String,
+    /// Rendered pattern ranking (empty when nothing was detected).
+    pub ranking: String,
+    /// Dynamic IR instructions the profiled run executed.
+    pub insts: u64,
+    /// Detected multi-loop pipelines.
+    pub pipelines: usize,
+    /// Fusion candidates.
+    pub fusions: usize,
+    /// Reduction candidates.
+    pub reductions: usize,
+    /// Geometric-decomposition candidates.
+    pub geodecomp: usize,
+    /// Hotspot regions analyzed for task parallelism.
+    pub task_regions: usize,
+}
+
+impl ProgramReport {
+    /// Hand-rolled JSON object for this report.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"insts\": {}, \"pipelines\": {}, \"fusions\": {}, \"reductions\": {}, \"geodecomp\": {}, \"task_regions\": {}, \"summary\": {}}}",
+            self.insts,
+            self.pipelines,
+            self.fusions,
+            self.reductions,
+            self.geodecomp,
+            self.task_regions,
+            crate::stats::json_str(&self.summary),
+        )
+    }
+}

@@ -1,0 +1,87 @@
+//! The analysis stage graph.
+//!
+//! `analyze_source` is decomposed into six stages forming a chain (the CU
+//! build rides on the lowered IR in parallel with profiling; both feed
+//! detection):
+//!
+//! ```text
+//! parse ─ lower ─┬─ cu ──────┬─ detect ─ rank
+//!                └─ profile ─┘
+//! ```
+//!
+//! Each stage has a content-addressed cache key derived from its inputs
+//! (see `cache` and DESIGN.md, "Engine"), so editing a source reruns only
+//! the stages whose inputs actually changed.
+
+/// One stage of the analysis pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// MiniLang source → checked AST.
+    Parse,
+    /// AST → structured IR.
+    Lower,
+    /// IR → computational units.
+    CuBuild,
+    /// One instrumented run: IR → dependence profile + PET.
+    Profile,
+    /// All five pattern detectors → assembled `Analysis`.
+    Detect,
+    /// Pattern ranking + report rendering.
+    Rank,
+}
+
+impl Stage {
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; 6] =
+        [Stage::Parse, Stage::Lower, Stage::CuBuild, Stage::Profile, Stage::Detect, Stage::Rank];
+
+    /// Stable lowercase name (used in cache keys, stats, and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Lower => "lower",
+            Stage::CuBuild => "cu",
+            Stage::Profile => "profile",
+            Stage::Detect => "detect",
+            Stage::Rank => "rank",
+        }
+    }
+
+    /// Index into per-stage arrays (execution order).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::Lower => 1,
+            Stage::CuBuild => 2,
+            Stage::Profile => 3,
+            Stage::Detect => 4,
+            Stage::Rank => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_order() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,289 @@
+//! Per-stage observability: counters, wall time, and report rendering.
+//!
+//! Every stage resolution in the engine lands in exactly one of two
+//! buckets: a **hit** (the stage function was *not* executed — the memory
+//! or disk tier answered) or a **miss** (the stage ran; `executed` counts
+//! these too and `wall`/`insts` accumulate). The engine aggregates these
+//! into an [`EngineStats`] snapshot after every batch, renders it as text
+//! or JSON, and persists both forms under the cache directory so `parpat
+//! stats` can read them back from a fresh process.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::stage::Stage;
+
+/// Lock-free per-stage counters shared by all worker threads of a batch.
+#[derive(Debug, Default)]
+pub(crate) struct StageCounters {
+    pub executed: AtomicU64,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    /// Accumulated wall time of executed stage functions, in nanoseconds.
+    pub wall_ns: AtomicU64,
+    /// Dynamic IR instructions (profile stage only).
+    pub insts: AtomicU64,
+}
+
+impl StageCounters {
+    pub fn snapshot(&self) -> StageStats {
+        StageStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            wall: Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed)),
+            insts: self.insts.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn add_wall(&self, d: Duration) {
+        self.wall_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Frozen per-stage statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Times the stage function actually ran.
+    pub executed: u64,
+    /// Resolutions answered by the cache (function skipped).
+    pub hits: u64,
+    /// Resolutions that had to execute.
+    pub misses: u64,
+    /// Total wall time spent inside executed stage functions.
+    pub wall: Duration,
+    /// Dynamic instruction count accumulated by executed runs
+    /// (profile stage; zero elsewhere).
+    pub insts: u64,
+}
+
+/// Cache-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Stage resolutions answered without executing (all stages).
+    pub hits: u64,
+    /// Stage resolutions that executed (all stages).
+    pub misses: u64,
+    /// In-memory LRU evictions.
+    pub evictions: u64,
+    /// Live in-memory entries after the batch.
+    pub mem_entries: u64,
+}
+
+/// One batch's complete observability snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Per-stage stats, indexed by [`Stage::index`].
+    pub stages: [StageStats; 6],
+    /// Programs analyzed in the batch.
+    pub programs: u64,
+    /// Programs that failed (parse or runtime error).
+    pub errors: u64,
+    /// Worker threads the batch ran on.
+    pub jobs: u64,
+    /// End-to-end batch wall time.
+    pub wall: Duration,
+    /// Cache-wide counters.
+    pub cache: CacheStats,
+}
+
+impl EngineStats {
+    /// Stats for stage `s`.
+    pub fn stage(&self, s: Stage) -> &StageStats {
+        &self.stages[s.index()]
+    }
+
+    /// Total dynamic instructions across executed profile runs.
+    pub fn total_insts(&self) -> u64 {
+        self.stages.iter().map(|s| s.insts).sum()
+    }
+
+    /// Fraction of stage resolutions answered by the cache, in `[0, 1]`.
+    /// `None` when nothing was resolved.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.cache.hits + self.cache.misses;
+        (total > 0).then(|| self.cache.hits as f64 / total as f64)
+    }
+
+    /// Human-readable table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== engine stats ===\n");
+        out.push_str(&format!(
+            "programs: {} ({} errors), jobs: {}, wall: {}\n",
+            self.programs,
+            self.errors,
+            self.jobs,
+            fmt_duration(self.wall)
+        ));
+        out.push_str(&format!(
+            "stage      {:>9} {:>9} {:>9} {:>12} {:>14}\n",
+            "executed", "hits", "misses", "wall", "insts"
+        ));
+        for s in Stage::ALL {
+            let st = self.stage(s);
+            out.push_str(&format!(
+                "{:<10} {:>9} {:>9} {:>9} {:>12} {:>14}\n",
+                s.name(),
+                st.executed,
+                st.hits,
+                st.misses,
+                fmt_duration(st.wall),
+                st.insts
+            ));
+        }
+        let rate = match self.hit_rate() {
+            Some(r) => format!("{:.1}%", r * 100.0),
+            None => "n/a".to_owned(),
+        };
+        out.push_str(&format!(
+            "cache: {} hits / {} misses ({} hit rate), {} evictions, {} live entries\n",
+            self.cache.hits, self.cache.misses, rate, self.cache.evictions, self.cache.mem_entries
+        ));
+        out
+    }
+
+    /// Hand-rolled JSON object.
+    pub fn render_json(&self) -> String {
+        let mut stages = String::new();
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                stages.push_str(", ");
+            }
+            let st = self.stage(*s);
+            stages.push_str(&format!(
+                "{{\"stage\": {}, \"executed\": {}, \"hits\": {}, \"misses\": {}, \"wall_ns\": {}, \"insts\": {}}}",
+                json_str(s.name()),
+                st.executed,
+                st.hits,
+                st.misses,
+                st.wall.as_nanos(),
+                st.insts
+            ));
+        }
+        format!(
+            "{{\"programs\": {}, \"errors\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}}}}}",
+            self.programs,
+            self.errors,
+            self.jobs,
+            self.wall.as_nanos(),
+            stages,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.mem_entries
+        )
+    }
+
+    /// Persist both renderings under `dir` (`stats.txt` / `stats.json`) so
+    /// `parpat stats` can report on the last batch from a fresh process.
+    pub fn persist(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(dir.join("stats.txt"), self.render_text())?;
+        std::fs::write(dir.join("stats.json"), self.render_json())
+    }
+}
+
+/// Format a duration compactly (`1.234s`, `56.7ms`, `890µs`, `12ns`).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{}µs", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineStats {
+        let mut stages = [StageStats::default(); 6];
+        stages[Stage::Profile.index()] = StageStats {
+            executed: 17,
+            hits: 0,
+            misses: 17,
+            wall: Duration::from_millis(12),
+            insts: 99_000,
+        };
+        stages[Stage::Parse.index()] =
+            StageStats { executed: 0, hits: 17, misses: 0, wall: Duration::ZERO, insts: 0 };
+        EngineStats {
+            stages,
+            programs: 17,
+            errors: 0,
+            jobs: 8,
+            wall: Duration::from_millis(40),
+            cache: CacheStats { hits: 17, misses: 17, evictions: 2, mem_entries: 32 },
+        }
+    }
+
+    #[test]
+    fn text_mentions_every_stage() {
+        let text = sample().render_text();
+        for s in Stage::ALL {
+            assert!(text.contains(s.name()), "missing {s} in:\n{text}");
+        }
+        assert!(text.contains("50.0% hit rate"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = sample().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"stage\": \"profile\""));
+        assert!(json.contains("\"insts\": 99000"));
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        assert_eq!(sample().hit_rate(), Some(0.5));
+        let empty = EngineStats {
+            stages: [StageStats::default(); 6],
+            programs: 0,
+            errors: 0,
+            jobs: 1,
+            wall: Duration::ZERO,
+            cache: CacheStats::default(),
+        };
+        assert!(empty.hit_rate().is_none());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(fmt_duration(Duration::from_micros(890)), "890µs");
+        assert_eq!(fmt_duration(Duration::from_nanos(56_700_000)), "56.7ms");
+        assert_eq!(fmt_duration(Duration::from_millis(1234)), "1.234s");
+    }
+}

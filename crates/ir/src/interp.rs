@@ -389,7 +389,9 @@ impl Interp<'_, '_> {
             resolved[k] = idx as usize;
         }
         let g = &self.prog.globals[array];
-        Ok(g.base_addr + (resolved[0] * g.row_stride() + if indices.len() == 2 { resolved[1] } else { 0 }) as u64)
+        Ok(g.base_addr
+            + (resolved[0] * g.row_stride() + if indices.len() == 2 { resolved[1] } else { 0 })
+                as u64)
     }
 
     fn expr(&mut self, e: &IrExpr, frame: &mut Frame) -> Result<Value, RuntimeError> {
@@ -463,11 +465,7 @@ impl Interp<'_, '_> {
                         BinOp::Or => !l,
                         _ => unreachable!(),
                     };
-                    let out = if take_rhs {
-                        self.expr(rhs, frame)?.boolean(line)?
-                    } else {
-                        l
-                    };
+                    let out = if take_rhs { self.expr(rhs, frame)?.boolean(line)? } else { l };
                     self.tick(*inst)?;
                     return Ok(Value::Bool(out));
                 }
@@ -509,9 +507,7 @@ mod tests {
     fn run_fn(src: &str, name: &str, args: &[f64]) -> f64 {
         let ir = lower(&parse_checked(src).unwrap());
         let f = ir.function_named(name).unwrap().id;
-        run_function(&ir, f, args, &mut NullObserver, ExecLimits::default())
-            .unwrap()
-            .return_value
+        run_function(&ir, f, args, &mut NullObserver, ExecLimits::default()).unwrap().return_value
     }
 
     #[test]
@@ -615,10 +611,7 @@ mod tests {
             })
             .collect();
         assert_eq!(iters, vec![0, 1, 2]);
-        assert!(log
-            .events
-            .iter()
-            .any(|e| matches!(e, Event::ExitLoop { iterations: 3, .. })));
+        assert!(log.events.iter().any(|e| matches!(e, Event::ExitLoop { iterations: 3, .. })));
     }
 
     #[test]
@@ -732,6 +725,12 @@ mod tests {
 
     #[test]
     fn builtins_evaluate() {
-        assert_eq!(run_src("fn main() { return sqrt(16) + min(2, 1) + max(2, 1) + floor(1.9) + abs(0 - 3); }").return_value, 11.0);
+        assert_eq!(
+            run_src(
+                "fn main() { return sqrt(16) + min(2, 1) + max(2, 1) + floor(1.9) + abs(0 - 3); }"
+            )
+            .return_value,
+            11.0
+        );
     }
 }

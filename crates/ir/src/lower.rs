@@ -50,12 +50,7 @@ pub fn lower(program: &ast::Program) -> IrProgram {
         func_ids.insert(f.name.clone(), id);
     }
 
-    let mut ctx = LowerCtx {
-        global_ids,
-        func_ids,
-        insts: Vec::new(),
-        loops: Vec::new(),
-    };
+    let mut ctx = LowerCtx { global_ids, func_ids, insts: Vec::new(), loops: Vec::new() };
 
     let mut functions = Vec::with_capacity(program.functions.len());
     for (id, f) in program.functions.iter().enumerate() {
@@ -148,7 +143,12 @@ impl LowerCtx {
                 fcx.scopes.pop();
                 let loop_id = self.loops.len() as LoopId;
                 let inst = self.inst(*line, fcx.func, InstKind::LoopHeader);
-                self.loops.push(LoopMeta { line: *line, func: fcx.func, is_for: true, head_inst: inst });
+                self.loops.push(LoopMeta {
+                    line: *line,
+                    func: fcx.func,
+                    is_for: true,
+                    head_inst: inst,
+                });
                 IrStmt::Loop { id: loop_id, kind: LoopKind::For { slot, start, end }, body, inst }
             }
             ast::Stmt::While { cond, body, line } => {
@@ -156,7 +156,12 @@ impl LowerCtx {
                 let body = self.block(fcx, body);
                 let loop_id = self.loops.len() as LoopId;
                 let inst = self.inst(*line, fcx.func, InstKind::LoopHeader);
-                self.loops.push(LoopMeta { line: *line, func: fcx.func, is_for: false, head_inst: inst });
+                self.loops.push(LoopMeta {
+                    line: *line,
+                    func: fcx.func,
+                    is_for: false,
+                    head_inst: inst,
+                });
                 IrStmt::Loop { id: loop_id, kind: LoopKind::While { cond }, body, inst }
             }
             ast::Stmt::If { cond, then_block, else_block, line } => {
@@ -289,10 +294,9 @@ impl LowerCtx {
                     let inst = self.inst(*line, fcx.func, InstKind::BuiltinCall);
                     IrExpr::CallBuiltin { builtin, args, inst }
                 } else {
-                    let func = *self
-                        .func_ids
-                        .get(callee)
-                        .unwrap_or_else(|| panic!("lowering invariant: unresolved call `{callee}`"));
+                    let func = *self.func_ids.get(callee).unwrap_or_else(|| {
+                        panic!("lowering invariant: unresolved call `{callee}`")
+                    });
                     let inst = self.inst(*line, fcx.func, InstKind::Call(callee.clone()));
                     IrExpr::CallFn { func, args, inst }
                 }

@@ -52,19 +52,13 @@ fn while_false_never_iterates() {
 
 #[test]
 fn for_with_reversed_bounds_never_iterates() {
-    assert_eq!(
-        run_src("fn main() { let s = 0; for i in 5..2 { s += 1; } return s; }"),
-        0.0
-    );
+    assert_eq!(run_src("fn main() { let s = 0; for i in 5..2 { s += 1; } return s; }"), 0.0);
 }
 
 #[test]
 fn fractional_for_bounds_truncate_via_comparison() {
     // for i in 0..2.5 runs i = 0, 1, 2 (i < 2.5).
-    assert_eq!(
-        run_src("fn main() { let s = 0; for i in 0..(5 / 2) { s += 1; } return s; }"),
-        3.0
-    );
+    assert_eq!(run_src("fn main() { let s = 0; for i in 0..(5 / 2) { s += 1; } return s; }"), 3.0);
 }
 
 #[test]
@@ -139,14 +133,7 @@ fn main() {
             _ => None,
         })
         .collect();
-    assert_eq!(
-        mem,
-        vec![
-            (AccessKind::Write, 0),
-            (AccessKind::Read, 0),
-            (AccessKind::Write, 1),
-        ]
-    );
+    assert_eq!(mem, vec![(AccessKind::Write, 0), (AccessKind::Read, 0), (AccessKind::Write, 1),]);
 }
 
 #[test]
@@ -169,14 +156,7 @@ fn main() {
             _ => None,
         })
         .collect();
-    assert_eq!(
-        mem,
-        vec![
-            (AccessKind::Write, 0),
-            (AccessKind::Read, 0),
-            (AccessKind::Write, 0),
-        ]
-    );
+    assert_eq!(mem, vec![(AccessKind::Write, 0), (AccessKind::Read, 0), (AccessKind::Write, 0),]);
     assert_eq!(run(&ir, &mut NullObserver).unwrap().return_value, 0.0);
 }
 

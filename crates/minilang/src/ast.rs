@@ -408,8 +408,10 @@ mod tests {
             BinOp::Or,
         ];
         for op in all {
-            let classes =
-                [op.is_arithmetic(), op.is_comparison(), op.is_logical()].iter().filter(|b| **b).count();
+            let classes = [op.is_arithmetic(), op.is_comparison(), op.is_logical()]
+                .iter()
+                .filter(|b| **b)
+                .count();
             assert_eq!(classes, 1, "{op:?} must be in exactly one class");
         }
     }

@@ -108,10 +108,9 @@ impl Parser {
                 self.bump();
                 Ok(n)
             }
-            ref other => Err(LangError::parse(
-                line,
-                format!("expected number, found {}", other.describe()),
-            )),
+            ref other => {
+                Err(LangError::parse(line, format!("expected number, found {}", other.describe())))
+            }
         }
     }
 
@@ -126,7 +125,10 @@ impl Parser {
                 other => {
                     return Err(LangError::parse(
                         self.line(),
-                        format!("expected `global` or `fn` at top level, found {}", other.describe()),
+                        format!(
+                            "expected `global` or `fn` at top level, found {}",
+                            other.describe()
+                        ),
                     ))
                 }
             }
@@ -225,11 +227,8 @@ impl Parser {
             TokenKind::If => self.if_stmt(),
             TokenKind::Return => {
                 self.bump();
-                let value = if self.peek_kind() == &TokenKind::Semi {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let value =
+                    if self.peek_kind() == &TokenKind::Semi { None } else { Some(self.expr()?) };
                 self.expect(TokenKind::Semi)?;
                 Ok(Stmt::Return { value, line })
             }
@@ -499,8 +498,10 @@ mod tests {
 
     #[test]
     fn parses_else_if_chain() {
-        let p = parse("fn f(x) { if x < 0 { return 0; } else if x < 10 { return 1; } else { return 2; } }")
-            .unwrap();
+        let p = parse(
+            "fn f(x) { if x < 0 { return 0; } else if x < 10 { return 1; } else { return 2; } }",
+        )
+        .unwrap();
         match &p.function("f").unwrap().body.stmts[0] {
             Stmt::If { else_block: Some(e), .. } => {
                 assert!(matches!(e.stmts[0], Stmt::If { .. }));

@@ -101,7 +101,7 @@ pub fn check(program: &Program, require_main: bool) -> Result<(), LangError> {
         let mut checker = Checker {
             globals: &globals,
             functions: &functions,
-            scopes: vec![f.params.iter().map(|p| p.clone()).collect()],
+            scopes: vec![f.params.iter().cloned().collect()],
             loop_depth: 0,
         };
         checker.block(&f.body)?;
@@ -264,10 +264,7 @@ impl Checker<'_> {
                 if self.declared(name) {
                     Ok(Ty::Num)
                 } else if self.globals.contains_key(name.as_str()) {
-                    Err(LangError::sema(
-                        *line,
-                        format!("array `{name}` used without an index"),
-                    ))
+                    Err(LangError::sema(*line, format!("array `{name}` used without an index")))
                 } else {
                     Err(LangError::sema(*line, format!("undeclared variable `{name}`")))
                 }
@@ -431,9 +428,9 @@ mod tests {
 
     #[test]
     fn let_scoped_to_block() {
-        assert!(
-            err("fn f(c) { if c > 0 { let x = 1; } let y = x; }").message.contains("undeclared")
-        );
+        assert!(err("fn f(c) { if c > 0 { let x = 1; } let y = x; }")
+            .message
+            .contains("undeclared"));
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Property tests for the MiniLang front end: pretty-print/parse round
+//! Randomized tests for the MiniLang front end: pretty-print/parse round
 //! trips over generated ASTs, lexer totality, and sema stability.
-
-use proptest::prelude::*;
+//!
+//! ASTs are generated with a seeded xorshift PRNG (std-only) so the family
+//! is deterministic across runs.
 
 use parpat_minilang::ast::*;
 use parpat_minilang::lexer::lex;
@@ -9,200 +10,226 @@ use parpat_minilang::parser::parse;
 use parpat_minilang::pretty::print_program;
 use parpat_minilang::sema::check;
 
+/// Minimal xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
 /// Strip line/column info by printing (lines are layout-derived on reparse).
 fn normalize(p: &Program) -> String {
     print_program(p)
 }
 
 /// Generated identifiers that cannot collide with keywords or builtins.
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,5}".prop_map(|s| format!("v_{s}"))
-}
-
-fn arb_expr(vars: Vec<String>, depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = {
-        let vars = vars.clone();
-        prop_oneof![
-            (0u32..1000).prop_map(|n| Expr::Number { value: n as f64, line: 1 }),
-            proptest::sample::select(vars.clone())
-                .prop_map(|name| Expr::Var { name, line: 1 }),
-            (0usize..8).prop_map(|i| Expr::Index {
-                array: "g".to_owned(),
-                indices: vec![Expr::Number { value: i as f64, line: 1 }],
-                line: 1,
-            }),
-        ]
-    };
-    leaf.prop_recursive(depth, 16, 3, move |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), proptest::sample::select(vec![
-                BinOp::Add,
-                BinOp::Sub,
-                BinOp::Mul,
-            ]))
-            .prop_map(|(l, r, op)| Expr::Binary {
-                op,
-                lhs: Box::new(l),
-                rhs: Box::new(r),
-                line: 1,
-            }),
-            inner.clone().prop_map(|e| Expr::Unary {
-                op: UnOp::Neg,
-                operand: Box::new(e),
-                line: 1,
-            }),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Call {
-                callee: "min".to_owned(),
-                args: vec![a, b],
-                line: 1,
-            }),
-        ]
-    })
-    .boxed()
-}
-
-fn arb_stmts(vars: Vec<String>, depth: u32) -> BoxedStrategy<Vec<Stmt>> {
-    let stmt = {
-        let vars = vars.clone();
-        let expr = arb_expr(vars.clone(), 2);
-        let cond_expr = arb_expr(vars.clone(), 1);
-        prop_oneof![
-            // Assignment to an existing scalar.
-            (proptest::sample::select(vars.clone()), expr.clone(), proptest::sample::select(vec![
-                AssignOp::Set,
-                AssignOp::Add,
-                AssignOp::Mul,
-            ]))
-            .prop_map(|(name, value, op)| Stmt::Assign {
-                target: LValue::Var(name),
-                op,
-                value,
-                line: 1,
-            }),
-            // Array store.
-            ((0usize..8), expr.clone()).prop_map(|(i, value)| Stmt::Assign {
-                target: LValue::Index {
-                    array: "g".to_owned(),
-                    indices: vec![Expr::Number { value: i as f64, line: 1 }],
-                },
-                op: AssignOp::Set,
-                value,
-                line: 1,
-            }),
-            // If with a comparison condition.
-            (cond_expr.clone(), cond_expr, expr.clone()).prop_map(|(l, r, value)| Stmt::If {
-                cond: Expr::Binary {
-                    op: BinOp::Lt,
-                    lhs: Box::new(l),
-                    rhs: Box::new(r),
-                    line: 1,
-                },
-                then_block: Block {
-                    stmts: vec![Stmt::Assign {
-                        target: LValue::Index {
-                            array: "g".to_owned(),
-                            indices: vec![Expr::Number { value: 0.0, line: 1 }],
-                        },
-                        op: AssignOp::Set,
-                        value,
-                        line: 1,
-                    }],
-                },
-                else_block: None,
-                line: 1,
-            }),
-        ]
-    };
-    let vars2 = vars;
-    proptest::collection::vec(stmt, 0..5)
-        .prop_flat_map(move |base| {
-            // Optionally wrap some statements in a for loop.
-            let vars3 = vars2.clone();
-            (Just(base), 0u32..3, arb_expr(vars3, 1)).prop_map(|(mut base, wrap, bound)| {
-                if wrap > 0 && !base.is_empty() {
-                    let body = base.split_off(base.len() / 2);
-                    if !body.is_empty() {
-                        base.push(Stmt::For {
-                            var: "idx".to_owned(),
-                            start: Expr::Number { value: 0.0, line: 1 },
-                            end: Expr::Binary {
-                                op: BinOp::Add,
-                                lhs: Box::new(Expr::Unary {
-                                    op: UnOp::Neg,
-                                    operand: Box::new(bound),
-                                    line: 1,
-                                }),
-                                rhs: Box::new(Expr::Number { value: 4.0, line: 1 }),
-                                line: 1,
-                            },
-                            body: Block { stmts: body },
-                            line: 1,
-                        });
-                    }
-                }
-                base
-            })
-        })
-        .prop_filter("depth bound", move |_| depth > 0)
-        .boxed()
-}
-
-fn arb_program() -> impl Strategy<Value = Program> {
-    (proptest::collection::vec(ident(), 1..4)).prop_flat_map(|mut names| {
-        names.sort();
-        names.dedup();
-        let decls: Vec<Stmt> = names
-            .iter()
-            .map(|n| Stmt::Let {
-                name: n.clone(),
-                init: Expr::Number { value: 1.0, line: 1 },
-                line: 1,
-            })
-            .collect();
-        arb_stmts(names, 3).prop_map(move |stmts| {
-            let mut body = decls.clone();
-            body.extend(stmts);
-            Program {
-                globals: vec![GlobalArray { name: "g".to_owned(), dims: vec![8], line: 1 }],
-                functions: vec![Function {
-                    name: "main".to_owned(),
-                    params: vec![],
-                    body: Block { stmts: body },
-                    line: 1,
-                }],
+fn gen_ident(rng: &mut Rng) -> String {
+    let len = rng.range(1, 6) as usize;
+    let tail: String = (0..len)
+        .map(|_| {
+            let c = rng.below(36);
+            if c < 26 {
+                (b'a' + c as u8) as char
+            } else {
+                (b'0' + (c - 26) as u8) as char
             }
         })
-    })
+        .collect();
+    format!("v_{tail}")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn gen_expr(rng: &mut Rng, vars: &[String], depth: u32) -> Expr {
+    if depth == 0 || rng.below(3) == 0 {
+        // Leaf.
+        return match rng.below(3) {
+            0 => Expr::Number { value: rng.below(1000) as f64, line: 1 },
+            1 => Expr::Var { name: rng.pick(vars).clone(), line: 1 },
+            _ => Expr::Index {
+                array: "g".to_owned(),
+                indices: vec![Expr::Number { value: rng.below(8) as f64, line: 1 }],
+                line: 1,
+            },
+        };
+    }
+    match rng.below(3) {
+        0 => Expr::Binary {
+            op: *rng.pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul]),
+            lhs: Box::new(gen_expr(rng, vars, depth - 1)),
+            rhs: Box::new(gen_expr(rng, vars, depth - 1)),
+            line: 1,
+        },
+        1 => Expr::Unary {
+            op: UnOp::Neg,
+            operand: Box::new(gen_expr(rng, vars, depth - 1)),
+            line: 1,
+        },
+        _ => Expr::Call {
+            callee: "min".to_owned(),
+            args: vec![gen_expr(rng, vars, depth - 1), gen_expr(rng, vars, depth - 1)],
+            line: 1,
+        },
+    }
+}
 
-    /// print → parse → print is a fixpoint over generated ASTs.
-    #[test]
-    fn print_parse_fixpoint(p in arb_program()) {
+fn gen_stmt(rng: &mut Rng, vars: &[String]) -> Stmt {
+    match rng.below(3) {
+        // Assignment to an existing scalar.
+        0 => Stmt::Assign {
+            target: LValue::Var(rng.pick(vars).clone()),
+            op: *rng.pick(&[AssignOp::Set, AssignOp::Add, AssignOp::Mul]),
+            value: gen_expr(rng, vars, 2),
+            line: 1,
+        },
+        // Array store.
+        1 => Stmt::Assign {
+            target: LValue::Index {
+                array: "g".to_owned(),
+                indices: vec![Expr::Number { value: rng.below(8) as f64, line: 1 }],
+            },
+            op: AssignOp::Set,
+            value: gen_expr(rng, vars, 2),
+            line: 1,
+        },
+        // If with a comparison condition.
+        _ => Stmt::If {
+            cond: Expr::Binary {
+                op: BinOp::Lt,
+                lhs: Box::new(gen_expr(rng, vars, 1)),
+                rhs: Box::new(gen_expr(rng, vars, 1)),
+                line: 1,
+            },
+            then_block: Block {
+                stmts: vec![Stmt::Assign {
+                    target: LValue::Index {
+                        array: "g".to_owned(),
+                        indices: vec![Expr::Number { value: 0.0, line: 1 }],
+                    },
+                    op: AssignOp::Set,
+                    value: gen_expr(rng, vars, 2),
+                    line: 1,
+                }],
+            },
+            else_block: None,
+            line: 1,
+        },
+    }
+}
+
+fn gen_stmts(rng: &mut Rng, vars: &[String]) -> Vec<Stmt> {
+    let mut base: Vec<Stmt> = (0..rng.below(5)).map(|_| gen_stmt(rng, vars)).collect();
+    // Optionally wrap the second half of the statements in a for loop.
+    if rng.below(3) > 0 && !base.is_empty() {
+        let body = base.split_off(base.len() / 2);
+        if !body.is_empty() {
+            base.push(Stmt::For {
+                var: "idx".to_owned(),
+                start: Expr::Number { value: 0.0, line: 1 },
+                end: Expr::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(Expr::Unary {
+                        op: UnOp::Neg,
+                        operand: Box::new(gen_expr(rng, vars, 1)),
+                        line: 1,
+                    }),
+                    rhs: Box::new(Expr::Number { value: 4.0, line: 1 }),
+                    line: 1,
+                },
+                body: Block { stmts: body },
+                line: 1,
+            });
+        }
+    }
+    base
+}
+
+fn gen_program(rng: &mut Rng) -> Program {
+    let mut names: Vec<String> = (0..rng.range(1, 4)).map(|_| gen_ident(rng)).collect();
+    names.sort();
+    names.dedup();
+    let mut body: Vec<Stmt> = names
+        .iter()
+        .map(|n| Stmt::Let { name: n.clone(), init: Expr::Number { value: 1.0, line: 1 }, line: 1 })
+        .collect();
+    body.extend(gen_stmts(rng, &names));
+    Program {
+        globals: vec![GlobalArray { name: "g".to_owned(), dims: vec![8], line: 1 }],
+        functions: vec![Function {
+            name: "main".to_owned(),
+            params: vec![],
+            body: Block { stmts: body },
+            line: 1,
+        }],
+    }
+}
+
+/// print → parse → print is a fixpoint over generated ASTs.
+#[test]
+fn print_parse_fixpoint() {
+    let mut rng = Rng::new(0x5EED_0001);
+    for _ in 0..96 {
+        let p = gen_program(&mut rng);
         let text1 = normalize(&p);
         let reparsed = parse(&text1).expect("printed program parses");
         let text2 = normalize(&reparsed);
-        prop_assert_eq!(text1, text2);
+        assert_eq!(text1, text2);
     }
+}
 
-    /// Generated programs pass semantic checking (the generator only emits
-    /// well-scoped programs).
-    #[test]
-    fn generated_programs_check(p in arb_program()) {
+/// Generated programs pass semantic checking (the generator only emits
+/// well-scoped programs).
+#[test]
+fn generated_programs_check() {
+    let mut rng = Rng::new(0x5EED_0002);
+    for _ in 0..96 {
+        let p = gen_program(&mut rng);
         check(&p, true).expect("well-formed by construction");
     }
+}
 
-    /// The lexer never panics on arbitrary input (it may error).
-    #[test]
-    fn lexer_is_total(s in "\\PC*") {
+/// The lexer never panics on arbitrary input (it may error).
+#[test]
+fn lexer_is_total() {
+    let mut rng = Rng::new(0x5EED_0003);
+    for _ in 0..96 {
+        let len = rng.below(200) as usize;
+        let s: String =
+            (0..len).map(|_| char::from_u32(rng.below(0xD7FF) as u32 + 1).unwrap_or('x')).collect();
         let _ = lex(&s);
     }
+}
 
-    /// The parser never panics on arbitrary token-ish input.
-    #[test]
-    fn parser_is_total(s in "[a-z0-9+\\-*/%(){}\\[\\];=<>!&|., \n]*") {
+/// The parser never panics on arbitrary token-ish input.
+#[test]
+fn parser_is_total() {
+    const ALPHABET: &[u8] = b"abcxyz0123456789+-*/%(){}[];=<>!&|., \n";
+    let mut rng = Rng::new(0x5EED_0004);
+    for _ in 0..96 {
+        let len = rng.below(200) as usize;
+        let s: String =
+            (0..len).map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize] as char).collect();
         let _ = parse(&s);
     }
 }

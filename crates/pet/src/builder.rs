@@ -73,20 +73,14 @@ impl PetBuilder {
     /// Find or create the child of the current top for `kind`.
     fn enter_child(&mut self, kind: RegionKind) -> NodeId {
         match self.stack.last().copied() {
-            None => {
-                let id = self.root.unwrap_or_else(|| {
-                    let id = self.new_node(kind, None);
-                    self.root = Some(id);
-                    id
-                });
+            None => self.root.unwrap_or_else(|| {
+                let id = self.new_node(kind, None);
+                self.root = Some(id);
                 id
-            }
+            }),
             Some(top) => {
-                let existing = self.nodes[top]
-                    .children
-                    .iter()
-                    .copied()
-                    .find(|&c| self.nodes[c].kind == kind);
+                let existing =
+                    self.nodes[top].children.iter().copied().find(|&c| self.nodes[c].kind == kind);
                 existing.unwrap_or_else(|| self.new_node(kind, Some(top)))
             }
         }
@@ -94,11 +88,7 @@ impl PetBuilder {
 
     /// For a recursive activation: the nearest node on the stack for `func`.
     fn recursive_ancestor(&self, func: FuncId) -> Option<NodeId> {
-        self.stack
-            .iter()
-            .rev()
-            .copied()
-            .find(|&n| self.nodes[n].kind == RegionKind::Function(func))
+        self.stack.iter().rev().copied().find(|&n| self.nodes[n].kind == RegionKind::Function(func))
     }
 }
 
@@ -211,11 +201,7 @@ mod tests {
         // fib(6) makes 25 calls in total.
         assert_eq!(pet.nodes[n].occurrences, 25);
         // Exactly one fib node exists.
-        let fib_nodes = pet
-            .nodes
-            .iter()
-            .filter(|nd| nd.kind == RegionKind::Function(f))
-            .count();
+        let fib_nodes = pet.nodes.iter().filter(|nd| nd.kind == RegionKind::Function(f)).count();
         assert_eq!(fib_nodes, 1);
     }
 

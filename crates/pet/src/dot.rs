@@ -14,14 +14,11 @@ fn esc(s: &str) -> String {
 /// filled.
 pub fn pet_to_dot(pet: &Pet, prog: &IrProgram, hotspot: f64) -> String {
     use std::fmt::Write;
-    let mut out = String::from("digraph pet {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out =
+        String::from("digraph pet {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
     for n in &pet.nodes {
         let share = pet.inst_share(n.id);
-        let fill = if share >= hotspot {
-            ", style=filled, fillcolor=\"gold\""
-        } else {
-            ""
-        };
+        let fill = if share >= hotspot { ", style=filled, fillcolor=\"gold\"" } else { "" };
         writeln!(
             out,
             "  n{} [label=\"{}\\n{:.1}%\"{}];",

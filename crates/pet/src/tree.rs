@@ -70,11 +70,7 @@ impl Pet {
     /// Nodes whose subtree holds at least `threshold` (0..=1) of all
     /// executed instructions, in preorder.
     pub fn hotspots(&self, threshold: f64) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| self.inst_share(n.id) >= threshold)
-            .map(|n| n.id)
-            .collect()
+        self.nodes.iter().filter(|n| self.inst_share(n.id) >= threshold).map(|n| n.id).collect()
     }
 
     /// Hotspot *loop* nodes at the given threshold.

@@ -24,8 +24,7 @@ fn main() { even(10); }",
     let pet = build_pet(&ir).unwrap();
     let even = ir.function_named("even").unwrap().id;
     let odd = ir.function_named("odd").unwrap().id;
-    let even_nodes =
-        pet.nodes.iter().filter(|n| n.kind == RegionKind::Function(even)).count();
+    let even_nodes = pet.nodes.iter().filter(|n| n.kind == RegionKind::Function(even)).count();
     let odd_nodes = pet.nodes.iter().filter(|n| n.kind == RegionKind::Function(odd)).count();
     assert_eq!(even_nodes, 1, "all even() activations merged");
     assert_eq!(odd_nodes, 1, "all odd() activations merged");
@@ -54,8 +53,7 @@ fn main() { a(); b(); }",
     let leaf_nodes: Vec<_> =
         pet.nodes.iter().filter(|n| n.kind == RegionKind::Function(leaf)).collect();
     assert_eq!(leaf_nodes.len(), 2, "one leaf node under a(), one under b()");
-    let parents: std::collections::HashSet<_> =
-        leaf_nodes.iter().map(|n| n.parent).collect();
+    let parents: std::collections::HashSet<_> = leaf_nodes.iter().map(|n| n.parent).collect();
     assert_eq!(parents.len(), 2);
 }
 

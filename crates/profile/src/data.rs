@@ -175,9 +175,7 @@ impl ProfileData {
     /// True when the given loop carries at least one RAW dependence — the
     /// negation of the do-all property used throughout the paper.
     pub fn has_carried_raw(&self, l: LoopId) -> bool {
-        self.deps
-            .iter()
-            .any(|d| d.kind == DepKind::Raw && d.site.carried_by(l))
+        self.deps.iter().any(|d| d.kind == DepKind::Raw && d.site.carried_by(l))
     }
 
     /// All RAW dependences carried by the given loop.
@@ -317,9 +315,15 @@ mod tests {
     #[test]
     fn merge_maxes_trip_maxima() {
         let mut a = ProfileData::new(0);
-        a.loop_stats.insert(0, LoopStats { executions: 1, total_iterations: 10, max_iterations: 10, first_entry: 5 });
+        a.loop_stats.insert(
+            0,
+            LoopStats { executions: 1, total_iterations: 10, max_iterations: 10, first_entry: 5 },
+        );
         let mut b = ProfileData::new(0);
-        b.loop_stats.insert(0, LoopStats { executions: 2, total_iterations: 6, max_iterations: 4, first_entry: 2 });
+        b.loop_stats.insert(
+            0,
+            LoopStats { executions: 2, total_iterations: 6, max_iterations: 4, first_entry: 2 },
+        );
         a.merge(&b);
         let s = a.loop_stats[&0];
         assert_eq!(s.executions, 3);
@@ -331,7 +335,8 @@ mod tests {
     #[test]
     fn avg_iterations_handles_zero_executions() {
         assert_eq!(LoopStats::default().avg_iterations(), 0.0);
-        let s = LoopStats { executions: 4, total_iterations: 10, max_iterations: 3, first_entry: 0 };
+        let s =
+            LoopStats { executions: 4, total_iterations: 10, max_iterations: 3, first_entry: 0 };
         assert_eq!(s.avg_iterations(), 2.5);
     }
 }

@@ -23,7 +23,7 @@ use parpat_ir::event::{AccessKind, MemAccess, Observer};
 use parpat_ir::interp::{run_function, ExecLimits};
 use parpat_ir::{FuncId, InstId, IrProgram, LoopId, RuntimeError};
 
-use crate::data::{AccessLines, Dep, DepKind, DepSite, ProfileData};
+use crate::data::{Dep, DepKind, DepSite, ProfileData};
 
 /// One entry of the dynamic loop stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,7 +131,12 @@ impl<'p> DependenceProfiler<'p> {
     /// walk the two context chains until they diverge; the diverging frames
     /// (or, where a chain has ended, the access instruction itself) are two
     /// statements of the same region.
-    fn lift(a_chain: &[ChainFrame], a_inst: InstId, b_chain: &[ChainFrame], b_inst: InstId) -> (InstId, InstId) {
+    fn lift(
+        a_chain: &[ChainFrame],
+        a_inst: InstId,
+        b_chain: &[ChainFrame],
+        b_inst: InstId,
+    ) -> (InstId, InstId) {
         let mut d = 0;
         loop {
             match (a_chain.get(d), b_chain.get(d)) {
@@ -198,7 +203,7 @@ impl<'p> DependenceProfiler<'p> {
                 .entry(frame.l)
                 .or_default()
                 .entry(access.addr)
-                .or_insert_with(AccessLines::default);
+                .or_default();
             match access.kind {
                 AccessKind::Read => {
                     entry.read_lines.insert(access.line);
@@ -234,18 +239,14 @@ impl<'p> DependenceProfiler<'p> {
                     .or_insert((ix, iy));
             }
             if let DepSite::Carried { l, .. } = site {
-                if let Some(e) = self
-                    .data
-                    .loop_access_lines
-                    .get_mut(&l)
-                    .and_then(|m| m.get_mut(&access.addr))
+                if let Some(e) =
+                    self.data.loop_access_lines.get_mut(&l).and_then(|m| m.get_mut(&access.addr))
                 {
                     e.inter_iteration = true;
                 }
             }
         }
-        shadow.last_read =
-            Some(AccessRec { inst: access.inst, stack: snapshot, chain });
+        shadow.last_read = Some(AccessRec { inst: access.inst, stack: snapshot, chain });
     }
 
     fn on_write(&mut self, access: MemAccess) {
@@ -265,23 +266,24 @@ impl<'p> DependenceProfiler<'p> {
             let (src, sink) = Self::lift(&w.chain, w.inst, &chain, access.inst);
             self.data.region_deps.insert((src, sink, DepKind::Waw));
             if let DepSite::Carried { l, .. } = site {
-                if let Some(e) = self
-                    .data
-                    .loop_access_lines
-                    .get_mut(&l)
-                    .and_then(|m| m.get_mut(&access.addr))
+                if let Some(e) =
+                    self.data.loop_access_lines.get_mut(&l).and_then(|m| m.get_mut(&access.addr))
                 {
                     e.rewritten = true;
                 }
             }
         }
-        shadow.last_write =
-            Some(AccessRec { inst: access.inst, stack: snapshot, chain });
+        shadow.last_write = Some(AccessRec { inst: access.inst, stack: snapshot, chain });
     }
 }
 
 impl Observer for DependenceProfiler<'_> {
-    fn enter_function(&mut self, _func: parpat_ir::FuncId, call_inst: Option<InstId>, _is_recursive: bool) {
+    fn enter_function(
+        &mut self,
+        _func: parpat_ir::FuncId,
+        call_inst: Option<InstId>,
+        _is_recursive: bool,
+    ) {
         self.invalidate_snapshots();
         match call_inst {
             Some(inst) => {
@@ -645,7 +647,10 @@ fn main() {
             matches!(&ir.insts[*s as usize].kind, parpat_ir::InstKind::Call(n) if n == "produce")
                 && matches!(&ir.insts[*t as usize].kind, parpat_ir::InstKind::Call(n) if n == "consume")
         });
-        assert!(call_pair.is_some(), "expected produce→consume call-level edge, got {lifted_raw:?}");
+        assert!(
+            call_pair.is_some(),
+            "expected produce→consume call-level edge, got {lifted_raw:?}"
+        );
     }
 
     #[test]
@@ -701,8 +706,10 @@ fn main() { fib(8); }";
         let ir = compile(src).unwrap();
         let data = profile(&ir).unwrap();
         let call_insts: Vec<u32> = (0..ir.inst_count() as u32)
-            .filter(|&i| matches!(&ir.insts[i as usize].kind, parpat_ir::InstKind::Call(n) if n == "fib")
-                && ir.insts[i as usize].func == ir.function_named("fib").unwrap().id)
+            .filter(|&i| {
+                matches!(&ir.insts[i as usize].kind, parpat_ir::InstKind::Call(n) if n == "fib")
+                    && ir.insts[i as usize].func == ir.function_named("fib").unwrap().id
+            })
             .collect();
         assert_eq!(call_insts.len(), 2);
         let (c1, c2) = (call_insts[0], call_insts[1]);

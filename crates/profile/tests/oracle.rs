@@ -1,17 +1,37 @@
-//! Property test: the dependence profiler against a straight-line oracle.
+//! Randomized test: the dependence profiler against a straight-line oracle.
 //!
-//! Random straight-line programs over one array are generated; a simple
-//! reference oracle computes the expected RAW/WAR/WAW dependence pairs
-//! between statement indices by replaying the accesses; the profiler's
-//! output (projected onto statement-level store/load instructions) must
-//! match exactly.
+//! Random straight-line programs over one array are generated with a seeded
+//! xorshift PRNG; a simple reference oracle computes the expected
+//! RAW/WAR/WAW dependence pairs between statement indices by replaying the
+//! accesses; the profiler's output (projected onto statement-level
+//! store/load instructions) must match exactly.
 
 use std::collections::HashSet;
 
-use proptest::prelude::*;
-
 use parpat_ir::{compile, InstKind};
 use parpat_profile::{profile, DepKind};
+
+/// Minimal xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
 
 /// One generated statement: either `a[dst] = a[src] + 1;` or `a[dst] = k;`.
 #[derive(Debug, Clone, Copy)]
@@ -20,14 +40,17 @@ enum Stmt {
     Set { dst: usize },
 }
 
-fn arb_stmts() -> impl Strategy<Value = Vec<Stmt>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0usize..6, 0usize..6).prop_map(|(dst, src)| Stmt::Copy { dst, src }),
-            (0usize..6).prop_map(|dst| Stmt::Set { dst }),
-        ],
-        1..14,
-    )
+fn gen_stmts(rng: &mut Rng) -> Vec<Stmt> {
+    let n = 1 + rng.below(13) as usize;
+    (0..n)
+        .map(|_| {
+            if rng.below(2) == 0 {
+                Stmt::Copy { dst: rng.below(6) as usize, src: rng.below(6) as usize }
+            } else {
+                Stmt::Set { dst: rng.below(6) as usize }
+            }
+        })
+        .collect()
 }
 
 fn to_source(stmts: &[Stmt]) -> String {
@@ -73,11 +96,11 @@ fn oracle(stmts: &[Stmt]) -> HashSet<(usize, usize, DepKind)> {
     deps
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn profiler_matches_straight_line_oracle(stmts in arb_stmts()) {
+#[test]
+fn profiler_matches_straight_line_oracle() {
+    let mut rng = Rng::new(0x0FAC1E5);
+    for _ in 0..64 {
+        let stmts = gen_stmts(&mut rng);
         let src = to_source(&stmts);
         let ir = compile(&src).expect("generated program compiles");
         let data = profile(&ir).expect("profiles");
@@ -87,9 +110,7 @@ proptest! {
         let stmt_of = |inst: u32| -> Option<usize> {
             let meta = &ir.insts[inst as usize];
             match meta.kind {
-                InstKind::LoadArray(_) | InstKind::StoreArray(_) => {
-                    Some(meta.line as usize - 3)
-                }
+                InstKind::LoadArray(_) | InstKind::StoreArray(_) => Some(meta.line as usize - 3),
                 _ => None,
             }
         };
@@ -101,20 +122,24 @@ proptest! {
             }
         }
         let expected = oracle(&stmts);
-        prop_assert_eq!(got, expected, "program:\n{}", src);
+        assert_eq!(got, expected, "program:\n{src}");
     }
+}
 
-    /// The WAR shadow is consumed by the next write, so a chain
-    /// write→read→write→read yields exactly one WAR per read-write pair —
-    /// and no dependence is ever reported twice with different endpoints
-    /// for straight-line code.
-    #[test]
-    fn straight_line_deps_are_intra(stmts in arb_stmts()) {
+/// The WAR shadow is consumed by the next write, so a chain
+/// write→read→write→read yields exactly one WAR per read-write pair — and
+/// no dependence is ever reported twice with different endpoints for
+/// straight-line code.
+#[test]
+fn straight_line_deps_are_intra() {
+    let mut rng = Rng::new(0x0FAC1E6);
+    for _ in 0..64 {
+        let stmts = gen_stmts(&mut rng);
         let src = to_source(&stmts);
         let ir = compile(&src).expect("compiles");
         let data = profile(&ir).expect("profiles");
         for d in &data.deps {
-            prop_assert_eq!(
+            assert_eq!(
                 d.site,
                 parpat_profile::DepSite::Intra,
                 "no loops: every dependence is intra"

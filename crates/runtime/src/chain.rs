@@ -74,7 +74,8 @@ pub fn run_chain(threads_per_stage: usize, stages: Vec<ChainStage<'_>>) {
     std::thread::scope(|scope| {
         for (k, stage) in stages.iter().enumerate() {
             let tracker = &trackers[k];
-            let prev = if k == 0 { None } else { Some((&trackers[k - 1], stages[k - 1].iterations)) };
+            let prev =
+                if k == 0 { None } else { Some((&trackers[k - 1], stages[k - 1].iterations)) };
             let workers = if stage.doall { threads_per_stage.max(1) } else { 1 };
             let next = std::sync::atomic::AtomicU64::new(0);
             let next = std::sync::Arc::new(next);
@@ -129,8 +130,8 @@ mod tests {
                 }),
             ],
         );
-        for i in 0..n {
-            assert_eq!(c[i].load(Ordering::SeqCst), (i as u64) * 2 + 1);
+        for (i, ci) in c.iter().enumerate().take(n) {
+            assert_eq!(ci.load(Ordering::SeqCst), (i as u64) * 2 + 1);
         }
     }
 

@@ -6,7 +6,7 @@
 //! dependency-counting scheduler — the direct executable form of a
 //! fork/worker/barrier classification from `parpat-core`.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 /// Run `a` and `b`, potentially in parallel, returning both results.
 pub fn join<RA: Send, RB: Send>(
@@ -69,12 +69,8 @@ pub fn run_task_graph(threads: usize, tasks: Vec<GraphTask<'_>>) {
         ready: Vec<usize>,
         completed: usize,
     }
-    let ready: Vec<usize> = indeg
-        .iter()
-        .enumerate()
-        .filter(|(_, &d)| d == 0)
-        .map(|(i, _)| i)
-        .collect();
+    let ready: Vec<usize> =
+        indeg.iter().enumerate().filter(|(_, &d)| d == 0).map(|(i, _)| i).collect();
     assert!(!ready.is_empty(), "task graph has no source — dependency cycle");
 
     let state = Mutex::new(State {
@@ -93,7 +89,7 @@ pub fn run_task_graph(threads: usize, tasks: Vec<GraphTask<'_>>) {
             let dependents = &dependents;
             s.spawn(move || loop {
                 let (idx, run) = {
-                    let mut st = state.lock();
+                    let mut st = state.lock().unwrap();
                     loop {
                         if st.completed == n {
                             return;
@@ -103,11 +99,11 @@ pub fn run_task_graph(threads: usize, tasks: Vec<GraphTask<'_>>) {
                             let run = st.slots[idx].take().expect("task taken once");
                             break (idx, run);
                         }
-                        cv.wait(&mut st);
+                        st = cv.wait(st).unwrap();
                     }
                 };
                 run();
-                let mut st = state.lock();
+                let mut st = state.lock().unwrap();
                 st.completed += 1;
                 for &d in &dependents[idx] {
                     st.indeg[d] -= 1;
@@ -120,7 +116,7 @@ pub fn run_task_graph(threads: usize, tasks: Vec<GraphTask<'_>>) {
         }
     });
 
-    let st = state.lock();
+    let st = state.lock().unwrap();
     assert_eq!(st.completed, n, "dependency cycle left {} task(s) unrun", n - st.completed);
 }
 

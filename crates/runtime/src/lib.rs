@@ -12,7 +12,7 @@
 //! - [`forkjoin`] — fork/join (`join`, `join4`) and a dependency-counting
 //!   task-graph scheduler (master/worker) for fork/worker/barrier
 //!   classifications;
-//! - [`pool`] — a crossbeam-deque work-stealing thread pool for `'static`
+//! - [`pool`] — a std-only work-stealing thread pool for `'static`
 //!   task loads.
 //!
 //! All executors are correctness-tested against their sequential

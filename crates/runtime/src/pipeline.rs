@@ -7,7 +7,7 @@
 //! completed-prefix tracker handles out-of-order completion when the
 //! producer stage itself runs do-all in parallel.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 /// The dependence specification of a two-stage multi-loop pipeline,
 /// typically taken from a `parpat_core::PipelineReport`.
@@ -66,7 +66,7 @@ impl PrefixTracker {
 
     /// Mark iteration `i` complete and advance the watermark.
     pub fn complete(&self, i: u64) {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().unwrap();
         st.done[i as usize] = true;
         let mut advanced = false;
         while (st.prefix as usize) < st.done.len() && st.done[st.prefix as usize] {
@@ -80,15 +80,15 @@ impl PrefixTracker {
 
     /// Current watermark (completed-prefix length).
     pub fn watermark(&self) -> u64 {
-        self.inner.lock().prefix
+        self.inner.lock().unwrap().prefix
     }
 
     /// Block until at least `k + 1` iterations are complete (i.e. iteration
     /// `k` is covered by the watermark).
     pub fn wait_for(&self, k: u64) {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().unwrap();
         while st.prefix <= k {
-            self.cv.wait(&mut st);
+            st = self.cv.wait(st).unwrap();
         }
     }
 }
@@ -202,8 +202,8 @@ mod tests {
                 b[j as usize].store(v + 1, Ordering::SeqCst);
             },
         );
-        for j in 0..n {
-            assert_eq!(b[j].load(Ordering::SeqCst), (j as u64) * 2 + 1);
+        for (j, bj) in b.iter().enumerate().take(n) {
+            assert_eq!(bj.load(Ordering::SeqCst), (j as u64) * 2 + 1);
         }
     }
 

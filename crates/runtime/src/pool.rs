@@ -1,25 +1,34 @@
 //! A work-stealing thread pool.
 //!
-//! Classic deque-per-worker design on `crossbeam-deque`: submitted tasks go
-//! to a global injector; each worker drains its local deque first (filled in
+//! Classic deque-per-worker design, std-only: submitted tasks go to a
+//! global injector; each worker drains its local deque first (refilled in
 //! batches from the injector), then steals from siblings. A pending-task
 //! counter with a condvar supports `wait_idle`, which also covers tasks
 //! spawned transitively from inside other tasks.
 //!
+//! The deques are `Mutex<VecDeque>`s rather than lock-free ring buffers;
+//! the batched injector refill keeps lock traffic at one acquisition per
+//! `STEAL_BATCH` tasks on the hot path, which is plenty for the
+//! coarse-grained task loads this workspace schedules (whole-program
+//! analyses, chunked loop bodies).
+//!
 //! The pool runs `'static` tasks; the pattern executors in this crate use
 //! `std::thread::scope` when they need to borrow caller data.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use crossbeam::deque::{Injector, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// How many tasks a worker moves from the injector to its local deque per
+/// refill.
+const STEAL_BATCH: usize = 16;
+
 struct Shared {
-    injector: Injector<Task>,
-    stealers: Vec<Stealer<Task>>,
+    injector: Mutex<VecDeque<Task>>,
+    /// One deque per worker; owners pop the back, thieves steal the front.
+    queues: Vec<Mutex<VecDeque<Task>>>,
     pending: AtomicUsize,
     shutdown: AtomicBool,
     idle_lock: Mutex<()>,
@@ -40,11 +49,9 @@ impl ThreadPool {
     /// Spawn a pool with `threads` workers (at least 1).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
-        let stealers = workers.iter().map(|w| w.stealer()).collect();
         let shared = Arc::new(Shared {
-            injector: Injector::new(),
-            stealers,
+            injector: Mutex::new(VecDeque::new()),
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             idle_lock: Mutex::new(()),
@@ -53,12 +60,12 @@ impl ThreadPool {
             work_cv: Condvar::new(),
         });
         let mut handles = Vec::with_capacity(threads);
-        for (i, local) in workers.into_iter().enumerate() {
+        for i in 0..threads {
             let shared = Arc::clone(&shared);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("parpat-worker-{i}"))
-                    .spawn(move || worker_loop(shared, local))
+                    .spawn(move || worker_loop(shared, i))
                     .expect("spawn pool worker"),
             );
         }
@@ -73,16 +80,16 @@ impl ThreadPool {
     /// Submit a task (safe to call from inside another pool task).
     pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.shared.injector.push(Box::new(f));
+        self.shared.injector.lock().unwrap().push_back(Box::new(f));
         self.shared.work_cv.notify_all();
     }
 
     /// Block until every submitted task (including transitively spawned
     /// ones) has finished.
     pub fn wait_idle(&self) {
-        let mut guard = self.shared.idle_lock.lock();
+        let mut guard = self.shared.idle_lock.lock().unwrap();
         while self.shared.pending.load(Ordering::SeqCst) != 0 {
-            self.shared.idle_cv.wait(&mut guard);
+            guard = self.shared.idle_cv.wait(guard).unwrap();
         }
     }
 
@@ -103,12 +110,12 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, local: Worker<Task>) {
+fn worker_loop(shared: Arc<Shared>, me: usize) {
     loop {
-        if let Some(task) = find_task(&shared, &local) {
+        if let Some(task) = find_task(&shared, me) {
             task();
             if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-                let _g = shared.idle_lock.lock();
+                let _g = shared.idle_lock.lock().unwrap();
                 shared.idle_cv.notify_all();
             }
             continue;
@@ -118,33 +125,40 @@ fn worker_loop(shared: Arc<Shared>, local: Worker<Task>) {
         }
         // Park until new work or shutdown (with a timeout so a lost wakeup
         // can never hang the pool).
-        let mut guard = shared.work_lock.lock();
+        let guard = shared.work_lock.lock().unwrap();
         if shared.pending.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
-            shared
-                .work_cv
-                .wait_for(&mut guard, std::time::Duration::from_millis(1));
+            let _ =
+                shared.work_cv.wait_timeout(guard, std::time::Duration::from_millis(1)).unwrap();
         }
     }
 }
 
-fn find_task(shared: &Shared, local: &Worker<Task>) -> Option<Task> {
-    if let Some(t) = local.pop() {
+fn find_task(shared: &Shared, me: usize) -> Option<Task> {
+    // Local deque first (LIFO for cache affinity).
+    if let Some(t) = shared.queues[me].lock().unwrap().pop_back() {
         return Some(t);
     }
-    loop {
-        match shared.injector.steal_batch_and_pop(local) {
-            crossbeam::deque::Steal::Success(t) => return Some(t),
-            crossbeam::deque::Steal::Empty => break,
-            crossbeam::deque::Steal::Retry => continue,
+    // Refill from the injector in a batch, keeping one to run now.
+    {
+        let mut injector = shared.injector.lock().unwrap();
+        if let Some(t) = injector.pop_front() {
+            let mut local = shared.queues[me].lock().unwrap();
+            for _ in 0..STEAL_BATCH - 1 {
+                match injector.pop_front() {
+                    Some(extra) => local.push_back(extra),
+                    None => break,
+                }
+            }
+            return Some(t);
         }
     }
-    for stealer in &shared.stealers {
-        loop {
-            match stealer.steal() {
-                crossbeam::deque::Steal::Success(t) => return Some(t),
-                crossbeam::deque::Steal::Empty => break,
-                crossbeam::deque::Steal::Retry => continue,
-            }
+    // Steal the oldest task from a sibling.
+    for (i, queue) in shared.queues.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        if let Some(t) = queue.lock().unwrap().pop_front() {
+            return Some(t);
         }
     }
     None

@@ -5,7 +5,7 @@
 //! operation must be associative (the paper leaves verifying that to the
 //! programmer; this API encodes it in the contract of `combine`).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Reduce `0..n`: each index is mapped by `map`, results are folded with
 /// `fold` into per-thread accumulators starting from `identity`, and the
@@ -50,11 +50,11 @@ where
                 for i in start..end {
                     acc = fold(acc, map(i));
                 }
-                partials.lock().push(acc);
+                partials.lock().unwrap().push(acc);
             });
         }
     });
-    let mut parts = partials.into_inner();
+    let mut parts = partials.into_inner().unwrap();
     let mut acc = identity;
     // Combine in deterministic (arbitrary but fixed) order.
     while let Some(p) = parts.pop() {

@@ -92,7 +92,12 @@ pub fn simulate(graph: &TaskGraph, workers: usize, per_task_overhead: f64) -> Si
     let n = graph.tasks.len();
     let sequential = graph.sequential_cost();
     if n == 0 {
-        return SimResult { makespan: 0.0, sequential, speedup: 1.0, worker_busy: vec![0.0; workers] };
+        return SimResult {
+            makespan: 0.0,
+            sequential,
+            speedup: 1.0,
+            worker_busy: vec![0.0; workers],
+        };
     }
 
     // Dependents and in-degrees.

@@ -28,12 +28,7 @@ pub struct Sweep {
 impl Sweep {
     /// Run `f` for every thread count.
     pub fn run(threads: &[usize], mut f: impl FnMut(usize) -> SimResult) -> Self {
-        Sweep {
-            points: threads
-                .iter()
-                .map(|&t| SweepPoint { threads: t, result: f(t) })
-                .collect(),
-        }
+        Sweep { points: threads.iter().map(|&t| SweepPoint { threads: t, result: f(t) }).collect() }
     }
 
     /// The best point (highest speedup; earliest thread count on ties, as a
@@ -91,9 +86,8 @@ mod tests {
 
     #[test]
     fn render_lists_every_point() {
-        let sweep = Sweep::run(&[1, 2], |t| {
-            simulate(&doall(64, 10.0, t, Overheads::default()), t, 0.0)
-        });
+        let sweep =
+            Sweep::run(&[1, 2], |t| simulate(&doall(64, 10.0, t, Overheads::default()), t, 0.0));
         assert_eq!(sweep.render().lines().count(), 2);
     }
 }

@@ -1,7 +1,6 @@
-//! Property tests for the pattern-shaped graph builders: work conservation,
-//! dependence sanity, and monotonicity in workers.
-
-use proptest::prelude::*;
+//! Randomized tests for the pattern-shaped graph builders: work
+//! conservation, dependence sanity, and monotonicity in workers. Cases are
+//! drawn with a seeded xorshift PRNG (std-only).
 
 use parpat_sim::{
     doall, fused_doall, geometric, pipeline, reduction, simulate, two_doalls, Overheads,
@@ -10,38 +9,70 @@ use parpat_sim::{
 
 const OV: Overheads = Overheads { per_task: 5.0, sync: 10.0 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Minimal xorshift64* PRNG.
+struct Rng(u64);
 
-    /// A do-all graph's chunk tasks carry exactly the total work.
-    #[test]
-    fn doall_conserves_work(n in 1u64..5000, cost in 1u32..50, workers in 1usize..33) {
-        let cost = cost as f64;
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+}
+
+/// A do-all graph's chunk tasks carry exactly the total work.
+#[test]
+fn doall_conserves_work() {
+    let mut rng = Rng::new(0x51A_0001);
+    for _ in 0..64 {
+        let n = rng.range(1, 5000);
+        let cost = rng.range(1, 50) as f64;
+        let workers = rng.range(1, 33) as usize;
         let g = doall(n, cost, workers, OV);
         // Total = chunks' work + one barrier task of OV.sync.
         let seq = g.sequential_cost();
-        prop_assert!((seq - (n as f64 * cost + OV.sync)).abs() < 1e-6);
+        assert!((seq - (n as f64 * cost + OV.sync)).abs() < 1e-6);
         // Chunk count never exceeds workers (or iterations).
-        prop_assert!(g.tasks.len() as u64 <= (workers as u64).min(n) + 1);
+        assert!(g.tasks.len() as u64 <= (workers as u64).min(n) + 1);
     }
+}
 
-    /// Reduction graphs have exactly leaves + (leaves − 1) combine tasks.
-    #[test]
-    fn reduction_tree_shape(n in 1u64..2000, workers in 1usize..17) {
+/// Reduction graphs have exactly leaves + (leaves − 1) combine tasks.
+#[test]
+fn reduction_tree_shape() {
+    let mut rng = Rng::new(0x51A_0002);
+    for _ in 0..64 {
+        let n = rng.range(1, 2000);
+        let workers = rng.range(1, 17) as usize;
         let g = reduction(n, 2.0, 3.0, workers, OV);
         let leaves = (workers as u64).min(n) as usize;
-        prop_assert_eq!(g.tasks.len(), leaves + (leaves - 1));
+        assert_eq!(g.tasks.len(), leaves + (leaves - 1));
     }
+}
 
-    /// Pipeline block graphs cover all iterations of both stages.
-    #[test]
-    fn pipeline_blocks_cover_iterations(
-        nx in 1u64..2000,
-        ny in 1u64..2000,
-        blocks in 1usize..65,
-        x_doall in any::<bool>(),
-        y_doall in any::<bool>(),
-    ) {
+/// Pipeline block graphs cover all iterations of both stages.
+#[test]
+fn pipeline_blocks_cover_iterations() {
+    let mut rng = Rng::new(0x51A_0003);
+    for _ in 0..64 {
+        let nx = rng.range(1, 2000);
+        let ny = rng.range(1, 2000);
+        let blocks = rng.range(1, 65) as usize;
         let shape = PipelineShape {
             a: 1.0,
             b: 0.0,
@@ -49,45 +80,66 @@ proptest! {
             ny,
             cost_x: 1.0,
             cost_y: 1.0,
-            x_doall,
-            y_doall,
+            x_doall: rng.below(2) == 0,
+            y_doall: rng.below(2) == 0,
         };
         let g = pipeline(shape, OV, blocks);
         // Producer work = nx, consumer work = ny (+ sync per consumer block).
         let total_cost = g.sequential_cost();
-        prop_assert!(total_cost >= (nx + ny) as f64);
+        assert!(total_cost >= (nx + ny) as f64);
         // No consumer block may depend on a task that does not exist.
         for t in &g.tasks {
             for &d in &t.deps {
-                prop_assert!(d < g.tasks.len());
+                assert!(d < g.tasks.len());
             }
         }
     }
+}
 
-    /// The fused graph never loses to the unfused one at equal workers
-    /// (fusion removes a barrier and a dispatch round).
-    #[test]
-    fn fusion_dominates_unfused(n in 8u64..2000, c1 in 1u32..20, c2 in 1u32..20, workers in 1usize..17) {
-        let (c1, c2) = (c1 as f64, c2 as f64);
+/// The fused graph never loses to the unfused one at equal workers (fusion
+/// removes a barrier and a dispatch round).
+#[test]
+fn fusion_dominates_unfused() {
+    let mut rng = Rng::new(0x51A_0004);
+    for _ in 0..64 {
+        let n = rng.range(8, 2000);
+        let c1 = rng.range(1, 20) as f64;
+        let c2 = rng.range(1, 20) as f64;
+        let workers = rng.range(1, 17) as usize;
         let fused = simulate(&fused_doall(n, c1, c2, workers, OV), workers, OV.per_task);
         let unfused = simulate(&two_doalls(n, c1, n, c2, workers, OV), workers, OV.per_task);
-        prop_assert!(fused.makespan <= unfused.makespan + 1e-6,
-            "fused {} vs unfused {}", fused.makespan, unfused.makespan);
+        assert!(
+            fused.makespan <= unfused.makespan + 1e-6,
+            "fused {} vs unfused {}",
+            fused.makespan,
+            unfused.makespan
+        );
     }
+}
 
-    /// Geometric decomposition speedup is bounded by the chunk count and by
-    /// the worker count.
-    #[test]
-    fn geometric_speedup_bounds(chunks in 1u64..64, cost in 10u32..1000, workers in 1usize..64) {
-        let g = geometric(chunks, cost as f64, OV);
+/// Geometric decomposition speedup is bounded by the chunk count and by the
+/// worker count.
+#[test]
+fn geometric_speedup_bounds() {
+    let mut rng = Rng::new(0x51A_0005);
+    for _ in 0..64 {
+        let chunks = rng.range(1, 64);
+        let cost = rng.range(10, 1000) as f64;
+        let workers = rng.range(1, 64) as usize;
+        let g = geometric(chunks, cost, OV);
         let r = simulate(&g, workers, OV.per_task);
-        prop_assert!(r.speedup <= chunks as f64 + 1.0);
-        prop_assert!(r.speedup <= workers as f64 + 1.0);
+        assert!(r.speedup <= chunks as f64 + 1.0);
+        assert!(r.speedup <= workers as f64 + 1.0);
     }
+}
 
-    /// More workers never hurt any pattern graph.
-    #[test]
-    fn workers_are_monotone(n in 8u64..1000, workers in 1usize..16) {
+/// More workers never hurt any pattern graph.
+#[test]
+fn workers_are_monotone() {
+    let mut rng = Rng::new(0x51A_0006);
+    for _ in 0..64 {
+        let n = rng.range(8, 1000);
+        let workers = rng.range(1, 16) as usize;
         for g in [
             doall(n, 5.0, workers, OV),
             reduction(n, 5.0, 2.0, workers, OV),
@@ -95,7 +147,7 @@ proptest! {
         ] {
             let base = simulate(&g, workers, OV.per_task);
             let more = simulate(&g, workers * 2, OV.per_task);
-            prop_assert!(more.makespan <= base.makespan + 1e-6);
+            assert!(more.makespan <= base.makespan + 1e-6);
         }
     }
 }

@@ -120,20 +120,12 @@ mod tests {
         // `s[j]` is rewritten across iterations of the *outer* i loop; the
         // report for var `s` must exist on a loop whose line is the outer
         // loop's (line 7 of the model).
-        let s_loops: Vec<u32> = analysis
-            .reductions
-            .iter()
-            .filter(|r| r.var == "s")
-            .map(|r| r.loop_line)
-            .collect();
+        let s_loops: Vec<u32> =
+            analysis.reductions.iter().filter(|r| r.var == "s").map(|r| r.loop_line).collect();
         assert!(s_loops.contains(&7), "{s_loops:?}");
         // `q[i]` accumulates across the inner j loop (line 8).
-        let q_loops: Vec<u32> = analysis
-            .reductions
-            .iter()
-            .filter(|r| r.var == "q")
-            .map(|r| r.loop_line)
-            .collect();
+        let q_loops: Vec<u32> =
+            analysis.reductions.iter().filter(|r| r.var == "q").map(|r| r.loop_line).collect();
         assert!(q_loops.contains(&8), "{q_loops:?}");
     }
 

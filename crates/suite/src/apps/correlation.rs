@@ -105,9 +105,7 @@ pub fn par_fused(threads: usize, data: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
 
 /// Deterministic input matrix.
 pub fn input(n: usize, m: usize) -> Vec<Vec<f64>> {
-    (0..n)
-        .map(|i| (0..m).map(|j| ((i * 7 + j * 3) % 13) as f64).collect())
-        .collect()
+    (0..n).map(|i| (0..m).map(|j| ((i * 7 + j * 3) % 13) as f64).collect()).collect()
 }
 
 #[cfg(test)]

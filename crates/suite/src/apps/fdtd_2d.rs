@@ -135,10 +135,8 @@ mod tests {
         assert_eq!(graph.nodes.len(), 4);
         let barrier = graph.nodes[3];
         assert_eq!(report.marks[&barrier], CuMark::Barrier);
-        let workers = graph.nodes[..3]
-            .iter()
-            .filter(|c| report.marks[c] != CuMark::Barrier)
-            .count();
+        let workers =
+            graph.nodes[..3].iter().filter(|c| report.marks[c] != CuMark::Barrier).count();
         assert_eq!(workers, 3);
         // Table V: estimated speedup 2.17.
         assert!(report.estimated_speedup > 1.7, "got {}", report.estimated_speedup);

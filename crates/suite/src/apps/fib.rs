@@ -63,14 +63,10 @@ mod tests {
     #[test]
     fn model_detects_two_independent_call_tasks() {
         let analysis = app().analyze().unwrap();
-        let report = analysis
-            .tasks
-            .iter()
-            .zip(&analysis.graphs)
-            .find(|(_, g)| {
-                matches!(g.region, parpat_cu::RegionId::FuncBody(f)
+        let report = analysis.tasks.iter().zip(&analysis.graphs).find(|(_, g)| {
+            matches!(g.region, parpat_cu::RegionId::FuncBody(f)
                     if analysis.ir.functions[f].name == "fib")
-            });
+        });
         let (report, graph) = report.expect("task report for fib region");
         // The final return is a barrier; the two recursive-call CUs are not
         // connected to each other.

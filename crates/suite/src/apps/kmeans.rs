@@ -178,11 +178,7 @@ mod tests {
     #[test]
     fn model_reports_cluster_as_geometric_decomposition() {
         let analysis = app().analyze().unwrap();
-        assert!(
-            analysis.geodecomp.iter().any(|g| g.name == "cluster"),
-            "{:?}",
-            analysis.geodecomp
-        );
+        assert!(analysis.geodecomp.iter().any(|g| g.name == "cluster"), "{:?}", analysis.geodecomp);
     }
 
     #[test]

@@ -61,8 +61,7 @@ pub fn app() -> App {
 }
 
 fn safe(board: &[usize], row: usize, col: usize) -> bool {
-    for r in 0..row {
-        let c = board[r];
+    for (r, &c) in board.iter().enumerate().take(row) {
         if c == col {
             return false;
         }

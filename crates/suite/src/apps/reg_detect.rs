@@ -62,8 +62,7 @@ pub fn par(threads: usize, n: usize) -> Vec<f64> {
     use std::sync::atomic::{AtomicU64, Ordering};
     let mean: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let path: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-    let spec =
-        PipelineSpec { a: 1.0, b: -1.0, nx: (n - 1) as u64, ny: (n - 2) as u64 };
+    let spec = PipelineSpec { a: 1.0, b: -1.0, nx: (n - 1) as u64, ny: (n - 2) as u64 };
     run_two_stage(
         spec,
         threads,

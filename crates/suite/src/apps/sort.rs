@@ -180,10 +180,7 @@ mod tests {
             .parallel_barriers
             .iter()
             .any(|&(a, b)| (a, b) == (merges[0], merges[1]) || (a, b) == (merges[1], merges[0])));
-        assert!(!report
-            .parallel_barriers
-            .iter()
-            .any(|&(a, b)| a == merges[2] || b == merges[2]));
+        assert!(!report.parallel_barriers.iter().any(|&(a, b)| a == merges[2] || b == merges[2]));
     }
 
     #[test]

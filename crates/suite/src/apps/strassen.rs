@@ -58,17 +58,11 @@ pub fn app() -> App {
 pub type Matrix = Vec<Vec<f64>>;
 
 fn add(a: &Matrix, b: &Matrix) -> Matrix {
-    a.iter()
-        .zip(b)
-        .map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| x + y).collect())
-        .collect()
+    a.iter().zip(b).map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| x + y).collect()).collect()
 }
 
 fn sub(a: &Matrix, b: &Matrix) -> Matrix {
-    a.iter()
-        .zip(b)
-        .map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| x - y).collect())
-        .collect()
+    a.iter().zip(b).map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| x - y).collect()).collect()
 }
 
 /// Naive O(n³) product (the base case and the correctness oracle).
@@ -156,9 +150,7 @@ fn strassen_impl(a: &Matrix, b: &Matrix, cutoff: usize, parallel: bool) -> Matri
 
 /// Deterministic input matrix.
 pub fn input(n: usize, seed: usize) -> Matrix {
-    (0..n)
-        .map(|i| (0..n).map(|j| ((i * 5 + j * 3 + seed) % 7) as f64 - 3.0).collect())
-        .collect()
+    (0..n).map(|i| (0..n).map(|j| ((i * 5 + j * 3 + seed) % 7) as f64 - 3.0).collect()).collect()
 }
 
 #[cfg(test)]
@@ -195,8 +187,7 @@ mod tests {
             .nodes
             .iter()
             .copied()
-            .filter(|&c| matches!(&analysis.cus.cus[c].kind, CuKind::LoopStmt { .. }))
-            .last()
+            .rfind(|&c| matches!(&analysis.cus.cus[c].kind, CuKind::LoopStmt { .. }))
             .expect("combine loop CU");
         assert_eq!(report.marks[&combine], CuMark::Barrier);
         // Estimated speedup is in the paper's ballpark (3.5).

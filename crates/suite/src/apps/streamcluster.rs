@@ -11,7 +11,7 @@
 
 use crate::{App, ExpectedPattern, Suite};
 use parpat_runtime::parallel_for_chunks;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Points per round in the model.
 pub const POINTS: usize = 64;
@@ -74,9 +74,9 @@ pub fn par_local_search(threads: usize, points: &[f64], weight: &[f64]) -> f64 {
     let partials = Mutex::new(Vec::new());
     parallel_for_chunks(threads, points.len(), |start, end| {
         let local = seq_local_search(&points[start..end], &weight[start..end]);
-        partials.lock().push(local);
+        partials.lock().unwrap().push(local);
     });
-    partials.into_inner().into_iter().sum()
+    partials.into_inner().unwrap().into_iter().sum()
 }
 
 /// Deterministic inputs.
@@ -113,10 +113,7 @@ mod tests {
             .find(|(_, m)| !m.is_for)
             .map(|(i, _)| i as parpat_ir::LoopId)
             .expect("stream while loop");
-        assert_eq!(
-            analysis.loop_classes[&while_loop],
-            parpat_core::LoopClass::Sequential
-        );
+        assert_eq!(analysis.loop_classes[&while_loop], parpat_core::LoopClass::Sequential);
     }
 
     #[test]

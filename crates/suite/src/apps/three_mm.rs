@@ -149,11 +149,7 @@ mod tests {
         // The three outermost nest loops: every loop in the kernel should be
         // do-all or reduction (the k loops are reductions into s).
         for (l, class) in &analysis.loop_classes {
-            assert_ne!(
-                *class,
-                parpat_core::LoopClass::Sequential,
-                "loop {l} is sequential"
-            );
+            assert_ne!(*class, parpat_core::LoopClass::Sequential, "loop {l} is sequential");
         }
     }
 

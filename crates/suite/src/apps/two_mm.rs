@@ -91,12 +91,7 @@ pub fn seq(a: &[Vec<f64>], b: &[Vec<f64>], c: &[Vec<f64>]) -> Vec<Vec<f64>> {
 
 /// Parallel kernel implementing the detected fusion: one do-all over rows;
 /// each row computes its `tmp` row and immediately its `D` row.
-pub fn par_fused(
-    threads: usize,
-    a: &[Vec<f64>],
-    b: &[Vec<f64>],
-    c: &[Vec<f64>],
-) -> Vec<Vec<f64>> {
+pub fn par_fused(threads: usize, a: &[Vec<f64>], b: &[Vec<f64>], c: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let n = a.len();
     let m = c[0].len();
     let inner = b[0].len();
@@ -127,7 +122,7 @@ pub fn par_fused(
 }
 
 /// Deterministic inputs.
-pub fn input(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+pub fn input(n: usize) -> (Matrix, Matrix, Matrix) {
     let a = (0..n).map(|i| (0..n).map(|j| ((i + j) % 4) as f64).collect()).collect();
     let b = (0..n).map(|i| (0..n).map(|j| ((i * j) % 5) as f64).collect()).collect();
     let c = (0..n).map(|i| (0..n).map(|j| ((i + 2 * j) % 3) as f64).collect()).collect();

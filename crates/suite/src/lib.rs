@@ -147,10 +147,7 @@ pub fn synthetic_apps() -> Vec<App> {
 
 /// Look up an app by name across both lists.
 pub fn app_named(name: &str) -> Option<App> {
-    all_apps()
-        .into_iter()
-        .chain(synthetic_apps())
-        .find(|a| a.name == name)
+    all_apps().into_iter().chain(synthetic_apps()).find(|a| a.name == name)
 }
 
 /// Average dynamic cost of one iteration of loop `l` (inclusive subtree

@@ -8,8 +8,8 @@
 
 use parpat_core::Analysis;
 use parpat_sim::{
-    doall, fused_doall, geometric, pipeline, reduction, simulate, Overheads, PipelineShape,
-    Sweep, TaskGraph, PAPER_THREADS,
+    doall, fused_doall, geometric, pipeline, reduction, simulate, Overheads, PipelineShape, Sweep,
+    TaskGraph, PAPER_THREADS,
 };
 
 use crate::{loop_cost_per_iter, App, ExpectedPattern};
@@ -85,12 +85,7 @@ fn pipeline_graph(analysis: &Analysis, workers: usize, ov: Overheads) -> TaskGra
 
 fn fusion_graph(analysis: &Analysis, workers: usize, ov: Overheads) -> TaskGraph {
     let f = analysis.fusions.first().expect("a fusion was detected");
-    let n = analysis
-        .profile
-        .loop_stats
-        .get(&f.x)
-        .map(|s| s.max_iterations)
-        .unwrap_or(0);
+    let n = analysis.profile.loop_stats.get(&f.x).map(|s| s.max_iterations).unwrap_or(0);
     fused_doall(
         n,
         loop_cost_per_iter(analysis, f.x),
@@ -116,22 +111,23 @@ pub fn unfused_graph(analysis: &Analysis, workers: usize) -> TaskGraph {
     )
 }
 
-fn tasks_graph(analysis: &Analysis, workers: usize, ov: Overheads, expand_doall: bool) -> TaskGraph {
+fn tasks_graph(
+    analysis: &Analysis,
+    workers: usize,
+    ov: Overheads,
+    expand_doall: bool,
+) -> TaskGraph {
     // Use the hotspot region with the highest estimated speedup.
     let (report, graph) = analysis
         .tasks
         .iter()
         .zip(&analysis.graphs)
-        .max_by(|a, b| {
-            a.0.estimated_speedup
-                .partial_cmp(&b.0.estimated_speedup)
-                .expect("finite")
-        })
+        .max_by(|a, b| a.0.estimated_speedup.partial_cmp(&b.0.estimated_speedup).expect("finite"))
         .expect("a task report exists");
     let _ = report; // selection needed the report's estimated speedup only
-    // CU weights + forward edges, optionally expanding do-all loop vertices
-    // into `workers` chunk subtasks (the paper's combined task + do-all
-    // implementations for 3mm/mvt).
+                    // CU weights + forward edges, optionally expanding do-all loop vertices
+                    // into `workers` chunk subtasks (the paper's combined task + do-all
+                    // implementations for 3mm/mvt).
     let order_of: std::collections::HashMap<_, _> =
         graph.nodes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     let mut g = TaskGraph::new();
@@ -153,9 +149,8 @@ fn tasks_graph(analysis: &Analysis, workers: usize, ov: Overheads, expand_doall:
                         Some(parpat_core::LoopClass::DoAll) | Some(parpat_core::LoopClass::Reduction)));
         if expand_doall && is_doall_loop && workers > 1 {
             let chunks = workers.min(16);
-            let ids: Vec<usize> = (0..chunks)
-                .map(|_| g.add(weight / chunks as f64, deps.clone()))
-                .collect();
+            let ids: Vec<usize> =
+                (0..chunks).map(|_| g.add(weight / chunks as f64, deps.clone())).collect();
             unit_tasks.push(ids);
         } else {
             unit_tasks.push(vec![g.add(weight.max(1.0), deps)]);
@@ -208,11 +203,8 @@ pub fn unit_vectors(analysis: &Analysis, region_idx: usize) -> (Vec<f64>, Vec<(u
     let graph = &analysis.graphs[region_idx];
     let order_of: std::collections::HashMap<_, _> =
         graph.nodes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-    let weights: Vec<f64> = graph
-        .nodes
-        .iter()
-        .map(|c| graph.weights.get(c).copied().unwrap_or(0.0))
-        .collect();
+    let weights: Vec<f64> =
+        graph.nodes.iter().map(|c| graph.weights.get(c).copied().unwrap_or(0.0)).collect();
     let mut edges = Vec::new();
     for &(s, t) in &graph.edges {
         let (si, ti) = (order_of[&s], order_of[&t]);

@@ -16,10 +16,7 @@ fn main() {
 
     println!("=== ludcmp: multi-loop pipeline (paper Table IV row 1) ===\n");
     for p in &analysis.pipelines {
-        println!(
-            "detected pipeline between loop@line {} and loop@line {}:",
-            p.x_line, p.y_line
-        );
+        println!("detected pipeline between loop@line {} and loop@line {}:", p.x_line, p.y_line);
         println!("  a = {:.3}   (paper: 1)", p.a);
         println!("  b = {:.3}   (paper: 0)", p.b);
         println!("  e = {:.3}   (paper: 1)", p.e);

@@ -51,8 +51,7 @@ fn main() {
 }";
 
 fn main() {
-    let analysis =
-        analyze_source(PROGRAM, &AnalysisConfig::default()).expect("program analyzes");
+    let analysis = analyze_source(PROGRAM, &AnalysisConfig::default()).expect("program analyzes");
 
     println!("=== parpat quickstart ===\n");
     println!("{}", analysis.summary());

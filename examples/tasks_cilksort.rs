@@ -29,10 +29,7 @@ fn main() {
     let barriers = report.marks.values().filter(|m| **m == CuMark::Barrier).count();
     println!("workers: {workers} (paper: the 4 recursive sorts)");
     println!("barriers: {barriers} (paper: the 3 merges)");
-    println!(
-        "estimated speedup: {:.2} (paper Table V: 2.11)",
-        report.estimated_speedup
-    );
+    println!("estimated speedup: {:.2} (paper Table V: 2.11)", report.estimated_speedup);
 
     // Execute the fork/join implementation and verify.
     let mut data = sort::input(4096);

@@ -40,8 +40,7 @@ fn main() {
 }";
 
 fn main() {
-    let analysis =
-        analyze_source(PROGRAM, &AnalysisConfig::default()).expect("program analyzes");
+    let analysis = analyze_source(PROGRAM, &AnalysisConfig::default()).expect("program analyzes");
 
     println!("=== ranked patterns ===");
     let ranked = rank_patterns(&analysis, &RankConfig::default());
@@ -49,10 +48,8 @@ fn main() {
 
     println!("\n=== pipeline chains (Section III-A) ===");
     for chain in pipeline_chains(&analysis.pipelines) {
-        let lines: Vec<String> = chain
-            .iter()
-            .map(|&l| format!("line {}", analysis.ir.loops[l as usize].line))
-            .collect();
+        let lines: Vec<String> =
+            chain.iter().map(|&l| format!("line {}", analysis.ir.loops[l as usize].line)).collect();
         println!("{}-stage chain: {}", chain.len(), lines.join(" -> "));
     }
 
@@ -108,8 +105,8 @@ fn main() {
             }),
         ],
     );
-    for i in 0..n {
-        assert_eq!(dst[i].load(Ordering::SeqCst), (i as u64 % 29 + 1) * 3 + 7);
+    for (i, d) in dst.iter().enumerate().take(n) {
+        assert_eq!(d.load(Ordering::SeqCst), (i as u64 % 29 + 1) * 3 + 7);
     }
     println!("\n3-stage pipeline chain executed and verified ✓");
 }

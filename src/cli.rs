@@ -11,16 +11,25 @@ use parpat_core::{
 };
 
 /// Usage text printed on demand and on argument errors.
-pub const USAGE: &str = "parpat — parallel pattern detection in sequential programs (IPPS'16 reproduction)
+pub const USAGE: &str =
+    "parpat — parallel pattern detection in sequential programs (IPPS'16 reproduction)
 
 USAGE:
     parpat analyze <file.ml> [--hotspot <percent>]   full findings summary
     parpat suggest <file.ml> [--workers <n>] [--json]  ranked patterns + transformations
     parpat run <file.ml>                             execute the program, print stats
+    parpat batch <dir|apps> [--jobs <n>] [--cache-dir <d>] [--json]
+                                                     analyze every .ml file of a directory (or the
+                                                     bundled apps) in parallel with artifact caching
+    parpat stats [--cache-dir <d>] [--json]          per-stage stats persisted by the last batch
     parpat demo <app> [--json]                       analyze a bundled benchmark (e.g. sort, ludcmp)
     parpat apps                                      list the bundled benchmarks
     parpat dot <file.ml> [--region <function>]       Graphviz DOT of a region's classified CU graph
     parpat help                                      this text
+
+Batch runs default to the `.parpat-cache` cache directory (pass
+`--cache-dir none` for a purely in-memory cache); a warm second run skips
+every unchanged stage and says so in the stats.
 
 The input is a MiniLang program (see README / crates/minilang). The bundled
 benchmarks are the paper's 17 evaluation applications plus the two
@@ -33,14 +42,19 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("help") | None => Ok(USAGE.to_owned()),
         Some("analyze") => {
             let (path, opts) = split_opts(&args[1..])?;
-            let threshold = opt_value(&opts, "--hotspot")?
-                .map(|v| {
-                    v.parse::<f64>()
-                        .map(|p| p / 100.0)
-                        .map_err(|_| format!("invalid --hotspot value `{v}`"))
-                })
-                .transpose()?
-                .unwrap_or(0.1);
+            let threshold = match opt_value(&opts, "--hotspot")? {
+                Some(v) => {
+                    let pct: f64 =
+                        v.parse().map_err(|_| format!("invalid --hotspot value `{v}`"))?;
+                    if !pct.is_finite() || pct <= 0.0 || pct > 100.0 {
+                        return Err(format!(
+                            "--hotspot must be a percentage in (0, 100], got `{v}`"
+                        ));
+                    }
+                    pct / 100.0
+                }
+                None => 0.1,
+            };
             let src = read(&path)?;
             let cfg = AnalysisConfig { hotspot_threshold: threshold, ..Default::default() };
             let analysis = analyze_source(&src, &cfg).map_err(|e| e.to_string())?;
@@ -122,7 +136,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
         Some("apps") => {
             let mut out = String::new();
-            for app in parpat_suite::all_apps().iter().chain(parpat_suite::synthetic_apps().iter()) {
+            for app in parpat_suite::all_apps().iter().chain(parpat_suite::synthetic_apps().iter())
+            {
                 writeln!(out, "{:<14} {:<10} {}", app.name, app.suite.to_string(), app.expected)
                     .unwrap();
             }
@@ -172,16 +187,46 @@ pub fn run(args: &[String]) -> Result<String, String> {
             };
             Ok(parpat_cu::cu_graph_to_dot(graph, &analysis.cus, &path, &marks))
         }
+        Some("batch") => {
+            let (target, opts) = split_opts(&args[1..])?;
+            let jobs = match opt_value(&opts, "--jobs")? {
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("--jobs must be a positive integer, got `{v}`")),
+                },
+                None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            };
+            let inputs = batch_inputs(&target)?;
+            let engine = std::sync::Arc::new(
+                parpat_engine::Engine::new(parpat_engine::EngineConfig {
+                    cache_dir: cache_dir_opt(&opts)?,
+                    ..Default::default()
+                })
+                .map_err(|e| format!("cannot set up cache directory: {e}"))?,
+            );
+            let batch = engine.batch(inputs, jobs);
+            if opts.iter().any(|o| o == "--json") {
+                Ok(render_batch_json(&batch))
+            } else {
+                Ok(render_batch_text(&batch))
+            }
+        }
+        Some("stats") => {
+            let opts: Vec<String> = args[1..].to_vec();
+            let dir = cache_dir_opt(&opts)?
+                .ok_or_else(|| "`parpat stats` needs a cache directory".to_owned())?;
+            let file = if opts.iter().any(|o| o == "--json") { "stats.json" } else { "stats.txt" };
+            std::fs::read_to_string(dir.join(file)).map_err(|_| {
+                format!("no persisted stats under `{}` — run `parpat batch` first", dir.display())
+            })
+        }
         Some("run") => {
             let (path, _) = split_opts(&args[1..])?;
             let src = read(&path)?;
             let ir = parpat_ir::compile(&src).map_err(|e| e.to_string())?;
             let out = parpat_ir::run(&ir, &mut parpat_ir::event::NullObserver)
                 .map_err(|e| e.to_string())?;
-            Ok(format!(
-                "executed {} instructions; main returned {}",
-                out.insts, out.return_value
-            ))
+            Ok(format!("executed {} instructions; main returned {}", out.insts, out.return_value))
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -208,6 +253,97 @@ fn opt_value(opts: &[String], flag: &str) -> Result<Option<String>, String> {
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// Resolve `--cache-dir`: default `.parpat-cache`, literal `none` disables
+/// the disk tier.
+fn cache_dir_opt(opts: &[String]) -> Result<Option<std::path::PathBuf>, String> {
+    Ok(match opt_value(opts, "--cache-dir")? {
+        Some(v) if v == "none" => None,
+        Some(v) => Some(std::path::PathBuf::from(v)),
+        None => Some(std::path::PathBuf::from(".parpat-cache")),
+    })
+}
+
+/// Batch inputs: the bundled apps (`apps`) or every `.ml` file of a
+/// directory, sorted by name for deterministic ordering.
+fn batch_inputs(target: &str) -> Result<Vec<parpat_engine::BatchInput>, String> {
+    if target == "apps" {
+        return Ok(parpat_suite::all_apps()
+            .iter()
+            .map(|a| parpat_engine::BatchInput {
+                name: a.name.to_owned(),
+                source: a.model.to_owned(),
+            })
+            .collect());
+    }
+    let entries =
+        std::fs::read_dir(target).map_err(|e| format!("cannot read directory `{target}`: {e}"))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ml"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .ml files in `{target}`"));
+    }
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p.to_string_lossy().into_owned();
+            read(&name).map(|source| parpat_engine::BatchInput { name, source })
+        })
+        .collect()
+}
+
+fn render_batch_text(batch: &parpat_engine::BatchReport) -> String {
+    let mut out = String::new();
+    for o in &batch.outcomes {
+        match &o.result {
+            Ok(r) => writeln!(
+                out,
+                "{:<14} ok    {:>10} insts  {} pipeline(s) {} fusion(s) {} reduction(s) {} geodecomp {} task region(s){}",
+                o.name,
+                r.insts,
+                r.pipelines,
+                r.fusions,
+                r.reductions,
+                r.geodecomp,
+                r.task_regions,
+                if o.fully_cached { "  [cached]" } else { "" }
+            )
+            .unwrap(),
+            Err(e) => writeln!(out, "{:<14} error {e}", o.name).unwrap(),
+        }
+    }
+    out.push('\n');
+    out.push_str(&batch.stats.render_text());
+    out
+}
+
+fn render_batch_json(batch: &parpat_engine::BatchReport) -> String {
+    let programs: Vec<String> = batch
+        .outcomes
+        .iter()
+        .map(|o| match &o.result {
+            Ok(r) => format!(
+                "{{\"name\": {}, \"ok\": true, \"cached\": {}, \"report\": {}}}",
+                json_str(&o.name),
+                o.fully_cached,
+                r.to_json()
+            ),
+            Err(e) => format!(
+                "{{\"name\": {}, \"ok\": false, \"error\": {}}}",
+                json_str(&o.name),
+                json_str(e)
+            ),
+        })
+        .collect();
+    format!(
+        "{{\"programs\": [{}], \"stats\": {}}}\n",
+        programs.join(", "),
+        batch.stats.render_json()
+    )
 }
 
 /// Escape a string for JSON output.
@@ -282,8 +418,7 @@ fn json_report(analysis: &parpat_core::Analysis) -> String {
 
     // Geometric decomposition.
     out.push_str("  \"geometric_decomposition\": [");
-    let items: Vec<String> =
-        analysis.geodecomp.iter().map(|g| json_str(&g.name)).collect();
+    let items: Vec<String> = analysis.geodecomp.iter().map(|g| json_str(&g.name)).collect();
     out.push_str(&items.join(", "));
     out.push_str("],\n");
 
@@ -386,6 +521,75 @@ fn main() {
         let out = run(&args(&["analyze", &path, "--hotspot", "1"])).unwrap();
         assert!(out.contains("hotspots"), "{out}");
         assert!(run(&args(&["analyze", &path, "--hotspot", "zap"])).is_err());
+    }
+
+    #[test]
+    fn analyze_rejects_out_of_range_hotspot() {
+        let path = write_temp("red4.ml", REDUCTION_SRC);
+        for bad in ["-5", "0", "150", "nan", "inf"] {
+            let err = run(&args(&["analyze", &path, "--hotspot", bad])).unwrap_err();
+            assert!(err.contains("(0, 100]"), "`{bad}` gave: {err}");
+        }
+        assert!(run(&args(&["analyze", &path, "--hotspot", "100"])).is_ok());
+    }
+
+    fn batch_dir() -> (String, String) {
+        let dir = std::env::temp_dir().join(format!("parpat-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("red.ml"), REDUCTION_SRC).expect("write");
+        std::fs::write(
+            dir.join("pipe.ml"),
+            "global a[64];\nglobal b[64];\nfn main() {\n    for i in 0..64 { a[i] = i * 2; }\n    for j in 0..64 { b[j] = a[j] + 1; }\n}",
+        )
+        .expect("write");
+        std::fs::write(dir.join("notes.txt"), "ignored").expect("write");
+        let cache = dir.join("cache").to_string_lossy().into_owned();
+        (dir.to_string_lossy().into_owned(), cache)
+    }
+
+    #[test]
+    fn batch_analyzes_directory_and_warm_run_is_cached() {
+        let (dir, cache) = batch_dir();
+        let cold = run(&args(&["batch", &dir, "--jobs", "2", "--cache-dir", &cache])).unwrap();
+        assert!(cold.contains("red.ml"), "{cold}");
+        assert!(cold.contains("pipe.ml"), "{cold}");
+        assert!(!cold.contains("notes.txt"), "{cold}");
+        assert!(cold.contains("=== engine stats ==="), "{cold}");
+
+        let warm = run(&args(&["batch", &dir, "--jobs", "2", "--cache-dir", &cache])).unwrap();
+        assert_eq!(warm.matches("[cached]").count(), 2, "{warm}");
+
+        // Persisted stats are readable afterwards, in both forms.
+        let stats = run(&args(&["stats", "--cache-dir", &cache])).unwrap();
+        assert!(stats.contains("=== engine stats ==="), "{stats}");
+        let stats_json = run(&args(&["stats", "--cache-dir", &cache, "--json"])).unwrap();
+        assert!(stats_json.contains("\"stages\""), "{stats_json}");
+    }
+
+    #[test]
+    fn batch_json_reports_programs_and_stats() {
+        let (dir, _) = batch_dir();
+        let out = run(&args(&["batch", &dir, "--cache-dir", "none", "--json"])).unwrap();
+        assert!(out.contains("\"programs\""), "{out}");
+        assert!(out.contains("\"stats\""), "{out}");
+        assert_eq!(out.matches('{').count(), out.matches('}').count(), "{out}");
+    }
+
+    #[test]
+    fn batch_rejects_bad_inputs() {
+        let (dir, _) = batch_dir();
+        assert!(run(&args(&["batch", &dir, "--jobs", "0", "--cache-dir", "none"]))
+            .unwrap_err()
+            .contains("--jobs"));
+        assert!(run(&args(&["batch", "/definitely/not/here", "--cache-dir", "none"]))
+            .unwrap_err()
+            .contains("cannot read directory"));
+    }
+
+    #[test]
+    fn stats_without_prior_batch_errors() {
+        let err = run(&args(&["stats", "--cache-dir", "/definitely/not/here"])).unwrap_err();
+        assert!(err.contains("run `parpat batch` first"), "{err}");
     }
 
     #[test]

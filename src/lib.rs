@@ -52,6 +52,9 @@ pub use parpat_cu as cu;
 /// The pattern detectors (the paper's contribution).
 pub use parpat_core as core;
 
+/// Cached, parallel batch-analysis engine with per-stage observability.
+pub use parpat_engine as engine;
+
 /// Static reduction-detection baselines (icc-like, Sambamba-like).
 pub use parpat_baseline as baseline;
 

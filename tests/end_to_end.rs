@@ -49,11 +49,7 @@ fn every_app_detection_matches_the_paper() {
 fn synthetics_are_reductions() {
     for app in synthetic_apps() {
         let analysis = app.analyze().unwrap();
-        assert!(
-            detected_patterns(&analysis).contains(&ExpectedPattern::Reduction),
-            "{}",
-            app.name
-        );
+        assert!(detected_patterns(&analysis).contains(&ExpectedPattern::Reduction), "{}", app.name);
     }
 }
 
@@ -116,8 +112,7 @@ fn main() { work(0); }",
     // Mode 0 alone: the first loop never runs → no carried dependence seen.
     let d0 = parpat::profile::profile_function(&ir, f, &[0.0]).unwrap();
     // Merged with mode 1: the carried dependence appears.
-    let merged =
-        parpat::profile::profile_merged(&ir, f, &[vec![0.0], vec![1.0]]).unwrap();
+    let merged = parpat::profile::profile_merged(&ir, f, &[vec![0.0], vec![1.0]]).unwrap();
     let carried_loops = |d: &parpat::profile::ProfileData| {
         (0..ir.loop_count() as u32).filter(|&l| d.has_carried_raw(l)).count()
     };

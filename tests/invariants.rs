@@ -18,8 +18,7 @@ fn pet_structure_is_consistent() {
     for_every_app(|name, a| {
         let pet = &a.pet;
         for n in &pet.nodes {
-            let child_sum: u64 =
-                n.children.iter().map(|&c| pet.nodes[c].inclusive_insts).sum();
+            let child_sum: u64 = n.children.iter().map(|&c| pet.nodes[c].inclusive_insts).sum();
             assert_eq!(
                 n.inclusive_insts,
                 n.self_insts + child_sum,
@@ -133,10 +132,7 @@ fn pipeline_reports_are_sane() {
 fn reduction_reports_are_anchored() {
     for_every_app(|name, a| {
         for r in &a.reductions {
-            assert!(
-                (r.l as usize) < a.ir.loop_count(),
-                "{name}: loop id out of range"
-            );
+            assert!((r.l as usize) < a.ir.loop_count(), "{name}: loop id out of range");
             assert_eq!(a.ir.loops[r.l as usize].line, r.loop_line, "{name}");
             assert!(a.profile.has_carried_raw(r.l), "{name}: reduction on carried-free loop");
             assert!(!r.var.is_empty(), "{name}");
@@ -149,7 +145,7 @@ fn reduction_reports_are_anchored() {
 #[test]
 fn loop_classification_is_total() {
     for_every_app(|name, a| {
-        for (&l, _) in &a.profile.loop_stats {
+        for &l in a.profile.loop_stats.keys() {
             assert!(a.loop_classes.contains_key(&l), "{name}: loop {l} unclassified");
             // Executed loops lexically exist.
             assert!((l as usize) < a.ir.loop_count(), "{name}");
