@@ -7,3 +7,6 @@ cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+# Fault-injection suite: every (stage x fault mode x job count) must leave
+# the batch complete, ordered, and correctly counted.
+cargo test -q -p parpat-engine --test faults

@@ -13,8 +13,12 @@
 //! artifact. Only when a mid-chain stage misses (changed source or config)
 //! do upstream artifacts get recomputed.
 //!
-//! Records are written via temp-file + rename so concurrent batch jobs
-//! never observe a torn file.
+//! Records are written via temp-file + rename (unique temp names per
+//! writer) so concurrent batch jobs never observe a torn file. A record
+//! that fails to parse — torn by a crash mid-rename on a non-atomic
+//! filesystem, truncated, or bit-flipped — is quarantined to a
+//! `.corrupt` file and treated as a miss, so the next execution
+//! regenerates it; these recoveries are counted ([`Cache::recovered`]).
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -26,6 +30,7 @@ use parpat_core::{Analysis, ProfiledRun};
 use parpat_cu::CuSet;
 use parpat_ir::IrProgram;
 use parpat_minilang::Program;
+use parpat_runtime::lock_recover;
 
 use crate::report::ProgramReport;
 
@@ -93,7 +98,11 @@ pub struct Cache {
     evictions: AtomicU64,
     disk_reads: AtomicU64,
     disk_writes: AtomicU64,
+    recovered: AtomicU64,
 }
+
+/// Makes concurrent writers' temp files distinct even within one process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl Cache {
     /// Create a cache holding at most `capacity` in-memory artifacts,
@@ -110,13 +119,14 @@ impl Cache {
             evictions: AtomicU64::new(0),
             disk_reads: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
         })
     }
 
     /// Probe the memory tier, then the disk tier.
     pub fn lookup(&self, key: Key) -> Lookup {
         {
-            let mut mem = self.mem.lock().unwrap();
+            let mut mem = lock_recover(&self.mem);
             mem.clock += 1;
             let tick = mem.clock;
             if let Some(e) = mem.entries.get_mut(&key) {
@@ -144,7 +154,7 @@ impl Cache {
 
     /// Store into the memory tier only (used to promote disk hits).
     pub fn insert_memory(&self, key: Key, digest: u64, artifact: Artifact) {
-        let mut mem = self.mem.lock().unwrap();
+        let mut mem = lock_recover(&self.mem);
         mem.clock += 1;
         let tick = mem.clock;
         mem.entries.insert(key, MemEntry { digest, artifact, tick });
@@ -160,7 +170,7 @@ impl Cache {
 
     /// Number of live in-memory entries.
     pub fn mem_entries(&self) -> usize {
-        self.mem.lock().unwrap().entries.len()
+        lock_recover(&self.mem).entries.len()
     }
 
     /// Total LRU evictions since creation.
@@ -178,6 +188,12 @@ impl Cache {
         self.disk_writes.load(Ordering::Relaxed)
     }
 
+    /// Corrupt disk records quarantined (and thereby recovered from)
+    /// since creation.
+    pub fn recovered(&self) -> u64 {
+        self.recovered.load(Ordering::Relaxed)
+    }
+
     /// The persistence directory, if any.
     pub fn dir(&self) -> Option<&std::path::Path> {
         self.dir.as_deref()
@@ -189,15 +205,32 @@ impl Cache {
 
     fn read_record(&self, key: Key) -> Option<DiskRecord> {
         let path = self.record_path(key)?;
-        let bytes = std::fs::read(path).ok()?;
-        let rec = parse_record(&bytes)?;
-        self.disk_reads.fetch_add(1, Ordering::Relaxed);
-        Some(rec)
+        let bytes = std::fs::read(&path).ok()?;
+        match parse_record(&bytes) {
+            Some(rec) => {
+                self.disk_reads.fetch_add(1, Ordering::Relaxed);
+                Some(rec)
+            }
+            None => {
+                // Corrupt record: quarantine it out of the key's path so
+                // the slot reads as a miss and the next execution
+                // regenerates it, instead of failing this key forever.
+                if std::fs::rename(&path, path.with_extension("corrupt")).is_err() {
+                    let _ = std::fs::remove_file(&path);
+                }
+                self.recovered.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     fn write_record(&self, key: Key, rec: &DiskRecord) {
         let Some(path) = self.record_path(key) else { return };
-        let tmp = path.with_extension(format!("tmp.{:x}", std::process::id()));
+        let tmp = path.with_extension(format!(
+            "tmp.{:x}.{:x}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let bytes = render_record(rec);
         let ok = std::fs::File::create(&tmp)
             .and_then(|mut f| f.write_all(&bytes))
@@ -262,8 +295,11 @@ fn parse_record(bytes: &[u8]) -> Option<DiskRecord> {
         } else if let Some(v) = l.strip_prefix("report ") {
             let nums: Vec<u64> = v.split(' ').map(str::parse).collect::<Result<_, _>>().ok()?;
             let [s_len, r_len, insts, p, f, r, g, t] = nums[..] else { return None };
-            let (s_len, r_len) = (s_len as usize, r_len as usize);
-            if rest.len() < s_len + r_len {
+            let s_len = usize::try_from(s_len).ok()?;
+            let r_len = usize::try_from(r_len).ok()?;
+            // checked_add: near-usize::MAX lengths in a hostile header must
+            // read as malformed, not overflow the bounds check.
+            if rest.len() < s_len.checked_add(r_len)? {
                 return None;
             }
             let summary = String::from_utf8(rest[..s_len].to_vec()).ok()?;
@@ -288,7 +324,10 @@ fn parse_record(bytes: &[u8]) -> Option<DiskRecord> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
+    use crate::fault::xorshift64;
 
     fn report() -> ProgramReport {
         ProgramReport {
@@ -328,6 +367,67 @@ mod tests {
         assert!(parse_record(b"parpat-rec-v2\ndigest 0000000000000001\n").is_none());
         // Truncated payload.
         assert!(parse_record(b"parpat-rec-v1\ndigest 01\nreport 99 0 0 0 0 0 0 0\nshort").is_none());
+    }
+
+    #[test]
+    fn parse_record_never_panics_on_mutated_or_truncated_bytes() {
+        let valid = render_record(&DiskRecord {
+            digest: 0xABCD_EF01,
+            insts: Some(77),
+            report: Some(report()),
+        });
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..2000 {
+            // Flip 1–4 bytes of a valid record at xorshift-chosen offsets.
+            let mut bytes = valid.clone();
+            let flips = 1 + (xorshift64(&mut state) % 4) as usize;
+            for _ in 0..flips {
+                let i = (xorshift64(&mut state) as usize) % bytes.len();
+                bytes[i] = (xorshift64(&mut state) & 0xFF) as u8;
+            }
+            let _ = parse_record(&bytes);
+            // And every truncation of the mutated record.
+            let cut = (xorshift64(&mut state) as usize) % (bytes.len() + 1);
+            let _ = parse_record(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn hostile_report_lengths_are_misses_not_overflows() {
+        let evil = format!(
+            "parpat-rec-v1\ndigest 0000000000000001\nreport {} {} 0 0 0 0 0 0\nx",
+            u64::MAX,
+            u64::MAX
+        );
+        assert!(parse_record(evil.as_bytes()).is_none());
+        let evil2 = format!(
+            "parpat-rec-v1\ndigest 0000000000000001\nreport {} 2 0 0 0 0 0 0\nx",
+            u64::MAX - 1
+        );
+        assert!(parse_record(evil2.as_bytes()).is_none());
+    }
+
+    #[test]
+    fn corrupt_disk_record_is_quarantined_and_counted() {
+        let dir = std::env::temp_dir().join(format!("parpat-quarantine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::new(4, Some(dir.clone())).unwrap();
+        cache.insert(9, 90, Artifact::Report(Arc::new(report())), None);
+        let rec_path = dir.join(format!("{:016x}.rec", 9));
+        std::fs::write(&rec_path, b"parpat-rec-v1\ndigest zzz\n").unwrap();
+
+        // Cold memory tier, corrupt disk record: miss, quarantined, counted.
+        let cache = Cache::new(4, Some(dir.clone())).unwrap();
+        assert!(matches!(cache.lookup(9), Lookup::Miss));
+        assert_eq!(cache.recovered(), 1);
+        assert!(!rec_path.exists(), "corrupt record left in place");
+        assert!(rec_path.with_extension("corrupt").exists());
+
+        // The slot regenerates and serves again.
+        cache.insert(9, 90, Artifact::Report(Arc::new(report())), None);
+        let cache = Cache::new(4, Some(dir.clone())).unwrap();
+        assert!(matches!(cache.lookup(9), Lookup::Disk(_)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The batch-analysis engine: stage-graph execution with digest-chained
-//! caching and deterministic parallel fan-out.
+//! caching, deterministic parallel fan-out, and fault isolation.
 //!
 //! # Digest chaining
 //!
@@ -19,6 +19,15 @@
 //! query; if a downstream miss later forces the artifact to materialize,
 //! the stage re-executes and the earlier hit is demoted to a miss, so
 //! counters always reflect work actually performed.
+//!
+//! # Fault isolation
+//!
+//! Every stage function runs inside `catch_unwind`, so a panicking
+//! detector (or an injected [`FaultPlan`]) is confined to its own program:
+//! the batch completes, the panic becomes a structured [`EngineError`],
+//! and — when the failure is confined to the dynamic stages — the program
+//! still yields a [`DegradedReport`] built from its static artifacts.
+//! See DESIGN.md, "Robustness".
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,16 +36,18 @@ use std::time::{Duration, Instant};
 
 use parpat_core::{
     assemble_analysis, detect_patterns, profile_ir, rank_patterns, render_ranking, Analysis,
-    AnalysisConfig, AnalyzeError, RankConfig,
+    AnalysisConfig, RankConfig,
 };
 use parpat_cu::{build_cus, CuSet};
 use parpat_ir::IrProgram;
 use parpat_minilang::Program;
-use parpat_runtime::ThreadPool;
+use parpat_runtime::{lock_recover, ThreadPool};
 
 use crate::cache::{Artifact, Cache, Lookup};
 use crate::digest::{hash_bytes, Fnv64};
-use crate::report::ProgramReport;
+use crate::error::{EngineError, ErrorKind};
+use crate::fault::{FaultMode, FaultPlan};
+use crate::report::{DegradedReport, ProgramReport};
 use crate::stage::Stage;
 use crate::stats::{CacheStats, EngineStats, StageCounters, StageStats};
 
@@ -52,6 +63,9 @@ pub struct EngineConfig {
     /// Directory for persistent records and stats; `None` disables the
     /// disk tier.
     pub cache_dir: Option<PathBuf>,
+    /// Armed fault injections (empty in production; the fault harness
+    /// plants one per scenario).
+    pub faults: Vec<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +75,7 @@ impl Default for EngineConfig {
             rank_workers: RankConfig::default().workers,
             cache_capacity: 512,
             cache_dir: None,
+            faults: Vec::new(),
         }
     }
 }
@@ -74,13 +89,67 @@ pub struct BatchInput {
     pub source: String,
 }
 
+/// How one program's analysis ended.
+#[derive(Debug, Clone)]
+pub enum AnalysisOutcome {
+    /// Every stage completed; the full report.
+    Ok(Arc<ProgramReport>),
+    /// A dynamic stage failed or exceeded its budget, but the static
+    /// artifacts survived: the static half of the analysis.
+    Degraded(Arc<DegradedReport>),
+    /// A static stage failed, or the static artifacts were unrecoverable.
+    Err(EngineError),
+}
+
+impl AnalysisOutcome {
+    /// The full report, when the analysis completed.
+    pub fn report(&self) -> Option<&ProgramReport> {
+        match self {
+            AnalysisOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The degraded report, when only the dynamic stages failed.
+    pub fn degraded(&self) -> Option<&DegradedReport> {
+        match self {
+            AnalysisOutcome::Degraded(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The failure behind a degraded or error outcome.
+    pub fn error(&self) -> Option<&EngineError> {
+        match self {
+            AnalysisOutcome::Ok(_) => None,
+            AnalysisOutcome::Degraded(d) => Some(&d.reason),
+            AnalysisOutcome::Err(e) => Some(e),
+        }
+    }
+
+    /// `true` when every stage completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, AnalysisOutcome::Ok(_))
+    }
+
+    /// `true` for a degraded (static-only) outcome.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, AnalysisOutcome::Degraded(_))
+    }
+
+    /// `true` for a hard error.
+    pub fn is_err(&self) -> bool {
+        matches!(self, AnalysisOutcome::Err(_))
+    }
+}
+
 /// Result of analyzing one program of a batch.
 #[derive(Debug, Clone)]
 pub struct ProgramOutcome {
     /// The input's display name.
     pub name: String,
-    /// The report, or a rendered parse/runtime error.
-    pub result: Result<Arc<ProgramReport>, String>,
+    /// Full report, degraded report, or structured error.
+    pub outcome: AnalysisOutcome,
     /// Wall time this program took inside the worker.
     pub wall: Duration,
     /// `true` when every stage resolved from the cache (nothing executed).
@@ -100,6 +169,9 @@ pub struct BatchReport {
 struct BatchCounters {
     stages: [StageCounters; 6],
     errors: AtomicU64,
+    degraded: AtomicU64,
+    panics: AtomicU64,
+    budget_exceeded: AtomicU64,
 }
 
 /// The cached, parallel batch-analysis engine.
@@ -107,6 +179,7 @@ pub struct Engine {
     cfg: AnalysisConfig,
     rank_workers: f64,
     cache: Cache,
+    faults: Vec<FaultPlan>,
     /// Reused across batches while the requested thread count matches.
     pool: Mutex<Option<Arc<ThreadPool>>>,
     /// Batches are serialized: `wait_idle` on the shared pool must only
@@ -122,6 +195,7 @@ impl Engine {
             cfg: cfg.analysis,
             rank_workers: cfg.rank_workers,
             cache: Cache::new(cfg.cache_capacity, cfg.cache_dir)?,
+            faults: cfg.faults,
             pool: Mutex::new(None),
             batch_lock: Mutex::new(()),
         })
@@ -132,26 +206,27 @@ impl Engine {
         &self.cache
     }
 
-    /// Analyze one program through the cached stage graph.
+    /// Analyze one program through the cached stage graph (fault plans see
+    /// it as batch index 0).
     pub fn analyze_one(&self, input: &BatchInput) -> ProgramOutcome {
         let counters = BatchCounters::default();
-        self.run_one(input, &counters)
+        self.run_one(input, 0, &counters)
     }
 
     /// Analyze a batch on `jobs` worker threads. Results come back in
     /// input order regardless of scheduling; stats cover this batch only
-    /// (evictions and live entries are engine-lifetime). When a cache
-    /// directory is configured, the stats snapshot is persisted there for
-    /// `parpat stats`.
+    /// (evictions, live entries, and recovered records are
+    /// engine-lifetime). When a cache directory is configured, the stats
+    /// snapshot is persisted there for `parpat stats`.
     pub fn batch(self: &Arc<Self>, inputs: Vec<BatchInput>, jobs: usize) -> BatchReport {
-        let _serial = self.batch_lock.lock().unwrap();
+        let _serial = lock_recover(&self.batch_lock);
         let jobs = jobs.max(1);
         let start = Instant::now();
         let counters = Arc::new(BatchCounters::default());
         let n = inputs.len();
 
         let outcomes: Vec<ProgramOutcome> = if jobs == 1 || n <= 1 {
-            inputs.iter().map(|input| self.run_one(input, &counters)).collect()
+            inputs.iter().enumerate().map(|(i, input)| self.run_one(input, i, &counters)).collect()
         } else {
             let slots: Arc<Mutex<Vec<Option<ProgramOutcome>>>> =
                 Arc::new(Mutex::new((0..n).map(|_| None).collect()));
@@ -161,12 +236,12 @@ impl Engine {
                 let counters = Arc::clone(&counters);
                 let slots = Arc::clone(&slots);
                 pool.spawn(move || {
-                    let outcome = eng.run_one(&input, &counters);
-                    slots.lock().unwrap()[i] = Some(outcome);
+                    let outcome = eng.run_one(&input, i, &counters);
+                    lock_recover(&slots)[i] = Some(outcome);
                 });
             }
             pool.wait_idle();
-            let mut slots = slots.lock().unwrap();
+            let mut slots = lock_recover(&slots);
             slots.iter_mut().map(|s| s.take().expect("every slot filled")).collect()
         };
 
@@ -179,7 +254,7 @@ impl Engine {
     }
 
     fn pool_for(&self, jobs: usize) -> Arc<ThreadPool> {
-        let mut slot = self.pool.lock().unwrap();
+        let mut slot = lock_recover(&self.pool);
         match slot.as_ref() {
             Some(p) if p.threads() == jobs => Arc::clone(p),
             _ => {
@@ -190,21 +265,46 @@ impl Engine {
         }
     }
 
-    fn run_one(&self, input: &BatchInput, counters: &BatchCounters) -> ProgramOutcome {
+    /// The armed fault for `(stage, batch index)`, if any.
+    fn fault_for(&self, s: Stage, index: usize) -> Option<FaultMode> {
+        self.faults.iter().find(|p| p.stage == s && p.input == index).map(|p| p.mode)
+    }
+
+    fn run_one(
+        &self,
+        input: &BatchInput,
+        index: usize,
+        counters: &BatchCounters,
+    ) -> ProgramOutcome {
         let start = Instant::now();
-        let mut run = ProgRun::new(self, &input.source);
-        let result = run.report();
-        let fully_cached = result.is_ok() && run.states.iter().all(|s| *s == St::Hit);
+        let mut run = ProgRun::new(self, &input.source, index);
+        let outcome = match run.report() {
+            Ok(r) => AnalysisOutcome::Ok(r),
+            Err(err) => {
+                match err.kind {
+                    ErrorKind::Panic => {
+                        counters.panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ErrorKind::Budget => {
+                        counters.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                match run.degraded(&err) {
+                    Some(d) => {
+                        counters.degraded.fetch_add(1, Ordering::Relaxed);
+                        AnalysisOutcome::Degraded(Arc::new(d))
+                    }
+                    None => {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        AnalysisOutcome::Err(err)
+                    }
+                }
+            }
+        };
+        let fully_cached = outcome.is_ok() && run.states.iter().all(|s| *s == St::Hit);
         run.flush(counters);
-        if result.is_err() {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        ProgramOutcome {
-            name: input.name.clone(),
-            result: result.map_err(|e| e.to_string()),
-            wall: start.elapsed(),
-            fully_cached,
-        }
+        ProgramOutcome { name: input.name.clone(), outcome, wall: start.elapsed(), fully_cached }
     }
 
     fn snapshot(
@@ -220,6 +320,9 @@ impl Engine {
             stages,
             programs,
             errors: counters.errors.load(Ordering::Relaxed),
+            degraded: counters.degraded.load(Ordering::Relaxed),
+            panics: counters.panics.load(Ordering::Relaxed),
+            budget_exceeded: counters.budget_exceeded.load(Ordering::Relaxed),
             jobs,
             wall,
             cache: CacheStats {
@@ -227,6 +330,7 @@ impl Engine {
                 misses,
                 evictions: self.cache.evictions(),
                 mem_entries: self.cache.mem_entries() as u64,
+                recovered: self.cache.recovered(),
             },
         }
     }
@@ -246,6 +350,8 @@ enum St {
 struct ProgRun<'e> {
     eng: &'e Engine,
     src: &'e str,
+    /// This program's index within the batch (fault plans key on it).
+    index: usize,
     states: [St; 6],
     wall: [Duration; 6],
     insts_executed: u64,
@@ -273,10 +379,11 @@ fn key(tag: &str, inputs: &[u64]) -> u64 {
 }
 
 impl<'e> ProgRun<'e> {
-    fn new(eng: &'e Engine, src: &'e str) -> Self {
+    fn new(eng: &'e Engine, src: &'e str, index: usize) -> Self {
         ProgRun {
             eng,
             src,
+            index,
             states: [St::Unresolved; 6],
             wall: [Duration::ZERO; 6],
             insts_executed: 0,
@@ -314,13 +421,42 @@ impl<'e> ProgRun<'e> {
     }
 
     /// Execute stage `s`'s function under the wall-time clock and mark it
-    /// a miss (possibly demoting an earlier digest-level hit).
-    fn execute<T>(&mut self, s: Stage, f: impl FnOnce(&mut Self) -> T) -> T {
+    /// a miss (possibly demoting an earlier digest-level hit). The
+    /// function runs inside `catch_unwind`: a panic is confined to this
+    /// program and surfaces as a structured [`ErrorKind::Panic`] error.
+    /// Armed fault plans trip here — `Fail` short-circuits before the
+    /// stage function, `Panic`/`Stall` fire inside the unwind boundary.
+    fn execute<T>(&mut self, s: Stage, f: impl FnOnce(&mut Self) -> T) -> Result<T, EngineError> {
+        let fault = self.eng.fault_for(s, self.index);
+        if let Some(FaultMode::Fail(kind)) = fault {
+            self.states[s.index()] = St::Miss;
+            return Err(EngineError::new(s, kind, format!("injected failure at the {s} stage")));
+        }
         let t = Instant::now();
-        let out = f(self);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match fault {
+                Some(FaultMode::Panic) => panic!("injected panic at the {s} stage"),
+                Some(FaultMode::Stall(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                _ => {}
+            }
+            f(self)
+        }));
         self.wall[s.index()] += t.elapsed();
         self.states[s.index()] = St::Miss;
-        out
+        out.map_err(|payload| EngineError::from_panic(s, payload.as_ref()))
+    }
+
+    /// Build the degraded (static-only) report after a dynamic-stage
+    /// failure. `None` when the failure hit a static stage, or the static
+    /// artifacts cannot be (re)obtained either.
+    fn degraded(&mut self, reason: &EngineError) -> Option<DegradedReport> {
+        if !reason.stage.is_dynamic() {
+            return None;
+        }
+        let ast = self.ast().ok()?;
+        let ir = self.ir().ok()?;
+        let cus = self.cus().ok()?;
+        Some(DegradedReport::build(reason.clone(), &ast, &ir, &cus))
     }
 
     // ---- parse ----------------------------------------------------------
@@ -329,13 +465,16 @@ impl<'e> ProgRun<'e> {
         key("parse", &[hash_bytes(self.src.as_bytes())])
     }
 
-    fn run_parse(&mut self) -> Result<(), AnalyzeError> {
-        let ast = self.execute(Stage::Parse, |r| parpat_minilang::parse_checked(r.src))?;
+    fn run_parse(&mut self) -> Result<(), EngineError> {
+        let ast = self
+            .execute(Stage::Parse, |r| parpat_minilang::parse_checked(r.src))?
+            .map_err(|e| EngineError::lang(Stage::Parse, e.to_string()))?;
         // The AST is a deterministic function of the token stream (kinds +
         // lines; columns are not recorded in the AST), so digesting tokens
         // gives early cutoff for whitespace/comment edits while staying
         // sensitive to line shifts that change reported locations.
-        let toks = parpat_minilang::lexer::lex(self.src)?;
+        let toks = parpat_minilang::lexer::lex(self.src)
+            .map_err(|e| EngineError::lang(Stage::Parse, e.to_string()))?;
         let mut h = Fnv64::new();
         h.write(b"ast");
         for t in &toks {
@@ -349,7 +488,7 @@ impl<'e> ProgRun<'e> {
         Ok(())
     }
 
-    fn ast_digest(&mut self) -> Result<u64, AnalyzeError> {
+    fn ast_digest(&mut self) -> Result<u64, EngineError> {
         if let Some(d) = self.ast_d {
             return Ok(d);
         }
@@ -368,7 +507,7 @@ impl<'e> ProgRun<'e> {
         Ok(self.ast_d.expect("set above"))
     }
 
-    fn ast(&mut self) -> Result<Arc<Program>, AnalyzeError> {
+    fn ast(&mut self) -> Result<Arc<Program>, EngineError> {
         self.ast_digest()?;
         if self.ast.is_none() {
             // Disk record answered the digest, but the artifact is needed
@@ -380,18 +519,18 @@ impl<'e> ProgRun<'e> {
 
     // ---- lower ----------------------------------------------------------
 
-    fn run_lower(&mut self) -> Result<(), AnalyzeError> {
+    fn run_lower(&mut self) -> Result<(), EngineError> {
         let ast = self.ast()?;
         let k = key("lower", &[self.ast_d.expect("ast resolved")]);
         let d = key("ir", &[self.ast_d.expect("ast resolved")]);
-        let ir = Arc::new(self.execute(Stage::Lower, |_| parpat_ir::lower(&ast)));
+        let ir = Arc::new(self.execute(Stage::Lower, |_| parpat_ir::lower(&ast))?);
         self.eng.cache.insert(k, d, Artifact::Ir(Arc::clone(&ir)), None);
         self.ir = Some(ir);
         self.ir_d = Some(d);
         Ok(())
     }
 
-    fn ir_digest(&mut self) -> Result<u64, AnalyzeError> {
+    fn ir_digest(&mut self) -> Result<u64, EngineError> {
         if let Some(d) = self.ir_d {
             return Ok(d);
         }
@@ -411,7 +550,7 @@ impl<'e> ProgRun<'e> {
         Ok(self.ir_d.expect("set above"))
     }
 
-    fn ir(&mut self) -> Result<Arc<IrProgram>, AnalyzeError> {
+    fn ir(&mut self) -> Result<Arc<IrProgram>, EngineError> {
         self.ir_digest()?;
         if self.ir.is_none() {
             self.run_lower()?;
@@ -421,18 +560,18 @@ impl<'e> ProgRun<'e> {
 
     // ---- cu build -------------------------------------------------------
 
-    fn run_cus(&mut self) -> Result<(), AnalyzeError> {
+    fn run_cus(&mut self) -> Result<(), EngineError> {
         let ir = self.ir()?;
         let k = key("cu", &[self.ir_d.expect("ir resolved")]);
         let d = key("cu.out", &[self.ir_d.expect("ir resolved")]);
-        let cus = Arc::new(self.execute(Stage::CuBuild, |_| build_cus(&ir)));
+        let cus = Arc::new(self.execute(Stage::CuBuild, |_| build_cus(&ir))?);
         self.eng.cache.insert(k, d, Artifact::Cus(Arc::clone(&cus)), None);
         self.cus = Some(cus);
         self.cu_d = Some(d);
         Ok(())
     }
 
-    fn cu_digest(&mut self) -> Result<u64, AnalyzeError> {
+    fn cu_digest(&mut self) -> Result<u64, EngineError> {
         if let Some(d) = self.cu_d {
             return Ok(d);
         }
@@ -452,7 +591,7 @@ impl<'e> ProgRun<'e> {
         Ok(self.cu_d.expect("set above"))
     }
 
-    fn cus(&mut self) -> Result<Arc<CuSet>, AnalyzeError> {
+    fn cus(&mut self) -> Result<Arc<CuSet>, EngineError> {
         self.cu_digest()?;
         if self.cus.is_none() {
             self.run_cus()?;
@@ -464,14 +603,19 @@ impl<'e> ProgRun<'e> {
 
     fn key_profile(&self, ir_d: u64) -> u64 {
         let limits = self.eng.cfg.limits;
-        key("profile", &[ir_d, limits.max_insts, limits.max_call_depth as u64])
+        key(
+            "profile",
+            &[ir_d, limits.max_insts, limits.max_call_depth as u64, limits.timeout_ms.unwrap_or(0)],
+        )
     }
 
-    fn run_profile(&mut self) -> Result<(), AnalyzeError> {
+    fn run_profile(&mut self) -> Result<(), EngineError> {
         let ir = self.ir()?;
         let k = self.key_profile(self.ir_d.expect("ir resolved"));
         let d = key("profile.out", &[k]);
-        let run = self.execute(Stage::Profile, |r| profile_ir(&ir, r.eng.cfg.limits))?;
+        let run = self
+            .execute(Stage::Profile, |r| profile_ir(&ir, r.eng.cfg.limits))?
+            .map_err(|e| EngineError::from_analyze(Stage::Profile, &e))?;
         self.insts_executed += run.insts;
         let insts = run.insts;
         let run = Arc::new(run);
@@ -481,7 +625,7 @@ impl<'e> ProgRun<'e> {
         Ok(())
     }
 
-    fn prof_digest(&mut self) -> Result<u64, AnalyzeError> {
+    fn prof_digest(&mut self) -> Result<u64, EngineError> {
         if let Some(d) = self.prof_d {
             return Ok(d);
         }
@@ -501,7 +645,7 @@ impl<'e> ProgRun<'e> {
         Ok(self.prof_d.expect("set above"))
     }
 
-    fn prof(&mut self) -> Result<Arc<parpat_core::ProfiledRun>, AnalyzeError> {
+    fn prof(&mut self) -> Result<Arc<parpat_core::ProfiledRun>, EngineError> {
         self.prof_digest()?;
         if self.prof.is_none() {
             self.run_profile()?;
@@ -511,7 +655,7 @@ impl<'e> ProgRun<'e> {
 
     // ---- detect ---------------------------------------------------------
 
-    fn key_detect(&mut self) -> Result<u64, AnalyzeError> {
+    fn key_detect(&mut self) -> Result<u64, EngineError> {
         let ir_d = self.ir_digest()?;
         let cu_d = self.cu_digest()?;
         let prof_d = self.prof_digest()?;
@@ -525,7 +669,7 @@ impl<'e> ProgRun<'e> {
         Ok(h.finish())
     }
 
-    fn run_detect(&mut self) -> Result<(), AnalyzeError> {
+    fn run_detect(&mut self) -> Result<(), EngineError> {
         let k = self.key_detect()?;
         let d = key("detect.out", &[k]);
         let ir = self.ir()?;
@@ -541,7 +685,7 @@ impl<'e> ProgRun<'e> {
                 (*cus).clone(),
                 detections,
             )
-        });
+        })?;
         let analysis = Arc::new(analysis);
         self.eng.cache.insert(k, d, Artifact::Analysis(Arc::clone(&analysis)), None);
         self.analysis = Some(analysis);
@@ -549,7 +693,7 @@ impl<'e> ProgRun<'e> {
         Ok(())
     }
 
-    fn det_digest(&mut self) -> Result<u64, AnalyzeError> {
+    fn det_digest(&mut self) -> Result<u64, EngineError> {
         if let Some(d) = self.det_d {
             return Ok(d);
         }
@@ -569,7 +713,7 @@ impl<'e> ProgRun<'e> {
         Ok(self.det_d.expect("set above"))
     }
 
-    fn analysis(&mut self) -> Result<Arc<Analysis>, AnalyzeError> {
+    fn analysis(&mut self) -> Result<Arc<Analysis>, EngineError> {
         self.det_digest()?;
         if self.analysis.is_none() {
             self.run_detect()?;
@@ -579,7 +723,7 @@ impl<'e> ProgRun<'e> {
 
     // ---- rank -----------------------------------------------------------
 
-    fn run_rank(&mut self, k: u64) -> Result<Arc<ProgramReport>, AnalyzeError> {
+    fn run_rank(&mut self, k: u64) -> Result<Arc<ProgramReport>, EngineError> {
         let analysis = self.analysis()?;
         let workers = self.eng.rank_workers;
         let report = self.execute(Stage::Rank, |_| {
@@ -594,14 +738,14 @@ impl<'e> ProgRun<'e> {
                 geodecomp: analysis.geodecomp.len(),
                 task_regions: analysis.graphs.len(),
             }
-        });
+        })?;
         let report = Arc::new(report);
         let d = key("report", &[k]);
         self.eng.cache.insert(k, d, Artifact::Report(Arc::clone(&report)), None);
         Ok(report)
     }
 
-    fn report(&mut self) -> Result<Arc<ProgramReport>, AnalyzeError> {
+    fn report(&mut self) -> Result<Arc<ProgramReport>, EngineError> {
         let det_d = self.det_digest()?;
         let mut h = Fnv64::new();
         h.write(b"rank");

@@ -1,0 +1,173 @@
+//! The structured error taxonomy of the batch engine.
+//!
+//! Every per-program failure the engine can observe — a malformed source,
+//! a faulting or over-budget interpreted run, a panicking stage function,
+//! or an unrecoverable cache record — is folded into one [`EngineError`]
+//! that records *where* it happened ([`Stage`]) and *what class* of
+//! failure it was ([`ErrorKind`]). The classification drives graceful
+//! degradation: dynamic-stage failures keep their static results (see
+//! `engine`), and the batch counters (`panics`, `budget_exceeded`) are
+//! keyed off the kind.
+
+use parpat_core::AnalyzeError;
+
+use crate::stage::Stage;
+
+/// The class of a per-program engine failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Parse/check failure in the source language.
+    Lang,
+    /// The interpreted run faulted (out-of-bounds, missing `main`, …).
+    Runtime,
+    /// A stage function panicked; the unwind was caught at the stage
+    /// boundary and the payload preserved in the detail.
+    Panic,
+    /// An execution budget was exhausted (instruction ceiling, call-depth
+    /// ceiling, or wall-clock deadline).
+    Budget,
+    /// A persistent cache record was corrupt beyond recovery.
+    CacheCorrupt,
+}
+
+impl ErrorKind {
+    /// Stable lowercase name (used in JSON and stats).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Lang => "lang",
+            ErrorKind::Runtime => "runtime",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Budget => "budget",
+            ErrorKind::CacheCorrupt => "cache-corrupt",
+        }
+    }
+
+    fn phrase(self) -> &'static str {
+        match self {
+            ErrorKind::Lang => "language error",
+            ErrorKind::Runtime => "runtime error",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Budget => "budget exceeded",
+            ErrorKind::CacheCorrupt => "cache corruption",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured per-program failure: which stage, what kind, and a
+/// human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// The stage whose resolution failed.
+    pub stage: Stage,
+    /// The failure class.
+    pub kind: ErrorKind,
+    /// Human-readable detail (language diagnostic, panic payload, …).
+    pub detail: String,
+}
+
+impl EngineError {
+    /// Build an error from its parts.
+    pub fn new(stage: Stage, kind: ErrorKind, detail: impl Into<String>) -> Self {
+        EngineError { stage, kind, detail: detail.into() }
+    }
+
+    /// A language (parse/check) failure at `stage`.
+    pub fn lang(stage: Stage, detail: impl Into<String>) -> Self {
+        Self::new(stage, ErrorKind::Lang, detail)
+    }
+
+    /// Classify a `parpat-core` analysis error observed at `stage`:
+    /// budget-kind runtime errors become [`ErrorKind::Budget`], other
+    /// runtime errors [`ErrorKind::Runtime`].
+    pub fn from_analyze(stage: Stage, e: &AnalyzeError) -> Self {
+        match e {
+            AnalyzeError::Lang(l) => Self::new(stage, ErrorKind::Lang, l.to_string()),
+            AnalyzeError::Runtime(r) if r.is_budget() => {
+                Self::new(stage, ErrorKind::Budget, r.to_string())
+            }
+            AnalyzeError::Runtime(r) => Self::new(stage, ErrorKind::Runtime, r.to_string()),
+        }
+    }
+
+    /// Convert a caught panic payload into a structured error, preserving
+    /// `&str`/`String` payloads verbatim.
+    pub fn from_panic(stage: Stage, payload: &(dyn std::any::Any + Send)) -> Self {
+        let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "opaque panic payload".to_owned()
+        };
+        Self::new(stage, ErrorKind::Panic, detail)
+    }
+
+    /// `true` when the failure is budget exhaustion.
+    pub fn is_budget(&self) -> bool {
+        self.kind == ErrorKind::Budget
+    }
+
+    /// Hand-rolled JSON object (`stage`, `kind`, `detail`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"stage\": {}, \"kind\": {}, \"detail\": {}}}",
+            crate::stats::json_str(self.stage.name()),
+            crate::stats::json_str(self.kind.name()),
+            crate::stats::json_str(&self.detail),
+        )
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {} stage: {}", self.kind.phrase(), self.stage, self.detail)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use parpat_ir::RuntimeError;
+
+    #[test]
+    fn display_names_stage_and_kind() {
+        let e = EngineError::new(Stage::Profile, ErrorKind::Budget, "ceiling of 10 hit");
+        assert_eq!(e.to_string(), "budget exceeded at profile stage: ceiling of 10 hit");
+        assert!(e.is_budget());
+    }
+
+    #[test]
+    fn analyze_errors_split_budget_from_fault() {
+        let budget = AnalyzeError::Runtime(RuntimeError::budget(3, "over".to_owned()));
+        let fault = AnalyzeError::Runtime(RuntimeError::new(4, "oob".to_owned()));
+        assert_eq!(EngineError::from_analyze(Stage::Profile, &budget).kind, ErrorKind::Budget);
+        assert_eq!(EngineError::from_analyze(Stage::Profile, &fault).kind, ErrorKind::Runtime);
+    }
+
+    #[test]
+    fn panic_payloads_survive() {
+        let payload = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        let e = EngineError::from_panic(Stage::Detect, payload.as_ref());
+        assert_eq!(e.kind, ErrorKind::Panic);
+        assert_eq!(e.detail, "boom 7");
+    }
+
+    #[test]
+    fn json_has_all_fields() {
+        let e = EngineError::new(Stage::Rank, ErrorKind::CacheCorrupt, "bad \"record\"");
+        let j = e.to_json();
+        assert!(j.contains("\"stage\": \"rank\""));
+        assert!(j.contains("\"kind\": \"cache-corrupt\""));
+        assert!(j.contains("bad \\\"record\\\""));
+    }
+}

@@ -12,7 +12,13 @@
 //!   in input order regardless of scheduling ([`Engine::batch`]);
 //! - **per-stage observability** — executed/hit/miss counters, wall time,
 //!   and dynamic instruction counts — rendered as text or JSON and
-//!   persisted next to the cache ([`EngineStats`]).
+//!   persisted next to the cache ([`EngineStats`]);
+//! - **fault tolerance** — every stage runs inside an unwind boundary, so
+//!   one panicking or over-budget program cannot take the batch down: it
+//!   surfaces as a structured [`EngineError`], degrades to its static
+//!   results when possible ([`DegradedReport`]), and corrupt disk records
+//!   are quarantined and regenerated. A deterministic fault-injection
+//!   surface ([`FaultPlan`]) proves all of this in `tests/faults.rs`.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -24,23 +30,28 @@
 //!     source: "global a[8];\nfn main() { for i in 0..8 { a[i] = i; } }".into(),
 //! }];
 //! let batch = engine.batch(inputs, 2);
-//! assert!(batch.outcomes[0].result.is_ok());
+//! assert!(batch.outcomes[0].outcome.is_ok());
 //! // Second run: every stage answers from the cache.
 //! let batch = engine.batch(vec![], 1);
 //! assert_eq!(batch.stats.programs, 0);
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod cache;
 pub mod digest;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod report;
 pub mod stage;
 pub mod stats;
 
 pub use cache::{Artifact, Cache, DiskRecord, Lookup};
-pub use engine::{BatchInput, BatchReport, Engine, EngineConfig, ProgramOutcome};
-pub use report::ProgramReport;
+pub use engine::{AnalysisOutcome, BatchInput, BatchReport, Engine, EngineConfig, ProgramOutcome};
+pub use error::{EngineError, ErrorKind};
+pub use fault::{xorshift64, FaultMode, FaultPlan};
+pub use report::{static_doall_candidates, DegradedReport, ProgramReport};
 pub use stage::Stage;
 pub use stats::{CacheStats, EngineStats, StageStats};

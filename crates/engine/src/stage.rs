@@ -47,6 +47,14 @@ impl Stage {
         }
     }
 
+    /// `true` for the stages that depend on a dynamic (profiled) run of
+    /// the program. A failure confined to these stages still leaves the
+    /// static artifacts — AST, IR, CU graph — intact, which is what lets
+    /// the engine emit a degraded report instead of a bare error.
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, Stage::Profile | Stage::Detect | Stage::Rank)
+    }
+
     /// Index into per-stage arrays (execution order).
     pub fn index(self) -> usize {
         match self {

@@ -68,6 +68,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Live in-memory entries after the batch.
     pub mem_entries: u64,
+    /// Corrupt disk records quarantined and regenerated.
+    pub recovered: u64,
 }
 
 /// One batch's complete observability snapshot.
@@ -77,8 +79,17 @@ pub struct EngineStats {
     pub stages: [StageStats; 6],
     /// Programs analyzed in the batch.
     pub programs: u64,
-    /// Programs that failed (parse or runtime error).
+    /// Programs that ended in a hard error (static stage failed, or the
+    /// static artifacts were unrecoverable).
     pub errors: u64,
+    /// Programs that ended degraded (dynamic stages failed; static
+    /// results emitted).
+    pub degraded: u64,
+    /// Stage functions that panicked (caught at the stage boundary).
+    pub panics: u64,
+    /// Profiled runs that exhausted an execution budget (instruction
+    /// ceiling, call depth, or wall-clock deadline).
+    pub budget_exceeded: u64,
     /// Worker threads the batch ran on.
     pub jobs: u64,
     /// End-to-end batch wall time.
@@ -110,11 +121,16 @@ impl EngineStats {
         let mut out = String::new();
         out.push_str("=== engine stats ===\n");
         out.push_str(&format!(
-            "programs: {} ({} errors), jobs: {}, wall: {}\n",
+            "programs: {} ({} errors, {} degraded), jobs: {}, wall: {}\n",
             self.programs,
             self.errors,
+            self.degraded,
             self.jobs,
             fmt_duration(self.wall)
+        ));
+        out.push_str(&format!(
+            "faults: {} panics, {} budget-exceeded, {} cache records recovered\n",
+            self.panics, self.budget_exceeded, self.cache.recovered
         ));
         out.push_str(&format!(
             "stage      {:>9} {:>9} {:>9} {:>12} {:>14}\n",
@@ -162,16 +178,20 @@ impl EngineStats {
             ));
         }
         format!(
-            "{{\"programs\": {}, \"errors\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}}}}}",
+            "{{\"programs\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
             self.programs,
             self.errors,
+            self.degraded,
+            self.panics,
+            self.budget_exceeded,
             self.jobs,
             self.wall.as_nanos(),
             stages,
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
-            self.cache.mem_entries
+            self.cache.mem_entries,
+            self.cache.recovered
         )
     }
 
@@ -235,9 +255,12 @@ mod tests {
             stages,
             programs: 17,
             errors: 0,
+            degraded: 1,
+            panics: 1,
+            budget_exceeded: 2,
             jobs: 8,
             wall: Duration::from_millis(40),
-            cache: CacheStats { hits: 17, misses: 17, evictions: 2, mem_entries: 32 },
+            cache: CacheStats { hits: 17, misses: 17, evictions: 2, mem_entries: 32, recovered: 3 },
         }
     }
 
@@ -248,6 +271,8 @@ mod tests {
             assert!(text.contains(s.name()), "missing {s} in:\n{text}");
         }
         assert!(text.contains("50.0% hit rate"));
+        assert!(text.contains("1 degraded"));
+        assert!(text.contains("1 panics, 2 budget-exceeded, 3 cache records recovered"));
     }
 
     #[test]
@@ -257,6 +282,10 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"stage\": \"profile\""));
         assert!(json.contains("\"insts\": 99000"));
+        assert!(json.contains("\"degraded\": 1"));
+        assert!(json.contains("\"panics\": 1"));
+        assert!(json.contains("\"budget_exceeded\": 2"));
+        assert!(json.contains("\"recovered\": 3"));
     }
 
     #[test]
@@ -272,6 +301,9 @@ mod tests {
             stages: [StageStats::default(); 6],
             programs: 0,
             errors: 0,
+            degraded: 0,
+            panics: 0,
+            budget_exceeded: 0,
             jobs: 1,
             wall: Duration::ZERO,
             cache: CacheStats::default(),

@@ -35,7 +35,7 @@ fn batch_matches_one_shot_analysis_on_all_apps() {
 
     for (input, outcome) in inputs.iter().zip(&batch.outcomes) {
         assert_eq!(input.name, outcome.name, "input order preserved");
-        let report = outcome.result.as_ref().expect("suite apps analyze cleanly");
+        let report = outcome.outcome.report().expect("suite apps analyze cleanly");
         let expected = analyze_source(&input.source, &AnalysisConfig::default())
             .expect("one-shot analysis succeeds");
         assert_eq!(report.summary, expected.summary(), "summary for {}", input.name);
@@ -61,7 +61,7 @@ fn job_count_does_not_change_results() {
     assert_eq!(serial.outcomes.len(), parallel.outcomes.len());
     for (a, b) in serial.outcomes.iter().zip(&parallel.outcomes) {
         assert_eq!(a.name, b.name);
-        let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        let (ra, rb) = (a.outcome.report().unwrap(), b.outcome.report().unwrap());
         assert_eq!(ra, rb, "report for {} differs across job counts", a.name);
     }
     assert_eq!(serial.stats.jobs, 1);
@@ -125,8 +125,8 @@ fn cosmetic_edit_reparses_but_downstream_stages_hit() {
         assert_eq!(stats.stage(s).executed, 0, "{s} must not execute");
     }
     assert_eq!(
-        warm.outcomes[0].result.as_ref().unwrap().summary,
-        cold.outcomes[0].result.as_ref().unwrap().summary,
+        warm.outcomes[0].outcome.report().unwrap().summary,
+        cold.outcomes[0].outcome.report().unwrap().summary,
     );
     assert!(!warm.outcomes[0].fully_cached, "parse did run");
 
@@ -159,7 +159,7 @@ fn errors_are_reported_not_cached_as_results() {
     ];
     let batch = eng.batch(inputs, 2);
     assert_eq!(batch.stats.errors, 1);
-    assert!(batch.outcomes[0].result.is_err());
-    assert!(batch.outcomes[1].result.is_ok());
+    assert!(batch.outcomes[0].outcome.is_err());
+    assert!(batch.outcomes[1].outcome.is_ok());
     assert_eq!(batch.outcomes[0].name, "bad", "order preserved despite error");
 }

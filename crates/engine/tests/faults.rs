@@ -1,0 +1,319 @@
+//! The fault-injection harness: proves the batch engine completes — with
+//! correct slot ordering, byte-identical healthy reports, intact cache
+//! state, and accurate stats counters — under injected failures, panics,
+//! and stalls at every stage, for both serial and parallel scheduling.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parpat_engine::{
+    xorshift64, BatchInput, Engine, EngineConfig, ErrorKind, FaultMode, FaultPlan, Stage,
+};
+use parpat_ir::ExecLimits;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parpat-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Six small, distinct programs — enough to exercise scheduling without
+/// paying for the full suite in every matrix cell.
+fn small_inputs() -> Vec<BatchInput> {
+    (0..6)
+        .map(|i| {
+            let n = 16 + 4 * i;
+            BatchInput {
+                name: format!("prog{i}"),
+                source: format!(
+                    "global a[{n}];\nfn main() {{\n    for i in 0..{n} {{ a[i] = i * {}; }}\n}}",
+                    i + 1
+                ),
+            }
+        })
+        .collect()
+}
+
+fn engine_with(faults: Vec<FaultPlan>) -> Arc<Engine> {
+    Arc::new(Engine::new(EngineConfig { faults, ..Default::default() }).expect("engine"))
+}
+
+/// Clean-run baseline reports for `inputs` (all must analyze Ok).
+fn baseline(inputs: &[BatchInput]) -> Vec<parpat_engine::ProgramReport> {
+    let batch = engine_with(Vec::new()).batch(inputs.to_vec(), 1);
+    batch
+        .outcomes
+        .iter()
+        .map(|o| o.outcome.report().expect("baseline input analyzes cleanly").clone())
+        .collect()
+}
+
+#[test]
+fn every_stage_and_mode_completes_the_batch_under_both_job_counts() {
+    let inputs = small_inputs();
+    let clean = baseline(&inputs);
+    let mut rng = 0xD1CE_F00D_u64;
+
+    for stage in Stage::ALL {
+        for mode in [FaultMode::Fail(ErrorKind::Runtime), FaultMode::Panic] {
+            for jobs in [1usize, 8] {
+                // Deterministic xorshift selection of the victim input.
+                let victim = (xorshift64(&mut rng) as usize) % inputs.len();
+                let plan = FaultPlan::at(stage, victim, mode);
+                let batch = engine_with(vec![plan]).batch(inputs.clone(), jobs);
+
+                // The batch completes with every slot filled, in order.
+                assert_eq!(batch.outcomes.len(), inputs.len());
+                for (input, o) in inputs.iter().zip(&batch.outcomes) {
+                    assert_eq!(input.name, o.name, "slot order under {plan:?} jobs={jobs}");
+                }
+
+                // The victim fails with the right taxonomy...
+                let fault = &batch.outcomes[victim];
+                let err = fault.outcome.error().unwrap_or_else(|| {
+                    panic!("victim survived {plan:?} jobs={jobs}");
+                });
+                assert_eq!(err.stage, stage);
+                match mode {
+                    FaultMode::Fail(kind) => assert_eq!(err.kind, kind),
+                    FaultMode::Panic => assert_eq!(err.kind, ErrorKind::Panic),
+                    FaultMode::Stall(_) => unreachable!(),
+                }
+                // ...degrading to static results exactly when the failure
+                // is confined to the dynamic stages.
+                assert_eq!(
+                    fault.outcome.is_degraded(),
+                    stage.is_dynamic(),
+                    "degradation rule under {plan:?}"
+                );
+                if let Some(d) = fault.outcome.degraded() {
+                    assert!(d.loops >= 1, "static loop structure present");
+                    assert!(d.cus >= 1, "static CU graph present");
+                    assert!(!d.doall_candidates.is_empty(), "the loop writes a[i]");
+                    assert!(d.summary.contains("degraded analysis"));
+                }
+
+                // Healthy programs are byte-identical to a clean run.
+                for (i, o) in batch.outcomes.iter().enumerate() {
+                    if i != victim {
+                        let r = o.outcome.report().unwrap_or_else(|| {
+                            panic!("{} not Ok under {plan:?} jobs={jobs}", o.name)
+                        });
+                        assert_eq!(*r, clean[i], "{} report drifted", o.name);
+                    }
+                }
+
+                // Counters see exactly one fault of the right class.
+                let stats = &batch.stats;
+                assert_eq!(stats.panics, u64::from(mode == FaultMode::Panic));
+                assert_eq!(stats.degraded, u64::from(stage.is_dynamic()));
+                assert_eq!(stats.errors, u64::from(!stage.is_dynamic()));
+                assert_eq!(stats.budget_exceeded, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn stalled_stages_complete_instead_of_failing() {
+    let inputs = small_inputs();
+    let clean = baseline(&inputs);
+    for jobs in [1usize, 8] {
+        let plan = FaultPlan::at(Stage::Profile, 2, FaultMode::Stall(30));
+        let batch = engine_with(vec![plan]).batch(inputs.clone(), jobs);
+        assert_eq!(batch.stats.errors + batch.stats.degraded, 0);
+        for (i, o) in batch.outcomes.iter().enumerate() {
+            assert_eq!(*o.outcome.report().expect("stall is slow, not fatal"), clean[i]);
+        }
+        // The stall shows up as profile wall time, not as a failure.
+        assert!(batch.stats.stage(Stage::Profile).wall >= std::time::Duration::from_millis(30));
+    }
+}
+
+#[test]
+fn injected_cache_corrupt_failures_render_the_full_taxonomy() {
+    // The CacheCorrupt kind flows through the same isolation path as the
+    // rest of the taxonomy when injected at a dynamic stage.
+    let inputs = small_inputs();
+    let plan = FaultPlan::at(Stage::Rank, 1, FaultMode::Fail(ErrorKind::CacheCorrupt));
+    let batch = engine_with(vec![plan]).batch(inputs, 4);
+    let err = batch.outcomes[1].outcome.error().expect("victim fails");
+    assert_eq!(err.kind, ErrorKind::CacheCorrupt);
+    assert!(err.to_string().contains("cache corruption at rank stage"));
+    assert!(batch.outcomes[1].outcome.is_degraded(), "rank is dynamic");
+}
+
+/// The acceptance scenario from the issue: a batch mixing one
+/// infinite-loop program (stopped by the instruction budget), one
+/// panicking program, and 15 healthy suite apps completes with the right
+/// outcome split, byte-identical healthy reports, and nonzero fault
+/// counters.
+#[test]
+fn acceptance_mixed_batch_with_budget_and_panic_faults() {
+    let healthy: Vec<BatchInput> = parpat_suite::all_apps()
+        .iter()
+        .take(15)
+        .map(|a| BatchInput { name: a.name.to_owned(), source: a.model.to_owned() })
+        .collect();
+    assert_eq!(healthy.len(), 15);
+
+    // Clean run first: baseline reports, and the instruction budget the
+    // healthy apps actually need.
+    let clean = engine_with(Vec::new()).batch(healthy.clone(), 4);
+    let clean_reports: Vec<_> =
+        clean.outcomes.iter().map(|o| o.outcome.report().expect("healthy").clone()).collect();
+    let max_insts = clean_reports.iter().map(|r| r.insts).max().expect("nonempty");
+
+    let mut inputs = healthy.clone();
+    inputs.push(BatchInput {
+        name: "spinner".to_owned(),
+        source: "fn main() {\n    let x = 0;\n    while true { x += 1; }\n    return x;\n}"
+            .to_owned(),
+    });
+    inputs.push(BatchInput { name: "panicky".to_owned(), source: healthy[0].source.clone() });
+    let spinner_idx = 15;
+    let panicky_idx = 16;
+
+    // Budget: double the heaviest healthy app, so only the spinner trips.
+    let mut cfg = EngineConfig {
+        faults: vec![FaultPlan::at(Stage::Detect, panicky_idx, FaultMode::Panic)],
+        ..Default::default()
+    };
+    cfg.analysis.limits = ExecLimits { max_insts: max_insts * 2 + 1000, ..ExecLimits::default() };
+    let eng = Arc::new(Engine::new(cfg).expect("engine"));
+    let batch = eng.batch(inputs, 8);
+
+    assert_eq!(batch.outcomes.len(), 17);
+    // 15 Ok with byte-identical reports.
+    for (i, clean) in clean_reports.iter().enumerate() {
+        let r = batch.outcomes[i].outcome.report().expect("healthy app stays Ok");
+        assert_eq!(*r, *clean, "{} drifted", batch.outcomes[i].name);
+    }
+    // The spinner degrades on budget; its static results survive.
+    let spinner = &batch.outcomes[spinner_idx].outcome;
+    assert!(spinner.is_degraded(), "spinner must degrade, got {spinner:?}");
+    let d = spinner.degraded().expect("degraded");
+    assert_eq!(d.reason.kind, ErrorKind::Budget);
+    assert_eq!(d.reason.stage, Stage::Profile);
+    assert_eq!(d.loops, 1, "the while loop is still visible statically");
+    // The panicking program is confined and classified.
+    let panicky = &batch.outcomes[panicky_idx].outcome;
+    let err = panicky.error().expect("panic recorded");
+    assert_eq!(err.kind, ErrorKind::Panic);
+    assert!(panicky.is_degraded(), "detect-stage panic keeps static results");
+
+    // Counters: the acceptance wants nonzero panics and budget_exceeded.
+    assert_eq!(batch.stats.panics, 1);
+    assert_eq!(batch.stats.budget_exceeded, 1);
+    assert_eq!(batch.stats.degraded, 2);
+    assert_eq!(batch.stats.errors, 0);
+}
+
+#[test]
+fn faulted_programs_are_not_cached_as_failures() {
+    let dir = temp_dir("no-stale");
+    let inputs = small_inputs();
+    let clean = baseline(&inputs);
+
+    // Cold run with a panic at rank for input 0, writing through to disk.
+    let cfg = EngineConfig {
+        cache_dir: Some(dir.clone()),
+        faults: vec![FaultPlan::at(Stage::Rank, 0, FaultMode::Panic)],
+        ..Default::default()
+    };
+    let faulty = Arc::new(Engine::new(cfg).expect("engine"));
+    let batch = faulty.batch(inputs.clone(), 4);
+    assert!(batch.outcomes[0].outcome.is_degraded());
+
+    // A clean engine over the same cache: the victim re-runs and recovers;
+    // nothing stale was persisted for it.
+    let cfg = EngineConfig { cache_dir: Some(dir.clone()), ..Default::default() };
+    let recovered = Arc::new(Engine::new(cfg).expect("engine"));
+    let batch = recovered.batch(inputs, 4);
+    for (i, o) in batch.outcomes.iter().enumerate() {
+        assert_eq!(*o.outcome.report().expect("all recover"), clean[i]);
+    }
+    assert_eq!(batch.stats.errors + batch.stats.degraded, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_disk_records_recover_in_the_batch_path() {
+    let dir = temp_dir("truncated");
+    let inputs = small_inputs();
+    let clean = baseline(&inputs);
+
+    let cfg = EngineConfig { cache_dir: Some(dir.clone()), ..Default::default() };
+    let eng = Arc::new(Engine::new(cfg).expect("engine"));
+    eng.batch(inputs.clone(), 4);
+
+    // Truncate every record mid-payload — a crash between write and rename
+    // on a non-atomic filesystem, at scale.
+    let mut truncated = 0;
+    for entry in std::fs::read_dir(&dir).expect("cache dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "rec") {
+            let bytes = std::fs::read(&path).expect("record");
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+            truncated += 1;
+        }
+    }
+    assert!(truncated > 0, "cold run persisted records");
+
+    // A fresh engine over the damaged cache completes cleanly: corrupt
+    // records quarantine to misses, stages re-execute, results match.
+    let cfg = EngineConfig { cache_dir: Some(dir.clone()), ..Default::default() };
+    let eng = Arc::new(Engine::new(cfg).expect("engine"));
+    let batch = eng.batch(inputs, 4);
+    for (i, o) in batch.outcomes.iter().enumerate() {
+        assert_eq!(*o.outcome.report().expect("recovers"), clean[i]);
+    }
+    assert_eq!(batch.stats.errors + batch.stats.degraded, 0);
+    assert!(batch.stats.cache.recovered > 0, "recoveries counted:\n{}", batch.stats.render_text());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn xorshift_fault_campaign_is_reproducible() {
+    // Two identical campaigns over xorshift-chosen (stage, victim, mode)
+    // triples must produce identical outcome shapes.
+    let inputs = small_inputs();
+    let campaign = |seed: u64| -> Vec<String> {
+        let mut rng = seed;
+        let mut shapes = Vec::new();
+        for round in 0..6 {
+            let stage = Stage::ALL[(xorshift64(&mut rng) as usize) % 6];
+            let victim = (xorshift64(&mut rng) as usize) % inputs.len();
+            let mode = if xorshift64(&mut rng).is_multiple_of(2) {
+                FaultMode::Panic
+            } else {
+                FaultMode::Fail(ErrorKind::Runtime)
+            };
+            let jobs = if round % 2 == 0 { 1 } else { 8 };
+            let batch =
+                engine_with(vec![FaultPlan::at(stage, victim, mode)]).batch(inputs.clone(), jobs);
+            let shape: Vec<char> = batch
+                .outcomes
+                .iter()
+                .map(|o| {
+                    if o.outcome.is_ok() {
+                        'O'
+                    } else if o.outcome.is_degraded() {
+                        'D'
+                    } else {
+                        'E'
+                    }
+                })
+                .collect();
+            shapes.push(shape.into_iter().collect());
+        }
+        shapes
+    };
+    let a = campaign(0xBADC_0FFE);
+    let b = campaign(0xBADC_0FFE);
+    assert_eq!(a, b);
+    // Every round produced exactly one non-Ok slot.
+    for shape in &a {
+        assert_eq!(shape.chars().filter(|&c| c != 'O').count(), 1, "shape {shape}");
+    }
+}

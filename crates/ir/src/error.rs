@@ -2,19 +2,46 @@
 
 use std::fmt;
 
-/// An execution failure (bounds violation, instruction-limit hit, bad entry).
+/// What class of failure a [`RuntimeError`] is. Callers that degrade
+/// gracefully (the batch engine) treat budget exhaustion differently from
+/// genuine program faults, so the distinction is structural, not textual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeErrorKind {
+    /// The program itself misbehaved (bounds violation, type mismatch,
+    /// missing entry point).
+    Fault,
+    /// An [`crate::interp::ExecLimits`] bound was exhausted (instruction
+    /// budget, call depth, wall-clock deadline). The program may be fine —
+    /// it just did not finish within the allotted resources.
+    Budget,
+}
+
+/// An execution failure (bounds violation, budget exhaustion, bad entry).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeError {
     /// 1-based source line the failure is anchored to (0 when unknown).
     pub line: u32,
     /// Human-readable message.
     pub message: String,
+    /// Fault vs. budget classification.
+    pub kind: RuntimeErrorKind,
 }
 
 impl RuntimeError {
-    /// Construct an error at `line`.
+    /// Construct a program-fault error at `line`.
     pub fn new(line: u32, message: String) -> Self {
-        RuntimeError { line, message }
+        RuntimeError { line, message, kind: RuntimeErrorKind::Fault }
+    }
+
+    /// Construct a budget-exhaustion error at `line`.
+    pub fn budget(line: u32, message: String) -> Self {
+        RuntimeError { line, message, kind: RuntimeErrorKind::Budget }
+    }
+
+    /// `true` when the error is an exhausted execution budget rather than a
+    /// program fault.
+    pub fn is_budget(&self) -> bool {
+        self.kind == RuntimeErrorKind::Budget
     }
 }
 
@@ -34,5 +61,13 @@ mod tests {
     fn display_mentions_line() {
         let e = RuntimeError::new(12, "index 9 out of bounds".into());
         assert!(e.to_string().contains("line 12"));
+        assert!(!e.is_budget());
+    }
+
+    #[test]
+    fn budget_errors_are_classified() {
+        let e = RuntimeError::budget(3, "instruction limit of 10 exceeded".into());
+        assert!(e.is_budget());
+        assert_eq!(e.kind, RuntimeErrorKind::Budget);
     }
 }

@@ -20,7 +20,10 @@ use crate::ir::*;
 use crate::lower::FRAME_REGION_BASE;
 use parpat_minilang::ast::{BinOp, UnOp};
 
-/// Execution bounds.
+/// Execution bounds. Exhausting any of them aborts the run with a
+/// [`RuntimeError`] of kind [`crate::error::RuntimeErrorKind::Budget`], so
+/// callers can tell "the program is broken" from "the program outlived its
+/// budget".
 #[derive(Debug, Clone, Copy)]
 pub struct ExecLimits {
     /// Maximum number of executed IR instructions before aborting.
@@ -29,15 +32,27 @@ pub struct ExecLimits {
     /// unbounded MiniLang recursion would overflow the host stack; this
     /// turns it into a clean [`RuntimeError`] instead.
     pub max_call_depth: usize,
+    /// Wall-clock budget for the whole run, in milliseconds. The deadline
+    /// is armed when execution starts and polled every
+    /// [`DEADLINE_POLL_MASK`]` + 1` instructions, so even a tight infinite
+    /// loop is cancelled within a few microseconds of the deadline.
+    /// `None` disables the wall clock.
+    pub timeout_ms: Option<u64>,
 }
+
+/// The deadline is checked whenever `insts & DEADLINE_POLL_MASK == 0`:
+/// frequent enough to cancel promptly, rare enough that `Instant::now()`
+/// stays off the hot path.
+pub const DEADLINE_POLL_MASK: u64 = 0xFFF;
 
 impl Default for ExecLimits {
     fn default() -> Self {
         // Generous enough for every suite model at its default input size,
         // small enough that an accidental infinite `while` fails fast — and
         // a call-depth bound that stays inside a 2 MiB thread stack even in
-        // unoptimized builds.
-        ExecLimits { max_insts: 500_000_000, max_call_depth: 128 }
+        // unoptimized builds. No wall clock by default: batch drivers arm
+        // one explicitly.
+        ExecLimits { max_insts: 500_000_000, max_call_depth: 128, timeout_ms: None }
     }
 }
 
@@ -82,12 +97,16 @@ pub fn run_function(
             format!("`{}` expects {} argument(s), got {}", f.name, f.n_params, args.len()),
         ));
     }
+    let deadline = limits
+        .timeout_ms
+        .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
     let mut interp = Interp {
         prog,
         globals: vec![0.0; prog.global_elems()],
         next_frame_base: FRAME_REGION_BASE,
         insts: 0,
         limits,
+        deadline,
         stack: Vec::new(),
         obs,
     };
@@ -138,6 +157,9 @@ struct Interp<'p, 'o> {
     next_frame_base: u64,
     insts: u64,
     limits: ExecLimits,
+    /// Wall-clock deadline, armed from [`ExecLimits::timeout_ms`] when the
+    /// run started.
+    deadline: Option<std::time::Instant>,
     /// Call stack of function ids (for recursion detection).
     stack: Vec<FuncId>,
     obs: &'o mut dyn Observer,
@@ -151,10 +173,23 @@ impl Interp<'_, '_> {
     fn tick(&mut self, inst: InstId) -> Result<(), RuntimeError> {
         self.insts += 1;
         if self.insts > self.limits.max_insts {
-            return Err(RuntimeError::new(
+            return Err(RuntimeError::budget(
                 self.line(inst),
                 format!("instruction limit of {} exceeded", self.limits.max_insts),
             ));
+        }
+        if self.insts & DEADLINE_POLL_MASK == 0 {
+            if let Some(deadline) = self.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(RuntimeError::budget(
+                        self.line(inst),
+                        format!(
+                            "wall-clock budget of {}ms exceeded",
+                            self.limits.timeout_ms.unwrap_or(0)
+                        ),
+                    ));
+                }
+            }
         }
         self.obs.instruction(inst);
         Ok(())
@@ -168,7 +203,7 @@ impl Interp<'_, '_> {
     ) -> Result<f64, RuntimeError> {
         let f = &self.prog.functions[func];
         if self.stack.len() >= self.limits.max_call_depth {
-            return Err(RuntimeError::new(
+            return Err(RuntimeError::budget(
                 f.line,
                 format!(
                     "call depth limit of {} exceeded entering `{}`",
@@ -581,6 +616,48 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("instruction limit"));
+        assert!(err.is_budget(), "instruction exhaustion is a budget error");
+    }
+
+    #[test]
+    fn wall_clock_deadline_stops_infinite_loop() {
+        let ir = lower(&parse_checked("fn main() { while true { let x = 1; } }").unwrap());
+        let err = run_with_limits(
+            &ir,
+            &mut NullObserver,
+            ExecLimits { timeout_ms: Some(20), ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("wall-clock budget"), "{err}");
+        assert!(err.is_budget());
+    }
+
+    #[test]
+    fn deadline_does_not_trip_fast_programs() {
+        let ir = lower(&parse_checked("fn main() { return 6 * 7; }").unwrap());
+        let out = run_with_limits(
+            &ir,
+            &mut NullObserver,
+            ExecLimits { timeout_ms: Some(10_000), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(out.return_value, 42.0);
+    }
+
+    #[test]
+    fn call_depth_exhaustion_is_a_budget_error() {
+        let src = "fn r(n) { return r(n + 1); } fn main() { return r(0); }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let err = run(&ir, &mut NullObserver).unwrap_err();
+        assert!(err.message.contains("call depth"), "{err}");
+        assert!(err.is_budget());
+    }
+
+    #[test]
+    fn faults_are_not_budget_errors() {
+        let ir = lower(&parse_checked("global a[2]; fn main() { a[5] = 1; }").unwrap());
+        let err = run(&ir, &mut NullObserver).unwrap_err();
+        assert!(!err.is_budget());
     }
 
     #[test]

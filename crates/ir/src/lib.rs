@@ -39,7 +39,7 @@ pub mod interp;
 pub mod ir;
 pub mod lower;
 
-pub use error::RuntimeError;
+pub use error::{RuntimeError, RuntimeErrorKind};
 pub use event::{AccessKind, MemAccess, Observer};
 pub use interp::{run, run_function, run_with_limits, ExecLimits, ExecOutcome};
 pub use ir::{ArrayId, FuncId, InstId, InstKind, IrProgram, LoopId};

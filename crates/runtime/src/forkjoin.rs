@@ -9,17 +9,30 @@
 use std::sync::{Condvar, Mutex};
 
 /// Run `a` and `b`, potentially in parallel, returning both results.
+///
+/// If branch `b` panics, the panic is re-raised *in the caller* (with its
+/// original payload) only after branch `a` has completed — mirroring what
+/// `a(); b()` would do sequentially, and guaranteeing `a`'s work is never
+/// silently dropped mid-flight. If `a` panics, the scope joins `b` before
+/// unwinding, with the same guarantee in the other direction.
 pub fn join<RA: Send, RB: Send>(
     a: impl FnOnce() -> RA + Send,
     b: impl FnOnce() -> RB + Send,
 ) -> (RA, RB) {
     let mut rb = None;
+    let mut b_panic: Option<Box<dyn std::any::Any + Send>> = None;
     let ra = std::thread::scope(|s| {
         let handle = s.spawn(b);
         let ra = a();
-        rb = Some(handle.join().expect("join branch panicked"));
+        match handle.join() {
+            Ok(v) => rb = Some(v),
+            Err(payload) => b_panic = Some(payload),
+        }
         ra
     });
+    if let Some(payload) = b_panic {
+        std::panic::resume_unwind(payload);
+    }
     (ra, rb.expect("b completed"))
 }
 
@@ -131,6 +144,25 @@ mod tests {
         let (a, b) = join(|| 6 * 7, || "ok");
         assert_eq!(a, 42);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_propagates_branch_panic_after_a_completes() {
+        let a_done = AtomicUsize::new(0);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            join(
+                || {
+                    a_done.fetch_add(1, Ordering::SeqCst);
+                    41
+                },
+                || -> i32 { std::panic::panic_any("branch b exploded") },
+            )
+        }))
+        .expect_err("b's panic must propagate");
+        // The original payload survives (not a synthesized expect message)…
+        assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "branch b exploded");
+        // …and a's work was not dropped.
+        assert_eq!(a_done.load(Ordering::SeqCst), 1);
     }
 
     #[test]

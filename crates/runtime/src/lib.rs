@@ -13,7 +13,9 @@
 //!   task-graph scheduler (master/worker) for fork/worker/barrier
 //!   classifications;
 //! - [`pool`] — a std-only work-stealing thread pool for `'static`
-//!   task loads.
+//!   task loads;
+//! - [`sync`] — poison-recovering lock helpers so one panicking task can
+//!   never wedge the executors sharing a lock.
 //!
 //! All executors are correctness-tested against their sequential
 //! equivalents; wall-clock speedups in this repository's experiments come
@@ -28,6 +30,7 @@ pub mod parfor;
 pub mod pipeline;
 pub mod pool;
 pub mod reduce;
+pub mod sync;
 
 pub use chain::{run_chain, ChainStage};
 pub use forkjoin::{join, join4, run_task_graph, GraphTask};
@@ -35,6 +38,7 @@ pub use parfor::{parallel_for, parallel_for_chunks, parallel_for_slices};
 pub use pipeline::{run_two_stage, PipelineSpec, PrefixTracker};
 pub use pool::ThreadPool;
 pub use reduce::{parallel_reduce, parallel_sum};
+pub use sync::{lock_recover, wait_recover, wait_timeout_recover};
 
 #[cfg(test)]
 mod tests {
@@ -82,6 +86,31 @@ mod tests {
         let pool = ThreadPool::new(1);
         pool.wait_idle();
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn pool_survives_panicking_tasks() {
+        let pool = ThreadPool::new(2);
+        let count = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let c = Arc::clone(&count);
+            pool.spawn(move || {
+                if i % 4 == 0 {
+                    panic!("injected task panic");
+                }
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Every non-panicking task still runs and wait_idle still returns.
+        pool.wait_idle();
+        assert_eq!(count.load(Ordering::SeqCst), 15);
+        // The pool remains usable afterwards.
+        let c = Arc::clone(&count);
+        pool.spawn(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(count.load(Ordering::SeqCst), 16);
     }
 
     #[test]

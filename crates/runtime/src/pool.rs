@@ -19,6 +19,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
+
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
 /// How many tasks a worker moves from the injector to its local deque per
@@ -80,16 +82,16 @@ impl ThreadPool {
     /// Submit a task (safe to call from inside another pool task).
     pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.shared.injector.lock().unwrap().push_back(Box::new(f));
+        lock_recover(&self.shared.injector).push_back(Box::new(f));
         self.shared.work_cv.notify_all();
     }
 
     /// Block until every submitted task (including transitively spawned
     /// ones) has finished.
     pub fn wait_idle(&self) {
-        let mut guard = self.shared.idle_lock.lock().unwrap();
+        let mut guard = lock_recover(&self.shared.idle_lock);
         while self.shared.pending.load(Ordering::SeqCst) != 0 {
-            guard = self.shared.idle_cv.wait(guard).unwrap();
+            guard = wait_recover(&self.shared.idle_cv, guard);
         }
     }
 
@@ -113,9 +115,13 @@ impl Drop for ThreadPool {
 fn worker_loop(shared: Arc<Shared>, me: usize) {
     loop {
         if let Some(task) = find_task(&shared, me) {
-            task();
+            // A panicking task must not take the worker (or, via an
+            // unwound `pending` decrement, the whole pool) down with it:
+            // swallow the unwind and keep draining the queues. Callers
+            // that care about panics catch them inside the task.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
             if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-                let _g = shared.idle_lock.lock().unwrap();
+                let _g = lock_recover(&shared.idle_lock);
                 shared.idle_cv.notify_all();
             }
             continue;
@@ -125,24 +131,23 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
         }
         // Park until new work or shutdown (with a timeout so a lost wakeup
         // can never hang the pool).
-        let guard = shared.work_lock.lock().unwrap();
+        let guard = lock_recover(&shared.work_lock);
         if shared.pending.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
-            let _ =
-                shared.work_cv.wait_timeout(guard, std::time::Duration::from_millis(1)).unwrap();
+            drop(wait_timeout_recover(&shared.work_cv, guard, std::time::Duration::from_millis(1)));
         }
     }
 }
 
 fn find_task(shared: &Shared, me: usize) -> Option<Task> {
     // Local deque first (LIFO for cache affinity).
-    if let Some(t) = shared.queues[me].lock().unwrap().pop_back() {
+    if let Some(t) = lock_recover(&shared.queues[me]).pop_back() {
         return Some(t);
     }
     // Refill from the injector in a batch, keeping one to run now.
     {
-        let mut injector = shared.injector.lock().unwrap();
+        let mut injector = lock_recover(&shared.injector);
         if let Some(t) = injector.pop_front() {
-            let mut local = shared.queues[me].lock().unwrap();
+            let mut local = lock_recover(&shared.queues[me]);
             for _ in 0..STEAL_BATCH - 1 {
                 match injector.pop_front() {
                     Some(extra) => local.push_back(extra),
@@ -157,7 +162,7 @@ fn find_task(shared: &Shared, me: usize) -> Option<Task> {
         if i == me {
             continue;
         }
-        if let Some(t) = queue.lock().unwrap().pop_front() {
+        if let Some(t) = lock_recover(queue).pop_front() {
             return Some(t);
         }
     }

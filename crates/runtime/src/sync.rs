@@ -1,0 +1,53 @@
+//! Poison-recovering lock helpers.
+//!
+//! A `Mutex` is poisoned when a thread panics while holding it. For the
+//! executors and the batch engine built on this crate, the protected data
+//! stays structurally valid across every critical section (counters,
+//! queues, result slots — no multi-step invariants), so the right response
+//! to poison is to keep going: one panicking task must never wedge every
+//! other task sharing the lock.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait` that recovers a poisoned guard.
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait_timeout` that recovers a poisoned guard (the timeout
+/// flag is dropped — callers re-check their predicate anyway).
+pub fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> MutexGuard<'a, T> {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, _)) => g,
+        Err(e) => e.into_inner().0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let m = Mutex::new(7);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+}

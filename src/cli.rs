@@ -15,10 +15,11 @@ pub const USAGE: &str =
     "parpat — parallel pattern detection in sequential programs (IPPS'16 reproduction)
 
 USAGE:
-    parpat analyze <file.ml> [--hotspot <percent>]   full findings summary
+    parpat analyze <file.ml> [--hotspot <percent>] [--max-steps <n>] [--timeout-ms <ms>]
+                                                     full findings summary
     parpat suggest <file.ml> [--workers <n>] [--json]  ranked patterns + transformations
     parpat run <file.ml>                             execute the program, print stats
-    parpat batch <dir|apps> [--jobs <n>] [--cache-dir <d>] [--json]
+    parpat batch <dir|apps> [--jobs <n>] [--cache-dir <d>] [--max-steps <n>] [--timeout-ms <ms>] [--json]
                                                      analyze every .ml file of a directory (or the
                                                      bundled apps) in parallel with artifact caching
     parpat stats [--cache-dir <d>] [--json]          per-stage stats persisted by the last batch
@@ -30,6 +31,12 @@ USAGE:
 Batch runs default to the `.parpat-cache` cache directory (pass
 `--cache-dir none` for a purely in-memory cache); a warm second run skips
 every unchanged stage and says so in the stats.
+
+`--max-steps` and `--timeout-ms` bound every profiled run (dynamic IR
+instructions / wall-clock milliseconds). A program that exceeds a budget —
+or whose dynamic stages fail for any other reason — is reported as
+*degraded* with its static results (loops, CU graph, lexical do-all
+candidates) instead of failing the whole batch.
 
 The input is a MiniLang program (see README / crates/minilang). The bundled
 benchmarks are the paper's 17 evaluation applications plus the two
@@ -55,8 +62,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 }
                 None => 0.1,
             };
+            let limits = exec_limits_opts(&opts)?;
             let src = read(&path)?;
-            let cfg = AnalysisConfig { hotspot_threshold: threshold, ..Default::default() };
+            let cfg = AnalysisConfig { hotspot_threshold: threshold, limits, ..Default::default() };
             let analysis = analyze_source(&src, &cfg).map_err(|e| e.to_string())?;
             Ok(analysis.summary())
         }
@@ -196,10 +204,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 },
                 None => std::thread::available_parallelism().map_or(1, |n| n.get()),
             };
+            let limits = exec_limits_opts(&opts)?;
             let inputs = batch_inputs(&target)?;
             let engine = std::sync::Arc::new(
                 parpat_engine::Engine::new(parpat_engine::EngineConfig {
                     cache_dir: cache_dir_opt(&opts)?,
+                    analysis: AnalysisConfig { limits, ..Default::default() },
                     ..Default::default()
                 })
                 .map_err(|e| format!("cannot set up cache directory: {e}"))?,
@@ -255,6 +265,26 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
+/// Parse the execution-budget flags into interpreter limits. Both take a
+/// positive integer; anything else (zero, negatives, non-numbers) is
+/// rejected with a precise message, like `--hotspot`.
+fn exec_limits_opts(opts: &[String]) -> Result<parpat_ir::ExecLimits, String> {
+    let mut limits = parpat_ir::ExecLimits::default();
+    if let Some(v) = opt_value(opts, "--max-steps")? {
+        match v.parse::<u64>() {
+            Ok(n) if n >= 1 => limits.max_insts = n,
+            _ => return Err(format!("--max-steps must be a positive integer, got `{v}`")),
+        }
+    }
+    if let Some(v) = opt_value(opts, "--timeout-ms")? {
+        match v.parse::<u64>() {
+            Ok(n) if n >= 1 => limits.timeout_ms = Some(n),
+            _ => return Err(format!("--timeout-ms must be a positive integer, got `{v}`")),
+        }
+    }
+    Ok(limits)
+}
+
 /// Resolve `--cache-dir`: default `.parpat-cache`, literal `none` disables
 /// the disk tier.
 fn cache_dir_opt(opts: &[String]) -> Result<Option<std::path::PathBuf>, String> {
@@ -299,8 +329,8 @@ fn batch_inputs(target: &str) -> Result<Vec<parpat_engine::BatchInput>, String> 
 fn render_batch_text(batch: &parpat_engine::BatchReport) -> String {
     let mut out = String::new();
     for o in &batch.outcomes {
-        match &o.result {
-            Ok(r) => writeln!(
+        match &o.outcome {
+            parpat_engine::AnalysisOutcome::Ok(r) => writeln!(
                 out,
                 "{:<14} ok    {:>10} insts  {} pipeline(s) {} fusion(s) {} reduction(s) {} geodecomp {} task region(s){}",
                 o.name,
@@ -313,7 +343,19 @@ fn render_batch_text(batch: &parpat_engine::BatchReport) -> String {
                 if o.fully_cached { "  [cached]" } else { "" }
             )
             .unwrap(),
-            Err(e) => writeln!(out, "{:<14} error {e}", o.name).unwrap(),
+            parpat_engine::AnalysisOutcome::Degraded(d) => writeln!(
+                out,
+                "{:<14} degraded  {} loop(s) {} CU(s) {} static do-all candidate(s) — {}",
+                o.name,
+                d.loops,
+                d.cus,
+                d.doall_candidates.len(),
+                d.reason
+            )
+            .unwrap(),
+            parpat_engine::AnalysisOutcome::Err(e) => {
+                writeln!(out, "{:<14} error {e}", o.name).unwrap();
+            }
         }
     }
     out.push('\n');
@@ -325,17 +367,22 @@ fn render_batch_json(batch: &parpat_engine::BatchReport) -> String {
     let programs: Vec<String> = batch
         .outcomes
         .iter()
-        .map(|o| match &o.result {
-            Ok(r) => format!(
-                "{{\"name\": {}, \"ok\": true, \"cached\": {}, \"report\": {}}}",
+        .map(|o| match &o.outcome {
+            parpat_engine::AnalysisOutcome::Ok(r) => format!(
+                "{{\"name\": {}, \"status\": \"ok\", \"cached\": {}, \"report\": {}}}",
                 json_str(&o.name),
                 o.fully_cached,
                 r.to_json()
             ),
-            Err(e) => format!(
-                "{{\"name\": {}, \"ok\": false, \"error\": {}}}",
+            parpat_engine::AnalysisOutcome::Degraded(d) => format!(
+                "{{\"name\": {}, \"status\": \"degraded\", \"degraded\": {}}}",
                 json_str(&o.name),
-                json_str(e)
+                d.to_json()
+            ),
+            parpat_engine::AnalysisOutcome::Err(e) => format!(
+                "{{\"name\": {}, \"status\": \"error\", \"error\": {}}}",
+                json_str(&o.name),
+                e.to_json()
             ),
         })
         .collect();
@@ -584,6 +631,52 @@ fn main() {
         assert!(run(&args(&["batch", "/definitely/not/here", "--cache-dir", "none"]))
             .unwrap_err()
             .contains("cannot read directory"));
+    }
+
+    #[test]
+    fn budget_flags_are_validated_like_hotspot() {
+        let path = write_temp("lim.ml", REDUCTION_SRC);
+        let (dir, _) = batch_dir();
+        for flag in ["--max-steps", "--timeout-ms"] {
+            for bad in ["0", "-3", "zap", "1.5"] {
+                let err = run(&args(&["analyze", &path, flag, bad])).unwrap_err();
+                assert!(err.contains("positive integer"), "`analyze {flag} {bad}` gave: {err}");
+                let err =
+                    run(&args(&["batch", &dir, "--cache-dir", "none", flag, bad])).unwrap_err();
+                assert!(err.contains("positive integer"), "`batch {flag} {bad}` gave: {err}");
+            }
+        }
+        assert!(run(&args(&["analyze", &path, "--max-steps", "100000", "--timeout-ms", "5000"]))
+            .is_ok());
+    }
+
+    #[test]
+    fn over_budget_batch_programs_degrade_with_static_results() {
+        let dir = std::env::temp_dir().join(format!("parpat-degraded-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            dir.join("spin.ml"),
+            "fn main() { let x = 0; while true { x += 1; } return x; }",
+        )
+        .expect("write");
+        std::fs::write(dir.join("red.ml"), REDUCTION_SRC).expect("write");
+        let dir = dir.to_string_lossy().into_owned();
+
+        let base = args(&["batch", &dir, "--cache-dir", "none", "--max-steps", "10000"]);
+        let text = run(&base).unwrap();
+        assert!(text.contains("degraded"), "{text}");
+        assert!(text.contains("budget exceeded at profile stage"), "{text}");
+        assert!(text.contains(" ok "), "{text}");
+        assert!(text.contains("1 budget-exceeded"), "{text}");
+
+        let mut jargs = base.clone();
+        jargs.push("--json".to_owned());
+        let json = run(&jargs).unwrap();
+        assert!(json.contains("\"status\": \"degraded\""), "{json}");
+        assert!(json.contains("\"kind\": \"budget\""), "{json}");
+        assert!(json.contains("\"status\": \"ok\""), "{json}");
+        assert!(json.contains("\"budget_exceeded\": 1"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
     }
 
     #[test]
