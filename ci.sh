@@ -10,3 +10,6 @@ cargo test -q
 # Fault-injection suite: every (stage x fault mode x job count) must leave
 # the batch complete, ordered, and correctly counted.
 cargo test -q -p parpat-engine --test faults
+# Static diagnostics are byte-stable over the bundled suite: the release
+# binary must reproduce the checked-in golden snapshot exactly.
+./target/release/parpat lint apps --json | diff tests/golden/lint_apps.json -

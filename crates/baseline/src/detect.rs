@@ -438,6 +438,8 @@ fn find_while(prog: &Program) -> Option<u32> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_minilang::parse_fragment;
 

@@ -33,13 +33,14 @@ pub fn render_fig1() -> String {
     let mut out = String::from("Figure 1 — CU construction (read-compute-write):\n");
     out.push_str("source:\n");
     for (i, line) in FIG1_SRC.lines().enumerate() {
-        writeln!(out, "  {:>2} | {line}", i + 1).unwrap();
+        writeln!(out, "  {:>2} | {line}", i + 1).expect("write to String");
     }
-    writeln!(out, "computational units of main():").unwrap();
+    writeln!(out, "computational units of main():").expect("write to String");
     for (i, &cu) in analysis.cus.region_cus(region).iter().enumerate() {
         let c = &analysis.cus.cus[cu];
         let lines: Vec<String> = c.lines.iter().map(|l| l.to_string()).collect();
-        writeln!(out, "  CU_{i}: {} (lines {})", c.label, lines.join(", ")).unwrap();
+        writeln!(out, "  CU_{i}: {} (lines {})", c.label, lines.join(", "))
+            .expect("write to String");
     }
     out
 }
@@ -68,7 +69,7 @@ pub fn render_fig2() -> String {
     let analysis = analyze_source(FIG2_SRC, &AnalysisConfig::default()).expect("fig2 analyzes");
     let mut out = String::from("Figure 2 — program execution tree with CUs per region:\n");
     out.push_str(&analysis.pet.render(&analysis.ir));
-    writeln!(out, "CUs per region:").unwrap();
+    writeln!(out, "CUs per region:").expect("write to String");
     for region in analysis.cus.regions() {
         let n = analysis.cus.region_cus(region).len();
         if n == 0 {
@@ -78,7 +79,7 @@ pub fn render_fig2() -> String {
             RegionId::FuncBody(f) => format!("function {}()", analysis.ir.functions[f].name),
             RegionId::Loop(l) => format!("loop L{l} @ line {}", analysis.ir.loops[l as usize].line),
         };
-        writeln!(out, "  {label}: {n} CU(s)").unwrap();
+        writeln!(out, "  {label}: {n} CU(s)").expect("write to String");
     }
     out
 }
@@ -92,6 +93,8 @@ pub fn render_fig3() -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

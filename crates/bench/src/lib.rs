@@ -21,6 +21,7 @@
 //! executor overheads).
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod figures;
 pub mod micro;

@@ -23,7 +23,8 @@ pub fn render_table2() -> String {
     let rows: [(f64, f64); 5] = [(1.0, 0.0), (0.5, 0.0), (2.0, 0.0), (1.0, -3.0), (1.0, 3.0)];
     let mut out = String::from("| a | b | interpretation |\n|---|---|---|\n");
     for (a, b) in rows {
-        writeln!(out, "| {a} | {b} | {} |", parpat_core::interpret_coefficients(a, b)).unwrap();
+        writeln!(out, "| {a} | {b} | {} |", parpat_core::interpret_coefficients(a, b))
+            .expect("write to String");
     }
     out
 }
@@ -152,7 +153,7 @@ pub fn render_table3() -> String {
             r.paper_speedup,
             r.paper_threads
         )
-        .unwrap();
+        .expect("write to String");
     }
     out
 }
@@ -205,7 +206,7 @@ pub fn render_table4() -> String {
             "| {} | {:.3} | {:.3} | {:.3} | {} | {} | {} |",
             r.name, r.a, r.b, r.e, r.paper.0, r.paper.1, r.paper.2
         )
-        .unwrap();
+        .expect("write to String");
     }
     out
 }
@@ -263,7 +264,7 @@ pub fn render_table5() -> String {
             "| {} | {:.0} | {:.0} | {:.2} | {} |",
             r.name, r.total, r.critical, r.estimated, r.paper_estimated
         )
-        .unwrap();
+        .expect("write to String");
     }
     out
 }
@@ -353,6 +354,8 @@ pub fn render_task_region(app_name: &str, func: &str) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

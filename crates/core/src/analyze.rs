@@ -263,18 +263,19 @@ impl Analysis {
     pub fn summary(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        writeln!(out, "=== hotspots ===").unwrap();
+        writeln!(out, "=== hotspots ===").expect("write to String");
         out.push_str(&self.pet.render(&self.ir));
 
-        writeln!(out, "=== loop classes ===").unwrap();
+        writeln!(out, "=== loop classes ===").expect("write to String");
         let mut loops: Vec<_> = self.loop_classes.iter().collect();
         loops.sort_by_key(|(l, _)| **l);
         for (l, class) in loops {
-            writeln!(out, "L{l} @ line {}: {:?}", self.ir.loops[*l as usize].line, class).unwrap();
+            writeln!(out, "L{l} @ line {}: {:?}", self.ir.loops[*l as usize].line, class)
+                .expect("write to String");
         }
 
         if !self.pipelines.is_empty() {
-            writeln!(out, "=== multi-loop pipelines ===").unwrap();
+            writeln!(out, "=== multi-loop pipelines ===").expect("write to String");
             for p in &self.pipelines {
                 writeln!(
                     out,
@@ -288,41 +289,43 @@ impl Analysis {
                     p.e,
                     p.interpretation()
                 )
-                .unwrap();
+                .expect("write to String");
             }
         }
         if !self.fusions.is_empty() {
-            writeln!(out, "=== fusion candidates ===").unwrap();
+            writeln!(out, "=== fusion candidates ===").expect("write to String");
             for f in &self.fusions {
                 writeln!(
                     out,
                     "fuse L{} (line {}) with L{} (line {})",
                     f.x, f.lines.0, f.y, f.lines.1
                 )
-                .unwrap();
+                .expect("write to String");
             }
         }
         if !self.reductions.is_empty() {
-            writeln!(out, "=== reductions ===").unwrap();
+            writeln!(out, "=== reductions ===").expect("write to String");
             for r in &self.reductions {
                 writeln!(
                     out,
                     "loop L{} @ line {}: variable `{}` at line {}",
                     r.l, r.loop_line, r.var, r.line
                 )
-                .unwrap();
+                .expect("write to String");
             }
         }
         if !self.geodecomp.is_empty() {
-            writeln!(out, "=== geometric decomposition ===").unwrap();
+            writeln!(out, "=== geometric decomposition ===").expect("write to String");
             for g in &self.geodecomp {
-                writeln!(out, "function `{}` over loops {:?}", g.name, g.loops).unwrap();
+                writeln!(out, "function `{}` over loops {:?}", g.name, g.loops)
+                    .expect("write to String");
             }
         }
         for (g, t) in self.graphs.iter().zip(&self.tasks) {
             // Only worth narrating when the parallelism is non-trivial.
             if t.estimated_speedup > 1.05 {
-                writeln!(out, "=== task parallelism in {:?} ===", g.region).unwrap();
+                writeln!(out, "=== task parallelism in {:?} ===", g.region)
+                    .expect("write to String");
                 out.push_str(&t.render(g, &self.cus));
             }
         }
@@ -332,6 +335,8 @@ impl Analysis {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -50,6 +50,8 @@ pub fn classify_loops(prog: &IrProgram, profile: &ProfileData) -> HashMap<LoopId
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_ir::compile;
     use parpat_profile::profile;

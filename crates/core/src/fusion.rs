@@ -81,6 +81,8 @@ fn has_interposed_producer(profile: &ProfileData, x: LoopId, y: LoopId) -> bool 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::pipeline::{detect_pipelines, PipelineConfig};
     use parpat_ir::compile;

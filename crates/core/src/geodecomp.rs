@@ -111,6 +111,8 @@ fn parallel_class(classes: &HashMap<LoopId, LoopClass>, l: LoopId) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::doall::classify_loops;
     use parpat_ir::compile;

@@ -41,6 +41,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod analyze;
 pub mod doall;

@@ -180,6 +180,8 @@ pub fn infer_all(prog: &IrProgram, reductions: &[ReductionReport]) -> Vec<(usize
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::analyze::{analyze_source, AnalysisConfig};
 

@@ -228,6 +228,8 @@ pub fn pipeline_chains(reports: &[PipelineReport]) -> Vec<Vec<LoopId>> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_ir::compile;
     use parpat_pet::build_pet;

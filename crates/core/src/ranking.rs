@@ -220,13 +220,15 @@ pub fn render_ranking(ranked: &[RankedPattern]) -> String {
             r.effort,
             r.score
         )
-        .unwrap();
+        .expect("write to String");
     }
     out
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::analyze::{analyze_source, AnalysisConfig};
 

@@ -97,6 +97,8 @@ pub fn reduction_addrs_cover_carried(profile: &ProfileData, l: LoopId) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_ir::compile;
     use parpat_profile::profile;

@@ -61,6 +61,8 @@ pub fn regression_of_pairs(pairs: &[(u64, u64)]) -> Option<Regression> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn close(a: f64, b: f64) -> bool {

@@ -80,26 +80,27 @@ impl TaskReport {
                 Some(CuMark::Barrier) => "barrier",
                 None => "-",
             };
-            writeln!(out, "CU_{i} [{mark}] {}", cus.cus[c].label).unwrap();
+            writeln!(out, "CU_{i} [{mark}] {}", cus.cus[c].label).expect("write to String");
         }
         for (f, ws) in &self.forks {
             let ws: Vec<String> = ws.iter().map(|w| format!("CU_{}", index_of[w])).collect();
-            writeln!(out, "CU_{} forks: {}", index_of[f], ws.join(", ")).unwrap();
+            writeln!(out, "CU_{} forks: {}", index_of[f], ws.join(", ")).expect("write to String");
         }
         for (b, preds) in &self.barriers {
             let ps: Vec<String> = preds.iter().map(|p| format!("CU_{}", index_of[p])).collect();
-            writeln!(out, "CU_{} is a barrier for: {}", index_of[b], ps.join(", ")).unwrap();
+            writeln!(out, "CU_{} is a barrier for: {}", index_of[b], ps.join(", "))
+                .expect("write to String");
         }
         for (x, y) in &self.parallel_barriers {
             writeln!(out, "barriers CU_{} and CU_{} can run in parallel", index_of[x], index_of[y])
-                .unwrap();
+                .expect("write to String");
         }
         writeln!(
             out,
             "estimated speedup: {:.2} ({} / {} insts)",
             self.estimated_speedup, self.total_insts, self.critical_path_insts
         )
-        .unwrap();
+        .expect("write to String");
         out
     }
 }
@@ -195,6 +196,8 @@ pub fn detect_task_parallelism(graph: &CuGraph, cus: &CuSet) -> TaskReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_cu::{build_cus, build_graph};
     use parpat_ir::compile;

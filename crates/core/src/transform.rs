@@ -183,6 +183,8 @@ pub fn suggest_fission(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::analyze::{analyze_source, AnalysisConfig};
 

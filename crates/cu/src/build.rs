@@ -613,6 +613,8 @@ fn collect_body_reads(stmts: &[IrStmt], reads: &mut Vec<usize>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_ir::compile;
 

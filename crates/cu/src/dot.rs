@@ -20,9 +20,9 @@ pub fn cu_graph_to_dot(
 ) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    writeln!(out, "digraph \"{}\" {{", esc(title)).unwrap();
-    writeln!(out, "  rankdir=TB;").unwrap();
-    writeln!(out, "  node [shape=box, fontname=\"monospace\"];").unwrap();
+    writeln!(out, "digraph \"{}\" {{", esc(title)).expect("write to String");
+    writeln!(out, "  rankdir=TB;").expect("write to String");
+    writeln!(out, "  node [shape=box, fontname=\"monospace\"];").expect("write to String");
     for (i, &cu) in graph.nodes.iter().enumerate() {
         let c = &cus.cus[cu];
         let shape = match c.kind {
@@ -34,20 +34,22 @@ pub fn cu_graph_to_dot(
             .map(|(s, col)| (format!(" [{s}]"), format!(", style=filled, fillcolor=\"{col}\"")))
             .unwrap_or_default();
         writeln!(out, "  cu{i} [label=\"CU_{i}: {}{}\"{}{}];", esc(&c.label), suffix, shape, color)
-            .unwrap();
+            .expect("write to String");
     }
     let index_of = |cu: usize| graph.nodes.iter().position(|&x| x == cu);
     for &(s, t) in &graph.edges {
         if let (Some(a), Some(b)) = (index_of(s), index_of(t)) {
-            writeln!(out, "  cu{a} -> cu{b};").unwrap();
+            writeln!(out, "  cu{a} -> cu{b};").expect("write to String");
         }
     }
-    writeln!(out, "}}").unwrap();
+    writeln!(out, "}}").expect("write to String");
     out
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::build::build_cus;
     use crate::build::RegionId;

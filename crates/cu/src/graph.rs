@@ -129,7 +129,7 @@ impl CuGraph {
                 self.weights.get(&n).copied().unwrap_or(0.0),
                 succ.join(", ")
             )
-            .unwrap();
+            .expect("write to String");
         }
         out
     }
@@ -217,6 +217,8 @@ pub fn edge_between(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::build::build_cus;
     use parpat_ir::compile;

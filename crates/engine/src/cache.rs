@@ -31,6 +31,7 @@ use parpat_cu::CuSet;
 use parpat_ir::IrProgram;
 use parpat_minilang::Program;
 use parpat_runtime::lock_recover;
+use parpat_static::StaticReport;
 
 use crate::report::ProgramReport;
 
@@ -45,6 +46,8 @@ pub enum Artifact {
     Ast(Arc<Program>),
     /// Lowered IR.
     Ir(Arc<IrProgram>),
+    /// Static dependence verdicts per loop.
+    Static(Arc<StaticReport>),
     /// Computational units.
     Cus(Arc<CuSet>),
     /// Dependence profile + PET from the instrumented run.
@@ -247,26 +250,31 @@ impl Cache {
 /// length-prefixed raw bytes, so no escaping is needed.
 fn render_record(rec: &DiskRecord) -> Vec<u8> {
     let mut out = Vec::new();
-    out.extend_from_slice(b"parpat-rec-v1\n");
+    out.extend_from_slice(b"parpat-rec-v2\n");
     out.extend_from_slice(format!("digest {:016x}\n", rec.digest).as_bytes());
     if let Some(insts) = rec.insts {
         out.extend_from_slice(format!("insts {insts}\n").as_bytes());
     }
     if let Some(r) = &rec.report {
-        out.extend_from_slice(
-            format!(
-                "report {} {} {} {} {} {} {} {}\n",
-                r.summary.len(),
-                r.ranking.len(),
-                r.insts,
-                r.pipelines,
-                r.fusions,
-                r.reductions,
-                r.geodecomp,
-                r.task_regions,
-            )
-            .as_bytes(),
+        let mut head = format!(
+            "report {} {} {} {} {} {} {} {} {} {} {}",
+            r.summary.len(),
+            r.ranking.len(),
+            r.insts,
+            r.pipelines,
+            r.fusions,
+            r.reductions,
+            r.geodecomp,
+            r.task_regions,
+            r.static_doall,
+            r.input_sensitive.len(),
+            r.consistency_errors.len(),
         );
+        for l in r.input_sensitive.iter().chain(&r.consistency_errors) {
+            head.push_str(&format!(" {l}"));
+        }
+        head.push('\n');
+        out.extend_from_slice(head.as_bytes());
         out.extend_from_slice(r.summary.as_bytes());
         out.extend_from_slice(r.ranking.as_bytes());
     }
@@ -282,7 +290,9 @@ fn parse_record(bytes: &[u8]) -> Option<DiskRecord> {
         rest = &r[1..];
         Some(l)
     };
-    if line()? != b"parpat-rec-v1" {
+    // v1 records lack the cross-validation fields; failing the magic
+    // quarantines them and the slot regenerates in the new format.
+    if line()? != b"parpat-rec-v2" {
         return None;
     }
     let digest_line = std::str::from_utf8(line()?).ok()?;
@@ -294,11 +304,25 @@ fn parse_record(bytes: &[u8]) -> Option<DiskRecord> {
             rec.insts = Some(v.parse().ok()?);
         } else if let Some(v) = l.strip_prefix("report ") {
             let nums: Vec<u64> = v.split(' ').map(str::parse).collect::<Result<_, _>>().ok()?;
-            let [s_len, r_len, insts, p, f, r, g, t] = nums[..] else { return None };
+            if nums.len() < 11 {
+                return None;
+            }
+            let (head, lists) = nums.split_at(11);
+            let [s_len, r_len, insts, p, f, r, g, t, sd, n_is, n_ce] = *head else { return None };
             let s_len = usize::try_from(s_len).ok()?;
             let r_len = usize::try_from(r_len).ok()?;
+            let n_is = usize::try_from(n_is).ok()?;
+            let n_ce = usize::try_from(n_ce).ok()?;
             // checked_add: near-usize::MAX lengths in a hostile header must
             // read as malformed, not overflow the bounds check.
+            if lists.len() != n_is.checked_add(n_ce)? {
+                return None;
+            }
+            let lines = |ns: &[u64]| -> Option<Vec<u32>> {
+                ns.iter().map(|&n| u32::try_from(n).ok()).collect()
+            };
+            let input_sensitive = lines(&lists[..n_is])?;
+            let consistency_errors = lines(&lists[n_is..])?;
             if rest.len() < s_len.checked_add(r_len)? {
                 return None;
             }
@@ -313,6 +337,9 @@ fn parse_record(bytes: &[u8]) -> Option<DiskRecord> {
                 reductions: r as usize,
                 geodecomp: g as usize,
                 task_regions: t as usize,
+                static_doall: sd as usize,
+                input_sensitive,
+                consistency_errors,
             });
             break;
         } else {
@@ -339,6 +366,9 @@ mod tests {
             reductions: 3,
             geodecomp: 4,
             task_regions: 5,
+            static_doall: 6,
+            input_sensitive: vec![4, 17],
+            consistency_errors: vec![9],
         }
     }
 
@@ -362,11 +392,19 @@ mod tests {
     #[test]
     fn malformed_records_are_misses() {
         assert!(parse_record(b"").is_none());
-        assert!(parse_record(b"parpat-rec-v1\n").is_none());
-        assert!(parse_record(b"parpat-rec-v1\ndigest zzz\n").is_none());
-        assert!(parse_record(b"parpat-rec-v2\ndigest 0000000000000001\n").is_none());
+        assert!(parse_record(b"parpat-rec-v2\n").is_none());
+        assert!(parse_record(b"parpat-rec-v2\ndigest zzz\n").is_none());
+        // Stale v1 records (pre cross-validation) fail the magic.
+        assert!(parse_record(b"parpat-rec-v1\ndigest 0000000000000001\n").is_none());
+        // Old 8-number report header.
+        assert!(parse_record(b"parpat-rec-v2\ndigest 01\nreport 1 0 0 0 0 0 0 0\ns").is_none());
+        // Line-list length disagrees with the declared counts.
+        assert!(
+            parse_record(b"parpat-rec-v2\ndigest 01\nreport 0 0 0 0 0 0 0 0 0 2 0 4\n").is_none()
+        );
         // Truncated payload.
-        assert!(parse_record(b"parpat-rec-v1\ndigest 01\nreport 99 0 0 0 0 0 0 0\nshort").is_none());
+        assert!(parse_record(b"parpat-rec-v2\ndigest 01\nreport 99 0 0 0 0 0 0 0 0 0 0\nshort")
+            .is_none());
     }
 
     #[test]
@@ -395,16 +433,23 @@ mod tests {
     #[test]
     fn hostile_report_lengths_are_misses_not_overflows() {
         let evil = format!(
-            "parpat-rec-v1\ndigest 0000000000000001\nreport {} {} 0 0 0 0 0 0\nx",
+            "parpat-rec-v2\ndigest 0000000000000001\nreport {} {} 0 0 0 0 0 0 0 0 0\nx",
             u64::MAX,
             u64::MAX
         );
         assert!(parse_record(evil.as_bytes()).is_none());
         let evil2 = format!(
-            "parpat-rec-v1\ndigest 0000000000000001\nreport {} 2 0 0 0 0 0 0\nx",
+            "parpat-rec-v2\ndigest 0000000000000001\nreport {} 2 0 0 0 0 0 0 0 0 0\nx",
             u64::MAX - 1
         );
         assert!(parse_record(evil2.as_bytes()).is_none());
+        // Hostile line-list counts must not overflow the length check.
+        let evil3 = format!(
+            "parpat-rec-v2\ndigest 0000000000000001\nreport 0 0 0 0 0 0 0 0 0 {} {}\nx",
+            u64::MAX,
+            u64::MAX
+        );
+        assert!(parse_record(evil3.as_bytes()).is_none());
     }
 
     #[test]
@@ -443,6 +488,9 @@ mod tests {
                 reductions: 0,
                 geodecomp: 0,
                 task_regions: 0,
+                static_doall: 0,
+                input_sensitive: vec![],
+                consistency_errors: vec![],
             }))
         };
         cache.insert(1, 10, art(1), None);

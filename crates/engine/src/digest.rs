@@ -61,6 +61,8 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -42,6 +42,7 @@ use parpat_cu::{build_cus, CuSet};
 use parpat_ir::IrProgram;
 use parpat_minilang::Program;
 use parpat_runtime::{lock_recover, ThreadPool};
+use parpat_static::{analyze_ir, StaticReport};
 
 use crate::cache::{Artifact, Cache, Lookup};
 use crate::digest::{hash_bytes, Fnv64};
@@ -50,6 +51,7 @@ use crate::fault::{FaultMode, FaultPlan};
 use crate::report::{DegradedReport, ProgramReport};
 use crate::stage::Stage;
 use crate::stats::{CacheStats, EngineStats, StageCounters, StageStats};
+use crate::xval::cross_validate;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -167,11 +169,14 @@ pub struct BatchReport {
 
 #[derive(Default)]
 struct BatchCounters {
-    stages: [StageCounters; 6],
+    stages: [StageCounters; 7],
     errors: AtomicU64,
     degraded: AtomicU64,
     panics: AtomicU64,
     budget_exceeded: AtomicU64,
+    static_doall: AtomicU64,
+    input_sensitive: AtomicU64,
+    consistency_errors: AtomicU64,
 }
 
 /// The cached, parallel batch-analysis engine.
@@ -302,6 +307,21 @@ impl Engine {
                 }
             }
         };
+        match &outcome {
+            AnalysisOutcome::Ok(r) => {
+                counters.static_doall.fetch_add(r.static_doall as u64, Ordering::Relaxed);
+                counters
+                    .input_sensitive
+                    .fetch_add(r.input_sensitive.len() as u64, Ordering::Relaxed);
+                counters
+                    .consistency_errors
+                    .fetch_add(r.consistency_errors.len() as u64, Ordering::Relaxed);
+            }
+            AnalysisOutcome::Degraded(d) => {
+                counters.static_doall.fetch_add(d.doall_candidates.len() as u64, Ordering::Relaxed);
+            }
+            AnalysisOutcome::Err(_) => {}
+        }
         let fully_cached = outcome.is_ok() && run.states.iter().all(|s| *s == St::Hit);
         run.flush(counters);
         ProgramOutcome { name: input.name.clone(), outcome, wall: start.elapsed(), fully_cached }
@@ -314,7 +334,7 @@ impl Engine {
         programs: u64,
         wall: Duration,
     ) -> EngineStats {
-        let stages: [StageStats; 6] = std::array::from_fn(|i| counters.stages[i].snapshot());
+        let stages: [StageStats; 7] = std::array::from_fn(|i| counters.stages[i].snapshot());
         let (hits, misses) = stages.iter().fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
         EngineStats {
             stages,
@@ -323,6 +343,9 @@ impl Engine {
             degraded: counters.degraded.load(Ordering::Relaxed),
             panics: counters.panics.load(Ordering::Relaxed),
             budget_exceeded: counters.budget_exceeded.load(Ordering::Relaxed),
+            static_proven_doall: counters.static_doall.load(Ordering::Relaxed),
+            input_sensitive: counters.input_sensitive.load(Ordering::Relaxed),
+            consistency_errors: counters.consistency_errors.load(Ordering::Relaxed),
             jobs,
             wall,
             cache: CacheStats {
@@ -352,18 +375,20 @@ struct ProgRun<'e> {
     src: &'e str,
     /// This program's index within the batch (fault plans key on it).
     index: usize,
-    states: [St; 6],
-    wall: [Duration; 6],
+    states: [St; 7],
+    wall: [Duration; 7],
     insts_executed: u64,
 
     ast_d: Option<u64>,
     ir_d: Option<u64>,
+    stat_d: Option<u64>,
     cu_d: Option<u64>,
     prof_d: Option<u64>,
     det_d: Option<u64>,
 
     ast: Option<Arc<Program>>,
     ir: Option<Arc<IrProgram>>,
+    statics: Option<Arc<StaticReport>>,
     cus: Option<Arc<CuSet>>,
     prof: Option<Arc<parpat_core::ProfiledRun>>,
     analysis: Option<Arc<Analysis>>,
@@ -384,16 +409,18 @@ impl<'e> ProgRun<'e> {
             eng,
             src,
             index,
-            states: [St::Unresolved; 6],
-            wall: [Duration::ZERO; 6],
+            states: [St::Unresolved; 7],
+            wall: [Duration::ZERO; 7],
             insts_executed: 0,
             ast_d: None,
             ir_d: None,
+            stat_d: None,
             cu_d: None,
             prof_d: None,
             det_d: None,
             ast: None,
             ir: None,
+            statics: None,
             cus: None,
             prof: None,
             analysis: None,
@@ -453,10 +480,10 @@ impl<'e> ProgRun<'e> {
         if !reason.stage.is_dynamic() {
             return None;
         }
-        let ast = self.ast().ok()?;
         let ir = self.ir().ok()?;
         let cus = self.cus().ok()?;
-        Some(DegradedReport::build(reason.clone(), &ast, &ir, &cus))
+        let statics = self.statics().ok()?;
+        Some(DegradedReport::build(reason.clone(), &ir, &cus, &statics))
     }
 
     // ---- parse ----------------------------------------------------------
@@ -556,6 +583,47 @@ impl<'e> ProgRun<'e> {
             self.run_lower()?;
         }
         Ok(Arc::clone(self.ir.as_ref().expect("set above")))
+    }
+
+    // ---- static ---------------------------------------------------------
+
+    fn run_static(&mut self) -> Result<(), EngineError> {
+        let ir = self.ir()?;
+        let k = key("static", &[self.ir_d.expect("ir resolved")]);
+        let d = key("static.out", &[self.ir_d.expect("ir resolved")]);
+        let statics = Arc::new(self.execute(Stage::Static, |_| analyze_ir(&ir))?);
+        self.eng.cache.insert(k, d, Artifact::Static(Arc::clone(&statics)), None);
+        self.statics = Some(statics);
+        self.stat_d = Some(d);
+        Ok(())
+    }
+
+    fn static_digest(&mut self) -> Result<u64, EngineError> {
+        if let Some(d) = self.stat_d {
+            return Ok(d);
+        }
+        let ir_d = self.ir_digest()?;
+        match self.eng.cache.lookup(key("static", &[ir_d])) {
+            Lookup::Memory(Artifact::Static(s), d) => {
+                self.states[Stage::Static.index()] = St::Hit;
+                self.statics = Some(s);
+                self.stat_d = Some(d);
+            }
+            Lookup::Disk(rec) => {
+                self.states[Stage::Static.index()] = St::Hit;
+                self.stat_d = Some(rec.digest);
+            }
+            _ => self.run_static()?,
+        }
+        Ok(self.stat_d.expect("set above"))
+    }
+
+    fn statics(&mut self) -> Result<Arc<StaticReport>, EngineError> {
+        self.static_digest()?;
+        if self.statics.is_none() {
+            self.run_static()?;
+        }
+        Ok(Arc::clone(self.statics.as_ref().expect("set above")))
     }
 
     // ---- cu build -------------------------------------------------------
@@ -725,9 +793,11 @@ impl<'e> ProgRun<'e> {
 
     fn run_rank(&mut self, k: u64) -> Result<Arc<ProgramReport>, EngineError> {
         let analysis = self.analysis()?;
+        let statics = self.statics()?;
         let workers = self.eng.rank_workers;
         let report = self.execute(Stage::Rank, |_| {
             let ranked = rank_patterns(&analysis, &RankConfig { workers });
+            let xv = cross_validate(&statics, &analysis.loop_classes);
             ProgramReport {
                 summary: analysis.summary(),
                 ranking: if ranked.is_empty() { String::new() } else { render_ranking(&ranked) },
@@ -737,6 +807,9 @@ impl<'e> ProgRun<'e> {
                 reductions: analysis.reductions.len(),
                 geodecomp: analysis.geodecomp.len(),
                 task_regions: analysis.graphs.len(),
+                static_doall: statics.proven_doall_count(),
+                input_sensitive: xv.input_sensitive,
+                consistency_errors: xv.consistency_errors,
             }
         })?;
         let report = Arc::new(report);
@@ -746,10 +819,16 @@ impl<'e> ProgRun<'e> {
     }
 
     fn report(&mut self) -> Result<Arc<ProgramReport>, EngineError> {
+        // Resolve the static verdicts before any dynamic stage: a fault in
+        // the static stage must fail the program before profiling starts,
+        // and a later dynamic failure finds the verdicts already resolved
+        // for the degraded report.
+        let stat_d = self.static_digest()?;
         let det_d = self.det_digest()?;
         let mut h = Fnv64::new();
         h.write(b"rank");
         h.write_u64(det_d);
+        h.write_u64(stat_d);
         h.write_f64(self.eng.rank_workers);
         let k = h.finish();
         match self.eng.cache.lookup(k) {

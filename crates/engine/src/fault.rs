@@ -57,6 +57,8 @@ pub fn xorshift64(state: &mut u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

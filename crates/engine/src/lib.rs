@@ -1,7 +1,8 @@
 //! # parpat-engine — cached, parallel batch analysis
 //!
-//! Turns the one-shot `parpat_core::analyze_source` flow into a six-stage
-//! graph (parse → lower → {cu, profile} → detect → rank) with:
+//! Turns the one-shot `parpat_core::analyze_source` flow into a
+//! seven-stage graph (parse → lower → {static, cu, profile} → detect →
+//! rank) with:
 //!
 //! - a **content-addressed artifact cache** — in memory with LRU eviction,
 //!   plus an optional disk tier — keyed by digests chained from the source
@@ -18,7 +19,11 @@
 //!   surfaces as a structured [`EngineError`], degrades to its static
 //!   results when possible ([`DegradedReport`]), and corrupt disk records
 //!   are quarantined and regenerated. A deterministic fault-injection
-//!   surface ([`FaultPlan`]) proves all of this in `tests/faults.rs`.
+//!   surface ([`FaultPlan`]) proves all of this in `tests/faults.rs`;
+//! - **static/dynamic cross-validation** — each loop's static dependence
+//!   verdict (from `parpat_static`) is compared against the profiled
+//!   classification, flagging input-sensitive do-all verdicts and internal
+//!   consistency errors ([`xval`]).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -47,11 +52,13 @@ pub mod fault;
 pub mod report;
 pub mod stage;
 pub mod stats;
+pub mod xval;
 
 pub use cache::{Artifact, Cache, DiskRecord, Lookup};
 pub use engine::{AnalysisOutcome, BatchInput, BatchReport, Engine, EngineConfig, ProgramOutcome};
 pub use error::{EngineError, ErrorKind};
 pub use fault::{xorshift64, FaultMode, FaultPlan};
-pub use report::{static_doall_candidates, DegradedReport, ProgramReport};
+pub use report::{DegradedReport, ProgramReport};
 pub use stage::Stage;
 pub use stats::{CacheStats, EngineStats, StageStats};
+pub use xval::{cross_validate, CrossValidation};

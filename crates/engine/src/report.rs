@@ -4,7 +4,7 @@
 
 use parpat_cu::CuSet;
 use parpat_ir::IrProgram;
-use parpat_minilang::{AssignOp, Block, Expr, LValue, Program, Stmt};
+use parpat_static::StaticReport;
 
 use crate::error::EngineError;
 
@@ -30,29 +30,48 @@ pub struct ProgramReport {
     pub geodecomp: usize,
     /// Hotspot regions analyzed for task parallelism.
     pub task_regions: usize,
+    /// `for` loops statically proven free of carried flow dependences.
+    pub static_doall: usize,
+    /// Source lines of loops the dynamic run saw as do-all although the
+    /// static layer proves a carried dependence exists under some input —
+    /// the do-all verdict is input-sensitive.
+    pub input_sensitive: Vec<u32>,
+    /// Source lines of loops statically proven independent that the
+    /// dynamic run nonetheless observed a carried dependence in. One of
+    /// the two layers is wrong; this should never be non-empty.
+    pub consistency_errors: Vec<u32>,
 }
 
 impl ProgramReport {
     /// Hand-rolled JSON object for this report.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"insts\": {}, \"pipelines\": {}, \"fusions\": {}, \"reductions\": {}, \"geodecomp\": {}, \"task_regions\": {}, \"summary\": {}}}",
+            "{{\"insts\": {}, \"pipelines\": {}, \"fusions\": {}, \"reductions\": {}, \"geodecomp\": {}, \"task_regions\": {}, \"static_doall\": {}, \"input_sensitive\": [{}], \"consistency_errors\": [{}], \"summary\": {}}}",
             self.insts,
             self.pipelines,
             self.fusions,
             self.reductions,
             self.geodecomp,
             self.task_regions,
+            self.static_doall,
+            join_lines(&self.input_sensitive),
+            join_lines(&self.consistency_errors),
             crate::stats::json_str(&self.summary),
         )
     }
 }
 
+fn join_lines(lines: &[u32]) -> String {
+    let strs: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    strs.join(", ")
+}
+
 /// The static half of an analysis, emitted when a program's dynamic stages
 /// (profile/detect/rank) failed or exceeded their budget but the static
-/// artifacts — AST, IR, CU graph — were all obtainable. Carries enough to
-/// still be useful: the loop structure, the CU partition, and a lexical
-/// do-all pre-screen over the AST.
+/// artifacts — IR, CU graph, static dependence verdicts — were all
+/// obtainable. Carries enough to still be useful: the loop structure with
+/// per-loop verdicts, the CU partition, and the statically proven do-all
+/// candidates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DegradedReport {
     /// Why the dynamic stages could not complete.
@@ -65,24 +84,26 @@ pub struct DegradedReport {
     pub cus: usize,
     /// Regions the CUs partition into.
     pub regions: usize,
-    /// Source lines of `for` loops passing the lexical do-all pre-screen.
+    /// Source lines of `for` loops statically proven free of carried flow
+    /// dependences.
     pub doall_candidates: Vec<u32>,
 }
 
 impl DegradedReport {
     /// Assemble a degraded report from the static artifacts.
-    pub fn build(reason: EngineError, ast: &Program, ir: &IrProgram, cus: &CuSet) -> Self {
-        let doall_candidates = static_doall_candidates(ast);
+    pub fn build(reason: EngineError, ir: &IrProgram, cus: &CuSet, statics: &StaticReport) -> Self {
+        let doall_candidates = statics.proven_doall_lines();
         let mut summary = String::new();
         summary.push_str("=== degraded analysis: static results only ===\n");
         summary.push_str(&format!("reason: {reason}\n"));
         summary.push_str(&format!("loops: {}\n", ir.loops.len()));
-        for (i, l) in ir.loops.iter().enumerate() {
+        for l in &statics.loops {
             summary.push_str(&format!(
-                "  L{} @ line {} ({})\n",
-                i,
+                "  L{} @ line {} ({}): {}\n",
+                l.id,
                 l.line,
-                if l.is_for { "for" } else { "while" }
+                if l.is_for { "for" } else { "while" },
+                l.verdict.label(),
             ));
         }
         summary.push_str(&format!(
@@ -95,7 +116,7 @@ impl DegradedReport {
             lines => {
                 let list: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
                 summary.push_str(&format!(
-                    "static do-all candidates (lexical pre-screen): line(s) {}\n",
+                    "static do-all candidates (dependence analysis): line(s) {}\n",
                     list.join(", ")
                 ));
             }
@@ -112,151 +133,15 @@ impl DegradedReport {
 
     /// Hand-rolled JSON object for this degraded report.
     pub fn to_json(&self) -> String {
-        let lines: Vec<String> = self.doall_candidates.iter().map(|l| l.to_string()).collect();
         format!(
             "{{\"reason\": {}, \"loops\": {}, \"cus\": {}, \"regions\": {}, \"doall_candidates\": [{}], \"summary\": {}}}",
             self.reason.to_json(),
             self.loops,
             self.cus,
             self.regions,
-            lines.join(", "),
+            join_lines(&self.doall_candidates),
             crate::stats::json_str(&self.summary),
         )
-    }
-}
-
-/// Source lines of `for` loops that pass a purely lexical do-all
-/// pre-screen, in source order.
-///
-/// This is *not* the paper's dependence-based do-all test — that needs the
-/// dynamic profile the degraded path just lost. It is a conservative
-/// syntactic filter: a `for` loop qualifies when its body (including
-/// nested counted loops) contains no calls, no `while`, and every
-/// assignment either targets an iteration-private scalar (declared inside
-/// the body, or a nested induction variable) or plainly writes a distinct
-/// array element per iteration (some index expression mentions the
-/// induction variable, and the write is not a compound update).
-pub fn static_doall_candidates(ast: &Program) -> Vec<u32> {
-    let mut lines = Vec::new();
-    for f in &ast.functions {
-        collect_candidates(&f.body, &mut lines);
-    }
-    lines.sort_unstable();
-    lines
-}
-
-fn collect_candidates(block: &Block, lines: &mut Vec<u32>) {
-    for s in &block.stmts {
-        match s {
-            Stmt::For { var, body, line, .. } => {
-                let mut private: Vec<&str> = vec![var];
-                if body_is_doall(var, body, &mut private) {
-                    lines.push(*line);
-                } else {
-                    // The outer loop disqualified; an inner one may still
-                    // qualify on its own.
-                    collect_candidates(body, lines);
-                }
-            }
-            Stmt::While { body, .. } => collect_candidates(body, lines),
-            Stmt::If { then_block, else_block, .. } => {
-                collect_candidates(then_block, lines);
-                if let Some(e) = else_block {
-                    collect_candidates(e, lines);
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
-/// Check every statement of `body` against the pre-screen rules for the
-/// induction variable `var`. `private` accumulates iteration-private
-/// scalar names (loop-local `let`s and nested induction variables).
-fn body_is_doall<'a>(var: &str, body: &'a Block, private: &mut Vec<&'a str>) -> bool {
-    for s in &body.stmts {
-        match s {
-            Stmt::Let { name, init, .. } => {
-                if expr_has_call(init) {
-                    return false;
-                }
-                private.push(name);
-            }
-            Stmt::Assign { target, op, value, .. } => {
-                if expr_has_call(value) {
-                    return false;
-                }
-                match target {
-                    LValue::Var(name) => {
-                        // Writing a scalar that outlives the iteration is a
-                        // loop-carried dependence (or a reduction — either
-                        // way, not plain do-all).
-                        if !private.iter().any(|p| p == name) {
-                            return false;
-                        }
-                    }
-                    LValue::Index { indices, .. } => {
-                        // A distinct element per iteration needs the
-                        // induction variable in the subscript, and a plain
-                        // store (compound ops read the cell back).
-                        if *op != AssignOp::Set
-                            || !indices.iter().any(|e| expr_mentions_var(e, var))
-                            || indices.iter().any(expr_has_call)
-                        {
-                            return false;
-                        }
-                    }
-                }
-            }
-            Stmt::For { var: inner, start, end, body: inner_body, .. } => {
-                if expr_has_call(start) || expr_has_call(end) {
-                    return false;
-                }
-                private.push(inner);
-                if !body_is_doall(var, inner_body, private) {
-                    return false;
-                }
-            }
-            Stmt::If { cond, then_block, else_block, .. } => {
-                if expr_has_call(cond) {
-                    return false;
-                }
-                if !body_is_doall(var, then_block, private) {
-                    return false;
-                }
-                if let Some(e) = else_block {
-                    if !body_is_doall(var, e, private) {
-                        return false;
-                    }
-                }
-            }
-            // Calls, uncounted loops, and early exits end the screen.
-            Stmt::While { .. } | Stmt::Expr { .. } | Stmt::Return { .. } | Stmt::Break { .. } => {
-                return false;
-            }
-        }
-    }
-    true
-}
-
-fn expr_mentions_var(e: &Expr, var: &str) -> bool {
-    match e {
-        Expr::Var { name, .. } => name == var,
-        Expr::Number { .. } | Expr::Bool { .. } => false,
-        Expr::Index { indices, .. } => indices.iter().any(|i| expr_mentions_var(i, var)),
-        Expr::Call { args, .. } => args.iter().any(|a| expr_mentions_var(a, var)),
-        Expr::Unary { operand, .. } => expr_mentions_var(operand, var),
-        Expr::Binary { lhs, rhs, .. } => expr_mentions_var(lhs, var) || expr_mentions_var(rhs, var),
-    }
-}
-
-fn expr_has_call(e: &Expr) -> bool {
-    match e {
-        Expr::Call { .. } => true,
-        Expr::Number { .. } | Expr::Bool { .. } | Expr::Var { .. } => false,
-        Expr::Index { indices, .. } => indices.iter().any(expr_has_call),
-        Expr::Unary { operand, .. } => expr_has_call(operand),
-        Expr::Binary { lhs, rhs, .. } => expr_has_call(lhs) || expr_has_call(rhs),
     }
 }
 
@@ -265,80 +150,70 @@ mod tests {
     #![allow(clippy::unwrap_used)]
 
     use super::*;
+    use crate::error::ErrorKind;
+    use crate::stage::Stage;
+    use parpat_static::analyze_ir;
 
-    fn parse(src: &str) -> Program {
-        parpat_minilang::parse_checked(src).unwrap()
+    fn degraded_for(src: &str) -> DegradedReport {
+        let ir = parpat_ir::compile(src).unwrap();
+        let cus = parpat_cu::build_cus(&ir);
+        let statics = analyze_ir(&ir);
+        DegradedReport::build(
+            EngineError::new(Stage::Profile, ErrorKind::Panic, "boom"),
+            &ir,
+            &cus,
+            &statics,
+        )
     }
 
     #[test]
-    fn independent_element_writes_pass_the_screen() {
-        let ast = parse(
+    fn degraded_report_carries_proven_doall_lines() {
+        let d = degraded_for(
             "global a[16];\n\
              fn main() {\n\
                  for i in 0..16 { a[i] = i * 2; }\n\
              }",
         );
-        assert_eq!(static_doall_candidates(&ast), vec![3]);
+        assert_eq!(d.doall_candidates, vec![3]);
+        assert!(d.summary.contains("degraded analysis"));
+        assert!(d.summary.contains("dependence analysis"));
+        assert!(d.summary.contains("proven do-all"));
     }
 
     #[test]
-    fn reductions_and_carried_scalars_are_screened_out() {
-        let ast = parse(
+    fn degraded_report_screens_out_dependent_loops() {
+        let d = degraded_for(
             "global a[16];\n\
              fn main() {\n\
                  let s = 0;\n\
-                 for i in 0..16 { s += a[i]; }\n\
-                 for j in 0..16 { a[j] += 1; }\n\
+                 for i in 1..16 { a[i] = a[i - 1] + 1; }\n\
+                 for j in 0..16 { s += a[j]; }\n\
                  return s;\n\
              }",
         );
-        // `s` outlives the first loop; the second compound-updates a cell.
-        assert_eq!(static_doall_candidates(&ast), Vec::<u32>::new());
+        assert_eq!(d.doall_candidates, Vec::<u32>::new());
+        assert!(d.summary.contains("static do-all candidates: none"));
+        assert_eq!(d.loops, 2);
     }
 
     #[test]
-    fn nested_counted_loops_qualify_through_the_outer_subscript() {
-        let ast = parse(
-            "global c[8][8];\n\
-             fn main() {\n\
-                 for i in 0..8 {\n\
-                     for j in 0..8 { c[i][j] = i + j; }\n\
-                 }\n\
-             }",
-        );
-        // The outer loop qualifies (writes c[i][*]); the inner is part of
-        // its body, not reported separately.
-        assert_eq!(static_doall_candidates(&ast), vec![3]);
-    }
-
-    #[test]
-    fn calls_disqualify_but_inner_loops_are_still_screened() {
-        let ast = parse(
-            "global a[8];\n\
-             fn f(x) { return x; }\n\
-             fn main() {\n\
-                 for i in 0..8 {\n\
-                     let t = f(i);\n\
-                     a[i] = t;\n\
-                 }\n\
-                 for j in 0..8 { a[j] = j; }\n\
-             }",
-        );
-        assert_eq!(static_doall_candidates(&ast), vec![8]);
-    }
-
-    #[test]
-    fn iteration_private_scalars_are_fine() {
-        let ast = parse(
-            "global a[8];\n\
-             fn main() {\n\
-                 for i in 0..8 {\n\
-                     let t = i * 3;\n\
-                     t += 1;\n\
-                     a[i] = t;\n\
-                 }\n\
-             }",
-        );
-        assert_eq!(static_doall_candidates(&ast), vec![3]);
+    fn report_json_includes_cross_validation_fields() {
+        let r = ProgramReport {
+            summary: "s".into(),
+            ranking: String::new(),
+            insts: 1,
+            pipelines: 0,
+            fusions: 0,
+            reductions: 0,
+            geodecomp: 0,
+            task_regions: 0,
+            static_doall: 2,
+            input_sensitive: vec![4, 9],
+            consistency_errors: vec![],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"static_doall\": 2"));
+        assert!(json.contains("\"input_sensitive\": [4, 9]"));
+        assert!(json.contains("\"consistency_errors\": []"));
     }
 }

@@ -1,11 +1,13 @@
 //! The analysis stage graph.
 //!
-//! `analyze_source` is decomposed into six stages forming a chain (the CU
-//! build rides on the lowered IR in parallel with profiling; both feed
-//! detection):
+//! `analyze_source` is decomposed into seven stages forming a chain (the
+//! static dependence analysis, CU build, and profiling all ride on the
+//! lowered IR; detection consumes CUs and the profile, ranking folds in
+//! the static verdicts for cross-validation):
 //!
 //! ```text
-//! parse ─ lower ─┬─ cu ──────┬─ detect ─ rank
+//! parse ─ lower ─┬─ static ──┐
+//!                ├─ cu ──────┼─ detect ─ rank
 //!                └─ profile ─┘
 //! ```
 //!
@@ -20,26 +22,37 @@ pub enum Stage {
     Parse,
     /// AST → structured IR.
     Lower,
+    /// IR → static dependence verdicts per loop.
+    Static,
     /// IR → computational units.
     CuBuild,
     /// One instrumented run: IR → dependence profile + PET.
     Profile,
     /// All five pattern detectors → assembled `Analysis`.
     Detect,
-    /// Pattern ranking + report rendering.
+    /// Pattern ranking + static/dynamic cross-validation + report
+    /// rendering.
     Rank,
 }
 
 impl Stage {
     /// Every stage, in execution order.
-    pub const ALL: [Stage; 6] =
-        [Stage::Parse, Stage::Lower, Stage::CuBuild, Stage::Profile, Stage::Detect, Stage::Rank];
+    pub const ALL: [Stage; 7] = [
+        Stage::Parse,
+        Stage::Lower,
+        Stage::Static,
+        Stage::CuBuild,
+        Stage::Profile,
+        Stage::Detect,
+        Stage::Rank,
+    ];
 
     /// Stable lowercase name (used in cache keys, stats, and JSON).
     pub fn name(self) -> &'static str {
         match self {
             Stage::Parse => "parse",
             Stage::Lower => "lower",
+            Stage::Static => "static",
             Stage::CuBuild => "cu",
             Stage::Profile => "profile",
             Stage::Detect => "detect",
@@ -49,8 +62,9 @@ impl Stage {
 
     /// `true` for the stages that depend on a dynamic (profiled) run of
     /// the program. A failure confined to these stages still leaves the
-    /// static artifacts — AST, IR, CU graph — intact, which is what lets
-    /// the engine emit a degraded report instead of a bare error.
+    /// static artifacts — AST, IR, CU graph, static verdicts — intact,
+    /// which is what lets the engine emit a degraded report instead of a
+    /// bare error.
     pub fn is_dynamic(self) -> bool {
         matches!(self, Stage::Profile | Stage::Detect | Stage::Rank)
     }
@@ -60,10 +74,11 @@ impl Stage {
         match self {
             Stage::Parse => 0,
             Stage::Lower => 1,
-            Stage::CuBuild => 2,
-            Stage::Profile => 3,
-            Stage::Detect => 4,
-            Stage::Rank => 5,
+            Stage::Static => 2,
+            Stage::CuBuild => 3,
+            Stage::Profile => 4,
+            Stage::Detect => 5,
+            Stage::Rank => 6,
         }
     }
 }
@@ -76,6 +91,8 @@ impl std::fmt::Display for Stage {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -90,6 +107,12 @@ mod tests {
         let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn static_stage_is_static() {
+        assert!(!Stage::Static.is_dynamic());
+        assert!(Stage::Profile.is_dynamic());
     }
 }

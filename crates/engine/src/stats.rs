@@ -76,7 +76,7 @@ pub struct CacheStats {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineStats {
     /// Per-stage stats, indexed by [`Stage::index`].
-    pub stages: [StageStats; 6],
+    pub stages: [StageStats; 7],
     /// Programs analyzed in the batch.
     pub programs: u64,
     /// Programs that ended in a hard error (static stage failed, or the
@@ -90,6 +90,15 @@ pub struct EngineStats {
     /// Profiled runs that exhausted an execution budget (instruction
     /// ceiling, call depth, or wall-clock deadline).
     pub budget_exceeded: u64,
+    /// Counted loops statically proven free of carried flow dependences
+    /// across the batch (degraded programs contribute their candidates).
+    pub static_proven_doall: u64,
+    /// Loops whose dynamic do-all verdict is contradicted by a proven
+    /// static dependence (input-sensitive verdicts).
+    pub input_sensitive: u64,
+    /// Loops statically proven independent yet dynamically dependent —
+    /// internal consistency errors.
+    pub consistency_errors: u64,
     /// Worker threads the batch ran on.
     pub jobs: u64,
     /// End-to-end batch wall time.
@@ -131,6 +140,10 @@ impl EngineStats {
         out.push_str(&format!(
             "faults: {} panics, {} budget-exceeded, {} cache records recovered\n",
             self.panics, self.budget_exceeded, self.cache.recovered
+        ));
+        out.push_str(&format!(
+            "static: {} proven-do-all loop(s), {} input-sensitive, {} consistency error(s)\n",
+            self.static_proven_doall, self.input_sensitive, self.consistency_errors
         ));
         out.push_str(&format!(
             "stage      {:>9} {:>9} {:>9} {:>12} {:>14}\n",
@@ -178,12 +191,15 @@ impl EngineStats {
             ));
         }
         format!(
-            "{{\"programs\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
+            "{{\"programs\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
             self.programs,
             self.errors,
             self.degraded,
             self.panics,
             self.budget_exceeded,
+            self.static_proven_doall,
+            self.input_sensitive,
+            self.consistency_errors,
             self.jobs,
             self.wall.as_nanos(),
             stages,
@@ -238,10 +254,12 @@ pub fn json_str(s: &str) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn sample() -> EngineStats {
-        let mut stages = [StageStats::default(); 6];
+        let mut stages = [StageStats::default(); 7];
         stages[Stage::Profile.index()] = StageStats {
             executed: 17,
             hits: 0,
@@ -258,6 +276,9 @@ mod tests {
             degraded: 1,
             panics: 1,
             budget_exceeded: 2,
+            static_proven_doall: 21,
+            input_sensitive: 4,
+            consistency_errors: 5,
             jobs: 8,
             wall: Duration::from_millis(40),
             cache: CacheStats { hits: 17, misses: 17, evictions: 2, mem_entries: 32, recovered: 3 },
@@ -273,6 +294,9 @@ mod tests {
         assert!(text.contains("50.0% hit rate"));
         assert!(text.contains("1 degraded"));
         assert!(text.contains("1 panics, 2 budget-exceeded, 3 cache records recovered"));
+        assert!(
+            text.contains("21 proven-do-all loop(s), 4 input-sensitive, 5 consistency error(s)")
+        );
     }
 
     #[test]
@@ -285,6 +309,9 @@ mod tests {
         assert!(json.contains("\"degraded\": 1"));
         assert!(json.contains("\"panics\": 1"));
         assert!(json.contains("\"budget_exceeded\": 2"));
+        assert!(json.contains("\"static_proven_doall\": 21"));
+        assert!(json.contains("\"input_sensitive\": 4"));
+        assert!(json.contains("\"consistency_errors\": 5"));
         assert!(json.contains("\"recovered\": 3"));
     }
 
@@ -298,12 +325,15 @@ mod tests {
     fn hit_rate_bounds() {
         assert_eq!(sample().hit_rate(), Some(0.5));
         let empty = EngineStats {
-            stages: [StageStats::default(); 6],
+            stages: [StageStats::default(); 7],
             programs: 0,
             errors: 0,
             degraded: 0,
             panics: 0,
             budget_exceeded: 0,
+            static_proven_doall: 0,
+            input_sensitive: 0,
+            consistency_errors: 0,
             jobs: 1,
             wall: Duration::ZERO,
             cache: CacheStats::default(),

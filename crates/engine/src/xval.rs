@@ -1,0 +1,125 @@
+//! Static/dynamic cross-validation.
+//!
+//! The dynamic detectors classify each *executed* loop from one profiled
+//! run; the static layer proves properties that hold for *every* input.
+//! Where the two disagree, one of two things is true:
+//!
+//! - **Input-sensitive** — the run saw do-all, but a carried flow
+//!   dependence is statically proven to exist whenever its statements
+//!   execute. The do-all verdict is an artifact of this particular input
+//!   (e.g. a data-dependent branch that never took the dependent arm) and
+//!   must not be trusted for parallelization.
+//! - **Consistency error** — the loop is statically proven independent on
+//!   all inputs, yet the profiler observed a carried dependence. That is a
+//!   contradiction: one of the two layers has a bug.
+
+use std::collections::HashMap;
+
+use parpat_core::LoopClass;
+use parpat_ir::LoopId;
+use parpat_static::{StaticReport, Verdict};
+
+/// The two disagreement lists, as sorted source lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrossValidation {
+    /// Dynamically do-all loops with a statically proven carried
+    /// dependence.
+    pub input_sensitive: Vec<u32>,
+    /// Statically proven-independent loops the profiler saw a carried
+    /// dependence in.
+    pub consistency_errors: Vec<u32>,
+}
+
+/// Compare static verdicts against the dynamic loop classification.
+/// Loops absent from `classes` (never executed on this input) are skipped:
+/// there is no dynamic verdict to contradict.
+pub fn cross_validate(
+    statics: &StaticReport,
+    classes: &HashMap<LoopId, LoopClass>,
+) -> CrossValidation {
+    let mut out = CrossValidation::default();
+    for l in &statics.loops {
+        let Some(class) = classes.get(&l.id) else { continue };
+        match (l.verdict, class) {
+            (Verdict::ProvenSome, LoopClass::DoAll) => out.input_sensitive.push(l.line),
+            (Verdict::ProvenNone, LoopClass::Reduction | LoopClass::Sequential) => {
+                out.consistency_errors.push(l.line);
+            }
+            _ => {}
+        }
+    }
+    out.input_sensitive.sort_unstable();
+    out.consistency_errors.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use parpat_static::analyze_ir;
+
+    fn statics_of(src: &str) -> StaticReport {
+        analyze_ir(&parpat_ir::compile(src).unwrap())
+    }
+
+    #[test]
+    fn agreement_produces_no_findings() {
+        let statics = statics_of(
+            "global a[8];\n\
+             fn main() {\n\
+                 for i in 0..8 { a[i] = i; }\n\
+             }",
+        );
+        let classes = HashMap::from([(0, LoopClass::DoAll)]);
+        assert_eq!(cross_validate(&statics, &classes), CrossValidation::default());
+    }
+
+    #[test]
+    fn proven_dependence_against_dynamic_doall_is_input_sensitive() {
+        let statics = statics_of(
+            "global a[8];\n\
+             global flag[8];\n\
+             fn main() {\n\
+                 for i in 1..8 {\n\
+                     if flag[i] > 0 { a[i] = a[i - 1] + 1; } else { a[i] = i; }\n\
+                 }\n\
+             }",
+        );
+        assert_eq!(statics.verdict_of(0), Some(Verdict::ProvenSome));
+        let classes = HashMap::from([(0, LoopClass::DoAll)]);
+        let xv = cross_validate(&statics, &classes);
+        assert_eq!(xv.input_sensitive, vec![4]);
+        assert!(xv.consistency_errors.is_empty());
+    }
+
+    #[test]
+    fn proven_none_against_dynamic_dependence_is_a_consistency_error() {
+        // A genuine contradiction cannot be produced by running both
+        // layers (that would require a bug), so fabricate the dynamic
+        // side: claim the provably independent loop was Sequential.
+        let statics = statics_of(
+            "global a[8];\n\
+             fn main() {\n\
+                 for i in 0..8 { a[i] = i; }\n\
+             }",
+        );
+        assert_eq!(statics.verdict_of(0), Some(Verdict::ProvenNone));
+        let classes = HashMap::from([(0, LoopClass::Sequential)]);
+        let xv = cross_validate(&statics, &classes);
+        assert_eq!(xv.consistency_errors, vec![3]);
+        assert!(xv.input_sensitive.is_empty());
+    }
+
+    #[test]
+    fn unexecuted_loops_are_skipped() {
+        let statics = statics_of(
+            "global a[8];\n\
+             fn main() {\n\
+                 for i in 1..8 { a[i] = a[i - 1]; }\n\
+             }",
+        );
+        assert_eq!(cross_validate(&statics, &HashMap::new()), CrossValidation::default());
+    }
+}

@@ -75,12 +75,12 @@ fn warm_disk_cache_skips_every_stage() {
 
     let cold = engine(Some(dir.clone())).batch(inputs.clone(), 4);
     assert_eq!(cold.stats.cache.hits, 0, "cold run cannot hit");
-    assert_eq!(cold.stats.cache.misses, 17 * 6);
+    assert_eq!(cold.stats.cache.misses, 17 * 7);
 
     // A fresh engine (fresh process, in effect): only the disk tier answers.
     let warm = engine(Some(dir.clone())).batch(inputs, 4);
     assert!(warm.outcomes.iter().all(|o| o.fully_cached), "every program fully cached");
-    assert_eq!(warm.stats.cache.hits, 17 * 6);
+    assert_eq!(warm.stats.cache.hits, 17 * 7);
     assert_eq!(warm.stats.cache.misses, 0);
     assert!(warm.stats.hit_rate().unwrap() >= 0.9, "acceptance: >= 90% stage hits");
     for s in [Stage::Profile, Stage::Detect] {
@@ -106,7 +106,7 @@ fn cosmetic_edit_reparses_but_downstream_stages_hit() {
     let input =
         |source: &str| vec![BatchInput { name: "pipe".to_owned(), source: source.to_owned() }];
     let cold = engine(Some(dir.clone())).batch(input(PIPELINE_SRC), 1);
-    assert_eq!(cold.stats.cache.misses, 6);
+    assert_eq!(cold.stats.cache.misses, 7);
 
     // Extra spaces + a trailing comment: different source bytes, identical
     // token stream — the parse key misses, the AST digest is unchanged, so
@@ -120,7 +120,9 @@ fn cosmetic_edit_reparses_but_downstream_stages_hit() {
     let stats = &warm.stats;
     assert_eq!(stats.stage(Stage::Parse).misses, 1, "parse re-runs:\n{}", stats.render_text());
     assert_eq!(stats.stage(Stage::Parse).hits, 0);
-    for s in [Stage::Lower, Stage::CuBuild, Stage::Profile, Stage::Detect, Stage::Rank] {
+    for s in
+        [Stage::Lower, Stage::Static, Stage::CuBuild, Stage::Profile, Stage::Detect, Stage::Rank]
+    {
         assert_eq!(stats.stage(s).hits, 1, "{s} must hit:\n{}", stats.render_text());
         assert_eq!(stats.stage(s).executed, 0, "{s} must not execute");
     }
@@ -133,7 +135,7 @@ fn cosmetic_edit_reparses_but_downstream_stages_hit() {
     // A real edit (changed constant) invalidates the whole chain.
     let mutated = PIPELINE_SRC.replace("i * 2", "i * 3");
     let changed = engine(Some(dir.clone())).batch(input(&mutated), 1);
-    assert_eq!(changed.stats.cache.misses, 6, "{}", changed.stats.render_text());
+    assert_eq!(changed.stats.cache.misses, 7, "{}", changed.stats.render_text());
     assert_eq!(changed.stats.cache.hits, 0);
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -144,9 +146,9 @@ fn in_memory_cache_hits_within_one_engine() {
     let eng = engine(None);
     let inputs = vec![BatchInput { name: "pipe".to_owned(), source: PIPELINE_SRC.to_owned() }];
     let first = eng.batch(inputs.clone(), 1);
-    assert_eq!(first.stats.cache.misses, 6);
+    assert_eq!(first.stats.cache.misses, 7);
     let second = eng.batch(inputs, 1);
-    assert_eq!(second.stats.cache.hits, 6, "{}", second.stats.render_text());
+    assert_eq!(second.stats.cache.hits, 7, "{}", second.stats.render_text());
     assert!(second.outcomes[0].fully_cached);
 }
 

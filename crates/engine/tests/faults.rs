@@ -282,7 +282,7 @@ fn xorshift_fault_campaign_is_reproducible() {
         let mut rng = seed;
         let mut shapes = Vec::new();
         for round in 0..6 {
-            let stage = Stage::ALL[(xorshift64(&mut rng) as usize) % 6];
+            let stage = Stage::ALL[(xorshift64(&mut rng) as usize) % Stage::ALL.len()];
             let victim = (xorshift64(&mut rng) as usize) % inputs.len();
             let mode = if xorshift64(&mut rng).is_multiple_of(2) {
                 FaultMode::Panic

@@ -55,6 +55,8 @@ impl std::error::Error for RuntimeError {}
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

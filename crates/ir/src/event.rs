@@ -232,6 +232,8 @@ impl Observer for EventLog {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

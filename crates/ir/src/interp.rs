@@ -529,6 +529,8 @@ impl Interp<'_, '_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::event::{Event, EventLog, NullObserver};
     use crate::lower::lower;

@@ -440,6 +440,8 @@ pub struct LoopMeta {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

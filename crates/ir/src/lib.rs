@@ -32,6 +32,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod error;
 pub mod event;
@@ -59,6 +60,8 @@ pub fn compile_fragment(src: &str) -> Result<IrProgram, parpat_minilang::LangErr
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

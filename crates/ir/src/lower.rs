@@ -318,6 +318,8 @@ impl LowerCtx {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_minilang::parse_checked;
 

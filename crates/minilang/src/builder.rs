@@ -130,6 +130,8 @@ pub fn program(globals: Vec<GlobalArray>, functions: Vec<Function>) -> Program {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::pretty::print_program;
     use crate::sema::check;

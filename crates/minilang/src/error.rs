@@ -56,6 +56,8 @@ impl std::error::Error for LangError {}
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -189,6 +189,8 @@ impl<'a> Lexer<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {

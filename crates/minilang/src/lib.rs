@@ -33,6 +33,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod ast;
 pub mod builder;
@@ -65,6 +66,8 @@ pub fn parse_fragment(src: &str) -> Result<Program, LangError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -13,8 +13,9 @@ pub fn print_program(p: &Program) -> String {
     let mut out = String::new();
     for g in &p.globals {
         match g.dims.len() {
-            1 => writeln!(out, "global {}[{}];", g.name, g.dims[0]).unwrap(),
-            _ => writeln!(out, "global {}[{}][{}];", g.name, g.dims[0], g.dims[1]).unwrap(),
+            1 => writeln!(out, "global {}[{}];", g.name, g.dims[0]).expect("write to String"),
+            _ => writeln!(out, "global {}[{}][{}];", g.name, g.dims[0], g.dims[1])
+                .expect("write to String"),
         }
     }
     for (i, f) in p.functions.iter().enumerate() {
@@ -27,7 +28,7 @@ pub fn print_program(p: &Program) -> String {
 }
 
 fn print_function(out: &mut String, f: &Function) {
-    write!(out, "fn {}(", f.name).unwrap();
+    write!(out, "fn {}(", f.name).expect("write to String");
     for (i, p) in f.params.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
@@ -55,7 +56,7 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
     indent(out, depth);
     match s {
         Stmt::Let { name, init, .. } => {
-            writeln!(out, "let {name} = {};", print_expr(init)).unwrap();
+            writeln!(out, "let {name} = {};", print_expr(init)).expect("write to String");
         }
         Stmt::Assign { target, op, value, .. } => {
             let t = match target {
@@ -69,22 +70,23 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
                 AssignOp::Mul => "*=",
                 AssignOp::Div => "/=",
             };
-            writeln!(out, "{t} {op} {};", print_expr(value)).unwrap();
+            writeln!(out, "{t} {op} {};", print_expr(value)).expect("write to String");
         }
         Stmt::For { var, start, end, body, .. } => {
-            writeln!(out, "for {var} in {}..{} {{", print_expr(start), print_expr(end)).unwrap();
+            writeln!(out, "for {var} in {}..{} {{", print_expr(start), print_expr(end))
+                .expect("write to String");
             print_block(out, body, depth + 1);
             indent(out, depth);
             out.push_str("}\n");
         }
         Stmt::While { cond, body, .. } => {
-            writeln!(out, "while {} {{", print_expr(cond)).unwrap();
+            writeln!(out, "while {} {{", print_expr(cond)).expect("write to String");
             print_block(out, body, depth + 1);
             indent(out, depth);
             out.push_str("}\n");
         }
         Stmt::If { cond, then_block, else_block, .. } => {
-            writeln!(out, "if {} {{", print_expr(cond)).unwrap();
+            writeln!(out, "if {} {{", print_expr(cond)).expect("write to String");
             print_block(out, then_block, depth + 1);
             indent(out, depth);
             match else_block {
@@ -98,11 +100,11 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
             }
         }
         Stmt::Expr { expr, .. } => {
-            writeln!(out, "{};", print_expr(expr)).unwrap();
+            writeln!(out, "{};", print_expr(expr)).expect("write to String");
         }
         Stmt::Return { value, .. } => match value {
             None => out.push_str("return;\n"),
-            Some(v) => writeln!(out, "return {};", print_expr(v)).unwrap(),
+            Some(v) => writeln!(out, "return {};", print_expr(v)).expect("write to String"),
         },
         Stmt::Break { .. } => out.push_str("break;\n"),
     }
@@ -111,7 +113,7 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
 fn print_indexed(array: &str, indices: &[Expr]) -> String {
     let mut s = array.to_owned();
     for ix in indices {
-        write!(s, "[{}]", print_expr(ix)).unwrap();
+        write!(s, "[{}]", print_expr(ix)).expect("write to String");
     }
     s
 }
@@ -165,6 +167,8 @@ pub fn print_expr(e: &Expr) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::parser::parse;
 

@@ -14,6 +14,13 @@
 //! - a simple two-type discipline: arithmetic operates on numbers,
 //!   `&&`/`||`/`!` on booleans, conditions are booleans, and statements
 //!   cannot store booleans into memory.
+//!
+//! The checker accumulates *every* violation it can find ([`check_all`])
+//! rather than stopping at the first one, so tools like `parpat lint` can
+//! show a complete picture in one pass. After an expression fails to type,
+//! its uses are not re-reported (cascade suppression): [`Checker::ty`]
+//! returns `None` for "already diagnosed" and callers stay silent on it.
+//! [`check`] keeps the original stop-at-first contract on top.
 
 use std::collections::{HashMap, HashSet};
 
@@ -32,51 +39,62 @@ enum Ty {
 /// When `require_main` is set, a zero-parameter `main` function must exist —
 /// the interpreter's entry-point contract.
 pub fn check(program: &Program, require_main: bool) -> Result<(), LangError> {
+    match check_all(program, require_main).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Check a parsed program, returning **every** violation found, in source
+/// traversal order (the first element matches what [`check`] returns).
+pub fn check_all(program: &Program, require_main: bool) -> Vec<LangError> {
+    let mut errors = Vec::new();
+
     let mut globals: HashMap<&str, &GlobalArray> = HashMap::new();
     for g in &program.globals {
         if g.dims.is_empty() || g.dims.len() > 2 {
-            return Err(LangError::sema(
+            errors.push(LangError::sema(
                 g.line,
                 format!("array `{}` must have 1 or 2 dimensions", g.name),
             ));
         }
         if is_builtin(&g.name) {
-            return Err(LangError::sema(
+            errors.push(LangError::sema(
                 g.line,
                 format!("array `{}` collides with a builtin function", g.name),
             ));
         }
         if globals.insert(&g.name, g).is_some() {
-            return Err(LangError::sema(g.line, format!("duplicate global `{}`", g.name)));
+            errors.push(LangError::sema(g.line, format!("duplicate global `{}`", g.name)));
         }
     }
 
     let mut functions: HashMap<&str, &Function> = HashMap::new();
     for f in &program.functions {
         if is_builtin(&f.name) {
-            return Err(LangError::sema(
+            errors.push(LangError::sema(
                 f.line,
                 format!("function `{}` collides with a builtin", f.name),
             ));
         }
         if globals.contains_key(f.name.as_str()) {
-            return Err(LangError::sema(
+            errors.push(LangError::sema(
                 f.line,
                 format!("function `{}` collides with a global array", f.name),
             ));
         }
         if functions.insert(&f.name, f).is_some() {
-            return Err(LangError::sema(f.line, format!("duplicate function `{}`", f.name)));
+            errors.push(LangError::sema(f.line, format!("duplicate function `{}`", f.name)));
         }
     }
 
     if require_main {
         match functions.get("main") {
             None => {
-                return Err(LangError::sema(0, "program has no `main` function".into()));
+                errors.push(LangError::sema(0, "program has no `main` function".into()));
             }
             Some(m) if !m.params.is_empty() => {
-                return Err(LangError::sema(m.line, "`main` must take no parameters".into()));
+                errors.push(LangError::sema(m.line, "`main` must take no parameters".into()));
             }
             _ => {}
         }
@@ -86,13 +104,13 @@ pub fn check(program: &Program, require_main: bool) -> Result<(), LangError> {
         let mut seen = HashSet::new();
         for p in &f.params {
             if globals.contains_key(p.as_str()) {
-                return Err(LangError::sema(
+                errors.push(LangError::sema(
                     f.line,
                     format!("parameter `{p}` of `{}` shadows a global array", f.name),
                 ));
             }
             if !seen.insert(p.as_str()) {
-                return Err(LangError::sema(
+                errors.push(LangError::sema(
                     f.line,
                     format!("duplicate parameter `{p}` in `{}`", f.name),
                 ));
@@ -103,10 +121,12 @@ pub fn check(program: &Program, require_main: bool) -> Result<(), LangError> {
             functions: &functions,
             scopes: vec![f.params.iter().cloned().collect()],
             loop_depth: 0,
+            errors: Vec::new(),
         };
-        checker.block(&f.body)?;
+        checker.block(&f.body);
+        errors.append(&mut checker.errors);
     }
-    Ok(())
+    errors
 }
 
 struct Checker<'a> {
@@ -114,9 +134,14 @@ struct Checker<'a> {
     functions: &'a HashMap<&'a str, &'a Function>,
     scopes: Vec<HashSet<String>>,
     loop_depth: u32,
+    errors: Vec<LangError>,
 }
 
 impl Checker<'_> {
+    fn report(&mut self, line: u32, message: String) {
+        self.errors.push(LangError::sema(line, message));
+    }
+
     fn declared(&self, name: &str) -> bool {
         self.scopes.iter().any(|s| s.contains(name))
     }
@@ -125,199 +150,188 @@ impl Checker<'_> {
         self.scopes.last_mut().expect("scope stack never empty").insert(name.to_owned());
     }
 
-    fn block(&mut self, b: &Block) -> Result<(), LangError> {
+    fn block(&mut self, b: &Block) {
         self.scopes.push(HashSet::new());
         for s in &b.stmts {
-            self.stmt(s)?;
+            self.stmt(s);
         }
         self.scopes.pop();
-        Ok(())
     }
 
-    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+    fn stmt(&mut self, s: &Stmt) {
         match s {
             Stmt::Let { name, init, line } => {
                 if self.globals.contains_key(name.as_str()) {
-                    return Err(LangError::sema(
-                        *line,
-                        format!("local `{name}` shadows a global array"),
-                    ));
+                    self.report(*line, format!("local `{name}` shadows a global array"));
                 }
-                self.expect_ty(init, Ty::Num)?;
+                self.expect_ty(init, Ty::Num);
+                // Declare even after an error so later uses don't cascade.
                 self.declare(name);
-                Ok(())
             }
             Stmt::Assign { target, value, line, .. } => {
-                self.expect_ty(value, Ty::Num)?;
+                self.expect_ty(value, Ty::Num);
                 match target {
                     LValue::Var(name) => {
                         if !self.declared(name) {
-                            return Err(LangError::sema(
+                            self.report(
                                 *line,
                                 format!("assignment to undeclared variable `{name}`"),
-                            ));
+                            );
                         }
-                        Ok(())
                     }
                     LValue::Index { array, indices } => self.check_index(array, indices, *line),
                 }
             }
             Stmt::For { var, start, end, body, line } => {
-                self.expect_ty(start, Ty::Num)?;
-                self.expect_ty(end, Ty::Num)?;
+                self.expect_ty(start, Ty::Num);
+                self.expect_ty(end, Ty::Num);
                 if self.globals.contains_key(var.as_str()) {
-                    return Err(LangError::sema(
-                        *line,
-                        format!("loop variable `{var}` shadows a global array"),
-                    ));
+                    self.report(*line, format!("loop variable `{var}` shadows a global array"));
                 }
                 self.scopes.push(HashSet::new());
                 self.declare(var);
                 self.loop_depth += 1;
                 for st in &body.stmts {
-                    self.stmt(st)?;
+                    self.stmt(st);
                 }
                 self.loop_depth -= 1;
                 self.scopes.pop();
-                Ok(())
             }
             Stmt::While { cond, body, .. } => {
-                self.expect_ty(cond, Ty::Bool)?;
+                self.expect_ty(cond, Ty::Bool);
                 self.loop_depth += 1;
-                self.block(body)?;
+                self.block(body);
                 self.loop_depth -= 1;
-                Ok(())
             }
             Stmt::If { cond, then_block, else_block, .. } => {
-                self.expect_ty(cond, Ty::Bool)?;
-                self.block(then_block)?;
+                self.expect_ty(cond, Ty::Bool);
+                self.block(then_block);
                 if let Some(e) = else_block {
-                    self.block(e)?;
+                    self.block(e);
                 }
-                Ok(())
             }
             Stmt::Expr { expr, line } => {
                 if !matches!(expr, Expr::Call { .. }) {
-                    return Err(LangError::sema(
-                        *line,
-                        "expression statements must be calls".into(),
-                    ));
+                    self.report(*line, "expression statements must be calls".into());
                 }
-                self.ty(expr)?;
-                Ok(())
+                self.ty(expr);
             }
             Stmt::Return { value, .. } => {
                 if let Some(v) = value {
-                    self.expect_ty(v, Ty::Num)?;
+                    self.expect_ty(v, Ty::Num);
                 }
-                Ok(())
             }
             Stmt::Break { line } => {
                 if self.loop_depth == 0 {
-                    return Err(LangError::sema(*line, "`break` outside of a loop".into()));
+                    self.report(*line, "`break` outside of a loop".into());
                 }
-                Ok(())
             }
         }
     }
 
-    fn check_index(&self, array: &str, indices: &[Expr], line: u32) -> Result<(), LangError> {
-        let Some(g) = self.globals.get(array) else {
-            return Err(LangError::sema(line, format!("unknown array `{array}`")));
-        };
-        if indices.len() != g.dims.len() {
-            return Err(LangError::sema(
-                line,
-                format!(
-                    "array `{array}` has {} dimension(s) but {} index(es) were given",
-                    g.dims.len(),
-                    indices.len()
-                ),
-            ));
+    fn check_index(&mut self, array: &str, indices: &[Expr], line: u32) {
+        match self.globals.get(array) {
+            None => {
+                self.report(line, format!("unknown array `{array}`"));
+            }
+            Some(g) if indices.len() != g.dims.len() => {
+                let n_dims = g.dims.len();
+                self.report(
+                    line,
+                    format!(
+                        "array `{array}` has {} dimension(s) but {} index(es) were given",
+                        n_dims,
+                        indices.len()
+                    ),
+                );
+            }
+            Some(_) => {}
         }
         for ix in indices {
-            self.expect_ty(ix, Ty::Num)?;
+            self.expect_ty(ix, Ty::Num);
         }
-        Ok(())
     }
 
-    fn expect_ty(&self, e: &Expr, want: Ty) -> Result<(), LangError> {
-        let got = self.ty(e)?;
-        if got != want {
-            let name = |t| match t {
-                Ty::Num => "number",
-                Ty::Bool => "boolean",
-            };
-            return Err(LangError::sema(
-                e.line(),
-                format!("expected a {}, found a {}", name(want), name(got)),
-            ));
+    fn expect_ty(&mut self, e: &Expr, want: Ty) {
+        // `None` means the expression was already diagnosed — stay silent.
+        if let Some(got) = self.ty(e) {
+            if got != want {
+                let name = |t| match t {
+                    Ty::Num => "number",
+                    Ty::Bool => "boolean",
+                };
+                self.report(e.line(), format!("expected a {}, found a {}", name(want), name(got)));
+            }
         }
-        Ok(())
     }
 
-    fn ty(&self, e: &Expr) -> Result<Ty, LangError> {
+    fn ty(&mut self, e: &Expr) -> Option<Ty> {
         match e {
-            Expr::Number { .. } => Ok(Ty::Num),
-            Expr::Bool { .. } => Ok(Ty::Bool),
+            Expr::Number { .. } => Some(Ty::Num),
+            Expr::Bool { .. } => Some(Ty::Bool),
             Expr::Var { name, line } => {
                 if self.declared(name) {
-                    Ok(Ty::Num)
+                    Some(Ty::Num)
                 } else if self.globals.contains_key(name.as_str()) {
-                    Err(LangError::sema(*line, format!("array `{name}` used without an index")))
+                    self.report(*line, format!("array `{name}` used without an index"));
+                    None
                 } else {
-                    Err(LangError::sema(*line, format!("undeclared variable `{name}`")))
+                    self.report(*line, format!("undeclared variable `{name}`"));
+                    None
                 }
             }
             Expr::Index { array, indices, line } => {
-                self.check_index(array, indices, *line)?;
-                Ok(Ty::Num)
+                self.check_index(array, indices, *line);
+                Some(Ty::Num)
             }
             Expr::Call { callee, args, line } => {
                 let arity = if is_builtin(callee) {
-                    match callee.as_str() {
+                    Some(match callee.as_str() {
                         "min" | "max" => 2,
                         _ => 1,
-                    }
+                    })
                 } else if let Some(f) = self.functions.get(callee.as_str()) {
-                    f.params.len()
+                    Some(f.params.len())
                 } else {
-                    return Err(LangError::sema(*line, format!("unknown function `{callee}`")));
+                    self.report(*line, format!("unknown function `{callee}`"));
+                    None
                 };
-                if args.len() != arity {
-                    return Err(LangError::sema(
-                        *line,
-                        format!("`{callee}` expects {arity} argument(s), got {}", args.len()),
-                    ));
+                if let Some(arity) = arity {
+                    if args.len() != arity {
+                        self.report(
+                            *line,
+                            format!("`{callee}` expects {arity} argument(s), got {}", args.len()),
+                        );
+                    }
                 }
                 for a in args {
-                    self.expect_ty(a, Ty::Num)?;
+                    self.expect_ty(a, Ty::Num);
                 }
-                Ok(Ty::Num)
+                Some(Ty::Num)
             }
             Expr::Unary { op, operand, .. } => match op {
                 UnOp::Neg => {
-                    self.expect_ty(operand, Ty::Num)?;
-                    Ok(Ty::Num)
+                    self.expect_ty(operand, Ty::Num);
+                    Some(Ty::Num)
                 }
                 UnOp::Not => {
-                    self.expect_ty(operand, Ty::Bool)?;
-                    Ok(Ty::Bool)
+                    self.expect_ty(operand, Ty::Bool);
+                    Some(Ty::Bool)
                 }
             },
             Expr::Binary { op, lhs, rhs, .. } => {
                 if op.is_arithmetic() {
-                    self.expect_ty(lhs, Ty::Num)?;
-                    self.expect_ty(rhs, Ty::Num)?;
-                    Ok(Ty::Num)
+                    self.expect_ty(lhs, Ty::Num);
+                    self.expect_ty(rhs, Ty::Num);
+                    Some(Ty::Num)
                 } else if op.is_comparison() {
-                    self.expect_ty(lhs, Ty::Num)?;
-                    self.expect_ty(rhs, Ty::Num)?;
-                    Ok(Ty::Bool)
+                    self.expect_ty(lhs, Ty::Num);
+                    self.expect_ty(rhs, Ty::Num);
+                    Some(Ty::Bool)
                 } else {
-                    self.expect_ty(lhs, Ty::Bool)?;
-                    self.expect_ty(rhs, Ty::Bool)?;
-                    Ok(Ty::Bool)
+                    self.expect_ty(lhs, Ty::Bool);
+                    self.expect_ty(rhs, Ty::Bool);
+                    Some(Ty::Bool)
                 }
             }
         }
@@ -326,6 +340,8 @@ impl Checker<'_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::parser::parse;
 
@@ -456,5 +472,35 @@ mod tests {
     #[test]
     fn builtin_calls_typecheck() {
         ok("fn f(x) { let y = sqrt(abs(x)) + min(x, 1) + max(x, 2) + floor(x); }");
+    }
+
+    #[test]
+    fn check_all_reports_every_error_in_order() {
+        let p = parse("fn f() {\n    let a = nope1;\n    let b = nope2;\n    break;\n}").unwrap();
+        let errors = check_all(&p, false);
+        assert_eq!(errors.len(), 3, "got: {errors:?}");
+        assert!(errors[0].message.contains("nope1"));
+        assert!(errors[1].message.contains("nope2"));
+        assert!(errors[2].message.contains("outside"));
+        assert_eq!((errors[0].line, errors[1].line, errors[2].line), (2, 3, 4));
+    }
+
+    #[test]
+    fn check_all_suppresses_cascades() {
+        // `y` is undeclared once; the failed init must not also produce a
+        // type error, and `x` is still declared for later use.
+        let p = parse("fn f() { let x = y; return x + 1; }").unwrap();
+        let errors = check_all(&p, false);
+        assert_eq!(errors.len(), 1, "got: {errors:?}");
+    }
+
+    #[test]
+    fn check_all_matches_check_on_first_error() {
+        let src = "global a[2]; fn f() { let a = 1; b = 2; }";
+        let p = parse(src).unwrap();
+        let all = check_all(&p, false);
+        let first = check(&p, false).unwrap_err();
+        assert!(all.len() >= 2);
+        assert_eq!(all[0].message, first.message);
     }
 }

@@ -153,6 +153,8 @@ pub fn build_pet_for(prog: &IrProgram, func: FuncId, args: &[f64]) -> Result<Pet
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_ir::compile;
 

@@ -27,11 +27,11 @@ pub fn pet_to_dot(pet: &Pet, prog: &IrProgram, hotspot: f64) -> String {
             100.0 * share,
             fill
         )
-        .unwrap();
+        .expect("write to String");
     }
     for n in &pet.nodes {
         for &c in &n.children {
-            writeln!(out, "  n{} -> n{};", n.id, c).unwrap();
+            writeln!(out, "  n{} -> n{};", n.id, c).expect("write to String");
         }
     }
     out.push_str("}\n");
@@ -40,6 +40,8 @@ pub fn pet_to_dot(pet: &Pet, prog: &IrProgram, hotspot: f64) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::builder::build_pet;
     use parpat_ir::compile;

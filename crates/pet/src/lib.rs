@@ -21,6 +21,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod builder;
 pub mod dot;

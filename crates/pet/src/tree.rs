@@ -159,7 +159,7 @@ impl Pet {
             self.nodes[n].inclusive_insts,
             100.0 * self.inst_share(n)
         )
-        .unwrap();
+        .expect("write to String");
         for &c in &self.nodes[n].children {
             self.render_node(c, prog, depth + 1, out);
         }
@@ -168,6 +168,8 @@ impl Pet {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn leaf(id: NodeId, parent: Option<NodeId>, kind: RegionKind, incl: u64) -> PetNode {

@@ -255,6 +255,8 @@ impl ProfileData {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn dep(src: u32, sink: u32, kind: DepKind, site: DepSite) -> Dep {

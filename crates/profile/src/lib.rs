@@ -25,6 +25,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod data;
 pub mod profiler;

@@ -384,6 +384,8 @@ pub fn profile_merged(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_ir::compile;
 

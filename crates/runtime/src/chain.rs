@@ -103,6 +103,8 @@ pub fn run_chain(threads_per_stage: usize, stages: Vec<ChainStage<'_>>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
 

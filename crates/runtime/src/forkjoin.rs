@@ -6,6 +6,7 @@
 //! dependency-counting scheduler — the direct executable form of a
 //! fork/worker/barrier classification from `parpat-core`.
 
+use crate::sync::{lock_recover, wait_recover};
 use std::sync::{Condvar, Mutex};
 
 /// Run `a` and `b`, potentially in parallel, returning both results.
@@ -102,7 +103,7 @@ pub fn run_task_graph(threads: usize, tasks: Vec<GraphTask<'_>>) {
             let dependents = &dependents;
             s.spawn(move || loop {
                 let (idx, run) = {
-                    let mut st = state.lock().unwrap();
+                    let mut st = lock_recover(state);
                     loop {
                         if st.completed == n {
                             return;
@@ -112,11 +113,11 @@ pub fn run_task_graph(threads: usize, tasks: Vec<GraphTask<'_>>) {
                             let run = st.slots[idx].take().expect("task taken once");
                             break (idx, run);
                         }
-                        st = cv.wait(st).unwrap();
+                        st = wait_recover(cv, st);
                     }
                 };
                 run();
-                let mut st = state.lock().unwrap();
+                let mut st = lock_recover(state);
                 st.completed += 1;
                 for &d in &dependents[idx] {
                     st.indeg[d] -= 1;
@@ -129,12 +130,14 @@ pub fn run_task_graph(threads: usize, tasks: Vec<GraphTask<'_>>) {
         }
     });
 
-    let st = state.lock().unwrap();
+    let st = lock_recover(&state);
     assert_eq!(st.completed, n, "dependency cycle left {} task(s) unrun", n - st.completed);
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex as StdMutex;

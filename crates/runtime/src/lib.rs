@@ -23,6 +23,7 @@
 //! exposes a single CPU core — see DESIGN.md).
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod chain;
 pub mod forkjoin;
@@ -42,6 +43,8 @@ pub use sync::{lock_recover, wait_recover, wait_timeout_recover};
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;

@@ -65,6 +65,8 @@ pub fn parallel_for_slices<T: Send>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 

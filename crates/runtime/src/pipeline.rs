@@ -7,6 +7,7 @@
 //! completed-prefix tracker handles out-of-order completion when the
 //! producer stage itself runs do-all in parallel.
 
+use crate::sync::{lock_recover, wait_recover};
 use std::sync::{Condvar, Mutex};
 
 /// The dependence specification of a two-stage multi-loop pipeline,
@@ -66,7 +67,7 @@ impl PrefixTracker {
 
     /// Mark iteration `i` complete and advance the watermark.
     pub fn complete(&self, i: u64) {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = lock_recover(&self.inner);
         st.done[i as usize] = true;
         let mut advanced = false;
         while (st.prefix as usize) < st.done.len() && st.done[st.prefix as usize] {
@@ -80,15 +81,15 @@ impl PrefixTracker {
 
     /// Current watermark (completed-prefix length).
     pub fn watermark(&self) -> u64 {
-        self.inner.lock().unwrap().prefix
+        lock_recover(&self.inner).prefix
     }
 
     /// Block until at least `k + 1` iterations are complete (i.e. iteration
     /// `k` is covered by the watermark).
     pub fn wait_for(&self, k: u64) {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = lock_recover(&self.inner);
         while st.prefix <= k {
-            st = self.cv.wait(st).unwrap();
+            st = wait_recover(&self.cv, st);
         }
     }
 }
@@ -155,6 +156,8 @@ pub fn run_two_stage<X, Y>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
 

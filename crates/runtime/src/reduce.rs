@@ -5,7 +5,8 @@
 //! operation must be associative (the paper leaves verifying that to the
 //! programmer; this API encodes it in the contract of `combine`).
 
-use std::sync::Mutex;
+use crate::sync::lock_recover;
+use std::sync::{Mutex, PoisonError};
 
 /// Reduce `0..n`: each index is mapped by `map`, results are folded with
 /// `fold` into per-thread accumulators starting from `identity`, and the
@@ -50,11 +51,11 @@ where
                 for i in start..end {
                     acc = fold(acc, map(i));
                 }
-                partials.lock().unwrap().push(acc);
+                lock_recover(partials).push(acc);
             });
         }
     });
-    let mut parts = partials.into_inner().unwrap();
+    let mut parts = partials.into_inner().unwrap_or_else(PoisonError::into_inner);
     let mut acc = identity;
     // Combine in deterministic (arbitrary but fixed) order.
     while let Some(p) = parts.pop() {
@@ -70,6 +71,8 @@ pub fn parallel_sum(threads: usize, n: usize, map: impl Fn(usize) -> f64 + Sync)
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -35,6 +35,8 @@ pub fn wait_timeout_recover<'a, T>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use std::sync::Mutex;
 

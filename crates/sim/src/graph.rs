@@ -190,6 +190,8 @@ pub fn simulate(graph: &TaskGraph, workers: usize, per_task_overhead: f64) -> Si
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn chain(n: usize, cost: f64) -> TaskGraph {

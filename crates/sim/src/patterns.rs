@@ -250,6 +250,8 @@ pub fn from_units(weights: &[f64], edges: &[(usize, usize)], ov: Overheads) -> T
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::graph::simulate;
 

@@ -50,7 +50,8 @@ impl Sweep {
         use std::fmt::Write;
         let mut out = String::new();
         for p in &self.points {
-            writeln!(out, "  {:>3} threads: speedup {:.2}", p.threads, p.result.speedup).unwrap();
+            writeln!(out, "  {:>3} threads: speedup {:.2}", p.threads, p.result.speedup)
+                .expect("write to String");
         }
         out
     }
@@ -58,6 +59,8 @@ impl Sweep {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::graph::{simulate, TaskGraph};
     use crate::patterns::{doall, Overheads};

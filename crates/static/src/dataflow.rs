@@ -1,0 +1,402 @@
+//! Reaching definitions and use-def chains over the structured IR.
+//!
+//! Because the IR keeps control flow structured (loops and ifs as trees,
+//! no arbitrary CFG), reaching definitions can be computed by a recursive
+//! walk with set-union joins at branch merges and a fixpoint iteration per
+//! loop — no worklist over basic blocks is needed.
+//!
+//! Two entry points exist:
+//!
+//! - [`function_use_def`] analyzes a whole function body, seeding parameter
+//!   slots with [`Def::Param`];
+//! - [`loop_body_use_def`] analyzes a single loop body in isolation, seeding
+//!   every slot with [`Def::Outer`] and additionally [`Def::Carried`] for
+//!   slots the body itself stores to. A scalar load whose reaching set
+//!   contains `Carried` may observe a value written by a *previous
+//!   iteration* — a loop-carried scalar flow dependence.
+
+use std::collections::{BTreeSet, HashMap};
+
+use parpat_ir::ir::{IrExpr, IrFunction, IrStmt, LoopKind};
+use parpat_ir::{InstId, LoopId};
+
+/// An abstract definition site for a scalar slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Def {
+    /// The parameter value the function was entered with.
+    Param(usize),
+    /// A value flowing into the analyzed region from outside it.
+    Outer,
+    /// A value stored by a previous iteration of the analyzed loop.
+    Carried,
+    /// A concrete `StoreLocal` instruction.
+    Store(InstId),
+    /// Written by the counted-loop machinery of the given loop (induction
+    /// variables are excluded from dependence analysis, mirroring the
+    /// dynamic profiler which emits no memory events for them).
+    Induction(LoopId),
+}
+
+/// The set of definitions that may reach a point, per slot.
+pub type DefSet = BTreeSet<Def>;
+
+/// Use-def chains: for every scalar load instruction, the slot it reads and
+/// the set of definitions that may reach it.
+#[derive(Debug, Default, Clone)]
+pub struct UseDef {
+    /// Load instruction → (slot, reaching definitions).
+    pub loads: HashMap<InstId, (usize, DefSet)>,
+}
+
+impl UseDef {
+    /// Iterate over loads of one slot.
+    pub fn loads_of(&self, slot: usize) -> impl Iterator<Item = (InstId, &DefSet)> {
+        self.loads
+            .iter()
+            .filter(move |(_, (s, _))| *s == slot)
+            .map(|(inst, (_, defs))| (*inst, defs))
+    }
+}
+
+/// Compute use-def chains for a whole function.
+pub fn function_use_def(f: &IrFunction) -> UseDef {
+    let mut st: State = vec![DefSet::new(); f.n_slots];
+    for (p, slot) in st.iter_mut().enumerate().take(f.n_params) {
+        slot.insert(Def::Param(p));
+    }
+    let mut w = Walker::default();
+    let mut breaks = Vec::new();
+    w.walk_block(&f.body, &mut st, &mut breaks);
+    w.use_def
+}
+
+/// Compute use-def chains for one loop body, treated as the analyzed region.
+///
+/// `carried` is the set of slots the body stores to (via `StoreLocal`);
+/// those are seeded with [`Def::Carried`] in addition to [`Def::Outer`] so
+/// loads can tell apart "value from before the loop" and "value from a
+/// previous iteration". For counted loops, the induction slot is seeded
+/// with [`Def::Induction`] instead.
+pub fn loop_body_use_def(
+    id: LoopId,
+    kind: &LoopKind,
+    body: &[IrStmt],
+    n_slots: usize,
+    carried: &BTreeSet<usize>,
+) -> UseDef {
+    let mut st: State = (0..n_slots)
+        .map(|s| {
+            let mut d = DefSet::new();
+            d.insert(Def::Outer);
+            if carried.contains(&s) {
+                d.insert(Def::Carried);
+            }
+            d
+        })
+        .collect();
+    let mut w = Walker::default();
+    match kind {
+        LoopKind::For { slot, .. } => {
+            st[*slot] = DefSet::from([Def::Induction(id)]);
+        }
+        LoopKind::While { cond } => w.record_expr(cond, &st),
+    }
+    let mut breaks = Vec::new();
+    w.walk_block(body, &mut st, &mut breaks);
+    w.use_def
+}
+
+/// Collect every `StoreLocal` target slot in a statement list (recursively).
+pub fn stored_slots(stmts: &[IrStmt]) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    collect_stored(stmts, &mut out);
+    out
+}
+
+fn collect_stored(stmts: &[IrStmt], out: &mut BTreeSet<usize>) {
+    for s in stmts {
+        match s {
+            IrStmt::StoreLocal { slot, .. } => {
+                out.insert(*slot);
+            }
+            IrStmt::Loop { body, .. } => collect_stored(body, out),
+            IrStmt::If { then_body, else_body, .. } => {
+                collect_stored(then_body, out);
+                collect_stored(else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Reaching-definition state: one [`DefSet`] per slot.
+type State = Vec<DefSet>;
+
+fn join_into(dst: &mut State, src: &State) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.extend(s.iter().copied());
+    }
+}
+
+/// Set every slot to the empty set — the state after a statement that never
+/// falls through (`return`, `break`).
+fn bottom(st: &mut State) {
+    for d in st.iter_mut() {
+        d.clear();
+    }
+}
+
+#[derive(Default)]
+struct Walker {
+    use_def: UseDef,
+}
+
+impl Walker {
+    fn walk_block(&mut self, stmts: &[IrStmt], st: &mut State, breaks: &mut Vec<Option<State>>) {
+        for s in stmts {
+            self.walk_stmt(s, st, breaks);
+        }
+    }
+
+    fn walk_stmt(&mut self, stmt: &IrStmt, st: &mut State, breaks: &mut Vec<Option<State>>) {
+        match stmt {
+            IrStmt::StoreLocal { slot, value, inst } => {
+                self.record_expr(value, st);
+                st[*slot] = DefSet::from([Def::Store(*inst)]);
+            }
+            IrStmt::StoreIndex { indices, value, .. } => {
+                for ix in indices {
+                    self.record_expr(ix, st);
+                }
+                self.record_expr(value, st);
+            }
+            IrStmt::If { cond, then_body, else_body, .. } => {
+                self.record_expr(cond, st);
+                let mut then_st = st.clone();
+                self.walk_block(then_body, &mut then_st, breaks);
+                self.walk_block(else_body, st, breaks);
+                join_into(st, &then_st);
+            }
+            IrStmt::Loop { id, kind, body, .. } => {
+                if let LoopKind::For { start, end, .. } = kind {
+                    // Bounds are evaluated once, before the loop runs.
+                    self.record_expr(start, st);
+                    self.record_expr(end, st);
+                }
+                let pre = st.clone();
+                // `exit` accumulates every way the loop can be left:
+                // zero iterations, normal back-edge exhaustion, and breaks.
+                let mut exit = pre.clone();
+                let mut entry = pre;
+                breaks.push(None);
+                loop {
+                    let mut body_st = entry.clone();
+                    match kind {
+                        LoopKind::For { slot, .. } => {
+                            body_st[*slot] = DefSet::from([Def::Induction(*id)]);
+                        }
+                        LoopKind::While { cond } => self.record_expr(cond, &body_st),
+                    }
+                    self.walk_block(body, &mut body_st, breaks);
+                    let mut next = entry.clone();
+                    join_into(&mut next, &body_st);
+                    if next == entry {
+                        join_into(&mut exit, &body_st);
+                        break;
+                    }
+                    entry = next;
+                }
+                if let Some(brk) = breaks.pop().flatten() {
+                    join_into(&mut exit, &brk);
+                }
+                *st = exit;
+            }
+            IrStmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.record_expr(v, st);
+                }
+                bottom(st);
+            }
+            IrStmt::Break { .. } => {
+                if let Some(top) = breaks.last_mut() {
+                    match top {
+                        None => *top = Some(st.clone()),
+                        Some(b) => join_into(b, st),
+                    }
+                }
+                bottom(st);
+            }
+            IrStmt::ExprStmt { expr, .. } => self.record_expr(expr, st),
+        }
+    }
+
+    fn record_expr(&mut self, e: &IrExpr, st: &State) {
+        match e {
+            IrExpr::Const { .. } | IrExpr::Bool { .. } => {}
+            IrExpr::LoadLocal { slot, inst } => {
+                let entry =
+                    self.use_def.loads.entry(*inst).or_insert_with(|| (*slot, DefSet::new()));
+                entry.1.extend(st[*slot].iter().copied());
+            }
+            IrExpr::LoadIndex { indices, .. } => {
+                for ix in indices {
+                    self.record_expr(ix, st);
+                }
+            }
+            IrExpr::CallFn { args, .. } | IrExpr::CallBuiltin { args, .. } => {
+                for a in args {
+                    self.record_expr(a, st);
+                }
+            }
+            IrExpr::Unary { operand, .. } => self.record_expr(operand, st),
+            IrExpr::Binary { lhs, rhs, .. } => {
+                self.record_expr(lhs, st);
+                self.record_expr(rhs, st);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use parpat_ir::compile_fragment;
+
+    fn func(src: &str) -> parpat_ir::IrProgram {
+        compile_fragment(src).unwrap()
+    }
+
+    /// Find the single loop body of function `f` in a one-loop program.
+    fn only_loop(ir: &parpat_ir::IrProgram) -> (LoopId, &LoopKind, &[IrStmt], usize) {
+        for f in &ir.functions {
+            if let Some(found) = find_loop(&f.body, f.n_slots) {
+                return found;
+            }
+        }
+        panic!("no loop in program");
+    }
+
+    fn find_loop(
+        stmts: &[IrStmt],
+        n_slots: usize,
+    ) -> Option<(LoopId, &LoopKind, &[IrStmt], usize)> {
+        for s in stmts {
+            if let IrStmt::Loop { id, kind, body, .. } = s {
+                return Some((*id, kind, body, n_slots));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn straight_line_use_def_sees_the_store() {
+        let ir = func("fn f(x) { let y = x + 1; return y; }");
+        let f = ir.function_named("f").unwrap();
+        let ud = function_use_def(f);
+        // The load of `x` must reach Param(0); the load of `y` must reach a Store.
+        let mut saw_param = false;
+        let mut saw_store = false;
+        for (_, defs) in ud.loads.values() {
+            saw_param |= defs.contains(&Def::Param(0));
+            saw_store |= defs.iter().any(|d| matches!(d, Def::Store(_)));
+        }
+        assert!(saw_param && saw_store);
+    }
+
+    #[test]
+    fn branch_join_unions_both_sides() {
+        let ir = func("fn f(c) {\n let y = 0;\n if c > 0 { y = 1; }\n return y;\n}");
+        let f = ir.function_named("f").unwrap();
+        let ud = function_use_def(f);
+        let y_slot = f.slot_names.iter().position(|n| n == "y").unwrap();
+        // The return-site load of y must see both stores (init and branch).
+        let (_, defs) = ud.loads_of(y_slot).max_by_key(|(inst, _)| *inst).unwrap();
+        let stores = defs.iter().filter(|d| matches!(d, Def::Store(_))).count();
+        assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn loop_body_sees_carried_def_for_accumulator() {
+        let ir = func("fn f(n) { let s = 0; for i in 0..n { s = s + i; } return s; }");
+        let f = ir.function_named("f").unwrap();
+        let (id, kind, body, n_slots) = only_loop(&ir);
+        let carried = stored_slots(body);
+        let ud = loop_body_use_def(id, kind, body, n_slots, &carried);
+        let s_slot = f.slot_names.iter().position(|n| n == "s").unwrap();
+        let (_, defs) = ud.loads_of(s_slot).next().unwrap();
+        assert!(defs.contains(&Def::Carried));
+        assert!(defs.contains(&Def::Outer));
+    }
+
+    #[test]
+    fn induction_variable_is_not_carried() {
+        let ir = func("global a[8];\nfn f(n) { for i in 0..n { a[i] = i; } }");
+        let f = ir.function_named("f").unwrap();
+        let (id, kind, body, n_slots) = only_loop(&ir);
+        let carried = stored_slots(body);
+        assert!(carried.is_empty(), "for-loops emit no StoreLocal for the induction slot");
+        let ud = loop_body_use_def(id, kind, body, n_slots, &carried);
+        let i_slot = f.slot_names.iter().position(|n| n == "i").unwrap();
+        for (_, defs) in ud.loads_of(i_slot) {
+            assert_eq!(defs, &DefSet::from([Def::Induction(id)]));
+        }
+    }
+
+    #[test]
+    fn privatized_scalar_is_not_carried() {
+        // `t` is written before it is read in every iteration, so the load
+        // of `t` must reach only the in-iteration store, never Carried.
+        let ir = func("global a[8];\nfn f(n) { for i in 0..n { let t = i * 2; a[i] = t; } }");
+        let f = ir.function_named("f").unwrap();
+        let (id, kind, body, n_slots) = only_loop(&ir);
+        let carried = stored_slots(body);
+        let ud = loop_body_use_def(id, kind, body, n_slots, &carried);
+        let t_slot = f.slot_names.iter().position(|n| n == "t").unwrap();
+        for (_, defs) in ud.loads_of(t_slot) {
+            assert!(!defs.contains(&Def::Carried));
+            assert!(defs.iter().any(|d| matches!(d, Def::Store(_))));
+        }
+    }
+
+    #[test]
+    fn conditional_store_leaves_carried_reachable() {
+        // `s` is only sometimes updated, so its load may still see Carried.
+        let ir = func(
+            "global a[8];\nfn f(n) { let s = 0; for i in 0..n { if a[i] > 0 { s = s + 1; } } return s; }",
+        );
+        let f = ir.function_named("f").unwrap();
+        let (id, kind, body, n_slots) = only_loop(&ir);
+        let carried = stored_slots(body);
+        let ud = loop_body_use_def(id, kind, body, n_slots, &carried);
+        let s_slot = f.slot_names.iter().position(|n| n == "s").unwrap();
+        let (_, defs) = ud.loads_of(s_slot).next().unwrap();
+        assert!(defs.contains(&Def::Carried));
+    }
+
+    #[test]
+    fn nested_loop_fixpoint_converges_and_carries() {
+        let ir =
+            func("fn f(n) { let s = 0; for i in 0..n { for j in 0..n { s = s + j; } } return s; }");
+        let f = ir.function_named("f").unwrap();
+        let (id, kind, body, n_slots) = only_loop(&ir); // outer loop
+        let carried = stored_slots(body);
+        let ud = loop_body_use_def(id, kind, body, n_slots, &carried);
+        let s_slot = f.slot_names.iter().position(|n| n == "s").unwrap();
+        let (_, defs) = ud.loads_of(s_slot).next().unwrap();
+        assert!(defs.contains(&Def::Carried));
+        assert!(defs.iter().any(|d| matches!(d, Def::Store(_))), "inner back-edge store reaches");
+    }
+
+    #[test]
+    fn break_state_joins_into_loop_exit() {
+        let ir = func("fn f(n) {\n let r = 0;\n while true {\n r = 1;\n break;\n }\n return r;\n}");
+        let f = ir.function_named("f").unwrap();
+        let ud = function_use_def(f);
+        let r_slot = f.slot_names.iter().position(|n| n == "r").unwrap();
+        let (_, defs) = ud.loads_of(r_slot).max_by_key(|(inst, _)| *inst).unwrap();
+        // The return-site load must see the store of 1 via the break edge.
+        assert_eq!(defs.iter().filter(|d| matches!(d, Def::Store(_))).count(), 2);
+    }
+}

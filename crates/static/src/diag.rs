@@ -1,0 +1,214 @@
+//! Diagnostics with stable codes, severities, and source lines.
+//!
+//! Every finding the static layer (or the language front-end, via
+//! [`crate::lint`]) can produce is identified by a stable [`Code`], so
+//! tooling can filter or gate on codes without parsing message text.
+//! `L`-codes are language errors; `P`-codes are parallelism findings.
+
+use std::fmt;
+
+/// Stable diagnostic codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `L001` — lexical error.
+    LexError,
+    /// `L002` — parse error.
+    ParseError,
+    /// `L003` — semantic error.
+    SemaError,
+    /// `P001` — proven loop-carried flow dependence through an array.
+    CarriedArrayDep,
+    /// `P002` — proven loop-carried flow dependence through a scalar.
+    CarriedScalarDep,
+    /// `P003` — loop-carried dependences could not be resolved statically.
+    Unresolved,
+    /// `P010` — static reduction candidate (`x = x op e` on one line).
+    StaticReduction,
+    /// `P020` — loop statically proven free of carried flow dependences.
+    ProvenDoAll,
+    /// `P030` — dynamic do-all verdict contradicted by a proven static
+    /// dependence: the dynamic verdict is input-sensitive.
+    InputSensitive,
+    /// `P031` — static proof of independence contradicted by an observed
+    /// dynamic dependence: an internal consistency error.
+    ConsistencyError,
+}
+
+impl Code {
+    /// The stable textual id, e.g. `"P001"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Code::LexError => "L001",
+            Code::ParseError => "L002",
+            Code::SemaError => "L003",
+            Code::CarriedArrayDep => "P001",
+            Code::CarriedScalarDep => "P002",
+            Code::Unresolved => "P003",
+            Code::StaticReduction => "P010",
+            Code::ProvenDoAll => "P020",
+            Code::InputSensitive => "P030",
+            Code::ConsistencyError => "P031",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::LexError | Code::ParseError | Code::SemaError | Code::ConsistencyError => {
+                Severity::Error
+            }
+            Code::CarriedArrayDep | Code::CarriedScalarDep | Code::InputSensitive => {
+                Severity::Warning
+            }
+            Code::Unresolved | Code::StaticReduction | Code::ProvenDoAll => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational finding (candidate, proof of independence).
+    Info,
+    /// Suspicious but not fatal (a dependence that blocks parallelization).
+    Warning,
+    /// The program is invalid or the toolchain contradicted itself.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in rendered diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding, anchored to a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// 1-based source line the finding is anchored to.
+    pub line: u32,
+    /// Human-readable message (no trailing period, no location prefix).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    pub fn new(code: Code, line: u32, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code, line, message: message.into() }
+    }
+
+    /// Render as one text line: `line 4: warning[P001]: message`.
+    pub fn render(&self) -> String {
+        format!("line {}: {}[{}]: {}", self.line, self.code.severity(), self.code, self.message)
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"code\": {}, \"severity\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(self.code.id()),
+            json_str(self.code.severity().label()),
+            self.line,
+            json_str(&self.message)
+        )
+    }
+}
+
+/// Sort diagnostics into the stable presentation order: by line, then code,
+/// then message.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.line, a.code, &a.message).cmp(&(b.line, b.code, &b.message)));
+}
+
+/// Minimal JSON string escaping (the crate is dependency-free by design).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn codes_have_unique_ids() {
+        let all = [
+            Code::LexError,
+            Code::ParseError,
+            Code::SemaError,
+            Code::CarriedArrayDep,
+            Code::CarriedScalarDep,
+            Code::Unresolved,
+            Code::StaticReduction,
+            Code::ProvenDoAll,
+            Code::InputSensitive,
+            Code::ConsistencyError,
+        ];
+        let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let d = Diagnostic::new(Code::CarriedArrayDep, 4, "flow dependence on `a`");
+        assert_eq!(d.render(), "line 4: warning[P001]: flow dependence on `a`");
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let d = Diagnostic::new(Code::SemaError, 2, "unknown variable `x\"y`");
+        let j = d.to_json();
+        assert!(j.contains("\"code\": \"L003\""));
+        assert!(j.contains("\"severity\": \"error\""));
+        assert!(j.contains("\\\"y"));
+    }
+
+    #[test]
+    fn sort_orders_by_line_then_code() {
+        let mut v = vec![
+            Diagnostic::new(Code::ProvenDoAll, 9, "b"),
+            Diagnostic::new(Code::CarriedArrayDep, 4, "a"),
+            Diagnostic::new(Code::CarriedScalarDep, 4, "c"),
+        ];
+        sort_diagnostics(&mut v);
+        assert_eq!(v[0].code, Code::CarriedArrayDep);
+        assert_eq!(v[1].code, Code::CarriedScalarDep);
+        assert_eq!(v[2].line, 9);
+    }
+}

@@ -1,0 +1,205 @@
+//! # parpat-static — static dependence analysis over the lowered IR
+//!
+//! The paper's detectors are purely dynamic: they only see dependences the
+//! profiled input exercises. This crate closes the gap from the other side
+//! with classic compile-time analyses over the structured IR:
+//!
+//! - **reaching definitions / use-def chains** per function and per loop
+//!   body ([`dataflow`]), exploiting the structured control flow (no CFG
+//!   needed);
+//! - **subscript dependence tests** — ZIV, strong SIV, weak-zero SIV, and
+//!   a GCD fallback — over affine array subscripts ([`subscript`]);
+//! - a **per-loop verdict** in the three-point lattice *proven-none /
+//!   proven-some / unknown* for loop-carried flow dependences, plus a
+//!   static recognizer for the paper's single-source-line `x = x op e`
+//!   reduction pattern ([`loops`]);
+//! - a **diagnostics framework** with stable codes (`P001`, `P010`, ...)
+//!   and severities, rendered as text or JSON ([`diag`], [`lint`]).
+//!
+//! The engine cross-validates these verdicts against the dynamic ones:
+//! a dynamic do-all contradicted by a static proof is *input-sensitive*;
+//! a static proof of independence contradicted by an observed dependence
+//! is an internal consistency error.
+//!
+//! ```
+//! let ir = parpat_ir::compile(
+//!     "global a[16];\nfn main() { for i in 1..16 { a[i] = a[i - 1] + 1; } }",
+//! )
+//! .unwrap();
+//! let report = parpat_static::analyze_ir(&ir);
+//! assert_eq!(report.loops[0].verdict, parpat_static::Verdict::ProvenSome);
+//! assert_eq!(report.loops[0].array_deps[0].distance, Some(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod dataflow;
+pub mod diag;
+pub mod lint;
+pub mod loops;
+pub mod subscript;
+
+use parpat_ir::ir::{IrProgram, IrStmt};
+use parpat_ir::LoopId;
+
+pub use diag::{Code, Diagnostic, Severity};
+pub use lint::lint_source;
+pub use loops::{ArrayDep, LoopReport, Reduction, ScalarDep, Verdict};
+
+/// Static analysis results for every loop of a program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StaticReport {
+    /// One report per loop, indexed by [`LoopId`].
+    pub loops: Vec<LoopReport>,
+}
+
+impl StaticReport {
+    /// The report for one loop.
+    pub fn loop_report(&self, id: LoopId) -> Option<&LoopReport> {
+        self.loops.get(id as usize)
+    }
+
+    /// The verdict for one loop.
+    pub fn verdict_of(&self, id: LoopId) -> Option<Verdict> {
+        self.loop_report(id).map(|l| l.verdict)
+    }
+
+    /// Source lines of counted loops statically proven free of carried
+    /// flow dependences — the static do-all candidates.
+    pub fn proven_doall_lines(&self) -> Vec<u32> {
+        let mut lines: Vec<u32> = self
+            .loops
+            .iter()
+            .filter(|l| l.is_for && l.verdict == Verdict::ProvenNone)
+            .map(|l| l.line)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Number of counted loops statically proven do-all.
+    pub fn proven_doall_count(&self) -> usize {
+        self.loops.iter().filter(|l| l.is_for && l.verdict == Verdict::ProvenNone).count()
+    }
+
+    /// Render every finding as diagnostics, in stable order.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for l in &self.loops {
+            for d in &l.array_deps {
+                let dist = match d.distance {
+                    Some(k) => format!(", distance {k}"),
+                    None => String::new(),
+                };
+                out.push(Diagnostic::new(
+                    Code::CarriedArrayDep,
+                    d.write_line,
+                    format!(
+                        "loop at line {} carries a flow dependence on `{}`: {} written, {} read{}",
+                        l.line, d.array, d.write, d.read, dist
+                    ),
+                ));
+            }
+            for s in &l.scalar_deps {
+                out.push(Diagnostic::new(
+                    Code::CarriedScalarDep,
+                    s.line,
+                    format!(
+                        "loop at line {} carries the value of `{}` across iterations",
+                        l.line, s.var
+                    ),
+                ));
+            }
+            for r in &l.reductions {
+                out.push(Diagnostic::new(
+                    Code::StaticReduction,
+                    r.line,
+                    format!("static reduction candidate: `{}` accumulated with `{}`", r.var, r.op),
+                ));
+            }
+            match l.verdict {
+                Verdict::ProvenNone if l.is_for => out.push(Diagnostic::new(
+                    Code::ProvenDoAll,
+                    l.line,
+                    "loop statically proven free of loop-carried flow dependences".to_string(),
+                )),
+                Verdict::Unknown => out.push(Diagnostic::new(
+                    Code::Unresolved,
+                    l.line,
+                    format!("cannot prove loop independent: {}", l.unknown_reasons.join("; ")),
+                )),
+                _ => {}
+            }
+        }
+        diag::sort_diagnostics(&mut out);
+        out
+    }
+}
+
+/// Run the static analysis over every loop of a lowered program.
+pub fn analyze_ir(ir: &IrProgram) -> StaticReport {
+    let mut loops = Vec::new();
+    for f in &ir.functions {
+        collect_loops(ir, &f.body, &mut loops);
+    }
+    loops.sort_by_key(|l: &LoopReport| l.id);
+    debug_assert_eq!(loops.len(), ir.loops.len());
+    StaticReport { loops }
+}
+
+fn collect_loops(ir: &IrProgram, stmts: &[IrStmt], out: &mut Vec<LoopReport>) {
+    for s in stmts {
+        match s {
+            IrStmt::Loop { id, kind, body, .. } => {
+                out.push(loops::analyze_loop(ir, *id, kind, body));
+                collect_loops(ir, body, out);
+            }
+            IrStmt::If { then_body, else_body, .. } => {
+                collect_loops(ir, then_body, out);
+                collect_loops(ir, else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn report_indexes_loops_by_id() {
+        let ir = parpat_ir::compile(
+            "global a[8];\nfn main() {\n    for i in 0..8 { a[i] = i; }\n    for j in 0..8 { a[j] = a[j] + 1; }\n}",
+        )
+        .unwrap();
+        let rep = analyze_ir(&ir);
+        assert_eq!(rep.loops.len(), 2);
+        for (i, l) in rep.loops.iter().enumerate() {
+            assert_eq!(l.id as usize, i);
+        }
+        assert_eq!(rep.verdict_of(0), Some(Verdict::ProvenNone));
+        assert_eq!(rep.verdict_of(1), Some(Verdict::ProvenNone));
+        assert_eq!(rep.proven_doall_lines(), vec![3, 4]);
+        assert_eq!(rep.proven_doall_count(), 2);
+    }
+
+    #[test]
+    fn diagnostics_cover_stencil_and_reduction() {
+        let ir = parpat_ir::compile(
+            "global a[16];\nfn main() {\n    let s = 0;\n    for i in 1..16 { a[i] = a[i - 1] + 1; }\n    for j in 0..16 { s = s + a[j]; }\n    return s;\n}",
+        )
+        .unwrap();
+        let diags = analyze_ir(&ir).diagnostics();
+        let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::CarriedArrayDep));
+        assert!(codes.contains(&Code::StaticReduction));
+        assert!(!codes.contains(&Code::ProvenDoAll));
+        let p001 = diags.iter().find(|d| d.code == Code::CarriedArrayDep).unwrap();
+        assert!(p001.message.contains("a[i - 1]"), "got: {}", p001.message);
+    }
+}

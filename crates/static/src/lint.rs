@@ -1,0 +1,74 @@
+//! One-call lint: language diagnostics plus static parallelism findings.
+
+use parpat_minilang::{sema, LangError, Phase};
+
+use crate::analyze_ir;
+use crate::diag::{sort_diagnostics, Code, Diagnostic};
+
+/// Lint MiniLang source: lex/parse/sema errors when the program is invalid
+/// (all semantic errors are reported, not just the first), otherwise the
+/// static dependence findings over the lowered IR.
+pub fn lint_source(src: &str) -> Vec<Diagnostic> {
+    let program = match parpat_minilang::parser::parse(src) {
+        Ok(p) => p,
+        Err(e) => return vec![lang_diag(&e)],
+    };
+    let errors = sema::check_all(&program, true);
+    if !errors.is_empty() {
+        let mut diags: Vec<Diagnostic> = errors.iter().map(lang_diag).collect();
+        sort_diagnostics(&mut diags);
+        return diags;
+    }
+    let ir = parpat_ir::lower(&program);
+    analyze_ir(&ir).diagnostics()
+}
+
+fn lang_diag(e: &LangError) -> Diagnostic {
+    let code = match e.phase {
+        Phase::Lex => Code::LexError,
+        Phase::Parse => Code::ParseError,
+        Phase::Sema => Code::SemaError,
+    };
+    Diagnostic::new(code, e.line, e.message.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn parse_error_yields_l002() {
+        let diags = lint_source("fn main( { }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::ParseError);
+        assert_eq!(diags[0].code.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn all_sema_errors_are_reported() {
+        // Two independent unknown-variable errors on different lines.
+        let diags = lint_source("fn main() {\n    let a = nope1;\n    let b = nope2;\n}");
+        assert!(diags.len() >= 2, "expected both sema errors, got {diags:?}");
+        assert!(diags.iter().all(|d| d.code == Code::SemaError));
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[1].line, 3);
+    }
+
+    #[test]
+    fn clean_program_yields_static_findings() {
+        let diags = lint_source("global a[8];\nfn main() { for i in 0..8 { a[i] = i; } }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::ProvenDoAll);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn stencil_yields_p001() {
+        let diags =
+            lint_source("global a[16];\nfn main() { for i in 1..16 { a[i] = a[i - 1] + 1; } }");
+        assert!(diags.iter().any(|d| d.code == Code::CarriedArrayDep));
+    }
+}

@@ -1,0 +1,665 @@
+//! Per-loop dependence verdicts.
+//!
+//! For every loop in the program this module decides whether loop-carried
+//! flow (read-after-write) dependences are **proven absent**, **proven
+//! present**, or **unknown** — the same RAW-only criterion the dynamic
+//! do-all detector uses (WAR/WAW are privatizable and ignored):
+//!
+//! - scalar dependences come from the reaching-definitions walk
+//!   ([`crate::dataflow`]): a load whose reaching set contains
+//!   [`Def::Carried`] may observe a previous iteration's store;
+//! - array dependences come from the subscript tests
+//!   ([`crate::subscript`]) over every (write, read) pair on the same
+//!   array inside the body;
+//! - a carried scalar is downgraded to a *reduction candidate* when it
+//!   matches the paper's single-source-line `x = x op e` accumulation
+//!   pattern.
+//!
+//! A verdict of [`Verdict::ProvenSome`] means the dependence exists
+//! whenever the involved statements execute — deliberately ignoring
+//! branch predicates. That asymmetry is what makes input-sensitivity
+//! detectable: a dynamically-clean loop whose body *can* carry a proven
+//! dependence under different input is flagged by cross-validation
+//! rather than silently trusted.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use parpat_ir::ir::{Builtin, IrExpr, IrFunction, IrProgram, IrStmt, LoopKind};
+use parpat_ir::{ArrayId, FuncId, InstId, LoopId};
+use parpat_minilang::ast::BinOp;
+
+use crate::dataflow::{loop_body_use_def, stored_slots, Def, UseDef};
+use crate::subscript::{affine_of, const_int, dim_rel, pair_dep, Affine, DimRel, PairDep};
+
+/// The three-point verdict lattice for a loop's carried flow dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No loop-carried flow dependence can occur, on any input.
+    ProvenNone,
+    /// At least one loop-carried flow dependence is proven to occur
+    /// whenever the involved statements execute.
+    ProvenSome,
+    /// Neither direction could be proven.
+    Unknown,
+}
+
+impl Verdict {
+    /// Short human-readable label for summaries and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::ProvenNone => "proven do-all",
+            Verdict::ProvenSome => "carried dependence",
+            Verdict::Unknown => "unknown",
+        }
+    }
+}
+
+/// A proven loop-carried flow dependence through a global array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDep {
+    /// Array name.
+    pub array: String,
+    /// Rendered write access, e.g. `a[i]`.
+    pub write: String,
+    /// Rendered read access, e.g. `a[i - 1]`.
+    pub read: String,
+    /// Source line of the write.
+    pub write_line: u32,
+    /// Source line of the read.
+    pub read_line: u32,
+    /// Fixed iteration distance when the tests pin one down.
+    pub distance: Option<i64>,
+}
+
+/// A proven loop-carried flow dependence through a scalar local.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarDep {
+    /// Variable name.
+    pub var: String,
+    /// Source line of the (first) carried read.
+    pub line: u32,
+}
+
+/// A statically recognized reduction: `x = x op e` on a single source line,
+/// with no other reads of `x` in the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reduction {
+    /// Accumulator variable name.
+    pub var: String,
+    /// The combining operator (`+`, `*`, `min`, ...).
+    pub op: String,
+    /// Source line of the accumulation statement.
+    pub line: u32,
+}
+
+/// Everything the static layer knows about one loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopReport {
+    /// The loop's id.
+    pub id: LoopId,
+    /// 1-based source line of the loop keyword.
+    pub line: u32,
+    /// Enclosing function.
+    pub func: FuncId,
+    /// `true` for counted `for` loops.
+    pub is_for: bool,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Proven array dependences.
+    pub array_deps: Vec<ArrayDep>,
+    /// Proven scalar dependences (reductions excluded).
+    pub scalar_deps: Vec<ScalarDep>,
+    /// Recognized reduction candidates.
+    pub reductions: Vec<Reduction>,
+    /// Why the verdict is [`Verdict::Unknown`] (empty otherwise).
+    pub unknown_reasons: Vec<String>,
+}
+
+/// Analyze one loop of a lowered program.
+pub fn analyze_loop(ir: &IrProgram, id: LoopId, kind: &LoopKind, body: &[IrStmt]) -> LoopReport {
+    let meta = &ir.loops[id as usize];
+    let f = &ir.functions[meta.func];
+    let stored = stored_slots(body);
+    let ud = loop_body_use_def(id, kind, body, f.n_slots, &stored);
+    let induction = match kind {
+        LoopKind::For { slot, .. } => Some(*slot),
+        LoopKind::While { .. } => None,
+    };
+    let mut nested_inds = BTreeSet::new();
+    collect_nested_for_slots(body, &mut nested_inds);
+
+    let mut unknown: BTreeSet<String> = BTreeSet::new();
+
+    // --- Scalar dependences -------------------------------------------------
+    let mut carried_slots: BTreeMap<usize, u32> = BTreeMap::new();
+    for (inst, (slot, defs)) in &ud.loads {
+        if defs.contains(&Def::Carried) {
+            let line = ir.line_of(*inst);
+            carried_slots.entry(*slot).and_modify(|l| *l = (*l).min(line)).or_insert(line);
+        }
+    }
+    let mut reductions = Vec::new();
+    let mut scalar_deps = Vec::new();
+    for (&slot, &line) in &carried_slots {
+        match recognize_reduction(ir, f, body, slot, &ud) {
+            Some(red) => reductions.push(red),
+            None => scalar_deps.push(ScalarDep { var: f.slot_names[slot].clone(), line }),
+        }
+    }
+
+    // --- Array dependences --------------------------------------------------
+    let mut reads: Vec<(ArrayId, InstId, &[IrExpr])> = Vec::new();
+    let mut writes: Vec<(ArrayId, InstId, &[IrExpr])> = Vec::new();
+    let mut calls: BTreeSet<FuncId> = BTreeSet::new();
+    // The while condition re-executes every iteration and belongs to the
+    // dependence region; for-loop bounds are evaluated once, outside it.
+    if let LoopKind::While { cond } = kind {
+        collect_expr(cond, &mut reads, &mut calls);
+    }
+    collect_accesses(body, &mut reads, &mut writes, &mut calls);
+
+    for callee in &calls {
+        unknown.insert(format!(
+            "calls `{}` (interprocedural effects not analyzed)",
+            ir.functions[*callee].name
+        ));
+    }
+
+    let bounds = match kind {
+        LoopKind::For { start, end, .. } => const_int(start).zip(const_int(end)),
+        LoopKind::While { .. } => None,
+    };
+    let invariant =
+        |s: usize| !stored.contains(&s) && !nested_inds.contains(&s) && Some(s) != induction;
+    let ind_name = induction.map(|s| f.slot_names[s].as_str());
+
+    let written: BTreeSet<ArrayId> = writes.iter().map(|(a, _, _)| *a).collect();
+    let read_set: BTreeSet<ArrayId> = reads.iter().map(|(a, _, _)| *a).collect();
+    let mut array_deps = Vec::new();
+    for arr in written.intersection(&read_set) {
+        let name = &ir.globals[*arr].name;
+        let w_affs = affine_accesses(&writes, *arr, induction, &invariant, ir, name, &mut unknown);
+        let r_affs = affine_accesses(&reads, *arr, induction, &invariant, ir, name, &mut unknown);
+        for (wi, w) in &w_affs {
+            for (ri, r) in &r_affs {
+                let dims: Vec<DimRel> =
+                    w.iter().zip(r.iter()).map(|(a, b)| dim_rel(*a, *b)).collect();
+                match pair_dep(&dims, bounds) {
+                    PairDep::NoDep => {}
+                    PairDep::Raw(distance) => array_deps.push(ArrayDep {
+                        array: name.clone(),
+                        write: render_access(name, w, ind_name, f),
+                        read: render_access(name, r, ind_name, f),
+                        write_line: ir.line_of(*wi),
+                        read_line: ir.line_of(*ri),
+                        distance,
+                    }),
+                    PairDep::Inconclusive => {
+                        unknown.insert(format!(
+                            "cannot resolve subscript pair {} / {}",
+                            render_access(name, w, ind_name, f),
+                            render_access(name, r, ind_name, f)
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    array_deps.sort_by(|a, b| {
+        (a.write_line, a.read_line, &a.array).cmp(&(b.write_line, b.read_line, &b.array))
+    });
+    array_deps.dedup();
+
+    let verdict = if !array_deps.is_empty() || !scalar_deps.is_empty() || !reductions.is_empty() {
+        Verdict::ProvenSome
+    } else if unknown.is_empty() {
+        Verdict::ProvenNone
+    } else {
+        Verdict::Unknown
+    };
+    LoopReport {
+        id,
+        line: meta.line,
+        func: meta.func,
+        is_for: meta.is_for,
+        verdict,
+        array_deps,
+        scalar_deps,
+        reductions,
+        unknown_reasons: unknown.into_iter().collect(),
+    }
+}
+
+/// Convert every access of `arr` to its per-dimension affine forms,
+/// recording an unknown-reason for each non-affine subscript.
+fn affine_accesses(
+    accesses: &[(ArrayId, InstId, &[IrExpr])],
+    arr: ArrayId,
+    induction: Option<usize>,
+    invariant: &dyn Fn(usize) -> bool,
+    ir: &IrProgram,
+    name: &str,
+    unknown: &mut BTreeSet<String>,
+) -> Vec<(InstId, Vec<Affine>)> {
+    let mut out = Vec::new();
+    for (a, inst, indices) in accesses {
+        if *a != arr {
+            continue;
+        }
+        let affs: Option<Vec<Affine>> =
+            indices.iter().map(|ix| affine_of(ix, induction, invariant)).collect();
+        match affs {
+            Some(v) => out.push((*inst, v)),
+            None => {
+                unknown.insert(format!(
+                    "subscript of `{}` at line {} is not affine in the induction variable",
+                    name,
+                    ir.line_of(*inst)
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn collect_nested_for_slots(stmts: &[IrStmt], out: &mut BTreeSet<usize>) {
+    for s in stmts {
+        match s {
+            IrStmt::Loop { kind, body, .. } => {
+                if let LoopKind::For { slot, .. } = kind {
+                    out.insert(*slot);
+                }
+                collect_nested_for_slots(body, out);
+            }
+            IrStmt::If { then_body, else_body, .. } => {
+                collect_nested_for_slots(then_body, out);
+                collect_nested_for_slots(else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_accesses<'a>(
+    stmts: &'a [IrStmt],
+    reads: &mut Vec<(ArrayId, InstId, &'a [IrExpr])>,
+    writes: &mut Vec<(ArrayId, InstId, &'a [IrExpr])>,
+    calls: &mut BTreeSet<FuncId>,
+) {
+    for s in stmts {
+        match s {
+            IrStmt::StoreLocal { value, .. } => collect_expr(value, reads, calls),
+            IrStmt::StoreIndex { array, indices, value, inst } => {
+                writes.push((*array, *inst, indices));
+                for ix in indices {
+                    collect_expr(ix, reads, calls);
+                }
+                collect_expr(value, reads, calls);
+            }
+            IrStmt::Loop { kind, body, .. } => {
+                match kind {
+                    LoopKind::For { start, end, .. } => {
+                        collect_expr(start, reads, calls);
+                        collect_expr(end, reads, calls);
+                    }
+                    LoopKind::While { cond } => collect_expr(cond, reads, calls),
+                }
+                collect_accesses(body, reads, writes, calls);
+            }
+            IrStmt::If { cond, then_body, else_body, .. } => {
+                collect_expr(cond, reads, calls);
+                collect_accesses(then_body, reads, writes, calls);
+                collect_accesses(else_body, reads, writes, calls);
+            }
+            IrStmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    collect_expr(v, reads, calls);
+                }
+            }
+            IrStmt::Break { .. } => {}
+            IrStmt::ExprStmt { expr, .. } => collect_expr(expr, reads, calls),
+        }
+    }
+}
+
+fn collect_expr<'a>(
+    e: &'a IrExpr,
+    reads: &mut Vec<(ArrayId, InstId, &'a [IrExpr])>,
+    calls: &mut BTreeSet<FuncId>,
+) {
+    match e {
+        IrExpr::Const { .. } | IrExpr::Bool { .. } | IrExpr::LoadLocal { .. } => {}
+        IrExpr::LoadIndex { array, indices, inst } => {
+            reads.push((*array, *inst, indices));
+            for ix in indices {
+                collect_expr(ix, reads, calls);
+            }
+        }
+        IrExpr::CallFn { func, args, .. } => {
+            calls.insert(*func);
+            for a in args {
+                collect_expr(a, reads, calls);
+            }
+        }
+        IrExpr::CallBuiltin { args, .. } => {
+            for a in args {
+                collect_expr(a, reads, calls);
+            }
+        }
+        IrExpr::Unary { operand, .. } => collect_expr(operand, reads, calls),
+        IrExpr::Binary { lhs, rhs, .. } => {
+            collect_expr(lhs, reads, calls);
+            collect_expr(rhs, reads, calls);
+        }
+    }
+}
+
+fn recognize_reduction(
+    ir: &IrProgram,
+    f: &IrFunction,
+    body: &[IrStmt],
+    slot: usize,
+    ud: &UseDef,
+) -> Option<Reduction> {
+    let mut stores = Vec::new();
+    collect_local_stores(body, slot, &mut stores);
+    let [(store_inst, value)] = stores[..] else {
+        return None;
+    };
+    let op = reduction_shape(value, slot)?;
+    // Exactly one self-read, inside the accumulation expression, on the
+    // same source line as the store (the paper's Algorithm 3 criterion).
+    let mut in_value = BTreeSet::new();
+    local_loads(value, slot, &mut in_value);
+    if in_value.len() != 1 {
+        return None;
+    }
+    let region_loads: BTreeSet<InstId> =
+        ud.loads.iter().filter(|(_, (s, _))| *s == slot).map(|(i, _)| *i).collect();
+    if !region_loads.is_subset(&in_value) {
+        return None;
+    }
+    let store_line = ir.line_of(store_inst);
+    let self_read = *in_value.iter().next()?;
+    if ir.line_of(self_read) != store_line {
+        return None;
+    }
+    Some(Reduction { var: f.slot_names[slot].clone(), op, line: store_line })
+}
+
+fn reduction_shape(value: &IrExpr, slot: usize) -> Option<String> {
+    let is_self = |e: &IrExpr| matches!(e, IrExpr::LoadLocal { slot: s, .. } if *s == slot);
+    match value {
+        IrExpr::Binary { op, lhs, rhs, .. } if op.is_arithmetic() => {
+            let (l, r) = (is_self(lhs), is_self(rhs));
+            let commutative = matches!(op, BinOp::Add | BinOp::Mul);
+            if l && !r || (r && !l && commutative) {
+                Some(op_name(*op).to_string())
+            } else {
+                None
+            }
+        }
+        IrExpr::CallBuiltin { builtin, args, .. }
+            if matches!(builtin, Builtin::Min | Builtin::Max) =>
+        {
+            let selfs = args.iter().filter(|a| is_self(a)).count();
+            (selfs == 1).then(|| {
+                match builtin {
+                    Builtin::Min => "min",
+                    _ => "max",
+                }
+                .to_string()
+            })
+        }
+        _ => None,
+    }
+}
+
+fn op_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        _ => "%",
+    }
+}
+
+fn collect_local_stores<'a>(stmts: &'a [IrStmt], slot: usize, out: &mut Vec<(InstId, &'a IrExpr)>) {
+    for s in stmts {
+        match s {
+            IrStmt::StoreLocal { slot: sl, value, inst } if *sl == slot => {
+                out.push((*inst, value));
+            }
+            IrStmt::Loop { body, .. } => collect_local_stores(body, slot, out),
+            IrStmt::If { then_body, else_body, .. } => {
+                collect_local_stores(then_body, slot, out);
+                collect_local_stores(else_body, slot, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn local_loads(e: &IrExpr, slot: usize, out: &mut BTreeSet<InstId>) {
+    match e {
+        IrExpr::LoadLocal { slot: s, inst } if *s == slot => {
+            out.insert(*inst);
+        }
+        IrExpr::LoadIndex { indices, .. } => {
+            for ix in indices {
+                local_loads(ix, slot, out);
+            }
+        }
+        IrExpr::CallFn { args, .. } | IrExpr::CallBuiltin { args, .. } => {
+            for a in args {
+                local_loads(a, slot, out);
+            }
+        }
+        IrExpr::Unary { operand, .. } => local_loads(operand, slot, out),
+        IrExpr::Binary { lhs, rhs, .. } => {
+            local_loads(lhs, slot, out);
+            local_loads(rhs, slot, out);
+        }
+        _ => {}
+    }
+}
+
+/// Render `name[affine, affine]` for diagnostics.
+fn render_access(name: &str, affs: &[Affine], ind: Option<&str>, f: &IrFunction) -> String {
+    let dims: Vec<String> = affs.iter().map(|a| render_affine(*a, ind, f)).collect();
+    format!("{}[{}]", name, dims.join("]["))
+}
+
+fn render_affine(a: Affine, ind: Option<&str>, f: &IrFunction) -> String {
+    let mut out = String::new();
+    let push_term = |out: &mut String, neg: bool, term: String| {
+        if out.is_empty() {
+            if neg {
+                out.push('-');
+            }
+        } else {
+            out.push_str(if neg { " - " } else { " + " });
+        }
+        out.push_str(&term);
+    };
+    if a.coef != 0 {
+        let iv = ind.unwrap_or("i");
+        let mag = a.coef.unsigned_abs();
+        let term = if mag == 1 { iv.to_string() } else { format!("{mag}*{iv}") };
+        push_term(&mut out, a.coef < 0, term);
+    }
+    if let Some(s) = a.sym {
+        push_term(&mut out, false, f.slot_names[s].clone());
+    }
+    if a.offset != 0 || out.is_empty() {
+        push_term(&mut out, a.offset < 0, a.offset.unsigned_abs().to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::analyze_ir;
+    use parpat_ir::compile;
+
+    fn verdicts(src: &str) -> Vec<(u32, Verdict)> {
+        let ir = compile(src).unwrap();
+        analyze_ir(&ir).loops.iter().map(|l| (l.line, l.verdict)).collect()
+    }
+
+    #[test]
+    fn independent_map_is_proven_none() {
+        let v = verdicts("global a[8];\nfn main() { for i in 0..8 { a[i] = i * 2; } }");
+        assert_eq!(v, vec![(2, Verdict::ProvenNone)]);
+    }
+
+    #[test]
+    fn stencil_is_proven_some_with_distance_one() {
+        let src = "global a[16];\nfn main() { for i in 1..16 { a[i] = a[i - 1] + 1; } }";
+        let ir = compile(src).unwrap();
+        let rep = analyze_ir(&ir);
+        let l = &rep.loops[0];
+        assert_eq!(l.verdict, Verdict::ProvenSome);
+        assert_eq!(l.array_deps.len(), 1);
+        let d = &l.array_deps[0];
+        assert_eq!(d.distance, Some(1));
+        assert_eq!(d.write, "a[i]");
+        assert_eq!(d.read, "a[i - 1]");
+    }
+
+    #[test]
+    fn forward_shift_is_war_only_and_proven_none() {
+        // Reads a[i + 1] before it is overwritten: anti-dependence only.
+        let v = verdicts("global a[16];\nfn main() { for i in 0..15 { a[i] = a[i + 1]; } }");
+        assert_eq!(v, vec![(2, Verdict::ProvenNone)]);
+    }
+
+    #[test]
+    fn sum_reduction_is_recognized() {
+        let src =
+            "global a[8];\nfn main() { let s = 0; for i in 0..8 { s = s + a[i]; } return s; }";
+        let ir = compile(src).unwrap();
+        let rep = analyze_ir(&ir);
+        let l = &rep.loops[0];
+        assert_eq!(l.verdict, Verdict::ProvenSome);
+        assert!(l.scalar_deps.is_empty());
+        assert_eq!(l.reductions, vec![Reduction { var: "s".into(), op: "+".into(), line: 2 }]);
+    }
+
+    #[test]
+    fn max_reduction_via_builtin() {
+        let src =
+            "global a[8];\nfn main() { let m = 0; for i in 0..8 { m = max(m, a[i]); } return m; }";
+        let ir = compile(src).unwrap();
+        let rep = analyze_ir(&ir);
+        assert_eq!(rep.loops[0].reductions[0].op, "max");
+    }
+
+    #[test]
+    fn non_reduction_scalar_carry_is_a_scalar_dep() {
+        // `t` is read before being rewritten from fresh data: a true
+        // carried scalar, but not `t = t op e`.
+        let src =
+            "global a[8];\nfn main() { let t = 0; for i in 0..8 { a[i] = t; t = a[i] + i; } }";
+        let ir = compile(src).unwrap();
+        let rep = analyze_ir(&ir);
+        let l = &rep.loops[0];
+        assert_eq!(l.verdict, Verdict::ProvenSome);
+        assert!(l.reductions.is_empty());
+        assert_eq!(l.scalar_deps.len(), 1);
+        assert_eq!(l.scalar_deps[0].var, "t");
+    }
+
+    #[test]
+    fn call_in_body_is_unknown() {
+        let src = "fn g(x) { return x; }\nfn main() { for i in 0..8 { g(i); } }";
+        let ir = compile(src).unwrap();
+        let rep = analyze_ir(&ir);
+        let l = &rep.loops[0];
+        assert_eq!(l.verdict, Verdict::Unknown);
+        assert!(l.unknown_reasons[0].contains("calls `g`"));
+    }
+
+    #[test]
+    fn non_affine_subscript_is_unknown() {
+        let src = "global a[16];\nfn main() { for i in 0..4 { a[i * i] = a[i] + 1; } }";
+        let ir = compile(src).unwrap();
+        let rep = analyze_ir(&ir);
+        let l = &rep.loops[0];
+        assert_eq!(l.verdict, Verdict::Unknown);
+        assert!(l.unknown_reasons[0].contains("not affine"));
+    }
+
+    #[test]
+    fn conditional_array_dep_is_still_proven() {
+        // The dependence is control-dependent on input data; the static
+        // verdict must still be ProvenSome (that is the point of
+        // cross-validation against dynamic results).
+        let src = "global a[16];\nglobal flag[16];\nfn main() {\n    for i in 1..16 {\n        if flag[i] > 0 {\n            a[i] = a[i - 1] + 1;\n        } else {\n            a[i] = i;\n        }\n    }\n}";
+        let ir = compile(src).unwrap();
+        let rep = analyze_ir(&ir);
+        let l = &rep.loops[0];
+        assert_eq!(l.verdict, Verdict::ProvenSome);
+        assert_eq!(l.array_deps[0].distance, Some(1));
+    }
+
+    #[test]
+    fn matmul_inner_loop_is_proven_none() {
+        let src = "global x[4][4];\nglobal y[4][4];\nglobal z[4][4];\nfn main() {\n    for i in 0..4 {\n        for j in 0..4 {\n            z[i][j] = 0;\n            for k in 0..4 {\n                z[i][j] = z[i][j] + x[i][k] * y[k][j];\n            }\n        }\n    }\n}";
+        let ir = compile(src).unwrap();
+        let rep = analyze_ir(&ir);
+        // k-loop: z[i][j] both sides, invariant in k → ZIV AllPairs → carried.
+        // j-loop: z write/read at [i][j] → OnlyAt(0) → no carried dep, and
+        // x/y are read-only → ignored.
+        let by_line: BTreeMap<u32, Verdict> =
+            rep.loops.iter().map(|l| (l.line, l.verdict)).collect();
+        assert_eq!(by_line[&6], Verdict::ProvenNone, "j-loop is do-all");
+        assert_eq!(by_line[&8], Verdict::ProvenSome, "k-loop carries z[i][j]");
+    }
+
+    #[test]
+    fn distance_beyond_trip_count_is_disproven() {
+        let v = verdicts(
+            "global a[64];\nfn main() { for i in 0..8 { a[i] = a[i + 32] + a[i - 32]; } }",
+        );
+        // Both distances (±32) exceed the 8-iteration trip count.
+        assert_eq!(v, vec![(2, Verdict::ProvenNone)]);
+    }
+
+    #[test]
+    fn first_element_seed_read_is_carried() {
+        // Every iteration reads a[0], iteration 0 writes it.
+        let v = verdicts(
+            "global a[8];\nglobal b[8];\nfn main() { for i in 0..8 { a[i] = a[0] + 1; } }",
+        );
+        assert_eq!(v[0].1, Verdict::ProvenSome);
+    }
+
+    #[test]
+    fn while_loop_accumulator_is_proven_some() {
+        let src = "fn main() { let x = 0; while x < 10 { x = x + 1; } return x; }";
+        let ir = compile(src).unwrap();
+        let rep = analyze_ir(&ir);
+        let l = &rep.loops[0];
+        assert!(!l.is_for);
+        // The condition reads x outside the accumulation line, so this is
+        // a scalar dependence, not a reduction candidate.
+        assert_eq!(l.verdict, Verdict::ProvenSome);
+        assert_eq!(l.scalar_deps.len(), 1);
+        assert!(l.reductions.is_empty());
+    }
+
+    #[test]
+    fn symbolic_offset_cancels_in_strong_siv() {
+        // a[i + k] vs a[i + k]: same symbol, OnlyAt(0) → independent.
+        let src =
+            "global a[32];\nfn main() { let k = 4; for i in 0..8 { a[i + k] = a[i + k] + 0; } }";
+        let ir = compile(src).unwrap();
+        let rep = analyze_ir(&ir);
+        assert_eq!(rep.loops[0].verdict, Verdict::ProvenNone);
+    }
+}

@@ -1,0 +1,514 @@
+//! Affine subscript extraction and the ZIV / strong-SIV / GCD dependence
+//! tests.
+//!
+//! A subscript is modelled as `coef * i + sym + offset` where `i` is the
+//! analyzed loop's induction variable and `sym` is at most one
+//! loop-invariant scalar slot ([`Affine`]). For a (write, read) pair of
+//! accesses to the same array, each dimension is compared with the classic
+//! single-subscript tests:
+//!
+//! - **ZIV** (zero index variable) — both subscripts invariant: they either
+//!   always or never name the same element;
+//! - **strong SIV** — equal nonzero induction coefficients: collisions
+//!   happen exactly at iteration distance `d = (c_w − c_r) / a`;
+//! - **weak-zero SIV** — one side invariant: collisions pin the other side
+//!   to one fixed iteration;
+//! - **GCD fallback** — different nonzero coefficients: independence is
+//!   proven when `gcd(a_w, a_r)` does not divide the constant difference,
+//!   otherwise the dimension stays unresolved.
+//!
+//! Per-dimension verdicts ([`DimRel`]) are then conjoined over all
+//! dimensions of the pair ([`pair_dep`]): a dependence exists only for
+//! iteration pairs satisfying *every* dimension's constraint, so a single
+//! `Never` kills the pair, and constraints like "only at distance d" must
+//! agree across dimensions.
+
+use parpat_ir::ir::IrExpr;
+use parpat_minilang::ast::{BinOp, UnOp};
+
+/// An affine subscript: `coef * i + sym + offset`, with `sym` at most one
+/// loop-invariant scalar slot (coefficient 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Affine {
+    /// Coefficient of the analyzed induction variable.
+    pub coef: i64,
+    /// Optional loop-invariant symbolic slot added in.
+    pub sym: Option<usize>,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl Affine {
+    /// A pure constant.
+    pub fn constant(c: i64) -> Affine {
+        Affine { coef: 0, sym: None, offset: c }
+    }
+}
+
+fn int_of(v: f64) -> Option<i64> {
+    (v.fract() == 0.0 && v.abs() < 1e15).then_some(v as i64)
+}
+
+/// The integer value of a constant expression, if it is one.
+pub fn const_int(e: &IrExpr) -> Option<i64> {
+    match e {
+        IrExpr::Const { value, .. } => int_of(*value),
+        _ => None,
+    }
+}
+
+/// Extract the affine form of a subscript expression, or `None` when the
+/// expression is not affine in the induction variable.
+///
+/// `induction` is the analyzed loop's induction slot (if counted), and
+/// `invariant(slot)` answers whether a scalar slot provably holds the same
+/// value for the whole loop execution.
+pub fn affine_of(
+    e: &IrExpr,
+    induction: Option<usize>,
+    invariant: &dyn Fn(usize) -> bool,
+) -> Option<Affine> {
+    match e {
+        IrExpr::Const { value, .. } => int_of(*value).map(Affine::constant),
+        IrExpr::LoadLocal { slot, .. } if Some(*slot) == induction => {
+            Some(Affine { coef: 1, sym: None, offset: 0 })
+        }
+        IrExpr::LoadLocal { slot, .. } if invariant(*slot) => {
+            Some(Affine { coef: 0, sym: Some(*slot), offset: 0 })
+        }
+        IrExpr::Unary { op: UnOp::Neg, operand, .. } => {
+            let a = affine_of(operand, induction, invariant)?;
+            if a.sym.is_some() {
+                return None;
+            }
+            Some(Affine { coef: -a.coef, sym: None, offset: -a.offset })
+        }
+        IrExpr::Binary { op, lhs, rhs, .. } => {
+            let l = affine_of(lhs, induction, invariant)?;
+            let r = affine_of(rhs, induction, invariant)?;
+            match op {
+                BinOp::Add => {
+                    let sym = match (l.sym, r.sym) {
+                        (s, None) => s,
+                        (None, s) => s,
+                        (Some(_), Some(_)) => return None,
+                    };
+                    Some(Affine {
+                        coef: l.coef.checked_add(r.coef)?,
+                        sym,
+                        offset: l.offset.checked_add(r.offset)?,
+                    })
+                }
+                BinOp::Sub => {
+                    let sym = match (l.sym, r.sym) {
+                        (s, None) => s,
+                        (Some(a), Some(b)) if a == b => None,
+                        _ => return None,
+                    };
+                    Some(Affine {
+                        coef: l.coef.checked_sub(r.coef)?,
+                        sym,
+                        offset: l.offset.checked_sub(r.offset)?,
+                    })
+                }
+                BinOp::Mul => {
+                    // Only constant × (sym-free affine) stays affine.
+                    let (k, a) = if l.coef == 0 && l.sym.is_none() {
+                        (l.offset, r)
+                    } else if r.coef == 0 && r.sym.is_none() {
+                        (r.offset, l)
+                    } else {
+                        return None;
+                    };
+                    if a.sym.is_some() && k != 1 {
+                        return None;
+                    }
+                    Some(Affine {
+                        coef: a.coef.checked_mul(k)?,
+                        sym: if k == 1 { a.sym } else { None },
+                        offset: a.offset.checked_mul(k)?,
+                    })
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// How one subscript dimension relates a write iteration `i_w` and a read
+/// iteration `i_r` that touch the same element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimRel {
+    /// No iteration pair collides in this dimension.
+    Never,
+    /// Collide exactly when `i_r − i_w = d`.
+    OnlyAt(i64),
+    /// Every iteration pair collides (dimension does not discriminate).
+    AllPairs,
+    /// Collide only when the *write* happens at this fixed iteration.
+    FixedWrite(i64),
+    /// Collide only when the *read* happens at this fixed iteration.
+    FixedRead(i64),
+    /// Could not be resolved (GCD admits solutions, or differing symbols).
+    Unknown,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Run the single-subscript test on one dimension of a (write, read) pair.
+pub fn dim_rel(w: Affine, r: Affine) -> DimRel {
+    if w.sym != r.sym {
+        // Different symbolic parts: the constant-difference tests do not
+        // apply; anything could alias.
+        return DimRel::Unknown;
+    }
+    let (aw, cw, ar, cr) = (w.coef, w.offset, r.coef, r.offset);
+    if aw == 0 && ar == 0 {
+        // ZIV: both invariant.
+        return if cw == cr { DimRel::AllPairs } else { DimRel::Never };
+    }
+    if aw == ar {
+        // Strong SIV: aw·i_w + cw = aw·i_r + cr  ⇔  i_r − i_w = (cw − cr)/aw.
+        let d = cw - cr;
+        return if d % aw != 0 { DimRel::Never } else { DimRel::OnlyAt(d / aw) };
+    }
+    if ar == 0 {
+        // Weak-zero SIV: the write side is pinned to one iteration.
+        let d = cr - cw;
+        return if d % aw != 0 { DimRel::Never } else { DimRel::FixedWrite(d / aw) };
+    }
+    if aw == 0 {
+        let d = cw - cr;
+        return if d % ar != 0 { DimRel::Never } else { DimRel::FixedRead(d / ar) };
+    }
+    // GCD fallback for differing nonzero coefficients.
+    let g = gcd(aw.unsigned_abs(), ar.unsigned_abs()) as i64;
+    if (cr - cw) % g != 0 {
+        DimRel::Never
+    } else {
+        DimRel::Unknown
+    }
+}
+
+/// Verdict for one (write, read) access pair across all dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairDep {
+    /// Proven: no loop-carried flow dependence between the two accesses.
+    NoDep,
+    /// Proven loop-carried flow dependence; `Some(d)` when it always occurs
+    /// at a fixed iteration distance.
+    Raw(Option<i64>),
+    /// Could not be proven either way.
+    Inconclusive,
+}
+
+/// Conjoin per-dimension relations into a pair verdict.
+///
+/// `bounds` is `Some((start, end))` when the loop's iteration range is a
+/// compile-time constant (`for i in start..end`), enabling trip-count and
+/// in-range checks; range membership is `start ≤ x < end`.
+pub fn pair_dep(dims: &[DimRel], bounds: Option<(i64, i64)>) -> PairDep {
+    let mut only: Option<i64> = None;
+    let mut fixed_w: Option<i64> = None;
+    let mut fixed_r: Option<i64> = None;
+    let mut unknown = false;
+    for d in dims {
+        match *d {
+            DimRel::Never => return PairDep::NoDep,
+            DimRel::AllPairs => {}
+            DimRel::Unknown => unknown = true,
+            DimRel::OnlyAt(d) => match only {
+                Some(prev) if prev != d => return PairDep::NoDep,
+                _ => only = Some(d),
+            },
+            DimRel::FixedWrite(x) => match fixed_w {
+                Some(prev) if prev != x => return PairDep::NoDep,
+                _ => fixed_w = Some(x),
+            },
+            DimRel::FixedRead(x) => match fixed_r {
+                Some(prev) if prev != x => return PairDep::NoDep,
+                _ => fixed_r = Some(x),
+            },
+        }
+    }
+    // Fixed iterations outside a known range can never execute.
+    if let Some((lo, hi)) = bounds {
+        for x in [fixed_w, fixed_r].into_iter().flatten() {
+            if x < lo || x >= hi {
+                return PairDep::NoDep;
+            }
+        }
+    }
+    if let Some(d) = only {
+        // A distance constraint: carried flow needs the read strictly after
+        // the write (d > 0); d = 0 is loop-independent, d < 0 is an
+        // anti-dependence direction (not RAW).
+        if d <= 0 {
+            return PairDep::NoDep;
+        }
+        // Cross-check against fixed-iteration constraints.
+        match (fixed_w, fixed_r) {
+            (Some(xw), Some(xr)) if xr != xw + d => return PairDep::NoDep,
+            (Some(xw), _) => {
+                if let Some((lo, hi)) = bounds {
+                    let xr = xw + d;
+                    if xr < lo || xr >= hi {
+                        return PairDep::NoDep;
+                    }
+                }
+            }
+            (None, Some(xr)) => {
+                if let Some((lo, hi)) = bounds {
+                    let xw = xr - d;
+                    if xw < lo || xw >= hi {
+                        return PairDep::NoDep;
+                    }
+                }
+            }
+            (None, None) => {
+                if let Some((lo, hi)) = bounds {
+                    if d >= hi - lo {
+                        return PairDep::NoDep;
+                    }
+                }
+            }
+        }
+        if unknown {
+            // An unresolved dimension could still rule the collision out.
+            return PairDep::Inconclusive;
+        }
+        return PairDep::Raw(Some(d));
+    }
+    if unknown {
+        return PairDep::Inconclusive;
+    }
+    match (fixed_w, fixed_r) {
+        (None, None) => {
+            // Every dimension collides on every pair: a carried dependence
+            // exists as soon as the loop runs at least two iterations.
+            if let Some((lo, hi)) = bounds {
+                if hi - lo < 2 {
+                    return PairDep::NoDep;
+                }
+            }
+            PairDep::Raw(None)
+        }
+        (Some(xw), Some(xr)) => {
+            if xr <= xw {
+                return PairDep::NoDep;
+            }
+            match bounds {
+                // Range membership was already checked above.
+                Some(_) => PairDep::Raw(Some(xr - xw)),
+                None => PairDep::Inconclusive,
+            }
+        }
+        (Some(xw), None) => match bounds {
+            // Needs some read iteration after xw.
+            Some((_, hi)) if xw < hi - 1 => PairDep::Raw(None),
+            Some(_) => PairDep::NoDep,
+            None => PairDep::Inconclusive,
+        },
+        (None, Some(xr)) => match bounds {
+            // Needs some write iteration before xr.
+            Some((lo, _)) if xr > lo => PairDep::Raw(None),
+            Some(_) => PairDep::NoDep,
+            None => PairDep::Inconclusive,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn aff(coef: i64, offset: i64) -> Affine {
+        Affine { coef, sym: None, offset }
+    }
+
+    #[test]
+    fn ziv_equal_and_unequal() {
+        assert_eq!(dim_rel(aff(0, 3), aff(0, 3)), DimRel::AllPairs);
+        assert_eq!(dim_rel(aff(0, 3), aff(0, 4)), DimRel::Never);
+    }
+
+    #[test]
+    fn strong_siv_distance() {
+        // write a[i], read a[i-1]: i_r − i_w = 1 (value flows forward).
+        assert_eq!(dim_rel(aff(1, 0), aff(1, -1)), DimRel::OnlyAt(1));
+        // write a[i], read a[i+1]: anti direction.
+        assert_eq!(dim_rel(aff(1, 0), aff(1, 1)), DimRel::OnlyAt(-1));
+        // write a[2i], read a[2i+1]: parity never matches.
+        assert_eq!(dim_rel(aff(2, 0), aff(2, 1)), DimRel::Never);
+    }
+
+    #[test]
+    fn weak_zero_siv() {
+        assert_eq!(dim_rel(aff(1, 0), aff(0, 5)), DimRel::FixedWrite(5));
+        assert_eq!(dim_rel(aff(0, 5), aff(1, 0)), DimRel::FixedRead(5));
+        assert_eq!(dim_rel(aff(2, 0), aff(0, 5)), DimRel::Never); // 2i = 5 unsolvable
+    }
+
+    #[test]
+    fn gcd_fallback() {
+        // 2i_w = 4i_r + 1: gcd 2 does not divide 1.
+        assert_eq!(dim_rel(aff(2, 0), aff(4, 1)), DimRel::Never);
+        // 2i_w = 4i_r + 2: admits solutions, unresolved.
+        assert_eq!(dim_rel(aff(2, 0), aff(4, 2)), DimRel::Unknown);
+    }
+
+    #[test]
+    fn differing_symbols_are_unknown() {
+        let w = Affine { coef: 1, sym: Some(3), offset: 0 };
+        let r = Affine { coef: 1, sym: Some(4), offset: 0 };
+        assert_eq!(dim_rel(w, r), DimRel::Unknown);
+        // Equal symbols cancel and the test proceeds.
+        let r2 = Affine { coef: 1, sym: Some(3), offset: -1 };
+        assert_eq!(dim_rel(w, r2), DimRel::OnlyAt(1));
+    }
+
+    #[test]
+    fn pair_stencil_is_raw_distance_one() {
+        assert_eq!(pair_dep(&[DimRel::OnlyAt(1)], Some((1, 16))), PairDep::Raw(Some(1)));
+        // Distance beyond the trip count cannot occur.
+        assert_eq!(pair_dep(&[DimRel::OnlyAt(20)], Some((1, 16))), PairDep::NoDep);
+        // Without bounds the distance is still claimed.
+        assert_eq!(pair_dep(&[DimRel::OnlyAt(1)], None), PairDep::Raw(Some(1)));
+    }
+
+    #[test]
+    fn pair_same_iteration_or_anti_is_not_carried_raw() {
+        assert_eq!(pair_dep(&[DimRel::OnlyAt(0)], Some((0, 8))), PairDep::NoDep);
+        assert_eq!(pair_dep(&[DimRel::OnlyAt(-1)], Some((0, 8))), PairDep::NoDep);
+    }
+
+    #[test]
+    fn pair_conflicting_dimensions_cancel() {
+        // Dim 1 requires distance 1, dim 2 requires distance 2: impossible.
+        assert_eq!(pair_dep(&[DimRel::OnlyAt(1), DimRel::OnlyAt(2)], Some((0, 8))), PairDep::NoDep);
+        // Matching distances agree.
+        assert_eq!(
+            pair_dep(&[DimRel::OnlyAt(1), DimRel::OnlyAt(1)], Some((0, 8))),
+            PairDep::Raw(Some(1))
+        );
+    }
+
+    #[test]
+    fn pair_all_pairs_needs_two_iterations() {
+        assert_eq!(pair_dep(&[DimRel::AllPairs], Some((0, 8))), PairDep::Raw(None));
+        assert_eq!(pair_dep(&[DimRel::AllPairs], Some((0, 1))), PairDep::NoDep);
+        assert_eq!(pair_dep(&[DimRel::AllPairs], None), PairDep::Raw(None));
+    }
+
+    #[test]
+    fn pair_fixed_iterations() {
+        // Write pinned to iteration 0 of 0..8: some later read exists.
+        assert_eq!(pair_dep(&[DimRel::FixedWrite(0)], Some((0, 8))), PairDep::Raw(None));
+        // Write pinned to the last iteration: nothing reads after it.
+        assert_eq!(pair_dep(&[DimRel::FixedWrite(7)], Some((0, 8))), PairDep::NoDep);
+        // Pinned outside the range: never executes.
+        assert_eq!(pair_dep(&[DimRel::FixedWrite(9)], Some((0, 8))), PairDep::NoDep);
+        // Read pinned to the first iteration: nothing wrote before it.
+        assert_eq!(pair_dep(&[DimRel::FixedRead(0)], Some((0, 8))), PairDep::NoDep);
+        assert_eq!(pair_dep(&[DimRel::FixedRead(3)], Some((0, 8))), PairDep::Raw(None));
+        // Unknown bounds: cannot pin anything down.
+        assert_eq!(pair_dep(&[DimRel::FixedWrite(0)], None), PairDep::Inconclusive);
+        // Both pinned: distance is exact.
+        assert_eq!(
+            pair_dep(&[DimRel::FixedWrite(1), DimRel::FixedRead(4)], Some((0, 8))),
+            PairDep::Raw(Some(3))
+        );
+        assert_eq!(
+            pair_dep(&[DimRel::FixedWrite(4), DimRel::FixedRead(1)], Some((0, 8))),
+            PairDep::NoDep
+        );
+    }
+
+    #[test]
+    fn pair_unknown_dimension_is_inconclusive() {
+        assert_eq!(pair_dep(&[DimRel::Unknown], Some((0, 8))), PairDep::Inconclusive);
+        assert_eq!(pair_dep(&[DimRel::Unknown, DimRel::Never], Some((0, 8))), PairDep::NoDep);
+        assert_eq!(
+            pair_dep(&[DimRel::OnlyAt(1), DimRel::Unknown], Some((0, 8))),
+            PairDep::Inconclusive
+        );
+    }
+
+    #[test]
+    fn affine_extraction_shapes() {
+        let ir = parpat_ir::compile_fragment(
+            "global a[16];\nfn f(k) { for i in 1..16 { a[2 * i - 1] = a[i + k] + a[3]; } }",
+        )
+        .unwrap();
+        let f = ir.function_named("f").unwrap();
+        let (ind, body) = match &f.body[..] {
+            [parpat_ir::ir::IrStmt::Loop {
+                kind: parpat_ir::ir::LoopKind::For { slot, .. },
+                body,
+                ..
+            }] => (*slot, body),
+            _ => panic!("expected a single for loop"),
+        };
+        let store = match &body[0] {
+            parpat_ir::ir::IrStmt::StoreIndex { indices, value, .. } => (indices, value),
+            _ => panic!("expected a store"),
+        };
+        let inv = |_: usize| true;
+        assert_eq!(
+            affine_of(&store.0[0], Some(ind), &inv),
+            Some(Affine { coef: 2, sym: None, offset: -1 })
+        );
+        let (read_ik, read_3) = match store.1 {
+            parpat_ir::ir::IrExpr::Binary { lhs, rhs, .. } => (lhs, rhs),
+            _ => panic!("expected an add"),
+        };
+        let ik = match read_ik.as_ref() {
+            parpat_ir::ir::IrExpr::LoadIndex { indices, .. } => {
+                affine_of(&indices[0], Some(ind), &inv).unwrap()
+            }
+            _ => panic!("expected a load"),
+        };
+        assert_eq!(ik.coef, 1);
+        assert!(ik.sym.is_some());
+        match read_3.as_ref() {
+            parpat_ir::ir::IrExpr::LoadIndex { indices, .. } => {
+                assert_eq!(affine_of(&indices[0], Some(ind), &inv), Some(Affine::constant(3)));
+            }
+            _ => panic!("expected a load"),
+        }
+    }
+
+    #[test]
+    fn non_affine_forms_are_rejected() {
+        let ir = parpat_ir::compile_fragment(
+            "global a[16];\nfn f(k) { for i in 0..4 { a[i * i] = a[i * k] + 1; } }",
+        )
+        .unwrap();
+        let f = ir.function_named("f").unwrap();
+        let (ind, body) = match &f.body[..] {
+            [parpat_ir::ir::IrStmt::Loop {
+                kind: parpat_ir::ir::LoopKind::For { slot, .. },
+                body,
+                ..
+            }] => (*slot, body),
+            _ => panic!("expected a single for loop"),
+        };
+        let inv = |_: usize| true;
+        match &body[0] {
+            parpat_ir::ir::IrStmt::StoreIndex { indices, .. } => {
+                assert_eq!(affine_of(&indices[0], Some(ind), &inv), None, "i*i is not affine");
+            }
+            _ => panic!("expected a store"),
+        }
+    }
+}

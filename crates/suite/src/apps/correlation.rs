@@ -110,6 +110,8 @@ pub fn input(n: usize, m: usize) -> Vec<Vec<f64>> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

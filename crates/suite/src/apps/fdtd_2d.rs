@@ -118,6 +118,8 @@ pub fn par(threads: usize, n: usize, tmax: usize) -> Fields {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_core::CuMark;
 

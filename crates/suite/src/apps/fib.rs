@@ -57,6 +57,8 @@ pub fn par(n: u64, cutoff: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_core::CuMark;
 

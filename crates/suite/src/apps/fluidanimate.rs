@@ -121,6 +121,8 @@ pub fn par(threads: usize, cells: usize, per_cell: usize) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -173,6 +173,8 @@ pub fn par(threads: usize, rounds: usize, mut st: KmState) -> KmState {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

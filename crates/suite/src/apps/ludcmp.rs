@@ -124,6 +124,8 @@ pub fn input(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -126,6 +126,8 @@ pub fn par(threads: usize, n: usize) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -86,6 +86,8 @@ pub fn par(threads: usize, n: usize) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -139,6 +139,8 @@ pub fn input(n: usize) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_core::CuMark;
     use parpat_cu::CuKind;

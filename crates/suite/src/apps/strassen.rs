@@ -155,6 +155,8 @@ pub fn input(n: usize, seed: usize) -> Matrix {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_core::CuMark;
     use parpat_cu::CuKind;

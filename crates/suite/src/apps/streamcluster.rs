@@ -10,8 +10,8 @@
 //! (6.38× at 32 threads).
 
 use crate::{App, ExpectedPattern, Suite};
-use parpat_runtime::parallel_for_chunks;
-use std::sync::Mutex;
+use parpat_runtime::{lock_recover, parallel_for_chunks};
+use std::sync::{Mutex, PoisonError};
 
 /// Points per round in the model.
 pub const POINTS: usize = 64;
@@ -74,9 +74,9 @@ pub fn par_local_search(threads: usize, points: &[f64], weight: &[f64]) -> f64 {
     let partials = Mutex::new(Vec::new());
     parallel_for_chunks(threads, points.len(), |start, end| {
         let local = seq_local_search(&points[start..end], &weight[start..end]);
-        partials.lock().unwrap().push(local);
+        lock_recover(&partials).push(local);
     });
-    partials.into_inner().unwrap().into_iter().sum()
+    partials.into_inner().unwrap_or_else(PoisonError::into_inner).into_iter().sum()
 }
 
 /// Deterministic inputs.
@@ -88,6 +88,8 @@ pub fn input(n: usize) -> (Vec<f64>, Vec<f64>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

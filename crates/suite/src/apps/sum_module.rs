@@ -70,6 +70,8 @@ pub fn par(threads: usize, arr: &[f64]) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

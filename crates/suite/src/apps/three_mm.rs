@@ -114,6 +114,8 @@ pub fn par_matmul(threads: usize, a: &Matrix, b: &Matrix) -> Matrix {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use parpat_core::CuMark;
 

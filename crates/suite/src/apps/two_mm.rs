@@ -131,6 +131,8 @@ pub fn input(n: usize) -> (Matrix, Matrix, Matrix) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -17,6 +17,7 @@
 //! regenerates the Table III speedup/threads columns.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod apps;
 pub mod speedup;
@@ -171,6 +172,8 @@ pub fn loop_iterations(a: &Analysis, l: LoopId) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

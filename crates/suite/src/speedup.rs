@@ -217,6 +217,8 @@ pub fn unit_vectors(analysis: &Analysis, region_idx: usize) -> (Vec<f64>, Vec<(u
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::app_named;
 

@@ -23,6 +23,8 @@ USAGE:
                                                      analyze every .ml file of a directory (or the
                                                      bundled apps) in parallel with artifact caching
     parpat stats [--cache-dir <d>] [--json]          per-stage stats persisted by the last batch
+    parpat lint <file.ml|dir|apps> [--json]          static dependence diagnostics with stable
+                                                     codes (P001 carried dep, P020 proven do-all, …)
     parpat demo <app> [--json]                       analyze a bundled benchmark (e.g. sort, ludcmp)
     parpat apps                                      list the bundled benchmarks
     parpat dot <file.ml> [--region <function>]       Graphviz DOT of a region's classified CU graph
@@ -35,8 +37,9 @@ every unchanged stage and says so in the stats.
 `--max-steps` and `--timeout-ms` bound every profiled run (dynamic IR
 instructions / wall-clock milliseconds). A program that exceeds a budget —
 or whose dynamic stages fail for any other reason — is reported as
-*degraded* with its static results (loops, CU graph, lexical do-all
-candidates) instead of failing the whole batch.
+*degraded* with its static results (loops with their dependence verdicts,
+CU graph, statically proven do-all candidates) instead of failing the
+whole batch.
 
 The input is a MiniLang program (see README / crates/minilang). The bundled
 benchmarks are the paper's 17 evaluation applications plus the two
@@ -86,15 +89,16 @@ pub fn run(args: &[String]) -> Result<String, String> {
             if ranked.is_empty() {
                 out.push_str("no parallel patterns detected\n");
             } else {
-                writeln!(out, "=== ranked patterns (workers = {workers}) ===").unwrap();
+                writeln!(out, "=== ranked patterns (workers = {workers}) ===")
+                    .expect("write to String");
                 out.push_str(&render_ranking(&ranked));
             }
 
             let peels = suggest_peeling(&analysis.pipelines, 16);
             if !peels.is_empty() {
-                writeln!(out, "=== peeling suggestions ===").unwrap();
+                writeln!(out, "=== peeling suggestions ===").expect("write to String");
                 for p in &peels {
-                    writeln!(out, "- {}", p.rationale).unwrap();
+                    writeln!(out, "- {}", p.rationale).expect("write to String");
                 }
             }
             let fissions = suggest_fission(
@@ -106,7 +110,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 0.1,
             );
             if !fissions.is_empty() {
-                writeln!(out, "=== fission suggestions ===").unwrap();
+                writeln!(out, "=== fission suggestions ===").expect("write to String");
                 for f in &fissions {
                     writeln!(
                         out,
@@ -116,11 +120,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         f.parallel_cus.len(),
                         if f.parallel_first { "do-all" } else { "sequential" }
                     )
-                    .unwrap();
+                    .expect("write to String");
                 }
             }
             if !analysis.reductions.is_empty() {
-                writeln!(out, "=== reduction operators ===").unwrap();
+                writeln!(out, "=== reduction operators ===").expect("write to String");
                 for r in &analysis.reductions {
                     match infer_operator(&analysis.ir, r) {
                         Some(op) => writeln!(
@@ -130,13 +134,13 @@ pub fn run(args: &[String]) -> Result<String, String> {
                             r.line,
                             op.identity()
                         )
-                        .unwrap(),
+                        .expect("write to String"),
                         None => writeln!(
                             out,
                             "- `{}` at line {}: operator not inferable, review manually",
                             r.var, r.line
                         )
-                        .unwrap(),
+                        .expect("write to String"),
                     }
                 }
             }
@@ -147,7 +151,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             for app in parpat_suite::all_apps().iter().chain(parpat_suite::synthetic_apps().iter())
             {
                 writeln!(out, "{:<14} {:<10} {}", app.name, app.suite.to_string(), app.expected)
-                    .unwrap();
+                    .expect("write to String");
             }
             Ok(out)
         }
@@ -219,6 +223,19 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 Ok(render_batch_json(&batch))
             } else {
                 Ok(render_batch_text(&batch))
+            }
+        }
+        Some("lint") => {
+            let (target, opts) = split_opts(&args[1..])?;
+            let inputs = lint_inputs(&target)?;
+            let results: Vec<(String, Vec<parpat_static::Diagnostic>)> = inputs
+                .into_iter()
+                .map(|i| (i.name, parpat_static::lint_source(&i.source)))
+                .collect();
+            if opts.iter().any(|o| o == "--json") {
+                Ok(render_lint_json(&results))
+            } else {
+                Ok(render_lint_text(&results))
             }
         }
         Some("stats") => {
@@ -326,23 +343,77 @@ fn batch_inputs(target: &str) -> Result<Vec<parpat_engine::BatchInput>, String> 
         .collect()
 }
 
+/// Lint inputs: a single `.ml` file, the bundled apps, or every `.ml`
+/// file of a directory (reusing the batch discovery rules).
+fn lint_inputs(target: &str) -> Result<Vec<parpat_engine::BatchInput>, String> {
+    if target != "apps" && std::path::Path::new(target).is_file() {
+        return Ok(vec![parpat_engine::BatchInput {
+            name: target.to_owned(),
+            source: read(target)?,
+        }]);
+    }
+    batch_inputs(target)
+}
+
+fn render_lint_text(results: &[(String, Vec<parpat_static::Diagnostic>)]) -> String {
+    let mut out = String::new();
+    for (name, diags) in results {
+        writeln!(out, "== {name} ==").expect("write to String");
+        if diags.is_empty() {
+            out.push_str("(no diagnostics)\n");
+        } else {
+            for d in diags {
+                writeln!(out, "{}", d.render()).expect("write to String");
+            }
+        }
+    }
+    out
+}
+
+fn render_lint_json(results: &[(String, Vec<parpat_static::Diagnostic>)]) -> String {
+    let programs: Vec<String> = results
+        .iter()
+        .map(|(name, diags)| {
+            let items: Vec<String> = diags.iter().map(parpat_static::Diagnostic::to_json).collect();
+            format!("{{\"name\": {}, \"diagnostics\": [{}]}}", json_str(name), items.join(", "))
+        })
+        .collect();
+    format!("{{\"programs\": [{}]}}\n", programs.join(", "))
+}
+
 fn render_batch_text(batch: &parpat_engine::BatchReport) -> String {
     let mut out = String::new();
     for o in &batch.outcomes {
         match &o.outcome {
-            parpat_engine::AnalysisOutcome::Ok(r) => writeln!(
-                out,
-                "{:<14} ok    {:>10} insts  {} pipeline(s) {} fusion(s) {} reduction(s) {} geodecomp {} task region(s){}",
-                o.name,
-                r.insts,
-                r.pipelines,
-                r.fusions,
-                r.reductions,
-                r.geodecomp,
-                r.task_regions,
-                if o.fully_cached { "  [cached]" } else { "" }
-            )
-            .unwrap(),
+            parpat_engine::AnalysisOutcome::Ok(r) => {
+                let mut marks = String::new();
+                if !r.input_sensitive.is_empty() {
+                    write!(marks, "  [input-sensitive: line(s) {}]", join_u32(&r.input_sensitive))
+                        .expect("write to String");
+                }
+                if !r.consistency_errors.is_empty() {
+                    write!(
+                        marks,
+                        "  [CONSISTENCY ERROR: line(s) {}]",
+                        join_u32(&r.consistency_errors)
+                    )
+                    .expect("write to String");
+                }
+                writeln!(
+                    out,
+                    "{:<14} ok    {:>10} insts  {} pipeline(s) {} fusion(s) {} reduction(s) {} geodecomp {} task region(s){}{}",
+                    o.name,
+                    r.insts,
+                    r.pipelines,
+                    r.fusions,
+                    r.reductions,
+                    r.geodecomp,
+                    r.task_regions,
+                    if o.fully_cached { "  [cached]" } else { "" },
+                    marks
+                )
+                .expect("write to String");
+            }
             parpat_engine::AnalysisOutcome::Degraded(d) => writeln!(
                 out,
                 "{:<14} degraded  {} loop(s) {} CU(s) {} static do-all candidate(s) — {}",
@@ -352,9 +423,9 @@ fn render_batch_text(batch: &parpat_engine::BatchReport) -> String {
                 d.doall_candidates.len(),
                 d.reason
             )
-            .unwrap(),
+            .expect("write to String"),
             parpat_engine::AnalysisOutcome::Err(e) => {
-                writeln!(out, "{:<14} error {e}", o.name).unwrap();
+                writeln!(out, "{:<14} error {e}", o.name).expect("write to String");
             }
         }
     }
@@ -391,6 +462,11 @@ fn render_batch_json(batch: &parpat_engine::BatchReport) -> String {
         programs.join(", "),
         batch.stats.render_json()
     )
+}
+
+fn join_u32(lines: &[u32]) -> String {
+    let strs: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    strs.join(", ")
 }
 
 /// Escape a string for JSON output.
@@ -520,6 +596,8 @@ fn json_report(analysis: &parpat_core::Analysis) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn write_temp(name: &str, contents: &str) -> String {
@@ -677,6 +755,50 @@ fn main() {
         assert!(json.contains("\"status\": \"ok\""), "{json}");
         assert!(json.contains("\"budget_exceeded\": 1"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+    }
+
+    #[test]
+    fn lint_reports_diagnostics_for_a_file() {
+        let path = write_temp(
+            "lint-stencil.ml",
+            "global a[16];\nfn main() {\n    for i in 1..16 { a[i] = a[i - 1] + 1; }\n}",
+        );
+        let out = run(&args(&["lint", &path])).unwrap();
+        assert!(out.contains("warning[P001]"), "{out}");
+        assert!(out.contains("carries a flow dependence"), "{out}");
+
+        let clean = write_temp(
+            "lint-clean.ml",
+            "global a[16];\nfn main() {\n    for i in 0..16 { a[i] = i; }\n}",
+        );
+        let out = run(&args(&["lint", &clean])).unwrap();
+        assert!(out.contains("info[P020]"), "{out}");
+    }
+
+    #[test]
+    fn lint_reports_language_errors_with_codes() {
+        let path = write_temp("lint-broken.ml", "fn main() { let = ; }");
+        let out = run(&args(&["lint", &path])).unwrap();
+        assert!(out.contains("error[L002]"), "{out}");
+    }
+
+    #[test]
+    fn lint_apps_json_covers_the_suite() {
+        let out = run(&args(&["lint", "apps", "--json"])).unwrap();
+        assert!(out.contains("\"programs\""), "{out}");
+        for app in parpat_suite::all_apps() {
+            assert!(out.contains(&format!("\"name\": \"{}\"", app.name)), "missing {}", app.name);
+        }
+        assert_eq!(out.matches('{').count(), out.matches('}').count(), "{out}");
+    }
+
+    #[test]
+    fn lint_directory_lints_every_ml_file() {
+        let (dir, _) = batch_dir();
+        let out = run(&args(&["lint", &dir])).unwrap();
+        assert!(out.contains("red.ml"), "{out}");
+        assert!(out.contains("pipe.ml"), "{out}");
+        assert!(out.contains("[P010]"), "reduction diagnostic expected: {out}");
     }
 
     #[test]

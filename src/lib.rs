@@ -31,6 +31,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod cli;
 
@@ -48,6 +49,9 @@ pub use parpat_pet as pet;
 
 /// Computational units and CU graphs.
 pub use parpat_cu as cu;
+
+/// Static dependence analysis, loop verdicts, and lint diagnostics.
+pub use parpat_static as statics;
 
 /// The pattern detectors (the paper's contribution).
 pub use parpat_core as core;

@@ -4,6 +4,10 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parpat::cli::run(&args) {
+        // Renderers that own their layout already end with '\n'; emit
+        // exactly one trailing newline either way (the lint golden file is
+        // diffed byte-for-byte against stdout in ci.sh).
+        Ok(out) if out.ends_with('\n') => print!("{out}"),
         Ok(out) => println!("{out}"),
         Err(err) => {
             eprintln!("{err}");

@@ -1,0 +1,147 @@
+//! Static vs dynamic verdict cross-validation.
+//!
+//! The adversarial scenario at the heart of this file: a loop whose body
+//! *can* carry a flow dependence (`a[i] = a[i - 1] + 1` behind a data
+//! dependent branch), run on an input where the dependent branch never
+//! executes. The dynamic detector correctly reports do-all *for that
+//! input*; the static layer proves the dependence exists under other
+//! inputs; cross-validation flags the disagreement as input-sensitive.
+
+use std::collections::BTreeMap;
+
+use parpat::core::{analyze_source, AnalysisConfig, LoopClass};
+use parpat::engine::{BatchInput, Engine, EngineConfig};
+use parpat::statics::{analyze_ir, Verdict};
+use std::sync::Arc;
+
+/// `flag` is all zeroes, so the dependent branch never runs: dynamically
+/// clean, statically proven-some.
+const ADVERSARIAL: &str = "global a[16];
+global flag[16];
+fn main() {
+    for i in 1..16 {
+        if flag[i] > 0 {
+            a[i] = a[i - 1] + 1;
+        } else {
+            a[i] = i;
+        }
+    }
+}
+";
+
+/// Same loop, but an init loop turns every `flag[i]` on: the very same
+/// body now exercises the dependence and is dynamically sequential.
+const EXERCISED: &str = "global a[16];
+global flag[16];
+fn main() {
+    for j in 0..16 {
+        flag[j] = 1;
+    }
+    for i in 1..16 {
+        if flag[i] > 0 {
+            a[i] = a[i - 1] + 1;
+        } else {
+            a[i] = i;
+        }
+    }
+}
+";
+
+#[test]
+fn adversarial_loop_is_dynamically_clean_but_statically_dependent() {
+    let analysis = analyze_source(ADVERSARIAL, &AnalysisConfig::default()).expect("analyzes");
+    assert_eq!(analysis.loop_classes[&0], LoopClass::DoAll, "flag=0 input hides the dependence");
+
+    let statics = analyze_ir(&analysis.ir);
+    let l = statics.loop_report(0).expect("loop 0 exists");
+    assert_eq!(l.verdict, Verdict::ProvenSome);
+    assert_eq!(l.array_deps[0].distance, Some(1));
+}
+
+#[test]
+fn exercised_input_makes_the_same_loop_sequential() {
+    let analysis = analyze_source(EXERCISED, &AnalysisConfig::default()).expect("analyzes");
+    // Loop 1 is the conditional loop (loop 0 is the flag init).
+    assert_eq!(analysis.loop_classes[&1], LoopClass::Sequential);
+    let statics = analyze_ir(&analysis.ir);
+    assert_eq!(statics.verdict_of(1), Some(Verdict::ProvenSome), "same static verdict");
+    assert_eq!(statics.verdict_of(0), Some(Verdict::ProvenNone), "init loop is clean");
+}
+
+#[test]
+fn engine_flags_the_adversarial_loop_as_input_sensitive() {
+    let engine = Arc::new(Engine::new(EngineConfig::default()).expect("engine"));
+    let inputs = vec![
+        BatchInput { name: "adversarial".into(), source: ADVERSARIAL.into() },
+        BatchInput { name: "exercised".into(), source: EXERCISED.into() },
+    ];
+    let batch = engine.batch(inputs, 2);
+    let adv = batch.outcomes[0].outcome.report().expect("adversarial analyzes");
+    assert_eq!(adv.input_sensitive, vec![4], "loop at line 4 flagged");
+    assert!(adv.consistency_errors.is_empty());
+    assert_eq!(adv.static_doall, 0);
+
+    // The exercised variant agrees dynamically with the static proof, so
+    // nothing is flagged; its init loop is statically proven do-all.
+    let exe = batch.outcomes[1].outcome.report().expect("exercised analyzes");
+    assert!(exe.input_sensitive.is_empty());
+    assert!(exe.consistency_errors.is_empty());
+    assert_eq!(exe.static_doall, 1);
+
+    assert_eq!(batch.stats.input_sensitive, 1);
+    assert_eq!(batch.stats.consistency_errors, 0);
+    assert_eq!(batch.stats.static_proven_doall, 1);
+}
+
+#[test]
+fn suite_has_no_static_false_negatives() {
+    // Acceptance criterion: no dynamically do-all suite loop may be
+    // statically proven-some, and no dynamically dependent loop may be
+    // statically proven-none.
+    for app in parpat::suite::all_apps() {
+        let analysis = app.analyze().expect("suite app analyzes");
+        let statics = analyze_ir(&analysis.ir);
+        let by_line: BTreeMap<_, _> = statics.loops.iter().map(|l| (l.id, l)).collect();
+        for (id, class) in &analysis.loop_classes {
+            let l = by_line[id];
+            if *class == LoopClass::DoAll {
+                assert_ne!(
+                    l.verdict,
+                    Verdict::ProvenSome,
+                    "{}: loop {} (line {}) is dynamically do-all but statically proven-some: \
+                     arrays {:?}, scalars {:?}, reductions {:?}",
+                    app.name,
+                    id,
+                    l.line,
+                    l.array_deps,
+                    l.scalar_deps,
+                    l.reductions
+                );
+            }
+            if l.verdict == Verdict::ProvenNone {
+                assert_eq!(
+                    *class,
+                    LoopClass::DoAll,
+                    "{}: loop {} (line {}) statically proven-none but dynamically {:?}",
+                    app.name,
+                    id,
+                    l.line,
+                    class
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn suite_batch_reports_no_cross_validation_findings() {
+    let engine = Arc::new(Engine::new(EngineConfig::default()).expect("engine"));
+    let inputs: Vec<BatchInput> = parpat::suite::all_apps()
+        .iter()
+        .map(|a| BatchInput { name: a.name.into(), source: a.model.into() })
+        .collect();
+    let batch = engine.batch(inputs, 4);
+    assert_eq!(batch.stats.input_sensitive, 0);
+    assert_eq!(batch.stats.consistency_errors, 0);
+    assert!(batch.stats.static_proven_doall > 0, "some suite loops are provably do-all");
+}
