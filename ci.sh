@@ -8,8 +8,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 # Fault-injection suite: every (stage x fault mode x job count) must leave
-# the batch complete, ordered, and correctly counted.
+# the batch complete, ordered, and correctly counted — including transient
+# retries and watchdog-requeued stalls.
 cargo test -q -p parpat-engine --test faults
+# Kill-and-resume: a journal truncated mid-record must restore the
+# completed prefix byte-identically and re-run only the tail.
+cargo test -q -p parpat-engine --test resume
+# Front-end fuzzing: random bytes and 10k-deep nesting must produce
+# structured diagnostics, never a panic or stack overflow.
+cargo test -q -p parpat-minilang --test fuzz
 # Static diagnostics are byte-stable over the bundled suite: the release
 # binary must reproduce the checked-in golden snapshot exactly.
 ./target/release/parpat lint apps --json | diff tests/golden/lint_apps.json -

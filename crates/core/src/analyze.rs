@@ -11,7 +11,7 @@ use std::fmt;
 
 use parpat_cu::{build_cus, build_graph, CuGraph, CuSet, RegionId};
 use parpat_ir::event::Tee;
-use parpat_ir::interp::{run_function, ExecLimits};
+use parpat_ir::interp::ExecLimits;
 use parpat_ir::{IrProgram, LoopId, RuntimeError};
 use parpat_minilang::LangError;
 use parpat_pet::{Pet, PetBuilder, RegionKind};
@@ -127,6 +127,17 @@ pub struct ProfiledRun {
 /// Stage entry point: execute the program once, feeding both the dependence
 /// profiler and the PET builder from the same instrumented run.
 pub fn profile_ir(ir: &IrProgram, limits: ExecLimits) -> Result<ProfiledRun, AnalyzeError> {
+    profile_ir_controlled(ir, limits, None)
+}
+
+/// [`profile_ir`] under optional external supervision: the instrumented run
+/// publishes liveness beats to `ctl` and honors cooperative cancellation at
+/// the interpreter's deadline-poll cadence.
+pub fn profile_ir_controlled(
+    ir: &IrProgram,
+    limits: ExecLimits,
+    ctl: Option<&parpat_ir::ExecControl>,
+) -> Result<ProfiledRun, AnalyzeError> {
     let entry = ir
         .entry
         .ok_or_else(|| RuntimeError::new(0, "program has no `main` function".to_owned()))?;
@@ -134,7 +145,7 @@ pub fn profile_ir(ir: &IrProgram, limits: ExecLimits) -> Result<ProfiledRun, Ana
     let mut pet_builder = PetBuilder::new();
     let outcome = {
         let mut tee = Tee::new(&mut profiler, &mut pet_builder);
-        run_function(ir, entry, &[], &mut tee, limits)?
+        parpat_ir::run_function_controlled(ir, entry, &[], &mut tee, limits, ctl)?
     };
     Ok(ProfiledRun {
         profile: profiler.into_data(),

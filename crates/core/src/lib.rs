@@ -57,8 +57,8 @@ pub mod tasks;
 pub mod transform;
 
 pub use analyze::{
-    analyze, analyze_source, assemble_analysis, detect_patterns, profile_ir, Analysis,
-    AnalysisConfig, AnalyzeError, Detections, ProfiledRun,
+    analyze, analyze_source, assemble_analysis, detect_patterns, profile_ir, profile_ir_controlled,
+    Analysis, AnalysisConfig, AnalyzeError, Detections, ProfiledRun,
 };
 pub use doall::{classify_loops, is_doall, LoopClass};
 pub use fusion::{detect_fusion, FusionConfig, FusionReport};

@@ -28,26 +28,44 @@
 //! and — when the failure is confined to the dynamic stages — the program
 //! still yields a [`DegradedReport`] built from its static artifacts.
 //! See DESIGN.md, "Robustness".
+//!
+//! # Supervision, retry, and resume
+//!
+//! Three further layers make a batch survive its environment (see
+//! DESIGN.md, "Supervision & resume"):
+//!
+//! - **Watchdog**: each job attempt carries an [`ExecControl`] whose beat
+//!   counter advances at every stage boundary and every few thousand
+//!   interpreted instructions. A supervisor thread cancels (cooperatively)
+//!   any job whose beats go stale; the scheduler requeues the job once
+//!   (`stall_requeued`) before reporting it as [`ErrorKind::Stalled`].
+//! - **Retry**: transient failures ([`ErrorKind::is_transient`]) are
+//!   retried up to `retries` times with deterministic exponential backoff.
+//! - **Journal**: with a cache directory configured, each finished program
+//!   appends one fsynced record to `journal.wal`; `resume` replays the
+//!   journal and skips completed programs byte-identically (`resumed`).
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use parpat_core::{
-    assemble_analysis, detect_patterns, profile_ir, rank_patterns, render_ranking, Analysis,
-    AnalysisConfig, RankConfig,
+    assemble_analysis, detect_patterns, profile_ir_controlled, rank_patterns, render_ranking,
+    Analysis, AnalysisConfig, RankConfig,
 };
 use parpat_cu::{build_cus, CuSet};
-use parpat_ir::IrProgram;
+use parpat_ir::{ExecControl, IrProgram};
 use parpat_minilang::Program;
-use parpat_runtime::{lock_recover, ThreadPool};
+use parpat_runtime::{lock_recover, Supervised, ThreadPool, Watchdog, WatchdogConfig};
 use parpat_static::{analyze_ir, StaticReport};
 
 use crate::cache::{Artifact, Cache, Lookup};
 use crate::digest::{hash_bytes, Fnv64};
 use crate::error::{EngineError, ErrorKind};
 use crate::fault::{FaultMode, FaultPlan};
+use crate::journal::{Journal, JournalEntry, StoredOutcome};
 use crate::report::{DegradedReport, ProgramReport};
 use crate::stage::Stage;
 use crate::stats::{CacheStats, EngineStats, StageCounters, StageStats};
@@ -68,6 +86,18 @@ pub struct EngineConfig {
     /// Armed fault injections (empty in production; the fault harness
     /// plants one per scenario).
     pub faults: Vec<FaultPlan>,
+    /// Retries granted per program for transient failures
+    /// ([`ErrorKind::is_transient`]); `0` disables retrying.
+    pub retries: u32,
+    /// First backoff delay, in milliseconds; attempt `k` waits
+    /// `backoff_base_ms << (k - 1)` (deterministic exponential backoff).
+    pub backoff_base_ms: u64,
+    /// Watchdog supervision for batch jobs; `None` disables it.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Replay `journal.wal` before running: programs with a complete
+    /// journal record are restored instead of re-analyzed. Requires a
+    /// cache directory; a missing or mismatching journal starts fresh.
+    pub resume: bool,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +108,10 @@ impl Default for EngineConfig {
             cache_capacity: 512,
             cache_dir: None,
             faults: Vec::new(),
+            retries: 0,
+            backoff_base_ms: 25,
+            watchdog: None,
+            resume: false,
         }
     }
 }
@@ -174,10 +208,67 @@ struct BatchCounters {
     degraded: AtomicU64,
     panics: AtomicU64,
     budget_exceeded: AtomicU64,
+    retries: AtomicU64,
+    stall_requeued: AtomicU64,
+    resumed: AtomicU64,
     static_doall: AtomicU64,
     input_sensitive: AtomicU64,
     consistency_errors: AtomicU64,
 }
+
+impl BatchCounters {
+    /// Fold one program's *final* outcome into the batch counters. Called
+    /// exactly once per program — intermediate attempts that get retried
+    /// or requeued contribute stage counters (work actually performed) but
+    /// not outcome classifications. Restored journal entries go through
+    /// the same accounting, so a resumed batch reports the same headline
+    /// numbers as an uninterrupted one.
+    fn account(&self, outcome: &AnalysisOutcome) {
+        if let Some(err) = outcome.error() {
+            match err.kind {
+                ErrorKind::Panic => {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                }
+                ErrorKind::Budget => {
+                    self.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
+        match outcome {
+            AnalysisOutcome::Ok(r) => {
+                self.static_doall.fetch_add(r.static_doall as u64, Ordering::Relaxed);
+                self.input_sensitive.fetch_add(r.input_sensitive.len() as u64, Ordering::Relaxed);
+                self.consistency_errors
+                    .fetch_add(r.consistency_errors.len() as u64, Ordering::Relaxed);
+            }
+            AnalysisOutcome::Degraded(d) => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                self.static_doall.fetch_add(d.doall_candidates.len() as u64, Ordering::Relaxed);
+            }
+            AnalysisOutcome::Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Adapter exposing one job attempt's [`ExecControl`] to the watchdog.
+struct JobWatch {
+    ctl: Arc<ExecControl>,
+}
+
+impl Supervised for JobWatch {
+    fn beats(&self) -> u64 {
+        self.ctl.beats()
+    }
+    fn cancel(&self) {
+        self.ctl.request_cancel()
+    }
+}
+
+/// A custom sleep function (test hook for deterministic backoff clocks).
+type Sleeper = Box<dyn Fn(Duration) + Send + Sync>;
 
 /// The cached, parallel batch-analysis engine.
 pub struct Engine {
@@ -185,6 +276,16 @@ pub struct Engine {
     rank_workers: f64,
     cache: Cache,
     faults: Vec<FaultPlan>,
+    /// Times each (stage, input) fault plan has tripped — drives the
+    /// `Transient` (fail `k` times) and `Stall` (fire once) modes.
+    fault_trips: Mutex<HashMap<(Stage, usize), u32>>,
+    retries: u32,
+    backoff_base_ms: u64,
+    resume: bool,
+    watchdog: Option<Watchdog>,
+    /// Injectable clock for backoff sleeps; `None` means real
+    /// `thread::sleep`.
+    sleeper: Mutex<Option<Sleeper>>,
     /// Reused across batches while the requested thread count matches.
     pool: Mutex<Option<Arc<ThreadPool>>>,
     /// Batches are serialized: `wait_idle` on the shared pool must only
@@ -201,6 +302,12 @@ impl Engine {
             rank_workers: cfg.rank_workers,
             cache: Cache::new(cfg.cache_capacity, cfg.cache_dir)?,
             faults: cfg.faults,
+            fault_trips: Mutex::new(HashMap::new()),
+            retries: cfg.retries,
+            backoff_base_ms: cfg.backoff_base_ms,
+            resume: cfg.resume,
+            watchdog: cfg.watchdog.map(Watchdog::spawn),
+            sleeper: Mutex::new(None),
             pool: Mutex::new(None),
             batch_lock: Mutex::new(()),
         })
@@ -209,6 +316,27 @@ impl Engine {
     /// The shared artifact cache (exposed for tests and diagnostics).
     pub fn cache(&self) -> &Cache {
         &self.cache
+    }
+
+    /// Replace the backoff clock: `f` is called instead of
+    /// `thread::sleep` for every retry backoff. Lets the fault harness
+    /// record the exact deterministic delays without waiting them out.
+    pub fn set_sleeper(&self, f: impl Fn(Duration) + Send + Sync + 'static) {
+        *lock_recover(&self.sleeper) = Some(Box::new(f));
+    }
+
+    fn sleep_for(&self, d: Duration) {
+        match &*lock_recover(&self.sleeper) {
+            Some(f) => f(d),
+            None => std::thread::sleep(d),
+        }
+    }
+
+    /// Deterministic exponential backoff before retry attempt `attempt`
+    /// (1-based): `backoff_base_ms << (attempt - 1)`, capped to avoid
+    /// shift overflow.
+    fn backoff(&self, attempt: u32) -> Duration {
+        Duration::from_millis(self.backoff_base_ms.saturating_mul(1 << (attempt - 1).min(20)))
     }
 
     /// Analyze one program through the cached stage graph (fault plans see
@@ -230,8 +358,32 @@ impl Engine {
         let counters = Arc::new(BatchCounters::default());
         let n = inputs.len();
 
+        // Journal: fresh on a normal run, replayed on resume. Journal I/O
+        // is best-effort — a read-only cache dir degrades to no journal
+        // rather than failing the batch.
+        let run_d = self.run_digest(&inputs);
+        let (journal, replayed) = match self.cache.dir() {
+            Some(dir) if self.resume => match Journal::resume(dir, run_d) {
+                Ok((j, entries)) => (Some(Arc::new(j)), entries),
+                Err(_) => (None, Vec::new()),
+            },
+            Some(dir) => (Journal::start(dir, run_d).ok().map(Arc::new), Vec::new()),
+            None => (None, Vec::new()),
+        };
+        let mut restored: HashMap<usize, StoredOutcome> = HashMap::new();
+        for e in replayed {
+            if e.index < n {
+                restored.insert(e.index, e.outcome);
+            }
+        }
+        let restored = Arc::new(restored);
+
         let outcomes: Vec<ProgramOutcome> = if jobs == 1 || n <= 1 {
-            inputs.iter().enumerate().map(|(i, input)| self.run_one(input, i, &counters)).collect()
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(i, input)| self.run_or_restore(input, i, &counters, &restored, &journal))
+                .collect()
         } else {
             let slots: Arc<Mutex<Vec<Option<ProgramOutcome>>>> =
                 Arc::new(Mutex::new((0..n).map(|_| None).collect()));
@@ -240,8 +392,10 @@ impl Engine {
                 let eng = Arc::clone(self);
                 let counters = Arc::clone(&counters);
                 let slots = Arc::clone(&slots);
+                let restored = Arc::clone(&restored);
+                let journal = journal.clone();
                 pool.spawn(move || {
-                    let outcome = eng.run_one(&input, i, &counters);
+                    let outcome = eng.run_or_restore(&input, i, &counters, &restored, &journal);
                     lock_recover(&slots)[i] = Some(outcome);
                 });
             }
@@ -258,6 +412,57 @@ impl Engine {
         BatchReport { outcomes, stats }
     }
 
+    /// Restore one program from its journal record, or run it and append
+    /// its record (fsynced) once finished.
+    fn run_or_restore(
+        &self,
+        input: &BatchInput,
+        index: usize,
+        counters: &BatchCounters,
+        restored: &HashMap<usize, StoredOutcome>,
+        journal: &Option<Arc<Journal>>,
+    ) -> ProgramOutcome {
+        if let Some(stored) = restored.get(&index) {
+            counters.resumed.fetch_add(1, Ordering::Relaxed);
+            let (outcome, fully_cached) = restore_outcome(stored);
+            counters.account(&outcome);
+            return ProgramOutcome {
+                name: input.name.clone(),
+                outcome,
+                wall: Duration::ZERO,
+                fully_cached,
+            };
+        }
+        let po = self.run_one(input, index, counters);
+        if let Some(j) = journal {
+            let _ = j.append(&JournalEntry { index, outcome: store_outcome(&po) });
+        }
+        po
+    }
+
+    /// Digest identifying this batch run: inputs (names + sources) plus
+    /// every configuration knob that shapes the outputs. A journal is only
+    /// replayed into a batch with the same digest.
+    fn run_digest(&self, inputs: &[BatchInput]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(b"batch-run");
+        h.write_u64(inputs.len() as u64);
+        for i in inputs {
+            h.write_u64(hash_bytes(i.name.as_bytes()));
+            h.write_u64(hash_bytes(i.source.as_bytes()));
+        }
+        let l = self.cfg.limits;
+        h.write_u64(l.max_insts);
+        h.write_u64(l.max_call_depth as u64);
+        h.write_u64(l.timeout_ms.unwrap_or(0));
+        h.write_u64(l.max_mem_cells);
+        h.write_f64(self.cfg.hotspot_threshold);
+        h.write_u64(self.cfg.min_pipeline_pairs as u64);
+        h.write_f64(self.cfg.fusion_eps);
+        h.write_f64(self.rank_workers);
+        h.finish()
+    }
+
     fn pool_for(&self, jobs: usize) -> Arc<ThreadPool> {
         let mut slot = lock_recover(&self.pool);
         match slot.as_ref() {
@@ -270,11 +475,33 @@ impl Engine {
         }
     }
 
-    /// The armed fault for `(stage, batch index)`, if any.
+    /// The armed fault for `(stage, batch index)`, if any. Trip-counted:
+    /// `Transient(k)` resolves to a cache-corrupt failure for its first
+    /// `k` trips and then disarms; `Stall` fires only on its first trip
+    /// (a transient hang — the requeued job completes); `Fail` and
+    /// `Panic` fire on every trip (deterministic faults).
     fn fault_for(&self, s: Stage, index: usize) -> Option<FaultMode> {
-        self.faults.iter().find(|p| p.stage == s && p.input == index).map(|p| p.mode)
+        let mode = self.faults.iter().find(|p| p.stage == s && p.input == index)?.mode;
+        match mode {
+            FaultMode::Transient(k) => {
+                let mut trips = lock_recover(&self.fault_trips);
+                let n = trips.entry((s, index)).or_insert(0);
+                *n += 1;
+                (*n <= k).then_some(FaultMode::Fail(ErrorKind::CacheCorrupt))
+            }
+            FaultMode::Stall(_) => {
+                let mut trips = lock_recover(&self.fault_trips);
+                let n = trips.entry((s, index)).or_insert(0);
+                *n += 1;
+                (*n == 1).then_some(mode)
+            }
+            _ => Some(mode),
+        }
     }
 
+    /// Run one program to a *final* outcome: stalled attempts are requeued
+    /// once, transient failures are retried with exponential backoff, and
+    /// only the outcome that sticks is accounted and returned.
     fn run_one(
         &self,
         input: &BatchInput,
@@ -282,49 +509,51 @@ impl Engine {
         counters: &BatchCounters,
     ) -> ProgramOutcome {
         let start = Instant::now();
-        let mut run = ProgRun::new(self, &input.source, index);
-        let outcome = match run.report() {
-            Ok(r) => AnalysisOutcome::Ok(r),
-            Err(err) => {
-                match err.kind {
-                    ErrorKind::Panic => {
-                        counters.panics.fetch_add(1, Ordering::Relaxed);
-                    }
-                    ErrorKind::Budget => {
-                        counters.budget_exceeded.fetch_add(1, Ordering::Relaxed);
-                    }
-                    _ => {}
+        let mut requeued = false;
+        let mut attempts = 0u32;
+        let (outcome, fully_cached) = loop {
+            let (outcome, fully_cached) = self.run_attempt(input, index, counters);
+            match outcome.error().map(|e| e.kind) {
+                Some(ErrorKind::Stalled) if !requeued => {
+                    requeued = true;
+                    counters.stall_requeued.fetch_add(1, Ordering::Relaxed);
                 }
-                match run.degraded(&err) {
-                    Some(d) => {
-                        counters.degraded.fetch_add(1, Ordering::Relaxed);
-                        AnalysisOutcome::Degraded(Arc::new(d))
-                    }
-                    None => {
-                        counters.errors.fetch_add(1, Ordering::Relaxed);
-                        AnalysisOutcome::Err(err)
-                    }
+                Some(kind) if kind.is_transient() && attempts < self.retries => {
+                    attempts += 1;
+                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                    self.sleep_for(self.backoff(attempts));
                 }
+                _ => break (outcome, fully_cached),
             }
         };
-        match &outcome {
-            AnalysisOutcome::Ok(r) => {
-                counters.static_doall.fetch_add(r.static_doall as u64, Ordering::Relaxed);
-                counters
-                    .input_sensitive
-                    .fetch_add(r.input_sensitive.len() as u64, Ordering::Relaxed);
-                counters
-                    .consistency_errors
-                    .fetch_add(r.consistency_errors.len() as u64, Ordering::Relaxed);
-            }
-            AnalysisOutcome::Degraded(d) => {
-                counters.static_doall.fetch_add(d.doall_candidates.len() as u64, Ordering::Relaxed);
-            }
-            AnalysisOutcome::Err(_) => {}
-        }
+        counters.account(&outcome);
+        ProgramOutcome { name: input.name.clone(), outcome, wall: start.elapsed(), fully_cached }
+    }
+
+    /// One attempt at a program: fresh [`ExecControl`], watchdog
+    /// registration for the attempt's duration, and stage-counter flush.
+    /// Outcome-level accounting is deferred to [`Engine::run_one`].
+    fn run_attempt(
+        &self,
+        input: &BatchInput,
+        index: usize,
+        counters: &BatchCounters,
+    ) -> (AnalysisOutcome, bool) {
+        let ctl = Arc::new(ExecControl::new());
+        let _watch = self.watchdog.as_ref().map(|w| {
+            w.register(Arc::new(JobWatch { ctl: Arc::clone(&ctl) }) as Arc<dyn Supervised>)
+        });
+        let mut run = ProgRun::new(self, &input.source, index, ctl);
+        let outcome = match run.report() {
+            Ok(r) => AnalysisOutcome::Ok(r),
+            Err(err) => match run.degraded(&err) {
+                Some(d) => AnalysisOutcome::Degraded(Arc::new(d)),
+                None => AnalysisOutcome::Err(err),
+            },
+        };
         let fully_cached = outcome.is_ok() && run.states.iter().all(|s| *s == St::Hit);
         run.flush(counters);
-        ProgramOutcome { name: input.name.clone(), outcome, wall: start.elapsed(), fully_cached }
+        (outcome, fully_cached)
     }
 
     fn snapshot(
@@ -343,6 +572,9 @@ impl Engine {
             degraded: counters.degraded.load(Ordering::Relaxed),
             panics: counters.panics.load(Ordering::Relaxed),
             budget_exceeded: counters.budget_exceeded.load(Ordering::Relaxed),
+            retries: counters.retries.load(Ordering::Relaxed),
+            stall_requeued: counters.stall_requeued.load(Ordering::Relaxed),
+            resumed: counters.resumed.load(Ordering::Relaxed),
             static_proven_doall: counters.static_doall.load(Ordering::Relaxed),
             input_sensitive: counters.input_sensitive.load(Ordering::Relaxed),
             consistency_errors: counters.consistency_errors.load(Ordering::Relaxed),
@@ -356,6 +588,28 @@ impl Engine {
                 recovered: self.cache.recovered(),
             },
         }
+    }
+}
+
+/// Freeze a finished program outcome into its journal form.
+fn store_outcome(po: &ProgramOutcome) -> StoredOutcome {
+    match &po.outcome {
+        AnalysisOutcome::Ok(r) => {
+            StoredOutcome::Ok { report: (**r).clone(), fully_cached: po.fully_cached }
+        }
+        AnalysisOutcome::Degraded(d) => StoredOutcome::Degraded((**d).clone()),
+        AnalysisOutcome::Err(e) => StoredOutcome::Err(e.clone()),
+    }
+}
+
+/// Thaw a journal record back into a live outcome (+ `fully_cached`).
+fn restore_outcome(stored: &StoredOutcome) -> (AnalysisOutcome, bool) {
+    match stored {
+        StoredOutcome::Ok { report, fully_cached } => {
+            (AnalysisOutcome::Ok(Arc::new(report.clone())), *fully_cached)
+        }
+        StoredOutcome::Degraded(d) => (AnalysisOutcome::Degraded(Arc::new(d.clone())), false),
+        StoredOutcome::Err(e) => (AnalysisOutcome::Err(e.clone()), false),
     }
 }
 
@@ -375,6 +629,10 @@ struct ProgRun<'e> {
     src: &'e str,
     /// This program's index within the batch (fault plans key on it).
     index: usize,
+    /// This attempt's heartbeat + cancellation flag: beats advance at
+    /// every stage boundary and inside the interpreter's poll loop; the
+    /// watchdog flips the cancel flag when beats go stale.
+    ctl: Arc<ExecControl>,
     states: [St; 7],
     wall: [Duration; 7],
     insts_executed: u64,
@@ -404,11 +662,12 @@ fn key(tag: &str, inputs: &[u64]) -> u64 {
 }
 
 impl<'e> ProgRun<'e> {
-    fn new(eng: &'e Engine, src: &'e str, index: usize) -> Self {
+    fn new(eng: &'e Engine, src: &'e str, index: usize, ctl: Arc<ExecControl>) -> Self {
         ProgRun {
             eng,
             src,
             index,
+            ctl,
             states: [St::Unresolved; 7],
             wall: [Duration::ZERO; 7],
             insts_executed: 0,
@@ -451,20 +710,47 @@ impl<'e> ProgRun<'e> {
     /// a miss (possibly demoting an earlier digest-level hit). The
     /// function runs inside `catch_unwind`: a panic is confined to this
     /// program and surfaces as a structured [`ErrorKind::Panic`] error.
-    /// Armed fault plans trip here — `Fail` short-circuits before the
-    /// stage function, `Panic`/`Stall` fire inside the unwind boundary.
+    /// Armed fault plans trip here — `Fail` (and `Transient`, which
+    /// resolves to it) short-circuits before the stage function, `Stall`
+    /// sleeps cooperatively (cancellable by the watchdog) before it, and
+    /// `Panic` fires inside the unwind boundary.
     fn execute<T>(&mut self, s: Stage, f: impl FnOnce(&mut Self) -> T) -> Result<T, EngineError> {
+        // Stage boundary = liveness. A job that keeps reaching new stages
+        // (or keeps interpreting — the interpreter beats on its own) is
+        // never declared stale.
+        self.ctl.beat();
         let fault = self.eng.fault_for(s, self.index);
         if let Some(FaultMode::Fail(kind)) = fault {
             self.states[s.index()] = St::Miss;
             return Err(EngineError::new(s, kind, format!("injected failure at the {s} stage")));
         }
         let t = Instant::now();
+        if let Some(FaultMode::Stall(ms)) = fault {
+            // Sleep in short slices, polling the cancel flag, so the
+            // watchdog can interrupt the stall: no beats advance while
+            // stalled, the supervisor flips the flag, and the stall
+            // surfaces as a structured `Stalled` error the scheduler can
+            // requeue on. The stall is a slow stage, so its time counts
+            // toward the stage wall either way.
+            let mut slept = 0u64;
+            while slept < ms {
+                if self.ctl.cancel_requested() {
+                    self.wall[s.index()] += t.elapsed();
+                    self.states[s.index()] = St::Miss;
+                    return Err(EngineError::new(
+                        s,
+                        ErrorKind::Stalled,
+                        format!("injected stall at the {s} stage cancelled by the watchdog"),
+                    ));
+                }
+                let slice = (ms - slept).min(5);
+                std::thread::sleep(Duration::from_millis(slice));
+                slept += slice;
+            }
+        }
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            match fault {
-                Some(FaultMode::Panic) => panic!("injected panic at the {s} stage"),
-                Some(FaultMode::Stall(ms)) => std::thread::sleep(Duration::from_millis(ms)),
-                _ => {}
+            if let Some(FaultMode::Panic) = fault {
+                panic!("injected panic at the {s} stage");
             }
             f(self)
         }));
@@ -673,7 +959,13 @@ impl<'e> ProgRun<'e> {
         let limits = self.eng.cfg.limits;
         key(
             "profile",
-            &[ir_d, limits.max_insts, limits.max_call_depth as u64, limits.timeout_ms.unwrap_or(0)],
+            &[
+                ir_d,
+                limits.max_insts,
+                limits.max_call_depth as u64,
+                limits.timeout_ms.unwrap_or(0),
+                limits.max_mem_cells,
+            ],
         )
     }
 
@@ -682,7 +974,9 @@ impl<'e> ProgRun<'e> {
         let k = self.key_profile(self.ir_d.expect("ir resolved"));
         let d = key("profile.out", &[k]);
         let run = self
-            .execute(Stage::Profile, |r| profile_ir(&ir, r.eng.cfg.limits))?
+            .execute(Stage::Profile, |r| {
+                profile_ir_controlled(&ir, r.eng.cfg.limits, Some(r.ctl.as_ref()))
+            })?
             .map_err(|e| EngineError::from_analyze(Stage::Profile, &e))?;
         self.insts_executed += run.insts;
         let insts = run.insts;

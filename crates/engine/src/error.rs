@@ -28,9 +28,22 @@ pub enum ErrorKind {
     Budget,
     /// A persistent cache record was corrupt beyond recovery.
     CacheCorrupt,
+    /// The watchdog declared the job stale and cancelled it cooperatively;
+    /// the batch scheduler requeues the job once before giving up.
+    Stalled,
 }
 
 impl ErrorKind {
+    /// Every kind, for name round-tripping.
+    pub const ALL: [ErrorKind; 6] = [
+        ErrorKind::Lang,
+        ErrorKind::Runtime,
+        ErrorKind::Panic,
+        ErrorKind::Budget,
+        ErrorKind::CacheCorrupt,
+        ErrorKind::Stalled,
+    ];
+
     /// Stable lowercase name (used in JSON and stats).
     pub fn name(self) -> &'static str {
         match self {
@@ -39,7 +52,24 @@ impl ErrorKind {
             ErrorKind::Panic => "panic",
             ErrorKind::Budget => "budget",
             ErrorKind::CacheCorrupt => "cache-corrupt",
+            ErrorKind::Stalled => "stalled",
         }
+    }
+
+    /// Inverse of [`ErrorKind::name`] (used when replaying journal
+    /// records).
+    pub fn from_name(name: &str) -> Option<ErrorKind> {
+        ErrorKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// `true` for failure classes worth retrying: the fault is in the
+    /// environment (a corrupt cache record that has since been
+    /// quarantined), not in the program, so a fresh attempt can succeed.
+    /// Language, runtime, panic, and budget failures are deterministic
+    /// properties of the input and never retried; stalls go through the
+    /// dedicated requeue path instead.
+    pub fn is_transient(self) -> bool {
+        matches!(self, ErrorKind::CacheCorrupt)
     }
 
     fn phrase(self) -> &'static str {
@@ -49,6 +79,7 @@ impl ErrorKind {
             ErrorKind::Panic => "panic",
             ErrorKind::Budget => "budget exceeded",
             ErrorKind::CacheCorrupt => "cache corruption",
+            ErrorKind::Stalled => "stall",
         }
     }
 }
@@ -83,13 +114,17 @@ impl EngineError {
     }
 
     /// Classify a `parpat-core` analysis error observed at `stage`:
-    /// budget-kind runtime errors become [`ErrorKind::Budget`], other
-    /// runtime errors [`ErrorKind::Runtime`].
+    /// budget-kind runtime errors become [`ErrorKind::Budget`], cancelled
+    /// runs (the watchdog tripped mid-interpretation)
+    /// [`ErrorKind::Stalled`], other runtime errors [`ErrorKind::Runtime`].
     pub fn from_analyze(stage: Stage, e: &AnalyzeError) -> Self {
         match e {
             AnalyzeError::Lang(l) => Self::new(stage, ErrorKind::Lang, l.to_string()),
             AnalyzeError::Runtime(r) if r.is_budget() => {
                 Self::new(stage, ErrorKind::Budget, r.to_string())
+            }
+            AnalyzeError::Runtime(r) if r.is_cancelled() => {
+                Self::new(stage, ErrorKind::Stalled, r.to_string())
             }
             AnalyzeError::Runtime(r) => Self::new(stage, ErrorKind::Runtime, r.to_string()),
         }
@@ -111,6 +146,12 @@ impl EngineError {
     /// `true` when the failure is budget exhaustion.
     pub fn is_budget(&self) -> bool {
         self.kind == ErrorKind::Budget
+    }
+
+    /// `true` when the failure class is worth retrying (see
+    /// [`ErrorKind::is_transient`]).
+    pub fn is_transient(&self) -> bool {
+        self.kind.is_transient()
     }
 
     /// Hand-rolled JSON object (`stage`, `kind`, `detail`).
@@ -160,6 +201,29 @@ mod tests {
         let e = EngineError::from_panic(Stage::Detect, payload.as_ref());
         assert_eq!(e.kind, ErrorKind::Panic);
         assert_eq!(e.detail, "boom 7");
+    }
+
+    #[test]
+    fn cancelled_runs_classify_as_stalled() {
+        let c = AnalyzeError::Runtime(RuntimeError::cancelled(9, "cancelled".to_owned()));
+        let e = EngineError::from_analyze(Stage::Profile, &c);
+        assert_eq!(e.kind, ErrorKind::Stalled);
+        assert!(!e.is_transient(), "stalls use the requeue path, not the retry path");
+    }
+
+    #[test]
+    fn only_cache_corruption_is_transient() {
+        for k in ErrorKind::ALL {
+            assert_eq!(k.is_transient(), k == ErrorKind::CacheCorrupt, "{k}");
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in ErrorKind::ALL {
+            assert_eq!(ErrorKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(ErrorKind::from_name("gremlin"), None);
     }
 
     #[test]

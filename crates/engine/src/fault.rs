@@ -2,7 +2,8 @@
 //!
 //! A [`FaultPlan`] arms one trap: when the program at a given batch index
 //! reaches a given stage, the stage either fails with a chosen
-//! [`ErrorKind`], panics mid-flight, or stalls before completing. Plans
+//! [`ErrorKind`], panics mid-flight, stalls before completing, or fails
+//! transiently `k` times before succeeding. Plans
 //! ride in on `EngineConfig`, so the whole injection surface is plain
 //! configuration — no test-only hooks compiled into the hot path, and the
 //! same engine binary exercises every failure mode reproducibly.
@@ -22,8 +23,16 @@ pub enum FaultMode {
     /// The stage function panics mid-flight (exercises the unwind path).
     Panic,
     /// The stage sleeps this many milliseconds, then completes normally —
-    /// a slow stage, not a failing one.
+    /// a slow stage, not a failing one. The sleep is cooperative: it is cut
+    /// short (and turned into an [`ErrorKind::Stalled`] failure) if the
+    /// watchdog cancels the job mid-stall. A stall fires once per plan: a
+    /// requeued job finds the trap already sprung and completes normally,
+    /// modelling a transient hang rather than a permanently wedged stage.
     Stall(u64),
+    /// The stage fails with [`ErrorKind::CacheCorrupt`] — the transient
+    /// failure class — for the first `k` trips, then completes normally.
+    /// `Transient(2)` with `retries >= 2` succeeds on the third attempt.
+    Transient(u32),
 }
 
 /// One injected fault, armed for a single (stage, batch-index) slot.

@@ -1,0 +1,459 @@
+//! The batch journal: a write-ahead log of completed program analyses.
+//!
+//! A batch writes one fsynced record per *finished* program into
+//! `journal.wal` under the cache directory, keyed by a run digest over the
+//! batch inputs and configuration (the same FNV-1a chain the cache uses).
+//! If the process is killed mid-batch, `--resume` replays the journal:
+//! every program with a complete record is restored byte-identically from
+//! its record and skipped; only the unfinished tail is re-analyzed.
+//!
+//! The format is torn-write tolerant by construction: the file is a header
+//! line followed by length-prefixed records, and [`scan`] stops at the
+//! first incomplete or malformed record, so a crash mid-append costs at
+//! most the record being written. Resuming truncates the torn tail before
+//! appending. A journal whose run digest does not match the current batch
+//! (different inputs or configuration) is discarded wholesale — resuming
+//! never mixes results from two different runs.
+
+use std::io::{Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use parpat_runtime::lock_recover;
+
+use crate::error::{EngineError, ErrorKind};
+use crate::report::{DegradedReport, ProgramReport};
+use crate::stage::Stage;
+
+/// Journal file name under the cache directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+const MAGIC: &str = "parpat-journal-v1";
+
+/// Ceiling on a single record's payload; anything larger is treated as
+/// corruption rather than allocated.
+const MAX_RECORD: usize = 64 << 20;
+
+/// Path of the journal inside cache directory `dir`.
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
+/// The persisted outcome of one completed program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredOutcome {
+    /// Full analysis succeeded.
+    Ok {
+        /// The complete report.
+        report: ProgramReport,
+        /// Whether every stage was answered by the cache.
+        fully_cached: bool,
+    },
+    /// Dynamic stages failed; static results were kept.
+    Degraded(DegradedReport),
+    /// Hard failure.
+    Err(EngineError),
+}
+
+/// One journal record: which batch index finished, and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Batch input index.
+    pub index: usize,
+    /// The program's outcome.
+    pub outcome: StoredOutcome,
+}
+
+/// An open, append-only journal. Appends are serialized through a mutex
+/// and fsynced (`sync_data`) one record at a time, so every record the
+/// file contains describes a program whose results are durable.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<std::fs::File>,
+}
+
+impl Journal {
+    /// Start a fresh journal for run `run` in `dir`, discarding any
+    /// previous journal.
+    pub fn start(dir: &Path, run: u64) -> std::io::Result<Journal> {
+        let mut file = std::fs::File::create(journal_path(dir))?;
+        file.write_all(format!("{MAGIC} {run:016x}\n").as_bytes())?;
+        file.sync_data()?;
+        Ok(Journal { file: Mutex::new(file) })
+    }
+
+    /// Resume the journal for run `run` in `dir`: returns the reopened
+    /// journal plus every complete record it already holds. A missing
+    /// journal, a run-digest mismatch, or an unreadable header all fall
+    /// back to a fresh journal with no entries; a torn trailing record is
+    /// truncated away before appending resumes.
+    pub fn resume(dir: &Path, run: u64) -> std::io::Result<(Journal, Vec<JournalEntry>)> {
+        let path = journal_path(dir);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return Ok((Journal::start(dir, run)?, Vec::new())),
+        };
+        let Some((found_run, records)) = scan(&bytes) else {
+            return Ok((Journal::start(dir, run)?, Vec::new()));
+        };
+        if found_run != run {
+            return Ok((Journal::start(dir, run)?, Vec::new()));
+        }
+        let valid_end = records.last().map_or(MAGIC.len() as u64 + 18, |(_, end)| *end as u64);
+        let mut file = std::fs::OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(valid_end)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        file.sync_data()?;
+        let entries = records.into_iter().map(|(e, _)| e).collect();
+        Ok((Journal { file: Mutex::new(file) }, entries))
+    }
+
+    /// Append one record and fsync it. Returns only after the record is
+    /// durable.
+    pub fn append(&self, entry: &JournalEntry) -> std::io::Result<()> {
+        let bytes = render_entry(entry);
+        let mut file = lock_recover(&self.file);
+        file.write_all(&bytes)?;
+        file.sync_data()
+    }
+}
+
+/// Parse journal bytes: the run digest plus every complete record with the
+/// byte offset just past it (where the next record starts). Returns `None`
+/// when the header itself is unreadable. Scanning stops — without error —
+/// at the first torn or malformed record, which is exactly the resume
+/// semantics: everything before the tear is trusted, everything after is
+/// re-analyzed.
+pub fn scan(bytes: &[u8]) -> Option<(u64, Vec<(JournalEntry, usize)>)> {
+    let header_end = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..header_end]).ok()?;
+    let run_hex = header.strip_prefix(MAGIC)?.trim();
+    let run = u64::from_str_radix(run_hex, 16).ok()?;
+    let mut pos = header_end + 1;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let Some((entry, end)) = next_record(bytes, pos) else { break };
+        out.push((entry, end));
+        pos = end;
+    }
+    Some((run, out))
+}
+
+/// Parse the record starting at `pos`; `None` if torn or malformed.
+fn next_record(bytes: &[u8], pos: usize) -> Option<(JournalEntry, usize)> {
+    let rest = &bytes[pos..];
+    let line_end = rest.iter().position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&rest[..line_end]).ok()?;
+    let len: usize = line.strip_prefix("rec ")?.parse().ok()?;
+    if len > MAX_RECORD {
+        return None;
+    }
+    let payload_start = line_end + 1;
+    let payload = rest.get(payload_start..payload_start + len)?;
+    let entry = parse_payload(payload)?;
+    Some((entry, pos + payload_start + len))
+}
+
+fn csv(lines: &[u32]) -> String {
+    if lines.is_empty() {
+        "-".to_owned()
+    } else {
+        let strs: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        strs.join(",")
+    }
+}
+
+fn parse_csv(field: &str) -> Option<Vec<u32>> {
+    if field == "-" {
+        return Some(Vec::new());
+    }
+    field.split(',').map(|t| t.parse().ok()).collect()
+}
+
+fn render_entry(entry: &JournalEntry) -> Vec<u8> {
+    let (head, body) = match &entry.outcome {
+        StoredOutcome::Ok { report: r, fully_cached } => {
+            let head = format!(
+                "prog {} ok {} {} {} {} {} {} {} {} {} {} {} {}",
+                entry.index,
+                u8::from(*fully_cached),
+                r.insts,
+                r.pipelines,
+                r.fusions,
+                r.reductions,
+                r.geodecomp,
+                r.task_regions,
+                r.static_doall,
+                csv(&r.input_sensitive),
+                csv(&r.consistency_errors),
+                r.summary.len(),
+                r.ranking.len(),
+            );
+            let mut body = Vec::with_capacity(r.summary.len() + r.ranking.len());
+            body.extend_from_slice(r.summary.as_bytes());
+            body.extend_from_slice(r.ranking.as_bytes());
+            (head, body)
+        }
+        StoredOutcome::Degraded(d) => {
+            let head = format!(
+                "prog {} degraded {} {} {} {} {} {} {} {}",
+                entry.index,
+                d.reason.stage.name(),
+                d.reason.kind.name(),
+                d.loops,
+                d.cus,
+                d.regions,
+                csv(&d.doall_candidates),
+                d.reason.detail.len(),
+                d.summary.len(),
+            );
+            let mut body = Vec::with_capacity(d.reason.detail.len() + d.summary.len());
+            body.extend_from_slice(d.reason.detail.as_bytes());
+            body.extend_from_slice(d.summary.as_bytes());
+            (head, body)
+        }
+        StoredOutcome::Err(e) => {
+            let head = format!(
+                "prog {} err {} {} {}",
+                entry.index,
+                e.stage.name(),
+                e.kind.name(),
+                e.detail.len(),
+            );
+            (head, e.detail.as_bytes().to_vec())
+        }
+    };
+    let payload_len = head.len() + 1 + body.len();
+    let mut out = format!("rec {payload_len}\n").into_bytes();
+    out.extend_from_slice(head.as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Split `body` at `at`, decoding both halves as UTF-8 strings.
+fn split_strings(body: &[u8], at: usize) -> Option<(String, String)> {
+    let first = String::from_utf8(body.get(..at)?.to_vec()).ok()?;
+    let second = String::from_utf8(body.get(at..)?.to_vec()).ok()?;
+    Some((first, second))
+}
+
+fn parse_payload(payload: &[u8]) -> Option<JournalEntry> {
+    let line_end = payload.iter().position(|&b| b == b'\n')?;
+    let head = std::str::from_utf8(&payload[..line_end]).ok()?;
+    let body = &payload[line_end + 1..];
+    let tok: Vec<&str> = head.split(' ').collect();
+    if tok.first() != Some(&"prog") {
+        return None;
+    }
+    let index: usize = tok.get(1)?.parse().ok()?;
+    let outcome = match *tok.get(2)? {
+        "ok" => {
+            if tok.len() != 15 {
+                return None;
+            }
+            let fully_cached = match tok[3] {
+                "0" => false,
+                "1" => true,
+                _ => return None,
+            };
+            let summary_len: usize = tok[13].parse().ok()?;
+            let ranking_len: usize = tok[14].parse().ok()?;
+            if summary_len + ranking_len != body.len() {
+                return None;
+            }
+            let (summary, ranking) = split_strings(body, summary_len)?;
+            StoredOutcome::Ok {
+                report: ProgramReport {
+                    summary,
+                    ranking,
+                    insts: tok[4].parse().ok()?,
+                    pipelines: tok[5].parse().ok()?,
+                    fusions: tok[6].parse().ok()?,
+                    reductions: tok[7].parse().ok()?,
+                    geodecomp: tok[8].parse().ok()?,
+                    task_regions: tok[9].parse().ok()?,
+                    static_doall: tok[10].parse().ok()?,
+                    input_sensitive: parse_csv(tok[11])?,
+                    consistency_errors: parse_csv(tok[12])?,
+                },
+                fully_cached,
+            }
+        }
+        "degraded" => {
+            if tok.len() != 11 {
+                return None;
+            }
+            let stage = Stage::from_name(tok[3])?;
+            let kind = ErrorKind::from_name(tok[4])?;
+            let detail_len: usize = tok[9].parse().ok()?;
+            let summary_len: usize = tok[10].parse().ok()?;
+            if detail_len + summary_len != body.len() {
+                return None;
+            }
+            let (detail, summary) = split_strings(body, detail_len)?;
+            StoredOutcome::Degraded(DegradedReport {
+                reason: EngineError::new(stage, kind, detail),
+                summary,
+                loops: tok[5].parse().ok()?,
+                cus: tok[6].parse().ok()?,
+                regions: tok[7].parse().ok()?,
+                doall_candidates: parse_csv(tok[8])?,
+            })
+        }
+        "err" => {
+            if tok.len() != 6 {
+                return None;
+            }
+            let stage = Stage::from_name(tok[3])?;
+            let kind = ErrorKind::from_name(tok[4])?;
+            let detail_len: usize = tok[5].parse().ok()?;
+            if detail_len != body.len() {
+                return None;
+            }
+            let detail = String::from_utf8(body.to_vec()).ok()?;
+            StoredOutcome::Err(EngineError::new(stage, kind, detail))
+        }
+        _ => return None,
+    };
+    Some(JournalEntry { index, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn sample_report() -> ProgramReport {
+        ProgramReport {
+            summary: "line one\nline two\n".to_owned(),
+            ranking: "1. pipeline\n".to_owned(),
+            insts: 12345,
+            pipelines: 1,
+            fusions: 2,
+            reductions: 3,
+            geodecomp: 0,
+            task_regions: 4,
+            static_doall: 5,
+            input_sensitive: vec![7, 11],
+            consistency_errors: vec![],
+        }
+    }
+
+    fn sample_entries() -> Vec<JournalEntry> {
+        vec![
+            JournalEntry {
+                index: 0,
+                outcome: StoredOutcome::Ok { report: sample_report(), fully_cached: true },
+            },
+            JournalEntry {
+                index: 2,
+                outcome: StoredOutcome::Degraded(DegradedReport {
+                    reason: EngineError::new(Stage::Profile, ErrorKind::Panic, "boom \"x\""),
+                    summary: "static only\n".to_owned(),
+                    loops: 3,
+                    cus: 4,
+                    regions: 2,
+                    doall_candidates: vec![9],
+                }),
+            },
+            JournalEntry {
+                index: 5,
+                outcome: StoredOutcome::Err(EngineError::new(
+                    Stage::Parse,
+                    ErrorKind::Lang,
+                    "syntax error\nat line 2",
+                )),
+            },
+        ]
+    }
+
+    #[test]
+    fn entries_round_trip_byte_identically() {
+        for entry in sample_entries() {
+            let bytes = render_entry(&entry);
+            let (parsed, end) = next_record(&bytes, 0).unwrap();
+            assert_eq!(parsed, entry);
+            assert_eq!(end, bytes.len());
+        }
+    }
+
+    #[test]
+    fn start_append_resume_round_trips() {
+        let dir = std::env::temp_dir().join(format!("parpat-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = Journal::start(&dir, 0xfeed).unwrap();
+        for e in sample_entries() {
+            journal.append(&e).unwrap();
+        }
+        drop(journal);
+        let (_journal, entries) = Journal::resume(&dir, 0xfeed).unwrap();
+        assert_eq!(entries, sample_entries());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_earlier_records_survive() {
+        let dir = std::env::temp_dir().join(format!("parpat-journal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = Journal::start(&dir, 7).unwrap();
+        let entries = sample_entries();
+        for e in &entries {
+            journal.append(e).unwrap();
+        }
+        drop(journal);
+        // Tear the last record in half.
+        let path = journal_path(&dir);
+        let bytes = std::fs::read(&path).unwrap();
+        let (_, records) = scan(&bytes).unwrap();
+        let keep = records[1].1 + 5; // mid-way into record 3
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+
+        let (journal, replayed) = Journal::resume(&dir, 7).unwrap();
+        assert_eq!(replayed, entries[..2].to_vec());
+        // The torn tail is gone: a fresh append lands on a clean boundary.
+        journal.append(&entries[2]).unwrap();
+        drop(journal);
+        let (_, all) = scan(&std::fs::read(&path).unwrap()).unwrap();
+        let replayed: Vec<JournalEntry> = all.into_iter().map(|(e, _)| e).collect();
+        assert_eq!(replayed, entries);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_digest_mismatch_discards_the_journal() {
+        let dir = std::env::temp_dir().join(format!("parpat-journal-run-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = Journal::start(&dir, 1).unwrap();
+        journal.append(&sample_entries()[0]).unwrap();
+        drop(journal);
+        let (_journal, entries) = Journal::resume(&dir, 2).unwrap();
+        assert!(entries.is_empty(), "a different run must not replay stale records");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_journal_is_discarded_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("parpat-journal-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(journal_path(&dir), b"\x00\xff not a journal at all").unwrap();
+        let (journal, entries) = Journal::resume(&dir, 3).unwrap();
+        assert!(entries.is_empty());
+        journal.append(&sample_entries()[0]).unwrap();
+        drop(journal);
+        let (run, all) = scan(&std::fs::read(journal_path(&dir)).unwrap()).unwrap();
+        assert_eq!(run, 3);
+        assert_eq!(all.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hostile_record_length_is_rejected() {
+        let mut bytes = format!("{MAGIC} {:016x}\n", 9u64).into_bytes();
+        bytes.extend_from_slice(b"rec 99999999999999\nprog");
+        let (run, records) = scan(&bytes).unwrap();
+        assert_eq!(run, 9);
+        assert!(records.is_empty());
+    }
+}

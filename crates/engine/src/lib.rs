@@ -20,6 +20,12 @@
 //!   results when possible ([`DegradedReport`]), and corrupt disk records
 //!   are quarantined and regenerated. A deterministic fault-injection
 //!   surface ([`FaultPlan`]) proves all of this in `tests/faults.rs`;
+//! - **supervision & resume** — each batch job publishes heartbeats that a
+//!   watchdog thread scans, cancelling (cooperatively) and requeueing
+//!   stalled jobs; transient failures retry with deterministic exponential
+//!   backoff; and every finished program is journaled to an fsynced
+//!   write-ahead log ([`journal`]) so a killed batch resumes where it
+//!   stopped (`EngineConfig::resume`) instead of starting over;
 //! - **static/dynamic cross-validation** — each loop's static dependence
 //!   verdict (from `parpat_static`) is compared against the profiled
 //!   classification, flagging input-sensitive do-all verdicts and internal
@@ -49,6 +55,7 @@ pub mod digest;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod journal;
 pub mod report;
 pub mod stage;
 pub mod stats;
@@ -58,6 +65,7 @@ pub use cache::{Artifact, Cache, DiskRecord, Lookup};
 pub use engine::{AnalysisOutcome, BatchInput, BatchReport, Engine, EngineConfig, ProgramOutcome};
 pub use error::{EngineError, ErrorKind};
 pub use fault::{xorshift64, FaultMode, FaultPlan};
+pub use journal::{journal_path, Journal, JournalEntry, StoredOutcome};
 pub use report::{DegradedReport, ProgramReport};
 pub use stage::Stage;
 pub use stats::{CacheStats, EngineStats, StageStats};

@@ -60,6 +60,12 @@ impl Stage {
         }
     }
 
+    /// Inverse of [`Stage::name`]: resolve a stable lowercase name back to
+    /// the stage (used when replaying journal records).
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
     /// `true` for the stages that depend on a dynamic (profiled) run of
     /// the program. A failure confined to these stages still leaves the
     /// static artifacts — AST, IR, CU graph, static verdicts — intact,
@@ -108,6 +114,14 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Stage::from_name("warp"), None);
     }
 
     #[test]

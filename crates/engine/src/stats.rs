@@ -88,8 +88,15 @@ pub struct EngineStats {
     /// Stage functions that panicked (caught at the stage boundary).
     pub panics: u64,
     /// Profiled runs that exhausted an execution budget (instruction
-    /// ceiling, call depth, or wall-clock deadline).
+    /// ceiling, call depth, wall-clock deadline, or memory-cell budget).
     pub budget_exceeded: u64,
+    /// Transient failures retried with backoff (each retry counts once).
+    pub retries: u64,
+    /// Jobs cancelled by the watchdog for a stale heartbeat and requeued.
+    pub stall_requeued: u64,
+    /// Programs restored from the batch journal instead of re-analyzed
+    /// (`--resume`).
+    pub resumed: u64,
     /// Counted loops statically proven free of carried flow dependences
     /// across the batch (degraded programs contribute their candidates).
     pub static_proven_doall: u64,
@@ -142,6 +149,10 @@ impl EngineStats {
             self.panics, self.budget_exceeded, self.cache.recovered
         ));
         out.push_str(&format!(
+            "resilience: {} retries, {} stall-requeued, {} resumed from journal\n",
+            self.retries, self.stall_requeued, self.resumed
+        ));
+        out.push_str(&format!(
             "static: {} proven-do-all loop(s), {} input-sensitive, {} consistency error(s)\n",
             self.static_proven_doall, self.input_sensitive, self.consistency_errors
         ));
@@ -191,12 +202,15 @@ impl EngineStats {
             ));
         }
         format!(
-            "{{\"programs\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
+            "{{\"programs\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
             self.programs,
             self.errors,
             self.degraded,
             self.panics,
             self.budget_exceeded,
+            self.retries,
+            self.stall_requeued,
+            self.resumed,
             self.static_proven_doall,
             self.input_sensitive,
             self.consistency_errors,
@@ -276,6 +290,9 @@ mod tests {
             degraded: 1,
             panics: 1,
             budget_exceeded: 2,
+            retries: 6,
+            stall_requeued: 7,
+            resumed: 9,
             static_proven_doall: 21,
             input_sensitive: 4,
             consistency_errors: 5,
@@ -294,6 +311,7 @@ mod tests {
         assert!(text.contains("50.0% hit rate"));
         assert!(text.contains("1 degraded"));
         assert!(text.contains("1 panics, 2 budget-exceeded, 3 cache records recovered"));
+        assert!(text.contains("6 retries, 7 stall-requeued, 9 resumed from journal"));
         assert!(
             text.contains("21 proven-do-all loop(s), 4 input-sensitive, 5 consistency error(s)")
         );
@@ -309,6 +327,9 @@ mod tests {
         assert!(json.contains("\"degraded\": 1"));
         assert!(json.contains("\"panics\": 1"));
         assert!(json.contains("\"budget_exceeded\": 2"));
+        assert!(json.contains("\"retries\": 6"));
+        assert!(json.contains("\"stall_requeued\": 7"));
+        assert!(json.contains("\"resumed\": 9"));
         assert!(json.contains("\"static_proven_doall\": 21"));
         assert!(json.contains("\"input_sensitive\": 4"));
         assert!(json.contains("\"consistency_errors\": 5"));
@@ -331,6 +352,9 @@ mod tests {
             degraded: 0,
             panics: 0,
             budget_exceeded: 0,
+            retries: 0,
+            stall_requeued: 0,
+            resumed: 0,
             static_proven_doall: 0,
             input_sensitive: 0,
             consistency_errors: 0,

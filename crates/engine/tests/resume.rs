@@ -1,0 +1,131 @@
+//! Kill-and-resume acceptance: a batch killed mid-run (simulated by
+//! truncating the journal after k records, including a torn partial
+//! record) resumes with `resume: true`, restores the k completed programs
+//! byte-identically from the journal, re-analyzes only the tail, and
+//! reports `resumed == k`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parpat_engine::{journal, BatchInput, Engine, EngineConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parpat-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn suite_inputs() -> Vec<BatchInput> {
+    parpat_suite::all_apps()
+        .iter()
+        .map(|a| BatchInput { name: a.name.to_owned(), source: a.model.to_owned() })
+        .collect()
+}
+
+fn engine(dir: &std::path::Path, resume: bool) -> Arc<Engine> {
+    let cfg = EngineConfig { cache_dir: Some(dir.to_path_buf()), resume, ..Default::default() };
+    Arc::new(Engine::new(cfg).expect("engine"))
+}
+
+/// JSON forms of every program report/outcome, the byte-identity yardstick
+/// (wall times are excluded by construction — they can never be stable).
+fn outcome_jsons(batch: &parpat_engine::BatchReport) -> Vec<String> {
+    batch
+        .outcomes
+        .iter()
+        .map(|o| match &o.outcome {
+            parpat_engine::AnalysisOutcome::Ok(r) => r.to_json(),
+            parpat_engine::AnalysisOutcome::Degraded(d) => d.to_json(),
+            parpat_engine::AnalysisOutcome::Err(e) => e.to_json(),
+        })
+        .collect()
+}
+
+#[test]
+fn killed_batch_resumes_byte_identically() {
+    let dir = temp_dir("kill");
+    let inputs = suite_inputs();
+    let n = inputs.len();
+    assert_eq!(n, 17);
+    let k = 5;
+
+    // Full serial run: the journal ends with one record per program.
+    let full = engine(&dir, false).batch(inputs.clone(), 1);
+    let full_jsons = outcome_jsons(&full);
+    let path = journal::journal_path(&dir);
+    let bytes = std::fs::read(&path).expect("journal written");
+    let (_, records) = journal::scan(&bytes).expect("journal parses");
+    assert_eq!(records.len(), n, "one fsynced record per program");
+
+    // Simulate a kill after k completed programs: keep the first k
+    // records plus a torn fragment of the (k+1)-th — exactly what a crash
+    // mid-append leaves behind.
+    let cut = records[k - 1].1 + 7;
+    std::fs::write(&path, &bytes[..cut]).expect("truncate journal");
+    // The analysis cache must not silently answer for the journal: drop
+    // it so the resumed tail really re-executes its stages.
+    for entry in std::fs::read_dir(&dir).expect("cache dir") {
+        let p = entry.expect("entry").path();
+        if p.extension().is_some_and(|e| e == "rec") {
+            std::fs::remove_file(&p).expect("drop cache record");
+        }
+    }
+
+    let resumed = engine(&dir, true).batch(inputs.clone(), 1);
+    assert_eq!(resumed.stats.resumed, k as u64, "exactly the journaled prefix is restored");
+    assert_eq!(outcome_jsons(&resumed), full_jsons, "resume is byte-identical");
+    for o in &resumed.outcomes[..k] {
+        assert_eq!(o.wall, std::time::Duration::ZERO, "{} was restored, not re-run", o.name);
+    }
+    // The journal was repaired and completed: a second resume restores
+    // everything.
+    let again = engine(&dir, true).batch(inputs, 1);
+    assert_eq!(again.stats.resumed, n as u64);
+    assert_eq!(outcome_jsons(&again), full_jsons);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_works_under_parallel_scheduling() {
+    let dir = temp_dir("par");
+    let inputs = suite_inputs();
+    let full = engine(&dir, false).batch(inputs.clone(), 4);
+    let full_jsons = outcome_jsons(&full);
+
+    let path = journal::journal_path(&dir);
+    let bytes = std::fs::read(&path).expect("journal");
+    let (_, records) = journal::scan(&bytes).expect("parses");
+    // Under jobs=4 records land in completion order; keep the first 6
+    // whatever their indices are.
+    std::fs::write(&path, &bytes[..records[5].1]).expect("truncate");
+
+    let resumed = engine(&dir, true).batch(inputs, 4);
+    assert_eq!(resumed.stats.resumed, 6);
+    assert_eq!(outcome_jsons(&resumed), full_jsons);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_inputs_invalidate_the_journal() {
+    let dir = temp_dir("invalidate");
+    let mut inputs = suite_inputs();
+    engine(&dir, false).batch(inputs.clone(), 1);
+
+    // Same names, one edited source: the run digest changes, so nothing
+    // may be restored from the stale journal.
+    inputs[0].source.push_str("\n// edited\n");
+    let resumed = engine(&dir, true).batch(inputs, 1);
+    assert_eq!(resumed.stats.resumed, 0, "stale journal must be discarded");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_journal_is_a_clean_cold_run() {
+    let dir = temp_dir("cold");
+    std::fs::create_dir_all(&dir).expect("dir");
+    let inputs = suite_inputs();
+    let batch = engine(&dir, true).batch(inputs, 1);
+    assert_eq!(batch.stats.resumed, 0);
+    assert_eq!(batch.stats.errors, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

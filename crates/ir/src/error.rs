@@ -11,9 +11,15 @@ pub enum RuntimeErrorKind {
     /// missing entry point).
     Fault,
     /// An [`crate::interp::ExecLimits`] bound was exhausted (instruction
-    /// budget, call depth, wall-clock deadline). The program may be fine —
-    /// it just did not finish within the allotted resources.
+    /// budget, call depth, wall-clock deadline, memory-cell budget). The
+    /// program may be fine — it just did not finish within the allotted
+    /// resources.
     Budget,
+    /// An external supervisor requested cooperative cancellation through
+    /// [`crate::interp::ExecControl`]. Says nothing about the program; the
+    /// host decided to stop waiting (e.g. a watchdog declared the run
+    /// stalled).
+    Cancelled,
 }
 
 /// An execution failure (bounds violation, budget exhaustion, bad entry).
@@ -38,10 +44,21 @@ impl RuntimeError {
         RuntimeError { line, message, kind: RuntimeErrorKind::Budget }
     }
 
+    /// Construct a cancellation error at `line`.
+    pub fn cancelled(line: u32, message: String) -> Self {
+        RuntimeError { line, message, kind: RuntimeErrorKind::Cancelled }
+    }
+
     /// `true` when the error is an exhausted execution budget rather than a
     /// program fault.
     pub fn is_budget(&self) -> bool {
         self.kind == RuntimeErrorKind::Budget
+    }
+
+    /// `true` when the error is a cooperative cancellation requested by the
+    /// host rather than anything the program did.
+    pub fn is_cancelled(&self) -> bool {
+        self.kind == RuntimeErrorKind::Cancelled
     }
 }
 

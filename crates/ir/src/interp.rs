@@ -38,6 +38,11 @@ pub struct ExecLimits {
     /// loop is cancelled within a few microseconds of the deadline.
     /// `None` disables the wall clock.
     pub timeout_ms: Option<u64>,
+    /// Total array-cell budget: the sum of all global array elements a
+    /// program may allocate. Checked *before* the backing store is reserved,
+    /// so a hostile `global a[huge];` becomes a structured budget error
+    /// instead of an out-of-memory abort.
+    pub max_mem_cells: u64,
 }
 
 /// The deadline is checked whenever `insts & DEADLINE_POLL_MASK == 0`:
@@ -51,8 +56,57 @@ impl Default for ExecLimits {
         // small enough that an accidental infinite `while` fails fast — and
         // a call-depth bound that stays inside a 2 MiB thread stack even in
         // unoptimized builds. No wall clock by default: batch drivers arm
-        // one explicitly.
-        ExecLimits { max_insts: 500_000_000, max_call_depth: 128, timeout_ms: None }
+        // one explicitly. 2^24 cells is 128 MiB of f64 backing store — two
+        // orders of magnitude above any suite model, far below what would
+        // distress the host.
+        ExecLimits {
+            max_insts: 500_000_000,
+            max_call_depth: 128,
+            timeout_ms: None,
+            max_mem_cells: 1 << 24,
+        }
+    }
+}
+
+/// Cooperative external control for an in-flight execution.
+///
+/// The interpreter publishes liveness by bumping `beats` at every deadline
+/// poll (see [`DEADLINE_POLL_MASK`]) and checks `cancel` at the same cadence;
+/// a supervisor that watches `beats` go stale can therefore stop a runaway
+/// run within a few thousand instructions by setting `cancel`, without any
+/// cooperation from the program under analysis.
+#[derive(Debug, Default)]
+pub struct ExecControl {
+    beats: std::sync::atomic::AtomicU64,
+    cancel: std::sync::atomic::AtomicBool,
+}
+
+impl ExecControl {
+    /// Fresh control block: zero beats, not cancelled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one liveness beat. Called by the interpreter; hosts may also
+    /// beat at coarser milestones (e.g. stage boundaries).
+    pub fn beat(&self) {
+        self.beats.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Monotone count of beats so far.
+    pub fn beats(&self) -> u64 {
+        self.beats.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Request cooperative cancellation. Idempotent; observed at the next
+    /// poll point.
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -90,6 +144,22 @@ pub fn run_function(
     obs: &mut dyn Observer,
     limits: ExecLimits,
 ) -> Result<ExecOutcome, RuntimeError> {
+    run_function_controlled(prog, func, args, obs, limits, None)
+}
+
+/// Run a specific function under optional external supervision.
+///
+/// When `ctl` is provided the interpreter beats it at every deadline poll
+/// and aborts with a [`RuntimeErrorKind::Cancelled`](crate::error::RuntimeErrorKind)
+/// error once `ctl.cancel_requested()` turns true.
+pub fn run_function_controlled(
+    prog: &IrProgram,
+    func: FuncId,
+    args: &[f64],
+    obs: &mut dyn Observer,
+    limits: ExecLimits,
+    ctl: Option<&ExecControl>,
+) -> Result<ExecOutcome, RuntimeError> {
     let f = &prog.functions[func];
     if args.len() != f.n_params {
         return Err(RuntimeError::new(
@@ -97,18 +167,38 @@ pub fn run_function(
             format!("`{}` expects {} argument(s), got {}", f.name, f.n_params, args.len()),
         ));
     }
-    let deadline = limits
-        .timeout_ms
-        .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    // The memory budget gates the *only* allocation proportional to program
+    // data: the global backing store. Checked arithmetic so that absurd
+    // totals (which can exceed u64) read as "over budget", never wrap.
+    let cells = prog
+        .globals
+        .iter()
+        .try_fold(0u64, |acc, g| acc.checked_add(g.len() as u64))
+        .filter(|&total| total <= limits.max_mem_cells);
+    let cells = match cells {
+        Some(c) => c,
+        None => {
+            return Err(RuntimeError::budget(
+                0,
+                format!(
+                    "memory budget of {} cells exceeded by global arrays",
+                    limits.max_mem_cells
+                ),
+            ));
+        }
+    };
     let mut interp = Interp {
         prog,
-        globals: vec![0.0; prog.global_elems()],
+        globals: vec![0.0; cells as usize],
         next_frame_base: FRAME_REGION_BASE,
         insts: 0,
         limits,
-        deadline,
+        deadline: limits
+            .timeout_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
         stack: Vec::new(),
         obs,
+        ctl,
     };
     let ret = interp.call(func, None, args)?;
     Ok(ExecOutcome { insts: interp.insts, return_value: ret })
@@ -150,7 +240,7 @@ struct Frame {
     locals: Vec<f64>,
 }
 
-struct Interp<'p, 'o> {
+struct Interp<'p, 'o, 'c> {
     prog: &'p IrProgram,
     globals: Vec<f64>,
     /// Next unused frame base address; monotonically increasing.
@@ -163,9 +253,11 @@ struct Interp<'p, 'o> {
     /// Call stack of function ids (for recursion detection).
     stack: Vec<FuncId>,
     obs: &'o mut dyn Observer,
+    /// Optional supervision hook: beat + cancel, polled with the deadline.
+    ctl: Option<&'c ExecControl>,
 }
 
-impl Interp<'_, '_> {
+impl Interp<'_, '_, '_> {
     fn line(&self, inst: InstId) -> u32 {
         self.prog.insts[inst as usize].line
     }
@@ -187,6 +279,15 @@ impl Interp<'_, '_> {
                             "wall-clock budget of {}ms exceeded",
                             self.limits.timeout_ms.unwrap_or(0)
                         ),
+                    ));
+                }
+            }
+            if let Some(ctl) = self.ctl {
+                ctl.beat();
+                if ctl.cancel_requested() {
+                    return Err(RuntimeError::cancelled(
+                        self.line(inst),
+                        "execution cancelled by supervisor".to_owned(),
                     ));
                 }
             }
@@ -660,6 +761,65 @@ mod tests {
         let ir = lower(&parse_checked("global a[2]; fn main() { a[5] = 1; }").unwrap());
         let err = run(&ir, &mut NullObserver).unwrap_err();
         assert!(!err.is_budget());
+    }
+
+    #[test]
+    fn hostile_global_allocation_is_a_budget_error() {
+        // 4e9 cells (32 GB of f64) passes parsing and sema but must never be
+        // allocated: the memory budget refuses it before the vec is reserved.
+        let ir = lower(&parse_checked("global a[4000000000]; fn main() { return 0; }").unwrap());
+        let err = run(&ir, &mut NullObserver).unwrap_err();
+        assert!(err.message.contains("memory budget"), "{err}");
+        assert!(err.is_budget());
+    }
+
+    #[test]
+    fn mem_cell_budget_is_tunable() {
+        let ir = lower(&parse_checked("global a[100]; fn main() { return a[0]; }").unwrap());
+        let tight = ExecLimits { max_mem_cells: 50, ..Default::default() };
+        assert!(run_with_limits(&ir, &mut NullObserver, tight).unwrap_err().is_budget());
+        let exact = ExecLimits { max_mem_cells: 100, ..Default::default() };
+        assert!(run_with_limits(&ir, &mut NullObserver, exact).is_ok());
+    }
+
+    #[test]
+    fn cancellation_stops_execution_and_beats_are_published() {
+        let src = "fn main() { let s = 0; for i in 0..100000 { s += i; } return s; }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let f = ir.entry.unwrap();
+        let ctl = ExecControl::new();
+        ctl.request_cancel();
+        let err = run_function_controlled(
+            &ir,
+            f,
+            &[],
+            &mut NullObserver,
+            ExecLimits::default(),
+            Some(&ctl),
+        )
+        .unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        assert!(!err.is_budget());
+        assert!(ctl.beats() > 0, "interpreter must beat at the poll point");
+    }
+
+    #[test]
+    fn uncancelled_control_does_not_disturb_results() {
+        let src = "fn main() { let s = 0; for i in 0..10000 { s += 1; } return s; }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let f = ir.entry.unwrap();
+        let ctl = ExecControl::new();
+        let out = run_function_controlled(
+            &ir,
+            f,
+            &[],
+            &mut NullObserver,
+            ExecLimits::default(),
+            Some(&ctl),
+        )
+        .unwrap();
+        assert_eq!(out.return_value, 10000.0);
+        assert!(ctl.beats() > 0);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod lower;
 
 pub use error::{RuntimeError, RuntimeErrorKind};
 pub use event::{AccessKind, MemAccess, Observer};
-pub use interp::{run, run_function, run_with_limits, ExecLimits, ExecOutcome};
+pub use interp::{
+    run, run_function, run_function_controlled, run_with_limits, ExecControl, ExecLimits,
+    ExecOutcome,
+};
 pub use ir::{ArrayId, FuncId, InstId, InstKind, IrProgram, LoopId};
 pub use lower::lower;
 

@@ -41,7 +41,9 @@ pub fn lower(program: &ast::Program) -> IrProgram {
             dims: g.dims.clone(),
             base_addr: next_addr,
         });
-        next_addr += g.len() as u64;
+        // Saturating: sema rejects programs whose totals reach the frame
+        // region, but lower must not wrap on unchecked hostile input either.
+        next_addr = next_addr.saturating_add(g.len() as u64);
     }
     assert!(next_addr < FRAME_REGION_BASE, "global arrays exceed the global address region");
 

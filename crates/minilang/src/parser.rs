@@ -38,12 +38,24 @@ use crate::token::{Token, TokenKind};
 /// result before lowering it.
 pub fn parse(src: &str) -> Result<Program, LangError> {
     let tokens = lex(src)?;
-    Parser { tokens, pos: 0 }.program()
+    Parser { tokens, pos: 0, depth: 0 }.program()
 }
+
+/// Maximum combined nesting depth of expressions and statements.
+///
+/// Each parenthesis/unary level costs two ticks (one in `expr`, one in
+/// `unary_expr`) and each nested statement one, so this admits ~64 levels of
+/// `((((…` and 127 nested blocks — far beyond any real program — while
+/// keeping the recursive descent inside a 2 MiB worker stack even in
+/// unoptimized builds (statement frames run to kilobytes there). Without the
+/// guard, hostile input like `((((…`×10k overflows the stack and aborts the
+/// whole process, bypassing `catch_unwind` isolation upstream.
+const MAX_NEST_DEPTH: u32 = 128;
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: u32,
 }
 
 impl Parser {
@@ -197,7 +209,33 @@ impl Parser {
         Ok(Block { stmts })
     }
 
+    /// Bump the nesting depth, failing with a diagnostic once the limit is
+    /// crossed. Every `enter` is paired with a `leave` on the success *and*
+    /// error paths (the counter is decremented before propagating `?`).
+    fn enter(&mut self) -> Result<(), LangError> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            Err(LangError::parse(
+                self.line(),
+                format!("nesting exceeds the maximum depth of {MAX_NEST_DEPTH}"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn stmt(&mut self) -> Result<Stmt, LangError> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, LangError> {
         let line = self.line();
         match self.peek_kind() {
             TokenKind::Let => {
@@ -294,7 +332,10 @@ impl Parser {
     }
 
     fn expr(&mut self) -> Result<Expr, LangError> {
-        self.or_expr()
+        self.enter()?;
+        let r = self.or_expr();
+        self.leave();
+        r
     }
 
     fn or_expr(&mut self) -> Result<Expr, LangError> {
@@ -370,6 +411,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.leave();
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, LangError> {
         match self.peek_kind() {
             TokenKind::Minus => {
                 let line = self.line();
@@ -598,6 +646,33 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn deep_paren_nesting_is_a_diagnostic_not_an_abort() {
+        let src = format!("fn f() {{ let x = {}1{}; }}", "(".repeat(10_000), ")".repeat(10_000));
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nesting"), "got {}", err.message);
+    }
+
+    #[test]
+    fn deep_unary_nesting_is_a_diagnostic_not_an_abort() {
+        let src = format!("fn f() {{ let x = {}1; }}", "-".repeat(10_000));
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nesting"), "got {}", err.message);
+    }
+
+    #[test]
+    fn deep_statement_nesting_is_a_diagnostic_not_an_abort() {
+        let src = format!("fn f() {{ {} }}", "if true { ".repeat(10_000));
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nesting"), "got {}", err.message);
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let src = format!("fn f() {{ let x = {}1{}; }}", "(".repeat(50), ")".repeat(50));
+        assert!(parse(&src).is_ok());
     }
 
     #[test]

@@ -51,12 +51,24 @@ pub fn check_all(program: &Program, require_main: bool) -> Vec<LangError> {
     let mut errors = Vec::new();
 
     let mut globals: HashMap<&str, &GlobalArray> = HashMap::new();
+    // Lowering assigns each global a base address below the frame region at
+    // 2^32; a corpus-supplied program whose arrays exceed that region must be
+    // rejected here as a diagnostic, not discovered as a panic downstream.
+    let mut total_cells = 0u64;
     for g in &program.globals {
         if g.dims.is_empty() || g.dims.len() > 2 {
             errors.push(LangError::sema(
                 g.line,
                 format!("array `{}` must have 1 or 2 dimensions", g.name),
             ));
+        }
+        total_cells = total_cells.saturating_add(g.len() as u64);
+        if total_cells >= (1u64 << 32) {
+            errors.push(LangError::sema(
+                g.line,
+                format!("global arrays exceed the addressable region at `{}` (2^32 cells)", g.name),
+            ));
+            total_cells = 0; // report once per offender, then keep counting
         }
         if is_builtin(&g.name) {
             errors.push(LangError::sema(

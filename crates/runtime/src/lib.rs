@@ -15,7 +15,9 @@
 //! - [`pool`] — a std-only work-stealing thread pool for `'static`
 //!   task loads;
 //! - [`sync`] — poison-recovering lock helpers so one panicking task can
-//!   never wedge the executors sharing a lock.
+//!   never wedge the executors sharing a lock;
+//! - [`heartbeat`] — watchdog supervision: jobs publish liveness beats, a
+//!   supervisor thread cancels (cooperatively) any job whose beats go stale.
 //!
 //! All executors are correctness-tested against their sequential
 //! equivalents; wall-clock speedups in this repository's experiments come
@@ -27,6 +29,7 @@
 
 pub mod chain;
 pub mod forkjoin;
+pub mod heartbeat;
 pub mod parfor;
 pub mod pipeline;
 pub mod pool;
@@ -35,6 +38,7 @@ pub mod sync;
 
 pub use chain::{run_chain, ChainStage};
 pub use forkjoin::{join, join4, run_task_graph, GraphTask};
+pub use heartbeat::{Supervised, WatchGuard, Watchdog, WatchdogConfig};
 pub use parfor::{parallel_for, parallel_for_chunks, parallel_for_slices};
 pub use pipeline::{run_two_stage, PipelineSpec, PrefixTracker};
 pub use pool::ThreadPool;

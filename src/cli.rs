@@ -19,7 +19,8 @@ USAGE:
                                                      full findings summary
     parpat suggest <file.ml> [--workers <n>] [--json]  ranked patterns + transformations
     parpat run <file.ml>                             execute the program, print stats
-    parpat batch <dir|apps> [--jobs <n>] [--cache-dir <d>] [--max-steps <n>] [--timeout-ms <ms>] [--json]
+    parpat batch <dir|apps> [--jobs <n>] [--cache-dir <d>] [--max-steps <n>] [--timeout-ms <ms>]
+                 [--max-mem-cells <n>] [--retries <n>] [--resume] [--json]
                                                      analyze every .ml file of a directory (or the
                                                      bundled apps) in parallel with artifact caching
     parpat stats [--cache-dir <d>] [--json]          per-stage stats persisted by the last batch
@@ -34,12 +35,19 @@ Batch runs default to the `.parpat-cache` cache directory (pass
 `--cache-dir none` for a purely in-memory cache); a warm second run skips
 every unchanged stage and says so in the stats.
 
-`--max-steps` and `--timeout-ms` bound every profiled run (dynamic IR
-instructions / wall-clock milliseconds). A program that exceeds a budget —
-or whose dynamic stages fail for any other reason — is reported as
-*degraded* with its static results (loops with their dependence verdicts,
-CU graph, statically proven do-all candidates) instead of failing the
-whole batch.
+`--max-steps`, `--timeout-ms`, and `--max-mem-cells` bound every profiled
+run (dynamic IR instructions / wall-clock milliseconds / allocated memory
+cells). A program that exceeds a budget — or whose dynamic stages fail for
+any other reason — is reported as *degraded* with its static results
+(loops with their dependence verdicts, CU graph, statically proven do-all
+candidates) instead of failing the whole batch.
+
+Batch runs journal every completed program to `journal.wal` in the cache
+directory; after a crash or kill, `--resume` restores the completed
+prefix from the journal and re-analyzes only the rest. `--retries <n>`
+re-runs transiently failed programs (e.g. corrupted cache records) up to
+n times with exponential backoff; a watchdog cancels and requeues stalled
+jobs once.
 
 The input is a MiniLang program (see README / crates/minilang). The bundled
 benchmarks are the paper's 17 evaluation applications plus the two
@@ -209,11 +217,27 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 None => std::thread::available_parallelism().map_or(1, |n| n.get()),
             };
             let limits = exec_limits_opts(&opts)?;
+            let retries = match opt_value(&opts, "--retries")? {
+                Some(v) => v
+                    .parse::<u32>()
+                    .map_err(|_| format!("--retries must be a non-negative integer, got `{v}`"))?,
+                None => 0,
+            };
+            let resume = opts.iter().any(|o| o == "--resume");
+            let cache_dir = cache_dir_opt(&opts)?;
+            if resume && cache_dir.is_none() {
+                return Err("--resume needs a cache directory (the journal lives there); \
+                     drop `--cache-dir none`"
+                    .to_owned());
+            }
             let inputs = batch_inputs(&target)?;
             let engine = std::sync::Arc::new(
                 parpat_engine::Engine::new(parpat_engine::EngineConfig {
-                    cache_dir: cache_dir_opt(&opts)?,
+                    cache_dir,
                     analysis: AnalysisConfig { limits, ..Default::default() },
+                    retries,
+                    resume,
+                    watchdog: Some(parpat_runtime::WatchdogConfig::default()),
                     ..Default::default()
                 })
                 .map_err(|e| format!("cannot set up cache directory: {e}"))?,
@@ -297,6 +321,12 @@ fn exec_limits_opts(opts: &[String]) -> Result<parpat_ir::ExecLimits, String> {
         match v.parse::<u64>() {
             Ok(n) if n >= 1 => limits.timeout_ms = Some(n),
             _ => return Err(format!("--timeout-ms must be a positive integer, got `{v}`")),
+        }
+    }
+    if let Some(v) = opt_value(opts, "--max-mem-cells")? {
+        match v.parse::<u64>() {
+            Ok(n) if n >= 1 => limits.max_mem_cells = n,
+            _ => return Err(format!("--max-mem-cells must be a positive integer, got `{v}`")),
         }
     }
     Ok(limits)
@@ -715,7 +745,7 @@ fn main() {
     fn budget_flags_are_validated_like_hotspot() {
         let path = write_temp("lim.ml", REDUCTION_SRC);
         let (dir, _) = batch_dir();
-        for flag in ["--max-steps", "--timeout-ms"] {
+        for flag in ["--max-steps", "--timeout-ms", "--max-mem-cells"] {
             for bad in ["0", "-3", "zap", "1.5"] {
                 let err = run(&args(&["analyze", &path, flag, bad])).unwrap_err();
                 assert!(err.contains("positive integer"), "`analyze {flag} {bad}` gave: {err}");
@@ -726,6 +756,61 @@ fn main() {
         }
         assert!(run(&args(&["analyze", &path, "--max-steps", "100000", "--timeout-ms", "5000"]))
             .is_ok());
+    }
+
+    #[test]
+    fn retries_flag_is_validated_and_accepted() {
+        let (dir, _) = batch_dir();
+        for bad in ["-1", "zap", "1.5"] {
+            let err =
+                run(&args(&["batch", &dir, "--cache-dir", "none", "--retries", bad])).unwrap_err();
+            assert!(err.contains("--retries"), "`{bad}` gave: {err}");
+        }
+        let out = run(&args(&["batch", &dir, "--cache-dir", "none", "--retries", "2"])).unwrap();
+        assert!(out.contains("0 retries"), "{out}");
+    }
+
+    #[test]
+    fn resume_requires_a_cache_directory() {
+        let (dir, _) = batch_dir();
+        let err = run(&args(&["batch", &dir, "--cache-dir", "none", "--resume"])).unwrap_err();
+        assert!(err.contains("--resume needs a cache directory"), "{err}");
+    }
+
+    #[test]
+    fn resume_restores_completed_programs_from_the_journal() {
+        let dir = std::env::temp_dir().join(format!("parpat-cli-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("red.ml"), REDUCTION_SRC).expect("write");
+        let cache = dir.join("cache").to_string_lossy().into_owned();
+        let dir = dir.to_string_lossy().into_owned();
+
+        let cold = run(&args(&["batch", &dir, "--cache-dir", &cache])).unwrap();
+        assert!(cold.contains("0 resumed from journal"), "{cold}");
+        let resumed = run(&args(&["batch", &dir, "--cache-dir", &cache, "--resume"])).unwrap();
+        assert!(resumed.contains("1 resumed from journal"), "{resumed}");
+        // The stats survive for `parpat stats` like any other counter.
+        let stats = run(&args(&["stats", "--cache-dir", &cache])).unwrap();
+        assert!(stats.contains("1 resumed from journal"), "{stats}");
+    }
+
+    #[test]
+    fn memory_budget_overruns_degrade_with_a_diagnostic() {
+        let dir = std::env::temp_dir().join(format!("parpat-cli-mem-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            dir.join("huge.ml"),
+            "global big[20000000];\nfn main() {\n    for i in 0..64 { big[i] = i; }\n}",
+        )
+        .expect("write");
+        let dir = dir.to_string_lossy().into_owned();
+
+        let out =
+            run(&args(&["batch", &dir, "--cache-dir", "none", "--max-mem-cells", "1000"])).unwrap();
+        assert!(out.contains("degraded"), "{out}");
+        assert!(out.contains("budget exceeded"), "{out}");
     }
 
     #[test]
