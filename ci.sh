@@ -20,3 +20,9 @@ cargo test -q -p parpat-minilang --test fuzz
 # Static diagnostics are byte-stable over the bundled suite: the release
 # binary must reproduce the checked-in golden snapshot exactly.
 ./target/release/parpat lint apps --json | diff tests/golden/lint_apps.json -
+# The IR verifier must hold over every bundled app (any V-code exits 1).
+./target/release/parpat verify apps
+# The shrinker is deterministic: the seeded miscompile fixture must reduce
+# to the checked-in golden reproducer byte-for-byte.
+./target/release/parpat shrink tests/fixtures/miscompile_seed.ml --inject swap-add-sub \
+    | diff tests/golden/shrink_miscompile.txt -

@@ -122,6 +122,11 @@ pub struct ProfiledRun {
     pub pet: Pet,
     /// Total dynamic IR instructions the run executed.
     pub insts: u64,
+    /// `main`'s return value.
+    pub return_value: f64,
+    /// Final global-array state, flattened in declaration order — compared
+    /// against the reference evaluator by the differential oracle.
+    pub globals: Vec<f64>,
 }
 
 /// Stage entry point: execute the program once, feeding both the dependence
@@ -143,14 +148,16 @@ pub fn profile_ir_controlled(
         .ok_or_else(|| RuntimeError::new(0, "program has no `main` function".to_owned()))?;
     let mut profiler = DependenceProfiler::new(ir);
     let mut pet_builder = PetBuilder::new();
-    let outcome = {
+    let capture = {
         let mut tee = Tee::new(&mut profiler, &mut pet_builder);
-        parpat_ir::run_function_controlled(ir, entry, &[], &mut tee, limits, ctl)?
+        parpat_ir::run_function_captured(ir, entry, &[], &mut tee, limits, ctl)?
     };
     Ok(ProfiledRun {
         profile: profiler.into_data(),
         pet: pet_builder.into_pet(),
-        insts: outcome.insts,
+        insts: capture.outcome.insts,
+        return_value: capture.outcome.return_value,
+        globals: capture.globals,
     })
 }
 

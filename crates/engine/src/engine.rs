@@ -98,6 +98,12 @@ pub struct EngineConfig {
     /// journal record are restored instead of re-analyzed. Requires a
     /// cache directory; a missing or mismatching journal starts fresh.
     pub resume: bool,
+    /// Validate the dependence event stream with the trace sanitizer
+    /// before detection; a rejected trace fails the program with
+    /// [`ErrorKind::Miscompile`]. The IR verifier and the differential
+    /// oracle are always on — this knob only gates the sanitizer, which
+    /// re-walks the whole distilled profile.
+    pub sanitize: bool,
 }
 
 impl Default for EngineConfig {
@@ -112,9 +118,16 @@ impl Default for EngineConfig {
             backoff_base_ms: 25,
             watchdog: None,
             resume: false,
+            sanitize: false,
         }
     }
 }
+
+/// Detail prefix that distinguishes a trace-sanitizer rejection from an
+/// oracle-detected miscompile — both carry [`ErrorKind::Miscompile`], and
+/// the batch counters split them on this prefix (which survives journal
+/// round-trips, so resumed batches report identical numbers).
+pub const SANITIZER_REJECT_PREFIX: &str = "trace sanitizer: ";
 
 /// One program to analyze.
 #[derive(Debug, Clone)]
@@ -214,6 +227,9 @@ struct BatchCounters {
     static_doall: AtomicU64,
     input_sensitive: AtomicU64,
     consistency_errors: AtomicU64,
+    verified: AtomicU64,
+    sanitizer_rejects: AtomicU64,
+    miscompiles: AtomicU64,
 }
 
 impl BatchCounters {
@@ -232,8 +248,25 @@ impl BatchCounters {
                 ErrorKind::Budget => {
                     self.budget_exceeded.fetch_add(1, Ordering::Relaxed);
                 }
+                ErrorKind::Miscompile => {
+                    if err.detail.starts_with(SANITIZER_REJECT_PREFIX) {
+                        self.sanitizer_rejects.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.miscompiles.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 _ => {}
             }
+        }
+        // The IR verifier runs at the lower stage; any outcome that got
+        // past it — a full or degraded report, or a failure in a later
+        // stage — means this program's IR passed structural verification.
+        let past_lower = match outcome {
+            AnalysisOutcome::Ok(_) | AnalysisOutcome::Degraded(_) => true,
+            AnalysisOutcome::Err(e) => e.stage.index() > Stage::Lower.index(),
+        };
+        if past_lower {
+            self.verified.fetch_add(1, Ordering::Relaxed);
         }
         match outcome {
             AnalysisOutcome::Ok(r) => {
@@ -282,6 +315,7 @@ pub struct Engine {
     retries: u32,
     backoff_base_ms: u64,
     resume: bool,
+    sanitize: bool,
     watchdog: Option<Watchdog>,
     /// Injectable clock for backoff sleeps; `None` means real
     /// `thread::sleep`.
@@ -306,6 +340,7 @@ impl Engine {
             retries: cfg.retries,
             backoff_base_ms: cfg.backoff_base_ms,
             resume: cfg.resume,
+            sanitize: cfg.sanitize,
             watchdog: cfg.watchdog.map(Watchdog::spawn),
             sleeper: Mutex::new(None),
             pool: Mutex::new(None),
@@ -460,6 +495,7 @@ impl Engine {
         h.write_u64(self.cfg.min_pipeline_pairs as u64);
         h.write_f64(self.cfg.fusion_eps);
         h.write_f64(self.rank_workers);
+        h.write_u64(self.sanitize as u64);
         h.finish()
     }
 
@@ -578,6 +614,9 @@ impl Engine {
             static_proven_doall: counters.static_doall.load(Ordering::Relaxed),
             input_sensitive: counters.input_sensitive.load(Ordering::Relaxed),
             consistency_errors: counters.consistency_errors.load(Ordering::Relaxed),
+            verified: counters.verified.load(Ordering::Relaxed),
+            sanitizer_rejects: counters.sanitizer_rejects.load(Ordering::Relaxed),
+            miscompiles: counters.miscompiles.load(Ordering::Relaxed),
             jobs,
             wall,
             cache: CacheStats {
@@ -766,6 +805,12 @@ impl<'e> ProgRun<'e> {
         if !reason.stage.is_dynamic() {
             return None;
         }
+        if reason.kind == ErrorKind::Miscompile {
+            // The verification subsystem caught the pipeline lying about
+            // this program — the static artifacts came from the same
+            // lowering and are equally untrustworthy. No degraded report.
+            return None;
+        }
         let ir = self.ir().ok()?;
         let cus = self.cus().ok()?;
         let statics = self.statics().ok()?;
@@ -836,7 +881,38 @@ impl<'e> ProgRun<'e> {
         let ast = self.ast()?;
         let k = key("lower", &[self.ast_d.expect("ast resolved")]);
         let d = key("ir", &[self.ast_d.expect("ast resolved")]);
-        let ir = Arc::new(self.execute(Stage::Lower, |_| parpat_ir::lower(&ast))?);
+        // Peek at the plan list directly: `fault_for` trip-counts, and this
+        // probe must not consume trips of a Transient/Stall plan armed at
+        // the lower stage.
+        let miscompile_armed = self.eng.faults.iter().any(|p| {
+            p.stage == Stage::Lower && p.input == self.index && p.mode == FaultMode::Miscompile
+        });
+        let ir = Arc::new(self.execute(Stage::Lower, |_| {
+            let mut ir = parpat_ir::lower(&ast);
+            if miscompile_armed {
+                // Seeded miscompile: structurally valid, semantically
+                // wrong. The verifier below must NOT catch it — the
+                // differential oracle does, at the profile stage.
+                parpat_ir::corrupt(&mut ir, parpat_ir::Corruption::SwapAddSub);
+            }
+            ir
+        })?);
+        // The IR verifier runs on every lowering, cached or injected: a
+        // structurally broken IR never reaches the detectors, it becomes a
+        // structured miscompile error instead of a downstream panic.
+        let violations = parpat_ir::verify_against(&ir, &ast);
+        if !violations.is_empty() {
+            let shown: Vec<String> = violations.iter().take(3).map(|v| v.to_string()).collect();
+            return Err(EngineError::new(
+                Stage::Lower,
+                ErrorKind::Miscompile,
+                format!(
+                    "IR verifier found {} violation(s): {}",
+                    violations.len(),
+                    shown.join("; ")
+                ),
+            ));
+        }
         self.eng.cache.insert(k, d, Artifact::Ir(Arc::clone(&ir)), None);
         self.ir = Some(ir);
         self.ir_d = Some(d);
@@ -971,6 +1047,7 @@ impl<'e> ProgRun<'e> {
 
     fn run_profile(&mut self) -> Result<(), EngineError> {
         let ir = self.ir()?;
+        let ast = self.ast()?;
         let k = self.key_profile(self.ir_d.expect("ir resolved"));
         let d = key("profile.out", &[k]);
         let run = self
@@ -979,12 +1056,73 @@ impl<'e> ProgRun<'e> {
             })?
             .map_err(|e| EngineError::from_analyze(Stage::Profile, &e))?;
         self.insts_executed += run.insts;
+        self.oracle_check(&ast, &run)?;
+        if self.eng.sanitize {
+            let rejects = parpat_profile::sanitize_profile(&ir, &run.profile);
+            if !rejects.is_empty() {
+                let shown: Vec<&str> = rejects.iter().take(3).map(String::as_str).collect();
+                return Err(EngineError::new(
+                    Stage::Profile,
+                    ErrorKind::Miscompile,
+                    format!(
+                        "{SANITIZER_REJECT_PREFIX}{} violation(s) in the dependence stream: {}",
+                        rejects.len(),
+                        shown.join("; ")
+                    ),
+                ));
+            }
+        }
         let insts = run.insts;
         let run = Arc::new(run);
         self.eng.cache.insert(k, d, Artifact::Profile(Arc::clone(&run)), Some(insts));
         self.prof = Some(run);
         self.prof_d = Some(d);
         Ok(())
+    }
+
+    /// Differential oracle: replay the program through the independent
+    /// AST-walking reference evaluator and compare the final return value
+    /// and global-array state against the instrumented interpreter's. A
+    /// divergence is a miscompile somewhere in lowering or interpretation.
+    /// An oracle *budget* exhaustion is inconclusive and skips the check
+    /// (the reference evaluator counts steps differently, so its budget
+    /// can run out on programs the interpreter finishes).
+    fn oracle_check(
+        &self,
+        ast: &Program,
+        run: &parpat_core::ProfiledRun,
+    ) -> Result<(), EngineError> {
+        let limits = self.eng.cfg.limits;
+        let eval_limits = parpat_minilang::EvalLimits {
+            // The oracle counts AST nodes, the interpreter IR instructions;
+            // a generous multiple keeps valid programs from tripping the
+            // oracle budget before the interpreter's own ceiling would.
+            max_steps: limits.max_insts.saturating_mul(4),
+            max_call_depth: limits.max_call_depth,
+        };
+        match parpat_minilang::evaluate_with_limits(ast, eval_limits) {
+            Ok(oracle) => {
+                if let Some(report) =
+                    parpat_minilang::divergence(ast, &oracle, run.return_value, &run.globals)
+                {
+                    return Err(EngineError::new(
+                        Stage::Profile,
+                        ErrorKind::Miscompile,
+                        format!("differential oracle: {report}"),
+                    ));
+                }
+                Ok(())
+            }
+            Err(e) if e.is_budget() => Ok(()),
+            Err(e) => Err(EngineError::new(
+                Stage::Profile,
+                ErrorKind::Miscompile,
+                format!(
+                    "differential oracle: reference evaluation faulted ({e}) where the \
+                     interpreter succeeded"
+                ),
+            )),
+        }
     }
 
     fn prof_digest(&mut self) -> Result<u64, EngineError> {
@@ -1146,5 +1284,57 @@ impl<'e> ProgRun<'e> {
             },
             _ => self.run_rank(k),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    /// The miscompile accounting split: a plain miscompile error counts in
+    /// `miscompiles`, while one whose detail carries the sanitizer prefix
+    /// counts in `sanitizer_rejects` — and neither counts as `verified`
+    /// unless it got past the lower stage.
+    #[test]
+    fn account_splits_sanitizer_rejects_from_miscompiles() {
+        let counters = BatchCounters::default();
+        let oracle = AnalysisOutcome::Err(EngineError::new(
+            Stage::Profile,
+            ErrorKind::Miscompile,
+            "differential oracle: return value diverges",
+        ));
+        let sanitizer = AnalysisOutcome::Err(EngineError::new(
+            Stage::Profile,
+            ErrorKind::Miscompile,
+            format!("{SANITIZER_REJECT_PREFIX}2 violation(s) in the dependence stream"),
+        ));
+        let verifier = AnalysisOutcome::Err(EngineError::new(
+            Stage::Lower,
+            ErrorKind::Miscompile,
+            "IR verifier found 1 violation(s): ...",
+        ));
+        counters.account(&oracle);
+        counters.account(&sanitizer);
+        counters.account(&verifier);
+        assert_eq!(counters.miscompiles.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.sanitizer_rejects.load(Ordering::Relaxed), 1);
+        // The oracle and sanitizer failures got past the verifier; the
+        // verifier failure did not.
+        assert_eq!(counters.verified.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.errors.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn run_digest_depends_on_the_sanitize_knob() {
+        let plain = Engine::new(EngineConfig::default()).unwrap();
+        let sanitizing =
+            Engine::new(EngineConfig { sanitize: true, ..Default::default() }).unwrap();
+        assert_ne!(
+            plain.run_digest(&[]),
+            sanitizing.run_digest(&[]),
+            "toggling the sanitizer must change the resume identity of a batch"
+        );
     }
 }

@@ -31,17 +31,26 @@ pub enum ErrorKind {
     /// The watchdog declared the job stale and cancelled it cooperatively;
     /// the batch scheduler requeues the job once before giving up.
     Stalled,
+    /// The verification subsystem rejected the pipeline's own artifacts:
+    /// the IR verifier found structural violations after lowering, the
+    /// differential oracle observed the interpreter diverging from the
+    /// reference evaluator, or the trace sanitizer rejected the dependence
+    /// stream. Unlike every other kind, the fault is in the *toolchain*,
+    /// not the program — so no degraded report is emitted (the static
+    /// artifacts are equally untrustworthy).
+    Miscompile,
 }
 
 impl ErrorKind {
     /// Every kind, for name round-tripping.
-    pub const ALL: [ErrorKind; 6] = [
+    pub const ALL: [ErrorKind; 7] = [
         ErrorKind::Lang,
         ErrorKind::Runtime,
         ErrorKind::Panic,
         ErrorKind::Budget,
         ErrorKind::CacheCorrupt,
         ErrorKind::Stalled,
+        ErrorKind::Miscompile,
     ];
 
     /// Stable lowercase name (used in JSON and stats).
@@ -53,6 +62,7 @@ impl ErrorKind {
             ErrorKind::Budget => "budget",
             ErrorKind::CacheCorrupt => "cache-corrupt",
             ErrorKind::Stalled => "stalled",
+            ErrorKind::Miscompile => "miscompile",
         }
     }
 
@@ -80,6 +90,7 @@ impl ErrorKind {
             ErrorKind::Budget => "budget exceeded",
             ErrorKind::CacheCorrupt => "cache corruption",
             ErrorKind::Stalled => "stall",
+            ErrorKind::Miscompile => "miscompile",
         }
     }
 }

@@ -33,6 +33,13 @@ pub enum FaultMode {
     /// failure class — for the first `k` trips, then completes normally.
     /// `Transient(2)` with `retries >= 2` succeeds on the third attempt.
     Transient(u32),
+    /// Armed at [`Stage::Lower`]: the stage completes, then the lowered IR
+    /// is corrupted with `parpat_ir::corrupt(SwapAddSub)` — a structurally
+    /// valid but semantically wrong program. The IR verifier cannot see
+    /// it; only the differential oracle catches it, at the profile stage,
+    /// as an [`ErrorKind::Miscompile`]. Exercises the verification
+    /// subsystem end to end.
+    Miscompile,
 }
 
 /// One injected fault, armed for a single (stage, batch-index) slot.

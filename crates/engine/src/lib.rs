@@ -62,7 +62,10 @@ pub mod stats;
 pub mod xval;
 
 pub use cache::{Artifact, Cache, DiskRecord, Lookup};
-pub use engine::{AnalysisOutcome, BatchInput, BatchReport, Engine, EngineConfig, ProgramOutcome};
+pub use engine::{
+    AnalysisOutcome, BatchInput, BatchReport, Engine, EngineConfig, ProgramOutcome,
+    SANITIZER_REJECT_PREFIX,
+};
 pub use error::{EngineError, ErrorKind};
 pub use fault::{xorshift64, FaultMode, FaultPlan};
 pub use journal::{journal_path, Journal, JournalEntry, StoredOutcome};

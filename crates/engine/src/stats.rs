@@ -106,6 +106,14 @@ pub struct EngineStats {
     /// Loops statically proven independent yet dynamically dependent —
     /// internal consistency errors.
     pub consistency_errors: u64,
+    /// Programs whose lowered IR passed the structural verifier.
+    pub verified: u64,
+    /// Programs whose dependence stream the trace sanitizer rejected
+    /// (`--sanitize`).
+    pub sanitizer_rejects: u64,
+    /// Programs where the IR verifier or the differential oracle caught
+    /// the pipeline producing wrong artifacts.
+    pub miscompiles: u64,
     /// Worker threads the batch ran on.
     pub jobs: u64,
     /// End-to-end batch wall time.
@@ -157,6 +165,10 @@ impl EngineStats {
             self.static_proven_doall, self.input_sensitive, self.consistency_errors
         ));
         out.push_str(&format!(
+            "verification: {} verified, {} sanitizer reject(s), {} miscompile(s)\n",
+            self.verified, self.sanitizer_rejects, self.miscompiles
+        ));
+        out.push_str(&format!(
             "stage      {:>9} {:>9} {:>9} {:>12} {:>14}\n",
             "executed", "hits", "misses", "wall", "insts"
         ));
@@ -202,7 +214,7 @@ impl EngineStats {
             ));
         }
         format!(
-            "{{\"programs\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
+            "{{\"programs\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"verified\": {}, \"sanitizer_rejects\": {}, \"miscompiles\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
             self.programs,
             self.errors,
             self.degraded,
@@ -214,6 +226,9 @@ impl EngineStats {
             self.static_proven_doall,
             self.input_sensitive,
             self.consistency_errors,
+            self.verified,
+            self.sanitizer_rejects,
+            self.miscompiles,
             self.jobs,
             self.wall.as_nanos(),
             stages,
@@ -296,6 +311,9 @@ mod tests {
             static_proven_doall: 21,
             input_sensitive: 4,
             consistency_errors: 5,
+            verified: 16,
+            sanitizer_rejects: 2,
+            miscompiles: 1,
             jobs: 8,
             wall: Duration::from_millis(40),
             cache: CacheStats { hits: 17, misses: 17, evictions: 2, mem_entries: 32, recovered: 3 },
@@ -315,6 +333,7 @@ mod tests {
         assert!(
             text.contains("21 proven-do-all loop(s), 4 input-sensitive, 5 consistency error(s)")
         );
+        assert!(text.contains("16 verified, 2 sanitizer reject(s), 1 miscompile(s)"));
     }
 
     #[test]
@@ -333,6 +352,9 @@ mod tests {
         assert!(json.contains("\"static_proven_doall\": 21"));
         assert!(json.contains("\"input_sensitive\": 4"));
         assert!(json.contains("\"consistency_errors\": 5"));
+        assert!(json.contains("\"verified\": 16"));
+        assert!(json.contains("\"sanitizer_rejects\": 2"));
+        assert!(json.contains("\"miscompiles\": 1"));
         assert!(json.contains("\"recovered\": 3"));
     }
 
@@ -358,6 +380,9 @@ mod tests {
             static_proven_doall: 0,
             input_sensitive: 0,
             consistency_errors: 0,
+            verified: 0,
+            sanitizer_rejects: 0,
+            miscompiles: 0,
             jobs: 1,
             wall: Duration::ZERO,
             cache: CacheStats::default(),

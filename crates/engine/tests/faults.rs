@@ -77,7 +77,9 @@ fn every_stage_and_mode_completes_the_batch_under_both_job_counts() {
                 match mode {
                     FaultMode::Fail(kind) => assert_eq!(err.kind, kind),
                     FaultMode::Panic => assert_eq!(err.kind, ErrorKind::Panic),
-                    FaultMode::Stall(_) | FaultMode::Transient(_) => unreachable!(),
+                    FaultMode::Stall(_) | FaultMode::Transient(_) | FaultMode::Miscompile => {
+                        unreachable!()
+                    }
                 }
                 // ...degrading to static results exactly when the failure
                 // is confined to the dynamic stages.

@@ -5,6 +5,8 @@
 //!
 //! - all numbers are `f64`; array indices are truncated toward zero and
 //!   bounds-checked;
+//! - division and modulo by zero are structured runtime errors rather than
+//!   silent `inf`/`NaN` — poisoned values must not reach the detectors;
 //! - `for` bounds are evaluated once on loop entry; the induction variable
 //!   is written by the loop machinery without memory events;
 //! - `&&` / `||` short-circuit;
@@ -119,6 +121,20 @@ pub struct ExecOutcome {
     pub return_value: f64,
 }
 
+/// Result of a completed execution including the final observable memory
+/// state — what the differential oracle compares against the reference
+/// evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecCapture {
+    /// Instruction count and return value.
+    pub outcome: ExecOutcome,
+    /// Final contents of the global-array backing store. Arrays are laid
+    /// out at their `base_addr` offsets, i.e. in declaration order, so the
+    /// vector is directly comparable with any evaluator that flattens
+    /// arrays in declaration order.
+    pub globals: Vec<f64>,
+}
+
 /// Run the program's `main` with the default limits.
 pub fn run(prog: &IrProgram, obs: &mut dyn Observer) -> Result<ExecOutcome, RuntimeError> {
     run_with_limits(prog, obs, ExecLimits::default())
@@ -160,6 +176,19 @@ pub fn run_function_controlled(
     limits: ExecLimits,
     ctl: Option<&ExecControl>,
 ) -> Result<ExecOutcome, RuntimeError> {
+    run_function_captured(prog, func, args, obs, limits, ctl).map(|c| c.outcome)
+}
+
+/// Like [`run_function_controlled`], but additionally returns the final
+/// global-array state ([`ExecCapture`]).
+pub fn run_function_captured(
+    prog: &IrProgram,
+    func: FuncId,
+    args: &[f64],
+    obs: &mut dyn Observer,
+    limits: ExecLimits,
+    ctl: Option<&ExecControl>,
+) -> Result<ExecCapture, RuntimeError> {
     let f = &prog.functions[func];
     if args.len() != f.n_params {
         return Err(RuntimeError::new(
@@ -201,7 +230,10 @@ pub fn run_function_controlled(
         ctl,
     };
     let ret = interp.call(func, None, args)?;
-    Ok(ExecOutcome { insts: interp.insts, return_value: ret })
+    Ok(ExecCapture {
+        outcome: ExecOutcome { insts: interp.insts, return_value: ret },
+        globals: interp.globals,
+    })
 }
 
 /// A runtime value. Sema guarantees well-typed programs; mismatches are
@@ -612,7 +644,16 @@ impl Interp<'_, '_, '_> {
                     BinOp::Add => Value::Num(l + r),
                     BinOp::Sub => Value::Num(l - r),
                     BinOp::Mul => Value::Num(l * r),
+                    // A zero divisor is a structured fault, not a silent
+                    // infinity/NaN: downstream analyses would otherwise
+                    // propagate poisoned values into pattern reports.
+                    BinOp::Div if r == 0.0 => {
+                        return Err(RuntimeError::new(line, "division by zero".into()));
+                    }
                     BinOp::Div => Value::Num(l / r),
+                    BinOp::Rem if r == 0.0 => {
+                        return Err(RuntimeError::new(line, "modulo by zero".into()));
+                    }
                     BinOp::Rem => Value::Num(l.rem_euclid(r)),
                     BinOp::Eq => Value::Bool(l == r),
                     BinOp::Ne => Value::Bool(l != r),
@@ -947,6 +988,51 @@ mod tests {
         let access = param_store.expect("param store event");
         assert!(matches!(&ir.insts[access.inst as usize].kind, InstKind::Call(n) if n == "f"));
         assert_eq!(access.line, 2);
+    }
+
+    #[test]
+    fn division_by_zero_is_a_structured_error() {
+        let ir = lower(&parse_checked("fn main() { return 1 / 0; }").unwrap());
+        let err = run(&ir, &mut NullObserver).unwrap_err();
+        assert!(err.message.contains("division by zero"), "{err}");
+        assert!(!err.is_budget());
+    }
+
+    #[test]
+    fn modulo_by_zero_is_a_structured_error() {
+        let ir = lower(&parse_checked("fn main() { return 7 % (1 - 1); }").unwrap());
+        let err = run(&ir, &mut NullObserver).unwrap_err();
+        assert!(err.message.contains("modulo by zero"), "{err}");
+        assert!(!err.is_budget());
+    }
+
+    #[test]
+    fn negative_array_index_is_a_structured_error() {
+        let ir = lower(&parse_checked("global a[2]; fn main() { a[0 - 1] = 1; }").unwrap());
+        let err = run(&ir, &mut NullObserver).unwrap_err();
+        assert!(err.message.contains("out of bounds"), "{err}");
+        assert!(!err.is_budget());
+    }
+
+    #[test]
+    fn shift_operator_is_a_front_end_error_not_a_panic() {
+        // MiniLang has no shift operators, so a shift count ≥ 64 can never
+        // reach the interpreter: `<<` must surface as a structured language
+        // error from the front end, never a panic or a silent lowering.
+        let result = std::panic::catch_unwind(|| crate::compile("fn main() { return 1 << 64; }"));
+        assert!(result.expect("front end must not panic").is_err());
+    }
+
+    #[test]
+    fn captured_run_returns_final_global_state() {
+        let src = "global a[3]; global b[2]; fn main() { a[1] = 5; b[0] = 7; return 1; }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let f = ir.entry.unwrap();
+        let cap =
+            run_function_captured(&ir, f, &[], &mut NullObserver, ExecLimits::default(), None)
+                .unwrap();
+        assert_eq!(cap.outcome.return_value, 1.0);
+        assert_eq!(cap.globals, vec![0.0, 5.0, 0.0, 7.0, 0.0]);
     }
 
     #[test]

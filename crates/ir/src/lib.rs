@@ -39,15 +39,19 @@ pub mod event;
 pub mod interp;
 pub mod ir;
 pub mod lower;
+pub mod mutate;
+pub mod verify;
 
 pub use error::{RuntimeError, RuntimeErrorKind};
 pub use event::{AccessKind, MemAccess, Observer};
 pub use interp::{
-    run, run_function, run_function_controlled, run_with_limits, ExecControl, ExecLimits,
-    ExecOutcome,
+    run, run_function, run_function_captured, run_function_controlled, run_with_limits,
+    ExecCapture, ExecControl, ExecLimits, ExecOutcome,
 };
 pub use ir::{ArrayId, FuncId, InstId, InstKind, IrProgram, LoopId};
 pub use lower::lower;
+pub use mutate::{corrupt, Corruption};
+pub use verify::{verify, verify_against, Violation, ViolationKind};
 
 /// Convenience: parse, check, and lower MiniLang source in one call.
 pub fn compile(src: &str) -> Result<IrProgram, parpat_minilang::LangError> {

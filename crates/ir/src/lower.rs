@@ -229,8 +229,15 @@ impl LowerCtx {
                     .unwrap_or_else(|| panic!("lowering invariant: unresolved array `{array}`"));
                 let lowered_indices: Vec<IrExpr> =
                     indices.iter().map(|ix| self.expr(fcx, ix)).collect();
-                let reload_indices: Vec<IrExpr> =
-                    indices.iter().map(|ix| self.expr(fcx, ix)).collect();
+                // The reload of the old value exists only for compound
+                // operators; lowering its indices eagerly for plain `=`
+                // would orphan their instruction ids (the verifier checks
+                // that every allocated id appears in the tree exactly once).
+                let reload_indices: Vec<IrExpr> = if op == AssignOp::Set {
+                    Vec::new()
+                } else {
+                    indices.iter().map(|ix| self.expr(fcx, ix)).collect()
+                };
                 let array_name = array.clone();
                 let value = self.desugar_compound(op, rhs, line, fcx.func, |ctx| {
                     let inst = ctx.inst(line, fcx.func, InstKind::LoadArray(array_name.clone()));

@@ -1,0 +1,251 @@
+//! Deterministic IR corruptions for testing the verification subsystem.
+//!
+//! A verifier is only trustworthy if it is exercised against IR that is
+//! actually broken, and a differential oracle only if it is exercised
+//! against IR that is subtly *wrong* while remaining structurally valid.
+//! [`corrupt`] applies one of a small set of deterministic corruptions to a
+//! lowered program — always the *first* applicable site in traversal order,
+//! so a given program corrupts the same way every time. The engine's fault
+//! injection and `parpat shrink --inject` both build on it.
+
+use crate::ir::*;
+
+/// The available corruptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Turn the first `+` into a `-`. The IR stays structurally valid (the
+    /// verifier cannot see it) but computes the wrong result — a true
+    /// miscompile only the differential oracle catches.
+    SwapAddSub,
+    /// Point the first scalar store at a slot outside its function's frame.
+    /// Caught by the verifier as a V001 violation.
+    OutOfRangeSlot,
+    /// Zero the first instruction's source line. Caught by the verifier as
+    /// a V005 violation.
+    BogusLine,
+    /// Delete the first array store statement. Its instruction ids become
+    /// orphans, which the verifier reports as V006 violations.
+    DropStore,
+}
+
+impl Corruption {
+    /// Stable name, as accepted by `parpat shrink --inject`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Corruption::SwapAddSub => "swap-add-sub",
+            Corruption::OutOfRangeSlot => "out-of-range-slot",
+            Corruption::BogusLine => "bogus-line",
+            Corruption::DropStore => "drop-store",
+        }
+    }
+
+    /// Inverse of [`Corruption::name`].
+    pub fn from_name(name: &str) -> Option<Corruption> {
+        [
+            Corruption::SwapAddSub,
+            Corruption::OutOfRangeSlot,
+            Corruption::BogusLine,
+            Corruption::DropStore,
+        ]
+        .into_iter()
+        .find(|c| c.name() == name)
+    }
+}
+
+/// Apply a corruption to the first applicable site in traversal order
+/// (functions in id order, statements depth-first). Returns `false` when
+/// the program has no applicable site, in which case it is unchanged.
+pub fn corrupt(prog: &mut IrProgram, c: Corruption) -> bool {
+    match c {
+        Corruption::SwapAddSub => {
+            for f in &mut prog.functions {
+                if stmts_swap_add_sub(&mut f.body) {
+                    return true;
+                }
+            }
+            false
+        }
+        Corruption::OutOfRangeSlot => {
+            for f in &mut prog.functions {
+                let bad = f.n_slots + 7;
+                if stmts_break_store_slot(&mut f.body, bad) {
+                    return true;
+                }
+            }
+            false
+        }
+        Corruption::BogusLine => match prog.insts.first_mut() {
+            Some(meta) => {
+                meta.line = 0;
+                true
+            }
+            None => false,
+        },
+        Corruption::DropStore => {
+            for f in &mut prog.functions {
+                if stmts_drop_store(&mut f.body) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+fn stmts_swap_add_sub(stmts: &mut [IrStmt]) -> bool {
+    for s in stmts {
+        let hit = match s {
+            IrStmt::StoreLocal { value, .. } => expr_swap_add_sub(value),
+            IrStmt::StoreIndex { indices, value, .. } => {
+                indices.iter_mut().any(expr_swap_add_sub) || expr_swap_add_sub(value)
+            }
+            IrStmt::Loop { kind, body, .. } => {
+                let in_head = match kind {
+                    LoopKind::For { start, end, .. } => {
+                        expr_swap_add_sub(start) || expr_swap_add_sub(end)
+                    }
+                    LoopKind::While { cond } => expr_swap_add_sub(cond),
+                };
+                in_head || stmts_swap_add_sub(body)
+            }
+            IrStmt::If { cond, then_body, else_body, .. } => {
+                expr_swap_add_sub(cond)
+                    || stmts_swap_add_sub(then_body)
+                    || stmts_swap_add_sub(else_body)
+            }
+            IrStmt::Return { value, .. } => value.as_mut().is_some_and(expr_swap_add_sub),
+            IrStmt::Break { .. } => false,
+            IrStmt::ExprStmt { expr, .. } => expr_swap_add_sub(expr),
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+fn expr_swap_add_sub(e: &mut IrExpr) -> bool {
+    use parpat_minilang::ast::BinOp;
+    match e {
+        IrExpr::Binary { op, lhs, rhs, .. } => {
+            // Depth-first, left-to-right: the first `+` in evaluation order.
+            if expr_swap_add_sub(lhs) || expr_swap_add_sub(rhs) {
+                return true;
+            }
+            if *op == BinOp::Add {
+                *op = BinOp::Sub;
+                return true;
+            }
+            false
+        }
+        IrExpr::Unary { operand, .. } => expr_swap_add_sub(operand),
+        IrExpr::LoadIndex { indices, .. } => indices.iter_mut().any(expr_swap_add_sub),
+        IrExpr::CallFn { args, .. } | IrExpr::CallBuiltin { args, .. } => {
+            args.iter_mut().any(expr_swap_add_sub)
+        }
+        IrExpr::Const { .. } | IrExpr::Bool { .. } | IrExpr::LoadLocal { .. } => false,
+    }
+}
+
+fn stmts_break_store_slot(stmts: &mut [IrStmt], bad: usize) -> bool {
+    for s in stmts {
+        let hit = match s {
+            IrStmt::StoreLocal { slot, .. } => {
+                *slot = bad;
+                true
+            }
+            IrStmt::Loop { body, .. } => stmts_break_store_slot(body, bad),
+            IrStmt::If { then_body, else_body, .. } => {
+                stmts_break_store_slot(then_body, bad) || stmts_break_store_slot(else_body, bad)
+            }
+            _ => false,
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+fn stmts_drop_store(stmts: &mut Vec<IrStmt>) -> bool {
+    if let Some(pos) = stmts.iter().position(|s| matches!(s, IrStmt::StoreIndex { .. })) {
+        stmts.remove(pos);
+        return true;
+    }
+    for s in stmts {
+        let hit = match s {
+            IrStmt::Loop { body, .. } => stmts_drop_store(body),
+            IrStmt::If { then_body, else_body, .. } => {
+                stmts_drop_store(then_body) || stmts_drop_store(else_body)
+            }
+            _ => false,
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::event::NullObserver;
+    use crate::verify::{verify, ViolationKind};
+    use crate::{compile, interp};
+
+    #[test]
+    fn swap_add_sub_changes_the_result_but_still_verifies() {
+        let mut ir = compile("fn main() { return 1 + 2; }").unwrap();
+        assert!(corrupt(&mut ir, Corruption::SwapAddSub));
+        assert_eq!(verify(&ir), vec![], "structurally the IR is still sound");
+        let out = interp::run(&ir, &mut NullObserver).unwrap();
+        assert_eq!(out.return_value, -1.0, "but it now computes 1 - 2");
+    }
+
+    #[test]
+    fn out_of_range_slot_trips_the_verifier() {
+        let mut ir = compile("fn main() { let x = 1; }").unwrap();
+        assert!(corrupt(&mut ir, Corruption::OutOfRangeSlot));
+        let vs = verify(&ir);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::SlotOutOfRange), "{vs:?}");
+    }
+
+    #[test]
+    fn bogus_line_trips_the_verifier() {
+        let mut ir = compile("fn main() { return 0; }").unwrap();
+        assert!(corrupt(&mut ir, Corruption::BogusLine));
+        let vs = verify(&ir);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::BadSourceLine), "{vs:?}");
+    }
+
+    #[test]
+    fn drop_store_orphans_instructions() {
+        let mut ir = compile("global a[2]; fn main() { a[0] = 1; }").unwrap();
+        assert!(corrupt(&mut ir, Corruption::DropStore));
+        let vs = verify(&ir);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::MetaInconsistent), "{vs:?}");
+    }
+
+    #[test]
+    fn corruption_without_a_site_reports_false() {
+        let mut ir = compile("fn main() { return 0; }").unwrap();
+        assert!(!corrupt(&mut ir, Corruption::SwapAddSub));
+        assert!(!corrupt(&mut ir, Corruption::DropStore));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for c in [
+            Corruption::SwapAddSub,
+            Corruption::OutOfRangeSlot,
+            Corruption::BogusLine,
+            Corruption::DropStore,
+        ] {
+            assert_eq!(Corruption::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Corruption::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,712 @@
+//! Structural verification of lowered IR.
+//!
+//! Every analysis in the workspace trusts invariants the lowering pass is
+//! supposed to establish: dense and unique instruction ids, loop metadata
+//! that agrees with the loop statements carrying it, slot and array
+//! references in range, source lines that map into the original program.
+//! A lowering bug that breaks one of these produces *wrong patterns* (or a
+//! downstream panic), not an error — exactly the failure mode budgets and
+//! panic isolation cannot catch. [`verify`] checks them all explicitly and
+//! reports violations as structured values, never by panicking.
+//!
+//! The checks (grouped by the diagnostic code `parpat-static` assigns):
+//!
+//! - **registers/slots** (V001): every `StoreLocal`/`LoadLocal` slot and
+//!   every `for`-loop induction slot is within its function's frame, and
+//!   parameters fit inside it (definition before use: slots are
+//!   zero-initialized frame cells, so "defined" means "allocated");
+//! - **reference targets** (V002): callee function ids, array ids and the
+//!   entry function id are in range, and global base addresses tile the
+//!   address space below the frame region without overlap;
+//! - **loop metadata** (V003): each `LoopId` is claimed by exactly one
+//!   `Loop` statement whose header instruction, `is_for` flag, function and
+//!   line agree with the `LoopMeta` table;
+//! - **array ranks** (V004): every access supplies exactly one index per
+//!   declared dimension;
+//! - **source lines** (V005): every instruction's line is ≥ 1 and — when
+//!   the original AST is available ([`verify_against`]) — not beyond the
+//!   last line of the program;
+//! - **instruction metadata** (V006): instruction ids are dense and used
+//!   exactly once, every node's id carries the matching [`InstKind`] (with
+//!   the right name payload), builtin arities are respected, and the entry
+//!   function takes no parameters.
+
+use crate::ir::*;
+use crate::lower::FRAME_REGION_BASE;
+use parpat_minilang::ast::Program;
+
+/// The invariant classes a violation can belong to. Each maps 1:1 onto a
+/// `V0xx` diagnostic code in `parpat-static`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A local slot reference outside the function's frame (V001).
+    SlotOutOfRange,
+    /// A function/array/entry reference to a nonexistent id, or global
+    /// storage outside the addressable region (V002).
+    TargetOutOfRange,
+    /// Loop metadata disagrees with the loop statement carrying it (V003).
+    LoopMetaMalformed,
+    /// An array access with the wrong number of indices (V004).
+    RankMismatch,
+    /// An instruction source line that does not map into the program (V005).
+    BadSourceLine,
+    /// Inconsistent instruction metadata: non-dense/duplicate ids, a kind
+    /// that does not match its node, a bad arity, or a malformed entry
+    /// function (V006).
+    MetaInconsistent,
+}
+
+impl ViolationKind {
+    /// Stable lowercase name (used in reports and cache-free diagnostics).
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::SlotOutOfRange => "slot-out-of-range",
+            ViolationKind::TargetOutOfRange => "target-out-of-range",
+            ViolationKind::LoopMetaMalformed => "loop-meta-malformed",
+            ViolationKind::RankMismatch => "rank-mismatch",
+            ViolationKind::BadSourceLine => "bad-source-line",
+            ViolationKind::MetaInconsistent => "meta-inconsistent",
+        }
+    }
+}
+
+/// One broken invariant, with enough context to act on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant class was broken.
+    pub kind: ViolationKind,
+    /// Source line of the offending instruction (0 when no line is
+    /// attributable — e.g. a table-level inconsistency).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (line {}): {}", self.kind.name(), self.line, self.message)
+    }
+}
+
+/// Verify a lowered program. Returns every violation found (empty means the
+/// IR satisfies all structural invariants).
+pub fn verify(prog: &IrProgram) -> Vec<Violation> {
+    verify_with_max_line(prog, None)
+}
+
+/// Verify a lowered program against the AST it was lowered from, adding the
+/// source-line upper-bound check (every instruction line must map into the
+/// original program).
+pub fn verify_against(prog: &IrProgram, source: &Program) -> Vec<Violation> {
+    verify_with_max_line(prog, Some(source.source_lines()))
+}
+
+fn verify_with_max_line(prog: &IrProgram, max_line: Option<u32>) -> Vec<Violation> {
+    let mut v = Verifier {
+        prog,
+        max_line,
+        inst_uses: vec![0u32; prog.insts.len()],
+        loop_uses: vec![0u32; prog.loops.len()],
+        violations: Vec::new(),
+    };
+    v.program();
+    v.violations
+}
+
+struct Verifier<'p> {
+    prog: &'p IrProgram,
+    max_line: Option<u32>,
+    /// How many IR nodes claim each instruction id (must end up exactly 1).
+    inst_uses: Vec<u32>,
+    /// How many `Loop` statements claim each loop id (must end up exactly 1).
+    loop_uses: Vec<u32>,
+    violations: Vec<Violation>,
+}
+
+impl<'p> Verifier<'p> {
+    fn report(&mut self, kind: ViolationKind, line: u32, message: String) {
+        self.violations.push(Violation { kind, line, message });
+    }
+
+    fn program(&mut self) {
+        self.globals();
+        self.entry();
+        for (i, f) in self.prog.functions.iter().enumerate() {
+            self.function(i, f);
+        }
+        self.usage_counts();
+    }
+
+    fn globals(&mut self) {
+        let mut next_addr = 0u64;
+        for (i, g) in self.prog.globals.iter().enumerate() {
+            if g.id != i {
+                self.report(
+                    ViolationKind::MetaInconsistent,
+                    0,
+                    format!("global `{}` has id {} but index {}", g.name, g.id, i),
+                );
+            }
+            if g.dims.is_empty() || g.dims.len() > 2 || g.dims.contains(&0) {
+                self.report(
+                    ViolationKind::RankMismatch,
+                    0,
+                    format!("global `{}` has malformed dimensions {:?}", g.name, g.dims),
+                );
+            }
+            if g.base_addr != next_addr {
+                self.report(
+                    ViolationKind::TargetOutOfRange,
+                    0,
+                    format!(
+                        "global `{}` at base address {} but {} expected (arrays must tile)",
+                        g.name, g.base_addr, next_addr
+                    ),
+                );
+            }
+            next_addr = g.base_addr.saturating_add(g.len() as u64);
+            if next_addr > FRAME_REGION_BASE {
+                self.report(
+                    ViolationKind::TargetOutOfRange,
+                    0,
+                    format!("global `{}` overlaps the frame address region", g.name),
+                );
+            }
+        }
+    }
+
+    fn entry(&mut self) {
+        if let Some(e) = self.prog.entry {
+            match self.prog.functions.get(e) {
+                None => self.report(
+                    ViolationKind::TargetOutOfRange,
+                    0,
+                    format!("entry function id {e} out of range"),
+                ),
+                Some(f) if f.n_params != 0 => self.report(
+                    ViolationKind::MetaInconsistent,
+                    f.line,
+                    format!("entry function `{}` takes {} parameter(s)", f.name, f.n_params),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn function(&mut self, index: usize, f: &IrFunction) {
+        if f.id != index {
+            self.report(
+                ViolationKind::MetaInconsistent,
+                f.line,
+                format!("function `{}` has id {} but index {}", f.name, f.id, index),
+            );
+        }
+        if f.n_params > f.n_slots {
+            self.report(
+                ViolationKind::SlotOutOfRange,
+                f.line,
+                format!(
+                    "function `{}` has {} parameter(s) but only {} slot(s)",
+                    f.name, f.n_params, f.n_slots
+                ),
+            );
+        }
+        if f.slot_names.len() != f.n_slots {
+            self.report(
+                ViolationKind::MetaInconsistent,
+                f.line,
+                format!(
+                    "function `{}` names {} slot(s) but declares {}",
+                    f.name,
+                    f.slot_names.len(),
+                    f.n_slots
+                ),
+            );
+        }
+        for s in &f.body {
+            self.stmt(s, f);
+        }
+    }
+
+    /// Validate one instruction id and return its metadata when usable.
+    fn inst(&mut self, id: InstId, f: &IrFunction) -> Option<&'p InstMeta> {
+        let prog = self.prog;
+        let Some(meta) = prog.insts.get(id as usize) else {
+            self.report(
+                ViolationKind::TargetOutOfRange,
+                0,
+                format!("instruction id {id} out of range in `{}`", f.name),
+            );
+            return None;
+        };
+        self.inst_uses[id as usize] += 1;
+        if meta.func != f.id {
+            let (line, func) = (meta.line, meta.func);
+            self.report(
+                ViolationKind::MetaInconsistent,
+                line,
+                format!("instruction {id} claims function {func} but appears in `{}`", f.name),
+            );
+        }
+        if meta.line == 0 {
+            self.report(
+                ViolationKind::BadSourceLine,
+                0,
+                format!("instruction {id} in `{}` has no source line", f.name),
+            );
+        } else if let Some(max) = self.max_line {
+            if meta.line > max {
+                let line = meta.line;
+                self.report(
+                    ViolationKind::BadSourceLine,
+                    line,
+                    format!("instruction {id} maps to line {line} beyond the program (last {max})"),
+                );
+            }
+        }
+        Some(meta)
+    }
+
+    /// Validate an instruction and check its recorded kind matches the node.
+    fn inst_kind(&mut self, id: InstId, f: &IrFunction, check: impl Fn(&InstKind) -> bool) {
+        let Some(meta) = self.inst(id, f) else { return };
+        if !check(&meta.kind) {
+            let (line, kind) = (meta.line, meta.kind.clone());
+            self.report(
+                ViolationKind::MetaInconsistent,
+                line,
+                format!("instruction {id} has kind {kind:?} inconsistent with its IR node"),
+            );
+        }
+    }
+
+    fn slot(&mut self, slot: usize, f: &IrFunction, line: u32, what: &str) {
+        if slot >= f.n_slots {
+            self.report(
+                ViolationKind::SlotOutOfRange,
+                line,
+                format!("{what} references slot {slot} but `{}` has {}", f.name, f.n_slots),
+            );
+        }
+    }
+
+    /// The declared name of a slot, for kind-payload checks.
+    fn slot_name<'a>(&self, f: &'a IrFunction, slot: usize) -> Option<&'a str> {
+        f.slot_names.get(slot).map(|s| s.as_str())
+    }
+
+    fn array_access(&mut self, array: ArrayId, indices: &[IrExpr], f: &IrFunction, line: u32) {
+        match self.prog.globals.get(array) {
+            None => {
+                self.report(
+                    ViolationKind::TargetOutOfRange,
+                    line,
+                    format!("array id {array} out of range in `{}`", f.name),
+                );
+            }
+            Some(g) if indices.len() != g.dims.len() => {
+                self.report(
+                    ViolationKind::RankMismatch,
+                    line,
+                    format!(
+                        "array `{}` has {} dimension(s) but {} index(es)",
+                        g.name,
+                        g.dims.len(),
+                        indices.len()
+                    ),
+                );
+            }
+            Some(_) => {}
+        }
+        for ix in indices {
+            self.expr(ix, f);
+        }
+    }
+
+    fn stmt(&mut self, s: &IrStmt, f: &IrFunction) {
+        match s {
+            IrStmt::StoreLocal { slot, value, inst } => {
+                let line = self.line_of(*inst);
+                self.slot(*slot, f, line, "store");
+                let name = self.slot_name(f, *slot).map(str::to_owned);
+                self.inst_kind(*inst, f, |k| match k {
+                    InstKind::StoreScalar(n) => name.as_deref() == Some(n.as_str()),
+                    _ => false,
+                });
+                self.expr(value, f);
+            }
+            IrStmt::StoreIndex { array, indices, value, inst } => {
+                let line = self.line_of(*inst);
+                let name = self.prog.globals.get(*array).map(|g| g.name.clone());
+                self.inst_kind(*inst, f, |k| match k {
+                    InstKind::StoreArray(n) => name.as_deref() == Some(n.as_str()),
+                    _ => false,
+                });
+                self.array_access(*array, indices, f, line);
+                self.expr(value, f);
+            }
+            IrStmt::Loop { id, kind, body, inst } => {
+                self.inst_kind(*inst, f, |k| matches!(k, InstKind::LoopHeader));
+                self.loop_meta(*id, kind, *inst, f);
+                match kind {
+                    LoopKind::For { slot, start, end } => {
+                        let line = self.line_of(*inst);
+                        self.slot(*slot, f, line, "for-loop induction");
+                        self.expr(start, f);
+                        self.expr(end, f);
+                    }
+                    LoopKind::While { cond } => self.expr(cond, f),
+                }
+                for s in body {
+                    self.stmt(s, f);
+                }
+            }
+            IrStmt::If { cond, then_body, else_body, inst } => {
+                self.inst_kind(*inst, f, |k| matches!(k, InstKind::Branch));
+                self.expr(cond, f);
+                for s in then_body.iter().chain(else_body) {
+                    self.stmt(s, f);
+                }
+            }
+            IrStmt::Return { value, inst } => {
+                self.inst_kind(*inst, f, |k| matches!(k, InstKind::Return));
+                if let Some(e) = value {
+                    self.expr(e, f);
+                }
+            }
+            IrStmt::Break { inst } => {
+                self.inst_kind(*inst, f, |k| matches!(k, InstKind::Break));
+            }
+            IrStmt::ExprStmt { expr, inst } => {
+                self.inst_kind(*inst, f, |k| matches!(k, InstKind::Stmt));
+                self.expr(expr, f);
+            }
+        }
+    }
+
+    fn loop_meta(&mut self, id: LoopId, kind: &LoopKind, head: InstId, f: &IrFunction) {
+        let line = self.line_of(head);
+        let prog = self.prog;
+        let Some(meta) = prog.loops.get(id as usize) else {
+            self.report(
+                ViolationKind::LoopMetaMalformed,
+                line,
+                format!("loop id {id} out of range in `{}`", f.name),
+            );
+            return;
+        };
+        self.loop_uses[id as usize] += 1;
+        if meta.head_inst != head {
+            self.report(
+                ViolationKind::LoopMetaMalformed,
+                line,
+                format!("loop {id} header is instruction {head} but metadata says {}", {
+                    meta.head_inst
+                }),
+            );
+        }
+        if meta.is_for != matches!(kind, LoopKind::For { .. }) {
+            self.report(
+                ViolationKind::LoopMetaMalformed,
+                line,
+                format!("loop {id} `is_for` flag disagrees with its statement"),
+            );
+        }
+        if meta.func != f.id {
+            self.report(
+                ViolationKind::LoopMetaMalformed,
+                line,
+                format!("loop {id} claims function {} but appears in `{}`", meta.func, f.name),
+            );
+        }
+        if line != 0 && meta.line != line {
+            self.report(
+                ViolationKind::LoopMetaMalformed,
+                line,
+                format!("loop {id} metadata line {} disagrees with its header line", meta.line),
+            );
+        }
+    }
+
+    fn expr(&mut self, e: &IrExpr, f: &IrFunction) {
+        match e {
+            IrExpr::Const { inst, .. } | IrExpr::Bool { inst, .. } => {
+                self.inst_kind(*inst, f, |k| matches!(k, InstKind::Const));
+            }
+            IrExpr::LoadLocal { slot, inst } => {
+                let line = self.line_of(*inst);
+                self.slot(*slot, f, line, "load");
+                let name = self.slot_name(f, *slot).map(str::to_owned);
+                self.inst_kind(*inst, f, |k| match k {
+                    InstKind::LoadScalar(n) => name.as_deref() == Some(n.as_str()),
+                    _ => false,
+                });
+            }
+            IrExpr::LoadIndex { array, indices, inst } => {
+                let line = self.line_of(*inst);
+                let name = self.prog.globals.get(*array).map(|g| g.name.clone());
+                self.inst_kind(*inst, f, |k| match k {
+                    InstKind::LoadArray(n) => name.as_deref() == Some(n.as_str()),
+                    _ => false,
+                });
+                self.array_access(*array, indices, f, line);
+            }
+            IrExpr::CallFn { func, args, inst } => {
+                let line = self.line_of(*inst);
+                match self.prog.functions.get(*func) {
+                    None => {
+                        self.report(
+                            ViolationKind::TargetOutOfRange,
+                            line,
+                            format!("call target id {func} out of range in `{}`", f.name),
+                        );
+                        self.inst_kind(*inst, f, |k| matches!(k, InstKind::Call(_)));
+                    }
+                    Some(callee) => {
+                        if args.len() != callee.n_params {
+                            self.report(
+                                ViolationKind::MetaInconsistent,
+                                line,
+                                format!(
+                                    "call to `{}` passes {} argument(s) for {} parameter(s)",
+                                    callee.name,
+                                    args.len(),
+                                    callee.n_params
+                                ),
+                            );
+                        }
+                        let name = callee.name.clone();
+                        self.inst_kind(*inst, f, |k| matches!(k, InstKind::Call(n) if *n == name));
+                    }
+                }
+                for a in args {
+                    self.expr(a, f);
+                }
+            }
+            IrExpr::CallBuiltin { builtin, args, inst } => {
+                let line = self.line_of(*inst);
+                self.inst_kind(*inst, f, |k| matches!(k, InstKind::BuiltinCall));
+                let arity = match builtin {
+                    Builtin::Min | Builtin::Max => 2,
+                    Builtin::Sqrt | Builtin::Abs | Builtin::Floor => 1,
+                };
+                if args.len() != arity {
+                    self.report(
+                        ViolationKind::MetaInconsistent,
+                        line,
+                        format!(
+                            "builtin {builtin:?} takes {arity} argument(s), got {}",
+                            args.len()
+                        ),
+                    );
+                }
+                for a in args {
+                    self.expr(a, f);
+                }
+            }
+            IrExpr::Unary { operand, inst, .. } => {
+                self.inst_kind(*inst, f, |k| matches!(k, InstKind::Compute));
+                self.expr(operand, f);
+            }
+            IrExpr::Binary { lhs, rhs, inst, .. } => {
+                self.inst_kind(*inst, f, |k| matches!(k, InstKind::Compute));
+                self.expr(lhs, f);
+                self.expr(rhs, f);
+            }
+        }
+    }
+
+    fn line_of(&self, inst: InstId) -> u32 {
+        self.prog.insts.get(inst as usize).map(|m| m.line).unwrap_or(0)
+    }
+
+    /// After the walk: every instruction and loop id must be claimed by
+    /// exactly one IR node (dense, no orphans, no duplicates).
+    fn usage_counts(&mut self) {
+        let bad_insts: Vec<(usize, u32)> = self
+            .inst_uses
+            .iter()
+            .enumerate()
+            .filter(|&(_, &uses)| uses != 1)
+            .map(|(id, &uses)| (id, uses))
+            .collect();
+        for (id, uses) in bad_insts {
+            let line = self.prog.insts[id].line;
+            self.report(
+                ViolationKind::MetaInconsistent,
+                line,
+                format!("instruction id {id} is used {uses} time(s), expected 1"),
+            );
+        }
+        let bad_loops: Vec<(usize, u32)> = self
+            .loop_uses
+            .iter()
+            .enumerate()
+            .filter(|&(_, &uses)| uses != 1)
+            .map(|(id, &uses)| (id, uses))
+            .collect();
+        for (id, uses) in bad_loops {
+            let line = self.prog.loops[id].line;
+            self.report(
+                ViolationKind::LoopMetaMalformed,
+                line,
+                format!("loop id {id} is claimed by {uses} statement(s), expected 1"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::lower::lower;
+    use parpat_minilang::parse_checked;
+
+    fn lowered(src: &str) -> (IrProgram, Program) {
+        let ast = parse_checked(src).unwrap();
+        (lower(&ast), ast)
+    }
+
+    const KITCHEN_SINK: &str = "global a[8];
+global m[2][4];
+fn helper(x) {
+    if x > 3 { return x * 2; }
+    return sqrt(abs(x));
+}
+fn main() {
+    let s = 0;
+    for i in 0..8 {
+        a[i] = helper(i);
+        s += a[i];
+    }
+    let j = 0;
+    while j < 2 {
+        m[j][0] = s % 7;
+        j += 1;
+    }
+    return s;
+}";
+
+    #[test]
+    fn lowered_programs_verify_cleanly() {
+        let (ir, ast) = lowered(KITCHEN_SINK);
+        assert_eq!(verify(&ir), vec![]);
+        assert_eq!(verify_against(&ir, &ast), vec![]);
+    }
+
+    #[test]
+    fn out_of_range_slot_is_reported() {
+        let (mut ir, _) = lowered("fn main() { let x = 1; return x; }");
+        let body = &mut ir.functions[0].body;
+        if let IrStmt::StoreLocal { slot, .. } = &mut body[0] {
+            *slot = 99;
+        } else {
+            panic!("expected a store");
+        }
+        let vs = verify(&ir);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::SlotOutOfRange), "{vs:?}");
+    }
+
+    #[test]
+    fn dangling_array_reference_is_reported() {
+        let (mut ir, _) = lowered("global a[4]; fn main() { a[0] = 1; }");
+        if let IrStmt::StoreIndex { array, .. } = &mut ir.functions[0].body[0] {
+            *array = 7;
+        } else {
+            panic!("expected a store-index");
+        }
+        let vs = verify(&ir);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::TargetOutOfRange), "{vs:?}");
+    }
+
+    #[test]
+    fn rank_mismatch_is_reported() {
+        let (mut ir, _) = lowered("global m[2][4]; fn main() { m[0][1] = 1; }");
+        if let IrStmt::StoreIndex { indices, .. } = &mut ir.functions[0].body[0] {
+            indices.pop();
+        } else {
+            panic!("expected a store-index");
+        }
+        let vs = verify(&ir);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::RankMismatch), "{vs:?}");
+    }
+
+    #[test]
+    fn broken_loop_metadata_is_reported() {
+        let (mut ir, _) = lowered("fn main() { for i in 0..4 { let x = i; } }");
+        ir.loops[0].head_inst += 1;
+        let vs = verify(&ir);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::LoopMetaMalformed), "{vs:?}");
+        let (mut ir, _) = lowered("fn main() { for i in 0..4 { let x = i; } }");
+        ir.loops[0].is_for = false;
+        assert!(!verify(&ir).is_empty());
+    }
+
+    #[test]
+    fn zero_source_line_is_reported() {
+        let (mut ir, _) = lowered("fn main() { return 1; }");
+        ir.insts[0].line = 0;
+        let vs = verify(&ir);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::BadSourceLine), "{vs:?}");
+    }
+
+    #[test]
+    fn line_beyond_program_needs_the_ast() {
+        let (mut ir, ast) = lowered("fn main() { return 1; }");
+        ir.insts[0].line = 999;
+        assert!(verify(&ir).is_empty(), "without the AST the bound is unknown");
+        let vs = verify_against(&ir, &ast);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::BadSourceLine), "{vs:?}");
+    }
+
+    #[test]
+    fn duplicate_instruction_id_is_reported() {
+        let (mut ir, _) = lowered("fn main() { let x = 1; let y = 2; }");
+        // Point the second store at the first store's id: one id claimed
+        // twice, one orphaned.
+        let (first, second) = match &ir.functions[0].body[..] {
+            [IrStmt::StoreLocal { inst: a, .. }, IrStmt::StoreLocal { inst: b, .. }] => (*a, *b),
+            _ => panic!("expected two stores"),
+        };
+        if let IrStmt::StoreLocal { inst, .. } = &mut ir.functions[0].body[1] {
+            *inst = first;
+        }
+        let vs = verify(&ir);
+        let dup = vs
+            .iter()
+            .filter(|v| v.kind == ViolationKind::MetaInconsistent)
+            .filter(|v| v.message.contains("used"))
+            .count();
+        assert!(dup >= 2, "both the duplicate and the orphan ({second}) must show: {vs:?}");
+    }
+
+    #[test]
+    fn kind_mismatch_is_reported() {
+        let (mut ir, _) = lowered("fn main() { let x = 1; }");
+        // The store instruction's metadata suddenly claims to be a load.
+        let store = ir.functions[0].body[0].inst();
+        ir.insts[store as usize].kind = InstKind::LoadScalar("x".into());
+        let vs = verify(&ir);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::MetaInconsistent), "{vs:?}");
+    }
+
+    #[test]
+    fn overlapping_globals_are_reported() {
+        let (mut ir, _) = lowered("global a[4]; global b[4]; fn main() { a[0] = b[0]; }");
+        ir.globals[1].base_addr = 2; // overlaps `a`
+        let vs = verify(&ir);
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::TargetOutOfRange), "{vs:?}");
+    }
+
+    #[test]
+    fn violations_render_with_kind_and_line() {
+        let v = Violation {
+            kind: ViolationKind::SlotOutOfRange,
+            line: 4,
+            message: "store references slot 9".into(),
+        };
+        assert_eq!(format!("{v}"), "slot-out-of-range (line 4): store references slot 9");
+    }
+}

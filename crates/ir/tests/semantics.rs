@@ -62,9 +62,13 @@ fn fractional_for_bounds_truncate_via_comparison() {
 }
 
 #[test]
-fn division_by_zero_yields_infinity_not_error() {
-    let src = "fn main() { let x = 1 / 0; if x > 1000000 { return 1; } return 0; }";
-    assert_eq!(run_src(src), 1.0);
+fn division_by_zero_is_a_fault_not_infinity() {
+    // A zero divisor used to produce `inf` silently; it is now a structured
+    // runtime fault so poisoned values cannot reach the pattern detectors.
+    let ir = compile("fn main() { let x = 1 / 0; return x; }").unwrap();
+    let err = run(&ir, &mut NullObserver).unwrap_err();
+    assert!(err.message.contains("division by zero"), "{err}");
+    assert!(!err.is_budget());
 }
 
 #[test]

@@ -38,6 +38,7 @@
 pub mod ast;
 pub mod builder;
 pub mod error;
+pub mod eval;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -46,6 +47,7 @@ pub mod token;
 
 pub use ast::{AssignOp, BinOp, Block, Expr, Function, GlobalArray, LValue, Program, Stmt, UnOp};
 pub use error::{LangError, Phase};
+pub use eval::{divergence, evaluate, evaluate_with_limits, EvalError, EvalLimits, EvalOutcome};
 
 /// Parse and semantically check MiniLang source, requiring a `main` function.
 ///

@@ -29,6 +29,8 @@
 
 pub mod data;
 pub mod profiler;
+pub mod sanitize;
 
 pub use data::{AccessLines, Dep, DepKind, DepSite, LoopStats, ProfileData};
 pub use profiler::{profile, profile_function, profile_merged, DependenceProfiler};
+pub use sanitize::sanitize_profile;

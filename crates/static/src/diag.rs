@@ -3,7 +3,8 @@
 //! Every finding the static layer (or the language front-end, via
 //! [`crate::lint`]) can produce is identified by a stable [`Code`], so
 //! tooling can filter or gate on codes without parsing message text.
-//! `L`-codes are language errors; `P`-codes are parallelism findings.
+//! `L`-codes are language errors; `P`-codes are parallelism findings;
+//! `V`-codes are IR verifier violations (see `parpat_ir::verify`).
 
 use std::fmt;
 
@@ -32,6 +33,18 @@ pub enum Code {
     /// `P031` — static proof of independence contradicted by an observed
     /// dynamic dependence: an internal consistency error.
     ConsistencyError,
+    /// `V001` — IR references a local slot outside its function's frame.
+    VerifySlot,
+    /// `V002` — IR references a function, array, or loop that does not exist.
+    VerifyTarget,
+    /// `V003` — loop metadata disagrees with the loop statement it describes.
+    VerifyLoopMeta,
+    /// `V004` — array access rank does not match the array's declared rank.
+    VerifyRank,
+    /// `V005` — instruction has a missing or impossible source line.
+    VerifyLine,
+    /// `V006` — instruction metadata is inconsistent with the IR tree.
+    VerifyMeta,
 }
 
 impl Code {
@@ -48,15 +61,28 @@ impl Code {
             Code::ProvenDoAll => "P020",
             Code::InputSensitive => "P030",
             Code::ConsistencyError => "P031",
+            Code::VerifySlot => "V001",
+            Code::VerifyTarget => "V002",
+            Code::VerifyLoopMeta => "V003",
+            Code::VerifyRank => "V004",
+            Code::VerifyLine => "V005",
+            Code::VerifyMeta => "V006",
         }
     }
 
     /// The severity this code always carries.
     pub fn severity(self) -> Severity {
         match self {
-            Code::LexError | Code::ParseError | Code::SemaError | Code::ConsistencyError => {
-                Severity::Error
-            }
+            Code::LexError
+            | Code::ParseError
+            | Code::SemaError
+            | Code::ConsistencyError
+            | Code::VerifySlot
+            | Code::VerifyTarget
+            | Code::VerifyLoopMeta
+            | Code::VerifyRank
+            | Code::VerifyLine
+            | Code::VerifyMeta => Severity::Error,
             Code::CarriedArrayDep | Code::CarriedScalarDep | Code::InputSensitive => {
                 Severity::Warning
             }
@@ -177,6 +203,12 @@ mod tests {
             Code::ProvenDoAll,
             Code::InputSensitive,
             Code::ConsistencyError,
+            Code::VerifySlot,
+            Code::VerifyTarget,
+            Code::VerifyLoopMeta,
+            Code::VerifyRank,
+            Code::VerifyLine,
+            Code::VerifyMeta,
         ];
         let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
         ids.sort_unstable();

@@ -39,6 +39,7 @@ pub mod diag;
 pub mod lint;
 pub mod loops;
 pub mod subscript;
+pub mod verify;
 
 use parpat_ir::ir::{IrProgram, IrStmt};
 use parpat_ir::LoopId;
@@ -46,6 +47,7 @@ use parpat_ir::LoopId;
 pub use diag::{Code, Diagnostic, Severity};
 pub use lint::lint_source;
 pub use loops::{ArrayDep, LoopReport, Reduction, ScalarDep, Verdict};
+pub use verify::{verify_ir, verify_source};
 
 /// Static analysis results for every loop of a program.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]

@@ -23,7 +23,7 @@ pub fn lint_source(src: &str) -> Vec<Diagnostic> {
     analyze_ir(&ir).diagnostics()
 }
 
-fn lang_diag(e: &LangError) -> Diagnostic {
+pub(crate) fn lang_diag(e: &LangError) -> Diagnostic {
     let code = match e.phase {
         Phase::Lex => Code::LexError,
         Phase::Parse => Code::ParseError,

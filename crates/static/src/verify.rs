@@ -1,0 +1,127 @@
+//! IR verification surfaced through the diagnostics framework.
+//!
+//! `parpat_ir::verify` reports structural violations with its own
+//! [`ViolationKind`]; this module maps them onto stable `V0xx` diagnostic
+//! [`Code`]s so `parpat verify` output can be filtered, gated, and rendered
+//! exactly like lint findings. Corrupted IR never panics the pipeline — it
+//! becomes an error-severity diagnostic.
+
+use parpat_ir::{verify_against, Violation, ViolationKind};
+use parpat_minilang::{sema, Program};
+
+use crate::diag::{sort_diagnostics, Code, Diagnostic};
+use crate::lint::lang_diag;
+
+/// The diagnostic code a verifier violation maps to.
+pub fn violation_code(kind: ViolationKind) -> Code {
+    match kind {
+        ViolationKind::SlotOutOfRange => Code::VerifySlot,
+        ViolationKind::TargetOutOfRange => Code::VerifyTarget,
+        ViolationKind::LoopMetaMalformed => Code::VerifyLoopMeta,
+        ViolationKind::RankMismatch => Code::VerifyRank,
+        ViolationKind::BadSourceLine => Code::VerifyLine,
+        ViolationKind::MetaInconsistent => Code::VerifyMeta,
+    }
+}
+
+/// Convert one verifier violation into a diagnostic.
+pub fn violation_diag(v: &Violation) -> Diagnostic {
+    Diagnostic::new(violation_code(v.kind), v.line, v.message.clone())
+}
+
+/// Verify a lowered program against its AST, returning diagnostics in
+/// stable order (empty when the IR is structurally sound).
+pub fn verify_ir(ir: &parpat_ir::IrProgram, ast: &Program) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = verify_against(ir, ast).iter().map(violation_diag).collect();
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Parse, check, lower, and verify MiniLang source in one call. Front-end
+/// errors are reported as `L`-codes; a program that fails the front end is
+/// never lowered, so it cannot produce `V`-codes.
+pub fn verify_source(src: &str) -> Vec<Diagnostic> {
+    let program = match parpat_minilang::parser::parse(src) {
+        Ok(p) => p,
+        Err(e) => return vec![lang_diag(&e)],
+    };
+    let errors = sema::check_all(&program, true);
+    if !errors.is_empty() {
+        let mut diags: Vec<Diagnostic> = errors.iter().map(lang_diag).collect();
+        sort_diagnostics(&mut diags);
+        return diags;
+    }
+    let ir = parpat_ir::lower(&program);
+    verify_ir(&ir, &program)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::diag::Severity;
+    use parpat_ir::{corrupt, Corruption};
+
+    #[test]
+    fn clean_programs_verify_with_no_diagnostics() {
+        let diags = verify_source(
+            "global a[8];\nfn main() { let s = 0; for i in 0..8 { a[i] = i; s += a[i]; } return s; }",
+        );
+        assert_eq!(diags, vec![]);
+    }
+
+    #[test]
+    fn front_end_errors_stay_l_codes() {
+        let diags = verify_source("fn main( { }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::ParseError);
+    }
+
+    #[test]
+    fn corrupted_ir_yields_v_codes_not_panics() {
+        let src = "global a[4];\nfn main() { let x = 1; a[0] = x; }";
+        let ast = parpat_minilang::parse_checked(src).unwrap();
+        for (c, code) in [
+            (Corruption::OutOfRangeSlot, Code::VerifySlot),
+            (Corruption::BogusLine, Code::VerifyLine),
+            (Corruption::DropStore, Code::VerifyMeta),
+        ] {
+            let mut ir = parpat_ir::lower(&ast);
+            assert!(corrupt(&mut ir, c));
+            let diags = verify_ir(&ir, &ast);
+            assert!(
+                diags.iter().any(|d| d.code == code),
+                "{c:?} should map to {code}, got {diags:?}"
+            );
+            assert!(diags.iter().all(|d| d.code.severity() == Severity::Error));
+        }
+    }
+
+    #[test]
+    fn semantically_wrong_but_structurally_sound_ir_is_silent() {
+        // SwapAddSub is the miscompile the *oracle* exists for — the
+        // verifier must not claim to catch it.
+        let src = "fn main() { return 1 + 2; }";
+        let ast = parpat_minilang::parse_checked(src).unwrap();
+        let mut ir = parpat_ir::lower(&ast);
+        assert!(corrupt(&mut ir, Corruption::SwapAddSub));
+        assert_eq!(verify_ir(&ir, &ast), vec![]);
+    }
+
+    #[test]
+    fn every_violation_kind_has_a_distinct_code() {
+        let kinds = [
+            ViolationKind::SlotOutOfRange,
+            ViolationKind::TargetOutOfRange,
+            ViolationKind::LoopMetaMalformed,
+            ViolationKind::RankMismatch,
+            ViolationKind::BadSourceLine,
+            ViolationKind::MetaInconsistent,
+        ];
+        let mut codes: Vec<&str> = kinds.iter().map(|k| violation_code(*k).id()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), kinds.len());
+    }
+}

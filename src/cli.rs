@@ -20,12 +20,17 @@ USAGE:
     parpat suggest <file.ml> [--workers <n>] [--json]  ranked patterns + transformations
     parpat run <file.ml>                             execute the program, print stats
     parpat batch <dir|apps> [--jobs <n>] [--cache-dir <d>] [--max-steps <n>] [--timeout-ms <ms>]
-                 [--max-mem-cells <n>] [--retries <n>] [--resume] [--json]
+                 [--max-mem-cells <n>] [--retries <n>] [--resume] [--sanitize] [--json]
                                                      analyze every .ml file of a directory (or the
                                                      bundled apps) in parallel with artifact caching
     parpat stats [--cache-dir <d>] [--json]          per-stage stats persisted by the last batch
     parpat lint <file.ml|dir|apps> [--json]          static dependence diagnostics with stable
                                                      codes (P001 carried dep, P020 proven do-all, …)
+    parpat verify <file.ml|dir|apps>                 lower each program and check the IR against
+                                                     its structural invariants (V001–V006);
+                                                     exits 1 on any violation
+    parpat shrink <file.ml> [--inject <corruption>]  minimize a failing program to a small
+                                                     reproducer by deterministic delta debugging
     parpat demo <app> [--json]                       analyze a bundled benchmark (e.g. sort, ludcmp)
     parpat apps                                      list the bundled benchmarks
     parpat dot <file.ml> [--region <function>]       Graphviz DOT of a region's classified CU graph
@@ -41,6 +46,14 @@ cells). A program that exceeds a budget — or whose dynamic stages fail for
 any other reason — is reported as *degraded* with its static results
 (loops with their dependence verdicts, CU graph, statically proven do-all
 candidates) instead of failing the whole batch.
+
+Every batch run verifies the lowered IR and cross-checks each profiled
+execution against an independent reference evaluator (the differential
+oracle); a disagreement fails that program with a [MISCOMPILE] marker
+instead of producing wrong pattern reports. `--sanitize` additionally
+validates the recorded dependence stream. `parpat shrink` minimizes such
+a failure; `--inject <corruption>` (swap-add-sub, out-of-range-slot,
+bogus-line, drop-store) seeds one for testing the pipeline itself.
 
 Batch runs journal every completed program to `journal.wal` in the cache
 directory; after a crash or kill, `--resume` restores the completed
@@ -224,6 +237,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 None => 0,
             };
             let resume = opts.iter().any(|o| o == "--resume");
+            let sanitize = opts.iter().any(|o| o == "--sanitize");
             let cache_dir = cache_dir_opt(&opts)?;
             if resume && cache_dir.is_none() {
                 return Err("--resume needs a cache directory (the journal lives there); \
@@ -237,6 +251,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     analysis: AnalysisConfig { limits, ..Default::default() },
                     retries,
                     resume,
+                    sanitize,
                     watchdog: Some(parpat_runtime::WatchdogConfig::default()),
                     ..Default::default()
                 })
@@ -261,6 +276,50 @@ pub fn run(args: &[String]) -> Result<String, String> {
             } else {
                 Ok(render_lint_text(&results))
             }
+        }
+        Some("verify") => {
+            let (target, _opts) = split_opts(&args[1..])?;
+            let inputs = lint_inputs(&target)?;
+            let total = inputs.len();
+            let mut out = String::new();
+            let mut bad = 0usize;
+            for i in &inputs {
+                let diags = parpat_static::verify_source(&i.source);
+                if diags.is_empty() {
+                    writeln!(out, "{:<14} ok", i.name).expect("write to String");
+                } else {
+                    bad += 1;
+                    writeln!(out, "{:<14} {} violation(s)", i.name, diags.len())
+                        .expect("write to String");
+                    for d in &diags {
+                        writeln!(out, "    {}", d.render()).expect("write to String");
+                    }
+                }
+            }
+            writeln!(out, "\n{} program(s) verified, {bad} with violations", total - bad)
+                .expect("write to String");
+            // A violation means the pipeline's own artifacts are wrong:
+            // make it an error so CI fails loudly (exit status 1).
+            if bad > 0 {
+                Err(out)
+            } else {
+                Ok(out)
+            }
+        }
+        Some("shrink") => {
+            let (path, opts) = split_opts(&args[1..])?;
+            let inject = match opt_value(&opts, "--inject")? {
+                Some(v) => Some(parpat_ir::Corruption::from_name(&v).ok_or_else(|| {
+                    format!(
+                        "unknown corruption `{v}` — one of: swap-add-sub, \
+                         out-of-range-slot, bogus-line, drop-store"
+                    )
+                })?),
+                None => None,
+            };
+            let src = read(&path)?;
+            let shrunk = crate::shrink::shrink(&src, inject)?;
+            Ok(shrunk.render())
         }
         Some("stats") => {
             let opts: Vec<String> = args[1..].to_vec();
@@ -455,7 +514,12 @@ fn render_batch_text(batch: &parpat_engine::BatchReport) -> String {
             )
             .expect("write to String"),
             parpat_engine::AnalysisOutcome::Err(e) => {
-                writeln!(out, "{:<14} error {e}", o.name).expect("write to String");
+                let tag = if e.kind == parpat_engine::ErrorKind::Miscompile {
+                    " [MISCOMPILE]"
+                } else {
+                    ""
+                };
+                writeln!(out, "{:<14} error{tag} {e}", o.name).expect("write to String");
             }
         }
     }
@@ -884,6 +948,94 @@ fn main() {
         assert!(out.contains("red.ml"), "{out}");
         assert!(out.contains("pipe.ml"), "{out}");
         assert!(out.contains("[P010]"), "reduction diagnostic expected: {out}");
+    }
+
+    #[test]
+    fn verify_reports_clean_apps() {
+        let out = run(&args(&["verify", "apps"])).unwrap();
+        assert!(out.contains("17 program(s) verified, 0 with violations"), "{out}");
+        assert!(!out.contains("violation(s)"), "{out}");
+    }
+
+    #[test]
+    fn verify_fails_on_front_end_errors() {
+        let path = write_temp("verify-broken.ml", "fn main() { let = ; }");
+        let err = run(&args(&["verify", &path])).unwrap_err();
+        assert!(err.contains("[L0"), "front-end errors keep their L-codes: {err}");
+        assert!(err.contains("1 with violations"), "{err}");
+    }
+
+    const MISCOMPILE_SEED: &str = "global a[8];
+fn main() {
+    let s = 0;
+    for i in 0..8 {
+        a[i] = i * 2;
+        s += a[i];
+    }
+    return s;
+}";
+
+    #[test]
+    fn shrink_minimizes_a_seeded_miscompile() {
+        let path = write_temp("shrink-seed.ml", MISCOMPILE_SEED);
+        let out = run(&args(&["shrink", &path, "--inject", "swap-add-sub"])).unwrap();
+        assert!(out.starts_with("shrink: miscompile"), "{out}");
+        let body: Vec<&str> = out.splitn(2, "\n\n").collect();
+        let lines = body[1].trim_end().lines().count();
+        assert!(lines <= 10, "reproducer should be <= 10 lines, got {lines}:\n{out}");
+    }
+
+    #[test]
+    fn shrink_rejects_unknown_corruptions_and_healthy_seeds() {
+        let path = write_temp("shrink-healthy.ml", MISCOMPILE_SEED);
+        let err = run(&args(&["shrink", &path, "--inject", "gremlin"])).unwrap_err();
+        assert!(err.contains("unknown corruption"), "{err}");
+        let err = run(&args(&["shrink", &path])).unwrap_err();
+        assert!(err.contains("nothing to shrink"), "{err}");
+    }
+
+    #[test]
+    fn batch_sanitize_flag_is_accepted_and_counted() {
+        let (dir, _) = batch_dir();
+        let out = run(&args(&["batch", &dir, "--cache-dir", "none", "--sanitize"])).unwrap();
+        assert!(out.contains(" ok "), "clean programs pass the sanitizer: {out}");
+        assert!(out.contains("0 sanitizer reject(s)"), "{out}");
+        assert!(out.contains("2 verified"), "{out}");
+    }
+
+    #[test]
+    fn miscompile_errors_are_tagged_in_batch_text() {
+        let engine = std::sync::Arc::new(
+            parpat_engine::Engine::new(parpat_engine::EngineConfig::default()).unwrap(),
+        );
+        let mut batch = engine.batch(vec![], 1);
+        batch.outcomes.push(parpat_engine::ProgramOutcome {
+            name: "bad".into(),
+            outcome: parpat_engine::AnalysisOutcome::Err(parpat_engine::EngineError::new(
+                parpat_engine::Stage::Profile,
+                parpat_engine::ErrorKind::Miscompile,
+                "differential oracle: return value diverges",
+            )),
+            wall: std::time::Duration::ZERO,
+            fully_cached: false,
+        });
+        let text = render_batch_text(&batch);
+        assert!(text.contains("error [MISCOMPILE]"), "{text}");
+    }
+
+    #[test]
+    fn batch_directory_order_is_sorted_and_deterministic() {
+        let (dir, _) = batch_dir();
+        let run_once = || {
+            let out = run(&args(&["batch", &dir, "--cache-dir", "none"])).unwrap();
+            // Program lines only — the trailing stats include wall time.
+            out.lines().take_while(|l| !l.is_empty()).map(str::to_owned).collect::<Vec<_>>()
+        };
+        let first = run_once();
+        let pipe = first.iter().position(|l| l.contains("pipe.ml")).unwrap();
+        let red = first.iter().position(|l| l.contains("red.ml")).unwrap();
+        assert!(pipe < red, "directory inputs must be sorted by name: {first:?}");
+        assert_eq!(first, run_once(), "batch program listing over a directory is deterministic");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(clippy::unwrap_used)]
 
 pub mod cli;
+pub mod shrink;
 
 /// MiniLang front end (lexer, parser, semantic checks).
 pub use parpat_minilang as minilang;

@@ -1,0 +1,551 @@
+//! Deterministic delta-debugging shrinker for failing MiniLang programs.
+//!
+//! Given a program that trips the verification subsystem — an IR-verifier
+//! violation, a differential-oracle divergence, or an interpreter panic —
+//! [`shrink`] minimizes it while preserving the *same class* of failure,
+//! so a 200-line miscompiling input becomes a reproducer small enough to
+//! debug by eye. Three transformation passes run to a joint fixed point:
+//!
+//! 1. **statement deletion** (front to back, recursing into loop/if
+//!    bodies), plus deletion of unused globals and non-`main` functions;
+//! 2. **loop-bound halving** for constant `for` bounds;
+//! 3. **expression simplification** (a binary node collapses to its left
+//!    or right operand).
+//!
+//! Every candidate is pretty-printed and re-parsed, so the result is
+//! always a well-formed program whose printed layout *is* its line
+//! numbering. The whole process is deterministic: fixed pass order, no
+//! randomness, no wall clock (candidate executions are bounded by
+//! instruction count only), which lets CI diff the output byte-for-byte.
+//!
+//! `--inject <corruption>` applies `parpat_ir::corrupt` after lowering
+//! inside the predicate, turning the shrinker into a test harness for the
+//! verifier/oracle themselves: seed a known miscompile, then confirm it
+//! shrinks to a minimal program that still exposes it.
+
+use parpat_ir::{corrupt, lower, verify_against, Corruption, ExecLimits};
+use parpat_minilang::pretty::print_program;
+use parpat_minilang::{
+    divergence, evaluate_with_limits, parse_checked, Block, EvalLimits, Expr, Program, Stmt,
+};
+
+/// The failure class a candidate must reproduce to count as "still bad".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BadKind {
+    /// The IR verifier found structural violations after lowering.
+    Verifier,
+    /// The interpreter and the reference evaluator diverge (wrong value,
+    /// wrong global state, or one faults where the other succeeds).
+    Miscompile,
+    /// Lowering or execution panicked.
+    Panic,
+}
+
+impl BadKind {
+    fn describe(self) -> &'static str {
+        match self {
+            BadKind::Verifier => "IR verifier violation",
+            BadKind::Miscompile => "miscompile (differential oracle divergence)",
+            BadKind::Panic => "panic",
+        }
+    }
+}
+
+/// Instruction budgets for candidate executions. Bounded so a shrink step
+/// that accidentally creates an infinite loop is rejected (budget
+/// exhaustion is *not* interesting), with no wall clock so the verdict is
+/// identical on every machine.
+fn exec_limits() -> ExecLimits {
+    ExecLimits { max_insts: 2_000_000, timeout_ms: None, ..Default::default() }
+}
+
+fn eval_limits() -> EvalLimits {
+    EvalLimits { max_steps: 8_000_000, ..Default::default() }
+}
+
+/// Classify `src`: `None` when the program is invalid, over budget, or
+/// healthy; `Some(kind)` when it reproduces a failure of `kind`.
+/// Lowering and execution run inside an unwind boundary so a panicking
+/// candidate classifies as [`BadKind::Panic`] instead of killing the
+/// shrinker.
+pub fn classify(src: &str, inject: Option<Corruption>) -> Option<BadKind> {
+    let ast = parse_checked(src).ok()?;
+    let checked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut ir = lower(&ast);
+        if let Some(c) = inject {
+            if !corrupt(&mut ir, c) {
+                // No applicable corruption site: the candidate dropped the
+                // construct under test, so it cannot reproduce the bug.
+                return None;
+            }
+        }
+        if !verify_against(&ir, &ast).is_empty() {
+            return Some(BadKind::Verifier);
+        }
+        let entry = ir.entry?;
+        let interp = parpat_ir::run_function_captured(
+            &ir,
+            entry,
+            &[],
+            &mut parpat_ir::event::NullObserver,
+            exec_limits(),
+            None,
+        );
+        let oracle = evaluate_with_limits(&ast, eval_limits());
+        match (interp, oracle) {
+            // Budget exhaustion on either side is inconclusive, never bad.
+            (Err(i), _) if i.is_budget() => None,
+            (_, Err(o)) if o.is_budget() => None,
+            // Both fault: consistent behavior, the program is just wrong.
+            (Err(_), Err(_)) => None,
+            // Exactly one side faults: the toolchain diverges.
+            (Err(_), Ok(_)) | (Ok(_), Err(_)) => Some(BadKind::Miscompile),
+            (Ok(capture), Ok(reference)) => {
+                divergence(&ast, &reference, capture.outcome.return_value, &capture.globals)
+                    .map(|_| BadKind::Miscompile)
+            }
+        }
+    }));
+    match checked {
+        Ok(kind) => kind,
+        Err(_) => Some(BadKind::Panic),
+    }
+}
+
+/// The result of a shrink run.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// The failure class both the seed and the minimized program exhibit.
+    pub kind: BadKind,
+    /// Line count of the (normalized) seed program.
+    pub seed_lines: usize,
+    /// The minimized program, pretty-printed.
+    pub minimized: String,
+}
+
+impl Shrunk {
+    /// Render for the CLI / golden files: a one-line header, then the
+    /// minimized source.
+    pub fn render(&self) -> String {
+        format!(
+            "shrink: {} reproduced; {} seed line(s) -> {} minimized line(s)\n\n{}",
+            self.kind.describe(),
+            self.seed_lines,
+            self.minimized.trim_end().lines().count(),
+            self.minimized
+        )
+    }
+}
+
+/// Minimize `src` while preserving its failure class. Errors when the
+/// seed does not fail at all (there is nothing to shrink).
+pub fn shrink(src: &str, inject: Option<Corruption>) -> Result<Shrunk, String> {
+    // Normalize through the printer first so line counts and all later
+    // candidates share one layout.
+    let ast = parse_checked(src).map_err(|e| format!("seed does not parse: {e}"))?;
+    let mut current = print_program(&ast);
+    let kind = classify(&current, inject).ok_or_else(|| {
+        let hint = match inject {
+            Some(c) => format!(" (even with `--inject {}`)", c.name()),
+            None => String::new(),
+        };
+        format!("nothing to shrink: the program verifies and executes consistently{hint}")
+    })?;
+    let seed_lines = current.trim_end().lines().count();
+
+    // Each pass greedily applies every accepted mutation; the outer loop
+    // re-runs all passes until none of them makes progress.
+    loop {
+        let mut changed = false;
+        changed |= pass(&mut current, kind, inject, delete_candidates);
+        changed |= pass(&mut current, kind, inject, halve_candidates);
+        changed |= pass(&mut current, kind, inject, simplify_candidates);
+        if !changed {
+            break;
+        }
+    }
+    Ok(Shrunk { kind, seed_lines, minimized: current })
+}
+
+/// Run one pass to its own fixed point: generate candidates for the
+/// current program, accept the first that still reproduces `kind`, repeat.
+fn pass(
+    current: &mut String,
+    kind: BadKind,
+    inject: Option<Corruption>,
+    candidates: fn(&Program) -> Vec<Program>,
+) -> bool {
+    let mut changed = false;
+    'restart: loop {
+        let Ok(ast) = parse_checked(current) else { return changed };
+        for cand in candidates(&ast) {
+            let printed = print_program(&cand);
+            if printed.len() >= current.len() {
+                continue; // only accept strictly smaller programs
+            }
+            if classify(&printed, inject) == Some(kind) {
+                *current = printed;
+                changed = true;
+                continue 'restart;
+            }
+        }
+        return changed;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: deletion — statements (recursively), globals, spare functions.
+// ---------------------------------------------------------------------------
+
+fn delete_candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    // Whole non-main functions first (big wins early).
+    for (fi, f) in p.functions.iter().enumerate() {
+        if f.name != "main" {
+            let mut c = p.clone();
+            c.functions.remove(fi);
+            out.push(c);
+        }
+    }
+    // Globals.
+    for gi in 0..p.globals.len() {
+        let mut c = p.clone();
+        c.globals.remove(gi);
+        out.push(c);
+    }
+    // Individual statements, front to back, outer before inner.
+    let total = p.functions.iter().map(|f| count_stmts(&f.body)).sum::<usize>();
+    for k in 0..total {
+        let mut c = p.clone();
+        let mut k = k;
+        for f in &mut c.functions {
+            if delete_nth(&mut f.body, &mut k) {
+                break;
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn count_stmts(b: &Block) -> usize {
+    b.stmts
+        .iter()
+        .map(|s| {
+            1 + match s {
+                Stmt::For { body, .. } | Stmt::While { body, .. } => count_stmts(body),
+                Stmt::If { then_block, else_block, .. } => {
+                    count_stmts(then_block) + else_block.as_ref().map_or(0, count_stmts)
+                }
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+/// Delete the `k`-th statement of `b` in pre-order; `k` is decremented as
+/// statements are passed over, and the return value says whether the
+/// deletion happened inside this block.
+fn delete_nth(b: &mut Block, k: &mut usize) -> bool {
+    for i in 0..b.stmts.len() {
+        if *k == 0 {
+            b.stmts.remove(i);
+            return true;
+        }
+        *k -= 1;
+        let done = match &mut b.stmts[i] {
+            Stmt::For { body, .. } | Stmt::While { body, .. } => delete_nth(body, k),
+            Stmt::If { then_block, else_block, .. } => {
+                delete_nth(then_block, k) || else_block.as_mut().is_some_and(|e| delete_nth(e, k))
+            }
+            _ => false,
+        };
+        if done {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: halve constant `for` bounds.
+// ---------------------------------------------------------------------------
+
+fn halve_candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    let total = p.functions.iter().map(|f| count_fors(&f.body)).sum::<usize>();
+    for k in 0..total {
+        let mut c = p.clone();
+        let mut k = k;
+        let mut halved = false;
+        for f in &mut c.functions {
+            if halve_nth(&mut f.body, &mut k, &mut halved) {
+                break;
+            }
+        }
+        if halved {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn count_fors(b: &Block) -> usize {
+    b.stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::For { body, .. } => 1 + count_fors(body),
+            Stmt::While { body, .. } => count_fors(body),
+            Stmt::If { then_block, else_block, .. } => {
+                count_fors(then_block) + else_block.as_ref().map_or(0, count_fors)
+            }
+            _ => 0,
+        })
+        .sum()
+}
+
+fn halve_nth(b: &mut Block, k: &mut usize, halved: &mut bool) -> bool {
+    for s in &mut b.stmts {
+        match s {
+            Stmt::For { end, body, .. } => {
+                if *k == 0 {
+                    if let Expr::Number { value, .. } = end {
+                        let half = (*value / 2.0).floor();
+                        if half >= 1.0 && half < *value {
+                            *value = half;
+                            *halved = true;
+                        }
+                    }
+                    return true;
+                }
+                *k -= 1;
+                if halve_nth(body, k, halved) {
+                    return true;
+                }
+            }
+            Stmt::While { body, .. } => {
+                let hit = halve_nth(body, k, halved);
+                if hit {
+                    return true;
+                }
+            }
+            Stmt::If { then_block, else_block, .. } => {
+                let hit = halve_nth(then_block, k, halved)
+                    || else_block.as_mut().is_some_and(|e| halve_nth(e, k, halved));
+                if hit {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: simplify expressions — a binary node becomes its left or right
+// operand.
+// ---------------------------------------------------------------------------
+
+fn simplify_candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    let total = p.functions.iter().map(|f| count_binaries_block(&f.body)).sum::<usize>();
+    for k in 0..total {
+        for keep_left in [true, false] {
+            let mut c = p.clone();
+            let mut k = k;
+            let mut done = false;
+            for f in &mut c.functions {
+                simplify_block(&mut f.body, &mut k, keep_left, &mut done);
+                if done {
+                    break;
+                }
+            }
+            if done {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+fn count_binaries_block(b: &Block) -> usize {
+    b.stmts.iter().map(count_binaries_stmt).sum()
+}
+
+fn count_binaries_stmt(s: &Stmt) -> usize {
+    match s {
+        Stmt::Let { init, .. } => count_binaries_expr(init),
+        Stmt::Assign { target, value, .. } => {
+            let t = match target {
+                parpat_minilang::LValue::Var(_) => 0,
+                parpat_minilang::LValue::Index { indices, .. } => {
+                    indices.iter().map(count_binaries_expr).sum()
+                }
+            };
+            t + count_binaries_expr(value)
+        }
+        Stmt::For { start, end, body, .. } => {
+            count_binaries_expr(start) + count_binaries_expr(end) + count_binaries_block(body)
+        }
+        Stmt::While { cond, body, .. } => count_binaries_expr(cond) + count_binaries_block(body),
+        Stmt::If { cond, then_block, else_block, .. } => {
+            count_binaries_expr(cond)
+                + count_binaries_block(then_block)
+                + else_block.as_ref().map_or(0, count_binaries_block)
+        }
+        Stmt::Expr { expr, .. } => count_binaries_expr(expr),
+        Stmt::Return { value, .. } => value.as_ref().map_or(0, count_binaries_expr),
+        Stmt::Break { .. } => 0,
+    }
+}
+
+fn count_binaries_expr(e: &Expr) -> usize {
+    match e {
+        Expr::Binary { lhs, rhs, .. } => 1 + count_binaries_expr(lhs) + count_binaries_expr(rhs),
+        Expr::Unary { operand, .. } => count_binaries_expr(operand),
+        Expr::Call { args, .. } => args.iter().map(count_binaries_expr).sum(),
+        Expr::Index { indices, .. } => indices.iter().map(count_binaries_expr).sum(),
+        _ => 0,
+    }
+}
+
+fn simplify_block(b: &mut Block, k: &mut usize, keep_left: bool, done: &mut bool) {
+    for s in &mut b.stmts {
+        if *done {
+            return;
+        }
+        match s {
+            Stmt::Let { init, .. } => simplify_expr(init, k, keep_left, done),
+            Stmt::Assign { target, value, .. } => {
+                if let parpat_minilang::LValue::Index { indices, .. } = target {
+                    for ix in indices {
+                        simplify_expr(ix, k, keep_left, done);
+                    }
+                }
+                simplify_expr(value, k, keep_left, done);
+            }
+            Stmt::For { start, end, body, .. } => {
+                simplify_expr(start, k, keep_left, done);
+                simplify_expr(end, k, keep_left, done);
+                simplify_block(body, k, keep_left, done);
+            }
+            Stmt::While { cond, body, .. } => {
+                simplify_expr(cond, k, keep_left, done);
+                simplify_block(body, k, keep_left, done);
+            }
+            Stmt::If { cond, then_block, else_block, .. } => {
+                simplify_expr(cond, k, keep_left, done);
+                simplify_block(then_block, k, keep_left, done);
+                if let Some(e) = else_block {
+                    simplify_block(e, k, keep_left, done);
+                }
+            }
+            Stmt::Expr { expr, .. } => simplify_expr(expr, k, keep_left, done),
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    simplify_expr(v, k, keep_left, done);
+                }
+            }
+            Stmt::Break { .. } => {}
+        }
+    }
+}
+
+fn simplify_expr(e: &mut Expr, k: &mut usize, keep_left: bool, done: &mut bool) {
+    if *done {
+        return;
+    }
+    match e {
+        Expr::Binary { lhs, rhs, .. } => {
+            if *k == 0 {
+                *e = if keep_left { (**lhs).clone() } else { (**rhs).clone() };
+                *done = true;
+                return;
+            }
+            *k -= 1;
+            simplify_expr(lhs, k, keep_left, done);
+            simplify_expr(rhs, k, keep_left, done);
+        }
+        Expr::Unary { operand, .. } => simplify_expr(operand, k, keep_left, done),
+        Expr::Call { args, .. } => {
+            for a in args {
+                simplify_expr(a, k, keep_left, done);
+            }
+        }
+        Expr::Index { indices, .. } => {
+            for ix in indices {
+                simplify_expr(ix, k, keep_left, done);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    const HEALTHY: &str = "global a[8];
+fn main() {
+    let s = 0;
+    for i in 0..8 {
+        a[i] = i * 2;
+        s += a[i];
+    }
+    return s;
+}";
+
+    #[test]
+    fn healthy_programs_have_nothing_to_shrink() {
+        assert_eq!(classify(HEALTHY, None), None);
+        let err = shrink(HEALTHY, None).unwrap_err();
+        assert!(err.contains("nothing to shrink"), "{err}");
+    }
+
+    #[test]
+    fn injected_swap_add_sub_classifies_as_miscompile() {
+        assert_eq!(classify(HEALTHY, Some(Corruption::SwapAddSub)), Some(BadKind::Miscompile));
+    }
+
+    #[test]
+    fn injected_slot_corruption_classifies_as_verifier_violation() {
+        assert_eq!(classify(HEALTHY, Some(Corruption::OutOfRangeSlot)), Some(BadKind::Verifier));
+    }
+
+    #[test]
+    fn shrinking_a_seeded_miscompile_keeps_an_add_site_alive() {
+        let shrunk = shrink(HEALTHY, Some(Corruption::SwapAddSub)).unwrap();
+        assert_eq!(shrunk.kind, BadKind::Miscompile);
+        let lines = shrunk.minimized.trim_end().lines().count();
+        assert!(lines <= 10, "expected <= 10 lines, got {lines}:\n{}", shrunk.minimized);
+        // The corruption needs an Add instruction to bite, and the program
+        // must still diverge after the swap — so a `+` survives.
+        assert!(shrunk.minimized.contains('+'), "{}", shrunk.minimized);
+        assert_eq!(classify(&shrunk.minimized, Some(Corruption::SwapAddSub)), Some(shrunk.kind));
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let a = shrink(HEALTHY, Some(Corruption::SwapAddSub)).unwrap();
+        let b = shrink(HEALTHY, Some(Corruption::SwapAddSub)).unwrap();
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn minimized_output_is_a_fixed_point() {
+        let once = shrink(HEALTHY, Some(Corruption::SwapAddSub)).unwrap();
+        let twice = shrink(&once.minimized, Some(Corruption::SwapAddSub)).unwrap();
+        assert_eq!(once.minimized, twice.minimized, "shrinking a minimum must be a no-op");
+    }
+
+    #[test]
+    fn render_counts_lines() {
+        let shrunk = shrink(HEALTHY, Some(Corruption::SwapAddSub)).unwrap();
+        let header = shrunk.render();
+        assert!(header.starts_with("shrink: miscompile"), "{header}");
+        assert!(header.contains("-> "), "{header}");
+    }
+}

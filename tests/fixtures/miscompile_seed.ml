@@ -1,0 +1,24 @@
+global a[32];
+global b[32];
+
+fn scale(x) {
+    return x * 3 + 1;
+}
+
+fn main() {
+    let s = 0;
+    let t = 1;
+    for i in 0..32 {
+        a[i] = i + 1;
+    }
+    for i in 0..32 {
+        b[i] = scale(a[i]) + 2;
+    }
+    for i in 0..32 {
+        s += b[i];
+        if b[i] > 50 {
+            t = t + 1;
+        }
+    }
+    return s + t;
+}

@@ -1,0 +1,60 @@
+//! Golden snapshot of the automatic shrinker over the seeded-miscompile
+//! fixture.
+//!
+//! `parpat shrink --inject swap-add-sub` is fully deterministic — fixed
+//! pass order, no randomness, instruction-bounded candidate runs — so its
+//! output over `tests/fixtures/miscompile_seed.ml` is byte-stable. Any
+//! intentional change to the shrinking passes or the render format must
+//! regenerate the snapshot:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test shrink_golden
+//! ```
+
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn shrink_fixture_matches_golden_snapshot() {
+    let seed = repo_path("tests/fixtures/miscompile_seed.ml");
+    let args = vec![
+        "shrink".to_owned(),
+        seed.to_string_lossy().into_owned(),
+        "--inject".to_owned(),
+        "swap-add-sub".to_owned(),
+    ];
+    let actual = parpat::cli::run(&args).expect("the seeded miscompile shrinks");
+
+    let golden = repo_path("tests/golden/shrink_miscompile.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden, &actual).expect("write golden");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&golden)
+        .expect("golden file exists — regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        actual, expected,
+        "shrink output drifted from tests/golden/shrink_miscompile.txt; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn shrink_fixture_meets_the_acceptance_bound() {
+    let seed = std::fs::read_to_string(repo_path("tests/fixtures/miscompile_seed.ml"))
+        .expect("fixture exists");
+    let shrunk = parpat::shrink::shrink(&seed, Some(parpat::ir::Corruption::SwapAddSub))
+        .expect("the fixture reproduces a miscompile");
+    assert_eq!(shrunk.kind, parpat::shrink::BadKind::Miscompile);
+    let lines = shrunk.minimized.trim_end().lines().count();
+    assert!(lines <= 10, "acceptance bound: <= 10-line reproducer, got {lines}");
+    // The minimized program still reproduces the same failure class.
+    assert_eq!(
+        parpat::shrink::classify(&shrunk.minimized, Some(parpat::ir::Corruption::SwapAddSub)),
+        Some(shrunk.kind)
+    );
+}
