@@ -26,3 +26,7 @@ cargo test -q -p parpat-minilang --test fuzz
 # to the checked-in golden reproducer byte-for-byte.
 ./target/release/parpat shrink tests/fixtures/miscompile_seed.ml --inject swap-add-sub \
     | diff tests/golden/shrink_miscompile.txt -
+# Resident-service benchmark: the warm server must beat the cold one-shot
+# path by >= 2x (asserted inside the bench) and emit its JSON report.
+cargo bench -p parpat-bench --bench serve
+test -s BENCH_serve.json

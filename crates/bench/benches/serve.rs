@@ -1,0 +1,153 @@
+//! Service benchmark: batch throughput of the warm resident server
+//! against the cold one-shot path, plus the latency of an incremental
+//! single-function edit. Emits `BENCH_serve.json` at the repo root for
+//! CI to check in addition to the printed table.
+//!
+//! The comparison is deliberately end-to-end on the server side — every
+//! request crosses a real TCP socket and the analysis pool — so the
+//! measured speedup is what an editor-loop client would actually see,
+//! not just a cache microbenchmark.
+
+use std::time::{Duration, Instant};
+
+use parpat_engine::{BatchInput, Engine, EngineConfig};
+use parpat_serve::{parse_json, Client, Json, ServeConfig, Server};
+use parpat_suite::all_apps;
+
+/// Measured passes per side (one extra warm-up pass for the server).
+const PASSES: usize = 3;
+
+const EDIT_V1: &str = "global out[32];
+fn scale(x) { return x * 2; }
+fn main() {
+    let sum = 0;
+    for i in 0..32 {
+        out[i] = scale(i);
+        sum += out[i];
+    }
+    return sum;
+}";
+
+const EDIT_V2: &str = "global out[32];
+fn scale(x) { return x * 2; }
+fn main() {
+    let sum = 0;
+    for i in 0..32 {
+        out[i] = scale(i);
+        sum += out[i] + 1;
+    }
+    return sum;
+}";
+
+/// Cold one-shot baseline: a fresh engine (empty cache) per pass, like
+/// invoking `parpat batch apps` from scratch each time.
+fn cold_oneshot(programs: usize) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..PASSES {
+        let engine = Engine::new(EngineConfig::default()).expect("engine");
+        let start = Instant::now();
+        for app in all_apps() {
+            let outcome = engine.analyze_one(&BatchInput {
+                name: app.name.to_owned(),
+                source: app.model.to_owned(),
+            });
+            assert!(outcome.outcome.is_ok(), "{} analyzes cleanly", app.name);
+        }
+        total += start.elapsed();
+    }
+    assert_eq!(programs, all_apps().len());
+    total / PASSES as u32
+}
+
+/// Warm resident server: one warm-up pass fills the cache, then each
+/// measured pass re-submits the whole suite over the socket.
+fn warm_server(client: &mut Client, programs: usize) -> Duration {
+    // Warm-up: populate the cache (not measured).
+    for app in all_apps() {
+        let response = client.analyze_app(app.name).expect("analyze");
+        assert!(response.contains("\"status\": \"ok\""), "{response}");
+    }
+    let mut total = Duration::ZERO;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        for app in all_apps() {
+            let response = client.analyze_app(app.name).expect("analyze");
+            assert!(response.contains("\"cached\": true"), "warm pass must hit: {response}");
+        }
+        total += start.elapsed();
+    }
+    assert_eq!(programs, all_apps().len());
+    total / PASSES as u32
+}
+
+/// Latency of re-submitting a file with exactly one edited function.
+fn incremental_edit(client: &mut Client) -> (Duration, u64) {
+    let cold = client.analyze("edit.ml", EDIT_V1).expect("analyze v1");
+    assert!(cold.contains("\"status\": \"ok\""), "{cold}");
+    let start = Instant::now();
+    let warm = client.analyze("edit.ml", EDIT_V2).expect("analyze v2");
+    let latency = start.elapsed();
+    let v = parse_json(&warm).expect("valid JSON");
+    let funcs = v.get("funcs_reanalyzed").and_then(Json::as_num).expect("counter") as u64;
+    assert_eq!(funcs, 1, "only the edited function re-runs: {warm}");
+    (latency, funcs)
+}
+
+fn main() {
+    let programs = all_apps().len();
+    let cold = cold_oneshot(programs);
+
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        cache_dir: None,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp listener").to_string();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    let warm = warm_server(&mut client, programs);
+    let (edit_latency, edit_funcs) = incremental_edit(&mut client);
+
+    let _ = client.shutdown();
+    server.wait();
+
+    let cold_tput = programs as f64 / cold.as_secs_f64();
+    let warm_tput = programs as f64 / warm.as_secs_f64();
+    let speedup = warm_tput / cold_tput;
+    println!(
+        "serve/cold_oneshot    {programs} programs in {:>10.3} ms  ({cold_tput:>8.1} programs/s)",
+        cold.as_secs_f64() * 1e3
+    );
+    println!(
+        "serve/warm_server     {programs} programs in {:>10.3} ms  ({warm_tput:>8.1} programs/s)",
+        warm.as_secs_f64() * 1e3
+    );
+    println!("serve/speedup         {speedup:.1}x");
+    println!(
+        "serve/incremental     1-function edit re-analyzed {edit_funcs} function(s) in {:.3} ms",
+        edit_latency.as_secs_f64() * 1e3
+    );
+
+    let json = format!(
+        "{{\"programs\": {programs}, \"passes\": {PASSES}, \
+         \"cold_oneshot\": {{\"wall_ms\": {:.3}, \"programs_per_sec\": {:.2}}}, \
+         \"warm_server\": {{\"wall_ms\": {:.3}, \"programs_per_sec\": {:.2}}}, \
+         \"speedup\": {:.2}, \
+         \"incremental_edit\": {{\"latency_ms\": {:.3}, \"funcs_reanalyzed\": {edit_funcs}}}}}\n",
+        cold.as_secs_f64() * 1e3,
+        cold_tput,
+        warm.as_secs_f64() * 1e3,
+        warm_tput,
+        speedup,
+        edit_latency.as_secs_f64() * 1e3,
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&out, json).expect("write BENCH_serve.json");
+    println!("serve/report          {}", out.display());
+
+    assert!(
+        speedup >= 2.0,
+        "warm server must be at least 2x the cold one-shot throughput, got {speedup:.2}x"
+    );
+}

@@ -120,15 +120,55 @@ impl CuSet {
 }
 
 /// Build the CUs of every region of the program.
+///
+/// Implemented as the merge of per-function fragments so whole-program and
+/// incremental (per-function cached) construction share one code path and
+/// produce identical sets.
 pub fn build_cus(prog: &IrProgram) -> CuSet {
+    let frags: Vec<CuSet> = prog.functions.iter().map(|f| build_function_cus(prog, f.id)).collect();
+    merge_cu_sets(&frags)
+}
+
+/// Build the CUs of one function's regions — its body plus every loop
+/// nested inside it — with [`CuId`]s local to the returned fragment
+/// (starting at 0). The whole program is still required as context for
+/// instruction metadata and global/callee names. Fragments merged in
+/// program function order with [`merge_cu_sets`] reproduce [`build_cus`]
+/// exactly.
+pub fn build_function_cus(prog: &IrProgram, func: FuncId) -> CuSet {
     let mut set = CuSet::default();
-    for f in &prog.functions {
-        let mut builder = RegionBuilder::new(prog, RegionId::FuncBody(f.id), &mut set);
-        builder.stmts(&f.body);
-        builder.finish();
-        build_loop_regions(prog, &f.body, &mut set);
+    let f = &prog.functions[func];
+    let mut builder = RegionBuilder::new(prog, RegionId::FuncBody(f.id), &mut set);
+    builder.stmts(&f.body);
+    builder.finish();
+    build_loop_regions(prog, &f.body, &mut set);
+    reindex(&mut set);
+    set
+}
+
+/// Merge per-function fragments (in program function order) into one
+/// whole-program [`CuSet`], offsetting each fragment's local [`CuId`]s by
+/// the number of CUs already merged. Regions are lexically owned by
+/// exactly one function, so region entries never collide.
+pub fn merge_cu_sets<'a>(fragments: impl IntoIterator<Item = &'a CuSet>) -> CuSet {
+    let mut set = CuSet::default();
+    for frag in fragments {
+        let base = set.cus.len();
+        for cu in &frag.cus {
+            let mut cu = cu.clone();
+            cu.id += base;
+            set.cus.push(cu);
+        }
+        for (region, ids) in &frag.by_region {
+            set.by_region.insert(*region, ids.iter().map(|&c| c + base).collect());
+        }
     }
-    // Populate the reverse index.
+    reindex(&mut set);
+    set
+}
+
+/// (Re)build the instruction → CU reverse index from `cus`.
+fn reindex(set: &mut CuSet) {
     let mut index: HashMap<InstId, Vec<CuId>> = HashMap::new();
     for cu in &set.cus {
         for &i in &cu.insts {
@@ -136,7 +176,6 @@ pub fn build_cus(prog: &IrProgram) -> CuSet {
         }
     }
     set.inst_to_cus = index;
-    set
 }
 
 /// Recursively build CU regions for every loop in a statement list.

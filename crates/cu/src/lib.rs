@@ -30,6 +30,6 @@ pub mod build;
 pub mod dot;
 pub mod graph;
 
-pub use build::{build_cus, Cu, CuId, CuKind, CuSet, RegionId};
+pub use build::{build_cus, build_function_cus, merge_cu_sets, Cu, CuId, CuKind, CuSet, RegionId};
 pub use dot::cu_graph_to_dot;
 pub use graph::{avg_activation_costs, build_graph, CuGraph};

@@ -31,7 +31,7 @@ use parpat_cu::CuSet;
 use parpat_ir::IrProgram;
 use parpat_minilang::Program;
 use parpat_runtime::lock_recover;
-use parpat_static::StaticReport;
+use parpat_static::{LoopReport, StaticReport};
 
 use crate::report::ProgramReport;
 
@@ -48,8 +48,15 @@ pub enum Artifact {
     Ir(Arc<IrProgram>),
     /// Static dependence verdicts per loop.
     Static(Arc<StaticReport>),
+    /// One function's static loop reports — a per-function fragment of the
+    /// static stage, keyed by the function digest (memory tier only).
+    StaticFunc(Arc<Vec<LoopReport>>),
     /// Computational units.
     Cus(Arc<CuSet>),
+    /// One function's CU set with fragment-local ids — a per-function
+    /// fragment of the cu stage, keyed by the function digest (memory tier
+    /// only).
+    CuFunc(Arc<CuSet>),
     /// Dependence profile + PET from the instrumented run.
     Profile(Arc<ProfiledRun>),
     /// Assembled analysis with every detector's findings.

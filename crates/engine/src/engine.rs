@@ -45,7 +45,7 @@
 //!   appends one fsynced record to `journal.wal`; `resume` replays the
 //!   journal and skips completed programs byte-identically (`resumed`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -55,16 +55,17 @@ use parpat_core::{
     assemble_analysis, detect_patterns, profile_ir_controlled, rank_patterns, render_ranking,
     Analysis, AnalysisConfig, RankConfig,
 };
-use parpat_cu::{build_cus, CuSet};
-use parpat_ir::{ExecControl, IrProgram};
+use parpat_cu::{build_function_cus, merge_cu_sets, CuSet};
+use parpat_ir::{ExecControl, FuncId, IrProgram};
 use parpat_minilang::Program;
 use parpat_runtime::{lock_recover, Supervised, ThreadPool, Watchdog, WatchdogConfig};
-use parpat_static::{analyze_ir, StaticReport};
+use parpat_static::{analyze_function, merge_function_reports, LoopReport, StaticReport};
 
 use crate::cache::{Artifact, Cache, Lookup};
 use crate::digest::{hash_bytes, Fnv64};
 use crate::error::{EngineError, ErrorKind};
 use crate::fault::{FaultMode, FaultPlan};
+use crate::funcdigest::function_digests;
 use crate::journal::{Journal, JournalEntry, StoredOutcome};
 use crate::report::{DegradedReport, ProgramReport};
 use crate::stage::Stage;
@@ -203,6 +204,10 @@ pub struct ProgramOutcome {
     pub wall: Duration,
     /// `true` when every stage resolved from the cache (nothing executed).
     pub fully_cached: bool,
+    /// Number of distinct functions whose per-function stage fragments
+    /// (static analysis, CU construction) actually executed — `0` when
+    /// every fragment (or the whole stage) came from the cache.
+    pub funcs_reanalyzed: u64,
 }
 
 /// A completed batch: outcomes in input order plus the stats snapshot.
@@ -217,6 +222,9 @@ pub struct BatchReport {
 #[derive(Default)]
 struct BatchCounters {
     stages: [StageCounters; 7],
+    requests: AtomicU64,
+    served_cached: AtomicU64,
+    funcs_reanalyzed: AtomicU64,
     errors: AtomicU64,
     degraded: AtomicU64,
     panics: AtomicU64,
@@ -284,6 +292,19 @@ impl BatchCounters {
             }
         }
     }
+}
+
+/// Accumulating counter scope for a resident analysis service.
+///
+/// A batch's counters live exactly as long as the batch; a daemon instead
+/// opens one `Session` at startup ([`Engine::open_session`]), routes every
+/// request through [`Engine::analyze_in_session`], and snapshots
+/// service-lifetime totals with [`Engine::session_stats`] on demand. All
+/// state is atomic — a session is shared freely across worker threads.
+pub struct Session {
+    counters: BatchCounters,
+    programs: AtomicU64,
+    start: Instant,
 }
 
 /// Adapter exposing one job attempt's [`ExecControl`] to the watchdog.
@@ -381,6 +402,36 @@ impl Engine {
         self.run_one(input, 0, &counters)
     }
 
+    /// Open an accumulating counter scope for a resident service: requests
+    /// analyzed through [`Engine::analyze_in_session`] fold their stage and
+    /// outcome counters into the session instead of a per-batch scope, so
+    /// `parpat stats` sees service-lifetime totals.
+    pub fn open_session(&self) -> Session {
+        Session {
+            counters: BatchCounters::default(),
+            programs: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Analyze one program, accounting into `session` (fault plans see it
+    /// as batch index 0). Safe to call from many threads concurrently.
+    pub fn analyze_in_session(&self, session: &Session, input: &BatchInput) -> ProgramOutcome {
+        session.programs.fetch_add(1, Ordering::Relaxed);
+        self.run_one(input, 0, &session.counters)
+    }
+
+    /// Snapshot the session's accumulated statistics. `jobs` is the
+    /// service's worker count (informational, like a batch's job count).
+    pub fn session_stats(&self, session: &Session, jobs: u64) -> EngineStats {
+        self.snapshot(
+            &session.counters,
+            jobs,
+            session.programs.load(Ordering::Relaxed),
+            session.start.elapsed(),
+        )
+    }
+
     /// Analyze a batch on `jobs` worker threads. Results come back in
     /// input order regardless of scheduling; stats cover this batch only
     /// (evictions, live entries, and recovered records are
@@ -459,13 +510,18 @@ impl Engine {
     ) -> ProgramOutcome {
         if let Some(stored) = restored.get(&index) {
             counters.resumed.fetch_add(1, Ordering::Relaxed);
+            counters.requests.fetch_add(1, Ordering::Relaxed);
             let (outcome, fully_cached) = restore_outcome(stored);
+            if fully_cached {
+                counters.served_cached.fetch_add(1, Ordering::Relaxed);
+            }
             counters.account(&outcome);
             return ProgramOutcome {
                 name: input.name.clone(),
                 outcome,
                 wall: Duration::ZERO,
                 fully_cached,
+                funcs_reanalyzed: 0,
             };
         }
         let po = self.run_one(input, index, counters);
@@ -545,10 +601,11 @@ impl Engine {
         counters: &BatchCounters,
     ) -> ProgramOutcome {
         let start = Instant::now();
+        counters.requests.fetch_add(1, Ordering::Relaxed);
         let mut requeued = false;
         let mut attempts = 0u32;
-        let (outcome, fully_cached) = loop {
-            let (outcome, fully_cached) = self.run_attempt(input, index, counters);
+        let (outcome, fully_cached, funcs_reanalyzed) = loop {
+            let (outcome, fully_cached, funcs) = self.run_attempt(input, index, counters);
             match outcome.error().map(|e| e.kind) {
                 Some(ErrorKind::Stalled) if !requeued => {
                     requeued = true;
@@ -559,11 +616,20 @@ impl Engine {
                     counters.retries.fetch_add(1, Ordering::Relaxed);
                     self.sleep_for(self.backoff(attempts));
                 }
-                _ => break (outcome, fully_cached),
+                _ => break (outcome, fully_cached, funcs),
             }
         };
+        if fully_cached {
+            counters.served_cached.fetch_add(1, Ordering::Relaxed);
+        }
         counters.account(&outcome);
-        ProgramOutcome { name: input.name.clone(), outcome, wall: start.elapsed(), fully_cached }
+        ProgramOutcome {
+            name: input.name.clone(),
+            outcome,
+            wall: start.elapsed(),
+            fully_cached,
+            funcs_reanalyzed,
+        }
     }
 
     /// One attempt at a program: fresh [`ExecControl`], watchdog
@@ -574,7 +640,7 @@ impl Engine {
         input: &BatchInput,
         index: usize,
         counters: &BatchCounters,
-    ) -> (AnalysisOutcome, bool) {
+    ) -> (AnalysisOutcome, bool, u64) {
         let ctl = Arc::new(ExecControl::new());
         let _watch = self.watchdog.as_ref().map(|w| {
             w.register(Arc::new(JobWatch { ctl: Arc::clone(&ctl) }) as Arc<dyn Supervised>)
@@ -588,8 +654,9 @@ impl Engine {
             },
         };
         let fully_cached = outcome.is_ok() && run.states.iter().all(|s| *s == St::Hit);
+        let funcs = run.funcs_reanalyzed.len() as u64;
         run.flush(counters);
-        (outcome, fully_cached)
+        (outcome, fully_cached, funcs)
     }
 
     fn snapshot(
@@ -604,6 +671,9 @@ impl Engine {
         EngineStats {
             stages,
             programs,
+            requests: counters.requests.load(Ordering::Relaxed),
+            served_from_cache: counters.served_cached.load(Ordering::Relaxed),
+            funcs_reanalyzed: counters.funcs_reanalyzed.load(Ordering::Relaxed),
             errors: counters.errors.load(Ordering::Relaxed),
             degraded: counters.degraded.load(Ordering::Relaxed),
             panics: counters.panics.load(Ordering::Relaxed),
@@ -675,9 +745,15 @@ struct ProgRun<'e> {
     states: [St; 7],
     wall: [Duration; 7],
     insts_executed: u64,
+    /// Functions whose per-function stage fragments (static, CU) actually
+    /// executed during this attempt.
+    funcs_reanalyzed: HashSet<FuncId>,
 
     ast_d: Option<u64>,
     ir_d: Option<u64>,
+    /// Per-function digests of the lowered IR, in function order
+    /// ([`function_digests`]); `ir_d` is the chain of these.
+    func_ds: Option<Arc<Vec<u64>>>,
     stat_d: Option<u64>,
     cu_d: Option<u64>,
     prof_d: Option<u64>,
@@ -710,8 +786,10 @@ impl<'e> ProgRun<'e> {
             states: [St::Unresolved; 7],
             wall: [Duration::ZERO; 7],
             insts_executed: 0,
+            funcs_reanalyzed: HashSet::new(),
             ast_d: None,
             ir_d: None,
+            func_ds: None,
             stat_d: None,
             cu_d: None,
             prof_d: None,
@@ -743,6 +821,7 @@ impl<'e> ProgRun<'e> {
         counters.stages[Stage::Profile.index()]
             .insts
             .fetch_add(self.insts_executed, Ordering::Relaxed);
+        counters.funcs_reanalyzed.fetch_add(self.funcs_reanalyzed.len() as u64, Ordering::Relaxed);
     }
 
     /// Execute stage `s`'s function under the wall-time clock and mark it
@@ -880,7 +959,6 @@ impl<'e> ProgRun<'e> {
     fn run_lower(&mut self) -> Result<(), EngineError> {
         let ast = self.ast()?;
         let k = key("lower", &[self.ast_d.expect("ast resolved")]);
-        let d = key("ir", &[self.ast_d.expect("ast resolved")]);
         // Peek at the plan list directly: `fault_for` trip-counts, and this
         // probe must not consume trips of a Transient/Stall plan armed at
         // the lower stage.
@@ -913,9 +991,16 @@ impl<'e> ProgRun<'e> {
                 ),
             ));
         }
+        // The IR digest is the chain of the *per-function* content digests
+        // rather than a function of the AST digest: two sources lowering to
+        // the same functions share every downstream stage, and an edited
+        // source invalidates exactly the fragments whose functions changed.
+        let fds = Arc::new(function_digests(&ir));
+        let d = key("ir", &fds);
         self.eng.cache.insert(k, d, Artifact::Ir(Arc::clone(&ir)), None);
         self.ir = Some(ir);
         self.ir_d = Some(d);
+        self.func_ds = Some(fds);
         Ok(())
     }
 
@@ -947,13 +1032,52 @@ impl<'e> ProgRun<'e> {
         Ok(Arc::clone(self.ir.as_ref().expect("set above")))
     }
 
+    /// The per-function IR digests, computing them from the materialized IR
+    /// when lowering itself was a cache hit. Deterministic, so recomputed
+    /// digests match the ones `run_lower` chained into `ir_d`.
+    fn func_digests(&mut self) -> Result<Arc<Vec<u64>>, EngineError> {
+        if self.func_ds.is_none() {
+            let ir = self.ir()?;
+            self.func_ds = Some(Arc::new(function_digests(&ir)));
+        }
+        Ok(Arc::clone(self.func_ds.as_ref().expect("set above")))
+    }
+
     // ---- static ---------------------------------------------------------
 
     fn run_static(&mut self) -> Result<(), EngineError> {
         let ir = self.ir()?;
-        let k = key("static", &[self.ir_d.expect("ir resolved")]);
-        let d = key("static.out", &[self.ir_d.expect("ir resolved")]);
-        let statics = Arc::new(self.execute(Stage::Static, |_| analyze_ir(&ir))?);
+        let fds = self.func_digests()?;
+        let ir_d = self.ir_d.expect("ir resolved");
+        let k = key("static", &[ir_d]);
+        let d = key("static.out", &[ir_d]);
+        // The stage executes as a merge of per-function fragments, each
+        // cached (memory tier) under its function digest: a re-submitted
+        // source re-analyzes only the functions whose digests changed.
+        // Fragment hits do not touch the stage hit/miss accounting — the
+        // stage itself still missed (the merge ran); `funcs_reanalyzed`
+        // reports the fragment-level work.
+        let statics = Arc::new(self.execute(Stage::Static, |r| {
+            let mut parts: Vec<Arc<Vec<LoopReport>>> = Vec::with_capacity(ir.functions.len());
+            for (f, &fd) in ir.functions.iter().zip(fds.iter()) {
+                let fk = key("static.func", &[fd]);
+                let frag = match r.eng.cache.lookup(fk) {
+                    Lookup::Memory(Artifact::StaticFunc(p), _) => p,
+                    _ => {
+                        r.funcs_reanalyzed.insert(f.id);
+                        let p = Arc::new(analyze_function(&ir, f.id));
+                        r.eng.cache.insert_memory(
+                            fk,
+                            key("static.func.out", &[fd]),
+                            Artifact::StaticFunc(Arc::clone(&p)),
+                        );
+                        p
+                    }
+                };
+                parts.push(frag);
+            }
+            merge_function_reports(parts.iter().map(|p| p.as_slice()))
+        })?);
         self.eng.cache.insert(k, d, Artifact::Static(Arc::clone(&statics)), None);
         self.statics = Some(statics);
         self.stat_d = Some(d);
@@ -992,9 +1116,34 @@ impl<'e> ProgRun<'e> {
 
     fn run_cus(&mut self) -> Result<(), EngineError> {
         let ir = self.ir()?;
-        let k = key("cu", &[self.ir_d.expect("ir resolved")]);
-        let d = key("cu.out", &[self.ir_d.expect("ir resolved")]);
-        let cus = Arc::new(self.execute(Stage::CuBuild, |_| build_cus(&ir))?);
+        let fds = self.func_digests()?;
+        let ir_d = self.ir_d.expect("ir resolved");
+        let k = key("cu", &[ir_d]);
+        let d = key("cu.out", &[ir_d]);
+        // Same fragment discipline as the static stage: per-function CU
+        // sets (fragment-local ids) cached under the function digest, then
+        // merged in function order — which reproduces `build_cus` exactly.
+        let cus = Arc::new(self.execute(Stage::CuBuild, |r| {
+            let mut frags: Vec<Arc<CuSet>> = Vec::with_capacity(ir.functions.len());
+            for (f, &fd) in ir.functions.iter().zip(fds.iter()) {
+                let fk = key("cu.func", &[fd]);
+                let frag = match r.eng.cache.lookup(fk) {
+                    Lookup::Memory(Artifact::CuFunc(c), _) => c,
+                    _ => {
+                        r.funcs_reanalyzed.insert(f.id);
+                        let c = Arc::new(build_function_cus(&ir, f.id));
+                        r.eng.cache.insert_memory(
+                            fk,
+                            key("cu.func.out", &[fd]),
+                            Artifact::CuFunc(Arc::clone(&c)),
+                        );
+                        c
+                    }
+                };
+                frags.push(frag);
+            }
+            merge_cu_sets(frags.iter().map(|c| c.as_ref()))
+        })?);
         self.eng.cache.insert(k, d, Artifact::Cus(Arc::clone(&cus)), None);
         self.cus = Some(cus);
         self.cu_d = Some(d);

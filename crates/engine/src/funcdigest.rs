@@ -1,0 +1,281 @@
+//! Per-function content digests over the lowered IR.
+//!
+//! The whole-program digest chain (PR 1) invalidates every downstream
+//! stage when *anything* in the program changes. The resident service
+//! wants finer grain: re-submitting a file with one edited function should
+//! re-run only that function's static/CU work. This module computes one
+//! FNV-1a digest per [`IrFunction`] so the engine can key per-function
+//! stage fragments and derive the whole-program IR digest as the chain of
+//! the function digests.
+//!
+//! A function digest covers:
+//!
+//! - a **context digest** shared by every function of the program: the
+//!   global-array table (names, dims, base addresses) and the name table
+//!   of all functions. Static analysis and CU construction print callee
+//!   and array names into their reports, so renaming *any* function or
+//!   global must invalidate every fragment that could mention it;
+//! - the function's own header (id, name, params, slots, slot names,
+//!   definition line);
+//! - a structural walk of the body: statement/expression tags, operator
+//!   and builtin discriminants, constants by bit pattern, slot/array/
+//!   callee/loop ids, and each instruction's id and source line.
+//!
+//! Instruction and loop ids are **globally dense** across the program, so
+//! inserting a statement into an early function shifts the ids embedded in
+//! every later function and honestly invalidates their digests — the ids
+//! appear verbatim in reports, so those fragments genuinely differ.
+//! Editing the *last* function, or making a count-preserving edit, leaves
+//! every other function's digest (and cached fragments) intact.
+
+use parpat_ir::ir::{IrExpr, IrFunction, IrProgram, IrStmt, LoopKind};
+
+use crate::digest::Fnv64;
+
+/// One digest per function of `ir`, in [`IrProgram::functions`] order.
+pub fn function_digests(ir: &IrProgram) -> Vec<u64> {
+    let ctx = context_digest(ir);
+    ir.functions.iter().map(|f| function_digest(ir, f, ctx)).collect()
+}
+
+/// The part of the program every function's analysis can observe by name:
+/// the global-array table and the function name table.
+fn context_digest(ir: &IrProgram) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(b"ctx");
+    h.write_u64(ir.globals.len() as u64);
+    for g in &ir.globals {
+        h.write_u64(g.id as u64);
+        write_str(&mut h, &g.name);
+        h.write_u64(g.dims.len() as u64);
+        for &d in &g.dims {
+            h.write_u64(d as u64);
+        }
+        h.write_u64(g.base_addr);
+    }
+    h.write_u64(ir.functions.len() as u64);
+    for f in &ir.functions {
+        write_str(&mut h, &f.name);
+    }
+    h.finish()
+}
+
+fn function_digest(ir: &IrProgram, f: &IrFunction, ctx: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(b"func");
+    h.write_u64(ctx);
+    h.write_u64(f.id as u64);
+    write_str(&mut h, &f.name);
+    h.write_u64(f.n_params as u64);
+    h.write_u64(f.n_slots as u64);
+    for s in &f.slot_names {
+        write_str(&mut h, s);
+    }
+    h.write_u64(u64::from(f.line));
+    walk_stmts(ir, &f.body, &mut h);
+    h.finish()
+}
+
+/// Length-prefix strings so `("ab","c")` and `("a","bc")` differ.
+fn write_str(h: &mut Fnv64, s: &str) {
+    h.write_u64(s.len() as u64);
+    h.write(s.as_bytes());
+}
+
+/// Absorb an instruction reference: its (globally dense) id plus its
+/// source line, which reports print.
+fn write_inst(ir: &IrProgram, inst: u32, h: &mut Fnv64) {
+    h.write_u64(u64::from(inst));
+    h.write_u64(u64::from(ir.insts[inst as usize].line));
+}
+
+fn walk_stmts(ir: &IrProgram, stmts: &[IrStmt], h: &mut Fnv64) {
+    h.write_u64(stmts.len() as u64);
+    for s in stmts {
+        walk_stmt(ir, s, h);
+    }
+}
+
+fn walk_stmt(ir: &IrProgram, s: &IrStmt, h: &mut Fnv64) {
+    match s {
+        IrStmt::StoreLocal { slot, value, inst } => {
+            h.write(b"sl");
+            h.write_u64(*slot as u64);
+            write_inst(ir, *inst, h);
+            walk_expr(ir, value, h);
+        }
+        IrStmt::StoreIndex { array, indices, value, inst } => {
+            h.write(b"si");
+            h.write_u64(*array as u64);
+            write_inst(ir, *inst, h);
+            h.write_u64(indices.len() as u64);
+            for ix in indices {
+                walk_expr(ir, ix, h);
+            }
+            walk_expr(ir, value, h);
+        }
+        IrStmt::Loop { id, kind, body, inst } => {
+            h.write(b"lp");
+            h.write_u64(u64::from(*id));
+            write_inst(ir, *inst, h);
+            match kind {
+                LoopKind::For { slot, start, end } => {
+                    h.write(b"for");
+                    h.write_u64(*slot as u64);
+                    walk_expr(ir, start, h);
+                    walk_expr(ir, end, h);
+                }
+                LoopKind::While { cond } => {
+                    h.write(b"whl");
+                    walk_expr(ir, cond, h);
+                }
+            }
+            walk_stmts(ir, body, h);
+        }
+        IrStmt::If { cond, then_body, else_body, inst } => {
+            h.write(b"if");
+            write_inst(ir, *inst, h);
+            walk_expr(ir, cond, h);
+            walk_stmts(ir, then_body, h);
+            walk_stmts(ir, else_body, h);
+        }
+        IrStmt::Return { value, inst } => {
+            h.write(b"rt");
+            write_inst(ir, *inst, h);
+            match value {
+                Some(v) => {
+                    h.write(b"s");
+                    walk_expr(ir, v, h);
+                }
+                None => {
+                    h.write(b"n");
+                }
+            }
+        }
+        IrStmt::Break { inst } => {
+            h.write(b"br");
+            write_inst(ir, *inst, h);
+        }
+        IrStmt::ExprStmt { expr, inst } => {
+            h.write(b"ex");
+            write_inst(ir, *inst, h);
+            walk_expr(ir, expr, h);
+        }
+    }
+}
+
+fn walk_expr(ir: &IrProgram, e: &IrExpr, h: &mut Fnv64) {
+    match e {
+        IrExpr::Const { value, inst } => {
+            h.write(b"c");
+            write_inst(ir, *inst, h);
+            h.write_f64(*value);
+        }
+        IrExpr::Bool { value, inst } => {
+            h.write(b"b");
+            write_inst(ir, *inst, h);
+            h.write_u64(u64::from(*value));
+        }
+        IrExpr::LoadLocal { slot, inst } => {
+            h.write(b"ll");
+            write_inst(ir, *inst, h);
+            h.write_u64(*slot as u64);
+        }
+        IrExpr::LoadIndex { array, indices, inst } => {
+            h.write(b"li");
+            write_inst(ir, *inst, h);
+            h.write_u64(*array as u64);
+            h.write_u64(indices.len() as u64);
+            for ix in indices {
+                walk_expr(ir, ix, h);
+            }
+        }
+        IrExpr::CallFn { func, args, inst } => {
+            h.write(b"cf");
+            write_inst(ir, *inst, h);
+            h.write_u64(*func as u64);
+            h.write_u64(args.len() as u64);
+            for a in args {
+                walk_expr(ir, a, h);
+            }
+        }
+        IrExpr::CallBuiltin { builtin, args, inst } => {
+            h.write(b"cb");
+            write_inst(ir, *inst, h);
+            h.write_u64(*builtin as u64);
+            h.write_u64(args.len() as u64);
+            for a in args {
+                walk_expr(ir, a, h);
+            }
+        }
+        IrExpr::Unary { op, operand, inst } => {
+            h.write(b"un");
+            write_inst(ir, *inst, h);
+            h.write_u64(*op as u64);
+            walk_expr(ir, operand, h);
+        }
+        IrExpr::Binary { op, lhs, rhs, inst } => {
+            h.write(b"bi");
+            write_inst(ir, *inst, h);
+            h.write_u64(*op as u64);
+            walk_expr(ir, lhs, h);
+            walk_expr(ir, rhs, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn digests_of(src: &str) -> Vec<u64> {
+        function_digests(&parpat_ir::compile(src).unwrap())
+    }
+
+    #[test]
+    fn digests_are_deterministic() {
+        let src = "global a[8];\nfn work(n) { return n * 2; }\nfn main() { for i in 0..8 { a[i] = work(i); } }";
+        assert_eq!(digests_of(src), digests_of(src));
+    }
+
+    #[test]
+    fn editing_last_function_preserves_earlier_digests() {
+        let base = "global a[8];\nfn work(n) { return n * 2; }\nfn main() { for i in 0..8 { a[i] = work(i); } }";
+        let edited = "global a[8];\nfn work(n) { return n * 2; }\nfn main() { for i in 0..8 { a[i] = work(i) + 1; } }";
+        let (d0, d1) = (digests_of(base), digests_of(edited));
+        assert_eq!(d0.len(), 2);
+        assert_eq!(d0[0], d1[0], "untouched first function must keep its digest");
+        assert_ne!(d0[1], d1[1], "edited function must change its digest");
+    }
+
+    #[test]
+    fn editing_early_function_shifts_later_ids_and_digests() {
+        // The extra statement in `work` shifts the globally dense
+        // instruction ids of `main`, so both digests honestly change.
+        let base = "global a[8];\nfn work(n) { return n * 2; }\nfn main() { for i in 0..8 { a[i] = work(i); } }";
+        let edited = "global a[8];\nfn work(n) { let t = n * 2; return t; }\nfn main() { for i in 0..8 { a[i] = work(i); } }";
+        let (d0, d1) = (digests_of(base), digests_of(edited));
+        assert_ne!(d0[0], d1[0]);
+        assert_ne!(d0[1], d1[1]);
+    }
+
+    #[test]
+    fn renaming_a_global_invalidates_every_function() {
+        // Reports print array names, so the shared context digest must
+        // invalidate even functions that never touch the global.
+        let base = "global a[8];\nfn pure(n) { return n + 1; }\nfn main() { for i in 0..8 { a[i] = pure(i); } }";
+        let renamed = "global b[8];\nfn pure(n) { return n + 1; }\nfn main() { for i in 0..8 { b[i] = pure(i); } }";
+        let (d0, d1) = (digests_of(base), digests_of(renamed));
+        assert_ne!(d0[0], d1[0]);
+        assert_ne!(d0[1], d1[1]);
+    }
+
+    #[test]
+    fn constant_bit_patterns_are_distinguished() {
+        let a = digests_of("fn main() { let x = 0; return x; }");
+        let b = digests_of("fn main() { let x = 1; return x; }");
+        assert_ne!(a, b);
+    }
+}

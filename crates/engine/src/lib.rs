@@ -55,6 +55,7 @@ pub mod digest;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod funcdigest;
 pub mod journal;
 pub mod report;
 pub mod stage;
@@ -63,11 +64,12 @@ pub mod xval;
 
 pub use cache::{Artifact, Cache, DiskRecord, Lookup};
 pub use engine::{
-    AnalysisOutcome, BatchInput, BatchReport, Engine, EngineConfig, ProgramOutcome,
+    AnalysisOutcome, BatchInput, BatchReport, Engine, EngineConfig, ProgramOutcome, Session,
     SANITIZER_REJECT_PREFIX,
 };
 pub use error::{EngineError, ErrorKind};
 pub use fault::{xorshift64, FaultMode, FaultPlan};
+pub use funcdigest::function_digests;
 pub use journal::{journal_path, Journal, JournalEntry, StoredOutcome};
 pub use report::{DegradedReport, ProgramReport};
 pub use stage::Stage;

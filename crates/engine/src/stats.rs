@@ -79,6 +79,15 @@ pub struct EngineStats {
     pub stages: [StageStats; 7],
     /// Programs analyzed in the batch.
     pub programs: u64,
+    /// Analysis requests handled (batch programs plus, for a resident
+    /// service, every `analyze` request of the session).
+    pub requests: u64,
+    /// Requests answered entirely from the cache — every stage resolved
+    /// without executing.
+    pub served_from_cache: u64,
+    /// Distinct functions whose per-function stage fragments (static
+    /// analysis, CU construction) actually executed, summed over requests.
+    pub funcs_reanalyzed: u64,
     /// Programs that ended in a hard error (static stage failed, or the
     /// static artifacts were unrecoverable).
     pub errors: u64,
@@ -161,6 +170,10 @@ impl EngineStats {
             self.retries, self.stall_requeued, self.resumed
         ));
         out.push_str(&format!(
+            "service: {} request(s), {} served from cache, {} function(s) reanalyzed\n",
+            self.requests, self.served_from_cache, self.funcs_reanalyzed
+        ));
+        out.push_str(&format!(
             "static: {} proven-do-all loop(s), {} input-sensitive, {} consistency error(s)\n",
             self.static_proven_doall, self.input_sensitive, self.consistency_errors
         ));
@@ -214,8 +227,11 @@ impl EngineStats {
             ));
         }
         format!(
-            "{{\"programs\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"verified\": {}, \"sanitizer_rejects\": {}, \"miscompiles\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
+            "{{\"programs\": {}, \"requests\": {}, \"served_from_cache\": {}, \"funcs_reanalyzed\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"verified\": {}, \"sanitizer_rejects\": {}, \"miscompiles\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
             self.programs,
+            self.requests,
+            self.served_from_cache,
+            self.funcs_reanalyzed,
             self.errors,
             self.degraded,
             self.panics,
@@ -301,6 +317,9 @@ mod tests {
         EngineStats {
             stages,
             programs: 17,
+            requests: 34,
+            served_from_cache: 17,
+            funcs_reanalyzed: 3,
             errors: 0,
             degraded: 1,
             panics: 1,
@@ -330,6 +349,7 @@ mod tests {
         assert!(text.contains("1 degraded"));
         assert!(text.contains("1 panics, 2 budget-exceeded, 3 cache records recovered"));
         assert!(text.contains("6 retries, 7 stall-requeued, 9 resumed from journal"));
+        assert!(text.contains("34 request(s), 17 served from cache, 3 function(s) reanalyzed"));
         assert!(
             text.contains("21 proven-do-all loop(s), 4 input-sensitive, 5 consistency error(s)")
         );
@@ -349,6 +369,9 @@ mod tests {
         assert!(json.contains("\"retries\": 6"));
         assert!(json.contains("\"stall_requeued\": 7"));
         assert!(json.contains("\"resumed\": 9"));
+        assert!(json.contains("\"requests\": 34"));
+        assert!(json.contains("\"served_from_cache\": 17"));
+        assert!(json.contains("\"funcs_reanalyzed\": 3"));
         assert!(json.contains("\"static_proven_doall\": 21"));
         assert!(json.contains("\"input_sensitive\": 4"));
         assert!(json.contains("\"consistency_errors\": 5"));
@@ -370,6 +393,9 @@ mod tests {
         let empty = EngineStats {
             stages: [StageStats::default(); 7],
             programs: 0,
+            requests: 0,
+            served_from_cache: 0,
+            funcs_reanalyzed: 0,
             errors: 0,
             degraded: 0,
             panics: 0,

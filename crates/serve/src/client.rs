@@ -1,0 +1,136 @@
+//! A small blocking client for the service protocol.
+//!
+//! Used by the CLI-adjacent tooling, the integration tests, and the
+//! benchmark harness; external clients can speak the protocol with
+//! nothing more than `nc` (see the README quickstart).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use parpat_engine::stats::json_str;
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a running [`crate::Server`].
+pub struct Client {
+    writer: Stream,
+    reader: BufReader<Stream>,
+}
+
+impl Client {
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // The protocol is one small request line per response line —
+        // Nagle's algorithm would serialize every round trip against the
+        // peer's delayed ACK.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(Stream::Tcp(stream.try_clone()?));
+        Ok(Client { writer: Stream::Tcp(stream), reader })
+    }
+
+    /// Connect over a unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let reader = BufReader::new(Stream::Unix(stream.try_clone()?));
+        Ok(Client { writer: Stream::Unix(stream), reader })
+    }
+
+    /// Send one request line and read one response line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Analyze inline source under a display name.
+    pub fn analyze(&mut self, name: &str, source: &str) -> std::io::Result<String> {
+        self.request(&format!(
+            "{{\"cmd\": \"analyze\", \"name\": {}, \"source\": {}}}",
+            json_str(name),
+            json_str(source)
+        ))
+    }
+
+    /// Analyze a bundled benchmark by name.
+    pub fn analyze_app(&mut self, app: &str) -> std::io::Result<String> {
+        self.request(&format!("{{\"cmd\": \"analyze\", \"app\": {}}}", json_str(app)))
+    }
+
+    /// Lint inline source.
+    pub fn lint(&mut self, name: &str, source: &str) -> std::io::Result<String> {
+        self.request(&format!(
+            "{{\"cmd\": \"lint\", \"name\": {}, \"source\": {}}}",
+            json_str(name),
+            json_str(source)
+        ))
+    }
+
+    /// Verify inline source against the IR invariants.
+    pub fn verify(&mut self, name: &str, source: &str) -> std::io::Result<String> {
+        self.request(&format!(
+            "{{\"cmd\": \"verify\", \"name\": {}, \"source\": {}}}",
+            json_str(name),
+            json_str(source)
+        ))
+    }
+
+    /// Fetch the service-lifetime statistics.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        self.request("{\"cmd\": \"stats\"}")
+    }
+
+    /// Ask the service to shut down.
+    pub fn shutdown(&mut self) -> std::io::Result<String> {
+        self.request("{\"cmd\": \"shutdown\"}")
+    }
+}

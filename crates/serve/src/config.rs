@@ -1,0 +1,177 @@
+//! Declarative, validated service configuration.
+//!
+//! A [`ServeConfig`] is plain data: the CLI (or a test) fills in fields
+//! and [`ServeConfig::validate`] checks the whole document at once,
+//! reporting *every* violation — not just the first — with the offending
+//! field named, so a misconfigured daemon fails fast with one complete
+//! message instead of a restart-per-mistake loop.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use parpat_ir::ExecLimits;
+
+/// Upper bound accepted for `max_frame` (matches the journal's record
+/// guard: nothing legitimate is this large).
+pub const MAX_FRAME_CEILING: usize = 64 << 20;
+
+/// Default request frame cap: generous for real sources, far below
+/// anything that could pressure memory.
+pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
+
+/// Construction parameters for [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP listen address (e.g. `127.0.0.1:7117`); port `0` picks a free
+    /// port. `None` disables the TCP listener.
+    pub tcp: Option<String>,
+    /// Unix-domain socket path. A stale file at this path is removed at
+    /// bind time — the daemon owns the path. `None` disables the
+    /// listener.
+    pub unix: Option<PathBuf>,
+    /// Analysis worker threads (the work-stealing pool size).
+    pub workers: usize,
+    /// Concurrent client connections accepted before new ones are turned
+    /// away with a `busy` error.
+    pub max_connections: usize,
+    /// Longest accepted request line, in bytes; longer frames are
+    /// answered with an `oversized-frame` error.
+    pub max_frame: usize,
+    /// In-memory artifact cache capacity (entries) shared by all clients.
+    pub cache_capacity: usize,
+    /// Disk cache/stats directory; `None` keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Execution budgets applied to every profiled run.
+    pub limits: ExecLimits,
+    /// Supervise analysis jobs with the engine watchdog.
+    pub watchdog: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tcp: Some("127.0.0.1:0".to_owned()),
+            unix: None,
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            max_connections: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            cache_capacity: 512,
+            cache_dir: None,
+            limits: ExecLimits::default(),
+            watchdog: true,
+        }
+    }
+}
+
+/// One rejected configuration field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigIssue {
+    /// The field that failed validation.
+    pub field: &'static str,
+    /// Why it was rejected.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.message)
+    }
+}
+
+impl ServeConfig {
+    /// Validate the whole configuration, returning every violation.
+    pub fn validate(&self) -> Result<(), Vec<ConfigIssue>> {
+        let mut issues = Vec::new();
+        let mut reject = |field: &'static str, message: String| {
+            issues.push(ConfigIssue { field, message });
+        };
+
+        if self.tcp.is_none() && self.unix.is_none() {
+            reject("tcp/unix", "at least one listener must be configured".to_owned());
+        }
+        if let Some(addr) = &self.tcp {
+            if addr.is_empty() {
+                reject("tcp", "listen address must not be empty".to_owned());
+            }
+        }
+        if let Some(path) = &self.unix {
+            if path.as_os_str().is_empty() {
+                reject("unix", "socket path must not be empty".to_owned());
+            }
+        }
+        if self.workers == 0 {
+            reject("workers", "need at least one analysis worker".to_owned());
+        }
+        if self.workers > 512 {
+            reject("workers", format!("{} workers is unreasonable (max 512)", self.workers));
+        }
+        if self.max_connections == 0 {
+            reject("max_connections", "need at least one connection slot".to_owned());
+        }
+        if self.max_frame < 1024 {
+            reject(
+                "max_frame",
+                format!("{} bytes cannot hold a request (min 1024)", self.max_frame),
+            );
+        }
+        if self.max_frame > MAX_FRAME_CEILING {
+            reject(
+                "max_frame",
+                format!("{} bytes exceeds the {MAX_FRAME_CEILING}-byte ceiling", self.max_frame),
+            );
+        }
+        if self.cache_capacity == 0 {
+            reject("cache_capacity", "a resident service needs a non-empty cache".to_owned());
+        }
+        if issues.is_empty() {
+            Ok(())
+        } else {
+            Err(issues)
+        }
+    }
+
+    /// Render validation failures as one multi-line message.
+    pub fn explain(issues: &[ConfigIssue]) -> String {
+        let lines: Vec<String> = issues.iter().map(|i| format!("  - {i}")).collect();
+        format!("invalid serve configuration:\n{}", lines.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn all_violations_are_reported_at_once() {
+        let cfg = ServeConfig {
+            tcp: None,
+            unix: None,
+            workers: 0,
+            max_connections: 0,
+            max_frame: 10,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        };
+        let issues = cfg.validate().unwrap_err();
+        let fields: Vec<&str> = issues.iter().map(|i| i.field).collect();
+        for f in ["tcp/unix", "workers", "max_connections", "max_frame", "cache_capacity"] {
+            assert!(fields.contains(&f), "missing {f} in {fields:?}");
+        }
+        let text = ServeConfig::explain(&issues);
+        assert!(text.contains("invalid serve configuration"), "{text}");
+        assert!(text.lines().count() >= 6, "{text}");
+    }
+
+    #[test]
+    fn frame_ceiling_is_enforced() {
+        let cfg = ServeConfig { max_frame: MAX_FRAME_CEILING + 1, ..ServeConfig::default() };
+        assert_eq!(cfg.validate().unwrap_err()[0].field, "max_frame");
+    }
+}

@@ -1,0 +1,48 @@
+//! # parpat-serve — the resident analysis service
+//!
+//! `parpat serve` keeps one [`parpat_engine::Engine`] — and therefore
+//! one warm two-tier artifact cache — alive across many analysis
+//! requests, turning the one-shot CLI into an editor-loop-friendly
+//! daemon:
+//!
+//! - **listeners** — TCP and/or unix-domain socket, speaking
+//!   line-delimited JSON ([`proto`]): `analyze`, `lint`, `verify`,
+//!   `stats`, `apps`, `shutdown`;
+//! - **scheduling** — connection threads do only I/O; program work runs
+//!   on the repo's own work-stealing [`parpat_runtime::ThreadPool`]
+//!   under the engine's watchdog and execution budgets;
+//! - **incremental re-analysis** — the engine digests each lowered
+//!   function separately, so re-submitting an edited file re-runs only
+//!   the changed functions' static/CU fragments; responses report
+//!   `cached` and `funcs_reanalyzed` so clients can see it;
+//! - **hostility tolerance** — oversized frames, torn lines, invalid
+//!   UTF-8, unknown verbs, and mid-request disconnects all yield
+//!   structured errors (or a clean write failure), never a panic and
+//!   never a poisoned cache;
+//! - **validated configuration** — [`ServeConfig`] checks every field at
+//!   startup and reports all violations at once ([`config`]).
+//!
+//! ```no_run
+//! use parpat_serve::{Client, ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default()).expect("start");
+//! let addr = server.tcp_addr().expect("tcp enabled").to_string();
+//! let mut client = Client::connect_tcp(&addr).expect("connect");
+//! let response = client.analyze("demo.ml", "fn main() { return 2; }").expect("analyze");
+//! assert!(response.contains("\"status\": \"ok\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod client;
+pub mod config;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use config::{ConfigIssue, ServeConfig, DEFAULT_MAX_FRAME, MAX_FRAME_CEILING};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use proto::{error_json, parse_request, Command, Request, SourceSpec, WireError};
+pub use server::Server;

@@ -1,0 +1,373 @@
+//! Wire protocol: length-guarded line framing and request parsing.
+//!
+//! The protocol is line-delimited JSON — one request object per `\n`-
+//! terminated line, one response object per line back. Requests carry a
+//! `"cmd"` member naming the verb, an optional `"id"` echoed verbatim in
+//! the response (so a pipelining client can match responses to
+//! requests), and verb-specific members:
+//!
+//! ```text
+//! {"id": "1", "cmd": "analyze", "name": "red.ml", "source": "fn main() { … }"}
+//! {"id": "2", "cmd": "analyze", "app": "ludcmp"}
+//! {"cmd": "lint", "source": "…"}      {"cmd": "verify", "app": "sort"}
+//! {"cmd": "stats"}   {"cmd": "apps"}   {"cmd": "shutdown"}
+//! ```
+//!
+//! Every failure — an oversized frame, torn line, invalid UTF-8, broken
+//! JSON, unknown verb — is answered with a structured error object
+//! (`{"status": "error", "code": …, "message": …}`), never a dropped
+//! connection without explanation and never a panic. The frame reader
+//! enforces the size cap *while reading*, so a hostile client cannot
+//! balloon memory by withholding the newline.
+
+use std::io::{ErrorKind, Read};
+
+use parpat_engine::stats::json_str;
+
+use crate::json::{self, Json};
+
+/// How a read from the wire ended.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// One complete line (without the terminator; a trailing `\r` is
+    /// stripped for telnet-style clients).
+    Line(Vec<u8>),
+    /// The line exceeded the frame cap before a newline arrived.
+    Oversized,
+    /// The peer closed with a partial line of this many bytes pending.
+    Torn(usize),
+    /// Clean end of stream at a line boundary.
+    Eof,
+    /// A read timeout expired with no data; poll for shutdown and retry.
+    Idle,
+}
+
+/// Incremental line reader with a hard per-line byte cap.
+pub struct FrameReader<R> {
+    inner: R,
+    /// Raw bytes read but not yet consumed into a line.
+    chunk: Vec<u8>,
+    /// Start of unconsumed bytes within `chunk`.
+    start: usize,
+    /// Accumulated line bytes (capped at `max + 1`).
+    pending: Vec<u8>,
+    /// Total bytes of the current line seen so far (may exceed
+    /// `pending.len()` once the cap is hit).
+    line_len: usize,
+    max: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap `inner`, capping every line at `max` bytes.
+    pub fn new(inner: R, max: usize) -> Self {
+        FrameReader { inner, chunk: Vec::new(), start: 0, pending: Vec::new(), line_len: 0, max }
+    }
+
+    /// Read until the next newline, EOF, cap overflow, or timeout.
+    pub fn next_frame(&mut self) -> std::io::Result<Frame> {
+        loop {
+            // Drain buffered bytes first.
+            if self.start < self.chunk.len() {
+                let nl = self.chunk[self.start..].iter().position(|&b| b == b'\n');
+                match nl {
+                    Some(nl) => {
+                        self.absorb(self.start, self.start + nl);
+                        self.start += nl + 1;
+                        let oversized = self.line_len > self.max;
+                        self.line_len = 0;
+                        let mut line = std::mem::take(&mut self.pending);
+                        if oversized {
+                            return Ok(Frame::Oversized);
+                        }
+                        if line.last() == Some(&b'\r') {
+                            line.pop();
+                        }
+                        return Ok(Frame::Line(line));
+                    }
+                    None => {
+                        self.absorb(self.start, self.chunk.len());
+                        self.start = self.chunk.len();
+                        if self.line_len > self.max {
+                            // Report the overflow immediately — don't
+                            // wait for a newline the attacker may never
+                            // send. The connection is closed afterwards,
+                            // so losing frame sync is fine.
+                            self.pending.clear();
+                            self.line_len = 0;
+                            return Ok(Frame::Oversized);
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // Refill.
+            self.chunk.resize(8 * 1024, 0);
+            self.start = 0;
+            match self.inner.read(&mut self.chunk) {
+                Ok(0) => {
+                    self.chunk.clear();
+                    let n = self.line_len;
+                    self.line_len = 0;
+                    self.pending.clear();
+                    return Ok(if n == 0 { Frame::Eof } else { Frame::Torn(n) });
+                }
+                Ok(n) => {
+                    self.chunk.truncate(n);
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    self.chunk.clear();
+                    return Ok(Frame::Idle);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {
+                    self.chunk.clear();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Append `chunk[from..to]` to the pending line, keeping at most
+    /// `max + 1` bytes (enough to detect overflow without storing the
+    /// flood).
+    fn absorb(&mut self, from: usize, to: usize) {
+        self.line_len += to - from;
+        let room = (self.max + 1).saturating_sub(self.pending.len());
+        let take = (to - from).min(room);
+        self.pending.extend_from_slice(&self.chunk[from..from + take]);
+    }
+}
+
+/// Where a request's program text comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceSpec {
+    /// Inline MiniLang source with a display name.
+    Inline {
+        /// Display name echoed in the response.
+        name: String,
+        /// The program text.
+        source: String,
+    },
+    /// A bundled benchmark, by name.
+    App(String),
+}
+
+/// A decoded request verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Full pipeline analysis of one program.
+    Analyze(SourceSpec),
+    /// Static dependence diagnostics only.
+    Lint(SourceSpec),
+    /// Lower and check the IR invariants.
+    Verify(SourceSpec),
+    /// Service-lifetime engine statistics.
+    Stats,
+    /// List the bundled benchmarks.
+    Apps,
+    /// Stop accepting work and exit.
+    Shutdown,
+}
+
+/// A fully decoded request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<String>,
+    /// The verb.
+    pub cmd: Command,
+}
+
+/// A protocol-level failure, rendered as a structured error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable machine-readable code (e.g. `bad-json`, `unknown-cmd`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// The request id, when it could be recovered.
+    pub id: Option<String>,
+}
+
+impl WireError {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        WireError { code, message: message.into(), id: None }
+    }
+
+    /// Render as the error response line (without trailing newline).
+    pub fn render(&self) -> String {
+        error_json(self.id.as_deref(), self.code, &self.message)
+    }
+}
+
+/// Build an error response object. Field order is fixed: `id` (when
+/// known), `status`, `code`, `message`.
+pub fn error_json(id: Option<&str>, code: &str, message: &str) -> String {
+    let mut out = String::from("{");
+    if let Some(id) = id {
+        out.push_str(&format!("\"id\": {}, ", json_str(id)));
+    }
+    out.push_str(&format!(
+        "\"status\": \"error\", \"code\": {}, \"message\": {}}}",
+        json_str(code),
+        json_str(message)
+    ));
+    out
+}
+
+/// Decode one request line.
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let value = json::parse(line).map_err(|e| WireError::new("bad-json", e.to_string()))?;
+    let Json::Obj(_) = &value else {
+        return Err(WireError::new("bad-request", "request must be a JSON object"));
+    };
+    let id = match value.get("id") {
+        None => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => return Err(WireError::new("bad-request", "`id` must be a string")),
+    };
+    let attach = |mut e: WireError| {
+        e.id = id.clone();
+        e
+    };
+    let cmd = value
+        .get("cmd")
+        .ok_or_else(|| attach(WireError::new("missing-field", "request needs a `cmd` member")))?
+        .as_str()
+        .ok_or_else(|| attach(WireError::new("bad-request", "`cmd` must be a string")))?;
+    let cmd = match cmd {
+        "analyze" => Command::Analyze(source_spec(&value).map_err(attach)?),
+        "lint" => Command::Lint(source_spec(&value).map_err(attach)?),
+        "verify" => Command::Verify(source_spec(&value).map_err(attach)?),
+        "stats" => Command::Stats,
+        "apps" => Command::Apps,
+        "shutdown" => Command::Shutdown,
+        other => {
+            return Err(attach(WireError::new(
+                "unknown-cmd",
+                format!(
+                "unknown command `{other}` — one of analyze, lint, verify, stats, apps, shutdown"
+            ),
+            )))
+        }
+    };
+    Ok(Request { id, cmd })
+}
+
+fn source_spec(value: &Json) -> Result<SourceSpec, WireError> {
+    match (value.get("source"), value.get("app")) {
+        (Some(_), Some(_)) => {
+            Err(WireError::new("bad-request", "give `source` or `app`, not both"))
+        }
+        (Some(Json::Str(source)), None) => {
+            let name = match value.get("name") {
+                None => "<inline>".to_owned(),
+                Some(Json::Str(s)) => s.clone(),
+                Some(_) => return Err(WireError::new("bad-request", "`name` must be a string")),
+            };
+            Ok(SourceSpec::Inline { name, source: source.clone() })
+        }
+        (Some(_), None) => Err(WireError::new("bad-request", "`source` must be a string")),
+        (None, Some(Json::Str(app))) => Ok(SourceSpec::App(app.clone())),
+        (None, Some(_)) => Err(WireError::new("bad-request", "`app` must be a string")),
+        (None, None) => {
+            Err(WireError::new("missing-field", "request needs a `source` or `app` member"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn frames(data: &[u8], max: usize) -> Vec<Frame> {
+        let mut r = FrameReader::new(data, max);
+        let mut out = Vec::new();
+        loop {
+            let f = r.next_frame().unwrap();
+            let done = matches!(f, Frame::Eof | Frame::Torn(_) | Frame::Oversized);
+            out.push(f);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn splits_lines_and_strips_cr() {
+        let got = frames(b"alpha\r\nbeta\n", 1024);
+        assert_eq!(
+            got,
+            vec![Frame::Line(b"alpha".to_vec()), Frame::Line(b"beta".to_vec()), Frame::Eof]
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_flagged_without_buffering_it() {
+        let long = vec![b'x'; 4096];
+        let got = frames(&long, 64);
+        assert_eq!(got, vec![Frame::Oversized]);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_reported() {
+        let got = frames(b"complete\npart", 1024);
+        assert_eq!(got, vec![Frame::Line(b"complete".to_vec()), Frame::Torn(4)]);
+    }
+
+    #[test]
+    fn parses_all_verbs() {
+        let r = parse_request(r#"{"id": "7", "cmd": "analyze", "app": "sort"}"#).unwrap();
+        assert_eq!(r.id.as_deref(), Some("7"));
+        assert_eq!(r.cmd, Command::Analyze(SourceSpec::App("sort".into())));
+        let r =
+            parse_request(r#"{"cmd": "lint", "name": "x.ml", "source": "fn main() {}"}"#).unwrap();
+        assert_eq!(
+            r.cmd,
+            Command::Lint(SourceSpec::Inline {
+                name: "x.ml".into(),
+                source: "fn main() {}".into()
+            })
+        );
+        assert_eq!(parse_request(r#"{"cmd": "stats"}"#).unwrap().cmd, Command::Stats);
+        assert_eq!(parse_request(r#"{"cmd": "apps"}"#).unwrap().cmd, Command::Apps);
+        assert_eq!(parse_request(r#"{"cmd": "shutdown"}"#).unwrap().cmd, Command::Shutdown);
+    }
+
+    #[test]
+    fn inline_source_defaults_its_name() {
+        let r = parse_request(r#"{"cmd": "verify", "source": "fn main() {}"}"#).unwrap();
+        match r.cmd {
+            Command::Verify(SourceSpec::Inline { name, .. }) => assert_eq!(name, "<inline>"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_errors_have_stable_codes_and_keep_the_id() {
+        assert_eq!(parse_request("nonsense").unwrap_err().code, "bad-json");
+        assert_eq!(parse_request("[1]").unwrap_err().code, "bad-request");
+        assert_eq!(parse_request("{}").unwrap_err().code, "missing-field");
+        assert_eq!(parse_request(r#"{"cmd": "fly"}"#).unwrap_err().code, "unknown-cmd");
+        assert_eq!(parse_request(r#"{"cmd": "analyze"}"#).unwrap_err().code, "missing-field");
+        assert_eq!(parse_request(r#"{"cmd": 5}"#).unwrap_err().code, "bad-request");
+        let e = parse_request(r#"{"id": "q", "cmd": "warp"}"#).unwrap_err();
+        assert_eq!(e.id.as_deref(), Some("q"));
+        assert!(e.render().starts_with("{\"id\": \"q\", \"status\": \"error\""), "{}", e.render());
+    }
+
+    #[test]
+    fn error_json_field_order_is_fixed() {
+        assert_eq!(
+            error_json(None, "bad-json", "oops"),
+            r#"{"status": "error", "code": "bad-json", "message": "oops"}"#
+        );
+        assert_eq!(
+            error_json(Some("3"), "busy", "full"),
+            r#"{"id": "3", "status": "error", "code": "busy", "message": "full"}"#
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Concurrency and incrementality: N concurrent clients hammering the
+//! full bundled suite must each get reports byte-identical to the
+//! one-shot CLI path, and re-submitting an edited program must re-run
+//! only the edited function's stage fragments.
+
+#![allow(clippy::unwrap_used)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parpat_engine::{AnalysisOutcome, BatchInput, Engine, EngineConfig};
+use parpat_serve::{parse_json, Client, Json, ServeConfig, Server};
+
+const CLIENTS: usize = 4;
+
+/// Two functions; `main` is lowered last, so editing it leaves `scale`'s
+/// per-function digest (and cached fragments) untouched.
+const EDIT_V1: &str = "global out[32];
+fn scale(x) { return x * 2; }
+fn main() {
+    let sum = 0;
+    for i in 0..32 {
+        out[i] = scale(i);
+        sum += out[i];
+    }
+    return sum;
+}";
+
+/// Same program with only `main` edited (`+ 1` in the accumulation).
+const EDIT_V2: &str = "global out[32];
+fn scale(x) { return x * 2; }
+fn main() {
+    let sum = 0;
+    for i in 0..32 {
+        out[i] = scale(i);
+        sum += out[i] + 1;
+    }
+    return sum;
+}";
+
+fn start(workers: usize) -> (Server, String) {
+    let cfg = ServeConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        workers,
+        cache_dir: None,
+        watchdog: false,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.tcp_addr().expect("tcp listener").to_string();
+    (server, addr)
+}
+
+/// The one-shot reference: report JSON per app from a fresh engine, the
+/// same path `parpat batch apps --json` renders from.
+fn oneshot_reports() -> HashMap<String, String> {
+    let engine = Engine::new(EngineConfig::default()).expect("engine");
+    parpat_suite::all_apps()
+        .iter()
+        .map(|app| {
+            let outcome = engine.analyze_one(&BatchInput {
+                name: app.name.to_owned(),
+                source: app.model.to_owned(),
+            });
+            match outcome.outcome {
+                AnalysisOutcome::Ok(r) => (app.name.to_owned(), r.to_json()),
+                other => panic!("{} did not analyze cleanly: {other:?}", app.name),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_get_reports_byte_identical_to_the_oneshot_path() {
+    let expected = Arc::new(oneshot_reports());
+    let (server, addr) = start(4);
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(&addr).expect("connect");
+                parpat_suite::all_apps()
+                    .iter()
+                    .map(|app| {
+                        (app.name.to_owned(), client.analyze_app(app.name).expect("analyze"))
+                    })
+                    .collect::<Vec<(String, String)>>()
+            })
+        })
+        .collect();
+
+    let mut responses = 0usize;
+    for handle in handles {
+        for (app, response) in handle.join().expect("client thread") {
+            responses += 1;
+            let want_report = &expected[&app];
+            // The response embeds the report rendered by the very same
+            // code path as the one-shot CLI — compare it byte for byte.
+            let suffix = format!(", \"report\": {want_report}}}");
+            assert!(
+                response.ends_with(&suffix),
+                "{app}: server report differs from one-shot report:\n{response}"
+            );
+            assert!(
+                response.starts_with(&format!(
+                    "{{\"name\": \"{app}\", \"status\": \"ok\", \"cached\": "
+                )),
+                "{app}: unexpected response shape: {response}"
+            );
+        }
+    }
+    assert_eq!(responses, CLIENTS * parpat_suite::all_apps().len());
+
+    // Now that every app is warm, one more pass is answered entirely
+    // from the cache with zero re-analyzed functions.
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    for app in parpat_suite::all_apps() {
+        let response = client.analyze_app(app.name).expect("analyze");
+        let v = parse_json(&response).expect("valid JSON");
+        assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true), "{response}");
+        assert_eq!(v.get("funcs_reanalyzed").and_then(Json::as_num), Some(0.0), "{response}");
+    }
+
+    // The session counters saw every request and the warm pass.
+    let v = parse_json(&client.stats().expect("stats")).expect("valid JSON");
+    let stats = v.get("stats").expect("stats object");
+    let requests = stats.get("requests").and_then(Json::as_num).expect("requests");
+    let served = stats.get("served_from_cache").and_then(Json::as_num).expect("served");
+    let apps = parpat_suite::all_apps().len() as f64;
+    assert_eq!(requests, (CLIENTS as f64 + 1.0) * apps, "{response:?}", response = v);
+    assert!(served >= apps, "at least the warm pass is fully cached: {served}");
+
+    server.request_shutdown();
+    let final_stats = server.wait();
+    assert_eq!(final_stats.requests, (CLIENTS as u64 + 1) * apps as u64);
+}
+
+#[test]
+fn editing_one_function_reanalyzes_only_that_function() {
+    let (server, addr) = start(2);
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    let cold = client.analyze("edit.ml", EDIT_V1).expect("analyze v1");
+    let v = parse_json(&cold).expect("valid JSON");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{cold}");
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false), "{cold}");
+    let cold_funcs = v.get("funcs_reanalyzed").and_then(Json::as_num).expect("funcs");
+    assert_eq!(cold_funcs, 2.0, "cold run analyzes both functions: {cold}");
+
+    // Re-submit with only `main` edited: the static/CU fragments of the
+    // untouched `scale` are served from the per-function cache, so
+    // exactly one function is re-analyzed.
+    let warm = client.analyze("edit.ml", EDIT_V2).expect("analyze v2");
+    let v = parse_json(&warm).expect("valid JSON");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{warm}");
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false), "{warm}");
+    let warm_funcs = v.get("funcs_reanalyzed").and_then(Json::as_num).expect("funcs");
+    assert_eq!(warm_funcs, 1.0, "only the edited function re-runs: {warm}");
+
+    // Unchanged re-submission: pure cache hit, nothing re-analyzed.
+    let hot = client.analyze("edit.ml", EDIT_V2).expect("analyze v2 again");
+    let v = parse_json(&hot).expect("valid JSON");
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true), "{hot}");
+    assert_eq!(v.get("funcs_reanalyzed").and_then(Json::as_num), Some(0.0), "{hot}");
+
+    // The session-wide counter agrees: 2 (cold) + 1 (edit) + 0 (hot).
+    let v = parse_json(&client.stats().expect("stats")).expect("valid JSON");
+    let funcs = v
+        .get("stats")
+        .and_then(|s| s.get("funcs_reanalyzed"))
+        .and_then(Json::as_num)
+        .expect("counter");
+    assert_eq!(funcs, 3.0);
+    let served = v
+        .get("stats")
+        .and_then(|s| s.get("served_from_cache"))
+        .and_then(Json::as_num)
+        .expect("counter");
+    assert_eq!(served, 1.0, "exactly the unchanged re-submission was fully cached");
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn lint_and_verify_are_served_with_deterministic_bodies() {
+    let (server, addr) = start(2);
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    let stencil = "global a[16];\nfn main() {\n    for i in 1..16 { a[i] = a[i - 1] + 1; }\n}";
+    let first = client.lint("stencil.ml", stencil).expect("lint");
+    assert!(first.contains("\"diagnostics\": ["), "{first}");
+    assert!(first.contains("P001"), "carried dependence diagnosed: {first}");
+    let second = client.lint("stencil.ml", stencil).expect("lint");
+    assert_eq!(first, second, "lint responses are byte-stable");
+
+    let ok = client.verify("stencil.ml", stencil).expect("verify");
+    assert!(ok.contains("\"violations\": []"), "{ok}");
+    let broken = client.verify("broken.ml", "fn main() { let = ; }").expect("verify");
+    assert!(broken.contains("\"violations\": [{"), "front-end errors surface: {broken}");
+
+    server.request_shutdown();
+    server.wait();
+}

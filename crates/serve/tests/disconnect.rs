@@ -1,0 +1,109 @@
+//! Disconnect resilience: a client dropping mid-request must not poison
+//! the pool, leak the job, or disturb other clients. The in-flight job
+//! runs to completion on the pool; only the response write is lost — so
+//! the artifacts it produced stay warm for everyone else.
+
+#![allow(clippy::unwrap_used)]
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use parpat_serve::{parse_json, Client, Json, ServeConfig, Server};
+
+const MULTI_FUNC: &str = "global data[64];
+fn scale(x) { return x * 3; }
+fn main() {
+    let acc = 0;
+    for i in 0..64 {
+        data[i] = scale(i);
+        acc += data[i];
+    }
+    return acc;
+}";
+
+fn start() -> (Server, String) {
+    let cfg = ServeConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        workers: 2,
+        cache_dir: None,
+        watchdog: false,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.tcp_addr().expect("tcp listener").to_string();
+    (server, addr)
+}
+
+fn stats_field(addr: &str, field: &str) -> f64 {
+    let mut c = Client::connect_tcp(addr).expect("connect");
+    let v = parse_json(&c.stats().expect("stats")).expect("valid JSON");
+    v.get("stats").and_then(|s| s.get(field)).and_then(Json::as_num).expect("counter")
+}
+
+#[test]
+fn dropped_clients_neither_poison_the_pool_nor_leak_their_jobs() {
+    let (server, addr) = start();
+
+    // Eight clients fire an analyze request and vanish without reading
+    // the response.
+    for i in 0..8 {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        let request = format!(
+            "{{\"cmd\": \"analyze\", \"name\": \"drop-{i}.ml\", \"source\": \"{}\"}}",
+            MULTI_FUNC.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+        );
+        s.write_all(request.as_bytes()).expect("write");
+        s.write_all(b"\n").expect("write");
+        s.flush().expect("flush");
+        drop(s);
+    }
+
+    // The abandoned jobs finish: the session's request counter reaches 8
+    // without any help from the dead clients.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if stats_field(&addr, "requests") >= 8.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "abandoned jobs never completed");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // A well-behaved client is completely unaffected — and because the
+    // dead clients' jobs completed, re-submitting the same source is a
+    // full cache hit (every artifact they produced survived).
+    let mut c = Client::connect_tcp(&addr).expect("connect");
+    let response = c.analyze("drop-3.ml", MULTI_FUNC).expect("analyze");
+    let v = parse_json(&response).expect("valid JSON");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{response}");
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true), "{response}");
+    assert_eq!(v.get("funcs_reanalyzed").and_then(Json::as_num), Some(0.0), "{response}");
+
+    // Fresh work still schedules fine on the pool afterwards.
+    let response = c.analyze("fresh.ml", "fn main() { return 41 + 1; }").expect("analyze");
+    let v = parse_json(&response).expect("valid JSON");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{response}");
+
+    server.request_shutdown();
+    let stats = server.wait();
+    assert!(stats.requests >= 10, "all requests counted: {}", stats.requests);
+}
+
+#[test]
+fn disconnect_between_requests_is_a_clean_eof() {
+    let (server, addr) = start();
+    {
+        let mut c = Client::connect_tcp(&addr).expect("connect");
+        let response = c.analyze("bye.ml", "fn main() { return 1; }").expect("analyze");
+        assert!(response.contains("\"status\": \"ok\""), "{response}");
+        // Drop with no pending request: the server sees EOF, nothing to
+        // report.
+    }
+    let mut c = Client::connect_tcp(&addr).expect("connect");
+    let response = c.analyze("bye.ml", "fn main() { return 1; }").expect("analyze");
+    let v = parse_json(&response).expect("valid JSON");
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true), "{response}");
+    server.request_shutdown();
+    server.wait();
+}

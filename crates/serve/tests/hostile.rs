@@ -1,0 +1,176 @@
+//! Hostile-protocol tests: a malicious or broken client must always get
+//! a structured JSON error — never a panic, never a hung daemon, never
+//! unbounded memory growth from a withheld newline.
+
+#![allow(clippy::unwrap_used)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use parpat_serve::{parse_json, Client, Json, ServeConfig, Server};
+
+/// Start a server on an ephemeral TCP port with a small frame cap.
+fn server(max_frame: usize, max_connections: usize) -> (Server, String) {
+    let cfg = ServeConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        workers: 2,
+        max_frame,
+        max_connections,
+        cache_dir: None,
+        watchdog: false,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.tcp_addr().expect("tcp listener").to_string();
+    (server, addr)
+}
+
+fn raw(addr: &str) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    s
+}
+
+fn read_line(s: &mut impl Read) -> String {
+    let mut r = BufReader::new(s);
+    let mut line = String::new();
+    r.read_line(&mut line).expect("read response");
+    line.trim_end().to_owned()
+}
+
+/// The response parses as JSON and carries the expected error code.
+fn assert_error(line: &str, code: &str) {
+    let v = parse_json(line).unwrap_or_else(|e| panic!("unparseable response `{line}`: {e}"));
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("error"), "{line}");
+    assert_eq!(v.get("code").and_then(Json::as_str), Some(code), "{line}");
+    assert!(v.get("message").and_then(Json::as_str).is_some(), "{line}");
+}
+
+fn stop(server: Server, _addr: &str) {
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn oversized_frame_is_rejected_while_reading() {
+    let (server, addr) = server(4096, 64);
+    let mut s = raw(&addr);
+    // 64 KiB without a newline: the server must answer before the line
+    // ever completes (the flood is not buffered).
+    let flood = vec![b'x'; 64 * 1024];
+    let _ = s.write_all(&flood);
+    let _ = s.flush();
+    assert_error(&read_line(&mut s), "oversized-frame");
+    stop(server, &addr);
+}
+
+#[test]
+fn oversized_terminated_line_is_also_rejected() {
+    let (server, addr) = server(4096, 64);
+    let mut s = raw(&addr);
+    let mut flood = vec![b'y'; 8 * 1024];
+    flood.push(b'\n');
+    let _ = s.write_all(&flood);
+    assert_error(&read_line(&mut s), "oversized-frame");
+    stop(server, &addr);
+}
+
+#[test]
+fn torn_frame_at_eof_gets_a_best_effort_error() {
+    let (server, addr) = server(4096, 64);
+    let mut s = raw(&addr);
+    s.write_all(b"{\"cmd\": \"sta").expect("write");
+    s.shutdown(Shutdown::Write).expect("half-close");
+    assert_error(&read_line(&mut s), "torn-frame");
+    stop(server, &addr);
+}
+
+#[test]
+fn invalid_utf8_keeps_the_connection_usable() {
+    let (server, addr) = server(4096, 64);
+    let mut s = raw(&addr);
+    s.write_all(b"\xff\xfe\xfd\n").expect("write");
+    let mut reader = BufReader::new(s.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert_error(line.trim_end(), "invalid-utf8");
+    // Same connection still serves valid requests afterwards.
+    s.write_all(b"{\"cmd\": \"apps\"}\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    let v = parse_json(line.trim_end()).expect("valid JSON");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{line}");
+    stop(server, &addr);
+}
+
+#[test]
+fn malformed_requests_get_stable_error_codes() {
+    let (server, addr) = server(4096, 64);
+    let mut c = Client::connect_tcp(&addr).expect("connect");
+    for (request, code) in [
+        ("{\"cmd\": \"analyze\", \"app\"", "bad-json"),
+        ("[1, 2, 3]", "bad-request"),
+        ("{\"nope\": 1}", "missing-field"),
+        ("{\"cmd\": \"frobnicate\"}", "unknown-cmd"),
+        ("{\"cmd\": \"analyze\"}", "missing-field"),
+        ("{\"cmd\": \"analyze\", \"app\": \"not-a-real-app\"}", "unknown-app"),
+        ("{\"id\": 7, \"cmd\": \"stats\"}", "bad-request"),
+        ("{\"cmd\": \"analyze\", \"source\": \"fn main() {}\", \"app\": \"sort\"}", "bad-request"),
+    ] {
+        assert_error(&c.request(request).expect("round-trip"), code);
+    }
+    // The connection survived all of it.
+    let v = parse_json(&c.stats().expect("stats")).expect("valid JSON");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    stop(server, &addr);
+}
+
+#[test]
+fn blank_lines_are_ignored_and_ids_are_echoed_first() {
+    let (server, addr) = server(4096, 64);
+    let mut s = raw(&addr);
+    s.write_all(b"\r\n\n{\"id\": \"wanted\", \"cmd\": \"apps\"}\n").expect("write");
+    let line = read_line(&mut s);
+    assert!(line.starts_with("{\"id\": \"wanted\", \"status\": \"ok\""), "{line}");
+    stop(server, &addr);
+}
+
+#[test]
+fn apps_listing_is_sorted_and_byte_stable() {
+    let (server, addr) = server(4096, 64);
+    let mut c = Client::connect_tcp(&addr).expect("connect");
+    let first = c.request("{\"cmd\": \"apps\"}").expect("apps");
+    let second = c.request("{\"cmd\": \"apps\"}").expect("apps");
+    assert_eq!(first, second, "apps listing must be byte-stable");
+    let v = parse_json(&first).expect("valid JSON");
+    let names: Vec<String> = match v.get("apps") {
+        Some(Json::Arr(items)) => {
+            items.iter().map(|i| i.as_str().expect("string").to_owned()).collect()
+        }
+        other => panic!("expected apps array, got {other:?}"),
+    };
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "apps must be listed in sorted order");
+    assert!(names.len() >= 17, "all bundled apps listed: {names:?}");
+    stop(server, &addr);
+}
+
+#[test]
+fn connection_cap_turns_clients_away_with_busy() {
+    let (server, addr) = server(4096, 1);
+    // Occupy the single slot and prove it is admitted.
+    let mut first = Client::connect_tcp(&addr).expect("connect");
+    let v = parse_json(&first.stats().expect("stats")).expect("valid JSON");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    // The second connection is refused with a structured error.
+    let mut second = raw(&addr);
+    assert_error(&read_line(&mut second), "busy");
+    drop(second);
+    // The admitted client keeps working.
+    let v = parse_json(&first.stats().expect("stats")).expect("valid JSON");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    let _ = first.shutdown();
+    server.wait();
+}

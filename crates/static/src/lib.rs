@@ -141,13 +141,36 @@ impl StaticReport {
 }
 
 /// Run the static analysis over every loop of a lowered program.
+///
+/// Implemented as the merge of the per-function analyses so whole-program
+/// and incremental (per-function fragment) callers share one code path and
+/// produce identical reports.
 pub fn analyze_ir(ir: &IrProgram) -> StaticReport {
+    let parts: Vec<Vec<LoopReport>> =
+        ir.functions.iter().map(|f| analyze_function(ir, f.id)).collect();
+    let report = merge_function_reports(parts.iter().map(Vec::as_slice));
+    debug_assert_eq!(report.loops.len(), ir.loops.len());
+    report
+}
+
+/// Static loop reports for the loops of a single function, sorted by
+/// [`LoopId`]. The whole program is still required as context: verdict
+/// reasoning reads global-array names, callee names and loop metadata from
+/// the program tables.
+pub fn analyze_function(ir: &IrProgram, func: parpat_ir::FuncId) -> Vec<LoopReport> {
     let mut loops = Vec::new();
-    for f in &ir.functions {
-        collect_loops(ir, &f.body, &mut loops);
-    }
+    collect_loops(ir, &ir.functions[func].body, &mut loops);
     loops.sort_by_key(|l: &LoopReport| l.id);
-    debug_assert_eq!(loops.len(), ir.loops.len());
+    loops
+}
+
+/// Merge per-function loop reports (one slice per function, any order)
+/// back into a whole-program [`StaticReport`] indexed by [`LoopId`].
+pub fn merge_function_reports<'a>(
+    parts: impl IntoIterator<Item = &'a [LoopReport]>,
+) -> StaticReport {
+    let mut loops: Vec<LoopReport> = parts.into_iter().flatten().cloned().collect();
+    loops.sort_by_key(|l| l.id);
     StaticReport { loops }
 }
 

@@ -23,7 +23,13 @@ USAGE:
                  [--max-mem-cells <n>] [--retries <n>] [--resume] [--sanitize] [--json]
                                                      analyze every .ml file of a directory (or the
                                                      bundled apps) in parallel with artifact caching
+    parpat serve [--tcp <addr>] [--unix <path>] [--workers <n>] [--max-connections <n>]
+                 [--cache-dir <d>] [--max-steps <n>] [--timeout-ms <ms>] [--max-mem-cells <n>]
+                                                     resident analysis service: line-delimited JSON
+                                                     over TCP/unix sockets, one warm shared cache,
+                                                     per-function incremental re-analysis
     parpat stats [--cache-dir <d>] [--json]          per-stage stats persisted by the last batch
+                                                     (or by a `parpat serve` session)
     parpat lint <file.ml|dir|apps> [--json]          static dependence diagnostics with stable
                                                      codes (P001 carried dep, P020 proven do-all, …)
     parpat verify <file.ml|dir|apps>                 lower each program and check the IR against
@@ -61,6 +67,13 @@ prefix from the journal and re-analyzes only the rest. `--retries <n>`
 re-runs transiently failed programs (e.g. corrupted cache records) up to
 n times with exponential backoff; a watchdog cancels and requeues stalled
 jobs once.
+
+`parpat serve` keeps the engine (and its cache) resident: clients send
+one JSON request per line — `{\"cmd\": \"analyze\", \"app\": \"ludcmp\"}` or
+`{\"cmd\": \"analyze\", \"name\": \"f.ml\", \"source\": \"…\"}` — and get one JSON
+response per line. Re-submitting an edited file re-runs only the edited
+functions' static/CU stages; the response's `funcs_reanalyzed` field and
+`parpat stats` show it. Send `{\"cmd\": \"shutdown\"}` to stop the daemon.
 
 The input is a MiniLang program (see README / crates/minilang). The bundled
 benchmarks are the paper's 17 evaluation applications plus the two
@@ -320,6 +333,49 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let src = read(&path)?;
             let shrunk = crate::shrink::shrink(&src, inject)?;
             Ok(shrunk.render())
+        }
+        Some("serve") => {
+            let opts: Vec<String> = args[1..].to_vec();
+            let mut cfg = parpat_serve::ServeConfig {
+                limits: exec_limits_opts(&opts)?,
+                cache_dir: cache_dir_opt(&opts)?,
+                ..Default::default()
+            };
+            let unix = opt_value(&opts, "--unix")?.map(std::path::PathBuf::from);
+            cfg.tcp = match opt_value(&opts, "--tcp")? {
+                Some(addr) => Some(addr),
+                // Default to a fixed local port, unless only a unix
+                // socket was asked for.
+                None if unix.is_some() => None,
+                None => Some("127.0.0.1:7117".to_owned()),
+            };
+            cfg.unix = unix;
+            if let Some(v) = opt_value(&opts, "--workers")? {
+                cfg.workers = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("--workers must be a positive integer, got `{v}`")),
+                };
+            }
+            if let Some(v) = opt_value(&opts, "--max-connections")? {
+                cfg.max_connections = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        return Err(format!(
+                            "--max-connections must be a positive integer, got `{v}`"
+                        ))
+                    }
+                };
+            }
+            let server = parpat_serve::Server::start(cfg)?;
+            if let Some(addr) = server.tcp_addr() {
+                eprintln!("parpat serve: listening on tcp://{addr}");
+            }
+            if let Some(path) = server.unix_path() {
+                eprintln!("parpat serve: listening on unix:{}", path.display());
+            }
+            eprintln!("parpat serve: send {{\"cmd\": \"shutdown\"}} to stop");
+            let stats = server.wait();
+            Ok(format!("=== serve session ===\n{}", stats.render_text()))
         }
         Some("stats") => {
             let opts: Vec<String> = args[1..].to_vec();
@@ -1018,6 +1074,7 @@ fn main() {
             )),
             wall: std::time::Duration::ZERO,
             fully_cached: false,
+            funcs_reanalyzed: 0,
         });
         let text = render_batch_text(&batch);
         assert!(text.contains("error [MISCOMPILE]"), "{text}");
@@ -1036,6 +1093,52 @@ fn main() {
         let red = first.iter().position(|l| l.contains("red.ml")).unwrap();
         assert!(pipe < red, "directory inputs must be sorted by name: {first:?}");
         assert_eq!(first, run_once(), "batch program listing over a directory is deterministic");
+    }
+
+    #[test]
+    fn serve_validates_its_flags() {
+        for bad in ["0", "-1", "zap"] {
+            let err = run(&args(&["serve", "--workers", bad])).unwrap_err();
+            assert!(err.contains("--workers"), "`{bad}` gave: {err}");
+            let err = run(&args(&["serve", "--max-connections", bad])).unwrap_err();
+            assert!(err.contains("--max-connections"), "`{bad}` gave: {err}");
+        }
+        let err = run(&args(&["serve", "--tcp", "definitely:not:an:address"])).unwrap_err();
+        assert!(err.contains("cannot bind"), "{err}");
+        let err = run(&args(&["serve", "--max-steps", "0"])).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serve_round_trips_over_a_unix_socket() {
+        let sock = std::env::temp_dir().join(format!("parpat-serve-{}.sock", std::process::id()));
+        let sock_str = sock.to_string_lossy().into_owned();
+        // `run` blocks until shutdown; drive it from a second thread.
+        let server = std::thread::spawn({
+            let a = args(&["serve", "--unix", &sock_str, "--workers", "2", "--cache-dir", "none"]);
+            move || run(&a)
+        });
+        // Wait for the socket to appear, then do one warm/cold round.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut client = loop {
+            if let Ok(c) = parpat_serve::Client::connect_unix(&sock) {
+                break c;
+            }
+            assert!(std::time::Instant::now() < deadline, "socket never appeared");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let cold = client.analyze("cli.ml", REDUCTION_SRC).unwrap();
+        assert!(cold.contains("\"status\": \"ok\""), "{cold}");
+        assert!(cold.contains("\"cached\": false"), "{cold}");
+        let warm = client.analyze("cli.ml", REDUCTION_SRC).unwrap();
+        assert!(warm.contains("\"cached\": true"), "{warm}");
+        assert!(warm.contains("\"funcs_reanalyzed\": 0"), "{warm}");
+        client.shutdown().unwrap();
+        let summary = server.join().expect("server thread").unwrap();
+        assert!(summary.contains("=== serve session ==="), "{summary}");
+        assert!(summary.contains("2 request(s)"), "{summary}");
+        assert!(!sock.exists(), "socket file is removed on shutdown");
     }
 
     #[test]
