@@ -26,7 +26,14 @@ cargo test -q -p parpat-minilang --test fuzz
 # to the checked-in golden reproducer byte-for-byte.
 ./target/release/parpat shrink tests/fixtures/miscompile_seed.ml --inject swap-add-sub \
     | diff tests/golden/shrink_miscompile.txt -
+# Serve-layer chaos soak: concurrent clients under fault injection and
+# socket-level hostility — zero panics, byte-identical successful
+# reports, structured errors for every shed/faulted/timed-out request.
+cargo test -q -p parpat-serve --test chaos
+# Shutdown drain promptness and slow-loris idle-timeout policing.
+cargo test -q -p parpat-serve --test drain
 # Resident-service benchmark: the warm server must beat the cold one-shot
-# path by >= 2x (asserted inside the bench) and emit its JSON report.
+# path by >= 2x (asserted inside the bench), measure overload p99 and
+# shed rate, and emit its JSON report.
 cargo bench -p parpat-bench --bench serve
 test -s BENCH_serve.json

@@ -1,7 +1,9 @@
 //! Service benchmark: batch throughput of the warm resident server
-//! against the cold one-shot path, plus the latency of an incremental
-//! single-function edit. Emits `BENCH_serve.json` at the repo root for
-//! CI to check in addition to the printed table.
+//! against the cold one-shot path, the latency of an incremental
+//! single-function edit, and the tail latency + shed rate of a
+//! deliberately overloaded server (more concurrent connectors than
+//! slots and queue entries combined). Emits `BENCH_serve.json` at the
+//! repo root for CI to check in addition to the printed table.
 //!
 //! The comparison is deliberately end-to-end on the server side — every
 //! request crosses a real TCP socket and the analysis pool — so the
@@ -93,6 +95,81 @@ fn incremental_edit(client: &mut Client) -> (Duration, u64) {
     (latency, funcs)
 }
 
+/// Concurrent connectors hammering the overload stage.
+const OVERLOAD_CLIENTS: usize = 8;
+/// Requests each connector sends (fresh connection per request, so every
+/// one crosses admission control).
+const OVERLOAD_REQUESTS: usize = 25;
+
+/// Overload stage: a deliberately small server (2 slots, queue depth 2)
+/// under 8 concurrent connectors, one fresh connection per request.
+/// Every answer must be either a successful cached report or a
+/// structured `overloaded` shed; returns (p99 of successful requests,
+/// shed count, total requests).
+fn overload_tail() -> (Duration, usize, usize) {
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        workers: 2,
+        max_connections: 2,
+        queue_depth: 2,
+        cache_dir: None,
+        ..ServeConfig::default()
+    })
+    .expect("overload server starts");
+    let addr = server.tcp_addr().expect("tcp listener").to_string();
+
+    // Warm the cache so measured latencies are admission + cache-hit.
+    let mut warmup = Client::connect_tcp(&addr).expect("connect");
+    let response = warmup.analyze_app("sort").expect("warm-up");
+    assert!(response.contains("\"status\": \"ok\""), "{response}");
+    drop(warmup);
+
+    let handles: Vec<_> = (0..OVERLOAD_CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut ok = Vec::new();
+                let mut shed = 0usize;
+                for _ in 0..OVERLOAD_REQUESTS {
+                    let start = Instant::now();
+                    let Ok(mut client) = Client::connect_tcp(&addr) else {
+                        shed += 1;
+                        continue;
+                    };
+                    match client.analyze_app("sort") {
+                        Ok(r) if r.contains("\"code\": \"overloaded\"") => shed += 1,
+                        Ok(r) => {
+                            assert!(r.contains("\"status\": \"ok\""), "{r}");
+                            ok.push(start.elapsed());
+                        }
+                        // A shed connection the client noticed as a close.
+                        Err(_) => shed += 1,
+                    }
+                }
+                (ok, shed)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut shed = 0usize;
+    for h in handles {
+        let (ok, s) = h.join().expect("overload client");
+        latencies.extend(ok);
+        shed += s;
+    }
+    let mut fresh = Client::connect_tcp(&addr).expect("connect");
+    let _ = fresh.shutdown();
+    server.wait();
+
+    let total = OVERLOAD_CLIENTS * OVERLOAD_REQUESTS;
+    assert_eq!(latencies.len() + shed, total, "every request was accounted for");
+    assert!(!latencies.is_empty(), "some requests succeeded under overload");
+    latencies.sort();
+    let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+    (p99, shed, total)
+}
+
 fn main() {
     let programs = all_apps().len();
     let cold = cold_oneshot(programs);
@@ -112,6 +189,9 @@ fn main() {
     let _ = client.shutdown();
     server.wait();
 
+    let (p99, shed, total) = overload_tail();
+    let shed_rate = shed as f64 / total as f64;
+
     let cold_tput = programs as f64 / cold.as_secs_f64();
     let warm_tput = programs as f64 / warm.as_secs_f64();
     let speedup = warm_tput / cold_tput;
@@ -128,19 +208,29 @@ fn main() {
         "serve/incremental     1-function edit re-analyzed {edit_funcs} function(s) in {:.3} ms",
         edit_latency.as_secs_f64() * 1e3
     );
+    println!(
+        "serve/overload        {OVERLOAD_CLIENTS} clients x {OVERLOAD_REQUESTS} reqs: \
+         p99 {:.3} ms, shed {shed}/{total} ({:.1}%)",
+        p99.as_secs_f64() * 1e3,
+        shed_rate * 100.0
+    );
 
     let json = format!(
         "{{\"programs\": {programs}, \"passes\": {PASSES}, \
          \"cold_oneshot\": {{\"wall_ms\": {:.3}, \"programs_per_sec\": {:.2}}}, \
          \"warm_server\": {{\"wall_ms\": {:.3}, \"programs_per_sec\": {:.2}}}, \
          \"speedup\": {:.2}, \
-         \"incremental_edit\": {{\"latency_ms\": {:.3}, \"funcs_reanalyzed\": {edit_funcs}}}}}\n",
+         \"incremental_edit\": {{\"latency_ms\": {:.3}, \"funcs_reanalyzed\": {edit_funcs}}}, \
+         \"overload\": {{\"clients\": {OVERLOAD_CLIENTS}, \"requests\": {total}, \
+         \"p99_ms\": {:.3}, \"shed\": {shed}, \"shed_rate\": {:.4}}}}}\n",
         cold.as_secs_f64() * 1e3,
         cold_tput,
         warm.as_secs_f64() * 1e3,
         warm_tput,
         speedup,
         edit_latency.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        shed_rate,
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
     std::fs::write(&out, json).expect("write BENCH_serve.json");

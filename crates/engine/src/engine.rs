@@ -232,6 +232,14 @@ struct BatchCounters {
     retries: AtomicU64,
     stall_requeued: AtomicU64,
     resumed: AtomicU64,
+    /// Requests turned away by a resident service's admission control
+    /// (never reached the engine; bumped via [`Session::note_shed`]).
+    requests_shed: AtomicU64,
+    /// Jobs cancelled because their request-scoped deadline expired.
+    deadline_exceeded: AtomicU64,
+    /// Requests that arrived marked as client-side retries
+    /// ([`Session::note_client_retry`]).
+    retries_client: AtomicU64,
     static_doall: AtomicU64,
     input_sensitive: AtomicU64,
     consistency_errors: AtomicU64,
@@ -255,6 +263,9 @@ impl BatchCounters {
                 }
                 ErrorKind::Budget => {
                     self.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+                }
+                ErrorKind::Deadline => {
+                    self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                 }
                 ErrorKind::Miscompile => {
                     if err.detail.starts_with(SANITIZER_REJECT_PREFIX) {
@@ -305,6 +316,23 @@ pub struct Session {
     counters: BatchCounters,
     programs: AtomicU64,
     start: Instant,
+}
+
+impl Session {
+    /// Record a request turned away by the service's admission control
+    /// before it ever reached the engine (load shedding). Shows up as
+    /// `requests_shed` in the session stats.
+    pub fn note_shed(&self) {
+        self.counters.requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request that arrived marked as a client-side retry
+    /// (the client's backoff loop re-sent it after an `overloaded` or
+    /// transient failure). Shows up as `retries_client` in the session
+    /// stats.
+    pub fn note_client_retry(&self) {
+        self.counters.retries_client.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Adapter exposing one job attempt's [`ExecControl`] to the watchdog.
@@ -399,7 +427,7 @@ impl Engine {
     /// it as batch index 0).
     pub fn analyze_one(&self, input: &BatchInput) -> ProgramOutcome {
         let counters = BatchCounters::default();
-        self.run_one(input, 0, &counters)
+        self.run_one(input, 0, &counters, None)
     }
 
     /// Open an accumulating counter scope for a resident service: requests
@@ -418,7 +446,23 @@ impl Engine {
     /// as batch index 0). Safe to call from many threads concurrently.
     pub fn analyze_in_session(&self, session: &Session, input: &BatchInput) -> ProgramOutcome {
         session.programs.fetch_add(1, Ordering::Relaxed);
-        self.run_one(input, 0, &session.counters)
+        self.run_one(input, 0, &session.counters, None)
+    }
+
+    /// Like [`Engine::analyze_in_session`], but with an absolute deadline:
+    /// the attempt's [`ExecControl`] self-cancels once the clock passes
+    /// `deadline`, and the resulting cancellation is classified as
+    /// [`ErrorKind::Deadline`] (never requeued or retried — the time
+    /// budget is request-scoped and spent). A dynamic-stage deadline still
+    /// yields a degraded report when the static artifacts survived.
+    pub fn analyze_in_session_before(
+        &self,
+        session: &Session,
+        input: &BatchInput,
+        deadline: Option<Instant>,
+    ) -> ProgramOutcome {
+        session.programs.fetch_add(1, Ordering::Relaxed);
+        self.run_one(input, 0, &session.counters, deadline)
     }
 
     /// Snapshot the session's accumulated statistics. `jobs` is the
@@ -524,7 +568,7 @@ impl Engine {
                 funcs_reanalyzed: 0,
             };
         }
-        let po = self.run_one(input, index, counters);
+        let po = self.run_one(input, index, counters, None);
         if let Some(j) = journal {
             let _ = j.append(&JournalEntry { index, outcome: store_outcome(&po) });
         }
@@ -593,19 +637,23 @@ impl Engine {
 
     /// Run one program to a *final* outcome: stalled attempts are requeued
     /// once, transient failures are retried with exponential backoff, and
-    /// only the outcome that sticks is accounted and returned.
+    /// only the outcome that sticks is accounted and returned. A deadline,
+    /// when given, is absolute and shared by every attempt — a requeue or
+    /// retry never resets the request's time budget, and a
+    /// [`ErrorKind::Deadline`] failure exits the loop immediately.
     fn run_one(
         &self,
         input: &BatchInput,
         index: usize,
         counters: &BatchCounters,
+        deadline: Option<Instant>,
     ) -> ProgramOutcome {
         let start = Instant::now();
         counters.requests.fetch_add(1, Ordering::Relaxed);
         let mut requeued = false;
         let mut attempts = 0u32;
         let (outcome, fully_cached, funcs_reanalyzed) = loop {
-            let (outcome, fully_cached, funcs) = self.run_attempt(input, index, counters);
+            let (outcome, fully_cached, funcs) = self.run_attempt(input, index, counters, deadline);
             match outcome.error().map(|e| e.kind) {
                 Some(ErrorKind::Stalled) if !requeued => {
                     requeued = true;
@@ -640,18 +688,34 @@ impl Engine {
         input: &BatchInput,
         index: usize,
         counters: &BatchCounters,
+        deadline: Option<Instant>,
     ) -> (AnalysisOutcome, bool, u64) {
         let ctl = Arc::new(ExecControl::new());
+        if let Some(d) = deadline {
+            ctl.arm_deadline(d);
+        }
         let _watch = self.watchdog.as_ref().map(|w| {
             w.register(Arc::new(JobWatch { ctl: Arc::clone(&ctl) }) as Arc<dyn Supervised>)
         });
-        let mut run = ProgRun::new(self, &input.source, index, ctl);
+        let mut run = ProgRun::new(self, &input.source, index, Arc::clone(&ctl));
         let outcome = match run.report() {
             Ok(r) => AnalysisOutcome::Ok(r),
-            Err(err) => match run.degraded(&err) {
-                Some(d) => AnalysisOutcome::Degraded(Arc::new(d)),
-                None => AnalysisOutcome::Err(err),
-            },
+            Err(mut err) => {
+                // A cancellation observed past an expired deadline is the
+                // deadline's doing, whether the beat loop self-cancelled or
+                // the watchdog beat it to the flag. Reclassify before the
+                // degraded check so a degraded report carries the Deadline
+                // reason, and before `run_one`'s loop so it is never
+                // requeued as a stall.
+                if err.kind == ErrorKind::Stalled && ctl.deadline_expired() {
+                    err.kind = ErrorKind::Deadline;
+                    err.detail = format!("request deadline expired: {}", err.detail);
+                }
+                match run.degraded(&err) {
+                    Some(d) => AnalysisOutcome::Degraded(Arc::new(d)),
+                    None => AnalysisOutcome::Err(err),
+                }
+            }
         };
         let fully_cached = outcome.is_ok() && run.states.iter().all(|s| *s == St::Hit);
         let funcs = run.funcs_reanalyzed.len() as u64;
@@ -681,6 +745,9 @@ impl Engine {
             retries: counters.retries.load(Ordering::Relaxed),
             stall_requeued: counters.stall_requeued.load(Ordering::Relaxed),
             resumed: counters.resumed.load(Ordering::Relaxed),
+            requests_shed: counters.requests_shed.load(Ordering::Relaxed),
+            deadline_exceeded: counters.deadline_exceeded.load(Ordering::Relaxed),
+            retries_client: counters.retries_client.load(Ordering::Relaxed),
             static_proven_doall: counters.static_doall.load(Ordering::Relaxed),
             input_sensitive: counters.input_sensitive.load(Ordering::Relaxed),
             consistency_errors: counters.consistency_errors.load(Ordering::Relaxed),

@@ -31,6 +31,12 @@ pub enum ErrorKind {
     /// The watchdog declared the job stale and cancelled it cooperatively;
     /// the batch scheduler requeues the job once before giving up.
     Stalled,
+    /// A request-scoped deadline expired and the job was cancelled
+    /// cooperatively (same mechanism as [`ErrorKind::Stalled`], but the
+    /// clock — not the heartbeat — pulled the trigger). Never requeued or
+    /// retried: the time budget is spent. Dynamic-stage deadline failures
+    /// still yield a degraded (static-only) report.
+    Deadline,
     /// The verification subsystem rejected the pipeline's own artifacts:
     /// the IR verifier found structural violations after lowering, the
     /// differential oracle observed the interpreter diverging from the
@@ -43,13 +49,14 @@ pub enum ErrorKind {
 
 impl ErrorKind {
     /// Every kind, for name round-tripping.
-    pub const ALL: [ErrorKind; 7] = [
+    pub const ALL: [ErrorKind; 8] = [
         ErrorKind::Lang,
         ErrorKind::Runtime,
         ErrorKind::Panic,
         ErrorKind::Budget,
         ErrorKind::CacheCorrupt,
         ErrorKind::Stalled,
+        ErrorKind::Deadline,
         ErrorKind::Miscompile,
     ];
 
@@ -62,6 +69,7 @@ impl ErrorKind {
             ErrorKind::Budget => "budget",
             ErrorKind::CacheCorrupt => "cache-corrupt",
             ErrorKind::Stalled => "stalled",
+            ErrorKind::Deadline => "deadline",
             ErrorKind::Miscompile => "miscompile",
         }
     }
@@ -90,6 +98,7 @@ impl ErrorKind {
             ErrorKind::Budget => "budget exceeded",
             ErrorKind::CacheCorrupt => "cache corruption",
             ErrorKind::Stalled => "stall",
+            ErrorKind::Deadline => "deadline exceeded",
             ErrorKind::Miscompile => "miscompile",
         }
     }
@@ -227,6 +236,14 @@ mod tests {
         for k in ErrorKind::ALL {
             assert_eq!(k.is_transient(), k == ErrorKind::CacheCorrupt, "{k}");
         }
+    }
+
+    #[test]
+    fn deadline_is_terminal() {
+        assert!(!ErrorKind::Deadline.is_transient(), "a spent time budget is not retryable");
+        assert_eq!(ErrorKind::from_name("deadline"), Some(ErrorKind::Deadline));
+        let e = EngineError::new(Stage::Profile, ErrorKind::Deadline, "out of time");
+        assert_eq!(e.to_string(), "deadline exceeded at profile stage: out of time");
     }
 
     #[test]

@@ -106,6 +106,14 @@ pub struct EngineStats {
     /// Programs restored from the batch journal instead of re-analyzed
     /// (`--resume`).
     pub resumed: u64,
+    /// Requests turned away by a resident service's admission control
+    /// before reaching the engine (load shedding).
+    pub requests_shed: u64,
+    /// Jobs cancelled because a request-scoped deadline expired.
+    pub deadline_exceeded: u64,
+    /// Requests that arrived marked as client-side retries (the client's
+    /// backoff loop re-sent them after an overloaded or transient failure).
+    pub retries_client: u64,
     /// Counted loops statically proven free of carried flow dependences
     /// across the batch (degraded programs contribute their candidates).
     pub static_proven_doall: u64,
@@ -174,6 +182,10 @@ impl EngineStats {
             self.requests, self.served_from_cache, self.funcs_reanalyzed
         ));
         out.push_str(&format!(
+            "overload: {} shed, {} deadline-exceeded, {} client retries\n",
+            self.requests_shed, self.deadline_exceeded, self.retries_client
+        ));
+        out.push_str(&format!(
             "static: {} proven-do-all loop(s), {} input-sensitive, {} consistency error(s)\n",
             self.static_proven_doall, self.input_sensitive, self.consistency_errors
         ));
@@ -227,7 +239,7 @@ impl EngineStats {
             ));
         }
         format!(
-            "{{\"programs\": {}, \"requests\": {}, \"served_from_cache\": {}, \"funcs_reanalyzed\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"verified\": {}, \"sanitizer_rejects\": {}, \"miscompiles\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
+            "{{\"programs\": {}, \"requests\": {}, \"served_from_cache\": {}, \"funcs_reanalyzed\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"requests_shed\": {}, \"deadline_exceeded\": {}, \"retries_client\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"verified\": {}, \"sanitizer_rejects\": {}, \"miscompiles\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
             self.programs,
             self.requests,
             self.served_from_cache,
@@ -239,6 +251,9 @@ impl EngineStats {
             self.retries,
             self.stall_requeued,
             self.resumed,
+            self.requests_shed,
+            self.deadline_exceeded,
+            self.retries_client,
             self.static_proven_doall,
             self.input_sensitive,
             self.consistency_errors,
@@ -327,6 +342,9 @@ mod tests {
             retries: 6,
             stall_requeued: 7,
             resumed: 9,
+            requests_shed: 11,
+            deadline_exceeded: 12,
+            retries_client: 13,
             static_proven_doall: 21,
             input_sensitive: 4,
             consistency_errors: 5,
@@ -350,6 +368,7 @@ mod tests {
         assert!(text.contains("1 panics, 2 budget-exceeded, 3 cache records recovered"));
         assert!(text.contains("6 retries, 7 stall-requeued, 9 resumed from journal"));
         assert!(text.contains("34 request(s), 17 served from cache, 3 function(s) reanalyzed"));
+        assert!(text.contains("11 shed, 12 deadline-exceeded, 13 client retries"));
         assert!(
             text.contains("21 proven-do-all loop(s), 4 input-sensitive, 5 consistency error(s)")
         );
@@ -369,6 +388,9 @@ mod tests {
         assert!(json.contains("\"retries\": 6"));
         assert!(json.contains("\"stall_requeued\": 7"));
         assert!(json.contains("\"resumed\": 9"));
+        assert!(json.contains("\"requests_shed\": 11"));
+        assert!(json.contains("\"deadline_exceeded\": 12"));
+        assert!(json.contains("\"retries_client\": 13"));
         assert!(json.contains("\"requests\": 34"));
         assert!(json.contains("\"served_from_cache\": 17"));
         assert!(json.contains("\"funcs_reanalyzed\": 3"));
@@ -403,6 +425,9 @@ mod tests {
             retries: 0,
             stall_requeued: 0,
             resumed: 0,
+            requests_shed: 0,
+            deadline_exceeded: 0,
+            retries_client: 0,
             static_proven_doall: 0,
             input_sensitive: 0,
             consistency_errors: 0,

@@ -433,3 +433,44 @@ fn xorshift_fault_campaign_is_reproducible() {
         assert_eq!(shape.chars().filter(|&c| c != 'O').count(), 1, "shape {shape}");
     }
 }
+
+#[test]
+fn an_expired_request_deadline_degrades_without_a_requeue() {
+    // An already-expired deadline: the attempt's ExecControl self-cancels
+    // at the first interpreter beat, the cancellation is reclassified as
+    // Deadline (not Stalled), the scheduler does NOT requeue it, and the
+    // dynamic-stage failure still yields a degraded (static-only) report.
+    let eng = engine_with(Vec::new());
+    let session = eng.open_session();
+    // The loop must run past the interpreter's cancel-poll cadence
+    // (every DEADLINE_POLL_MASK + 1 instructions), or the run completes
+    // before anyone looks at the cancel flag.
+    let input = BatchInput {
+        name: "deadline-victim".to_owned(),
+        source: "global a[64];\nfn main() {\n    let x = 0;\n    for i in 0..200000 { x = x + 1; }\n    for i in 0..64 { a[i] = i * 3; }\n    return x;\n}".to_owned(),
+    };
+    let po = eng.analyze_in_session_before(&session, &input, Some(std::time::Instant::now()));
+    let d = po.outcome.degraded().expect("static artifacts survive a profile-stage deadline");
+    assert_eq!(d.reason.kind, ErrorKind::Deadline);
+    assert!(d.reason.detail.starts_with("request deadline expired: "), "{}", d.reason.detail);
+    let stats = eng.session_stats(&session, 1);
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.stall_requeued, 0, "deadlines are terminal, never requeued");
+    assert_eq!(stats.degraded, 1);
+}
+
+#[test]
+fn a_generous_deadline_changes_nothing() {
+    let eng = engine_with(Vec::new());
+    let session = eng.open_session();
+    let inputs = small_inputs();
+    let clean = baseline(&inputs);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(600);
+    for (i, input) in inputs.iter().enumerate() {
+        let po = eng.analyze_in_session_before(&session, input, Some(deadline));
+        assert_eq!(*po.outcome.report().expect("completes well before the deadline"), clean[i]);
+    }
+    let stats = eng.session_stats(&session, 1);
+    assert_eq!(stats.deadline_exceeded, 0);
+    assert_eq!(stats.errors + stats.degraded, 0);
+}

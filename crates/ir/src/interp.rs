@@ -77,22 +77,65 @@ impl Default for ExecLimits {
 /// a supervisor that watches `beats` go stale can therefore stop a runaway
 /// run within a few thousand instructions by setting `cancel`, without any
 /// cooperation from the program under analysis.
-#[derive(Debug, Default)]
+///
+/// A control block can additionally carry an absolute **deadline**
+/// ([`ExecControl::arm_deadline`]): every beat past the deadline requests
+/// cancellation, so a request-scoped deadline rides the exact same poll
+/// points (stage boundaries, the interpreter's instruction tick) as the
+/// watchdog — no second supervision channel needed.
+#[derive(Debug)]
 pub struct ExecControl {
     beats: std::sync::atomic::AtomicU64,
     cancel: std::sync::atomic::AtomicBool,
+    /// Deadline in nanoseconds after `epoch`; `u64::MAX` means unarmed.
+    deadline_ns: std::sync::atomic::AtomicU64,
+    /// Reference instant for `deadline_ns` (set at construction).
+    epoch: std::time::Instant,
+}
+
+impl Default for ExecControl {
+    fn default() -> Self {
+        ExecControl {
+            beats: std::sync::atomic::AtomicU64::new(0),
+            cancel: std::sync::atomic::AtomicBool::new(false),
+            deadline_ns: std::sync::atomic::AtomicU64::new(u64::MAX),
+            epoch: std::time::Instant::now(),
+        }
+    }
 }
 
 impl ExecControl {
-    /// Fresh control block: zero beats, not cancelled.
+    /// Fresh control block: zero beats, not cancelled, no deadline.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Arm an absolute deadline: once it passes, every subsequent beat
+    /// requests cancellation. Instants before the control block's creation
+    /// clamp to "already expired".
+    pub fn arm_deadline(&self, deadline: std::time::Instant) {
+        let ns = deadline
+            .checked_duration_since(self.epoch)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX - 1));
+        self.deadline_ns.store(ns, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// `true` once an armed deadline lies in the past. Always `false` when
+    /// no deadline was armed — this is how callers distinguish a deadline
+    /// cancellation from a watchdog (staleness) cancellation.
+    pub fn deadline_expired(&self) -> bool {
+        let armed = self.deadline_ns.load(std::sync::atomic::Ordering::Relaxed);
+        armed != u64::MAX && self.epoch.elapsed().as_nanos() as u64 >= armed
+    }
+
     /// Record one liveness beat. Called by the interpreter; hosts may also
-    /// beat at coarser milestones (e.g. stage boundaries).
+    /// beat at coarser milestones (e.g. stage boundaries). Past an armed
+    /// deadline, beating self-cancels the run.
     pub fn beat(&self) {
         self.beats.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if self.deadline_expired() {
+            self.request_cancel();
+        }
     }
 
     /// Monotone count of beats so far.
@@ -842,6 +885,55 @@ mod tests {
         assert!(err.is_cancelled(), "{err}");
         assert!(!err.is_budget());
         assert!(ctl.beats() > 0, "interpreter must beat at the poll point");
+    }
+
+    #[test]
+    fn expired_deadline_cancels_at_the_next_beat() {
+        let src = "fn main() { let s = 0; for i in 0..10000000 { s += i; } return s; }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let f = ir.entry.unwrap();
+        let ctl = ExecControl::new();
+        ctl.arm_deadline(std::time::Instant::now());
+        assert!(ctl.deadline_expired());
+        let err = run_function_controlled(
+            &ir,
+            f,
+            &[],
+            &mut NullObserver,
+            ExecLimits::default(),
+            Some(&ctl),
+        )
+        .unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+    }
+
+    #[test]
+    fn future_deadline_leaves_the_run_alone() {
+        let src = "fn main() { let s = 0; for i in 0..10000 { s += 1; } return s; }";
+        let ir = lower(&parse_checked(src).unwrap());
+        let f = ir.entry.unwrap();
+        let ctl = ExecControl::new();
+        ctl.arm_deadline(std::time::Instant::now() + std::time::Duration::from_secs(600));
+        assert!(!ctl.deadline_expired());
+        let out = run_function_controlled(
+            &ir,
+            f,
+            &[],
+            &mut NullObserver,
+            ExecLimits::default(),
+            Some(&ctl),
+        )
+        .unwrap();
+        assert_eq!(out.return_value, 10_000.0);
+        assert!(!ctl.cancel_requested());
+    }
+
+    #[test]
+    fn unarmed_control_never_reports_an_expired_deadline() {
+        let ctl = ExecControl::new();
+        ctl.beat();
+        assert!(!ctl.deadline_expired());
+        assert!(!ctl.cancel_requested());
     }
 
     #[test]

@@ -19,6 +19,40 @@ pub const MAX_FRAME_CEILING: usize = 64 << 20;
 /// anything that could pressure memory.
 pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
 
+/// Default bounded admission queue depth: connections past the
+/// `max_connections` cap wait here before load shedding kicks in.
+pub const DEFAULT_QUEUE_DEPTH: usize = 16;
+
+/// Upper bound accepted for `queue_depth`: a deeper queue only trades
+/// memory for latency the client has already given up on.
+pub const QUEUE_DEPTH_CEILING: usize = 4096;
+
+/// Default total idle-connection timeout, in milliseconds. Distinct from
+/// the read-poll interval: this clock runs from the last *completed*
+/// request frame, so a slow-loris client dribbling bytes without ever
+/// finishing a line is disconnected too.
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 30_000;
+
+/// Smallest accepted idle timeout: anything below the read-poll interval
+/// would disconnect well-behaved clients between their own requests.
+pub const MIN_IDLE_TIMEOUT_MS: u64 = 100;
+
+/// Fault-injection plan for the serve-layer chaos harness.
+///
+/// When armed, every pool-bound request rolls a deterministic
+/// xorshift-derived die: with probability `fault_permille`/1000 the
+/// request is answered with an injected failure (structured error,
+/// worker panic, stall, or transient) instead of — or on the way to —
+/// its real result. The sequence is a pure function of `seed` and the
+/// request arrival order, so a soak run is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for the per-request fault roll.
+    pub seed: u64,
+    /// Probability of injecting a fault, in permille (0..=1000).
+    pub fault_permille: u16,
+}
+
 /// Construction parameters for [`crate::Server`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -31,9 +65,25 @@ pub struct ServeConfig {
     pub unix: Option<PathBuf>,
     /// Analysis worker threads (the work-stealing pool size).
     pub workers: usize,
-    /// Concurrent client connections accepted before new ones are turned
-    /// away with a `busy` error.
+    /// Concurrent client connections served before new ones wait in the
+    /// admission queue (and, past `queue_depth`, are shed with an
+    /// `overloaded` error).
     pub max_connections: usize,
+    /// Admission queue depth: connections past the `max_connections` cap
+    /// wait here until a slot frees. `0` sheds immediately at the cap.
+    pub queue_depth: usize,
+    /// Default per-request deadline, in milliseconds, for pool-bound
+    /// verbs. A request's own `deadline_ms` member is honored but clamped
+    /// to this value when set; `None` means no service-imposed deadline.
+    pub request_deadline_ms: Option<u64>,
+    /// Total idle-connection timeout, in milliseconds, measured from the
+    /// last completed request frame. A connection that holds its slot
+    /// this long without completing a frame — idle *or* dribbling bytes —
+    /// is answered with a structured `idle-timeout` error and closed.
+    pub idle_timeout_ms: u64,
+    /// Serve-layer fault injection for the chaos harness; `None` (the
+    /// production value) injects nothing.
+    pub chaos: Option<ChaosConfig>,
     /// Longest accepted request line, in bytes; longer frames are
     /// answered with an `oversized-frame` error.
     pub max_frame: usize,
@@ -54,6 +104,10 @@ impl Default for ServeConfig {
             unix: None,
             workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
             max_connections: 64,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            request_deadline_ms: None,
+            idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
+            chaos: None,
             max_frame: DEFAULT_MAX_FRAME,
             cache_capacity: 512,
             cache_dir: None,
@@ -108,6 +162,50 @@ impl ServeConfig {
         if self.max_connections == 0 {
             reject("max_connections", "need at least one connection slot".to_owned());
         }
+        if self.queue_depth > QUEUE_DEPTH_CEILING {
+            reject(
+                "queue_depth",
+                format!(
+                    "{} queued connections exceeds the {QUEUE_DEPTH_CEILING} ceiling",
+                    self.queue_depth
+                ),
+            );
+        }
+        if let Some(ms) = self.request_deadline_ms {
+            if ms == 0 {
+                reject(
+                    "request_deadline_ms",
+                    "a zero deadline rejects every request; use load shedding instead".to_owned(),
+                );
+            }
+            if ms > 86_400_000 {
+                reject("request_deadline_ms", format!("{ms} ms exceeds the 24-hour ceiling"));
+            }
+        }
+        if self.idle_timeout_ms < MIN_IDLE_TIMEOUT_MS {
+            reject(
+                "idle_timeout_ms",
+                format!(
+                    "{} ms would disconnect clients between their own requests \
+                     (min {MIN_IDLE_TIMEOUT_MS})",
+                    self.idle_timeout_ms
+                ),
+            );
+        }
+        if self.idle_timeout_ms > 3_600_000 {
+            reject(
+                "idle_timeout_ms",
+                format!("{} ms exceeds the one-hour ceiling", self.idle_timeout_ms),
+            );
+        }
+        if let Some(chaos) = &self.chaos {
+            if chaos.fault_permille > 1000 {
+                reject(
+                    "chaos.fault_permille",
+                    format!("{} permille is more than always (max 1000)", chaos.fault_permille),
+                );
+            }
+        }
         if self.max_frame < 1024 {
             reject(
                 "max_frame",
@@ -155,23 +253,74 @@ mod tests {
             unix: None,
             workers: 0,
             max_connections: 0,
+            queue_depth: QUEUE_DEPTH_CEILING + 1,
+            request_deadline_ms: Some(0),
+            idle_timeout_ms: 0,
+            chaos: Some(ChaosConfig { seed: 1, fault_permille: 1001 }),
             max_frame: 10,
             cache_capacity: 0,
             ..ServeConfig::default()
         };
         let issues = cfg.validate().unwrap_err();
         let fields: Vec<&str> = issues.iter().map(|i| i.field).collect();
-        for f in ["tcp/unix", "workers", "max_connections", "max_frame", "cache_capacity"] {
+        for f in [
+            "tcp/unix",
+            "workers",
+            "max_connections",
+            "queue_depth",
+            "request_deadline_ms",
+            "idle_timeout_ms",
+            "chaos.fault_permille",
+            "max_frame",
+            "cache_capacity",
+        ] {
             assert!(fields.contains(&f), "missing {f} in {fields:?}");
         }
         let text = ServeConfig::explain(&issues);
         assert!(text.contains("invalid serve configuration"), "{text}");
-        assert!(text.lines().count() >= 6, "{text}");
+        assert!(text.lines().count() >= 10, "{text}");
     }
 
     #[test]
     fn frame_ceiling_is_enforced() {
         let cfg = ServeConfig { max_frame: MAX_FRAME_CEILING + 1, ..ServeConfig::default() };
         assert_eq!(cfg.validate().unwrap_err()[0].field, "max_frame");
+    }
+
+    #[test]
+    fn overload_knob_boundaries() {
+        // queue_depth: zero (shed at the cap) and the ceiling are both in.
+        assert!(ServeConfig { queue_depth: 0, ..Default::default() }.validate().is_ok());
+        let at = ServeConfig { queue_depth: QUEUE_DEPTH_CEILING, ..Default::default() };
+        assert!(at.validate().is_ok());
+        let over = ServeConfig { queue_depth: QUEUE_DEPTH_CEILING + 1, ..Default::default() };
+        assert_eq!(over.validate().unwrap_err()[0].field, "queue_depth");
+
+        // request_deadline_ms: 1 ms and 24 h are in, 0 and beyond are out.
+        for ok in [Some(1), Some(86_400_000), None] {
+            let cfg = ServeConfig { request_deadline_ms: ok, ..Default::default() };
+            assert!(cfg.validate().is_ok(), "{ok:?}");
+        }
+        for bad in [Some(0), Some(86_400_001)] {
+            let cfg = ServeConfig { request_deadline_ms: bad, ..Default::default() };
+            assert_eq!(cfg.validate().unwrap_err()[0].field, "request_deadline_ms", "{bad:?}");
+        }
+
+        // idle_timeout_ms: the documented minimum and one hour are in.
+        for ok in [MIN_IDLE_TIMEOUT_MS, 3_600_000] {
+            let cfg = ServeConfig { idle_timeout_ms: ok, ..Default::default() };
+            assert!(cfg.validate().is_ok(), "{ok}");
+        }
+        for bad in [MIN_IDLE_TIMEOUT_MS - 1, 3_600_001] {
+            let cfg = ServeConfig { idle_timeout_ms: bad, ..Default::default() };
+            assert_eq!(cfg.validate().unwrap_err()[0].field, "idle_timeout_ms", "{bad}");
+        }
+
+        // chaos: certain injection (1000 permille) is a legal soak setup.
+        let chaotic = ServeConfig {
+            chaos: Some(ChaosConfig { seed: 42, fault_permille: 1000 }),
+            ..Default::default()
+        };
+        assert!(chaotic.validate().is_ok());
     }
 }

@@ -19,6 +19,23 @@
 //!   UTF-8, unknown verbs, and mid-request disconnects all yield
 //!   structured errors (or a clean write failure), never a panic and
 //!   never a poisoned cache;
+//! - **admission control** — beyond `max_connections`, arrivals park in
+//!   a bounded queue; past `queue_depth` they are shed with a structured
+//!   `overloaded` error carrying the queue depth and a `retry_after_ms`
+//!   hint, and the shed is counted in `stats`;
+//! - **per-request deadlines** — a server-side `request_deadline_ms` cap
+//!   and/or client-side `deadline_ms` member arm an absolute deadline
+//!   that cancels stuck interpreter runs (structured `deadline` error,
+//!   with the degraded static report when one is salvageable);
+//! - **slow-loris defence** — connections that neither complete a frame
+//!   nor go quiet are cut off after `idle_timeout_ms` with a structured
+//!   `idle-timeout` error;
+//! - **chaos harness** — an opt-in [`ChaosConfig`] injects deterministic
+//!   per-request faults (failures, panics, stalls, transients) so soak
+//!   tests can prove the failure envelope stays structured;
+//! - **client retries** — [`Client`] stamps request ids and, under a
+//!   [`client::RetryPolicy`], retries `overloaded`/`transient` outcomes
+//!   with deterministic jittered exponential backoff;
 //! - **validated configuration** — [`ServeConfig`] checks every field at
 //!   startup and reports all violations at once ([`config`]).
 //!
@@ -41,8 +58,13 @@ pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
-pub use config::{ConfigIssue, ServeConfig, DEFAULT_MAX_FRAME, MAX_FRAME_CEILING};
+pub use client::{Client, RetryPolicy};
+pub use config::{
+    ChaosConfig, ConfigIssue, ServeConfig, DEFAULT_IDLE_TIMEOUT_MS, DEFAULT_MAX_FRAME,
+    DEFAULT_QUEUE_DEPTH, MAX_FRAME_CEILING, MIN_IDLE_TIMEOUT_MS, QUEUE_DEPTH_CEILING,
+};
 pub use json::{parse as parse_json, Json, JsonError};
-pub use proto::{error_json, parse_request, Command, Request, SourceSpec, WireError};
+pub use proto::{
+    error_json, overloaded_json, parse_request, Command, Request, SourceSpec, WireError,
+};
 pub use server::Server;

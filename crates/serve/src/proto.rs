@@ -21,6 +21,7 @@
 //! balloon memory by withholding the newline.
 
 use std::io::{ErrorKind, Read};
+use std::time::Instant;
 
 use parpat_engine::stats::json_str;
 
@@ -40,6 +41,10 @@ pub enum Frame {
     Eof,
     /// A read timeout expired with no data; poll for shutdown and retry.
     Idle,
+    /// The caller-supplied idle deadline passed without a completed line
+    /// — covers both a silent connection and a slow-loris peer dribbling
+    /// bytes that never amount to a frame.
+    TimedOut,
 }
 
 /// Incremental line reader with a hard per-line byte cap.
@@ -65,6 +70,14 @@ impl<R: Read> FrameReader<R> {
 
     /// Read until the next newline, EOF, cap overflow, or timeout.
     pub fn next_frame(&mut self) -> std::io::Result<Frame> {
+        self.next_frame_before(None)
+    }
+
+    /// Like [`FrameReader::next_frame`], but give up once `deadline`
+    /// passes without a completed line ([`Frame::TimedOut`]). The check
+    /// sits before every refill, so it fires against a byte-dribbling
+    /// peer too — a complete buffered line is still delivered first.
+    pub fn next_frame_before(&mut self, deadline: Option<Instant>) -> std::io::Result<Frame> {
         loop {
             // Drain buffered bytes first.
             if self.start < self.chunk.len() {
@@ -101,7 +114,14 @@ impl<R: Read> FrameReader<R> {
                 continue;
             }
 
-            // Refill.
+            // Refill — unless the idle deadline has already passed.
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    self.pending.clear();
+                    self.line_len = 0;
+                    return Ok(Frame::TimedOut);
+                }
+            }
             self.chunk.resize(8 * 1024, 0);
             self.start = 0;
             match self.inner.read(&mut self.chunk) {
@@ -176,6 +196,13 @@ pub struct Request {
     pub id: Option<String>,
     /// The verb.
     pub cmd: Command,
+    /// Client-requested deadline for this request, in milliseconds. The
+    /// server clamps it to its configured `request_deadline_ms` when one
+    /// is set.
+    pub deadline_ms: Option<u64>,
+    /// Which retry attempt this is (`0` = first try). Clients mark
+    /// re-sent requests so the server can count `retries_client`.
+    pub retry: u64,
 }
 
 /// A protocol-level failure, rendered as a structured error response.
@@ -215,6 +242,23 @@ pub fn error_json(id: Option<&str>, code: &str, message: &str) -> String {
     out
 }
 
+/// Build the load-shedding response: an `overloaded` error carrying the
+/// observed queue depth and a retry-after hint the client's backoff can
+/// start from. Field order is fixed: `id` (when known), `status`,
+/// `code`, `message`, `queue_depth`, `retry_after_ms`.
+pub fn overloaded_json(id: Option<&str>, queue_depth: usize, retry_after_ms: u64) -> String {
+    let mut out = String::from("{");
+    if let Some(id) = id {
+        out.push_str(&format!("\"id\": {}, ", json_str(id)));
+    }
+    out.push_str(&format!(
+        "\"status\": \"error\", \"code\": \"overloaded\", \"message\": {}, \
+         \"queue_depth\": {queue_depth}, \"retry_after_ms\": {retry_after_ms}}}",
+        json_str("service at capacity and admission queue full, retry with backoff"),
+    ));
+    out
+}
+
 /// Decode one request line.
 pub fn parse_request(line: &str) -> Result<Request, WireError> {
     let value = json::parse(line).map_err(|e| WireError::new("bad-json", e.to_string()))?;
@@ -229,6 +273,30 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
     let attach = |mut e: WireError| {
         e.id = id.clone();
         e
+    };
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => match v.as_num() {
+            Some(n) if n >= 1.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            _ => {
+                return Err(attach(WireError::new(
+                    "bad-request",
+                    "`deadline_ms` must be a positive integer",
+                )))
+            }
+        },
+    };
+    let retry = match value.get("retry") {
+        None => 0,
+        Some(v) => match v.as_num() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => n as u64,
+            _ => {
+                return Err(attach(WireError::new(
+                    "bad-request",
+                    "`retry` must be a non-negative integer",
+                )))
+            }
+        },
     };
     let cmd = value
         .get("cmd")
@@ -251,7 +319,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             )))
         }
     };
-    Ok(Request { id, cmd })
+    Ok(Request { id, cmd, deadline_ms, retry })
 }
 
 fn source_spec(value: &Json) -> Result<SourceSpec, WireError> {
@@ -357,6 +425,67 @@ mod tests {
         let e = parse_request(r#"{"id": "q", "cmd": "warp"}"#).unwrap_err();
         assert_eq!(e.id.as_deref(), Some("q"));
         assert!(e.render().starts_with("{\"id\": \"q\", \"status\": \"error\""), "{}", e.render());
+    }
+
+    /// Dribbles one byte of an endless line every few milliseconds — a
+    /// slow-loris peer that never completes a frame and never looks idle.
+    struct Dribble;
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            buf[0] = b'x';
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn a_byte_dribbling_peer_times_out_despite_never_looking_idle() {
+        let mut r = FrameReader::new(Dribble, 1 << 20);
+        let deadline = Instant::now() + std::time::Duration::from_millis(30);
+        let f = r.next_frame_before(Some(deadline)).unwrap();
+        assert_eq!(f, Frame::TimedOut);
+    }
+
+    #[test]
+    fn a_buffered_complete_line_beats_an_expired_deadline() {
+        // Both lines land in the chunk buffer on the first refill; the
+        // second must still be delivered once the deadline has passed —
+        // only *refills* are deadline-gated, never already-read bytes.
+        let mut r = FrameReader::new(&b"first\nready\n"[..], 1024);
+        assert_eq!(r.next_frame_before(None).unwrap(), Frame::Line(b"first".to_vec()));
+        let long_gone = Instant::now() - std::time::Duration::from_secs(1);
+        let f = r.next_frame_before(Some(long_gone)).unwrap();
+        assert_eq!(f, Frame::Line(b"ready".to_vec()));
+        // Nothing buffered now: the expired deadline fires before a refill.
+        assert_eq!(r.next_frame_before(Some(long_gone)).unwrap(), Frame::TimedOut);
+    }
+
+    #[test]
+    fn deadline_and_retry_members_are_decoded_and_validated() {
+        let r = parse_request(r#"{"cmd": "stats", "deadline_ms": 250, "retry": 2}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.retry, 2);
+        let r = parse_request(r#"{"cmd": "stats"}"#).unwrap();
+        assert_eq!(r.deadline_ms, None);
+        assert_eq!(r.retry, 0);
+        for bad in [
+            r#"{"cmd": "stats", "deadline_ms": 0}"#,
+            r#"{"cmd": "stats", "deadline_ms": "soon"}"#,
+            r#"{"cmd": "stats", "deadline_ms": 1.5}"#,
+            r#"{"cmd": "stats", "retry": -1}"#,
+            r#"{"cmd": "stats", "retry": "again"}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code, "bad-request", "{bad}");
+        }
+    }
+
+    #[test]
+    fn overloaded_json_carries_depth_and_retry_hint() {
+        let line = overloaded_json(Some("9"), 16, 425);
+        assert!(line.starts_with("{\"id\": \"9\", \"status\": \"error\", \"code\": \"overloaded\""));
+        assert!(line.contains("\"queue_depth\": 16"));
+        assert!(line.ends_with("\"retry_after_ms\": 425}"));
+        assert!(overloaded_json(None, 0, 25).starts_with("{\"status\": \"error\""));
     }
 
     #[test]

@@ -17,23 +17,28 @@
 //! many (`funcs_reanalyzed`) alongside whether the whole program came
 //! from the cache (`cached`).
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parpat_core::AnalysisConfig;
 use parpat_engine::stats::json_str;
-use parpat_engine::{AnalysisOutcome, BatchInput, Engine, EngineConfig, EngineStats, Session};
-use parpat_runtime::{ThreadPool, WatchdogConfig};
+use parpat_engine::{
+    AnalysisOutcome, BatchInput, Engine, EngineConfig, EngineStats, ErrorKind, FaultMode, Session,
+};
+use parpat_runtime::{lock_recover, ThreadPool, WatchdogConfig};
 
-use crate::config::ServeConfig;
-use crate::proto::{error_json, parse_request, Command, Frame, FrameReader, Request, SourceSpec};
+use crate::config::{ChaosConfig, ServeConfig};
+use crate::proto::{
+    error_json, overloaded_json, parse_request, Command, Frame, FrameReader, Request, SourceSpec,
+};
 
 /// Poll interval for non-blocking accept loops and idle connections.
 const POLL: Duration = Duration::from_millis(20);
@@ -42,21 +47,99 @@ const POLL: Duration = Duration::from_millis(20);
 /// shutdown request before giving up on them.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
+/// Extra slack the result-channel backstop grants past a request's
+/// deadline before declaring the worker wedged: the cooperative
+/// cancellation path (watchdog poll plus interpreter beat cadence) needs
+/// a moment to surface the structured outcome.
+const DEADLINE_SLACK: Duration = Duration::from_secs(2);
+
+/// A connection admitted past the active cap, parked until a slot frees.
+struct Queued {
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+}
+
+/// Per-request fault injection for the serve-layer chaos harness: a
+/// deterministic xorshift roll over the request arrival order.
+struct ChaosState {
+    seed: u64,
+    fault_permille: u16,
+    requests: AtomicU64,
+}
+
+impl ChaosState {
+    fn new(cfg: ChaosConfig) -> ChaosState {
+        ChaosState {
+            seed: cfg.seed,
+            fault_permille: cfg.fault_permille,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The fault to inject into this request, if the die says so. The
+    /// sequence is a pure function of the seed and the request ordinal.
+    fn roll(&self) -> Option<FaultMode> {
+        let n = self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.seed ^ n.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if s == 0 {
+            s = 0x2545_F491_4F6C_DD1D;
+        }
+        if parpat_engine::xorshift64(&mut s) % 1000 >= u64::from(self.fault_permille) {
+            return None;
+        }
+        Some(match parpat_engine::xorshift64(&mut s) % 4 {
+            0 => FaultMode::Fail(ErrorKind::Runtime),
+            1 => FaultMode::Panic,
+            2 => FaultMode::Stall(40),
+            _ => FaultMode::Transient(1),
+        })
+    }
+}
+
 /// Shared service state, visible to every connection thread.
 struct Shared {
     engine: Arc<Engine>,
     session: Session,
     pool: ThreadPool,
     shutdown: AtomicBool,
-    active: AtomicUsize,
+    /// Count of live connection threads, guarded for the drain condvar.
+    active: Mutex<usize>,
+    /// Notified whenever a connection thread exits, so shutdown drains
+    /// without busy-polling.
+    drained: Condvar,
+    /// Bounded admission queue: connections waiting for an active slot.
+    queue: Mutex<VecDeque<Queued>>,
+    queue_depth: usize,
     max_connections: usize,
     max_frame: usize,
+    request_deadline: Option<Duration>,
+    idle_timeout: Duration,
+    chaos: Option<ChaosState>,
     cache_dir: Option<PathBuf>,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Claim one active-connection slot if any is free.
+    fn try_acquire_slot(&self) -> bool {
+        let mut active = lock_recover(&self.active);
+        if *active < self.max_connections {
+            *active += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Give an active-connection slot back and wake the drain waiter.
+    fn release_slot(&self) {
+        let mut active = lock_recover(&self.active);
+        *active = active.saturating_sub(1);
+        drop(active);
+        self.drained.notify_all();
     }
 
     /// Persist service-lifetime stats next to the cache (best-effort),
@@ -98,9 +181,15 @@ impl Server {
             session,
             pool: ThreadPool::new(cfg.workers),
             shutdown: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
+            active: Mutex::new(0),
+            drained: Condvar::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_depth: cfg.queue_depth,
             max_connections: cfg.max_connections,
             max_frame: cfg.max_frame,
+            request_deadline: cfg.request_deadline_ms.map(Duration::from_millis),
+            idle_timeout: Duration::from_millis(cfg.idle_timeout_ms),
+            chaos: cfg.chaos.map(ChaosState::new),
             cache_dir: cfg.cache_dir.clone(),
         });
 
@@ -184,13 +273,34 @@ impl Server {
         for t in self.accept_threads {
             let _ = t.join();
         }
-        // Give open connections a bounded window to finish their last
-        // request; they poll the shutdown flag at POLL granularity.
-        let deadline = std::time::Instant::now() + DRAIN_GRACE;
-        while self.shared.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline
-        {
-            std::thread::sleep(POLL);
+        // Queued connections never got a thread: answer each with a
+        // structured error instead of a silent close.
+        let parked: Vec<Queued> = lock_recover(&self.shared.queue).drain(..).collect();
+        for mut q in parked {
+            let _ = respond(
+                &mut q.writer,
+                &error_json(None, "shutting-down", "service is shutting down"),
+            );
         }
+        // Give open connections a bounded window to finish their last
+        // request. Each exiting connection thread notifies the condvar,
+        // so the drain completes the instant the last one leaves instead
+        // of on the next poll tick.
+        let deadline = Instant::now() + DRAIN_GRACE;
+        let mut active = lock_recover(&self.shared.active);
+        while *active > 0 {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            active = self
+                .shared
+                .drained
+                .wait_timeout(active, remaining)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        drop(active);
         self.shared.pool.wait_idle();
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
@@ -259,55 +369,118 @@ impl Conn for UnixStream {
     }
 }
 
-/// Admit one accepted stream: enforce the connection cap, then hand it
-/// to a dedicated I/O thread.
+/// Admit one accepted stream: claim an active slot if one is free,
+/// otherwise park the connection in the bounded admission queue — and
+/// only when *that* is full, shed the request with a structured
+/// `overloaded` error carrying the queue depth and a retry-after hint.
 fn admit<S: Conn>(stream: S, shared: &Arc<Shared>) {
-    let (reader, mut writer) = match stream.split() {
+    let (reader, writer) = match stream.split() {
         Ok(pair) => pair,
         Err(_) => return,
     };
-    let admitted = shared
-        .active
-        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
-            (n < shared.max_connections).then_some(n + 1)
-        })
-        .is_ok();
-    if !admitted {
-        let _ = writeln!(
-            writer,
-            "{}",
-            error_json(
-                None,
-                "busy",
-                &format!("connection limit ({}) reached, try again later", shared.max_connections),
-            )
-        );
+    let reader: Box<dyn Read + Send> = Box::new(reader);
+    let writer: Box<dyn Write + Send> = Box::new(writer);
+    let mut conn = Some(Queued { reader, writer });
+    if shared.try_acquire_slot() {
+        spawn_conn(conn.take().expect("freshly wrapped"), shared);
         return;
     }
-    let conn_shared = Arc::clone(shared);
-    let spawned = std::thread::Builder::new().name("parpat-serve-conn".into()).spawn(move || {
-        serve_connection(reader, writer, &conn_shared);
-        conn_shared.active.fetch_sub(1, Ordering::SeqCst);
-    });
-    if spawned.is_err() {
-        shared.active.fetch_sub(1, Ordering::SeqCst);
+    let shed_depth = {
+        let mut queue = lock_recover(&shared.queue);
+        if queue.len() < shared.queue_depth {
+            queue.push_back(conn.take().expect("freshly wrapped"));
+            None
+        } else {
+            Some(queue.len())
+        }
+    };
+    match shed_depth {
+        None => {
+            // A slot may have freed between the failed claim and the
+            // enqueue; a dispatch pass closes that window (the same pass
+            // every exiting connection thread runs).
+            dispatch_queued(shared);
+        }
+        Some(depth) => {
+            shared.session.note_shed();
+            // Rough service-time heuristic: each parked connection ahead
+            // costs one request's worth of pool latency.
+            let retry_after_ms = (depth as u64 + 1) * 25;
+            if let Some(mut shed) = conn {
+                let _ = respond(&mut shed.writer, &overloaded_json(None, depth, retry_after_ms));
+            }
+        }
     }
 }
 
-/// The per-connection request/response loop.
+/// Move parked connections onto freed slots: claim a slot, pop the
+/// oldest queued connection, hand it a thread; repeat until either runs
+/// out. Called after every enqueue and after every slot release, which
+/// together close the race where a slot frees while a connection is
+/// being parked.
+fn dispatch_queued(shared: &Arc<Shared>) {
+    loop {
+        if !shared.try_acquire_slot() {
+            return;
+        }
+        let next = lock_recover(&shared.queue).pop_front();
+        match next {
+            Some(conn) => spawn_conn(conn, shared),
+            None => {
+                shared.release_slot();
+                return;
+            }
+        }
+    }
+}
+
+/// Give one admitted connection its I/O thread. The slot is already
+/// claimed; the thread releases it on exit and then runs a dispatch pass
+/// so a parked connection inherits the slot immediately.
+fn spawn_conn(conn: Queued, shared: &Arc<Shared>) {
+    let conn_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new().name("parpat-serve-conn".into()).spawn(move || {
+        serve_connection(conn.reader, conn.writer, &conn_shared);
+        conn_shared.release_slot();
+        dispatch_queued(&conn_shared);
+    });
+    if spawned.is_err() {
+        shared.release_slot();
+    }
+}
+
+/// The per-connection request/response loop. The idle clock runs from
+/// the last *completed* frame: a connection that holds its slot past the
+/// idle timeout — silent or dribbling bytes that never finish a line —
+/// is answered with a structured `idle-timeout` error and closed.
 fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, shared: &Arc<Shared>) {
     let mut frames = FrameReader::new(reader, shared.max_frame);
+    let mut last_frame = Instant::now();
     loop {
         if shared.shutting_down() {
             return;
         }
-        let frame = match frames.next_frame() {
+        let frame = match frames.next_frame_before(Some(last_frame + shared.idle_timeout)) {
             Ok(f) => f,
             Err(_) => return,
         };
         let line = match frame {
             Frame::Idle => continue,
             Frame::Eof => return,
+            Frame::TimedOut => {
+                let _ = respond(
+                    &mut writer,
+                    &error_json(
+                        None,
+                        "idle-timeout",
+                        &format!(
+                            "no complete request within {} ms, closing",
+                            shared.idle_timeout.as_millis()
+                        ),
+                    ),
+                );
+                return;
+            }
             Frame::Torn(n) => {
                 // Best-effort: the peer is usually gone already.
                 let _ = respond(
@@ -346,6 +519,7 @@ fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, shared: &Arc<Sh
                 }
             },
         };
+        last_frame = Instant::now();
         if line.trim().is_empty() {
             continue;
         }
@@ -372,10 +546,22 @@ fn respond<W: Write>(writer: &mut W, line: &str) -> std::io::Result<()> {
 /// Decode and execute one request line. Returns the response line and
 /// whether the connection should close (shutdown).
 fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
-    let Request { id, cmd } = match parse_request(line) {
+    let Request { id, cmd, deadline_ms, retry } = match parse_request(line) {
         Ok(req) => req,
         Err(e) => return (e.render(), false),
     };
+    if retry > 0 {
+        shared.session.note_client_retry();
+    }
+    // The deadline is absolute from this moment: queue time, chaos
+    // stalls, and engine requeues all spend the same budget. The client's
+    // own ask is honored but clamped to the service ceiling.
+    let budget = match (deadline_ms.map(Duration::from_millis), shared.request_deadline) {
+        (Some(req), Some(cap)) => Some(req.min(cap)),
+        (Some(req), None) => Some(req),
+        (None, cap) => cap,
+    };
+    let deadline = budget.map(|d| Instant::now() + d);
     match cmd {
         Command::Stats => (stats_response(id.as_deref(), shared), false),
         Command::Apps => (apps_response(id.as_deref()), false),
@@ -383,9 +569,9 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
             shared.shutdown.store(true, Ordering::SeqCst);
             (with_id(id.as_deref(), "\"status\": \"ok\", \"shutdown\": true".to_owned()), true)
         }
-        Command::Analyze(spec) => (run_job(shared, id, spec, Verb::Analyze), false),
-        Command::Lint(spec) => (run_job(shared, id, spec, Verb::Lint), false),
-        Command::Verify(spec) => (run_job(shared, id, spec, Verb::Verify), false),
+        Command::Analyze(spec) => (run_job(shared, id, spec, Verb::Analyze, deadline), false),
+        Command::Lint(spec) => (run_job(shared, id, spec, Verb::Lint, deadline), false),
+        Command::Verify(spec) => (run_job(shared, id, spec, Verb::Verify, deadline), false),
     }
 }
 
@@ -400,8 +586,19 @@ enum Verb {
 /// Resolve the program text, schedule the work on the pool, and wait for
 /// the result. The pool's unwind boundary means a panicking job kills
 /// neither the worker nor this connection: the channel sender is dropped
-/// and the client gets a structured `worker-lost` error.
-fn run_job(shared: &Arc<Shared>, id: Option<String>, spec: SourceSpec, verb: Verb) -> String {
+/// and the client gets a structured `worker-lost` error. An armed chaos
+/// plan injects its fault here — before the pool (structured failure,
+/// transient) or inside the job (panic, stall). With a deadline, the
+/// engine cancels the job cooperatively; the channel wait carries a
+/// slack-extended timeout as a last-resort backstop against a worker so
+/// wedged even cancellation cannot reach it.
+fn run_job(
+    shared: &Arc<Shared>,
+    id: Option<String>,
+    spec: SourceSpec,
+    verb: Verb,
+    deadline: Option<Instant>,
+) -> String {
     let (name, source) = match spec {
         SourceSpec::Inline { name, source } => (name, source),
         SourceSpec::App(app) => match parpat_suite::app_named(&app) {
@@ -418,20 +615,57 @@ fn run_job(shared: &Arc<Shared>, id: Option<String>, spec: SourceSpec, verb: Ver
     if shared.shutting_down() {
         return error_json(id.as_deref(), "shutting-down", "service is shutting down");
     }
+    let fault = shared.chaos.as_ref().and_then(ChaosState::roll);
+    match fault {
+        Some(FaultMode::Fail(_) | FaultMode::Miscompile) => {
+            return error_json(id.as_deref(), "injected-fault", "chaos: injected request failure");
+        }
+        Some(FaultMode::Transient(_)) => {
+            return error_json(
+                id.as_deref(),
+                "transient",
+                "chaos: transient failure, safe to retry",
+            );
+        }
+        _ => {}
+    }
     let (tx, rx) = mpsc::channel::<String>();
     let job_shared = Arc::clone(shared);
     let job_id = id.clone();
     shared.pool.spawn(move || {
+        if let Some(FaultMode::Panic) = fault {
+            panic!("chaos: injected worker panic");
+        }
+        if let Some(FaultMode::Stall(ms)) = fault {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
         let out = match verb {
-            Verb::Analyze => analyze_response(&job_shared, job_id.as_deref(), &name, &source),
+            Verb::Analyze => {
+                analyze_response(&job_shared, job_id.as_deref(), &name, &source, deadline)
+            }
             Verb::Lint => lint_response(job_id.as_deref(), &name, &source),
             Verb::Verify => verify_response(job_id.as_deref(), &name, &source),
         };
         let _ = tx.send(out);
     });
-    match rx.recv() {
+    let received = match deadline {
+        Some(d) => {
+            let wait = d.saturating_duration_since(Instant::now()) + DEADLINE_SLACK;
+            rx.recv_timeout(wait).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => Some(d),
+                mpsc::RecvTimeoutError::Disconnected => None,
+            })
+        }
+        None => rx.recv().map_err(|_| None),
+    };
+    match received {
         Ok(response) => response,
-        Err(_) => error_json(
+        Err(Some(_)) => error_json(
+            id.as_deref(),
+            "deadline",
+            "request deadline exceeded and the worker did not surface a result in time",
+        ),
+        Err(None) => error_json(
             id.as_deref(),
             "worker-lost",
             "analysis worker disappeared before producing a result",
@@ -450,9 +684,15 @@ fn with_id(id: Option<&str>, body: String) -> String {
 /// The analyze response. The `"name" … "status" … "cached" … "report"`
 /// spine matches the one-shot CLI's `batch --json` program objects byte
 /// for byte; the service appends its incremental-analysis counter.
-fn analyze_response(shared: &Arc<Shared>, id: Option<&str>, name: &str, source: &str) -> String {
+fn analyze_response(
+    shared: &Arc<Shared>,
+    id: Option<&str>,
+    name: &str,
+    source: &str,
+    deadline: Option<Instant>,
+) -> String {
     let input = BatchInput { name: name.to_owned(), source: source.to_owned() };
-    let outcome = shared.engine.analyze_in_session(&shared.session, &input);
+    let outcome = shared.engine.analyze_in_session_before(&shared.session, &input, deadline);
     let body = match &outcome.outcome {
         AnalysisOutcome::Ok(r) => format!(
             "\"name\": {}, \"status\": \"ok\", \"cached\": {}, \"funcs_reanalyzed\": {}, \"report\": {}",

@@ -102,10 +102,12 @@ fn concurrent_clients_get_reports_byte_identical_to_the_oneshot_path() {
                 response.ends_with(&suffix),
                 "{app}: server report differs from one-shot report:\n{response}"
             );
+            // The client stamps an auto id before the fixed body shape.
             assert!(
-                response.starts_with(&format!(
-                    "{{\"name\": \"{app}\", \"status\": \"ok\", \"cached\": "
-                )),
+                response.starts_with("{\"id\": \"c")
+                    && response.contains(&format!(
+                        "\"name\": \"{app}\", \"status\": \"ok\", \"cached\": "
+                    )),
                 "{app}: unexpected response shape: {response}"
             );
         }
@@ -193,7 +195,9 @@ fn lint_and_verify_are_served_with_deterministic_bodies() {
     assert!(first.contains("\"diagnostics\": ["), "{first}");
     assert!(first.contains("P001"), "carried dependence diagnosed: {first}");
     let second = client.lint("stencil.ml", stencil).expect("lint");
-    assert_eq!(first, second, "lint responses are byte-stable");
+    // The stamped ids differ (`c0` vs `c1`); everything after is stable.
+    let body = |r: &str| r.split_once(", ").map(|(_, rest)| rest.to_owned()).expect("id prefix");
+    assert_eq!(body(&first), body(&second), "lint responses are byte-stable modulo id");
 
     let ok = client.verify("stencil.ml", stencil).expect("verify");
     assert!(ok.contains("\"violations\": []"), "{ok}");

@@ -1,0 +1,99 @@
+//! Shutdown drain promptness and idle-connection policing: the drain
+//! must complete the instant the last connection thread leaves — not on
+//! a poll tick, and never by burning a core — and a slow-loris peer must
+//! be cut off with a structured error once the idle timeout lapses.
+
+#![allow(clippy::unwrap_used)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use parpat_serve::{parse_json, Client, Json, ServeConfig, Server};
+
+fn start(cfg: ServeConfig) -> (Server, String) {
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.tcp_addr().expect("tcp listener").to_string();
+    (server, addr)
+}
+
+fn base() -> ServeConfig {
+    ServeConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        workers: 2,
+        cache_dir: None,
+        watchdog: false,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn shutdown_with_no_connections_drains_promptly() {
+    let (server, _addr) = start(base());
+    server.request_shutdown();
+    let begin = Instant::now();
+    server.wait();
+    // The accept loops notice the flag within one poll tick and there is
+    // nothing to drain: well under a second, nowhere near the 5 s grace.
+    assert!(begin.elapsed() < Duration::from_secs(1), "drain took {:?}", begin.elapsed());
+}
+
+#[test]
+fn shutdown_with_open_connections_drains_on_the_condvar_not_the_grace() {
+    let (server, addr) = start(base());
+    // Two live connection threads, both idle between requests.
+    let mut a = Client::connect_tcp(&addr).expect("connect");
+    let mut b = Client::connect_tcp(&addr).expect("connect");
+    let _ = a.stats().expect("round-trip");
+    let _ = b.stats().expect("round-trip");
+
+    server.request_shutdown();
+    let begin = Instant::now();
+    server.wait();
+    // Each connection thread observes the flag within one read-poll tick
+    // and exits; the condvar wakes the drain immediately. If the drain
+    // still busy-waited or slept out its full grace window this would be
+    // seconds, not milliseconds.
+    assert!(begin.elapsed() < Duration::from_secs(2), "drain took {:?}", begin.elapsed());
+    // Both clients were admitted and answered before the shutdown.
+    drop(a);
+    drop(b);
+}
+
+#[test]
+fn a_slow_loris_peer_is_answered_with_idle_timeout_and_cut_off() {
+    let (server, addr) = start(ServeConfig { idle_timeout_ms: 400, ..base() });
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let begin = Instant::now();
+    // Dribble bytes of a never-ending line: the connection is never
+    // silent, but it never completes a frame either.
+    let writer = s.try_clone().expect("clone");
+    let dribbler = std::thread::spawn(move || {
+        let mut w = writer;
+        for _ in 0..40 {
+            if w.write_all(b"x").is_err() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    });
+    let mut line = String::new();
+    BufReader::new(&mut s).read_line(&mut line).expect("read");
+    let elapsed = begin.elapsed();
+    let v = parse_json(line.trim_end()).expect("valid JSON");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("error"), "{line}");
+    assert_eq!(v.get("code").and_then(Json::as_str), Some("idle-timeout"), "{line}");
+    // The cut-off tracks the configured timeout, not the 10 s read cap.
+    assert!(elapsed >= Duration::from_millis(380), "cut off too early: {elapsed:?}");
+    assert!(elapsed < Duration::from_secs(5), "cut off too late: {elapsed:?}");
+    dribbler.join().expect("dribbler");
+
+    // The slot was reclaimed: a well-behaved client is served normally.
+    let mut c = Client::connect_tcp(&addr).expect("connect");
+    let v = parse_json(&c.stats().expect("stats")).expect("valid JSON");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+
+    server.request_shutdown();
+    server.wait();
+}

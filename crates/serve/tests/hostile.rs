@@ -158,19 +158,72 @@ fn apps_listing_is_sorted_and_byte_stable() {
 }
 
 #[test]
-fn connection_cap_turns_clients_away_with_busy() {
-    let (server, addr) = server(4096, 1);
+fn a_full_admission_queue_sheds_with_a_structured_overloaded_error() {
+    // One slot, zero queue: the second connection must be shed rather
+    // than parked.
+    let cfg = ServeConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        workers: 2,
+        max_connections: 1,
+        queue_depth: 0,
+        cache_dir: None,
+        watchdog: false,
+        ..ServeConfig::default()
+    };
+    let srv = Server::start(cfg).expect("server starts");
+    let addr = srv.tcp_addr().expect("tcp listener").to_string();
     // Occupy the single slot and prove it is admitted.
     let mut first = Client::connect_tcp(&addr).expect("connect");
     let v = parse_json(&first.stats().expect("stats")).expect("valid JSON");
     assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
-    // The second connection is refused with a structured error.
+    // The second connection is shed with a structured `overloaded` error
+    // carrying the queue depth and a retry hint.
     let mut second = raw(&addr);
-    assert_error(&read_line(&mut second), "busy");
+    let line = read_line(&mut second);
+    assert_error(&line, "overloaded");
+    let v = parse_json(&line).expect("valid JSON");
+    assert_eq!(v.get("queue_depth").and_then(Json::as_num), Some(0.0), "{line}");
+    assert!(v.get("retry_after_ms").and_then(Json::as_num).unwrap_or(0.0) > 0.0, "{line}");
     drop(second);
-    // The admitted client keeps working.
+    // The admitted client keeps working, and the shed was counted.
     let v = parse_json(&first.stats().expect("stats")).expect("valid JSON");
     assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        v.get("stats").and_then(|s| s.get("requests_shed")).and_then(Json::as_num),
+        Some(1.0)
+    );
     let _ = first.shutdown();
-    server.wait();
+    server_final_shed(srv);
+}
+
+fn server_final_shed(server: Server) {
+    let final_stats = server.wait();
+    assert_eq!(final_stats.requests_shed, 1, "shed survives into the final stats snapshot");
+}
+
+#[test]
+fn a_queued_connection_is_admitted_once_a_slot_frees_up() {
+    // One slot, queue depth 4: a second connection parks, then gets
+    // served the moment the first disconnects.
+    let cfg = ServeConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        workers: 2,
+        max_connections: 1,
+        queue_depth: 4,
+        cache_dir: None,
+        watchdog: false,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.tcp_addr().expect("tcp listener").to_string();
+    let first = Client::connect_tcp(&addr).expect("connect");
+    // Park a second connection with a request already written: nothing
+    // may answer it while the slot is held.
+    let mut second = raw(&addr);
+    second.write_all(b"{\"id\": \"parked\", \"cmd\": \"apps\"}\n").expect("write");
+    // Free the slot; the parked connection must now be dispatched.
+    drop(first);
+    let line = read_line(&mut second);
+    assert!(line.starts_with("{\"id\": \"parked\", \"status\": \"ok\""), "{line}");
+    stop(server, &addr);
 }

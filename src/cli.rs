@@ -24,6 +24,8 @@ USAGE:
                                                      analyze every .ml file of a directory (or the
                                                      bundled apps) in parallel with artifact caching
     parpat serve [--tcp <addr>] [--unix <path>] [--workers <n>] [--max-connections <n>]
+                 [--queue-depth <n>] [--request-deadline-ms <ms>] [--idle-timeout-ms <ms>]
+                 [--chaos-permille <n>] [--chaos-seed <n>]
                  [--cache-dir <d>] [--max-steps <n>] [--timeout-ms <ms>] [--max-mem-cells <n>]
                                                      resident analysis service: line-delimited JSON
                                                      over TCP/unix sockets, one warm shared cache,
@@ -74,6 +76,19 @@ one JSON request per line — `{\"cmd\": \"analyze\", \"app\": \"ludcmp\"}` or
 response per line. Re-submitting an edited file re-runs only the edited
 functions' static/CU stages; the response's `funcs_reanalyzed` field and
 `parpat stats` show it. Send `{\"cmd\": \"shutdown\"}` to stop the daemon.
+
+Under load, connections beyond `--max-connections` park in a bounded
+admission queue (`--queue-depth`, default 16); past that they are shed
+with a structured `overloaded` error carrying a `retry_after_ms` hint.
+`--request-deadline-ms` caps every request's wall-clock budget (clients
+may ask for less via a `deadline_ms` member): an out-of-time analysis is
+cancelled and answered with its degraded static report or a `deadline`
+error. Clients that never complete a request line — slow-loris or
+byte-dribbling peers — are cut off after `--idle-timeout-ms` (default
+30000) with an `idle-timeout` error. `--chaos-permille <n>` injects a
+deterministic fault (failure, worker panic, stall, or transient) into
+roughly n/1000 requests, seeded by `--chaos-seed`, for soak-testing the
+failure envelope.
 
 The input is a MiniLang program (see README / crates/minilang). The bundled
 benchmarks are the paper's 17 evaluation applications plus the two
@@ -365,6 +380,41 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         ))
                     }
                 };
+            }
+            if let Some(v) = opt_value(&opts, "--queue-depth")? {
+                cfg.queue_depth = v.parse::<usize>().map_err(|_| {
+                    format!("--queue-depth must be a non-negative integer, got `{v}`")
+                })?;
+            }
+            if let Some(v) = opt_value(&opts, "--request-deadline-ms")? {
+                cfg.request_deadline_ms = Some(v.parse::<u64>().map_err(|_| {
+                    format!("--request-deadline-ms must be a positive integer, got `{v}`")
+                })?);
+            }
+            if let Some(v) = opt_value(&opts, "--idle-timeout-ms")? {
+                cfg.idle_timeout_ms = v.parse::<u64>().map_err(|_| {
+                    format!("--idle-timeout-ms must be a positive integer, got `{v}`")
+                })?;
+            }
+            // Range checks for all of the above (and the chaos knobs)
+            // live in ServeConfig::validate, which reports every
+            // violation at once on startup.
+            let permille = opt_value(&opts, "--chaos-permille")?;
+            let seed = opt_value(&opts, "--chaos-seed")?;
+            if permille.is_some() || seed.is_some() {
+                let fault_permille = match &permille {
+                    Some(v) => v.parse::<u16>().map_err(|_| {
+                        format!("--chaos-permille must be an integer in 0..=1000, got `{v}`")
+                    })?,
+                    None => return Err("--chaos-seed needs --chaos-permille".to_owned()),
+                };
+                let seed = match seed {
+                    Some(v) => v.parse::<u64>().map_err(|_| {
+                        format!("--chaos-seed must be a non-negative integer, got `{v}`")
+                    })?,
+                    None => 0,
+                };
+                cfg.chaos = Some(parpat_serve::ChaosConfig { seed, fault_permille });
             }
             let server = parpat_serve::Server::start(cfg)?;
             if let Some(addr) = server.tcp_addr() {
@@ -1107,6 +1157,19 @@ fn main() {
         assert!(err.contains("cannot bind"), "{err}");
         let err = run(&args(&["serve", "--max-steps", "0"])).unwrap_err();
         assert!(err.contains("positive integer"), "{err}");
+        // The overload knobs parse here and range-check in ServeConfig.
+        let err = run(&args(&["serve", "--queue-depth", "zap"])).unwrap_err();
+        assert!(err.contains("--queue-depth"), "{err}");
+        let err = run(&args(&["serve", "--queue-depth", "99999"])).unwrap_err();
+        assert!(err.contains("queue_depth"), "{err}");
+        let err = run(&args(&["serve", "--request-deadline-ms", "0"])).unwrap_err();
+        assert!(err.contains("request_deadline_ms"), "{err}");
+        let err = run(&args(&["serve", "--idle-timeout-ms", "5"])).unwrap_err();
+        assert!(err.contains("idle_timeout_ms"), "{err}");
+        let err = run(&args(&["serve", "--chaos-permille", "1001"])).unwrap_err();
+        assert!(err.contains("chaos.fault_permille"), "{err}");
+        let err = run(&args(&["serve", "--chaos-seed", "3"])).unwrap_err();
+        assert!(err.contains("needs --chaos-permille"), "{err}");
     }
 
     #[cfg(unix)]
