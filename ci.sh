@@ -37,3 +37,8 @@ cargo test -q -p parpat-serve --test drain
 # shed rate, and emit its JSON report.
 cargo bench -p parpat-bench --bench serve
 test -s BENCH_serve.json
+# Static-analysis benchmark: end-to-end lint throughput over the suite
+# (asserted under 50 ms/program inside the bench) and the per-pass wall
+# time of the SSA optimization pipeline, emitted as a JSON report.
+cargo bench -p parpat-bench --bench static
+test -s BENCH_static.json

@@ -59,7 +59,10 @@ use parpat_cu::{build_function_cus, merge_cu_sets, CuSet};
 use parpat_ir::{ExecControl, FuncId, IrProgram};
 use parpat_minilang::Program;
 use parpat_runtime::{lock_recover, Supervised, ThreadPool, Watchdog, WatchdogConfig};
-use parpat_static::{analyze_function, merge_function_reports, LoopReport, StaticReport};
+use parpat_static::{
+    analyze_function_timed, merge_function_reports, merge_timings, LoopReport, PassTiming,
+    StaticReport, PASS_NAMES,
+};
 
 use crate::cache::{Artifact, Cache, Lookup};
 use crate::digest::{hash_bytes, Fnv64};
@@ -69,7 +72,7 @@ use crate::funcdigest::function_digests;
 use crate::journal::{Journal, JournalEntry, StoredOutcome};
 use crate::report::{DegradedReport, ProgramReport};
 use crate::stage::Stage;
-use crate::stats::{CacheStats, EngineStats, StageCounters, StageStats};
+use crate::stats::{CacheStats, EngineStats, SsaPassStats, StageCounters, StageStats};
 use crate::xval::cross_validate;
 
 /// Engine construction parameters.
@@ -243,6 +246,11 @@ struct BatchCounters {
     static_doall: AtomicU64,
     input_sensitive: AtomicU64,
     consistency_errors: AtomicU64,
+    /// Per-pass SSA pipeline counters (runs / nanoseconds), indexed like
+    /// [`PASS_NAMES`]. Only executed static fragments contribute — a
+    /// cached fragment never re-runs the pipeline.
+    ssa_pass_runs: [AtomicU64; PASS_NAMES.len()],
+    ssa_pass_ns: [AtomicU64; PASS_NAMES.len()],
     verified: AtomicU64,
     sanitizer_rejects: AtomicU64,
     miscompiles: AtomicU64,
@@ -751,6 +759,15 @@ impl Engine {
             static_proven_doall: counters.static_doall.load(Ordering::Relaxed),
             input_sensitive: counters.input_sensitive.load(Ordering::Relaxed),
             consistency_errors: counters.consistency_errors.load(Ordering::Relaxed),
+            ssa_passes: PASS_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, name)| SsaPassStats {
+                    name,
+                    runs: counters.ssa_pass_runs[i].load(Ordering::Relaxed),
+                    wall: Duration::from_nanos(counters.ssa_pass_ns[i].load(Ordering::Relaxed)),
+                })
+                .collect(),
             verified: counters.verified.load(Ordering::Relaxed),
             sanitizer_rejects: counters.sanitizer_rejects.load(Ordering::Relaxed),
             miscompiles: counters.miscompiles.load(Ordering::Relaxed),
@@ -815,6 +832,9 @@ struct ProgRun<'e> {
     /// Functions whose per-function stage fragments (static, CU) actually
     /// executed during this attempt.
     funcs_reanalyzed: HashSet<FuncId>,
+    /// Per-pass timings of the SSA pipeline runs behind executed static
+    /// fragments, merged across functions (empty when every fragment hit).
+    pass_timings: Vec<PassTiming>,
 
     ast_d: Option<u64>,
     ir_d: Option<u64>,
@@ -854,6 +874,7 @@ impl<'e> ProgRun<'e> {
             wall: [Duration::ZERO; 7],
             insts_executed: 0,
             funcs_reanalyzed: HashSet::new(),
+            pass_timings: Vec::new(),
             ast_d: None,
             ir_d: None,
             func_ds: None,
@@ -889,6 +910,12 @@ impl<'e> ProgRun<'e> {
             .insts
             .fetch_add(self.insts_executed, Ordering::Relaxed);
         counters.funcs_reanalyzed.fetch_add(self.funcs_reanalyzed.len() as u64, Ordering::Relaxed);
+        for t in &self.pass_timings {
+            if let Some(i) = PASS_NAMES.iter().position(|n| *n == t.name) {
+                counters.ssa_pass_runs[i].fetch_add(t.runs, Ordering::Relaxed);
+                counters.ssa_pass_ns[i].fetch_add(t.nanos as u64, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Execute stage `s`'s function under the wall-time clock and mark it
@@ -1132,7 +1159,9 @@ impl<'e> ProgRun<'e> {
                     Lookup::Memory(Artifact::StaticFunc(p), _) => p,
                     _ => {
                         r.funcs_reanalyzed.insert(f.id);
-                        let p = Arc::new(analyze_function(&ir, f.id));
+                        let (frag, timings) = analyze_function_timed(&ir, f.id);
+                        merge_timings(&mut r.pass_timings, timings);
+                        let p = Arc::new(frag);
                         r.eng.cache.insert_memory(
                             fk,
                             key("static.func.out", &[fd]),

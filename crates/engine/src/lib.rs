@@ -73,5 +73,5 @@ pub use funcdigest::function_digests;
 pub use journal::{journal_path, Journal, JournalEntry, StoredOutcome};
 pub use report::{DegradedReport, ProgramReport};
 pub use stage::Stage;
-pub use stats::{CacheStats, EngineStats, StageStats};
+pub use stats::{CacheStats, EngineStats, SsaPassStats, StageStats};
 pub use xval::{cross_validate, CrossValidation};

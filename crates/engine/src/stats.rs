@@ -57,6 +57,19 @@ pub struct StageStats {
     pub insts: u64,
 }
 
+/// Accumulated runs and wall time of one SSA optimization pass across a
+/// batch (the static stage promotes every analyzed function to optimized
+/// SSA; the pass manager times each pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsaPassStats {
+    /// The pass's stable name (see `parpat_static::PASS_NAMES`).
+    pub name: &'static str,
+    /// Functions the pass ran over.
+    pub runs: u64,
+    /// Total wall time spent inside the pass (verification excluded).
+    pub wall: Duration,
+}
+
 /// Cache-wide counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -123,6 +136,10 @@ pub struct EngineStats {
     /// Loops statically proven independent yet dynamically dependent —
     /// internal consistency errors.
     pub consistency_errors: u64,
+    /// Per-pass runs and wall time of the SSA optimization pipeline run
+    /// by executed static fragments, in roster order (empty when every
+    /// static fragment was served from the cache).
+    pub ssa_passes: Vec<SsaPassStats>,
     /// Programs whose lowered IR passed the structural verifier.
     pub verified: u64,
     /// Programs whose dependence stream the trace sanitizer rejected
@@ -189,6 +206,14 @@ impl EngineStats {
             "static: {} proven-do-all loop(s), {} input-sensitive, {} consistency error(s)\n",
             self.static_proven_doall, self.input_sensitive, self.consistency_errors
         ));
+        if !self.ssa_passes.is_empty() {
+            let parts: Vec<String> = self
+                .ssa_passes
+                .iter()
+                .map(|p| format!("{} {}\u{d7}/{}", p.name, p.runs, fmt_duration(p.wall)))
+                .collect();
+            out.push_str(&format!("ssa passes: {}\n", parts.join(", ")));
+        }
         out.push_str(&format!(
             "verification: {} verified, {} sanitizer reject(s), {} miscompile(s)\n",
             self.verified, self.sanitizer_rejects, self.miscompiles
@@ -222,6 +247,18 @@ impl EngineStats {
 
     /// Hand-rolled JSON object.
     pub fn render_json(&self) -> String {
+        let mut passes = String::new();
+        for (i, p) in self.ssa_passes.iter().enumerate() {
+            if i > 0 {
+                passes.push_str(", ");
+            }
+            passes.push_str(&format!(
+                "{{\"pass\": {}, \"runs\": {}, \"wall_ns\": {}}}",
+                json_str(p.name),
+                p.runs,
+                p.wall.as_nanos()
+            ));
+        }
         let mut stages = String::new();
         for (i, s) in Stage::ALL.iter().enumerate() {
             if i > 0 {
@@ -239,7 +276,7 @@ impl EngineStats {
             ));
         }
         format!(
-            "{{\"programs\": {}, \"requests\": {}, \"served_from_cache\": {}, \"funcs_reanalyzed\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"requests_shed\": {}, \"deadline_exceeded\": {}, \"retries_client\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"verified\": {}, \"sanitizer_rejects\": {}, \"miscompiles\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
+            "{{\"programs\": {}, \"requests\": {}, \"served_from_cache\": {}, \"funcs_reanalyzed\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"requests_shed\": {}, \"deadline_exceeded\": {}, \"retries_client\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"ssa_passes\": [{}], \"verified\": {}, \"sanitizer_rejects\": {}, \"miscompiles\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
             self.programs,
             self.requests,
             self.served_from_cache,
@@ -257,6 +294,7 @@ impl EngineStats {
             self.static_proven_doall,
             self.input_sensitive,
             self.consistency_errors,
+            passes,
             self.verified,
             self.sanitizer_rejects,
             self.miscompiles,
@@ -348,6 +386,10 @@ mod tests {
             static_proven_doall: 21,
             input_sensitive: 4,
             consistency_errors: 5,
+            ssa_passes: vec![
+                SsaPassStats { name: "const_fold", runs: 85, wall: Duration::from_micros(120) },
+                SsaPassStats { name: "cse", runs: 85, wall: Duration::from_micros(95) },
+            ],
             verified: 16,
             sanitizer_rejects: 2,
             miscompiles: 1,
@@ -372,7 +414,19 @@ mod tests {
         assert!(
             text.contains("21 proven-do-all loop(s), 4 input-sensitive, 5 consistency error(s)")
         );
+        assert!(
+            text.contains("ssa passes: const_fold 85\u{d7}/120µs, cse 85\u{d7}/95µs"),
+            "{text}"
+        );
         assert!(text.contains("16 verified, 2 sanitizer reject(s), 1 miscompile(s)"));
+    }
+
+    #[test]
+    fn text_omits_the_pass_line_when_nothing_ran() {
+        let mut s = sample();
+        s.ssa_passes.clear();
+        assert!(!s.render_text().contains("ssa passes"), "{}", s.render_text());
+        assert!(s.render_json().contains("\"ssa_passes\": []"), "{}", s.render_json());
     }
 
     #[test]
@@ -395,6 +449,9 @@ mod tests {
         assert!(json.contains("\"served_from_cache\": 17"));
         assert!(json.contains("\"funcs_reanalyzed\": 3"));
         assert!(json.contains("\"static_proven_doall\": 21"));
+        assert!(json.contains(
+            "\"ssa_passes\": [{\"pass\": \"const_fold\", \"runs\": 85, \"wall_ns\": 120000}"
+        ));
         assert!(json.contains("\"input_sensitive\": 4"));
         assert!(json.contains("\"consistency_errors\": 5"));
         assert!(json.contains("\"verified\": 16"));
@@ -431,6 +488,7 @@ mod tests {
             static_proven_doall: 0,
             input_sensitive: 0,
             consistency_errors: 0,
+            ssa_passes: Vec::new(),
             verified: 0,
             sanitizer_rejects: 0,
             miscompiles: 0,

@@ -53,6 +53,27 @@ fn batch_matches_one_shot_analysis_on_all_apps() {
 }
 
 #[test]
+fn batch_accumulates_ssa_pass_timings() {
+    let cold = engine(None).batch(suite_inputs(), 4);
+    assert_eq!(cold.stats.ssa_passes.len(), parpat_static::PASS_NAMES.len());
+    for (p, name) in cold.stats.ssa_passes.iter().zip(parpat_static::PASS_NAMES) {
+        assert_eq!(p.name, name, "roster order is preserved");
+        // Every suite app has at least `main`; each executed static
+        // fragment runs the whole roster over its function.
+        assert!(p.runs >= 17, "{name} ran {} time(s):\n{}", p.runs, cold.stats.render_text());
+    }
+    assert!(cold.stats.render_text().contains("ssa passes: const_fold"));
+
+    // A warm run re-analyzes nothing, so no pass runs accumulate.
+    let dir = temp_dir("ssa-pass");
+    let inputs = suite_inputs();
+    let _ = engine(Some(dir.clone())).batch(inputs.clone(), 4);
+    let warm = engine(Some(dir.clone())).batch(inputs, 4);
+    assert!(warm.stats.ssa_passes.iter().all(|p| p.runs == 0), "{}", warm.stats.render_text());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn job_count_does_not_change_results() {
     let inputs = suite_inputs();
     // Separate engines so the second run cannot lean on the first's cache.

@@ -39,6 +39,7 @@ pub mod ast;
 pub mod builder;
 pub mod error;
 pub mod eval;
+pub mod genprog;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;

@@ -3,17 +3,8 @@
 //! `Program` — never a panic, abort, or runaway recursion. Seeded with
 //! xorshift64 so every failure is reproducible from the seed.
 
+use parpat_minilang::genprog::xorshift64;
 use parpat_minilang::parse_checked;
-
-/// The workspace's deterministic PRNG (xorshift64*); `state` nonzero.
-fn xorshift64(state: &mut u64) -> u64 {
-    let mut x = *state;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    *state = x;
-    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-}
 
 /// Feed `src` through the full front end inside an unwind guard; any
 /// panic is a fuzz failure.
@@ -101,124 +92,14 @@ fn fuzz_streams_are_reproducible() {
 }
 
 // ---------------------------------------------------------------------------
-// Generative differential fuzzing: random *valid* programs, executed by
-// both the IR interpreter (parse → lower → interpret) and the independent
-// AST-walking reference evaluator. Any disagreement — return value, final
-// global-array state, or fault asymmetry — is a miscompile in one of the
-// two pipelines. Seeded and bounded, so every case replays from its seed.
+// Generative differential fuzzing: random *valid* programs (shared
+// generator: `parpat_minilang::genprog`), executed by both the IR
+// interpreter (parse → lower → interpret) and the independent AST-walking
+// reference evaluator. Any disagreement — return value, final global-array
+// state, or fault asymmetry — is a miscompile in one of the two pipelines.
+// Seeded and bounded, so every case replays from its seed. The same corpus
+// gates the CFG/SSA pipeline in crates/ssa/tests/differential.rs.
 // ---------------------------------------------------------------------------
-
-/// A tiny generator of semantically valid MiniLang programs. Invariants:
-/// every variable is declared before use, all array indices are the
-/// induction variable or `expr % len` (always in bounds after the
-/// interpreter's euclidean remainder + truncation), and only builtins are
-/// called — so generated programs can fail only through arithmetic faults
-/// (e.g. division by zero), which both executors must report alike.
-struct Gen {
-    rng: u64,
-    src: String,
-}
-
-impl Gen {
-    fn next(&mut self, bound: u64) -> u64 {
-        xorshift64(&mut self.rng) % bound
-    }
-
-    fn const_num(&mut self) -> String {
-        // Small integers, a few negatives, an occasional fraction; zero
-        // included deliberately so division faults get generated.
-        const POOL: &[&str] = &["0", "1", "2", "3", "5", "7", "10", "0.5", "2.5"];
-        POOL[self.next(POOL.len() as u64) as usize].to_owned()
-    }
-
-    fn expr(&mut self, vars: &[String], depth: u32) -> String {
-        if depth == 0 || self.next(4) == 0 {
-            return if !vars.is_empty() && self.next(2) == 0 {
-                vars[self.next(vars.len() as u64) as usize].clone()
-            } else {
-                self.const_num()
-            };
-        }
-        match self.next(8) {
-            0..=3 => {
-                let op = ["+", "-", "*", "/", "%"][self.next(5) as usize];
-                let l = self.expr(vars, depth - 1);
-                let r = self.expr(vars, depth - 1);
-                format!("({l} {op} {r})")
-            }
-            4 => {
-                let f = ["abs", "floor", "sqrt"][self.next(3) as usize];
-                // sqrt of a possibly negative argument is NaN in both
-                // executors; keep it anyway — NaN agreement is part of the
-                // contract under test.
-                format!("{f}({})", self.expr(vars, depth - 1))
-            }
-            5 => {
-                let f = ["min", "max"][self.next(2) as usize];
-                let a = self.expr(vars, depth - 1);
-                let b = self.expr(vars, depth - 1);
-                format!("{f}({a}, {b})")
-            }
-            6 => format!("a[({}) % 8]", self.expr(vars, depth - 1)),
-            _ => format!("(-{})", self.expr(vars, depth - 1)),
-        }
-    }
-
-    fn program(seed: u64) -> String {
-        // Golden-ratio offset keeps distinct seeds distinct (a plain
-        // `seed | 1` would collapse even/odd neighbors) and nonzero.
-        let state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut g = Gen { rng: if state == 0 { 1 } else { state }, src: String::new() };
-        g.src.push_str("global a[8];\nfn main() {\n");
-        let mut vars: Vec<String> = Vec::new();
-        for v in ["s", "t"] {
-            let init = g.expr(&vars, 1);
-            g.src.push_str(&format!("    let {v} = {init};\n"));
-            vars.push(v.to_owned());
-        }
-        let n_loops = 1 + g.next(2);
-        for l in 0..n_loops {
-            let end = 2 + g.next(7);
-            let iv = format!("i{l}");
-            g.src.push_str(&format!("    for {iv} in 0..{end} {{\n"));
-            let mut inner = vars.clone();
-            inner.push(iv.clone());
-            let writes = 1 + g.next(2);
-            for _ in 0..writes {
-                match g.next(3) {
-                    0 => {
-                        let e = g.expr(&inner, 2);
-                        g.src.push_str(&format!("        a[{iv}] = {e};\n"));
-                    }
-                    1 => {
-                        let v = &vars[g.next(vars.len() as u64) as usize];
-                        let op = ["+=", "-=", "*=", "="][g.next(4) as usize];
-                        let e = g.expr(&inner, 2);
-                        g.src.push_str(&format!("        {v} {op} {e};\n"));
-                    }
-                    _ => {
-                        let ix = g.expr(&inner, 1);
-                        let e = g.expr(&inner, 2);
-                        g.src.push_str(&format!("        a[({ix}) % 8] += {e};\n"));
-                    }
-                }
-            }
-            g.src.push_str("    }\n");
-        }
-        if g.next(2) == 0 {
-            let c = g.expr(&vars, 1);
-            let e1 = g.expr(&vars, 2);
-            let e2 = g.expr(&vars, 2);
-            let k = g.const_num();
-            g.src.push_str(&format!(
-                "    if {c} < {k} {{\n        s = {e1};\n    }} else {{\n        t = {e2};\n    }}\n",
-            ));
-        }
-        let r = g.expr(&vars, 2);
-        g.src.push_str(&format!("    return {r};\n}}\n"));
-        g.src
-    }
-}
 
 /// `true` when the two f64s agree, treating NaN == NaN (both executors
 /// must produce NaN in the same places).
@@ -237,7 +118,7 @@ fn generated_programs_execute_identically_in_both_pipelines() {
     let mut skipped = 0u32;
     for case in 0..200u64 {
         let seed = 0x00D1_FF00 + case;
-        let src = Gen::program(seed);
+        let src = parpat_minilang::genprog::generate(seed);
         let ast = parse_checked(&src).unwrap_or_else(|e| {
             panic!("generator emitted invalid source (seed {seed}): {e}\n{src}")
         });
@@ -288,6 +169,6 @@ fn generated_programs_execute_identically_in_both_pipelines() {
 
 #[test]
 fn generated_sources_are_deterministic_per_seed() {
-    assert_eq!(Gen::program(42), Gen::program(42));
-    assert_ne!(Gen::program(42), Gen::program(43));
+    assert_eq!(parpat_minilang::genprog::generate(42), parpat_minilang::genprog::generate(42));
+    assert_ne!(parpat_minilang::genprog::generate(42), parpat_minilang::genprog::generate(43));
 }

@@ -1,0 +1,179 @@
+//! Dominator tree (Cooper–Harvey–Kennedy) and dominance frontiers.
+
+use crate::cfg::{BlockId, SsaFunc};
+
+/// Dominator information for one function's CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block; `idom[entry] == entry`.
+    pub idom: Vec<BlockId>,
+    /// Children in the dominator tree.
+    pub children: Vec<Vec<BlockId>>,
+    /// Dominance frontier of each block.
+    pub frontier: Vec<Vec<BlockId>>,
+    /// Reverse postorder of the CFG (entry first).
+    pub rpo: Vec<BlockId>,
+    /// Depth of each block in the dominator tree (entry = 0).
+    depth: Vec<usize>,
+}
+
+impl DomTree {
+    /// Compute dominators for a function whose blocks are all reachable
+    /// from block 0 (guaranteed by CFG finalization).
+    pub fn build(f: &SsaFunc) -> DomTree {
+        let n = f.blocks.len();
+        // Postorder DFS over successors.
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(BlockId, usize)> = vec![(0, 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let succs = f.blocks[b].term.succs();
+            if *i < succs.len() {
+                let s = succs[*i];
+                *i += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let mut rpo = post.clone();
+        rpo.reverse();
+        let mut order = vec![usize::MAX; n]; // block -> postorder number
+        for (i, &b) in post.iter().enumerate() {
+            order[b] = i;
+        }
+
+        let undef = usize::MAX;
+        let mut idom = vec![undef; n];
+        idom[0] = 0;
+        let intersect = |idom: &[usize], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while order[a] < order[b] {
+                    a = idom[a];
+                }
+                while order[b] < order[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom = undef;
+                for &p in &f.blocks[b].preds {
+                    if idom[p] == undef {
+                        continue;
+                    }
+                    new_idom = if new_idom == undef { p } else { intersect(&idom, new_idom, p) };
+                }
+                if new_idom != undef && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for b in 1..n {
+            children[idom[b]].push(b);
+        }
+        let mut depth = vec![0usize; n];
+        for &b in &rpo {
+            if b != 0 {
+                depth[b] = depth[idom[b]] + 1;
+            }
+        }
+
+        let mut frontier = vec![Vec::new(); n];
+        for b in 0..n {
+            let preds = &f.blocks[b].preds;
+            if preds.len() < 2 {
+                continue;
+            }
+            for &p in preds {
+                let mut runner = p;
+                while runner != idom[b] {
+                    if !frontier[runner].contains(&b) {
+                        frontier[runner].push(b);
+                    }
+                    runner = idom[runner];
+                }
+            }
+        }
+
+        DomTree { idom, children, frontier, rpo, depth }
+    }
+
+    /// Does `a` dominate `b` (reflexively)?
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut b = b;
+        while self.depth[b] > self.depth[a] {
+            b = self.idom[b];
+        }
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::cfg::SsaFunc;
+    use parpat_minilang::parse_checked;
+
+    fn build(src: &str) -> SsaFunc {
+        let ir = parpat_ir::lower(&parse_checked(src).unwrap());
+        SsaFunc::build(&ir, ir.entry.unwrap())
+    }
+
+    #[test]
+    fn diamond_joins_at_branch_frontier() {
+        let f = build("fn main() { let x = 1; if x > 0 { x = 2; } else { x = 3; } return x; }");
+        let d = DomTree::build(&f);
+        // Entry dominates everything.
+        for b in 0..f.blocks.len() {
+            assert!(d.dominates(0, b));
+        }
+        // The join block (two preds) is in the frontier of both arms and is
+        // immediately dominated by the entry.
+        let join = (0..f.blocks.len()).find(|&b| f.blocks[b].preds.len() == 2).unwrap();
+        assert_eq!(d.idom[join], 0);
+        for &p in &f.blocks[join].preds {
+            assert!(d.frontier[p].contains(&join));
+            assert!(!d.dominates(p, join));
+        }
+    }
+
+    #[test]
+    fn loop_header_dominates_body_and_is_its_own_frontier() {
+        let f = build("global a[8]; fn main() { for i in 0..8 { a[i] = i; } }");
+        let d = DomTree::build(&f);
+        let l = &f.loops[0];
+        for &b in &l.blocks {
+            assert!(d.dominates(l.header, b));
+        }
+        // The back edge puts the header in its own (or the latch's) frontier.
+        assert!(d.frontier[l.latch.unwrap()].contains(&l.header));
+        assert!(d.dominates(l.preheader, l.header));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all_blocks() {
+        let f =
+            build("fn main() { let s = 0; for i in 0..4 { if i > 1 { s = s + i; } } return s; }");
+        let d = DomTree::build(&f);
+        assert_eq!(d.rpo[0], 0);
+        let mut seen = d.rpo.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..f.blocks.len()).collect::<Vec<_>>());
+    }
+}

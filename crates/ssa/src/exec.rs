@@ -1,0 +1,412 @@
+//! An executor for optimized CFG/SSA functions with the tree interpreter's
+//! exact observable semantics.
+//!
+//! This exists for one purpose: the differential oracle. Every program the
+//! generative fuzzer produces runs through *both* pipelines — the tree
+//! interpreter and lowering + SSA + the full pass roster + this executor —
+//! and any difference in return value, final global memory, or structured
+//! fault (line, message, and kind all compared) is a miscompile in the new
+//! midsection. Faults are therefore reported as [`parpat_ir::RuntimeError`]
+//! values built with the same messages and source lines the interpreter
+//! uses.
+
+use crate::cfg::{BlockId, Op, SsaProgram, Term, ValId};
+use parpat_ir::{FuncId, InstId, IrProgram, RuntimeError};
+use parpat_minilang::ast::{BinOp, UnOp};
+
+/// Execution bounds for the SSA executor. Separate from
+/// [`parpat_ir::ExecLimits`]: optimized code retires a different number of
+/// instructions than the tree, so the differential harness gives this side
+/// generous headroom and treats exhaustion as a harness failure, not a
+/// program outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct SsaLimits {
+    /// Maximum executed instructions + block transitions.
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for SsaLimits {
+    fn default() -> Self {
+        SsaLimits { max_steps: 50_000_000, max_call_depth: 256 }
+    }
+}
+
+/// Successful run: the observable state the differential oracle compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsaCapture {
+    /// The entry function's return value.
+    pub return_value: f64,
+    /// Final contents of all global arrays, concatenated in id order —
+    /// byte-compatible with [`parpat_ir::ExecCapture::globals`].
+    pub globals: Vec<f64>,
+    /// Instructions + block transitions executed.
+    pub steps: u64,
+}
+
+/// Why a run did not produce a capture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsaExecError {
+    /// A structured program fault, mirroring the tree interpreter's error
+    /// (same line, same message, same kind) for bit-exact comparison.
+    Fault(RuntimeError),
+    /// An [`SsaLimits`] bound was exhausted.
+    Budget,
+}
+
+/// A runtime value. Addresses are a third kind: [`Op::ElemAddr`] resolves
+/// to one and only [`Op::Load`]/[`Op::Store`] consume them.
+#[derive(Debug, Clone, Copy)]
+enum V {
+    N(f64),
+    B(bool),
+    A(u64),
+}
+
+impl V {
+    fn num(self, line: u32) -> Result<f64, SsaExecError> {
+        match self {
+            V::N(x) => Ok(x),
+            _ => Err(fault(line, "expected a number".into())),
+        }
+    }
+
+    fn boolean(self, line: u32) -> Result<bool, SsaExecError> {
+        match self {
+            V::B(x) => Ok(x),
+            _ => Err(fault(line, "expected a boolean".into())),
+        }
+    }
+
+    fn addr(self, line: u32) -> Result<u64, SsaExecError> {
+        match self {
+            V::A(x) => Ok(x),
+            _ => Err(fault(line, "expected an address".into())),
+        }
+    }
+}
+
+fn fault(line: u32, message: String) -> SsaExecError {
+    SsaExecError::Fault(RuntimeError::new(line, message))
+}
+
+/// Run `func` of the lowered program with scalar `args`, starting from
+/// zeroed global arrays — the same initial state as
+/// [`parpat_ir::run_function_captured`].
+pub fn run_ssa(
+    ir: &IrProgram,
+    ssa: &SsaProgram,
+    func: FuncId,
+    args: &[f64],
+    limits: SsaLimits,
+) -> Result<SsaCapture, SsaExecError> {
+    let mut ex = Exec { ir, ssa, limits, steps: 0, mem: vec![0.0; ir.global_elems()] };
+    let ret = ex.call(func, args, 0)?;
+    Ok(SsaCapture { return_value: ret, globals: ex.mem, steps: ex.steps })
+}
+
+struct Exec<'a> {
+    ir: &'a IrProgram,
+    ssa: &'a SsaProgram,
+    limits: SsaLimits,
+    steps: u64,
+    mem: Vec<f64>,
+}
+
+impl Exec<'_> {
+    fn tick(&mut self) -> Result<(), SsaExecError> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            return Err(SsaExecError::Budget);
+        }
+        Ok(())
+    }
+
+    fn line(&self, src: InstId) -> u32 {
+        self.ir.line_of(src)
+    }
+
+    fn call(&mut self, func: FuncId, args: &[f64], depth: usize) -> Result<f64, SsaExecError> {
+        if depth > self.limits.max_call_depth {
+            return Err(SsaExecError::Budget);
+        }
+        // Copy the program reference out of `self` so instruction borrows
+        // don't conflict with `self.mem`/`self.steps` mutation below.
+        let ssa = self.ssa;
+        let f = &ssa.funcs[func];
+        let mut vals: Vec<Option<V>> = vec![None; f.insts.len()];
+        let mut block: BlockId = 0;
+        let mut prev: Option<BlockId> = None;
+        loop {
+            self.tick()?;
+            let blk = &f.blocks[block];
+            // Phis read their incoming values in parallel before any write,
+            // so mutually-referential phis (swaps) behave like the slot
+            // assignments they were promoted from.
+            let n_phis =
+                blk.insts.iter().take_while(|&&v| matches!(f.inst(v).op, Op::Phi { .. })).count();
+            if n_phis > 0 {
+                let p = prev.expect("phi in entry block");
+                let pos = blk.preds.iter().position(|&x| x == p).expect("predecessor listed");
+                let mut incoming: Vec<(ValId, V)> = Vec::with_capacity(n_phis);
+                for &v in &blk.insts[..n_phis] {
+                    if let Op::Phi { args, .. } = &f.inst(v).op {
+                        let a = args[pos];
+                        let val = vals[a as usize].expect("phi operand computed");
+                        incoming.push((v, val));
+                    }
+                }
+                for (v, val) in incoming {
+                    self.tick()?;
+                    vals[v as usize] = Some(val);
+                }
+            }
+            for &v in &blk.insts[n_phis..] {
+                self.tick()?;
+                let inst = f.inst(v);
+                let line = self.line(inst.src);
+                let get = |x: ValId| vals[x as usize].expect("operand computed before use");
+                let out: Option<V> = match &inst.op {
+                    Op::Const(c) => Some(V::N(*c)),
+                    Op::BoolConst(b) => Some(V::B(*b)),
+                    Op::Param(k) => Some(V::N(args.get(*k).copied().unwrap_or(0.0))),
+                    Op::Un(op, a) => Some(match op {
+                        UnOp::Neg => V::N(-get(*a).num(line)?),
+                        UnOp::Not => V::B(!get(*a).boolean(line)?),
+                    }),
+                    Op::Bin(op, a, b) => Some(self.bin(*op, get(*a), get(*b), line)?),
+                    Op::Builtin(b, xs) => {
+                        let mut nums = Vec::with_capacity(xs.len());
+                        for &x in xs {
+                            nums.push(get(x).num(line)?);
+                        }
+                        Some(V::N(b.eval(&nums)))
+                    }
+                    Op::ElemAddr { array, idx } => {
+                        let mut nums = Vec::with_capacity(idx.len());
+                        for &x in idx {
+                            nums.push(get(x).num(line)?);
+                        }
+                        Some(V::A(self.element_addr(*array, &nums, line)?))
+                    }
+                    Op::Load { addr } => {
+                        let a = get(*addr).addr(line)? as usize;
+                        Some(V::N(self.mem[a]))
+                    }
+                    Op::Store { addr, val } => {
+                        let a = get(*addr).addr(line)? as usize;
+                        let x = get(*val).num(line)?;
+                        self.mem[a] = x;
+                        None
+                    }
+                    Op::Call { func, args: xs } => {
+                        let mut nums = Vec::with_capacity(xs.len());
+                        for &x in xs {
+                            nums.push(get(x).num(line)?);
+                        }
+                        Some(V::N(self.call(*func, &nums, depth + 1)?))
+                    }
+                    Op::Phi { .. } => unreachable!("phis handled as a block prefix"),
+                    Op::GetSlot(_) | Op::SetSlot(..) => {
+                        unreachable!("slot ops cannot reach the SSA executor")
+                    }
+                    Op::Dead => unreachable!("dead ops are never listed in blocks"),
+                };
+                if let Some(val) = out {
+                    vals[v as usize] = Some(val);
+                }
+            }
+            match &blk.term {
+                Term::Jump(t) => {
+                    prev = Some(block);
+                    block = *t;
+                }
+                Term::Branch { cond, then_bb, else_bb } => {
+                    let src = blk.insts.last().map(|&v| f.inst(v).src).unwrap_or(0);
+                    let c = vals[*cond as usize]
+                        .expect("branch condition computed")
+                        .boolean(self.line(src))?;
+                    prev = Some(block);
+                    block = if c { *then_bb } else { *else_bb };
+                }
+                Term::Ret(v) => {
+                    let ret = match v {
+                        Some(x) => {
+                            let src = blk.insts.last().map(|&i| f.inst(i).src).unwrap_or(0);
+                            vals[*x as usize].expect("return value computed").num(self.line(src))?
+                        }
+                        None => 0.0,
+                    };
+                    return Ok(ret);
+                }
+            }
+        }
+    }
+
+    fn bin(&self, op: BinOp, l: V, r: V, line: u32) -> Result<V, SsaExecError> {
+        let (l, r) = (l.num(line)?, r.num(line)?);
+        Ok(match op {
+            BinOp::Add => V::N(l + r),
+            BinOp::Sub => V::N(l - r),
+            BinOp::Mul => V::N(l * r),
+            BinOp::Div if r == 0.0 => {
+                return Err(fault(line, "division by zero".into()));
+            }
+            BinOp::Div => V::N(l / r),
+            BinOp::Rem if r == 0.0 => {
+                return Err(fault(line, "modulo by zero".into()));
+            }
+            BinOp::Rem => V::N(l.rem_euclid(r)),
+            BinOp::Eq => V::B(l == r),
+            BinOp::Ne => V::B(l != r),
+            BinOp::Lt => V::B(l < r),
+            BinOp::Le => V::B(l <= r),
+            BinOp::Gt => V::B(l > r),
+            BinOp::Ge => V::B(l >= r),
+            BinOp::And | BinOp::Or => {
+                unreachable!("short-circuit ops are lowered to control flow")
+            }
+        })
+    }
+
+    fn element_addr(&self, array: usize, idx: &[f64], line: u32) -> Result<u64, SsaExecError> {
+        let g = &self.ir.globals[array];
+        let mut resolved = [0usize; 2];
+        for (k, &v) in idx.iter().enumerate() {
+            let x = v.trunc();
+            let dim = g.dims[k];
+            if x < 0.0 || x as usize >= dim || x.is_nan() {
+                return Err(fault(
+                    line,
+                    format!(
+                        "index {x} out of bounds for dimension {k} of `{}` (size {dim})",
+                        g.name
+                    ),
+                ));
+            }
+            resolved[k] = x as usize;
+        }
+        Ok(g.base_addr
+            + (resolved[0] * g.row_stride() + if idx.len() == 2 { resolved[1] } else { 0 }) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::type_complexity)]
+
+    use super::*;
+    use crate::cfg::{SsaFunc, SsaProgram};
+    use crate::ssa::promote_to_ssa;
+    use parpat_ir::event::NullObserver;
+    use parpat_ir::{run_function_captured, ExecLimits};
+    use parpat_minilang::parse_checked;
+
+    fn both(
+        src: &str,
+    ) -> (Result<(f64, Vec<f64>), RuntimeError>, Result<SsaCapture, SsaExecError>) {
+        let ir = parpat_ir::lower(&parse_checked(src).unwrap());
+        let entry = ir.entry.unwrap();
+        let mut funcs = Vec::new();
+        for f in &ir.functions {
+            let mut sf = SsaFunc::build(&ir, f.id);
+            promote_to_ssa(&mut sf);
+            funcs.push(sf);
+        }
+        let ssa = SsaProgram { funcs };
+        let tree =
+            run_function_captured(&ir, entry, &[], &mut NullObserver, ExecLimits::default(), None)
+                .map(|c| (c.outcome.return_value, c.globals));
+        let mine = run_ssa(&ir, &ssa, entry, &[], SsaLimits::default());
+        (tree, mine)
+    }
+
+    fn assert_agree(src: &str) {
+        let (tree, mine) = both(src);
+        match (tree, mine) {
+            (Ok((r, g)), Ok(cap)) => {
+                assert!(
+                    r.to_bits() == cap.return_value.to_bits()
+                        || (r.is_nan() && cap.return_value.is_nan()),
+                    "return {r} vs {} for {src}",
+                    cap.return_value
+                );
+                assert_eq!(g, cap.globals, "globals diverge for {src}");
+            }
+            (Err(te), Err(SsaExecError::Fault(se))) => {
+                assert_eq!(te, se, "fault mismatch for {src}");
+            }
+            (t, m) => panic!("outcome shape diverges for {src}: tree={t:?} ssa={m:?}"),
+        }
+    }
+
+    #[test]
+    fn straight_line_and_branches_agree() {
+        assert_agree("fn main() { return 1 + 2 * 3; }");
+        assert_agree("fn main() { let x = 5; if x > 3 { x = x - 1; } else { x = 0; } return x; }");
+        assert_agree("fn main() { let a = 1; if a > 0 && a < 5 { a = 7; } return a; }");
+        assert_agree("fn main() { let a = 0; if a > 0 || a == 0 { a = 9; } return a; }");
+    }
+
+    #[test]
+    fn loops_agree() {
+        assert_agree("fn main() { let s = 0; for i in 0..10 { s = s + i; } return s; }");
+        assert_agree(
+            "fn main() { let s = 0; let i = 0; while i < 6 { s = s + i * i; i = i + 1; } return s; }",
+        );
+        assert_agree("global a[8]; fn main() { for i in 0..8 { a[i] = i * 3; } return a[7]; }");
+        assert_agree(
+            "global m[3][4]; fn main() { for i in 0..3 { for j in 0..4 { m[i][j] = i * 10 + j; } } return m[2][3]; }",
+        );
+    }
+
+    #[test]
+    fn induction_variable_writes_do_not_perturb_iteration() {
+        // The body assigns the induction variable; the loop must still run
+        // exactly 5 iterations (tree semantics: the counter is hidden).
+        assert_agree("fn main() { let s = 0; for i in 0..5 { i = 99; s = s + 1; } return s; }");
+    }
+
+    #[test]
+    fn faults_match_line_message_and_kind() {
+        assert_agree("fn main() { return 1 / 0; }");
+        assert_agree("fn main() { return 7 % (1 - 1); }");
+        assert_agree("global a[2]; fn main() { a[5] = 1; }");
+        assert_agree("global a[2]; fn main() { let x = a[0 - 1]; return x; }");
+        assert_agree("global a[4]; fn main() { for i in 0..9 { a[i] = 1; } }");
+    }
+
+    #[test]
+    fn store_checks_address_before_value_fault() {
+        // The OOB store must fault on the index line, not the 1/0 in the
+        // value — both sides must agree on which error wins.
+        assert_agree("global a[2]; fn main() { a[9] = 1 / 0; }");
+    }
+
+    #[test]
+    fn calls_and_builtins_agree() {
+        assert_agree(
+            "fn sq(x) { return x * x; } fn main() { let s = 0; for i in 0..4 { s = s + sq(i); } return s; }",
+        );
+        assert_agree(
+            "fn main() { return sqrt(16) + abs(0 - 3) + min(2, 1) + max(2, 1) + floor(2.9); }",
+        );
+        assert_agree("fn main() { return sqrt(0 - 1); }"); // NaN return
+    }
+
+    #[test]
+    fn break_and_early_return_agree() {
+        assert_agree(
+            "fn main() { let s = 0; for i in 0..10 { if i > 4 { break; } s = s + i; } return s; }",
+        );
+        assert_agree("fn main() { for i in 0..10 { if i == 3 { return i; } } return 0; }");
+        assert_agree("fn main() { while true { break; } return 2; }");
+    }
+
+    #[test]
+    fn rem_is_euclidean() {
+        assert_agree("fn main() { return (0 - 7) % 3; }");
+    }
+}

@@ -45,9 +45,46 @@ pub enum Code {
     VerifyLine,
     /// `V006` — instruction metadata is inconsistent with the IR tree.
     VerifyMeta,
+    /// `V007` — an SSA value is used where its definition does not
+    /// dominate the use.
+    SsaUseNotDominated,
+    /// `V008` — a phi's operand count disagrees with its block's
+    /// predecessor count.
+    SsaPhiArity,
+    /// `V009` — the control-flow graph behind the SSA form is
+    /// structurally malformed.
+    SsaMalformedCfg,
 }
 
 impl Code {
+    /// Every stable code, in id order. The source of truth for
+    /// `parpat lint --explain` and the round-trip of [`Code::from_id`].
+    pub const ALL: [Code; 19] = [
+        Code::LexError,
+        Code::ParseError,
+        Code::SemaError,
+        Code::CarriedArrayDep,
+        Code::CarriedScalarDep,
+        Code::Unresolved,
+        Code::StaticReduction,
+        Code::ProvenDoAll,
+        Code::InputSensitive,
+        Code::ConsistencyError,
+        Code::VerifySlot,
+        Code::VerifyTarget,
+        Code::VerifyLoopMeta,
+        Code::VerifyRank,
+        Code::VerifyLine,
+        Code::VerifyMeta,
+        Code::SsaUseNotDominated,
+        Code::SsaPhiArity,
+        Code::SsaMalformedCfg,
+    ];
+
+    /// Look a code up by its stable textual id (e.g. `"P001"`).
+    pub fn from_id(id: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.id() == id)
+    }
     /// The stable textual id, e.g. `"P001"`.
     pub fn id(self) -> &'static str {
         match self {
@@ -67,6 +104,120 @@ impl Code {
             Code::VerifyRank => "V004",
             Code::VerifyLine => "V005",
             Code::VerifyMeta => "V006",
+            Code::SsaUseNotDominated => "V007",
+            Code::SsaPhiArity => "V008",
+            Code::SsaMalformedCfg => "V009",
+        }
+    }
+
+    /// One-paragraph documentation of what the code means and what to do
+    /// about it, printed by `parpat lint --explain <CODE>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Code::LexError => {
+                "The source text contains a character or token the MiniLang lexer does not \
+                 recognize. Nothing past the lexical error is analyzed; fix the reported \
+                 character first."
+            }
+            Code::ParseError => {
+                "The token stream does not form a valid MiniLang program — a delimiter, \
+                 keyword, or expression is missing or misplaced at the reported line. The \
+                 program is not analyzed until it parses."
+            }
+            Code::SemaError => {
+                "The program parses but breaks a semantic rule: an undeclared variable or \
+                 array, a wrong-rank array access, a duplicate definition, or a call to an \
+                 unknown function. The analysis only runs on semantically valid programs."
+            }
+            Code::CarriedArrayDep => {
+                "The dependence tests proved a loop-carried flow dependence through an array: \
+                 an iteration writes an element a later iteration reads. The loop cannot run \
+                 as a do-all without restructuring. When the dependence distance is constant \
+                 it is reported too — a large constant distance may still permit blocked or \
+                 skewed parallelization."
+            }
+            Code::CarriedScalarDep => {
+                "A scalar written in one iteration is read in a later one (and the statement \
+                 is not a recognized reduction), so the value flows across iterations and \
+                 serializes the loop. Privatization does not help; consider whether the \
+                 recurrence can be rewritten as a scan or a reduction."
+            }
+            Code::Unresolved => {
+                "The dependence tests could not prove the loop independent or dependent: a \
+                 subscript is not affine in the induction variable, a bound is unknown, or a \
+                 call's effects are opaque. The message lists each unresolved reason. The \
+                 dynamic profiler can still classify the loop for a concrete input."
+            }
+            Code::StaticReduction => {
+                "A statement of the shape `x = x op e` (with `e` not reading `x`) accumulates \
+                 into `x` on a single source line — the paper's static reduction pattern. The \
+                 loop parallelizes with a privatized accumulator combined by `op` at the end."
+            }
+            Code::ProvenDoAll => {
+                "Every pair of accesses in the loop was proven free of loop-carried flow \
+                 dependences by the subscript tests (ZIV/SIV and the symbolic SSA path), so \
+                 iterations are independent and the loop is a statically safe do-all \
+                 candidate for any input."
+            }
+            Code::InputSensitive => {
+                "The dynamic profile saw no cross-iteration dependence, but the static \
+                 analysis proved one exists — the profiled input simply did not exercise it. \
+                 Parallelizing on the strength of the dynamic verdict alone would be unsound \
+                 for other inputs."
+            }
+            Code::ConsistencyError => {
+                "The static analysis proved the loop independent, yet the dynamic trace \
+                 observed a carried dependence. The two layers contradict each other, which \
+                 means a bug in the toolchain itself (not in the analyzed program). Report \
+                 it; `parpat shrink` can minimize the reproducer."
+            }
+            Code::VerifySlot => {
+                "Lowered IR references a local variable slot outside its function's frame. \
+                 The IR is corrupt — results from it would be meaningless, so verification \
+                 fails the program."
+            }
+            Code::VerifyTarget => {
+                "Lowered IR references a function, global array, or loop id that does not \
+                 exist in the program's tables. The IR is corrupt and the program fails \
+                 verification."
+            }
+            Code::VerifyLoopMeta => {
+                "A loop's metadata record (its kind, induction slot, or bounds) disagrees \
+                 with the loop statement it describes. Analyses keyed on loop metadata would \
+                 reason about the wrong loop."
+            }
+            Code::VerifyRank => {
+                "An array access uses a different number of indices than the array's \
+                 declared rank, so the access cannot be mapped to memory and the dependence \
+                 tests cannot reason about it."
+            }
+            Code::VerifyLine => {
+                "An instruction carries a missing or impossible source line. Diagnostics and \
+                 profiles anchor to source lines, so corrupted line metadata poisons every \
+                 downstream report."
+            }
+            Code::VerifyMeta => {
+                "Instruction-level metadata (store/loop instruction ids) is inconsistent \
+                 with the IR tree, e.g. a recorded store that no statement performs. The \
+                 side tables the analyses rely on do not describe this program."
+            }
+            Code::SsaUseNotDominated => {
+                "In the SSA form built for the sharpened dependence tests, a value is used \
+                 in a block its definition does not dominate — the defining computation may \
+                 not have happened on some path reaching the use. The SSA construction or a \
+                 pass is buggy; the analysis falls back to the affine-only path."
+            }
+            Code::SsaPhiArity => {
+                "A phi node's operand count does not match its block's predecessor count, so \
+                 at least one incoming edge has no value (or a stale one). The SSA form is \
+                 unusable and the analysis falls back to the affine-only path."
+            }
+            Code::SsaMalformedCfg => {
+                "The control-flow graph behind the SSA form is structurally broken: an edge \
+                 to a nonexistent block, an unterminated block, or loop metadata naming \
+                 blocks outside the loop. The SSA form is discarded and the analysis falls \
+                 back to the affine-only path."
+            }
         }
     }
 
@@ -82,7 +233,10 @@ impl Code {
             | Code::VerifyLoopMeta
             | Code::VerifyRank
             | Code::VerifyLine
-            | Code::VerifyMeta => Severity::Error,
+            | Code::VerifyMeta
+            | Code::SsaUseNotDominated
+            | Code::SsaPhiArity
+            | Code::SsaMalformedCfg => Severity::Error,
             Code::CarriedArrayDep | Code::CarriedScalarDep | Code::InputSensitive => {
                 Severity::Warning
             }
@@ -192,28 +346,28 @@ mod tests {
 
     #[test]
     fn codes_have_unique_ids() {
-        let all = [
-            Code::LexError,
-            Code::ParseError,
-            Code::SemaError,
-            Code::CarriedArrayDep,
-            Code::CarriedScalarDep,
-            Code::Unresolved,
-            Code::StaticReduction,
-            Code::ProvenDoAll,
-            Code::InputSensitive,
-            Code::ConsistencyError,
-            Code::VerifySlot,
-            Code::VerifyTarget,
-            Code::VerifyLoopMeta,
-            Code::VerifyRank,
-            Code::VerifyLine,
-            Code::VerifyMeta,
-        ];
-        let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
+        let mut ids: Vec<&str> = Code::ALL.iter().map(|c| c.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), all.len());
+        assert_eq!(ids.len(), Code::ALL.len());
+    }
+
+    #[test]
+    fn every_code_round_trips_through_from_id() {
+        for c in Code::ALL {
+            assert_eq!(Code::from_id(c.id()), Some(c), "{c} does not round-trip");
+        }
+        assert_eq!(Code::from_id("P999"), None);
+        assert_eq!(Code::from_id("p001"), None, "lookups are case-sensitive");
+    }
+
+    #[test]
+    fn every_code_has_a_substantial_explanation() {
+        for c in Code::ALL {
+            let e = c.explain();
+            assert!(e.len() > 80, "{c} explanation is too thin: {e:?}");
+            assert!(!e.ends_with(' '), "{c} explanation has trailing whitespace");
+        }
     }
 
     #[test]

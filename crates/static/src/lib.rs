@@ -7,8 +7,14 @@
 //! - **reaching definitions / use-def chains** per function and per loop
 //!   body ([`dataflow`]), exploiting the structured control flow (no CFG
 //!   needed);
-//! - **subscript dependence tests** — ZIV, strong SIV, weak-zero SIV, and
-//!   a GCD fallback — over affine array subscripts ([`subscript`]);
+//! - **subscript dependence tests** — ZIV, strong and weak-crossing SIV,
+//!   weak-zero SIV, and a general SIV solver (extended GCD with
+//!   Banerjee-style bounds) — over affine array subscripts
+//!   ([`subscript`]), all in overflow-checked wide arithmetic;
+//! - a **symbolic subscript path** over the CFG/SSA form built by
+//!   [`parpat_ssa`], resolving inner-loop sweeps and triangular patterns
+//!   whose subscripts are not affine in the analyzed loop's induction
+//!   variable ([`symbolic`]);
 //! - a **per-loop verdict** in the three-point lattice *proven-none /
 //!   proven-some / unknown* for loop-carried flow dependences, plus a
 //!   static recognizer for the paper's single-source-line `x = x op e`
@@ -39,6 +45,7 @@ pub mod diag;
 pub mod lint;
 pub mod loops;
 pub mod subscript;
+pub mod symbolic;
 pub mod verify;
 
 use parpat_ir::ir::{IrProgram, IrStmt};
@@ -47,6 +54,10 @@ use parpat_ir::LoopId;
 pub use diag::{Code, Diagnostic, Severity};
 pub use lint::lint_source;
 pub use loops::{ArrayDep, LoopReport, Reduction, ScalarDep, Verdict};
+// The SSA pipeline's timing vocabulary, re-exported so downstream crates
+// (engine stats, benches) can aggregate pass timings without depending on
+// `parpat-ssa` directly.
+pub use parpat_ssa::{merge_timings, PassTiming, PASS_NAMES};
 pub use verify::{verify_ir, verify_source};
 
 /// Static analysis results for every loop of a program.
@@ -136,6 +147,9 @@ impl StaticReport {
             }
         }
         diag::sort_diagnostics(&mut out);
+        // Distinct dependences can render to the same message (the text
+        // shows the write line only); one copy carries all the signal.
+        out.dedup();
         out
     }
 }
@@ -158,10 +172,26 @@ pub fn analyze_ir(ir: &IrProgram) -> StaticReport {
 /// reasoning reads global-array names, callee names and loop metadata from
 /// the program tables.
 pub fn analyze_function(ir: &IrProgram, func: parpat_ir::FuncId) -> Vec<LoopReport> {
+    analyze_function_timed(ir, func).0
+}
+
+/// Like [`analyze_function`], but also returns the per-pass timings of the
+/// SSA pipeline run for this function (empty when SSA construction was
+/// rejected by the verifier and the analysis fell back to affine-only).
+pub fn analyze_function_timed(
+    ir: &IrProgram,
+    func: parpat_ir::FuncId,
+) -> (Vec<LoopReport>, Vec<parpat_ssa::PassTiming>) {
+    // A verifier rejection must not take the whole analysis down: the
+    // affine path is self-sufficient, the SSA form only sharpens it.
+    let (ssa, timings) = match parpat_ssa::build_optimized_func(ir, func) {
+        Ok((f, t)) => (Some(f), t),
+        Err(_) => (None, Vec::new()),
+    };
     let mut loops = Vec::new();
-    collect_loops(ir, &ir.functions[func].body, &mut loops);
+    collect_loops(ir, &ir.functions[func].body, ssa.as_ref(), &mut loops);
     loops.sort_by_key(|l: &LoopReport| l.id);
-    loops
+    (loops, timings)
 }
 
 /// Merge per-function loop reports (one slice per function, any order)
@@ -174,16 +204,21 @@ pub fn merge_function_reports<'a>(
     StaticReport { loops }
 }
 
-fn collect_loops(ir: &IrProgram, stmts: &[IrStmt], out: &mut Vec<LoopReport>) {
+fn collect_loops(
+    ir: &IrProgram,
+    stmts: &[IrStmt],
+    ssa: Option<&parpat_ssa::SsaFunc>,
+    out: &mut Vec<LoopReport>,
+) {
     for s in stmts {
         match s {
             IrStmt::Loop { id, kind, body, .. } => {
-                out.push(loops::analyze_loop(ir, *id, kind, body));
-                collect_loops(ir, body, out);
+                out.push(loops::analyze_loop(ir, *id, kind, body, ssa));
+                collect_loops(ir, body, ssa, out);
             }
             IrStmt::If { then_body, else_body, .. } => {
-                collect_loops(ir, then_body, out);
-                collect_loops(ir, else_body, out);
+                collect_loops(ir, then_body, ssa, out);
+                collect_loops(ir, else_body, ssa, out);
             }
             _ => {}
         }

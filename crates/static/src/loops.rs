@@ -29,7 +29,7 @@ use parpat_ir::{ArrayId, FuncId, InstId, LoopId};
 use parpat_minilang::ast::BinOp;
 
 use crate::dataflow::{loop_body_use_def, stored_slots, Def, UseDef};
-use crate::subscript::{affine_of, const_int, dim_rel, pair_dep, Affine, DimRel, PairDep};
+use crate::subscript::{affine_of, const_int, dim_rel_in, pair_dep, Affine, DimRel, PairDep};
 
 /// The three-point verdict lattice for a loop's carried flow dependences.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,7 +116,18 @@ pub struct LoopReport {
 }
 
 /// Analyze one loop of a lowered program.
-pub fn analyze_loop(ir: &IrProgram, id: LoopId, kind: &LoopKind, body: &[IrStmt]) -> LoopReport {
+///
+/// `ssa` is the enclosing function in optimized SSA form, when available;
+/// it powers the symbolic subscript path ([`crate::symbolic`]) that
+/// resolves pairs the affine model cannot. Passing `None` degrades
+/// gracefully to the affine-only analysis.
+pub fn analyze_loop(
+    ir: &IrProgram,
+    id: LoopId,
+    kind: &LoopKind,
+    body: &[IrStmt],
+    ssa: Option<&parpat_ssa::SsaFunc>,
+) -> LoopReport {
     let meta = &ir.loops[id as usize];
     let f = &ir.functions[meta.func];
     let stored = stored_slots(body);
@@ -176,14 +187,33 @@ pub fn analyze_loop(ir: &IrProgram, id: LoopId, kind: &LoopKind, body: &[IrStmt]
     let written: BTreeSet<ArrayId> = writes.iter().map(|(a, _, _)| *a).collect();
     let read_set: BTreeSet<ArrayId> = reads.iter().map(|(a, _, _)| *a).collect();
     let mut array_deps = Vec::new();
+    let mut residues: BTreeSet<InstId> = BTreeSet::new();
     for arr in written.intersection(&read_set) {
         let name = &ir.globals[*arr].name;
-        let w_affs = affine_accesses(&writes, *arr, induction, &invariant, ir, name, &mut unknown);
-        let r_affs = affine_accesses(&reads, *arr, induction, &invariant, ir, name, &mut unknown);
+        let w_affs = affine_accesses(
+            &writes,
+            *arr,
+            induction,
+            &invariant,
+            ir,
+            name,
+            &mut unknown,
+            &mut residues,
+        );
+        let r_affs = affine_accesses(
+            &reads,
+            *arr,
+            induction,
+            &invariant,
+            ir,
+            name,
+            &mut unknown,
+            &mut residues,
+        );
         for (wi, w) in &w_affs {
             for (ri, r) in &r_affs {
                 let dims: Vec<DimRel> =
-                    w.iter().zip(r.iter()).map(|(a, b)| dim_rel(*a, *b)).collect();
+                    w.iter().zip(r.iter()).map(|(a, b)| dim_rel_in(*a, *b, bounds)).collect();
                 match pair_dep(&dims, bounds) {
                     PairDep::NoDep => {}
                     PairDep::Raw(distance) => array_deps.push(ArrayDep {
@@ -204,6 +234,28 @@ pub fn analyze_loop(ir: &IrProgram, id: LoopId, kind: &LoopKind, body: &[IrStmt]
                 }
             }
         }
+    }
+    // Symbolic fallback: SSA names resolve inner-sweep and triangular
+    // pairs the affine model gives up on. It only adds proven dependences;
+    // the residues' unknown-reasons above are left untouched.
+    if let Some(ssa) = ssa {
+        let outer_start = match kind {
+            LoopKind::For { start, .. } => const_int(start),
+            LoopKind::While { .. } => None,
+        };
+        array_deps.extend(crate::symbolic::symbolic_array_deps(
+            ir,
+            f,
+            ssa,
+            id,
+            kind,
+            body,
+            induction,
+            &invariant,
+            outer_start,
+            bounds,
+            &residues,
+        ));
     }
     array_deps.sort_by(|a, b| {
         (a.write_line, a.read_line, &a.array).cmp(&(b.write_line, b.read_line, &b.array))
@@ -231,7 +283,9 @@ pub fn analyze_loop(ir: &IrProgram, id: LoopId, kind: &LoopKind, body: &[IrStmt]
 }
 
 /// Convert every access of `arr` to its per-dimension affine forms,
-/// recording an unknown-reason for each non-affine subscript.
+/// recording an unknown-reason for each non-affine subscript and
+/// collecting the failing accesses into `residues` for the symbolic path.
+#[allow(clippy::too_many_arguments)]
 fn affine_accesses(
     accesses: &[(ArrayId, InstId, &[IrExpr])],
     arr: ArrayId,
@@ -240,6 +294,7 @@ fn affine_accesses(
     ir: &IrProgram,
     name: &str,
     unknown: &mut BTreeSet<String>,
+    residues: &mut BTreeSet<InstId>,
 ) -> Vec<(InstId, Vec<Affine>)> {
     let mut out = Vec::new();
     for (a, inst, indices) in accesses {
@@ -256,6 +311,7 @@ fn affine_accesses(
                     name,
                     ir.line_of(*inst)
                 ));
+                residues.insert(*inst);
             }
         }
     }
@@ -471,7 +527,7 @@ fn render_access(name: &str, affs: &[Affine], ind: Option<&str>, f: &IrFunction)
     format!("{}[{}]", name, dims.join("]["))
 }
 
-fn render_affine(a: Affine, ind: Option<&str>, f: &IrFunction) -> String {
+pub(crate) fn render_affine(a: Affine, ind: Option<&str>, f: &IrFunction) -> String {
     let mut out = String::new();
     let push_term = |out: &mut String, neg: bool, term: String| {
         if out.is_empty() {

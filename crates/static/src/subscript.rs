@@ -13,15 +13,27 @@
 //!   happen exactly at iteration distance `d = (c_w − c_r) / a`;
 //! - **weak-zero SIV** — one side invariant: collisions pin the other side
 //!   to one fixed iteration;
-//! - **GCD fallback** — different nonzero coefficients: independence is
-//!   proven when `gcd(a_w, a_r)` does not divide the constant difference,
-//!   otherwise the dimension stays unresolved.
+//! - **weak-crossing SIV** — opposite nonzero coefficients (`a_w = −a_r`):
+//!   collisions pin the *sum* of the two iterations;
+//! - **general SIV** — different nonzero coefficients: the diophantine
+//!   equation is solved with the extended GCD and the solution line is
+//!   intersected with Banerjee-style bounds derived from the iteration
+//!   range, deciding exactly whether any in-range collision (and any
+//!   *forward* collision, `i_r > i_w`) exists;
+//! - **GCD fallback** — when no iteration range is known, independence is
+//!   still proven when `gcd(a_w, a_r)` does not divide the constant
+//!   difference, otherwise the dimension stays unresolved.
 //!
 //! Per-dimension verdicts ([`DimRel`]) are then conjoined over all
 //! dimensions of the pair ([`pair_dep`]): a dependence exists only for
 //! iteration pairs satisfying *every* dimension's constraint, so a single
 //! `Never` kills the pair, and constraints like "only at distance d" must
 //! agree across dimensions.
+//!
+//! All verdict arithmetic runs in `i128` (inputs are `i64`, so no
+//! intermediate can overflow) or behind checked operations; anything that
+//! cannot be represented degrades to `Unknown`/`Inconclusive`, never to a
+//! wrong proof.
 
 use parpat_ir::ir::IrExpr;
 use parpat_minilang::ast::{BinOp, UnOp};
@@ -45,7 +57,7 @@ impl Affine {
     }
 }
 
-fn int_of(v: f64) -> Option<i64> {
+pub(crate) fn int_of(v: f64) -> Option<i64> {
     (v.fract() == 0.0 && v.abs() < 1e15).then_some(v as i64)
 }
 
@@ -150,11 +162,21 @@ pub enum DimRel {
     FixedWrite(i64),
     /// Collide only when the *read* happens at this fixed iteration.
     FixedRead(i64),
-    /// Could not be resolved (GCD admits solutions, or differing symbols).
+    /// Collide exactly when `i_w + i_r` equals this sum (weak-crossing
+    /// SIV, opposite coefficients).
+    FixedSum(i64),
+    /// Collisions may exist, but never with `i_r > i_w`: rules out a
+    /// carried flow dependence; anti/output collisions may remain.
+    NeverForward,
+    /// At least one in-range collision with `i_r > i_w` exists, at
+    /// iteration distances that vary with the colliding pair.
+    ExistsForward,
+    /// Could not be resolved (GCD admits solutions, differing symbols, or
+    /// values outside the representable range).
     Unknown,
 }
 
-fn gcd(mut a: u64, mut b: u64) -> u64 {
+fn gcd(mut a: i128, mut b: i128) -> i128 {
     while b != 0 {
         let t = a % b;
         a = b;
@@ -163,14 +185,79 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
     a
 }
 
-/// Run the single-subscript test on one dimension of a (write, read) pair.
+/// Extended Euclid: `(g, x, y)` with `a·x + b·y = g` and `g = gcd(a, b) > 0`
+/// for nonzero inputs. Inputs come from `i64`, so every intermediate fits
+/// comfortably in `i128` (Bézout coefficients are bounded by the inputs).
+fn ext_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    let (mut r0, mut r1) = (a, b);
+    let (mut x0, mut x1) = (1i128, 0i128);
+    let (mut y0, mut y1) = (0i128, 1i128);
+    while r1 != 0 {
+        let q = r0 / r1;
+        (r0, r1) = (r1, r0 - q * r1);
+        (x0, x1) = (x1, x0 - q * x1);
+        (y0, y1) = (y1, y0 - q * y1);
+    }
+    if r0 < 0 {
+        (-r0, -x0, -y0)
+    } else {
+        (r0, x0, y0)
+    }
+}
+
+fn floor_div(a: i128, b: i128) -> i128 {
+    let (q, r) = (a / b, a % b);
+    if r != 0 && ((r < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn ceil_div(a: i128, b: i128) -> i128 {
+    let (q, r) = (a / b, a % b);
+    if r != 0 && ((r < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Integer-`t` window satisfying `a ≤ v0 + s·t ≤ b` (`s ≠ 0`); empty when
+/// the low end exceeds the high end.
+fn t_window(v0: i128, s: i128, a: i128, b: i128) -> (i128, i128) {
+    if s > 0 {
+        (ceil_div(a - v0, s), floor_div(b - v0, s))
+    } else {
+        (ceil_div(b - v0, s), floor_div(a - v0, s))
+    }
+}
+
+fn fit(v: i128, make: fn(i64) -> DimRel) -> DimRel {
+    i64::try_from(v).map_or(DimRel::Unknown, make)
+}
+
+/// Run the single-subscript test on one dimension of a (write, read) pair,
+/// without iteration-range information (kept for callers and tests that
+/// have none; equivalent to [`dim_rel_in`] with `None` bounds).
 pub fn dim_rel(w: Affine, r: Affine) -> DimRel {
+    dim_rel_in(w, r, None)
+}
+
+/// Run the single-subscript test on one dimension of a (write, read) pair.
+///
+/// `bounds` is `Some((start, end))` when the loop's iteration range is
+/// known (`start ≤ i < end`); it powers the general-SIV test, which solves
+/// `a_w·i_w + c_w = a_r·i_r + c_r` exactly over the bounded iteration
+/// space.
+pub fn dim_rel_in(w: Affine, r: Affine, bounds: Option<(i64, i64)>) -> DimRel {
     if w.sym != r.sym {
         // Different symbolic parts: the constant-difference tests do not
         // apply; anything could alias.
         return DimRel::Unknown;
     }
-    let (aw, cw, ar, cr) = (w.coef, w.offset, r.coef, r.offset);
+    let (aw, cw) = (i128::from(w.coef), i128::from(w.offset));
+    let (ar, cr) = (i128::from(r.coef), i128::from(r.offset));
     if aw == 0 && ar == 0 {
         // ZIV: both invariant.
         return if cw == cr { DimRel::AllPairs } else { DimRel::Never };
@@ -178,23 +265,89 @@ pub fn dim_rel(w: Affine, r: Affine) -> DimRel {
     if aw == ar {
         // Strong SIV: aw·i_w + cw = aw·i_r + cr  ⇔  i_r − i_w = (cw − cr)/aw.
         let d = cw - cr;
-        return if d % aw != 0 { DimRel::Never } else { DimRel::OnlyAt(d / aw) };
+        return if d % aw != 0 { DimRel::Never } else { fit(d / aw, DimRel::OnlyAt) };
     }
     if ar == 0 {
         // Weak-zero SIV: the write side is pinned to one iteration.
         let d = cr - cw;
-        return if d % aw != 0 { DimRel::Never } else { DimRel::FixedWrite(d / aw) };
+        return if d % aw != 0 { DimRel::Never } else { fit(d / aw, DimRel::FixedWrite) };
     }
     if aw == 0 {
         let d = cw - cr;
-        return if d % ar != 0 { DimRel::Never } else { DimRel::FixedRead(d / ar) };
+        return if d % ar != 0 { DimRel::Never } else { fit(d / ar, DimRel::FixedRead) };
     }
-    // GCD fallback for differing nonzero coefficients.
-    let g = gcd(aw.unsigned_abs(), ar.unsigned_abs()) as i64;
-    if (cr - cw) % g != 0 {
-        DimRel::Never
+    if aw == -ar {
+        // Weak-crossing SIV: aw·i_w + cw = −aw·i_r + cr ⇔ i_w + i_r = (cr − cw)/aw.
+        let d = cr - cw;
+        return if d % aw != 0 { DimRel::Never } else { fit(d / aw, DimRel::FixedSum) };
+    }
+    general_siv(aw, cw, ar, cr, bounds)
+}
+
+/// General SIV: different nonzero coefficients, `a_w ≠ ±a_r`. Solves the
+/// linear diophantine collision equation `a_w·i_w − a_r·i_r = c_r − c_w`
+/// with the extended GCD and intersects the solution line with the
+/// iteration box — Banerjee-style range rejection first, then the exact
+/// integer window.
+fn general_siv(aw: i128, cw: i128, ar: i128, cr: i128, bounds: Option<(i64, i64)>) -> DimRel {
+    let c = cr - cw;
+    let g = gcd(aw.abs(), ar.abs());
+    if c % g != 0 {
+        // Classic GCD test: no integer solutions at all.
+        return DimRel::Never;
+    }
+    let Some((lo, hi)) = bounds else {
+        // Solutions exist over the unbounded integers, but whether any
+        // falls inside the (unknown) iteration range is undecidable here.
+        return DimRel::Unknown;
+    };
+    let (lo, hi) = (i128::from(lo), i128::from(hi));
+    if hi - lo < 1 {
+        return DimRel::Never; // empty iteration space
+    }
+    let last = hi - 1;
+    // Banerjee-style box rejection: the collision constant must lie within
+    // the range of aw·i_w − ar·i_r over [lo, last]². (Products of i64-range
+    // coefficients and bounds fit in i128.)
+    let corners =
+        [aw * lo - ar * lo, aw * lo - ar * last, aw * last - ar * lo, aw * last - ar * last];
+    let (bmin, bmax) =
+        corners.iter().fold((corners[0], corners[0]), |(mn, mx), &v| (mn.min(v), mx.max(v)));
+    if c < bmin || c > bmax {
+        return DimRel::Never;
+    }
+    // Exact test. Particular solution of aw·i_w − ar·i_r = c via Bézout:
+    // aw·x + ar·y = g  ⇒  i_w0 = x·(c/g), i_r0 = −y·(c/g); the general
+    // solution is i_w = i_w0 + (ar/g)·t, i_r = i_r0 + (aw/g)·t.
+    let (_, x, y) = ext_gcd(aw, ar);
+    let k = c / g;
+    let (Some(iw0), Some(ir0)) = (x.checked_mul(k), y.checked_mul(k).map(|v| -v)) else {
+        return DimRel::Unknown;
+    };
+    let (sw, sr) = (ar / g, aw / g);
+    let (Some(lo_w), Some(hi_w)) = (lo.checked_sub(iw0), last.checked_sub(iw0)) else {
+        return DimRel::Unknown;
+    };
+    let (Some(lo_r), Some(hi_r)) = (lo.checked_sub(ir0), last.checked_sub(ir0)) else {
+        return DimRel::Unknown;
+    };
+    let (wt_lo, wt_hi) = t_window(0, sw, lo_w, hi_w);
+    let (rt_lo, rt_hi) = t_window(0, sr, lo_r, hi_r);
+    let (t_lo, t_hi) = (wt_lo.max(rt_lo), wt_hi.min(rt_hi));
+    if t_lo > t_hi {
+        return DimRel::Never; // no in-range collision at all
+    }
+    // Forward direction: i_r − i_w = (i_r0 − i_w0) + ((aw − ar)/g)·t ≥ 1.
+    let Some(need) = ir0.checked_sub(iw0).and_then(|d0| 1i128.checked_sub(d0)) else {
+        return DimRel::Unknown;
+    };
+    let sd = sr - sw; // nonzero: aw ≠ ar
+    let (ft_lo, ft_hi) =
+        if sd > 0 { (ceil_div(need, sd), i128::MAX) } else { (i128::MIN, floor_div(need, sd)) };
+    if t_lo.max(ft_lo) <= t_hi.min(ft_hi) {
+        DimRel::ExistsForward
     } else {
-        DimRel::Unknown
+        DimRel::NeverForward
     }
 }
 
@@ -216,27 +369,96 @@ pub enum PairDep {
 /// compile-time constant (`for i in start..end`), enabling trip-count and
 /// in-range checks; range membership is `start ≤ x < end`.
 pub fn pair_dep(dims: &[DimRel], bounds: Option<(i64, i64)>) -> PairDep {
-    let mut only: Option<i64> = None;
-    let mut fixed_w: Option<i64> = None;
-    let mut fixed_r: Option<i64> = None;
+    // All constraint arithmetic in i128: every stored constraint comes
+    // from an i64, so sums and differences cannot overflow.
+    let bounds = bounds.map(|(lo, hi)| (i128::from(lo), i128::from(hi)));
+    let mut only: Option<i128> = None;
+    let mut fixed_w: Option<i128> = None;
+    let mut fixed_r: Option<i128> = None;
+    let mut sum: Option<i128> = None;
     let mut unknown = false;
+    let mut exists_forward = false;
+    fn merge(slot: &mut Option<i128>, v: i128) -> bool {
+        match *slot {
+            Some(prev) if prev != v => false,
+            _ => {
+                *slot = Some(v);
+                true
+            }
+        }
+    }
     for d in dims {
-        match *d {
-            DimRel::Never => return PairDep::NoDep,
-            DimRel::AllPairs => {}
-            DimRel::Unknown => unknown = true,
-            DimRel::OnlyAt(d) => match only {
-                Some(prev) if prev != d => return PairDep::NoDep,
-                _ => only = Some(d),
-            },
-            DimRel::FixedWrite(x) => match fixed_w {
-                Some(prev) if prev != x => return PairDep::NoDep,
-                _ => fixed_w = Some(x),
-            },
-            DimRel::FixedRead(x) => match fixed_r {
-                Some(prev) if prev != x => return PairDep::NoDep,
-                _ => fixed_r = Some(x),
-            },
+        let ok = match *d {
+            DimRel::Never | DimRel::NeverForward => return PairDep::NoDep,
+            DimRel::AllPairs => true,
+            DimRel::Unknown => {
+                unknown = true;
+                true
+            }
+            DimRel::ExistsForward => {
+                exists_forward = true;
+                true
+            }
+            DimRel::OnlyAt(d) => merge(&mut only, i128::from(d)),
+            DimRel::FixedWrite(x) => merge(&mut fixed_w, i128::from(x)),
+            DimRel::FixedRead(x) => merge(&mut fixed_r, i128::from(x)),
+            DimRel::FixedSum(s) => merge(&mut sum, i128::from(s)),
+        };
+        if !ok {
+            return PairDep::NoDep;
+        }
+    }
+    if exists_forward {
+        // The general-SIV dimension proves some forward collision, but at
+        // pair-dependent distances; it cannot be conjoined with point
+        // constraints (or unknowns) from other dimensions.
+        if unknown || only.is_some() || fixed_w.is_some() || fixed_r.is_some() || sum.is_some() {
+            return PairDep::Inconclusive;
+        }
+        // Only AllPairs dimensions remain; the forward collision stands.
+        return PairDep::Raw(None);
+    }
+    // A sum constraint combined with any other point constraint resolves
+    // to fixed iterations; alone, it is decided directly against bounds.
+    if let Some(s) = sum {
+        if let Some(d) = only {
+            // i_w + i_r = s and i_r − i_w = d ⇒ 2·i_w = s − d.
+            if (s - d) % 2 != 0 {
+                return PairDep::NoDep;
+            }
+            let xw = (s - d) / 2;
+            if !merge(&mut fixed_w, xw) || !merge(&mut fixed_r, xw + d) {
+                return PairDep::NoDep;
+            }
+        } else if let Some(xw) = fixed_w {
+            if !merge(&mut fixed_r, s - xw) {
+                return PairDep::NoDep;
+            }
+        } else if let Some(xr) = fixed_r {
+            if !merge(&mut fixed_w, s - xr) {
+                return PairDep::NoDep;
+            }
+        } else {
+            let Some((lo, hi)) = bounds else {
+                return PairDep::Inconclusive;
+            };
+            // Feasible write iterations with both sides in [lo, hi):
+            // i_w ≥ lo, i_w ≥ s − (hi−1) (keeps i_r < hi), i_w ≤ hi−1,
+            // i_w ≤ s − lo (keeps i_r ≥ lo).
+            let lo_w = lo.max(s - (hi - 1));
+            let hi_w = (hi - 1).min(s - lo);
+            if lo_w > hi_w {
+                return PairDep::NoDep; // no colliding pair executes at all
+            }
+            // Forward needs i_r > i_w, i.e. 2·i_w < s; the smallest
+            // feasible write iteration gives the best chance.
+            if 2 * lo_w >= s {
+                return PairDep::NoDep;
+            }
+            if unknown {
+                return PairDep::Inconclusive;
+            }
+            return PairDep::Raw(None);
         }
     }
     // Fixed iterations outside a known range can never execute.
@@ -285,7 +507,10 @@ pub fn pair_dep(dims: &[DimRel], bounds: Option<(i64, i64)>) -> PairDep {
             // An unresolved dimension could still rule the collision out.
             return PairDep::Inconclusive;
         }
-        return PairDep::Raw(Some(d));
+        return match i64::try_from(d) {
+            Ok(d) => PairDep::Raw(Some(d)),
+            Err(_) => PairDep::Inconclusive,
+        };
     }
     if unknown {
         return PairDep::Inconclusive;
@@ -307,7 +532,10 @@ pub fn pair_dep(dims: &[DimRel], bounds: Option<(i64, i64)>) -> PairDep {
             }
             match bounds {
                 // Range membership was already checked above.
-                Some(_) => PairDep::Raw(Some(xr - xw)),
+                Some(_) => match i64::try_from(xr - xw) {
+                    Ok(d) => PairDep::Raw(Some(d)),
+                    Err(_) => PairDep::Inconclusive,
+                },
                 None => PairDep::Inconclusive,
             }
         }
@@ -363,8 +591,141 @@ mod tests {
     fn gcd_fallback() {
         // 2i_w = 4i_r + 1: gcd 2 does not divide 1.
         assert_eq!(dim_rel(aff(2, 0), aff(4, 1)), DimRel::Never);
-        // 2i_w = 4i_r + 2: admits solutions, unresolved.
+        // 2i_w = 4i_r + 2: admits solutions; without bounds, unresolved.
         assert_eq!(dim_rel(aff(2, 0), aff(4, 2)), DimRel::Unknown);
+    }
+
+    #[test]
+    fn weak_crossing_siv() {
+        // write a[i], read a[6 - i]: i_w = 6 − i_r ⇒ i_w + i_r = 6.
+        assert_eq!(dim_rel(aff(1, 0), aff(-1, 6)), DimRel::FixedSum(6));
+        // write a[2i], read a[-2i + 5]: 2(i_w + i_r) = 5 unsolvable.
+        assert_eq!(dim_rel(aff(2, 0), aff(-2, 5)), DimRel::Never);
+    }
+
+    #[test]
+    fn pair_weak_crossing_against_bounds() {
+        // a[i] = a[6 - i] over 0..8: write iter 2 collides with read iter 4.
+        assert_eq!(pair_dep(&[DimRel::FixedSum(6)], Some((0, 8))), PairDep::Raw(None));
+        // Odd sum still pairs forward: (6, 7) collide on a[6].
+        assert_eq!(pair_dep(&[DimRel::FixedSum(13)], Some((0, 8))), PairDep::Raw(None));
+        // Sum 0 only pairs iteration 0 with itself: loop-independent.
+        assert_eq!(pair_dep(&[DimRel::FixedSum(0)], Some((0, 8))), PairDep::NoDep);
+        // Sum 14 only pairs iteration 7 with itself.
+        assert_eq!(pair_dep(&[DimRel::FixedSum(14)], Some((0, 8))), PairDep::NoDep);
+        // Sum entirely outside the range never executes.
+        assert_eq!(pair_dep(&[DimRel::FixedSum(40)], Some((0, 8))), PairDep::NoDep);
+        // Without bounds the crossing point cannot be placed.
+        assert_eq!(pair_dep(&[DimRel::FixedSum(6)], None), PairDep::Inconclusive);
+    }
+
+    #[test]
+    fn pair_sum_conjoined_with_other_constraints() {
+        // Sum 6 and distance 2 pin (2, 4): a carried collision.
+        assert_eq!(
+            pair_dep(&[DimRel::FixedSum(6), DimRel::OnlyAt(2)], Some((0, 8))),
+            PairDep::Raw(Some(2))
+        );
+        // Sum 6 and distance 1 would need half-integer iterations.
+        assert_eq!(
+            pair_dep(&[DimRel::FixedSum(6), DimRel::OnlyAt(1)], Some((0, 8))),
+            PairDep::NoDep
+        );
+        // Sum 6 with the write pinned at 2 pins the read at 4.
+        assert_eq!(
+            pair_dep(&[DimRel::FixedSum(6), DimRel::FixedWrite(2)], Some((0, 8))),
+            PairDep::Raw(Some(2))
+        );
+        // Sum 6 with the read pinned at 2 pins the write at 4: backward.
+        assert_eq!(
+            pair_dep(&[DimRel::FixedSum(6), DimRel::FixedRead(2)], Some((0, 8))),
+            PairDep::NoDep
+        );
+        // Conflicting sums cannot both hold.
+        assert_eq!(
+            pair_dep(&[DimRel::FixedSum(6), DimRel::FixedSum(7)], Some((0, 8))),
+            PairDep::NoDep
+        );
+    }
+
+    #[test]
+    fn general_siv_with_bounds() {
+        // 2i_w = 3i_r over 0..8: forward needs 2i_w = 3i_r ≥ 3(i_w+1),
+        // impossible for i_w ≥ 0.
+        assert_eq!(dim_rel_in(aff(2, 0), aff(3, 0), Some((0, 8))), DimRel::NeverForward);
+        // 3i_w = 2i_r over 0..8: (2, 3) collide on element 6, forward.
+        assert_eq!(dim_rel_in(aff(3, 0), aff(2, 0), Some((0, 8))), DimRel::ExistsForward);
+        // 2i_w = 4i_r + 100 over 0..4: constant outside the Banerjee box.
+        assert_eq!(dim_rel_in(aff(2, 0), aff(4, 100), Some((0, 4))), DimRel::Never);
+        // 2i_w = 4i_r + 2 over 0..4: (1, 0) and (3, 1) collide, never
+        // forward.
+        assert_eq!(dim_rel_in(aff(2, 0), aff(4, 2), Some((0, 4))), DimRel::NeverForward);
+        // Same equation over 0..1: single iteration, i_w = i_r = 0 does
+        // not solve it.
+        assert_eq!(dim_rel_in(aff(2, 0), aff(4, 2), Some((0, 1))), DimRel::Never);
+        // Empty iteration space.
+        assert_eq!(dim_rel_in(aff(2, 0), aff(3, 0), Some((5, 5))), DimRel::Never);
+    }
+
+    #[test]
+    fn pair_general_siv_relations() {
+        assert_eq!(pair_dep(&[DimRel::NeverForward], Some((0, 8))), PairDep::NoDep);
+        assert_eq!(pair_dep(&[DimRel::ExistsForward], Some((0, 8))), PairDep::Raw(None));
+        assert_eq!(
+            pair_dep(&[DimRel::ExistsForward, DimRel::AllPairs], Some((0, 8))),
+            PairDep::Raw(None)
+        );
+        // ExistsForward cannot be conjoined with point constraints: the
+        // forward pair it found may not satisfy the other dimension.
+        assert_eq!(
+            pair_dep(&[DimRel::ExistsForward, DimRel::OnlyAt(1)], Some((0, 8))),
+            PairDep::Inconclusive
+        );
+        assert_eq!(
+            pair_dep(&[DimRel::ExistsForward, DimRel::Unknown], Some((0, 8))),
+            PairDep::Inconclusive
+        );
+        assert_eq!(pair_dep(&[DimRel::ExistsForward, DimRel::Never], Some((0, 8))), PairDep::NoDep);
+    }
+
+    #[test]
+    fn extreme_coefficients_never_produce_wrong_proofs() {
+        // i64::MAX-scale inputs must degrade to Unknown/Inconclusive (or a
+        // still-correct exact verdict), never panic or wrap into a bogus
+        // proof.
+        let big = i64::MAX;
+        let small = i64::MIN;
+        // Strong SIV with a distance that cannot be represented in i64.
+        assert_eq!(dim_rel(aff(1, big), aff(1, small)), DimRel::Unknown);
+        // Weak-zero SIV with an unrepresentable fixed iteration.
+        assert_eq!(dim_rel(aff(1, small), aff(0, big)), DimRel::Unknown);
+        // Weak-crossing SIV with an unrepresentable sum.
+        assert_eq!(dim_rel(aff(1, small), aff(-1, big)), DimRel::Unknown);
+        // i64::MIN coefficient: |coef| overflows i64 but not i128; the
+        // parity argument still proves independence exactly.
+        assert_eq!(dim_rel(aff(small, 0), aff(small, 1)), DimRel::Never);
+        // General SIV across the full i64 iteration range must not wrap.
+        for rel in [
+            dim_rel_in(aff(big, big), aff(2, small), Some((small, big))),
+            dim_rel_in(aff(3, big), aff(big, small), Some((0, big))),
+            dim_rel_in(aff(big, 0), aff(big - 1, 0), Some((small, big))),
+        ] {
+            assert!(
+                matches!(
+                    rel,
+                    DimRel::Unknown | DimRel::Never | DimRel::NeverForward | DimRel::ExistsForward
+                ),
+                "unexpected relation {rel:?}"
+            );
+        }
+        // Conjunction arithmetic at the extremes must not overflow.
+        let verdict = pair_dep(&[DimRel::FixedSum(big), DimRel::OnlyAt(small)], Some((small, big)));
+        assert!(matches!(verdict, PairDep::NoDep | PairDep::Inconclusive));
+        assert_eq!(
+            pair_dep(&[DimRel::FixedWrite(big), DimRel::FixedRead(small)], Some((small, big))),
+            PairDep::NoDep
+        );
+        assert_eq!(pair_dep(&[DimRel::OnlyAt(big)], Some((small, big))), PairDep::Raw(Some(big)));
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! `parpat_ir::verify` reports structural violations with its own
 //! [`ViolationKind`]; this module maps them onto stable `V0xx` diagnostic
 //! [`Code`]s so `parpat verify` output can be filtered, gated, and rendered
-//! exactly like lint findings. Corrupted IR never panics the pipeline — it
+//! exactly like lint findings. The CFG/SSA form the sharpened dependence
+//! tests run on is checked the same way: `parpat_ssa`'s verifier violations
+//! surface as `V007`–`V009`. Corrupted IR never panics the pipeline — it
 //! becomes an error-severity diagnostic.
 
 use parpat_ir::{verify_against, Violation, ViolationKind};
 use parpat_minilang::{sema, Program};
+use parpat_ssa::{SsaViolation, SsaViolationKind};
 
 use crate::diag::{sort_diagnostics, Code, Diagnostic};
 use crate::lint::lang_diag;
@@ -29,10 +32,40 @@ pub fn violation_diag(v: &Violation) -> Diagnostic {
     Diagnostic::new(violation_code(v.kind), v.line, v.message.clone())
 }
 
-/// Verify a lowered program against its AST, returning diagnostics in
-/// stable order (empty when the IR is structurally sound).
+/// The diagnostic code an SSA verifier violation maps to.
+pub fn ssa_violation_code(kind: SsaViolationKind) -> Code {
+    match kind {
+        SsaViolationKind::UseNotDominated => Code::SsaUseNotDominated,
+        SsaViolationKind::PhiArityMismatch => Code::SsaPhiArity,
+        SsaViolationKind::MalformedCfg => Code::SsaMalformedCfg,
+    }
+}
+
+/// Convert one SSA verifier violation into a diagnostic, anchored to the
+/// offending function's definition line (SSA violations are per-function,
+/// not per-source-line).
+pub fn ssa_violation_diag(ir: &parpat_ir::IrProgram, v: &SsaViolation) -> Diagnostic {
+    let line = ir.functions.iter().find(|f| f.name == v.func).map_or(0, |f| f.line);
+    Diagnostic::new(
+        ssa_violation_code(v.kind),
+        line,
+        format!("SSA form of fn `{}`: {}", v.func, v.detail),
+    )
+}
+
+/// Verify a lowered program against its AST — the tree IR's structural
+/// invariants plus the CFG/SSA form every function is promoted to —
+/// returning diagnostics in stable order (empty when both are sound).
 pub fn verify_ir(ir: &parpat_ir::IrProgram, ast: &Program) -> Vec<Diagnostic> {
     let mut diags: Vec<Diagnostic> = verify_against(ir, ast).iter().map(violation_diag).collect();
+    // The CFG/SSA builder assumes tree IR that passed the structural
+    // verifier (out-of-range slots would index past its tables); only
+    // sound tree IR earns the second, SSA-level check.
+    if diags.is_empty() {
+        if let Err(v) = parpat_ssa::build_optimized(ir) {
+            diags.push(ssa_violation_diag(ir, &v));
+        }
+    }
     sort_diagnostics(&mut diags);
     diags
 }
@@ -107,6 +140,40 @@ mod tests {
         let mut ir = parpat_ir::lower(&ast);
         assert!(corrupt(&mut ir, Corruption::SwapAddSub));
         assert_eq!(verify_ir(&ir, &ast), vec![]);
+    }
+
+    #[test]
+    fn ssa_violations_map_to_distinct_error_codes() {
+        let kinds = [
+            SsaViolationKind::UseNotDominated,
+            SsaViolationKind::PhiArityMismatch,
+            SsaViolationKind::MalformedCfg,
+        ];
+        let mut codes: Vec<&str> = kinds.iter().map(|k| ssa_violation_code(*k).id()).collect();
+        assert!(codes.iter().all(|c| c.starts_with('V')));
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), kinds.len());
+        for k in kinds {
+            assert_eq!(ssa_violation_code(k).severity(), Severity::Error);
+        }
+    }
+
+    #[test]
+    fn ssa_violation_diags_anchor_to_the_function_line() {
+        let ir = parpat_ir::compile("global a[4];\n\nfn main() { a[0] = 1; }").unwrap();
+        let v = SsaViolation {
+            kind: SsaViolationKind::PhiArityMismatch,
+            func: "main".into(),
+            detail: "phi v3 has 1 arg(s), block has 2 predecessor(s)".into(),
+        };
+        let d = ssa_violation_diag(&ir, &v);
+        assert_eq!(d.code, Code::SsaPhiArity);
+        assert_eq!(d.line, 3);
+        assert!(d.message.contains("fn `main`"), "{}", d.message);
+        // An unknown function name degrades to line 0, not a panic.
+        let stray = SsaViolation { func: "gone".into(), ..v };
+        assert_eq!(ssa_violation_diag(&ir, &stray).line, 0);
     }
 
     #[test]

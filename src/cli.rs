@@ -34,9 +34,11 @@ USAGE:
                                                      (or by a `parpat serve` session)
     parpat lint <file.ml|dir|apps> [--json]          static dependence diagnostics with stable
                                                      codes (P001 carried dep, P020 proven do-all, …)
-    parpat verify <file.ml|dir|apps>                 lower each program and check the IR against
-                                                     its structural invariants (V001–V006);
-                                                     exits 1 on any violation
+    parpat lint --explain <CODE>                     print the documentation for one stable
+                                                     diagnostic code (L0xx, P0xx, or V0xx)
+    parpat verify <file.ml|dir|apps>                 lower each program and check the tree IR and
+                                                     its CFG/SSA form against their structural
+                                                     invariants (V001–V009); exits 1 on any violation
     parpat shrink <file.ml> [--inject <corruption>]  minimize a failing program to a small
                                                      reproducer by deterministic delta debugging
     parpat demo <app> [--json]                       analyze a bundled benchmark (e.g. sort, ludcmp)
@@ -293,6 +295,13 @@ pub fn run(args: &[String]) -> Result<String, String> {
             }
         }
         Some("lint") => {
+            // `--explain <CODE>` is a documentation lookup, not a lint run:
+            // it takes no input program, so handle it before `split_opts`
+            // demands a positional argument.
+            if args[1..].first().map(String::as_str) == Some("--explain") {
+                let id = opt_value(&args[1..], "--explain")?.expect("flag is present");
+                return explain_code(&id);
+            }
             let (target, opts) = split_opts(&args[1..])?;
             let inputs = lint_inputs(&target)?;
             let results: Vec<(String, Vec<parpat_static::Diagnostic>)> = inputs
@@ -548,6 +557,30 @@ fn lint_inputs(target: &str) -> Result<Vec<parpat_engine::BatchInput>, String> {
         }]);
     }
     batch_inputs(target)
+}
+
+/// `parpat lint --explain <CODE>`: the documentation paragraph for one
+/// stable diagnostic code, wrapped to a readable width.
+fn explain_code(id: &str) -> Result<String, String> {
+    let code = parpat_static::Code::from_id(&id.to_uppercase()).ok_or_else(|| {
+        let known: Vec<&str> = parpat_static::Code::ALL.iter().map(|c| c.id()).collect();
+        format!("unknown diagnostic code `{id}` — one of: {}", known.join(", "))
+    })?;
+    let mut out = format!("{} ({})\n\n", code.id(), code.severity());
+    let mut col = 0usize;
+    for word in code.explain().split_whitespace() {
+        if col > 0 && col + 1 + word.len() > 76 {
+            out.push('\n');
+            col = 0;
+        } else if col > 0 {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(word);
+        col += word.len();
+    }
+    out.push('\n');
+    Ok(out)
 }
 
 fn render_lint_text(results: &[(String, Vec<parpat_static::Diagnostic>)]) -> String {
@@ -1054,6 +1087,38 @@ fn main() {
         assert!(out.contains("red.ml"), "{out}");
         assert!(out.contains("pipe.ml"), "{out}");
         assert!(out.contains("[P010]"), "reduction diagnostic expected: {out}");
+    }
+
+    #[test]
+    fn lint_explain_documents_a_code() {
+        let out = run(&args(&["lint", "--explain", "P001"])).unwrap();
+        assert!(out.starts_with("P001 (warning)"), "{out}");
+        assert!(out.contains("loop-carried flow dependence"), "{out}");
+        assert!(out.lines().all(|l| l.len() <= 78), "over-long line in:\n{out}");
+        // Lower-case ids are accepted for convenience.
+        assert_eq!(run(&args(&["lint", "--explain", "p001"])).unwrap(), out);
+    }
+
+    #[test]
+    fn lint_explain_rejects_unknown_codes_and_missing_values() {
+        let err = run(&args(&["lint", "--explain", "Z999"])).unwrap_err();
+        assert!(err.contains("unknown diagnostic code `Z999`"), "{err}");
+        assert!(err.contains("P001"), "the error lists the known codes: {err}");
+        let err = run(&args(&["lint", "--explain"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn every_stable_code_has_an_explanation() {
+        for code in parpat_static::Code::ALL {
+            let out = run(&args(&["lint", "--explain", code.id()])).unwrap();
+            assert!(
+                out.starts_with(&format!("{} ({})", code.id(), code.severity())),
+                "{} explanation has the wrong header:\n{out}",
+                code.id()
+            );
+            assert!(out.trim_end().len() > 80, "{} explanation is too thin:\n{out}", code.id());
+        }
     }
 
     #[test]
