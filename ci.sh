@@ -14,6 +14,17 @@ cargo test -q -p parpat-engine --test faults
 # Kill-and-resume: a journal truncated mid-record must restore the
 # completed prefix byte-identically and re-run only the tail.
 cargo test -q -p parpat-engine --test resume
+# Torn-write property: a journal truncated at EVERY byte position must
+# scan to exactly the complete-record prefix and resume without a panic.
+cargo test -q -p parpat-engine --test torn
+# Sharding ledger: fenced claims, lease recycling, zombie fencing,
+# foreign-run refusal, stale-lock recovery, in-process spawn fallback.
+cargo test -q -p parpat-engine --test shard
+# Crash soak: under a seeded kill schedule plus a frozen worker,
+# `batch apps --workers 4` (and `--resume` after a SIGKILLed
+# coordinator) must be byte-identical to the single-process run, with
+# every kill accounted in leases_expired/work_requeued.
+cargo test -q --test shard_soak
 # Front-end fuzzing: random bytes and 10k-deep nesting must produce
 # structured diagnostics, never a panic or stack overflow.
 cargo test -q -p parpat-minilang --test fuzz

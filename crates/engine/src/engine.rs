@@ -69,7 +69,7 @@ use crate::digest::{hash_bytes, Fnv64};
 use crate::error::{EngineError, ErrorKind};
 use crate::fault::{FaultMode, FaultPlan};
 use crate::funcdigest::function_digests;
-use crate::journal::{Journal, JournalEntry, StoredOutcome};
+use crate::journal::{Journal, JournalEntry, Replay, StoredOutcome};
 use crate::report::{DegradedReport, ProgramReport};
 use crate::stage::Stage;
 use crate::stats::{CacheStats, EngineStats, SsaPassStats, StageCounters, StageStats};
@@ -235,6 +235,9 @@ struct BatchCounters {
     retries: AtomicU64,
     stall_requeued: AtomicU64,
     resumed: AtomicU64,
+    /// Stale fenced `prog` records discarded by journal replay (zombie
+    /// workers whose lease had been requeued before their result landed).
+    fenced_stale: AtomicU64,
     /// Requests turned away by a resident service's admission control
     /// (never reached the engine; bumped via [`Session::note_shed`]).
     requests_shed: AtomicU64,
@@ -502,14 +505,15 @@ impl Engine {
         let run_d = self.run_digest(&inputs);
         let (journal, replayed) = match self.cache.dir() {
             Some(dir) if self.resume => match Journal::resume(dir, run_d) {
-                Ok((j, entries)) => (Some(Arc::new(j)), entries),
-                Err(_) => (None, Vec::new()),
+                Ok((j, replay)) => (Some(Arc::new(j)), replay),
+                Err(_) => (None, Replay::default()),
             },
-            Some(dir) => (Journal::start(dir, run_d).ok().map(Arc::new), Vec::new()),
-            None => (None, Vec::new()),
+            Some(dir) => (Journal::start(dir, run_d).ok().map(Arc::new), Replay::default()),
+            None => (None, Replay::default()),
         };
+        counters.fenced_stale.store(replayed.fenced_stale, Ordering::Relaxed);
         let mut restored: HashMap<usize, StoredOutcome> = HashMap::new();
-        for e in replayed {
+        for e in replayed.entries {
             if e.index < n {
                 restored.insert(e.index, e.outcome);
             }
@@ -578,15 +582,18 @@ impl Engine {
         }
         let po = self.run_one(input, index, counters, None);
         if let Some(j) = journal {
-            let _ = j.append(&JournalEntry { index, outcome: store_outcome(&po) });
+            let _ =
+                j.append(&JournalEntry { index, worker: 0, fence: 0, outcome: store_outcome(&po) });
         }
         po
     }
 
     /// Digest identifying this batch run: inputs (names + sources) plus
     /// every configuration knob that shapes the outputs. A journal is only
-    /// replayed into a batch with the same digest.
-    fn run_digest(&self, inputs: &[BatchInput]) -> u64 {
+    /// replayed into a batch with the same digest. Public so sharded
+    /// workers can verify they were launched against the same run their
+    /// coordinator journaled.
+    pub fn run_digest(&self, inputs: &[BatchInput]) -> u64 {
         let mut h = Fnv64::new();
         h.write(b"batch-run");
         h.write_u64(inputs.len() as u64);
@@ -753,6 +760,10 @@ impl Engine {
             retries: counters.retries.load(Ordering::Relaxed),
             stall_requeued: counters.stall_requeued.load(Ordering::Relaxed),
             resumed: counters.resumed.load(Ordering::Relaxed),
+            workers: 0,
+            leases_expired: 0,
+            work_requeued: 0,
+            fenced_stale_results: counters.fenced_stale.load(Ordering::Relaxed),
             requests_shed: counters.requests_shed.load(Ordering::Relaxed),
             deadline_exceeded: counters.deadline_exceeded.load(Ordering::Relaxed),
             retries_client: counters.retries_client.load(Ordering::Relaxed),
@@ -785,7 +796,7 @@ impl Engine {
 }
 
 /// Freeze a finished program outcome into its journal form.
-fn store_outcome(po: &ProgramOutcome) -> StoredOutcome {
+pub(crate) fn store_outcome(po: &ProgramOutcome) -> StoredOutcome {
     match &po.outcome {
         AnalysisOutcome::Ok(r) => {
             StoredOutcome::Ok { report: (**r).clone(), fully_cached: po.fully_cached }

@@ -1,4 +1,5 @@
-//! The batch journal: a write-ahead log of completed program analyses.
+//! The batch journal: a write-ahead log doubling as a work-distribution
+//! ledger.
 //!
 //! A batch writes one fsynced record per *finished* program into
 //! `journal.wal` under the cache directory, keyed by a run digest over the
@@ -6,6 +7,29 @@
 //! If the process is killed mid-batch, `--resume` replays the journal:
 //! every program with a complete record is restored byte-identically from
 //! its record and skipped; only the unfinished tail is re-analyzed.
+//!
+//! Since the sharded-batch work (`parpat batch --workers N`) the journal
+//! carries four record kinds, not one:
+//!
+//! - `prog <idx> <worker> <fence> ...` — a finished program (the PR-4
+//!   record, now stamped with the worker that produced it and the fencing
+//!   token of its lease; single-process batches write `worker 0 fence 0`).
+//! - `claim <idx> <worker> <fence> <lease_ms>` — worker `worker` took a
+//!   lease on batch index `idx` under monotonically-increasing fencing
+//!   token `fence`.
+//! - `beat <idx> <worker> <fence>` — lease renewal heartbeat.
+//! - `release <idx> <worker> <fence>` — the lease was given up (worker
+//!   done-elsewhere, or the coordinator expired it); the index is
+//!   claimable again.
+//!
+//! [`replay`] folds a record sequence into the set of completed programs
+//! deterministically: a `prog` under a fencing token is accepted only if
+//! that token still holds the index's active claim, so a zombie worker —
+//! SIGKILLed, lease expired, index requeued, yet its stale record arrives
+//! anyway — is detected (`fenced_stale`) and discarded rather than
+//! clobbering the requeued result. When two `claim` records race for one
+//! index (a broken append lock), the lowest `(fence, worker)` pair wins on
+//! replay, so every process derives the same owner.
 //!
 //! The format is torn-write tolerant by construction: the file is a header
 //! line followed by length-prefixed records, and [`scan`] stops at the
@@ -15,6 +39,7 @@
 //! (different inputs or configuration) is discarded wholesale — resuming
 //! never mixes results from two different runs.
 
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Seek, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -28,7 +53,7 @@ use crate::stage::Stage;
 /// Journal file name under the cache directory.
 pub const JOURNAL_FILE: &str = "journal.wal";
 
-const MAGIC: &str = "parpat-journal-v1";
+const MAGIC: &str = "parpat-journal-v2";
 
 /// Ceiling on a single record's payload; anything larger is treated as
 /// corruption rather than allocated.
@@ -55,18 +80,157 @@ pub enum StoredOutcome {
     Err(EngineError),
 }
 
-/// One journal record: which batch index finished, and how.
+/// One completed-program record: which batch index finished, how, and
+/// under whose lease. Single-process batches write `worker 0, fence 0`
+/// (the unfenced record is always accepted on replay).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalEntry {
     /// Batch input index.
     pub index: usize,
+    /// Worker id that produced the result (0 = in-process).
+    pub worker: u64,
+    /// Fencing token of the lease the result was produced under
+    /// (0 = unfenced single-process append).
+    pub fence: u64,
     /// The program's outcome.
     pub outcome: StoredOutcome,
 }
 
+/// One journal record of any kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A finished program.
+    Prog(JournalEntry),
+    /// Worker `worker` leased batch index `index` under fencing token
+    /// `fence`, promising a heartbeat at least every `lease_ms`.
+    Claim {
+        /// Batch input index being leased.
+        index: usize,
+        /// Claiming worker id.
+        worker: u64,
+        /// Fencing token (monotonically increasing across the journal).
+        fence: u64,
+        /// Lease duration the worker promised to renew within.
+        lease_ms: u64,
+    },
+    /// Lease renewal heartbeat for an active claim.
+    Beat {
+        /// Leased batch index.
+        index: usize,
+        /// Renewing worker id.
+        worker: u64,
+        /// Fencing token of the renewed lease.
+        fence: u64,
+    },
+    /// The lease was given up (by the worker or by the coordinator after
+    /// expiry); the index is claimable again under a higher fence.
+    Release {
+        /// Batch index whose lease ends.
+        index: usize,
+        /// Worker id whose lease ends.
+        worker: u64,
+        /// Fencing token of the ended lease.
+        fence: u64,
+    },
+}
+
+/// A lease that is still open after [`replay`]: its index has neither a
+/// matching `release` nor an accepted `prog` record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenClaim {
+    /// Leased batch index.
+    pub index: usize,
+    /// Owning worker id.
+    pub worker: u64,
+    /// Fencing token of the lease.
+    pub fence: u64,
+}
+
+/// Deterministic fold of a record sequence: completed programs, leases
+/// still open, stale results discarded, and the high-water fencing token.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Replay {
+    /// Accepted completed programs, ordered by batch index.
+    pub entries: Vec<JournalEntry>,
+    /// Leases with no matching release and no accepted result, ordered by
+    /// index.
+    pub open_claims: Vec<OpenClaim>,
+    /// `prog` records discarded because their fencing token no longer held
+    /// the index's claim (zombie workers) or the index already completed.
+    pub fenced_stale: u64,
+    /// Highest fencing token seen; the next claim must use a larger one.
+    pub max_fence: u64,
+}
+
+/// Fold records into completion state. The rules, applied in record
+/// order:
+///
+/// - `claim`: ignored if the index already completed. If the index is
+///   already claimed, the *lowest* `(fence, worker)` pair keeps the lease
+///   — duplicate claims only arise from a broken append lock, and every
+///   replayer must pick the same winner.
+/// - `release`: ends the claim only if `(fence, worker)` matches the
+///   active one (a stale release cannot evict a newer lease).
+/// - `prog` with `fence == 0`: unfenced single-process record, accepted
+///   unless the index already completed.
+/// - `prog` with `fence > 0`: accepted only while `(fence, worker)` holds
+///   the index's active claim; otherwise counted in `fenced_stale` and
+///   discarded — this is what makes a zombie worker's late result
+///   harmless.
+pub fn replay<'a>(records: impl IntoIterator<Item = &'a Record>) -> Replay {
+    let mut completed: BTreeMap<usize, JournalEntry> = BTreeMap::new();
+    let mut claims: HashMap<usize, (u64, u64)> = HashMap::new();
+    let mut fenced_stale = 0u64;
+    let mut max_fence = 0u64;
+    for rec in records {
+        match rec {
+            Record::Claim { index, worker, fence, .. } => {
+                max_fence = max_fence.max(*fence);
+                if completed.contains_key(index) {
+                    continue;
+                }
+                let cand = (*fence, *worker);
+                let cur = claims.entry(*index).or_insert(cand);
+                if cand < *cur {
+                    *cur = cand;
+                }
+            }
+            Record::Beat { fence, .. } => {
+                max_fence = max_fence.max(*fence);
+            }
+            Record::Release { index, worker, fence } => {
+                if claims.get(index) == Some(&(*fence, *worker)) {
+                    claims.remove(index);
+                }
+            }
+            Record::Prog(e) => {
+                max_fence = max_fence.max(e.fence);
+                if completed.contains_key(&e.index) {
+                    fenced_stale += 1;
+                    continue;
+                }
+                if e.fence == 0 || claims.get(&e.index) == Some(&(e.fence, e.worker)) {
+                    claims.remove(&e.index);
+                    completed.insert(e.index, e.clone());
+                } else {
+                    fenced_stale += 1;
+                }
+            }
+        }
+    }
+    let mut open_claims: Vec<OpenClaim> = claims
+        .into_iter()
+        .map(|(index, (fence, worker))| OpenClaim { index, worker, fence })
+        .collect();
+    open_claims.sort_by_key(|c| c.index);
+    Replay { entries: completed.into_values().collect(), open_claims, fenced_stale, max_fence }
+}
+
 /// An open, append-only journal. Appends are serialized through a mutex
 /// and fsynced (`sync_data`) one record at a time, so every record the
-/// file contains describes a program whose results are durable.
+/// file contains describes a program whose results are durable. (Workers
+/// in a sharded batch append through [`crate::shard`]'s lock-file ledger
+/// instead — this handle covers the single-process path.)
 #[derive(Debug)]
 pub struct Journal {
     file: Mutex<std::fs::File>,
@@ -77,70 +241,103 @@ impl Journal {
     /// previous journal.
     pub fn start(dir: &Path, run: u64) -> std::io::Result<Journal> {
         let mut file = std::fs::File::create(journal_path(dir))?;
-        file.write_all(format!("{MAGIC} {run:016x}\n").as_bytes())?;
+        file.write_all(header_bytes(run).as_bytes())?;
         file.sync_data()?;
         Ok(Journal { file: Mutex::new(file) })
     }
 
     /// Resume the journal for run `run` in `dir`: returns the reopened
-    /// journal plus every complete record it already holds. A missing
-    /// journal, a run-digest mismatch, or an unreadable header all fall
-    /// back to a fresh journal with no entries; a torn trailing record is
-    /// truncated away before appending resumes.
-    pub fn resume(dir: &Path, run: u64) -> std::io::Result<(Journal, Vec<JournalEntry>)> {
+    /// journal plus the deterministic [`Replay`] of every complete record
+    /// it already holds. A missing journal, a run-digest mismatch, or a
+    /// garbage header all fall back to a fresh journal with no entries; a
+    /// torn trailing record is truncated away before appending resumes.
+    /// Any read error other than `NotFound` (EACCES, EIO, ...) propagates
+    /// — a journal that exists but cannot be read must never be silently
+    /// destroyed.
+    pub fn resume(dir: &Path, run: u64) -> std::io::Result<(Journal, Replay)> {
         let path = journal_path(dir);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
-            Err(_) => return Ok((Journal::start(dir, run)?, Vec::new())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Journal::start(dir, run)?, Replay::default()));
+            }
+            Err(e) => return Err(e),
         };
-        let Some((found_run, records)) = scan(&bytes) else {
-            return Ok((Journal::start(dir, run)?, Vec::new()));
+        let Some(parsed) = scan(&bytes) else {
+            return Ok((Journal::start(dir, run)?, Replay::default()));
         };
-        if found_run != run {
-            return Ok((Journal::start(dir, run)?, Vec::new()));
+        if parsed.run != run {
+            return Ok((Journal::start(dir, run)?, Replay::default()));
         }
-        let valid_end = records.last().map_or(MAGIC.len() as u64 + 18, |(_, end)| *end as u64);
+        // Truncate the torn tail to the end of the last complete record —
+        // or, with no records at all, to the header end `scan` measured.
+        let valid_end = parsed.records.last().map_or(parsed.header_end as u64, |(_, e)| *e as u64);
         let mut file = std::fs::OpenOptions::new().read(true).write(true).open(&path)?;
         file.set_len(valid_end)?;
         file.seek(std::io::SeekFrom::End(0))?;
         file.sync_data()?;
-        let entries = records.into_iter().map(|(e, _)| e).collect();
-        Ok((Journal { file: Mutex::new(file) }, entries))
+        let records: Vec<Record> = parsed.records.into_iter().map(|(r, _)| r).collect();
+        Ok((Journal { file: Mutex::new(file) }, replay(&records)))
     }
 
-    /// Append one record and fsync it. Returns only after the record is
-    /// durable.
+    /// Append one completed-program record and fsync it. Returns only
+    /// after the record is durable.
     pub fn append(&self, entry: &JournalEntry) -> std::io::Result<()> {
-        let bytes = render_entry(entry);
+        let bytes = render_record(&Record::Prog(entry.clone()));
         let mut file = lock_recover(&self.file);
         file.write_all(&bytes)?;
         file.sync_data()
     }
 }
 
-/// Parse journal bytes: the run digest plus every complete record with the
-/// byte offset just past it (where the next record starts). Returns `None`
-/// when the header itself is unreadable. Scanning stops — without error —
-/// at the first torn or malformed record, which is exactly the resume
-/// semantics: everything before the tear is trusted, everything after is
-/// re-analyzed.
-pub fn scan(bytes: &[u8]) -> Option<(u64, Vec<(JournalEntry, usize)>)> {
-    let header_end = bytes.iter().position(|&b| b == b'\n')?;
-    let header = std::str::from_utf8(&bytes[..header_end]).ok()?;
+/// The journal header line for run `run` (shared with the shard ledger).
+pub fn header_bytes(run: u64) -> String {
+    format!("{MAGIC} {run:016x}\n")
+}
+
+/// The parsed journal: run digest, byte offset just past the header line,
+/// and every complete record with the offset just past it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanOut {
+    /// Run digest from the header.
+    pub run: u64,
+    /// Byte offset just past the header line — the truncation point for a
+    /// journal with no complete records.
+    pub header_end: usize,
+    /// Complete records in file order, each with the offset where the next
+    /// record starts.
+    pub records: Vec<(Record, usize)>,
+}
+
+impl ScanOut {
+    /// The records without their offsets.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records.into_iter().map(|(r, _)| r).collect()
+    }
+}
+
+/// Parse journal bytes. Returns `None` when the header itself is
+/// unreadable. Scanning stops — without error — at the first torn or
+/// malformed record, which is exactly the resume semantics: everything
+/// before the tear is trusted, everything after is re-analyzed.
+pub fn scan(bytes: &[u8]) -> Option<ScanOut> {
+    let header_nl = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..header_nl]).ok()?;
     let run_hex = header.strip_prefix(MAGIC)?.trim();
     let run = u64::from_str_radix(run_hex, 16).ok()?;
-    let mut pos = header_end + 1;
-    let mut out = Vec::new();
+    let header_end = header_nl + 1;
+    let mut pos = header_end;
+    let mut records = Vec::new();
     while pos < bytes.len() {
-        let Some((entry, end)) = next_record(bytes, pos) else { break };
-        out.push((entry, end));
+        let Some((rec, end)) = next_record(bytes, pos) else { break };
+        records.push((rec, end));
         pos = end;
     }
-    Some((run, out))
+    Some(ScanOut { run, header_end, records })
 }
 
 /// Parse the record starting at `pos`; `None` if torn or malformed.
-fn next_record(bytes: &[u8], pos: usize) -> Option<(JournalEntry, usize)> {
+fn next_record(bytes: &[u8], pos: usize) -> Option<(Record, usize)> {
     let rest = &bytes[pos..];
     let line_end = rest.iter().position(|&b| b == b'\n')?;
     let line = std::str::from_utf8(&rest[..line_end]).ok()?;
@@ -150,8 +347,8 @@ fn next_record(bytes: &[u8], pos: usize) -> Option<(JournalEntry, usize)> {
     }
     let payload_start = line_end + 1;
     let payload = rest.get(payload_start..payload_start + len)?;
-    let entry = parse_payload(payload)?;
-    Some((entry, pos + payload_start + len))
+    let rec = parse_payload(payload)?;
+    Some((rec, pos + payload_start + len))
 }
 
 fn csv(lines: &[u32]) -> String {
@@ -170,58 +367,77 @@ fn parse_csv(field: &str) -> Option<Vec<u32>> {
     field.split(',').map(|t| t.parse().ok()).collect()
 }
 
-fn render_entry(entry: &JournalEntry) -> Vec<u8> {
-    let (head, body) = match &entry.outcome {
-        StoredOutcome::Ok { report: r, fully_cached } => {
-            let head = format!(
-                "prog {} ok {} {} {} {} {} {} {} {} {} {} {} {}",
-                entry.index,
-                u8::from(*fully_cached),
-                r.insts,
-                r.pipelines,
-                r.fusions,
-                r.reductions,
-                r.geodecomp,
-                r.task_regions,
-                r.static_doall,
-                csv(&r.input_sensitive),
-                csv(&r.consistency_errors),
-                r.summary.len(),
-                r.ranking.len(),
-            );
-            let mut body = Vec::with_capacity(r.summary.len() + r.ranking.len());
-            body.extend_from_slice(r.summary.as_bytes());
-            body.extend_from_slice(r.ranking.as_bytes());
-            (head, body)
+/// Serialize one record into its length-prefixed wire form (shared by the
+/// in-process [`Journal`] and the multi-process shard ledger).
+pub fn render_record(rec: &Record) -> Vec<u8> {
+    let (head, body) = match rec {
+        Record::Claim { index, worker, fence, lease_ms } => {
+            (format!("claim {index} {worker} {fence} {lease_ms}"), Vec::new())
         }
-        StoredOutcome::Degraded(d) => {
-            let head = format!(
-                "prog {} degraded {} {} {} {} {} {} {} {}",
-                entry.index,
-                d.reason.stage.name(),
-                d.reason.kind.name(),
-                d.loops,
-                d.cus,
-                d.regions,
-                csv(&d.doall_candidates),
-                d.reason.detail.len(),
-                d.summary.len(),
-            );
-            let mut body = Vec::with_capacity(d.reason.detail.len() + d.summary.len());
-            body.extend_from_slice(d.reason.detail.as_bytes());
-            body.extend_from_slice(d.summary.as_bytes());
-            (head, body)
+        Record::Beat { index, worker, fence } => {
+            (format!("beat {index} {worker} {fence}"), Vec::new())
         }
-        StoredOutcome::Err(e) => {
-            let head = format!(
-                "prog {} err {} {} {}",
-                entry.index,
-                e.stage.name(),
-                e.kind.name(),
-                e.detail.len(),
-            );
-            (head, e.detail.as_bytes().to_vec())
+        Record::Release { index, worker, fence } => {
+            (format!("release {index} {worker} {fence}"), Vec::new())
         }
+        Record::Prog(entry) => match &entry.outcome {
+            StoredOutcome::Ok { report: r, fully_cached } => {
+                let head = format!(
+                    "prog {} {} {} ok {} {} {} {} {} {} {} {} {} {} {} {}",
+                    entry.index,
+                    entry.worker,
+                    entry.fence,
+                    u8::from(*fully_cached),
+                    r.insts,
+                    r.pipelines,
+                    r.fusions,
+                    r.reductions,
+                    r.geodecomp,
+                    r.task_regions,
+                    r.static_doall,
+                    csv(&r.input_sensitive),
+                    csv(&r.consistency_errors),
+                    r.summary.len(),
+                    r.ranking.len(),
+                );
+                let mut body = Vec::with_capacity(r.summary.len() + r.ranking.len());
+                body.extend_from_slice(r.summary.as_bytes());
+                body.extend_from_slice(r.ranking.as_bytes());
+                (head, body)
+            }
+            StoredOutcome::Degraded(d) => {
+                let head = format!(
+                    "prog {} {} {} degraded {} {} {} {} {} {} {} {}",
+                    entry.index,
+                    entry.worker,
+                    entry.fence,
+                    d.reason.stage.name(),
+                    d.reason.kind.name(),
+                    d.loops,
+                    d.cus,
+                    d.regions,
+                    csv(&d.doall_candidates),
+                    d.reason.detail.len(),
+                    d.summary.len(),
+                );
+                let mut body = Vec::with_capacity(d.reason.detail.len() + d.summary.len());
+                body.extend_from_slice(d.reason.detail.as_bytes());
+                body.extend_from_slice(d.summary.as_bytes());
+                (head, body)
+            }
+            StoredOutcome::Err(e) => {
+                let head = format!(
+                    "prog {} {} {} err {} {} {}",
+                    entry.index,
+                    entry.worker,
+                    entry.fence,
+                    e.stage.name(),
+                    e.kind.name(),
+                    e.detail.len(),
+                );
+                (head, e.detail.as_bytes().to_vec())
+            }
+        },
     };
     let payload_len = head.len() + 1 + body.len();
     let mut out = format!("rec {payload_len}\n").into_bytes();
@@ -238,27 +454,64 @@ fn split_strings(body: &[u8], at: usize) -> Option<(String, String)> {
     Some((first, second))
 }
 
-fn parse_payload(payload: &[u8]) -> Option<JournalEntry> {
+fn parse_payload(payload: &[u8]) -> Option<Record> {
     let line_end = payload.iter().position(|&b| b == b'\n')?;
     let head = std::str::from_utf8(&payload[..line_end]).ok()?;
     let body = &payload[line_end + 1..];
     let tok: Vec<&str> = head.split(' ').collect();
-    if tok.first() != Some(&"prog") {
-        return None;
-    }
-    let index: usize = tok.get(1)?.parse().ok()?;
-    let outcome = match *tok.get(2)? {
-        "ok" => {
-            if tok.len() != 15 {
+    match *tok.first()? {
+        "claim" => {
+            if tok.len() != 5 || !body.is_empty() {
                 return None;
             }
-            let fully_cached = match tok[3] {
+            Some(Record::Claim {
+                index: tok[1].parse().ok()?,
+                worker: tok[2].parse().ok()?,
+                fence: tok[3].parse().ok()?,
+                lease_ms: tok[4].parse().ok()?,
+            })
+        }
+        "beat" => {
+            if tok.len() != 4 || !body.is_empty() {
+                return None;
+            }
+            Some(Record::Beat {
+                index: tok[1].parse().ok()?,
+                worker: tok[2].parse().ok()?,
+                fence: tok[3].parse().ok()?,
+            })
+        }
+        "release" => {
+            if tok.len() != 4 || !body.is_empty() {
+                return None;
+            }
+            Some(Record::Release {
+                index: tok[1].parse().ok()?,
+                worker: tok[2].parse().ok()?,
+                fence: tok[3].parse().ok()?,
+            })
+        }
+        "prog" => parse_prog(&tok, body).map(Record::Prog),
+        _ => None,
+    }
+}
+
+fn parse_prog(tok: &[&str], body: &[u8]) -> Option<JournalEntry> {
+    let index: usize = tok.get(1)?.parse().ok()?;
+    let worker: u64 = tok.get(2)?.parse().ok()?;
+    let fence: u64 = tok.get(3)?.parse().ok()?;
+    let outcome = match *tok.get(4)? {
+        "ok" => {
+            if tok.len() != 17 {
+                return None;
+            }
+            let fully_cached = match tok[5] {
                 "0" => false,
                 "1" => true,
                 _ => return None,
             };
-            let summary_len: usize = tok[13].parse().ok()?;
-            let ranking_len: usize = tok[14].parse().ok()?;
+            let summary_len: usize = tok[15].parse().ok()?;
+            let ranking_len: usize = tok[16].parse().ok()?;
             if summary_len + ranking_len != body.len() {
                 return None;
             }
@@ -267,27 +520,27 @@ fn parse_payload(payload: &[u8]) -> Option<JournalEntry> {
                 report: ProgramReport {
                     summary,
                     ranking,
-                    insts: tok[4].parse().ok()?,
-                    pipelines: tok[5].parse().ok()?,
-                    fusions: tok[6].parse().ok()?,
-                    reductions: tok[7].parse().ok()?,
-                    geodecomp: tok[8].parse().ok()?,
-                    task_regions: tok[9].parse().ok()?,
-                    static_doall: tok[10].parse().ok()?,
-                    input_sensitive: parse_csv(tok[11])?,
-                    consistency_errors: parse_csv(tok[12])?,
+                    insts: tok[6].parse().ok()?,
+                    pipelines: tok[7].parse().ok()?,
+                    fusions: tok[8].parse().ok()?,
+                    reductions: tok[9].parse().ok()?,
+                    geodecomp: tok[10].parse().ok()?,
+                    task_regions: tok[11].parse().ok()?,
+                    static_doall: tok[12].parse().ok()?,
+                    input_sensitive: parse_csv(tok[13])?,
+                    consistency_errors: parse_csv(tok[14])?,
                 },
                 fully_cached,
             }
         }
         "degraded" => {
-            if tok.len() != 11 {
+            if tok.len() != 13 {
                 return None;
             }
-            let stage = Stage::from_name(tok[3])?;
-            let kind = ErrorKind::from_name(tok[4])?;
-            let detail_len: usize = tok[9].parse().ok()?;
-            let summary_len: usize = tok[10].parse().ok()?;
+            let stage = Stage::from_name(tok[5])?;
+            let kind = ErrorKind::from_name(tok[6])?;
+            let detail_len: usize = tok[11].parse().ok()?;
+            let summary_len: usize = tok[12].parse().ok()?;
             if detail_len + summary_len != body.len() {
                 return None;
             }
@@ -295,19 +548,19 @@ fn parse_payload(payload: &[u8]) -> Option<JournalEntry> {
             StoredOutcome::Degraded(DegradedReport {
                 reason: EngineError::new(stage, kind, detail),
                 summary,
-                loops: tok[5].parse().ok()?,
-                cus: tok[6].parse().ok()?,
-                regions: tok[7].parse().ok()?,
-                doall_candidates: parse_csv(tok[8])?,
+                loops: tok[7].parse().ok()?,
+                cus: tok[8].parse().ok()?,
+                regions: tok[9].parse().ok()?,
+                doall_candidates: parse_csv(tok[10])?,
             })
         }
         "err" => {
-            if tok.len() != 6 {
+            if tok.len() != 8 {
                 return None;
             }
-            let stage = Stage::from_name(tok[3])?;
-            let kind = ErrorKind::from_name(tok[4])?;
-            let detail_len: usize = tok[5].parse().ok()?;
+            let stage = Stage::from_name(tok[5])?;
+            let kind = ErrorKind::from_name(tok[6])?;
+            let detail_len: usize = tok[7].parse().ok()?;
             if detail_len != body.len() {
                 return None;
             }
@@ -316,7 +569,7 @@ fn parse_payload(payload: &[u8]) -> Option<JournalEntry> {
         }
         _ => return None,
     };
-    Some(JournalEntry { index, outcome })
+    Some(JournalEntry { index, worker, fence, outcome })
 }
 
 #[cfg(test)]
@@ -341,14 +594,27 @@ mod tests {
         }
     }
 
+    fn entry(index: usize, worker: u64, fence: u64) -> JournalEntry {
+        JournalEntry {
+            index,
+            worker,
+            fence,
+            outcome: StoredOutcome::Ok { report: sample_report(), fully_cached: false },
+        }
+    }
+
     fn sample_entries() -> Vec<JournalEntry> {
         vec![
             JournalEntry {
                 index: 0,
+                worker: 0,
+                fence: 0,
                 outcome: StoredOutcome::Ok { report: sample_report(), fully_cached: true },
             },
             JournalEntry {
                 index: 2,
+                worker: 3,
+                fence: 7,
                 outcome: StoredOutcome::Degraded(DegradedReport {
                     reason: EngineError::new(Stage::Profile, ErrorKind::Panic, "boom \"x\""),
                     summary: "static only\n".to_owned(),
@@ -360,6 +626,8 @@ mod tests {
             },
             JournalEntry {
                 index: 5,
+                worker: 0,
+                fence: 0,
                 outcome: StoredOutcome::Err(EngineError::new(
                     Stage::Parse,
                     ErrorKind::Lang,
@@ -369,12 +637,22 @@ mod tests {
         ]
     }
 
+    fn sample_records() -> Vec<Record> {
+        let mut out = vec![
+            Record::Claim { index: 2, worker: 3, fence: 7, lease_ms: 500 },
+            Record::Beat { index: 2, worker: 3, fence: 7 },
+        ];
+        out.extend(sample_entries().into_iter().map(Record::Prog));
+        out.push(Record::Release { index: 9, worker: 1, fence: 8 });
+        out
+    }
+
     #[test]
-    fn entries_round_trip_byte_identically() {
-        for entry in sample_entries() {
-            let bytes = render_entry(&entry);
+    fn records_round_trip_byte_identically() {
+        for rec in sample_records() {
+            let bytes = render_record(&rec);
             let (parsed, end) = next_record(&bytes, 0).unwrap();
-            assert_eq!(parsed, entry);
+            assert_eq!(parsed, rec);
             assert_eq!(end, bytes.len());
         }
     }
@@ -388,8 +666,13 @@ mod tests {
             journal.append(&e).unwrap();
         }
         drop(journal);
-        let (_journal, entries) = Journal::resume(&dir, 0xfeed).unwrap();
-        assert_eq!(entries, sample_entries());
+        let (_journal, replayed) = Journal::resume(&dir, 0xfeed).unwrap();
+        // Entry 2 carries fence 7 with no claim record: fenced replay must
+        // discard it; the unfenced entries 0 and 5 survive.
+        let keep: Vec<JournalEntry> =
+            sample_entries().into_iter().filter(|e| e.fence == 0).collect();
+        assert_eq!(replayed.entries, keep);
+        assert_eq!(replayed.fenced_stale, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -398,7 +681,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("parpat-journal-torn-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let journal = Journal::start(&dir, 7).unwrap();
-        let entries = sample_entries();
+        let entries: Vec<JournalEntry> = vec![entry(0, 0, 0), entry(1, 0, 0), entry(2, 0, 0)];
         for e in &entries {
             journal.append(e).unwrap();
         }
@@ -406,18 +689,49 @@ mod tests {
         // Tear the last record in half.
         let path = journal_path(&dir);
         let bytes = std::fs::read(&path).unwrap();
-        let (_, records) = scan(&bytes).unwrap();
-        let keep = records[1].1 + 5; // mid-way into record 3
+        let parsed = scan(&bytes).unwrap();
+        let keep = parsed.records[1].1 + 5; // mid-way into record 3
         std::fs::write(&path, &bytes[..keep]).unwrap();
 
         let (journal, replayed) = Journal::resume(&dir, 7).unwrap();
-        assert_eq!(replayed, entries[..2].to_vec());
+        assert_eq!(replayed.entries, entries[..2].to_vec());
         // The torn tail is gone: a fresh append lands on a clean boundary.
         journal.append(&entries[2]).unwrap();
         drop(journal);
-        let (_, all) = scan(&std::fs::read(&path).unwrap()).unwrap();
-        let replayed: Vec<JournalEntry> = all.into_iter().map(|(e, _)| e).collect();
-        assert_eq!(replayed, entries);
+        let all = scan(&std::fs::read(&path).unwrap()).unwrap().into_records();
+        let progs: Vec<JournalEntry> = replay(&all).entries;
+        assert_eq!(progs, entries);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_journal_truncation_point_is_the_header_end() {
+        // A journal with a torn *first* record must truncate to exactly
+        // the header scan measured, whatever the header happens to be.
+        let dir = std::env::temp_dir().join(format!("parpat-journal-hdr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = journal_path(&dir);
+        let mut bytes = header_bytes(0xabc).into_bytes();
+        let header_len = bytes.len() as u64;
+        bytes.extend_from_slice(b"rec 999\nprog 0");
+        std::fs::write(&path, &bytes).unwrap();
+        let (_journal, replayed) = Journal::resume(&dir, 0xabc).unwrap();
+        assert!(replayed.entries.is_empty());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), header_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_journal_propagates_the_error() {
+        // `fs::read` on a directory fails with something other than
+        // NotFound on every platform (and unlike EACCES, also fails for
+        // root): resume must propagate, never destroy the path.
+        let dir = std::env::temp_dir().join(format!("parpat-journal-eio-{}", std::process::id()));
+        std::fs::create_dir_all(journal_path(&dir)).unwrap();
+        let err = Journal::resume(&dir, 1).expect_err("an unreadable journal must propagate");
+        assert_ne!(err.kind(), std::io::ErrorKind::NotFound);
+        // The journal "file" (our directory) was not destroyed.
+        assert!(journal_path(&dir).is_dir());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -428,8 +742,8 @@ mod tests {
         let journal = Journal::start(&dir, 1).unwrap();
         journal.append(&sample_entries()[0]).unwrap();
         drop(journal);
-        let (_journal, entries) = Journal::resume(&dir, 2).unwrap();
-        assert!(entries.is_empty(), "a different run must not replay stale records");
+        let (_journal, replayed) = Journal::resume(&dir, 2).unwrap();
+        assert!(replayed.entries.is_empty(), "a different run must not replay stale records");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -438,22 +752,103 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("parpat-journal-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(journal_path(&dir), b"\x00\xff not a journal at all").unwrap();
-        let (journal, entries) = Journal::resume(&dir, 3).unwrap();
-        assert!(entries.is_empty());
+        let (journal, replayed) = Journal::resume(&dir, 3).unwrap();
+        assert!(replayed.entries.is_empty());
         journal.append(&sample_entries()[0]).unwrap();
         drop(journal);
-        let (run, all) = scan(&std::fs::read(journal_path(&dir)).unwrap()).unwrap();
-        assert_eq!(run, 3);
-        assert_eq!(all.len(), 1);
+        let parsed = scan(&std::fs::read(journal_path(&dir)).unwrap()).unwrap();
+        assert_eq!(parsed.run, 3);
+        assert_eq!(parsed.records.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn hostile_record_length_is_rejected() {
-        let mut bytes = format!("{MAGIC} {:016x}\n", 9u64).into_bytes();
+        let mut bytes = header_bytes(9).into_bytes();
         bytes.extend_from_slice(b"rec 99999999999999\nprog");
-        let (run, records) = scan(&bytes).unwrap();
-        assert_eq!(run, 9);
-        assert!(records.is_empty());
+        let parsed = scan(&bytes).unwrap();
+        assert_eq!(parsed.run, 9);
+        assert!(parsed.records.is_empty());
+    }
+
+    #[test]
+    fn fenced_prog_needs_its_active_claim() {
+        // claim(f=1) -> release -> claim(f=2) -> zombie prog(f=1) is
+        // stale; prog(f=2) is accepted.
+        let records = vec![
+            Record::Claim { index: 0, worker: 1, fence: 1, lease_ms: 100 },
+            Record::Release { index: 0, worker: 1, fence: 1 },
+            Record::Claim { index: 0, worker: 2, fence: 2, lease_ms: 100 },
+            Record::Prog(entry(0, 1, 1)),
+            Record::Prog(entry(0, 2, 2)),
+        ];
+        let r = replay(&records);
+        assert_eq!(r.fenced_stale, 1);
+        assert_eq!(r.entries, vec![entry(0, 2, 2)]);
+        assert_eq!(r.max_fence, 2);
+        assert!(r.open_claims.is_empty());
+    }
+
+    #[test]
+    fn zombie_result_arriving_before_release_wins_and_later_result_is_stale() {
+        // The worker wrote its prog just before the coordinator killed it:
+        // the result is real work and is kept; the requeued worker's
+        // duplicate is the stale one. Either order yields one accepted
+        // entry per index.
+        let records = vec![
+            Record::Claim { index: 0, worker: 1, fence: 1, lease_ms: 100 },
+            Record::Prog(entry(0, 1, 1)),
+            Record::Release { index: 0, worker: 1, fence: 1 },
+            Record::Claim { index: 0, worker: 2, fence: 2, lease_ms: 100 },
+            Record::Prog(entry(0, 2, 2)),
+        ];
+        let r = replay(&records);
+        assert_eq!(r.entries, vec![entry(0, 1, 1)]);
+        assert_eq!(r.fenced_stale, 1);
+    }
+
+    #[test]
+    fn duplicate_claims_resolve_to_the_lowest_fence() {
+        // A broken append lock let two workers claim index 4; every
+        // replayer must crown the same owner: lowest (fence, worker).
+        let records = vec![
+            Record::Claim { index: 4, worker: 9, fence: 3, lease_ms: 100 },
+            Record::Claim { index: 4, worker: 2, fence: 5, lease_ms: 100 },
+            Record::Prog(entry(4, 2, 5)),
+        ];
+        let r = replay(&records);
+        assert_eq!(r.entries, Vec::<JournalEntry>::new());
+        assert_eq!(r.fenced_stale, 1, "the higher-fence claimant's result is fenced out");
+        assert_eq!(r.open_claims, vec![OpenClaim { index: 4, worker: 9, fence: 3 }]);
+        let winner = replay(&[
+            Record::Claim { index: 4, worker: 9, fence: 3, lease_ms: 100 },
+            Record::Claim { index: 4, worker: 2, fence: 5, lease_ms: 100 },
+            Record::Prog(entry(4, 9, 3)),
+        ]);
+        assert_eq!(winner.entries, vec![entry(4, 9, 3)]);
+    }
+
+    #[test]
+    fn stale_release_cannot_evict_a_newer_lease() {
+        let records = vec![
+            Record::Claim { index: 1, worker: 1, fence: 1, lease_ms: 100 },
+            Record::Release { index: 1, worker: 1, fence: 1 },
+            Record::Claim { index: 1, worker: 2, fence: 2, lease_ms: 100 },
+            Record::Release { index: 1, worker: 1, fence: 1 },
+        ];
+        let r = replay(&records);
+        assert_eq!(r.open_claims, vec![OpenClaim { index: 1, worker: 2, fence: 2 }]);
+    }
+
+    #[test]
+    fn claim_after_completion_is_ignored() {
+        let records = vec![
+            Record::Prog(entry(3, 0, 0)),
+            Record::Claim { index: 3, worker: 5, fence: 9, lease_ms: 100 },
+        ];
+        let r = replay(&records);
+        assert_eq!(r.entries, vec![entry(3, 0, 0)]);
+        assert!(r.open_claims.is_empty(), "completed work cannot be re-leased");
+        assert_eq!(r.max_fence, 9);
     }
 }

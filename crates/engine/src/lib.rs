@@ -26,6 +26,11 @@
 //!   backoff; and every finished program is journaled to an fsynced
 //!   write-ahead log ([`journal`]) so a killed batch resumes where it
 //!   stopped (`EngineConfig::resume`) instead of starting over;
+//! - **multi-process sharding** — the journal doubles as a
+//!   work-distribution ledger: worker processes claim batch indices
+//!   under fenced, heartbeat-renewed leases while a coordinator expires
+//!   silent leases and requeues their work ([`shard`]), so a SIGKILLed
+//!   worker costs one lease, not the run;
 //! - **static/dynamic cross-validation** — each loop's static dependence
 //!   verdict (from `parpat_static`) is compared against the profiled
 //!   classification, flagging input-sensitive do-all verdicts and internal
@@ -58,6 +63,7 @@ pub mod fault;
 pub mod funcdigest;
 pub mod journal;
 pub mod report;
+pub mod shard;
 pub mod stage;
 pub mod stats;
 pub mod xval;
@@ -70,8 +76,11 @@ pub use engine::{
 pub use error::{EngineError, ErrorKind};
 pub use fault::{xorshift64, FaultMode, FaultPlan};
 pub use funcdigest::function_digests;
-pub use journal::{journal_path, Journal, JournalEntry, StoredOutcome};
+pub use journal::{journal_path, Journal, JournalEntry, Record, Replay, StoredOutcome};
 pub use report::{DegradedReport, ProgramReport};
+pub use shard::{
+    run_sharded, run_worker, Ledger, ShardChaos, ShardConfig, ShardOutcome, WorkerOptions,
+};
 pub use stage::Stage;
 pub use stats::{CacheStats, EngineStats, SsaPassStats, StageStats};
 pub use xval::{cross_validate, CrossValidation};

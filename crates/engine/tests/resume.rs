@@ -54,7 +54,7 @@ fn killed_batch_resumes_byte_identically() {
     let full_jsons = outcome_jsons(&full);
     let path = journal::journal_path(&dir);
     let bytes = std::fs::read(&path).expect("journal written");
-    let (_, records) = journal::scan(&bytes).expect("journal parses");
+    let records = journal::scan(&bytes).expect("journal parses").records;
     assert_eq!(records.len(), n, "one fsynced record per program");
 
     // Simulate a kill after k completed programs: keep the first k
@@ -94,7 +94,7 @@ fn resume_works_under_parallel_scheduling() {
 
     let path = journal::journal_path(&dir);
     let bytes = std::fs::read(&path).expect("journal");
-    let (_, records) = journal::scan(&bytes).expect("parses");
+    let records = journal::scan(&bytes).expect("parses").records;
     // Under jobs=4 records land in completion order; keep the first 6
     // whatever their indices are.
     std::fs::write(&path, &bytes[..records[5].1]).expect("truncate");

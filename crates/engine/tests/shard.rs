@@ -1,0 +1,179 @@
+//! Ledger and coordinator semantics: fenced claims, lease recycling,
+//! zombie fencing, foreign-run refusal, stale-lock recovery, and the
+//! in-process fallback when no worker can be spawned.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parpat_engine::journal::{replay, scan};
+use parpat_engine::shard::{ClaimOutcome, STALE_LOCK};
+use parpat_engine::{
+    journal, BatchInput, Engine, EngineConfig, EngineError, ErrorKind, Journal, JournalEntry,
+    Ledger, Record, ShardConfig, Stage, StoredOutcome,
+};
+
+const RUN: u64 = 0x0123_4567_89ab_cdef;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parpat-shard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn ledger(dir: &std::path::Path) -> Ledger {
+    Journal::start(dir, RUN).expect("journal");
+    Ledger::open(dir, RUN)
+}
+
+fn err_outcome() -> StoredOutcome {
+    StoredOutcome::Err(EngineError::new(Stage::Parse, ErrorKind::Lang, "synthetic"))
+}
+
+fn prog(index: usize, worker: u64, fence: u64) -> Record {
+    Record::Prog(JournalEntry { index, worker, fence, outcome: err_outcome() })
+}
+
+#[test]
+fn claims_hand_out_distinct_indices_under_rising_fences() {
+    let dir = temp_dir("claims");
+    let ledger = ledger(&dir);
+    assert_eq!(
+        ledger.claim_next(1, 500, 3).expect("claim"),
+        ClaimOutcome::Claimed { index: 0, fence: 1 }
+    );
+    assert_eq!(
+        ledger.claim_next(2, 500, 3).expect("claim"),
+        ClaimOutcome::Claimed { index: 1, fence: 2 }
+    );
+    assert_eq!(
+        ledger.claim_next(3, 500, 3).expect("claim"),
+        ClaimOutcome::Claimed { index: 2, fence: 3 }
+    );
+    // Everything leased, nothing finished: a fourth worker must wait.
+    assert_eq!(ledger.claim_next(4, 500, 3).expect("claim"), ClaimOutcome::Busy);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn finished_and_released_indices_recycle_under_higher_fences() {
+    let dir = temp_dir("recycle");
+    let ledger = ledger(&dir);
+    assert_eq!(
+        ledger.claim_next(1, 500, 2).expect("claim"),
+        ClaimOutcome::Claimed { index: 0, fence: 1 }
+    );
+    // Worker 1 finishes index 0: the next claim moves on to index 1.
+    ledger.append(&prog(0, 1, 1)).expect("prog");
+    assert_eq!(
+        ledger.claim_next(1, 500, 2).expect("claim"),
+        ClaimOutcome::Claimed { index: 1, fence: 2 }
+    );
+    // The coordinator expires that lease: index 1 is claimable again, and
+    // the fence keeps rising so the old lease can never pass for the new.
+    ledger.append(&Record::Release { index: 1, worker: 1, fence: 2 }).expect("release");
+    assert_eq!(
+        ledger.claim_next(2, 500, 2).expect("claim"),
+        ClaimOutcome::Claimed { index: 1, fence: 3 }
+    );
+    ledger.append(&prog(1, 2, 3)).expect("prog");
+    assert_eq!(ledger.claim_next(2, 500, 2).expect("claim"), ClaimOutcome::AllDone);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_zombie_result_under_an_expired_lease_is_fenced_out() {
+    let dir = temp_dir("zombie");
+    let ledger = ledger(&dir);
+    // Worker 1 leases index 0 and goes silent; the coordinator expires the
+    // lease and worker 2 re-claims. Then the zombie wakes up and appends
+    // its result under the dead fence — after worker 2 already finished.
+    assert_eq!(
+        ledger.claim_next(1, 500, 1).expect("claim"),
+        ClaimOutcome::Claimed { index: 0, fence: 1 }
+    );
+    ledger.append(&Record::Release { index: 0, worker: 1, fence: 1 }).expect("release");
+    assert_eq!(
+        ledger.claim_next(2, 500, 1).expect("claim"),
+        ClaimOutcome::Claimed { index: 0, fence: 2 }
+    );
+    ledger.append(&prog(0, 2, 2)).expect("live result");
+    ledger.append(&prog(0, 1, 1)).expect("zombie result");
+
+    let bytes = std::fs::read(journal::journal_path(&dir)).expect("journal");
+    let records = scan(&bytes).expect("parses").into_records();
+    let state = replay(records.iter());
+    assert_eq!(state.entries.len(), 1, "one accepted result");
+    assert_eq!(state.entries[0].worker, 2, "the live worker's result wins");
+    assert_eq!(state.fenced_stale, 1, "the zombie's record is detectably stale");
+    assert_eq!(ledger.claim_next(3, 500, 1).expect("claim"), ClaimOutcome::AllDone);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_ledger_refuses_a_journal_from_a_different_run() {
+    let dir = temp_dir("foreign");
+    Journal::start(&dir, RUN).expect("journal");
+    let stale = Ledger::open(&dir, RUN ^ 1);
+    let err = stale.claim_next(1, 500, 4).expect_err("claim must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let err = stale.append(&prog(0, 1, 1)).expect_err("append must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    // The journal itself is untouched by the refused operations.
+    let bytes = std::fs::read(journal::journal_path(&dir)).expect("journal");
+    assert_eq!(scan(&bytes).expect("parses").records.len(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_abandoned_lock_file_is_broken_after_the_stale_window() {
+    let dir = temp_dir("lock");
+    let ledger = ledger(&dir);
+    // A crashed process left the lock behind; nobody will ever remove it.
+    std::fs::write(dir.join("journal.lock"), b"pid 999999\n").expect("stale lock");
+    let started = Instant::now();
+    ledger.append(&prog(0, 1, 0)).expect("append succeeds after breaking the lock");
+    let waited = started.elapsed();
+    assert!(waited >= STALE_LOCK - Duration::from_millis(200), "waited only {waited:?}");
+    assert!(waited < STALE_LOCK * 4, "took {waited:?}, lock never broke");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spawn_failure_degrades_to_in_process_execution() {
+    let dir = temp_dir("fallback");
+    let inputs = vec![
+        BatchInput {
+            name: "ok".into(),
+            source: "global a[8];\nfn main() { for i in 0..8 { a[i] = i; } }".into(),
+        },
+        BatchInput { name: "bad".into(), source: "fn main( {".into() },
+    ];
+    let cfg = EngineConfig { cache_dir: Some(dir.clone()), ..Default::default() };
+    let shard = ShardConfig {
+        workers: 3,
+        lease_ms: 500,
+        resume: false,
+        worker_bin: Some(PathBuf::from("/nonexistent/parpat-worker")),
+        worker_args: vec![],
+        chaos: None,
+        timeout: Duration::from_secs(60),
+    };
+    let sharded =
+        parpat_engine::run_sharded(cfg.clone(), inputs.clone(), 2, &shard).expect("degraded run");
+    let note = sharded.note.expect("a degradation note is attached");
+    assert!(note.contains("degraded to in-process"), "note: {note}");
+    assert_eq!(sharded.report.stats.workers, 0, "no worker survived spawning");
+    assert_eq!(sharded.report.outcomes.len(), 2);
+
+    // The fallback's outcomes match a plain single-process batch.
+    let solo_dir = temp_dir("fallback-solo");
+    let solo_cfg = EngineConfig { cache_dir: Some(solo_dir.clone()), ..cfg };
+    let solo = Arc::new(Engine::new(solo_cfg).expect("engine")).batch(inputs, 2);
+    for (a, b) in sharded.report.outcomes.iter().zip(&solo.outcomes) {
+        assert_eq!(format!("{:?}", a.outcome), format!("{:?}", b.outcome));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&solo_dir);
+}

@@ -1,0 +1,189 @@
+//! Crash-soak acceptance for multi-process batches: under a seeded kill
+//! schedule (plus one frozen worker) `parpat batch apps --workers 4`
+//! must produce output byte-identical to the single-process run, with
+//! zero panics and every kill accounted in `leases_expired` /
+//! `work_requeued`. A SIGKILLed coordinator must be resumable with
+//! nothing lost, and a worker binary that cannot spawn must degrade to
+//! in-process execution with a note.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parpat-soak-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Run {
+    stdout: String,
+    stderr: String,
+}
+
+fn parpat(args: &[&str]) -> Run {
+    let out = Command::new(env!("CARGO_BIN_EXE_parpat")).args(args).output().expect("run parpat");
+    let run = Run {
+        stdout: String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        stderr: String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    };
+    assert!(out.status.success(), "parpat {args:?} failed:\n{}{}", run.stdout, run.stderr);
+    assert_no_panic(&run);
+    run
+}
+
+fn assert_no_panic(run: &Run) {
+    // "panicked at" is the Rust panic banner; the bare word appears
+    // legitimately in the stats (`"panics": 0`).
+    assert!(!run.stdout.contains("panicked at"), "panic in stdout:\n{}", run.stdout);
+    assert!(!run.stderr.contains("panicked at"), "panic in stderr:\n{}", run.stderr);
+}
+
+/// The `"programs"` section of the batch JSON — the byte-identity
+/// yardstick. Cache hits depend on which process analyzed what and when
+/// it died, so the `cached` flag is normalized; everything else (every
+/// report byte) must match exactly.
+fn programs(run: &Run) -> String {
+    let json = &run.stdout;
+    let start = json.find("\"programs\"").expect("programs key");
+    let end = json.find("\"stats\"").expect("stats key");
+    json[start..end].replace("\"cached\": true", "\"cached\": false")
+}
+
+fn stat(run: &Run, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let at = run.stdout.find(&pat).unwrap_or_else(|| panic!("stat {key} missing"));
+    let digits: String =
+        run.stdout[at + pat.len()..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().expect("stat value")
+}
+
+fn baseline(tag: &str) -> (String, PathBuf) {
+    let dir = temp_dir(&format!("{tag}-base"));
+    let run = parpat(&["batch", "apps", "--json", "--cache-dir", dir.to_str().expect("path")]);
+    (programs(&run), dir)
+}
+
+#[test]
+fn chaos_soak_is_byte_identical_and_accounts_every_kill() {
+    let (want, base_dir) = baseline("chaos");
+    for seed in ["7", "20260809"] {
+        let dir = temp_dir(&format!("chaos-{seed}"));
+        let run = parpat(&[
+            "batch",
+            "apps",
+            "--json",
+            "--cache-dir",
+            dir.to_str().expect("path"),
+            "--workers",
+            "4",
+            "--lease-ms",
+            "300",
+            "--shard-chaos-seed",
+            seed,
+            "--shard-chaos-kills",
+            "3",
+            "--shard-chaos-freeze",
+        ]);
+        assert_eq!(programs(&run), want, "seed {seed}: sharded output diverged");
+        let expired = stat(&run, "leases_expired");
+        let requeued = stat(&run, "work_requeued");
+        assert!(expired >= 1, "seed {seed}: the frozen worker must expire a lease");
+        assert_eq!(requeued, expired, "seed {seed}: every expired lease is requeued");
+        assert!(stat(&run, "workers") >= 4, "seed {seed}: kills are respawned");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+#[test]
+fn a_sigkilled_coordinator_resumes_byte_identically() {
+    let (want, base_dir) = baseline("cokill");
+    let dir = temp_dir("cokill");
+    let dir_s = dir.to_str().expect("path").to_owned();
+    let mut coordinator = Command::new(env!("CARGO_BIN_EXE_parpat"))
+        .args([
+            "batch",
+            "apps",
+            "--json",
+            "--cache-dir",
+            &dir_s,
+            "--workers",
+            "4",
+            "--lease-ms",
+            "300",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+    std::thread::sleep(Duration::from_millis(250));
+    coordinator.kill().expect("SIGKILL coordinator");
+    let _ = coordinator.wait();
+    // Give orphaned workers a moment; the resume below must cope whether
+    // they finished the journal, are still appending, or died with it.
+    std::thread::sleep(Duration::from_millis(400));
+
+    let resumed =
+        parpat(&["batch", "apps", "--json", "--cache-dir", &dir_s, "--workers", "4", "--resume"]);
+    assert_eq!(programs(&resumed), want, "resume after coordinator SIGKILL diverged");
+    // And a second resume restores everything without re-running.
+    let again = parpat(&["batch", "apps", "--json", "--cache-dir", &dir_s, "--resume"]);
+    assert_eq!(programs(&again), want);
+    assert_eq!(stat(&again, "resumed"), 17, "the journal holds the full suite");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+#[test]
+fn a_frozen_worker_costs_one_lease_not_the_run() {
+    let (want, base_dir) = baseline("freeze");
+    let dir = temp_dir("freeze");
+    let run = parpat(&[
+        "batch",
+        "apps",
+        "--json",
+        "--cache-dir",
+        dir.to_str().expect("path"),
+        "--workers",
+        "2",
+        "--lease-ms",
+        "250",
+        "--shard-chaos-freeze",
+    ]);
+    assert_eq!(programs(&run), want);
+    assert!(stat(&run, "leases_expired") >= 1, "the stall must be detected");
+    assert!(stat(&run, "work_requeued") >= 1, "the stalled index must be requeued");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+#[test]
+fn unspawnable_workers_degrade_to_in_process_with_a_note() {
+    let (want, base_dir) = baseline("deg");
+    let dir = temp_dir("deg");
+    let out = Command::new(env!("CARGO_BIN_EXE_parpat"))
+        .args([
+            "batch",
+            "apps",
+            "--json",
+            "--cache-dir",
+            dir.to_str().expect("path"),
+            "--workers",
+            "4",
+        ])
+        .env("PARPAT_SHARD_WORKER_BIN", "/nonexistent/parpat-worker")
+        .output()
+        .expect("run parpat");
+    assert!(out.status.success(), "degraded batch must still succeed");
+    let run = Run {
+        stdout: String::from_utf8(out.stdout).expect("utf-8"),
+        stderr: String::from_utf8(out.stderr).expect("utf-8"),
+    };
+    assert_no_panic(&run);
+    assert!(run.stderr.contains("degraded to in-process"), "stderr: {}", run.stderr);
+    assert_eq!(programs(&run), want, "the fallback's output is the batch output");
+    assert_eq!(stat(&run, "workers"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
