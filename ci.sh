@@ -20,6 +20,17 @@ cargo test -q -p parpat-engine --test torn
 # Sharding ledger: fenced claims, lease recycling, zombie fencing,
 # foreign-run refusal, stale-lock recovery, in-process spawn fallback.
 cargo test -q -p parpat-engine --test shard
+# Crash-consistency harness: power-cut / EIO / ENOSPC injected at EVERY
+# mutating storage operation of a batch (simulated VFS) — zero panics,
+# outcomes byte-identical to the uninterrupted run, recovery accounted
+# in counters, and ENOSPC mid-append at every byte offset leaves the
+# journal resumable.
+cargo test -q -p parpat-engine --test crashfs
+# fsck golden gate: every seeded corruption class (journal bit-rot, cache
+# record rot + truncation, orphaned lock and temp) must be detected under
+# its stable F-code, and `parpat fsck --repair` must restore a directory
+# that a resumed batch completes byte-identically.
+cargo test -q --test fsck
 # Crash soak: under a seeded kill schedule plus a frozen worker,
 # `batch apps --workers 4` (and `--resume` after a SIGKILLed
 # coordinator) must be byte-identical to the single-process run, with

@@ -19,11 +19,21 @@
 //! filesystem, truncated, or bit-flipped — is quarantined to a
 //! `.corrupt` file and treated as a miss, so the next execution
 //! regenerates it; these recoveries are counted ([`Cache::recovered`]).
+//! Quarantine growth is bounded: past [`QUARANTINE_CAP`] corpses the
+//! oldest is evicted (counted in [`Cache::quarantine_evicted`]), so a
+//! rotting disk cannot fill the cache directory with tombstones.
+//!
+//! Records carry a `sum` line — an FNV-1a checksum over the record body —
+//! so bit-rot that still parses structurally reads as corruption, not as
+//! a wrong answer served from cache. Legacy records without the line
+//! still parse. A disk-tier write failing with ENOSPC disables further
+//! record writes (reads and the memory tier keep working) instead of
+//! failing every insert against a full disk; the suppressed writes are
+//! counted ([`Cache::disabled_writes`]).
 
 use std::collections::HashMap;
-use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use parpat_core::{Analysis, ProfiledRun};
@@ -33,7 +43,13 @@ use parpat_minilang::Program;
 use parpat_runtime::lock_recover;
 use parpat_static::{LoopReport, StaticReport};
 
+use crate::digest::hash_bytes;
 use crate::report::ProgramReport;
+use crate::vfs::{is_enospc, RealFs, Vfs};
+
+/// Most `.corrupt` quarantine files kept in a cache directory before the
+/// oldest is evicted to make room.
+pub const QUARANTINE_CAP: usize = 8;
 
 /// A cache key: the FNV-1a digest of a stage id + its input digests +
 /// the stage-relevant configuration.
@@ -102,6 +118,7 @@ struct MemCache {
 /// The shared cache. All methods take `&self`; internal locking makes it
 /// safe to share across the engine's worker pool.
 pub struct Cache {
+    vfs: Arc<dyn Vfs>,
     mem: Mutex<MemCache>,
     capacity: usize,
     dir: Option<PathBuf>,
@@ -109,6 +126,10 @@ pub struct Cache {
     disk_reads: AtomicU64,
     disk_writes: AtomicU64,
     recovered: AtomicU64,
+    quarantine_evicted: AtomicU64,
+    /// Disk tier went read-only after an ENOSPC write failure.
+    disk_write_disabled: AtomicBool,
+    disabled_writes: AtomicU64,
 }
 
 /// Makes concurrent writers' temp files distinct even within one process.
@@ -119,10 +140,20 @@ impl Cache {
     /// persisting records under `dir` when given (the directory is created
     /// if missing).
     pub fn new(capacity: usize, dir: Option<PathBuf>) -> std::io::Result<Self> {
+        Cache::new_via(Arc::new(RealFs), capacity, dir)
+    }
+
+    /// [`Cache::new`] against an explicit storage backend.
+    pub fn new_via(
+        vfs: Arc<dyn Vfs>,
+        capacity: usize,
+        dir: Option<PathBuf>,
+    ) -> std::io::Result<Self> {
         if let Some(d) = &dir {
-            std::fs::create_dir_all(d)?;
+            vfs.create_dir_all(d)?;
         }
         Ok(Cache {
+            vfs,
             mem: Mutex::new(MemCache { entries: HashMap::new(), clock: 0 }),
             capacity: capacity.max(1),
             dir,
@@ -130,6 +161,9 @@ impl Cache {
             disk_reads: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
+            quarantine_evicted: AtomicU64::new(0),
+            disk_write_disabled: AtomicBool::new(false),
+            disabled_writes: AtomicU64::new(0),
         })
     }
 
@@ -204,6 +238,22 @@ impl Cache {
         self.recovered.load(Ordering::Relaxed)
     }
 
+    /// Quarantine corpses evicted to hold the [`QUARANTINE_CAP`] bound.
+    pub fn quarantine_evicted(&self) -> u64 {
+        self.quarantine_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Whether an ENOSPC write failure has put the disk tier into
+    /// read-only degradation.
+    pub fn disk_write_disabled(&self) -> bool {
+        self.disk_write_disabled.load(Ordering::Relaxed)
+    }
+
+    /// Record writes suppressed after the disk tier was disabled.
+    pub fn disabled_writes(&self) -> u64 {
+        self.disabled_writes.load(Ordering::Relaxed)
+    }
+
     /// The persistence directory, if any.
     pub fn dir(&self) -> Option<&std::path::Path> {
         self.dir.as_deref()
@@ -215,7 +265,7 @@ impl Cache {
 
     fn read_record(&self, key: Key) -> Option<DiskRecord> {
         let path = self.record_path(key)?;
-        let bytes = std::fs::read(&path).ok()?;
+        let bytes = self.vfs.read(&path).ok()?;
         match parse_record(&bytes) {
             Some(rec) => {
                 self.disk_reads.fetch_add(1, Ordering::Relaxed);
@@ -225,8 +275,9 @@ impl Cache {
                 // Corrupt record: quarantine it out of the key's path so
                 // the slot reads as a miss and the next execution
                 // regenerates it, instead of failing this key forever.
-                if std::fs::rename(&path, path.with_extension("corrupt")).is_err() {
-                    let _ = std::fs::remove_file(&path);
+                self.evict_excess_quarantine();
+                if self.vfs.rename(&path, &path.with_extension("corrupt")).is_err() {
+                    let _ = self.vfs.remove_file(&path);
                 }
                 self.recovered.fetch_add(1, Ordering::Relaxed);
                 None
@@ -234,30 +285,89 @@ impl Cache {
         }
     }
 
+    /// Keep the quarantine below [`QUARANTINE_CAP`] before admitting one
+    /// more corpse: evict oldest-first until a slot is free.
+    fn evict_excess_quarantine(&self) {
+        let Some(dir) = &self.dir else { return };
+        let Ok(listing) = self.vfs.list_dir(dir) else { return };
+        let mut corpses: Vec<PathBuf> =
+            listing.into_iter().filter(|p| p.extension().is_some_and(|e| e == "corrupt")).collect();
+        while corpses.len() >= QUARANTINE_CAP {
+            let Some(oldest) = corpses
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| self.vfs.file_age(p).unwrap_or_default())
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            let victim = corpses.swap_remove(oldest);
+            if self.vfs.remove_file(&victim).is_ok() {
+                self.quarantine_evicted.fetch_add(1, Ordering::Relaxed);
+            } else {
+                return;
+            }
+        }
+    }
+
     fn write_record(&self, key: Key, rec: &DiskRecord) {
         let Some(path) = self.record_path(key) else { return };
+        if self.disk_write_disabled.load(Ordering::Relaxed) {
+            self.disabled_writes.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let tmp = path.with_extension(format!(
             "tmp.{:x}.{:x}",
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let bytes = render_record(rec);
-        let ok = std::fs::File::create(&tmp)
-            .and_then(|mut f| f.write_all(&bytes))
-            .and_then(|()| std::fs::rename(&tmp, &path));
-        if ok.is_ok() {
-            self.disk_writes.fetch_add(1, Ordering::Relaxed);
-        } else {
-            let _ = std::fs::remove_file(&tmp);
+        let outcome = self.vfs.write(&tmp, &bytes).and_then(|()| self.vfs.rename(&tmp, &path));
+        match outcome {
+            Ok(()) => {
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                let _ = self.vfs.remove_file(&tmp);
+                if is_enospc(&e) {
+                    // A full disk fails every write from here on: degrade
+                    // to the memory tier instead of paying a syscall storm
+                    // and a failure per insert. Reads still serve.
+                    self.disk_write_disabled.store(true, Ordering::Relaxed);
+                    self.disabled_writes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 }
 
+/// Why a record failed [`check_record`]. Both read as a miss-and-
+/// quarantine to the cache; `parpat fsck` reports them under distinct
+/// codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecordIssue {
+    /// Structurally valid but the `sum` line disagrees with the body:
+    /// bit-rot inside the record.
+    Checksum,
+    /// Does not parse at all.
+    Malformed,
+}
+
 /// Serialize a record. Header lines are ASCII; string payloads are
-/// length-prefixed raw bytes, so no escaping is needed.
+/// length-prefixed raw bytes, so no escaping is needed. A `sum` line
+/// (FNV-1a over everything after it) follows the magic so in-body rot is
+/// detected on read.
 fn render_record(rec: &DiskRecord) -> Vec<u8> {
+    let body = render_body(rec);
     let mut out = Vec::new();
     out.extend_from_slice(b"parpat-rec-v2\n");
+    out.extend_from_slice(format!("sum {:016x}\n", hash_bytes(&body)).as_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn render_body(rec: &DiskRecord) -> Vec<u8> {
+    let mut out = Vec::new();
     out.extend_from_slice(format!("digest {:016x}\n", rec.digest).as_bytes());
     if let Some(insts) = rec.insts {
         out.extend_from_slice(format!("insts {insts}\n").as_bytes());
@@ -288,8 +398,37 @@ fn render_record(rec: &DiskRecord) -> Vec<u8> {
     out
 }
 
-/// Parse a record; `None` on any malformed input (treated as a miss).
+/// Parse a record; `None` on any malformed or checksum-failing input
+/// (treated as a miss).
 fn parse_record(bytes: &[u8]) -> Option<DiskRecord> {
+    check_record(bytes).ok()
+}
+
+/// [`parse_record`] keeping the failure reason (for `parpat fsck`).
+pub(crate) fn check_record(bytes: &[u8]) -> Result<DiskRecord, RecordIssue> {
+    // v1 records lack the cross-validation fields; failing the magic
+    // quarantines them and the slot regenerates in the new format.
+    let rest = bytes.strip_prefix(b"parpat-rec-v2\n").ok_or(RecordIssue::Malformed)?;
+    // Optional `sum` line: verify, then parse the body after it. Legacy
+    // records (no sum) parse with no integrity check.
+    let body = if rest.starts_with(b"sum ") {
+        let nl = rest.iter().position(|&b| b == b'\n').ok_or(RecordIssue::Malformed)?;
+        let expect = std::str::from_utf8(&rest[4..nl])
+            .ok()
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or(RecordIssue::Malformed)?;
+        let body = &rest[nl + 1..];
+        if hash_bytes(body) != expect {
+            return Err(RecordIssue::Checksum);
+        }
+        body
+    } else {
+        rest
+    };
+    parse_body(body).ok_or(RecordIssue::Malformed)
+}
+
+fn parse_body(bytes: &[u8]) -> Option<DiskRecord> {
     let mut rest = bytes;
     let mut line = || -> Option<&[u8]> {
         let nl = rest.iter().position(|&b| b == b'\n')?;
@@ -297,11 +436,6 @@ fn parse_record(bytes: &[u8]) -> Option<DiskRecord> {
         rest = &r[1..];
         Some(l)
     };
-    // v1 records lack the cross-validation fields; failing the magic
-    // quarantines them and the slot regenerates in the new format.
-    if line()? != b"parpat-rec-v2" {
-        return None;
-    }
     let digest_line = std::str::from_utf8(line()?).ok()?;
     let digest = u64::from_str_radix(digest_line.strip_prefix("digest ")?, 16).ok()?;
     let mut rec = DiskRecord { digest, insts: None, report: None };
@@ -359,6 +493,8 @@ fn parse_record(bytes: &[u8]) -> Option<DiskRecord> {
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]
+
+    use std::time::Duration;
 
     use super::*;
     use crate::fault::xorshift64;
@@ -510,6 +646,83 @@ mod tests {
         assert!(matches!(cache.lookup(1), Lookup::Memory(..)));
         assert!(matches!(cache.lookup(3), Lookup::Memory(..)));
         assert_eq!(cache.mem_entries(), 2);
+    }
+
+    #[test]
+    fn bit_rot_in_a_record_body_reads_as_checksum_corruption() {
+        let valid =
+            render_record(&DiskRecord { digest: 0xABCD, insts: Some(7), report: Some(report()) });
+        let mut rotted = valid.clone();
+        let at = rotted.len() - 4; // inside the ranking payload
+        rotted[at] ^= 0x20;
+        assert_eq!(check_record(&valid).map(|r| r.digest), Ok(0xABCD));
+        assert_eq!(check_record(&rotted).map(|r| r.digest), Err(RecordIssue::Checksum));
+        assert!(parse_record(&rotted).is_none(), "a rotted record is a miss");
+    }
+
+    #[test]
+    fn legacy_records_without_a_sum_line_still_parse() {
+        let rec = DiskRecord { digest: 0x42, insts: Some(3), report: None };
+        let mut legacy = b"parpat-rec-v2\n".to_vec();
+        legacy.extend_from_slice(&render_body(&rec));
+        let parsed = parse_record(&legacy).expect("legacy record parses");
+        assert_eq!(parsed.digest, 0x42);
+        assert_eq!(parsed.insts, Some(3));
+    }
+
+    #[test]
+    fn quarantine_is_capped_and_evicts_oldest() {
+        use crate::vfs::SimFs;
+        let vfs = Arc::new(SimFs::new());
+        let dir = PathBuf::from("/cache");
+        let cache = Cache::new_via(vfs.clone(), 4, Some(dir.clone())).unwrap();
+        // Seed QUARANTINE_CAP corpses, oldest first, plus one fresh
+        // corrupt record awaiting quarantine.
+        for i in 0..QUARANTINE_CAP {
+            let p = dir.join(format!("{i:016x}.corrupt"));
+            vfs.write(&p, b"junk").unwrap();
+            vfs.backdate(&p, Duration::from_secs((QUARANTINE_CAP - i) as u64 * 10));
+        }
+        vfs.write(&dir.join(format!("{:016x}.rec", 0x99)), b"not a record").unwrap();
+        assert!(matches!(cache.lookup(0x99), Lookup::Miss));
+        assert_eq!(cache.recovered(), 1);
+        assert_eq!(cache.quarantine_evicted(), 1, "one corpse evicted to stay at the cap");
+        let corpses: Vec<PathBuf> = vfs
+            .list_dir(&dir)
+            .unwrap()
+            .into_iter()
+            .filter(|p| p.extension().is_some_and(|e| e == "corrupt"))
+            .collect();
+        assert_eq!(corpses.len(), QUARANTINE_CAP);
+        assert!(
+            !corpses.contains(&dir.join(format!("{:016x}.corrupt", 0))),
+            "the oldest corpse is the one that went"
+        );
+        assert!(corpses.contains(&dir.join(format!("{:016x}.rec", 0x99)).with_extension("corrupt")));
+    }
+
+    #[test]
+    fn enospc_disables_the_disk_write_tier_but_not_reads_or_memory() {
+        use crate::vfs::{DiskFault, SimFs};
+        let vfs = Arc::new(SimFs::new());
+        let dir = PathBuf::from("/cache");
+        let cache = Cache::new_via(vfs.clone(), 4, Some(dir.clone())).unwrap();
+        cache.insert(1, 10, Artifact::Report(Arc::new(report())), None);
+        assert_eq!(cache.disk_writes(), 1);
+        vfs.set_fault(Some(DiskFault::Enospc { at: vfs.ops() + 1, partial: Some(0) }));
+        cache.insert(2, 20, Artifact::Report(Arc::new(report())), None);
+        assert!(cache.disk_write_disabled(), "ENOSPC write failure disables the tier");
+        cache.insert(3, 30, Artifact::Report(Arc::new(report())), None);
+        assert_eq!(cache.disk_writes(), 1, "no further disk writes attempted");
+        assert_eq!(cache.disabled_writes(), 2);
+        // The memory tier still serves all three; the disk tier still
+        // serves what it managed to persist.
+        assert!(matches!(cache.lookup(2), Lookup::Memory(..)));
+        assert!(matches!(cache.lookup(3), Lookup::Memory(..)));
+        vfs.set_fault(None); // the operator made room
+        let cold = Cache::new_via(vfs.clone(), 4, Some(dir)).unwrap();
+        assert!(matches!(cold.lookup(1), Lookup::Disk(_)));
+        assert!(matches!(cold.lookup(2), Lookup::Miss));
     }
 
     #[test]

@@ -73,6 +73,7 @@ use crate::journal::{Journal, JournalEntry, Replay, StoredOutcome};
 use crate::report::{DegradedReport, ProgramReport};
 use crate::stage::Stage;
 use crate::stats::{CacheStats, EngineStats, SsaPassStats, StageCounters, StageStats};
+use crate::vfs::{RealFs, Vfs};
 use crate::xval::cross_validate;
 
 /// Engine construction parameters.
@@ -108,6 +109,11 @@ pub struct EngineConfig {
     /// oracle are always on — this knob only gates the sanitizer, which
     /// re-walks the whole distilled profile.
     pub sanitize: bool,
+    /// Storage backend for everything durable (journal, cache disk tier,
+    /// stats persistence). Production uses the default [`RealFs`]; the
+    /// crash-consistency harness plugs in a fault-injecting
+    /// [`crate::vfs::SimFs`].
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl Default for EngineConfig {
@@ -123,6 +129,7 @@ impl Default for EngineConfig {
             watchdog: None,
             resume: false,
             sanitize: false,
+            vfs: Arc::new(RealFs),
         }
     }
 }
@@ -238,6 +245,9 @@ struct BatchCounters {
     /// Stale fenced `prog` records discarded by journal replay (zombie
     /// workers whose lease had been requeued before their result landed).
     fenced_stale: AtomicU64,
+    /// Journal appends that failed (disk fault); the journal poisons
+    /// itself after the first, so every later program counts here too.
+    journal_append_failed: AtomicU64,
     /// Requests turned away by a resident service's admission control
     /// (never reached the engine; bumped via [`Session::note_shed`]).
     requests_shed: AtomicU64,
@@ -368,6 +378,10 @@ pub struct Engine {
     cfg: AnalysisConfig,
     rank_workers: f64,
     cache: Cache,
+    /// Storage backend shared by the journal, the cache's disk tier, and
+    /// stats persistence. [`RealFs`] in production, [`crate::SimFs`] under
+    /// the crash-consistency harness.
+    vfs: Arc<dyn Vfs>,
     faults: Vec<FaultPlan>,
     /// Times each (stage, input) fault plan has tripped — drives the
     /// `Transient` (fail `k` times) and `Stall` (fire once) modes.
@@ -394,7 +408,8 @@ impl Engine {
         Ok(Engine {
             cfg: cfg.analysis,
             rank_workers: cfg.rank_workers,
-            cache: Cache::new(cfg.cache_capacity, cfg.cache_dir)?,
+            cache: Cache::new_via(cfg.vfs.clone(), cfg.cache_capacity, cfg.cache_dir)?,
+            vfs: cfg.vfs,
             faults: cfg.faults,
             fault_trips: Mutex::new(HashMap::new()),
             retries: cfg.retries,
@@ -411,6 +426,11 @@ impl Engine {
     /// The shared artifact cache (exposed for tests and diagnostics).
     pub fn cache(&self) -> &Cache {
         &self.cache
+    }
+
+    /// The storage backend the engine's durability layer writes through.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
     }
 
     /// Replace the backoff clock: `f` is called instead of
@@ -504,11 +524,14 @@ impl Engine {
         // rather than failing the batch.
         let run_d = self.run_digest(&inputs);
         let (journal, replayed) = match self.cache.dir() {
-            Some(dir) if self.resume => match Journal::resume(dir, run_d) {
+            Some(dir) if self.resume => match Journal::resume_via(self.vfs.clone(), dir, run_d) {
                 Ok((j, replay)) => (Some(Arc::new(j)), replay),
                 Err(_) => (None, Replay::default()),
             },
-            Some(dir) => (Journal::start(dir, run_d).ok().map(Arc::new), Replay::default()),
+            Some(dir) => (
+                Journal::start_via(self.vfs.clone(), dir, run_d).ok().map(Arc::new),
+                Replay::default(),
+            ),
             None => (None, Replay::default()),
         };
         counters.fenced_stale.store(replayed.fenced_stale, Ordering::Relaxed);
@@ -549,7 +572,7 @@ impl Engine {
         let stats = self.snapshot(&counters, jobs as u64, n as u64, start.elapsed());
         if let Some(dir) = self.cache.dir() {
             // Best effort; a read-only cache dir must not fail the batch.
-            let _ = stats.persist(dir);
+            let _ = stats.persist_via(self.vfs.as_ref(), dir);
         }
         BatchReport { outcomes, stats }
     }
@@ -582,8 +605,10 @@ impl Engine {
         }
         let po = self.run_one(input, index, counters, None);
         if let Some(j) = journal {
-            let _ =
-                j.append(&JournalEntry { index, worker: 0, fence: 0, outcome: store_outcome(&po) });
+            let entry = JournalEntry { index, worker: 0, fence: 0, outcome: store_outcome(&po) };
+            if j.append(&entry).is_err() {
+                counters.journal_append_failed.fetch_add(1, Ordering::Relaxed);
+            }
         }
         po
     }
@@ -764,6 +789,7 @@ impl Engine {
             leases_expired: 0,
             work_requeued: 0,
             fenced_stale_results: counters.fenced_stale.load(Ordering::Relaxed),
+            journal_append_failed: counters.journal_append_failed.load(Ordering::Relaxed),
             requests_shed: counters.requests_shed.load(Ordering::Relaxed),
             deadline_exceeded: counters.deadline_exceeded.load(Ordering::Relaxed),
             retries_client: counters.retries_client.load(Ordering::Relaxed),
@@ -790,6 +816,8 @@ impl Engine {
                 evictions: self.cache.evictions(),
                 mem_entries: self.cache.mem_entries() as u64,
                 recovered: self.cache.recovered(),
+                quarantine_evicted: self.cache.quarantine_evicted(),
+                disabled_writes: self.cache.disabled_writes(),
             },
         }
     }

@@ -1,0 +1,539 @@
+//! `parpat fsck` — offline scrubber for a run directory.
+//!
+//! Walks everything the durability layer persists under a cache/run
+//! directory — the journal/ledger (`journal.wal`), the append lock
+//! (`journal.lock`), and the disk cache tier (`*.rec`) — and validates
+//! each against its own invariants, reporting damage under **stable
+//! diagnostic codes** (like `parpat lint`'s P/L/V codes):
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | F001 | error    | journal header unreadable (not a journal, or rotted) |
+//! | F002 | warning  | journal ends mid-record (torn append — the expected cost of a crash) |
+//! | F003 | error    | journal record checksum mismatch (bit-rot inside a durable record) |
+//! | F004 | error    | journal record complete but malformed |
+//! | F010 | warning  | double claim for one index (broken append lock; replay fences it) |
+//! | F011 | error    | claim fence not monotonically increasing (protocol violation) |
+//! | F012 | info     | stale release (release not matching the active lease) |
+//! | F013 | info     | fenced-stale result (zombie worker's late record; replay discards it) |
+//! | F015 | warning  | orphaned append lock (no live writer should exist offline) |
+//! | F020 | error    | cache record malformed |
+//! | F021 | error    | cache record checksum mismatch (bit-rot) |
+//! | F022 | warning  | orphaned cache temp file (crash between write and rename) |
+//!
+//! `--repair` quarantines what is damaged and restores what the engine's
+//! own recovery expects: the journal's damaged tail is copied to
+//! `journal.wal.tail.corrupt` and the file truncated to its last good
+//! record (exactly what `--resume` would do, made explicit and
+//! inspectable); an unreadable journal is quarantined whole; rotted
+//! cache records are renamed to `.corrupt` (the cache regenerates the
+//! slot); orphaned locks and temps are removed. Repair never deletes the
+//! only copy of anything — damage is moved aside, not destroyed.
+//!
+//! Everything goes through a [`Vfs`] handle, so the crash-consistency
+//! harness can corrupt a simulated disk and assert fsck finds every
+//! seeded fault.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::cache::{check_record, RecordIssue};
+use crate::journal::{journal_path, scan, Record, TailIssue};
+use crate::vfs::Vfs;
+
+/// How bad one finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Expected residue of normal crash recovery; nothing to do.
+    Info,
+    /// Unexpected but handled (or handleable) state.
+    Warning,
+    /// Data damage or a protocol violation.
+    Error,
+}
+
+impl Severity {
+    fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One diagnostic: a stable code, the file it is about, and what repair
+/// (if any) was applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable diagnostic code (`F001`…).
+    pub code: &'static str,
+    /// How bad it is.
+    pub severity: Severity,
+    /// The file the finding is about.
+    pub path: PathBuf,
+    /// Human-readable description.
+    pub detail: String,
+    /// The repair action taken, when `fsck` ran with `repair` and the
+    /// finding is repairable.
+    pub repaired: Option<String>,
+}
+
+/// The scrub's outcome: every finding plus scan coverage counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// All findings, in deterministic order (journal first, in record
+    /// order; then the lock; then cache files in sorted path order).
+    pub findings: Vec<Finding>,
+    /// Complete journal records scanned.
+    pub journal_records: u64,
+    /// Cache records scanned.
+    pub cache_records: u64,
+}
+
+impl FsckReport {
+    /// Error-severity findings that were *not* repaired — the count that
+    /// decides the exit status.
+    pub fn errors_remaining(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error && f.repaired.is_none())
+            .count()
+    }
+
+    /// Findings at `severity`, repaired or not.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == severity).count()
+    }
+
+    /// Render the report as stable, line-oriented text.
+    pub fn render(&self, dir: &Path) -> String {
+        let mut out = String::new();
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "fsck {}: clean ({} journal record(s), {} cache record(s) scanned)\n",
+                dir.display(),
+                self.journal_records,
+                self.cache_records
+            ));
+            return out;
+        }
+        out.push_str(&format!(
+            "fsck {}: {} error(s), {} warning(s), {} info ({} journal record(s), {} cache record(s) scanned)\n",
+            dir.display(),
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+            self.journal_records,
+            self.cache_records
+        ));
+        for f in &self.findings {
+            let name = f
+                .path
+                .file_name()
+                .map_or_else(|| f.path.display().to_string(), |n| n.to_string_lossy().into_owned());
+            out.push_str(&format!(
+                "  {} {:<7} {}: {}\n",
+                f.code,
+                f.severity.name(),
+                name,
+                f.detail
+            ));
+            if let Some(fix) = &f.repaired {
+                out.push_str(&format!("       repaired: {fix}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Scrub run directory `dir` through `vfs`. With `repair`, quarantine
+/// damage and restore the directory to a resumable state (see the module
+/// docs for what each code's repair does). Only an unlistable directory
+/// is a hard error — damage inside it is what the report is for.
+pub fn fsck(vfs: &dyn Vfs, dir: &Path, repair: bool) -> std::io::Result<FsckReport> {
+    let mut report = FsckReport::default();
+    let listing = vfs.list_dir(dir)?;
+    check_journal(vfs, dir, repair, &mut report);
+    check_lock(vfs, dir, repair, &mut report, &listing);
+    check_cache(vfs, repair, &mut report, &listing);
+    Ok(report)
+}
+
+/// Validate the journal: header, per-record integrity, and the ledger's
+/// fencing invariants over the record sequence.
+fn check_journal(vfs: &dyn Vfs, dir: &Path, repair: bool, report: &mut FsckReport) {
+    let wal = journal_path(dir);
+    let Ok(bytes) = vfs.read(&wal) else {
+        return; // No journal is a valid state (cache-only directory).
+    };
+    let Some(parsed) = scan(&bytes) else {
+        let repaired = repair.then(|| {
+            let tomb = quarantine_name(&wal, "corrupt");
+            match vfs.rename(&wal, &tomb) {
+                Ok(()) => format!("quarantined as {}", file_name(&tomb)),
+                Err(e) => format!("quarantine failed: {e}"),
+            }
+        });
+        report.findings.push(Finding {
+            code: "F001",
+            severity: Severity::Error,
+            path: wal,
+            detail: "journal header unreadable; nothing can be replayed".to_owned(),
+            repaired,
+        });
+        return;
+    };
+    report.journal_records = parsed.records.len() as u64;
+    if let Some(issue) = parsed.tail {
+        let valid_end = parsed.records.last().map_or(parsed.header_end, |(_, e)| *e);
+        let (code, severity, what) = match issue {
+            TailIssue::Torn => {
+                ("F002", Severity::Warning, "file ends mid-record (interrupted append)")
+            }
+            TailIssue::Checksum => {
+                ("F003", Severity::Error, "record checksum mismatch (bit-rot in a durable record)")
+            }
+            TailIssue::Malformed => ("F004", Severity::Error, "complete record does not parse"),
+        };
+        let repaired = repair.then(|| {
+            let tomb = quarantine_name(&wal, "tail.corrupt");
+            let quarantine = vfs.create_sync(&tomb, &bytes[valid_end..]);
+            match quarantine.and_then(|()| vfs.truncate_sync(&wal, valid_end as u64)) {
+                Ok(()) => format!(
+                    "truncated to last good record at byte {valid_end}; damaged tail kept as {}",
+                    file_name(&tomb)
+                ),
+                Err(e) => format!("truncation failed: {e}"),
+            }
+        });
+        report.findings.push(Finding {
+            code,
+            severity,
+            path: wal.clone(),
+            detail: format!("{what} at byte {valid_end}"),
+            repaired,
+        });
+    }
+    check_fencing(&wal, &parsed.records, report);
+}
+
+/// Walk the record sequence with the same rules [`crate::journal::replay`]
+/// applies, flagging every state the protocol only reaches through a
+/// fault: duplicate claims (broken append lock), non-monotone fences
+/// (protocol violation), stale releases and fenced-out results (normal
+/// crash residue, reported as info so an operator can see recovery at
+/// work).
+fn check_fencing(wal: &Path, records: &[(Record, usize)], report: &mut FsckReport) {
+    let mut claims: HashMap<usize, (u64, u64)> = HashMap::new();
+    let mut completed: HashMap<usize, ()> = HashMap::new();
+    let mut max_fence = 0u64;
+    let mut finding = |code, severity, detail| {
+        report.findings.push(Finding {
+            code,
+            severity,
+            path: wal.to_path_buf(),
+            detail,
+            repaired: None,
+        });
+    };
+    for (i, (rec, _)) in records.iter().enumerate() {
+        match rec {
+            Record::Claim { index, worker, fence, .. } => {
+                if *fence <= max_fence {
+                    finding(
+                        "F011",
+                        Severity::Error,
+                        format!(
+                            "record {i}: claim on index {index} reuses fence {fence} (high water {max_fence}) — fencing must be monotone"
+                        ),
+                    );
+                }
+                max_fence = max_fence.max(*fence);
+                if completed.contains_key(index) {
+                    continue;
+                }
+                if let Some((f, w)) = claims.get(index) {
+                    finding(
+                        "F010",
+                        Severity::Warning,
+                        format!(
+                            "record {i}: index {index} claimed by worker {worker} fence {fence} while worker {w} fence {f} holds it — the append lock was broken; replay fences the loser"
+                        ),
+                    );
+                }
+                let cand = (*fence, *worker);
+                let cur = claims.entry(*index).or_insert(cand);
+                if cand < *cur {
+                    *cur = cand;
+                }
+            }
+            Record::Beat { fence, .. } => max_fence = max_fence.max(*fence),
+            Record::Release { index, worker, fence } => {
+                if claims.get(index) == Some(&(*fence, *worker)) {
+                    claims.remove(index);
+                } else {
+                    finding(
+                        "F012",
+                        Severity::Info,
+                        format!(
+                            "record {i}: release of index {index} by worker {worker} fence {fence} does not match the active lease (stale release; ignored on replay)"
+                        ),
+                    );
+                }
+            }
+            Record::Prog(e) => {
+                max_fence = max_fence.max(e.fence);
+                let accepted = !completed.contains_key(&e.index)
+                    && (e.fence == 0 || claims.get(&e.index) == Some(&(e.fence, e.worker)));
+                if accepted {
+                    claims.remove(&e.index);
+                    completed.insert(e.index, ());
+                } else {
+                    finding(
+                        "F013",
+                        Severity::Info,
+                        format!(
+                            "record {i}: result for index {} from worker {} fence {} is fenced out (zombie worker; discarded on replay)",
+                            e.index, e.worker, e.fence
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An append lock with no live writer: fsck runs offline, so any lock is
+/// a leftover. Repair removes it (the fencing tokens make this safe even
+/// if a writer *does* race us — its next claim is detectably stale).
+fn check_lock(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    repair: bool,
+    report: &mut FsckReport,
+    listing: &[PathBuf],
+) {
+    let lock = dir.join("journal.lock");
+    if !listing.contains(&lock) {
+        return;
+    }
+    let repaired = repair.then(|| match vfs.remove_file(&lock) {
+        Ok(()) => "removed".to_owned(),
+        Err(e) => format!("removal failed: {e}"),
+    });
+    report.findings.push(Finding {
+        code: "F015",
+        severity: Severity::Warning,
+        path: lock,
+        detail: "orphaned append lock (no writer should be live during fsck)".to_owned(),
+        repaired,
+    });
+}
+
+/// Validate every disk cache record and flag crash-orphaned temp files.
+fn check_cache(vfs: &dyn Vfs, repair: bool, report: &mut FsckReport, listing: &[PathBuf]) {
+    for path in listing {
+        let name = file_name(path);
+        if name.contains(".tmp.") {
+            let repaired = repair.then(|| match vfs.remove_file(path) {
+                Ok(()) => "removed".to_owned(),
+                Err(e) => format!("removal failed: {e}"),
+            });
+            report.findings.push(Finding {
+                code: "F022",
+                severity: Severity::Warning,
+                path: path.clone(),
+                detail: "orphaned cache temp file (crash between write and rename)".to_owned(),
+                repaired,
+            });
+            continue;
+        }
+        if path.extension().is_none_or(|e| e != "rec") {
+            continue;
+        }
+        let issue = match vfs.read(path) {
+            Ok(bytes) => match check_record(&bytes) {
+                Ok(_) => {
+                    report.cache_records += 1;
+                    continue;
+                }
+                Err(issue) => issue,
+            },
+            Err(_) => RecordIssue::Malformed,
+        };
+        report.cache_records += 1;
+        let (code, what) = match issue {
+            RecordIssue::Checksum => ("F021", "cache record checksum mismatch (bit-rot)"),
+            RecordIssue::Malformed => ("F020", "cache record malformed"),
+        };
+        let repaired = repair.then(|| {
+            let tomb = path.with_extension("corrupt");
+            match vfs.rename(path, &tomb) {
+                Ok(()) => {
+                    format!("quarantined as {} (the cache regenerates the slot)", file_name(&tomb))
+                }
+                Err(e) => format!("quarantine failed: {e}"),
+            }
+        });
+        report.findings.push(Finding {
+            code,
+            severity: Severity::Error,
+            path: path.clone(),
+            detail: what.to_owned(),
+            repaired,
+        });
+    }
+}
+
+/// `path` with `suffix` appended to its full file name (unlike
+/// `with_extension`, which would clobber `.wal`).
+fn quarantine_name(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    name.push('.');
+    name.push_str(suffix);
+    path.with_file_name(name)
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::error::{EngineError, ErrorKind};
+    use crate::journal::{
+        header_bytes, render_record, Journal, JournalEntry, Record, StoredOutcome,
+    };
+    use crate::stage::Stage;
+    use crate::vfs::SimFs;
+
+    fn entry(index: usize, worker: u64, fence: u64) -> JournalEntry {
+        JournalEntry {
+            index,
+            worker,
+            fence,
+            outcome: StoredOutcome::Err(EngineError::new(Stage::Parse, ErrorKind::Lang, "x")),
+        }
+    }
+
+    fn run_dir(vfs: &Arc<SimFs>) -> PathBuf {
+        let dir = PathBuf::from("/run");
+        let journal = Journal::start_via(vfs.clone(), &dir, 0xbeef).unwrap();
+        journal.append(&entry(0, 0, 0)).unwrap();
+        journal.append(&entry(1, 0, 0)).unwrap();
+        dir
+    }
+
+    #[test]
+    fn a_healthy_run_dir_is_clean() {
+        let vfs = Arc::new(SimFs::new());
+        let dir = run_dir(&vfs);
+        let report = fsck(vfs.as_ref(), &dir, false).unwrap();
+        assert_eq!(report.findings, vec![]);
+        assert_eq!(report.journal_records, 2);
+        assert!(report.render(&dir).contains("clean"));
+    }
+
+    #[test]
+    fn every_seeded_corruption_is_detected_under_its_code() {
+        let vfs = Arc::new(SimFs::new());
+        let dir = run_dir(&vfs);
+        let wal = journal_path(&dir);
+        // Bit-rot deep inside the last journal record.
+        let mut bytes = vfs.durable(&wal).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x01;
+        vfs.create_sync(&wal, &bytes).unwrap();
+        // An orphaned lock, an orphaned temp, and a rotted cache record.
+        vfs.create_sync(&dir.join("journal.lock"), b"pid 1 seq 0\n").unwrap();
+        vfs.create_sync(&dir.join("00000000000000aa.tmp.1.2"), b"partial").unwrap();
+        vfs.create_sync(&dir.join("00000000000000bb.rec"), b"parpat-rec-v2\nnot a record").unwrap();
+
+        let report = fsck(vfs.as_ref(), &dir, false).unwrap();
+        let codes: Vec<&str> = report.findings.iter().map(|f| f.code).collect();
+        assert_eq!(codes, vec!["F003", "F015", "F022", "F020"]);
+        assert_eq!(report.errors_remaining(), 2);
+    }
+
+    #[test]
+    fn repair_restores_a_resumable_directory() {
+        let vfs = Arc::new(SimFs::new());
+        let dir = run_dir(&vfs);
+        let wal = journal_path(&dir);
+        let mut bytes = vfs.durable(&wal).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x01;
+        vfs.create_sync(&wal, &bytes).unwrap();
+        vfs.create_sync(&dir.join("journal.lock"), b"pid 1 seq 0\n").unwrap();
+        vfs.create_sync(&dir.join("00000000000000bb.rec"), b"garbage").unwrap();
+
+        let report = fsck(vfs.as_ref(), &dir, true).unwrap();
+        assert_eq!(report.errors_remaining(), 0, "{}", report.render(&dir));
+        assert!(report.findings.iter().all(|f| f.repaired.is_some()));
+        // The damaged tail is preserved, not destroyed.
+        assert!(vfs.durable(&dir.join("journal.wal.tail.corrupt")).is_some());
+        assert!(vfs.durable(&dir.join("00000000000000bb.corrupt")).is_some());
+        // And the journal now resumes to exactly the undamaged prefix.
+        let (_, replayed) = Journal::resume_via(vfs.clone(), &dir, 0xbeef).unwrap();
+        assert_eq!(replayed.entries, vec![entry(0, 0, 0)]);
+        // A second pass over the repaired directory is clean.
+        let report = fsck(vfs.as_ref(), &dir, false).unwrap();
+        assert_eq!(report.findings, vec![], "{}", report.render(&dir));
+    }
+
+    #[test]
+    fn an_unreadable_header_is_quarantined_whole() {
+        let vfs = Arc::new(SimFs::new());
+        let dir = PathBuf::from("/run");
+        vfs.create_sync(&journal_path(&dir), b"\x00\xffnot a journal\n").unwrap();
+        let report = fsck(vfs.as_ref(), &dir, true).unwrap();
+        assert_eq!(report.findings[0].code, "F001");
+        assert_eq!(report.errors_remaining(), 0);
+        assert!(vfs.durable(&journal_path(&dir)).is_none());
+        assert!(vfs.durable(&dir.join("journal.wal.corrupt")).is_some());
+    }
+
+    #[test]
+    fn fencing_anomalies_map_to_their_codes() {
+        let vfs = Arc::new(SimFs::new());
+        let dir = PathBuf::from("/run");
+        let wal = journal_path(&dir);
+        let mut bytes = header_bytes(0xbeef).into_bytes();
+        for rec in [
+            Record::Claim { index: 0, worker: 1, fence: 3, lease_ms: 100 },
+            // Double claim under a *reused* fence: F011 + F010.
+            Record::Claim { index: 0, worker: 2, fence: 3, lease_ms: 100 },
+            // Release that matches nothing: F012.
+            Record::Release { index: 7, worker: 9, fence: 1 },
+            // Fenced-out zombie result: F013.
+            Record::Prog(entry(0, 9, 2)),
+        ] {
+            bytes.extend_from_slice(&render_record(&rec));
+        }
+        vfs.create_sync(&wal, &bytes).unwrap();
+        let report = fsck(vfs.as_ref(), &dir, false).unwrap();
+        let codes: Vec<&str> = report.findings.iter().map(|f| f.code).collect();
+        assert_eq!(codes, vec!["F011", "F010", "F012", "F013"]);
+        assert_eq!(report.errors_remaining(), 1, "only the fence reuse is an error");
+    }
+
+    #[test]
+    fn a_torn_tail_is_a_warning_not_an_error() {
+        let vfs = Arc::new(SimFs::new());
+        let dir = run_dir(&vfs);
+        let wal = journal_path(&dir);
+        let mut bytes = vfs.durable(&wal).unwrap();
+        bytes.truncate(bytes.len() - 4);
+        vfs.create_sync(&wal, &bytes).unwrap();
+        let report = fsck(vfs.as_ref(), &dir, false).unwrap();
+        assert_eq!(report.findings[0].code, "F002");
+        assert_eq!(report.errors_remaining(), 0, "a crash's torn tail is expected damage");
+    }
+}

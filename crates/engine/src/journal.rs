@@ -38,22 +38,41 @@
 //! appending. A journal whose run digest does not match the current batch
 //! (different inputs or configuration) is discarded wholesale — resuming
 //! never mixes results from two different runs.
+//!
+//! Format v3 adds a per-record FNV-1a checksum to the frame line
+//! (`rec <len> <fnv:016x>\n`), so bit-rot *inside* a complete record —
+//! which v2's length framing cannot see — stops the scan at the damaged
+//! record instead of replaying corrupted results. v2 journals (and v2
+//! frames inside a resumed journal that later accumulated v3 appends)
+//! stay readable; new headers and appends are always v3. [`ScanOut::tail`]
+//! reports *why* a scan stopped ([`TailIssue`]), which `parpat fsck` maps
+//! to stable diagnostic codes.
+//!
+//! All file I/O goes through a [`Vfs`] handle, so the crash-consistency
+//! harness can run the same code against the simulated, fault-injecting
+//! backend. A failed append **poisons** the journal handle: later appends
+//! are refused instead of risking interleaved garbage after a partial
+//! record, and the engine accounts each refusal.
 
 use std::collections::{BTreeMap, HashMap};
-use std::io::{Seek, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use parpat_runtime::lock_recover;
 
+use crate::digest::hash_bytes;
 use crate::error::{EngineError, ErrorKind};
 use crate::report::{DegradedReport, ProgramReport};
 use crate::stage::Stage;
+use crate::vfs::{RealFs, Vfs};
 
 /// Journal file name under the cache directory.
 pub const JOURNAL_FILE: &str = "journal.wal";
 
-const MAGIC: &str = "parpat-journal-v2";
+/// Legacy header magic: records framed without checksums.
+const MAGIC_V2: &str = "parpat-journal-v2";
+/// Current header magic: appends carry per-record FNV checksums.
+const MAGIC: &str = "parpat-journal-v3";
 
 /// Ceiling on a single record's payload; anything larger is treated as
 /// corruption rather than allocated.
@@ -231,19 +250,33 @@ pub fn replay<'a>(records: impl IntoIterator<Item = &'a Record>) -> Replay {
 /// file contains describes a program whose results are durable. (Workers
 /// in a sharded batch append through [`crate::shard`]'s lock-file ledger
 /// instead — this handle covers the single-process path.)
+///
+/// The first append that fails **poisons** the handle: the file may hold
+/// a partial record past the last valid boundary, and appending more
+/// would interleave garbage that truncation-on-resume could not separate
+/// from real data. Poisoned appends fail fast with a structured error;
+/// the batch keeps running (results live in memory and the cache) and the
+/// engine counts every refused append.
 #[derive(Debug)]
 pub struct Journal {
-    file: Mutex<std::fs::File>,
+    vfs: Arc<dyn Vfs>,
+    path: PathBuf,
+    /// Append serialization lock; `true` once an append has failed.
+    poisoned: Mutex<bool>,
 }
 
 impl Journal {
     /// Start a fresh journal for run `run` in `dir`, discarding any
     /// previous journal.
     pub fn start(dir: &Path, run: u64) -> std::io::Result<Journal> {
-        let mut file = std::fs::File::create(journal_path(dir))?;
-        file.write_all(header_bytes(run).as_bytes())?;
-        file.sync_data()?;
-        Ok(Journal { file: Mutex::new(file) })
+        Journal::start_via(Arc::new(RealFs), dir, run)
+    }
+
+    /// [`Journal::start`] against an explicit storage backend.
+    pub fn start_via(vfs: Arc<dyn Vfs>, dir: &Path, run: u64) -> std::io::Result<Journal> {
+        let path = journal_path(dir);
+        vfs.create_sync(&path, header_bytes(run).as_bytes())?;
+        Ok(Journal { vfs, path, poisoned: Mutex::new(false) })
     }
 
     /// Resume the journal for run `run` in `dir`: returns the reopened
@@ -255,44 +288,82 @@ impl Journal {
     /// — a journal that exists but cannot be read must never be silently
     /// destroyed.
     pub fn resume(dir: &Path, run: u64) -> std::io::Result<(Journal, Replay)> {
+        Journal::resume_via(Arc::new(RealFs), dir, run)
+    }
+
+    /// [`Journal::resume`] against an explicit storage backend.
+    pub fn resume_via(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        run: u64,
+    ) -> std::io::Result<(Journal, Replay)> {
         let path = journal_path(dir);
-        let bytes = match std::fs::read(&path) {
+        let bytes = match vfs.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok((Journal::start(dir, run)?, Replay::default()));
+                return Ok((Journal::start_via(vfs, dir, run)?, Replay::default()));
             }
             Err(e) => return Err(e),
         };
         let Some(parsed) = scan(&bytes) else {
-            return Ok((Journal::start(dir, run)?, Replay::default()));
+            return Ok((Journal::start_via(vfs, dir, run)?, Replay::default()));
         };
         if parsed.run != run {
-            return Ok((Journal::start(dir, run)?, Replay::default()));
+            return Ok((Journal::start_via(vfs, dir, run)?, Replay::default()));
         }
         // Truncate the torn tail to the end of the last complete record —
         // or, with no records at all, to the header end `scan` measured.
         let valid_end = parsed.records.last().map_or(parsed.header_end as u64, |(_, e)| *e as u64);
-        let mut file = std::fs::OpenOptions::new().read(true).write(true).open(&path)?;
-        file.set_len(valid_end)?;
-        file.seek(std::io::SeekFrom::End(0))?;
-        file.sync_data()?;
+        vfs.truncate_sync(&path, valid_end)?;
         let records: Vec<Record> = parsed.records.into_iter().map(|(r, _)| r).collect();
-        Ok((Journal { file: Mutex::new(file) }, replay(&records)))
+        Ok((Journal { vfs, path, poisoned: Mutex::new(false) }, replay(&records)))
     }
 
     /// Append one completed-program record and fsync it. Returns only
-    /// after the record is durable.
+    /// after the record is durable. After the first failure the handle is
+    /// poisoned and every later append is refused (see [`Journal`]).
     pub fn append(&self, entry: &JournalEntry) -> std::io::Result<()> {
         let bytes = render_record(&Record::Prog(entry.clone()));
-        let mut file = lock_recover(&self.file);
-        file.write_all(&bytes)?;
-        file.sync_data()
+        let mut poisoned = lock_recover(&self.poisoned);
+        if *poisoned {
+            return Err(std::io::Error::other(
+                "journal poisoned: an earlier append failed and may have left a partial record",
+            ));
+        }
+        match self.vfs.append_sync(&self.path, &bytes) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                *poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether an append has failed and the handle refuses further writes.
+    pub fn is_poisoned(&self) -> bool {
+        *lock_recover(&self.poisoned)
     }
 }
 
 /// The journal header line for run `run` (shared with the shard ledger).
 pub fn header_bytes(run: u64) -> String {
     format!("{MAGIC} {run:016x}\n")
+}
+
+/// Why a scan stopped before the end of the file. Resume treats all three
+/// identically (truncate to the last good record); `parpat fsck` reports
+/// them under distinct diagnostic codes because they mean different
+/// things: a torn tail is the expected cost of a crash, a checksum or
+/// malformed record is damage to data that was once durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailIssue {
+    /// The file ends mid-record: an interrupted append.
+    Torn,
+    /// A complete record whose FNV checksum does not match its bytes:
+    /// bit-rot or in-place tampering.
+    Checksum,
+    /// A complete frame whose head or payload does not parse.
+    Malformed,
 }
 
 /// The parsed journal: run digest, byte offset just past the header line,
@@ -307,6 +378,8 @@ pub struct ScanOut {
     /// Complete records in file order, each with the offset where the next
     /// record starts.
     pub records: Vec<(Record, usize)>,
+    /// Why the scan stopped, if it stopped before the end of the file.
+    pub tail: Option<TailIssue>,
 }
 
 impl ScanOut {
@@ -317,38 +390,83 @@ impl ScanOut {
 }
 
 /// Parse journal bytes. Returns `None` when the header itself is
-/// unreadable. Scanning stops — without error — at the first torn or
-/// malformed record, which is exactly the resume semantics: everything
-/// before the tear is trusted, everything after is re-analyzed.
+/// unreadable. Scanning stops — without error — at the first torn,
+/// checksum-failing, or malformed record, which is exactly the resume
+/// semantics: everything before the damage is trusted, everything after
+/// is re-analyzed. Both header generations (v2, v3) and both frame forms
+/// are accepted, including mixed in one file — a resumed v2 journal
+/// accumulates v3 appends.
 pub fn scan(bytes: &[u8]) -> Option<ScanOut> {
     let header_nl = bytes.iter().position(|&b| b == b'\n')?;
     let header = std::str::from_utf8(&bytes[..header_nl]).ok()?;
-    let run_hex = header.strip_prefix(MAGIC)?.trim();
+    let run_hex = header.strip_prefix(MAGIC).or_else(|| header.strip_prefix(MAGIC_V2))?.trim();
     let run = u64::from_str_radix(run_hex, 16).ok()?;
     let header_end = header_nl + 1;
     let mut pos = header_end;
     let mut records = Vec::new();
+    let mut tail = None;
     while pos < bytes.len() {
-        let Some((rec, end)) = next_record(bytes, pos) else { break };
-        records.push((rec, end));
-        pos = end;
+        match next_record(bytes, pos) {
+            Step::Rec(rec, end) => {
+                records.push((rec, end));
+                pos = end;
+            }
+            Step::Stop(issue) => {
+                tail = Some(issue);
+                break;
+            }
+        }
     }
-    Some(ScanOut { run, header_end, records })
+    Some(ScanOut { run, header_end, records, tail })
 }
 
-/// Parse the record starting at `pos`; `None` if torn or malformed.
-fn next_record(bytes: &[u8], pos: usize) -> Option<(Record, usize)> {
+/// Outcome of parsing one record position.
+enum Step {
+    /// A good record and the offset just past it.
+    Rec(Record, usize),
+    /// Scanning must stop here.
+    Stop(TailIssue),
+}
+
+/// Parse the record starting at `pos`. Accepts the v2 frame
+/// (`rec <len>\n`) and the v3 frame (`rec <len> <fnv:016x>\n`, checksum
+/// verified over the payload).
+fn next_record(bytes: &[u8], pos: usize) -> Step {
     let rest = &bytes[pos..];
-    let line_end = rest.iter().position(|&b| b == b'\n')?;
-    let line = std::str::from_utf8(&rest[..line_end]).ok()?;
-    let len: usize = line.strip_prefix("rec ")?.parse().ok()?;
-    if len > MAX_RECORD {
-        return None;
+    let Some(line_end) = rest.iter().position(|&b| b == b'\n') else {
+        return Step::Stop(TailIssue::Torn);
+    };
+    let Some(frame) =
+        std::str::from_utf8(&rest[..line_end]).ok().and_then(|l| l.strip_prefix("rec "))
+    else {
+        return Step::Stop(TailIssue::Malformed);
+    };
+    let mut fields = frame.split(' ');
+    let Some(len) = fields.next().and_then(|f| f.parse::<usize>().ok()) else {
+        return Step::Stop(TailIssue::Malformed);
+    };
+    let sum = match fields.next() {
+        None => None,
+        Some(f) if f.len() == 16 => match u64::from_str_radix(f, 16) {
+            Ok(s) => Some(s),
+            Err(_) => return Step::Stop(TailIssue::Malformed),
+        },
+        Some(_) => return Step::Stop(TailIssue::Malformed),
+    };
+    if fields.next().is_some() || len > MAX_RECORD {
+        return Step::Stop(TailIssue::Malformed);
     }
     let payload_start = line_end + 1;
-    let payload = rest.get(payload_start..payload_start + len)?;
-    let rec = parse_payload(payload)?;
-    Some((rec, pos + payload_start + len))
+    let Some(payload) = rest.get(payload_start..payload_start + len) else {
+        return Step::Stop(TailIssue::Torn);
+    };
+    if sum.is_some_and(|expect| hash_bytes(payload) != expect) {
+        return Step::Stop(TailIssue::Checksum);
+    }
+    let Some(rec) = parse_payload(payload) else {
+        return Step::Stop(TailIssue::Malformed);
+    };
+    Step::Rec(rec, pos + payload_start + len)
 }
 
 fn csv(lines: &[u32]) -> String {
@@ -439,11 +557,13 @@ pub fn render_record(rec: &Record) -> Vec<u8> {
             }
         },
     };
-    let payload_len = head.len() + 1 + body.len();
-    let mut out = format!("rec {payload_len}\n").into_bytes();
-    out.extend_from_slice(head.as_bytes());
-    out.push(b'\n');
-    out.extend_from_slice(&body);
+    let mut payload = Vec::with_capacity(head.len() + 1 + body.len());
+    payload.extend_from_slice(head.as_bytes());
+    payload.push(b'\n');
+    payload.extend_from_slice(&body);
+    let sum = hash_bytes(&payload);
+    let mut out = format!("rec {} {sum:016x}\n", payload.len()).into_bytes();
+    out.extend_from_slice(&payload);
     out
 }
 
@@ -647,14 +767,90 @@ mod tests {
         out
     }
 
+    /// Re-frame a v3 record as the legacy v2 form (`rec <len>\n`, no
+    /// checksum) — how pre-upgrade journals framed every record.
+    fn reframe_v2(v3: &[u8]) -> Vec<u8> {
+        let nl = v3.iter().position(|&b| b == b'\n').unwrap();
+        let frame = std::str::from_utf8(&v3[..nl]).unwrap();
+        let len: usize =
+            frame.strip_prefix("rec ").unwrap().split(' ').next().unwrap().parse().unwrap();
+        let mut out = format!("rec {len}\n").into_bytes();
+        out.extend_from_slice(&v3[nl + 1..nl + 1 + len]);
+        out
+    }
+
     #[test]
     fn records_round_trip_byte_identically() {
         for rec in sample_records() {
             let bytes = render_record(&rec);
-            let (parsed, end) = next_record(&bytes, 0).unwrap();
+            let Step::Rec(parsed, end) = next_record(&bytes, 0) else {
+                panic!("rendered record must parse");
+            };
             assert_eq!(parsed, rec);
             assert_eq!(end, bytes.len());
         }
+    }
+
+    #[test]
+    fn a_v2_journal_with_v2_frames_stays_readable_and_takes_v3_appends() {
+        let dir = std::env::temp_dir().join(format!("parpat-journal-v2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Craft the journal exactly as the previous release wrote it:
+        // v2 header magic, no frame checksums.
+        let mut bytes = format!("{MAGIC_V2} {:016x}\n", 0xfeedu64).into_bytes();
+        bytes.extend_from_slice(&reframe_v2(&render_record(&Record::Prog(entry(0, 0, 0)))));
+        bytes.extend_from_slice(&reframe_v2(&render_record(&Record::Prog(entry(1, 0, 0)))));
+        std::fs::write(journal_path(&dir), &bytes).unwrap();
+
+        let (journal, replayed) = Journal::resume(&dir, 0xfeed).unwrap();
+        assert_eq!(replayed.entries, vec![entry(0, 0, 0), entry(1, 0, 0)]);
+        // New appends land as v3 frames in the same file; the mix scans.
+        journal.append(&entry(2, 0, 0)).unwrap();
+        drop(journal);
+        let parsed = scan(&std::fs::read(journal_path(&dir)).unwrap()).unwrap();
+        assert_eq!(parsed.records.len(), 3);
+        assert_eq!(parsed.tail, None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_rot_inside_a_complete_record_stops_the_scan() {
+        let mut bytes = header_bytes(5).into_bytes();
+        bytes.extend_from_slice(&render_record(&Record::Prog(entry(0, 0, 0))));
+        let rot_at = bytes.len() - 3; // deep inside the record body
+        let tail_start = bytes.len();
+        bytes[rot_at] ^= 0x40;
+        bytes.extend_from_slice(&render_record(&Record::Prog(entry(1, 0, 0))));
+        let parsed = scan(&bytes).unwrap();
+        assert!(parsed.records.is_empty(), "a checksum-failing record must not replay");
+        assert_eq!(parsed.tail, Some(TailIssue::Checksum));
+        // The same rot in a v2 frame is invisible to framing — the legacy
+        // blind spot this format version exists to close. (The flipped
+        // byte lands in the summary body, which carries no other check.)
+        let mut legacy = format!("{MAGIC_V2} {:016x}\n", 5u64).into_bytes();
+        legacy.extend_from_slice(&reframe_v2(&bytes[header_bytes(5).len()..tail_start]));
+        let parsed = scan(&legacy).unwrap();
+        assert_eq!(parsed.records.len(), 1, "v2 framing cannot detect body rot");
+        std::mem::drop(parsed);
+    }
+
+    #[test]
+    fn a_failed_append_poisons_the_journal() {
+        use crate::vfs::{DiskFault, SimFs};
+        let vfs = Arc::new(SimFs::new());
+        let dir = PathBuf::from("/run");
+        let journal = Journal::start_via(vfs.clone(), &dir, 0xabc).unwrap();
+        journal.append(&entry(0, 0, 0)).unwrap();
+        vfs.set_fault(Some(DiskFault::Eio { at: vfs.ops() + 1 }));
+        assert!(journal.append(&entry(1, 0, 0)).is_err());
+        assert!(journal.is_poisoned());
+        // The fault was transient, but the handle stays closed: the file
+        // may hold a partial record past the last good boundary.
+        let err = journal.append(&entry(2, 0, 0)).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        // Resume still works and replays the durable prefix.
+        let (_journal, replayed) = Journal::resume_via(vfs, &dir, 0xabc).unwrap();
+        assert_eq!(replayed.entries, vec![entry(0, 0, 0)]);
     }
 
     #[test]

@@ -60,12 +60,14 @@ pub mod digest;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod fsck;
 pub mod funcdigest;
 pub mod journal;
 pub mod report;
 pub mod shard;
 pub mod stage;
 pub mod stats;
+pub mod vfs;
 pub mod xval;
 
 pub use cache::{Artifact, Cache, DiskRecord, Lookup};
@@ -75,6 +77,7 @@ pub use engine::{
 };
 pub use error::{EngineError, ErrorKind};
 pub use fault::{xorshift64, FaultMode, FaultPlan};
+pub use fsck::{fsck, Finding, FsckReport, Severity};
 pub use funcdigest::function_digests;
 pub use journal::{journal_path, Journal, JournalEntry, Record, Replay, StoredOutcome};
 pub use report::{DegradedReport, ProgramReport};
@@ -83,4 +86,5 @@ pub use shard::{
 };
 pub use stage::Stage;
 pub use stats::{CacheStats, EngineStats, SsaPassStats, StageStats};
+pub use vfs::{DiskFault, RealFs, SimFs, Vfs};
 pub use xval::{cross_validate, CrossValidation};

@@ -42,7 +42,6 @@
 //! frozen mid-lease, proving kills and stalls cost leases, not results.
 
 use std::collections::{HashMap, HashSet};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,6 +53,7 @@ use parpat_runtime::{Supervised, WatchGuard, Watchdog, WatchdogConfig};
 use crate::engine::{store_outcome, BatchInput, BatchReport, Engine, EngineConfig};
 use crate::fault::xorshift64;
 use crate::journal::{journal_path, render_record, replay, scan, Journal, JournalEntry, Record};
+use crate::vfs::{RealFs, Vfs};
 
 /// Age after which another process may break the append lock: holders
 /// keep it only for one record append + fsync, so a lock this old belongs
@@ -67,11 +67,16 @@ pub const WORKER_BIN_ENV: &str = "PARPAT_SHARD_WORKER_BIN";
 
 const LOCK_RETRY: Duration = Duration::from_millis(2);
 
+/// Per-process sequence distinguishing lock tokens and break tombstones
+/// from concurrent attempts in one process.
+static LOCK_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Cross-process appender for the journal: every record is written under
 /// the advisory lock file as one `O_APPEND` write and fsynced before the
 /// lock is released, so concurrent workers never interleave bytes and a
 /// record that any reader can see is durable.
 pub struct Ledger {
+    vfs: Arc<dyn Vfs>,
     wal: PathBuf,
     lock: PathBuf,
     run: u64,
@@ -95,12 +100,19 @@ pub enum ClaimOutcome {
 }
 
 struct LockGuard {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
+    token: Vec<u8>,
 }
 
 impl Drop for LockGuard {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        // Release only a lock we still own: if a mistimed breaker stole
+        // it, the file now belongs to another holder and removing it
+        // would re-open the very race the token exists to close.
+        if self.vfs.read(&self.path).is_ok_and(|bytes| bytes == self.token) {
+            let _ = self.vfs.remove_file(&self.path);
+        }
     }
 }
 
@@ -110,29 +122,67 @@ impl Ledger {
     /// worker from a dead fleet can never append into a journal that was
     /// since restarted for a different batch.
     pub fn open(dir: &Path, run: u64) -> Ledger {
-        Ledger { wal: journal_path(dir), lock: dir.join("journal.lock"), run }
+        Ledger::open_via(Arc::new(RealFs), dir, run)
+    }
+
+    /// [`Ledger::open`] against an explicit storage backend.
+    pub fn open_via(vfs: Arc<dyn Vfs>, dir: &Path, run: u64) -> Ledger {
+        Ledger { vfs, wal: journal_path(dir), lock: dir.join("journal.lock"), run }
     }
 
     /// Take the advisory append lock, breaking it when its holder has
-    /// clearly died ([`STALE_LOCK`]). The break itself can race another
-    /// breaker; the loser of the ensuing `create_new` just retries, and
-    /// any double-claim a mistimed break lets through is neutralized by
-    /// fencing on replay.
+    /// clearly died ([`STALE_LOCK`]).
+    ///
+    /// Two guards close the historical double-break race (two processes
+    /// both observe the same stale lock, both remove it, both create and
+    /// believe they hold it):
+    ///
+    /// - the break is a **rename to a unique tombstone**, not a remove:
+    ///   rename is atomic, so of any number of simultaneous breakers
+    ///   exactly one displaces the stale file and the rest fail and
+    ///   retry — a breaker can never unlink a *fresh* lock another
+    ///   process just created at the same path;
+    /// - after `create_new` succeeds the holder **reads the lock back**
+    ///   and verifies it still holds its own unique token, catching the
+    ///   window where a breaker armed with a stale age observation
+    ///   displaced the fresh lock anyway. Lost ownership means retry,
+    ///   not proceed.
+    ///
+    /// The residual window — a breaker striking *after* the read-back —
+    /// can still let two writers interleave appends; the fencing tokens
+    /// in the journal make that harmless on replay.
     fn acquire(&self) -> std::io::Result<LockGuard> {
+        let token = format!(
+            "pid {} seq {:016x}\n",
+            std::process::id(),
+            LOCK_SEQ.fetch_add(1, Ordering::Relaxed)
+        )
+        .into_bytes();
         loop {
-            match std::fs::OpenOptions::new().write(true).create_new(true).open(&self.lock) {
-                Ok(mut f) => {
-                    let _ = f.write_all(format!("{}\n", std::process::id()).as_bytes());
-                    return Ok(LockGuard { path: self.lock.clone() });
+            match self.vfs.create_new(&self.lock, &token) {
+                Ok(()) => {
+                    if self.vfs.read(&self.lock).is_ok_and(|bytes| bytes == token) {
+                        return Ok(LockGuard {
+                            vfs: Arc::clone(&self.vfs),
+                            path: self.lock.clone(),
+                            token,
+                        });
+                    }
+                    // A racing breaker displaced our fresh lock before the
+                    // read-back: we do not own the path — go around.
+                    std::thread::sleep(LOCK_RETRY);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let stale = std::fs::metadata(&self.lock)
-                        .ok()
-                        .and_then(|m| m.modified().ok())
-                        .and_then(|t| t.elapsed().ok())
-                        .is_some_and(|age| age > STALE_LOCK);
+                    let stale = self.vfs.file_age(&self.lock).is_ok_and(|age| age > STALE_LOCK);
                     if stale {
-                        let _ = std::fs::remove_file(&self.lock);
+                        let tomb = self.lock.with_extension(format!(
+                            "broken.{:x}.{:x}",
+                            std::process::id(),
+                            LOCK_SEQ.fetch_add(1, Ordering::Relaxed)
+                        ));
+                        if self.vfs.rename(&self.lock, &tomb).is_ok() {
+                            let _ = self.vfs.remove_file(&tomb);
+                        }
                     } else {
                         std::thread::sleep(LOCK_RETRY);
                     }
@@ -143,10 +193,8 @@ impl Ledger {
     }
 
     fn check_run(&self) -> std::io::Result<()> {
-        let mut head = [0u8; 64];
-        let mut file = std::fs::File::open(&self.wal)?;
-        let n = std::io::Read::read(&mut file, &mut head)?;
-        let ok = scan(&head[..n]).is_some_and(|p| p.run == self.run);
+        let head = self.vfs.read_prefix(&self.wal, 64)?;
+        let ok = scan(&head).is_some_and(|p| p.run == self.run);
         if ok {
             Ok(())
         } else {
@@ -159,9 +207,7 @@ impl Ledger {
 
     fn append_locked(&self, rec: &Record) -> std::io::Result<()> {
         self.check_run()?;
-        let mut file = std::fs::OpenOptions::new().append(true).open(&self.wal)?;
-        file.write_all(&render_record(rec))?;
-        file.sync_data()
+        self.vfs.append_sync(&self.wal, &render_record(rec))
     }
 
     /// Append one record under the lock and fsync it.
@@ -181,7 +227,7 @@ impl Ledger {
         total: usize,
     ) -> std::io::Result<ClaimOutcome> {
         let _lock = self.acquire()?;
-        let bytes = std::fs::read(&self.wal)?;
+        let bytes = self.vfs.read(&self.wal)?;
         let parsed = scan(&bytes).ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "journal header unreadable")
         })?;
@@ -408,7 +454,7 @@ pub fn run_sharded(
     cfg.resume = true; // final assembly restores whatever the workers finished
     let engine = Arc::new(Engine::new(cfg).map_err(|e| format!("engine: {e}"))?);
     let run = engine.run_digest(&inputs);
-    let ledger = Ledger::open(&dir, run);
+    let ledger = Ledger::open_via(engine.vfs().clone(), &dir, run);
     let n = inputs.len();
 
     let mut leases_expired = 0u64;
@@ -418,8 +464,8 @@ pub fn run_sharded(
     // coordinator — truncate any torn tail and requeue every lease the
     // previous run left open.
     if shard.resume {
-        let (journal, state) =
-            Journal::resume(&dir, run).map_err(|e| format!("journal resume: {e}"))?;
+        let (journal, state) = Journal::resume_via(engine.vfs().clone(), &dir, run)
+            .map_err(|e| format!("journal resume: {e}"))?;
         drop(journal);
         for c in state.open_claims {
             ledger
@@ -428,7 +474,10 @@ pub fn run_sharded(
             work_requeued += 1;
         }
     } else {
-        drop(Journal::start(&dir, run).map_err(|e| format!("journal start: {e}"))?);
+        drop(
+            Journal::start_via(engine.vfs().clone(), &dir, run)
+                .map_err(|e| format!("journal start: {e}"))?,
+        );
     }
 
     // Spawn the fleet. Zero live workers is not an error: the assembly
@@ -481,7 +530,7 @@ pub fn run_sharded(
         std::thread::sleep(scan_tick);
 
         // Authoritative state from a full replay of the journal.
-        let state = match std::fs::read(journal_path(&dir)).ok().and_then(|b| scan(&b)) {
+        let state = match engine.vfs().read(&journal_path(&dir)).ok().and_then(|b| scan(&b)) {
             Some(parsed) if parsed.run == run => {
                 let mut beat_counts: HashMap<(usize, u64, u64), u64> = HashMap::new();
                 for (rec, _) in &parsed.records {
@@ -599,6 +648,94 @@ pub fn run_sharded(
     report.stats.leases_expired = leases_expired;
     report.stats.work_requeued = work_requeued;
     // Re-persist so `parpat stats` sees the shard counters too.
-    let _ = report.stats.persist(&dir);
+    let _ = report.stats.persist_via(engine.vfs().as_ref(), &dir);
     Ok(ShardOutcome { report, note })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::journal::Journal;
+    use crate::vfs::SimFs;
+
+    const RUN: u64 = 0xdead;
+
+    fn sim_ledger() -> (Arc<SimFs>, Ledger, PathBuf) {
+        let vfs = Arc::new(SimFs::new());
+        let dir = PathBuf::from("/run");
+        drop(Journal::start_via(vfs.clone(), &dir, RUN).unwrap());
+        let ledger = Ledger::open_via(vfs.clone(), &dir, RUN);
+        (vfs, ledger, dir)
+    }
+
+    #[test]
+    fn a_backdated_stale_lock_is_broken_without_sleeping() {
+        let (vfs, ledger, dir) = sim_ledger();
+        let lock = dir.join("journal.lock");
+        vfs.create_new(&lock, b"pid 999999 seq 0000000000000000\n").unwrap();
+        vfs.backdate(&lock, STALE_LOCK + Duration::from_secs(1));
+        ledger.append(&Record::Beat { index: 0, worker: 1, fence: 1 }).unwrap();
+        assert!(vfs.read(&lock).is_err(), "the lock is released after the append");
+    }
+
+    #[test]
+    fn a_guard_that_lost_ownership_does_not_remove_the_thiefs_lock() {
+        let (vfs, ledger, dir) = sim_ledger();
+        let lock = dir.join("journal.lock");
+        let guard = ledger.acquire().unwrap();
+        // Simulate the residual race: a breaker with a stale age reading
+        // displaces our fresh lock and another process acquires.
+        vfs.remove_file(&lock).unwrap();
+        vfs.create_new(&lock, b"pid 424242 seq ffffffffffffffff\n").unwrap();
+        drop(guard);
+        assert_eq!(
+            vfs.read(&lock).unwrap(),
+            b"pid 424242 seq ffffffffffffffff\n",
+            "the displaced guard must leave the new holder's lock alone"
+        );
+    }
+
+    #[test]
+    fn a_breaker_tombstones_the_stale_lock_rather_than_unlinking_in_place() {
+        let (vfs, ledger, dir) = sim_ledger();
+        let lock = dir.join("journal.lock");
+        vfs.create_new(&lock, b"pid 999999 seq 0000000000000000\n").unwrap();
+        vfs.backdate(&lock, STALE_LOCK + Duration::from_secs(1));
+        let guard = ledger.acquire().unwrap();
+        // The break renamed the stale file away and removed the tombstone;
+        // nothing named *.broken.* lingers.
+        let leftovers: Vec<PathBuf> = vfs
+            .list_dir(&dir)
+            .unwrap()
+            .into_iter()
+            .filter(|p| p.to_string_lossy().contains("broken"))
+            .collect();
+        assert!(leftovers.is_empty(), "tombstones are cleaned up: {leftovers:?}");
+        drop(guard);
+    }
+
+    #[test]
+    fn concurrent_appends_through_the_lock_never_interleave() {
+        let (vfs, ledger, dir) = sim_ledger();
+        let ledger = Arc::new(ledger);
+        let threads: Vec<_> = (0..4u64)
+            .map(|worker| {
+                let ledger = Arc::clone(&ledger);
+                std::thread::spawn(move || {
+                    for fence in 1..=8u64 {
+                        ledger.append(&Record::Beat { index: 0, worker, fence }).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let bytes = vfs.read(&journal_path(&dir)).unwrap();
+        let parsed = scan(&bytes).unwrap();
+        assert_eq!(parsed.records.len(), 32, "every record framed cleanly");
+        assert_eq!(parsed.tail, None);
+    }
 }

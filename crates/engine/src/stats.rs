@@ -83,6 +83,11 @@ pub struct CacheStats {
     pub mem_entries: u64,
     /// Corrupt disk records quarantined and regenerated.
     pub recovered: u64,
+    /// Quarantine corpses evicted to hold the `.corrupt` file cap.
+    pub quarantine_evicted: u64,
+    /// Disk-tier record writes suppressed after an ENOSPC failure put the
+    /// tier into read-only degradation (0 = tier fully operational).
+    pub disabled_writes: u64,
 }
 
 /// One batch's complete observability snapshot.
@@ -129,6 +134,10 @@ pub struct EngineStats {
     /// Stale fenced `prog` records discarded on journal replay — a zombie
     /// worker's late result arriving after its lease was requeued.
     pub fenced_stale_results: u64,
+    /// Journal appends that failed (or were refused by a poisoned
+    /// journal): the programs completed, their results just are not in
+    /// the WAL — a killed batch re-analyzes them instead of resuming.
+    pub journal_append_failed: u64,
     /// Requests turned away by a resident service's admission control
     /// before reaching the engine (load shedding).
     pub requests_shed: u64,
@@ -207,6 +216,10 @@ impl EngineStats {
         out.push_str(&format!(
             "shard: {} worker(s), {} lease(s) expired, {} requeued, {} fenced-stale result(s)\n",
             self.workers, self.leases_expired, self.work_requeued, self.fenced_stale_results
+        ));
+        out.push_str(&format!(
+            "storage: {} journal append failure(s), {} quarantine eviction(s), {} cache write(s) disabled\n",
+            self.journal_append_failed, self.cache.quarantine_evicted, self.cache.disabled_writes
         ));
         out.push_str(&format!(
             "service: {} request(s), {} served from cache, {} function(s) reanalyzed\n",
@@ -290,7 +303,7 @@ impl EngineStats {
             ));
         }
         format!(
-            "{{\"programs\": {}, \"requests\": {}, \"served_from_cache\": {}, \"funcs_reanalyzed\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"workers\": {}, \"leases_expired\": {}, \"work_requeued\": {}, \"fenced_stale_results\": {}, \"requests_shed\": {}, \"deadline_exceeded\": {}, \"retries_client\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"ssa_passes\": [{}], \"verified\": {}, \"sanitizer_rejects\": {}, \"miscompiles\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}}}}}",
+            "{{\"programs\": {}, \"requests\": {}, \"served_from_cache\": {}, \"funcs_reanalyzed\": {}, \"errors\": {}, \"degraded\": {}, \"panics\": {}, \"budget_exceeded\": {}, \"retries\": {}, \"stall_requeued\": {}, \"resumed\": {}, \"workers\": {}, \"leases_expired\": {}, \"work_requeued\": {}, \"fenced_stale_results\": {}, \"journal_append_failed\": {}, \"requests_shed\": {}, \"deadline_exceeded\": {}, \"retries_client\": {}, \"static_proven_doall\": {}, \"input_sensitive\": {}, \"consistency_errors\": {}, \"ssa_passes\": [{}], \"verified\": {}, \"sanitizer_rejects\": {}, \"miscompiles\": {}, \"jobs\": {}, \"wall_ns\": {}, \"stages\": [{}], \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"mem_entries\": {}, \"recovered\": {}, \"quarantine_evicted\": {}, \"disabled_writes\": {}}}}}",
             self.programs,
             self.requests,
             self.served_from_cache,
@@ -306,6 +319,7 @@ impl EngineStats {
             self.leases_expired,
             self.work_requeued,
             self.fenced_stale_results,
+            self.journal_append_failed,
             self.requests_shed,
             self.deadline_exceeded,
             self.retries_client,
@@ -323,15 +337,28 @@ impl EngineStats {
             self.cache.misses,
             self.cache.evictions,
             self.cache.mem_entries,
-            self.cache.recovered
+            self.cache.recovered,
+            self.cache.quarantine_evicted,
+            self.cache.disabled_writes
         )
     }
 
     /// Persist both renderings under `dir` (`stats.txt` / `stats.json`) so
     /// `parpat stats` can report on the last batch from a fresh process.
     pub fn persist(&self, dir: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(dir.join("stats.txt"), self.render_text())?;
-        std::fs::write(dir.join("stats.json"), self.render_json())
+        self.persist_via(&crate::vfs::RealFs, dir)
+    }
+
+    /// [`EngineStats::persist`] against an explicit storage backend.
+    /// Stats files are derivable snapshots, so the writes carry no
+    /// durability guarantee — lost stats cost a report, never results.
+    pub fn persist_via(
+        &self,
+        vfs: &dyn crate::vfs::Vfs,
+        dir: &std::path::Path,
+    ) -> std::io::Result<()> {
+        vfs.write(&dir.join("stats.txt"), self.render_text().as_bytes())?;
+        vfs.write(&dir.join("stats.json"), self.render_json().as_bytes())
     }
 }
 
@@ -402,6 +429,7 @@ mod tests {
             leases_expired: 2,
             work_requeued: 3,
             fenced_stale_results: 1,
+            journal_append_failed: 6,
             requests_shed: 11,
             deadline_exceeded: 12,
             retries_client: 13,
@@ -417,7 +445,15 @@ mod tests {
             miscompiles: 1,
             jobs: 8,
             wall: Duration::from_millis(40),
-            cache: CacheStats { hits: 17, misses: 17, evictions: 2, mem_entries: 32, recovered: 3 },
+            cache: CacheStats {
+                hits: 17,
+                misses: 17,
+                evictions: 2,
+                mem_entries: 32,
+                recovered: 3,
+                quarantine_evicted: 7,
+                disabled_writes: 8,
+            },
         }
     }
 
@@ -434,6 +470,9 @@ mod tests {
         assert!(
             text.contains("4 worker(s), 2 lease(s) expired, 3 requeued, 1 fenced-stale result(s)")
         );
+        assert!(text.contains(
+            "6 journal append failure(s), 7 quarantine eviction(s), 8 cache write(s) disabled"
+        ));
         assert!(text.contains("34 request(s), 17 served from cache, 3 function(s) reanalyzed"));
         assert!(text.contains("11 shed, 12 deadline-exceeded, 13 client retries"));
         assert!(
@@ -487,6 +526,9 @@ mod tests {
         assert!(json.contains("\"sanitizer_rejects\": 2"));
         assert!(json.contains("\"miscompiles\": 1"));
         assert!(json.contains("\"recovered\": 3"));
+        assert!(json.contains("\"journal_append_failed\": 6"));
+        assert!(json.contains("\"quarantine_evicted\": 7"));
+        assert!(json.contains("\"disabled_writes\": 8"));
     }
 
     #[test]
@@ -515,6 +557,7 @@ mod tests {
             leases_expired: 0,
             work_requeued: 0,
             fenced_stale_results: 0,
+            journal_append_failed: 0,
             requests_shed: 0,
             deadline_exceeded: 0,
             retries_client: 0,

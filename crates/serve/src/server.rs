@@ -147,7 +147,7 @@ impl Shared {
     fn persist_stats(&self) -> EngineStats {
         let stats = self.engine.session_stats(&self.session, self.pool.threads() as u64);
         if let Some(dir) = &self.cache_dir {
-            let _ = stats.persist(dir);
+            let _ = stats.persist_via(self.engine.vfs().as_ref(), dir);
         }
         stats
     }

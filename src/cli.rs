@@ -33,6 +33,12 @@ USAGE:
                                                      per-function incremental re-analysis
     parpat stats [--cache-dir <d>] [--json]          per-stage stats persisted by the last batch
                                                      (or by a `parpat serve` session)
+    parpat fsck <run-dir> [--repair]                 offline scrub of a cache/run directory:
+                                                     journal framing + record checksums, ledger
+                                                     fencing invariants, cache record integrity
+                                                     (stable F0xx codes; exits 1 on unrepaired
+                                                     damage; --repair quarantines and truncates
+                                                     back to a resumable state)
     parpat lint <file.ml|dir|apps> [--json]          static dependence diagnostics with stable
                                                      codes (P001 carried dep, P020 proven do-all, …)
     parpat lint --explain <CODE>                     print the documentation for one stable
@@ -529,6 +535,23 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 format!("no persisted stats under `{}` — run `parpat batch` first", dir.display())
             })
         }
+        Some("fsck") => {
+            let (dir, opts) =
+                split_opts(&args[1..]).map_err(|_| format!("missing <run-dir>\n\n{USAGE}"))?;
+            if let Some(bad) = opts.iter().find(|o| *o != "--repair") {
+                return Err(format!("unknown fsck option `{bad}`\n\n{USAGE}"));
+            }
+            let repair = opts.iter().any(|o| o == "--repair");
+            let dir = std::path::PathBuf::from(&dir);
+            let report = parpat_engine::fsck(&parpat_engine::RealFs, &dir, repair)
+                .map_err(|e| format!("fsck: cannot scan `{}`: {e}", dir.display()))?;
+            let text = report.render(&dir);
+            if report.errors_remaining() > 0 {
+                Err(text)
+            } else {
+                Ok(text)
+            }
+        }
         Some("run") => {
             let (path, _) = split_opts(&args[1..])?;
             let src = read(&path)?;
@@ -1011,6 +1034,29 @@ fn main() {
     #[test]
     fn unknown_command_errors() {
         assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn fsck_scrubs_detects_and_repairs() {
+        let dir = std::env::temp_dir().join(format!("parpat-fsck-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let dir_s = dir.to_string_lossy().into_owned();
+        // Empty directory: clean, exit ok.
+        let out = run(&args(&["fsck", &dir_s])).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        // A rotted cache record fails the scrub with its stable code...
+        std::fs::write(dir.join("00000000000000aa.rec"), b"garbage").expect("write");
+        let err = run(&args(&["fsck", &dir_s])).unwrap_err();
+        assert!(err.contains("F020"), "{err}");
+        // ...and --repair quarantines it; the next scrub is clean again.
+        let out = run(&args(&["fsck", &dir_s, "--repair"])).unwrap();
+        assert!(out.contains("repaired"), "{out}");
+        let out = run(&args(&["fsck", &dir_s])).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(dir.join("00000000000000aa.corrupt").exists());
+        assert!(run(&args(&["fsck"])).is_err(), "missing dir must be a usage error");
+        assert!(run(&args(&["fsck", &dir_s, "--bogus"])).is_err());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]
